@@ -1,0 +1,61 @@
+//! Simple extrapolation (§2.1, Figure 1): scale the answer computed on
+//! the available rows by the inverse of the observed-data fraction.
+//!
+//! This is the strawman every analyst reaches for first. It silently
+//! assumes the missing rows are exchangeable with the present ones — the
+//! paper's Fig 1 shows its relative error exploding as correlated
+//! missingness grows.
+
+/// Extrapolate a SUM/COUNT-style total: `observed / (1 − missing_frac)`.
+///
+/// # Panics
+/// Panics if `missing_fraction` is not within `[0, 1)` — with everything
+/// missing there is nothing to extrapolate from.
+pub fn simple_extrapolate(observed_total: f64, missing_fraction: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&missing_fraction),
+        "missing fraction must be in [0, 1), got {missing_fraction}"
+    );
+    observed_total / (1.0 - missing_fraction)
+}
+
+/// Relative error |est − truth| / |truth| (0 when both are 0).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        return if estimate == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (estimate - truth).abs() / truth.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_missingness_uncorrelated() {
+        // 80 observed of 100 uniform rows, total 100 → extrapolate 100
+        let est = simple_extrapolate(80.0, 0.2);
+        assert!((est - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biased_when_missingness_correlated() {
+        // the missing 20% held 60% of the mass: observed 40 of 100
+        let est = simple_extrapolate(40.0, 0.2);
+        assert!((est - 50.0).abs() < 1e-9);
+        assert!((relative_error(est, 100.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing fraction")]
+    fn all_missing_rejected() {
+        simple_extrapolate(0.0, 1.0);
+    }
+}

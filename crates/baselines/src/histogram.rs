@@ -1,0 +1,346 @@
+//! The equi-width histogram baseline (§6.1.3): per-attribute histograms
+//! over the missing data, combined with "standard independence
+//! assumptions" across attributes.
+//!
+//! Two query-answering modes are provided, matching the two ways the paper
+//! uses histograms:
+//!
+//! * [`EquiWidthHistogram::bound_conservative`] — a *hard* bound that uses
+//!   only marginal overlap counts (no independence assumption). This is a
+//!   coarse 1-D special case of PCs and never fails (Figs 3/4's Histogram
+//!   series).
+//! * [`EquiWidthHistogram::estimate_independent`] — the classical
+//!   independence-assumption estimator (what "Hist" does in Table 2):
+//!   selectivities multiply across attributes, which silently breaks on
+//!   correlated data — producing exactly the failures Table 2 reports.
+
+use pc_storage::{AggKind, AggQuery, Table};
+
+use crate::sampling::Estimate;
+
+/// One attribute's equi-width marginal.
+#[derive(Debug, Clone)]
+struct Marginal {
+    lo: f64,
+    /// Observed maximum — the last bucket's upper edge is pinned here so
+    /// accumulated floating-point error (`lo + buckets·width < hi`) can
+    /// never let the extreme row escape the "hard" bound.
+    hi: f64,
+    width: f64,
+    counts: Vec<u64>,
+}
+
+impl Marginal {
+    fn build(values: &[f64], buckets: usize) -> Self {
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if values.is_empty() {
+            (0.0, 1.0)
+        } else {
+            (lo, hi)
+        };
+        let width = ((hi - lo) / buckets as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0u64; buckets];
+        for &v in values {
+            let b = (((v - lo) / width) as usize).min(buckets - 1);
+            counts[b] += 1;
+        }
+        Marginal {
+            lo,
+            hi,
+            width,
+            counts,
+        }
+    }
+
+    fn bucket_range(&self, b: usize) -> (f64, f64) {
+        let lo = self.lo + b as f64 * self.width;
+        let hi = if b + 1 == self.counts.len() {
+            self.hi.max(lo + self.width)
+        } else {
+            lo + self.width
+        };
+        (lo, hi)
+    }
+
+    /// Number of rows in buckets overlapping `[qlo, qhi]` — a hard upper
+    /// bound on the rows matching the range.
+    fn overlap_count(&self, qlo: f64, qhi: f64) -> u64 {
+        (0..self.counts.len())
+            .filter(|&b| {
+                let (blo, bhi) = self.bucket_range(b);
+                bhi >= qlo && blo <= qhi
+            })
+            .map(|b| self.counts[b])
+            .sum()
+    }
+
+    /// Estimated fraction of rows matching `[qlo, qhi]` assuming uniform
+    /// spread inside each bucket.
+    fn selectivity(&self, qlo: f64, qhi: f64) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut matched = 0.0;
+        for b in 0..self.counts.len() {
+            let (blo, bhi) = self.bucket_range(b);
+            let inter = (qhi.min(bhi) - qlo.max(blo)).max(0.0);
+            if inter > 0.0 || (qlo <= blo && bhi <= qhi) {
+                matched += self.counts[b] as f64 * (inter / self.width).min(1.0);
+            }
+        }
+        (matched / total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Equi-width histograms over every attribute of the missing partition,
+/// plus per-bucket value sums on the aggregate attribute.
+#[derive(Debug, Clone)]
+pub struct EquiWidthHistogram {
+    marginals: Vec<Marginal>,
+    /// Per-bucket sums of each attribute's own marginal (for SUM bounds).
+    bucket_sums: Vec<Vec<f64>>,
+    total_rows: u64,
+}
+
+impl EquiWidthHistogram {
+    /// Build with `buckets` buckets per attribute. The information budget
+    /// is `O(attrs × buckets)`, comparable to a PC set of the same size —
+    /// the paper's "similar amount of information" protocol (§6.1).
+    pub fn build(missing: &Table, buckets: usize) -> Self {
+        assert!(buckets >= 1);
+        let width = missing.schema().width();
+        let mut marginals = Vec::with_capacity(width);
+        let mut bucket_sums = Vec::with_capacity(width);
+        for attr in 0..width {
+            let values: Vec<f64> = (0..missing.len())
+                .map(|r| missing.encoded(r, attr))
+                .collect();
+            let marginal = Marginal::build(&values, buckets);
+            let mut sums = vec![0.0; buckets];
+            for &v in &values {
+                let b = (((v - marginal.lo) / marginal.width) as usize).min(buckets - 1);
+                sums[b] += v;
+            }
+            marginals.push(marginal);
+            bucket_sums.push(sums);
+        }
+        EquiWidthHistogram {
+            marginals,
+            bucket_sums,
+            total_rows: missing.len() as u64,
+        }
+    }
+
+    fn query_range(&self, query: &AggQuery, attr: usize) -> (f64, f64) {
+        let iv = query.predicate.interval_for(attr);
+        (iv.lo, iv.hi)
+    }
+
+    /// Hard bound using marginal overlap only: the count of matching rows
+    /// cannot exceed the overlap count of *any* constrained attribute, and
+    /// a SUM of non-negative values cannot exceed the overlapping buckets'
+    /// value mass. Never fails (at the price of looseness).
+    pub fn bound_conservative(&self, query: &AggQuery) -> Estimate {
+        let mut count_cap = self.total_rows;
+        for attr in 0..self.marginals.len() {
+            let (qlo, qhi) = self.query_range(query, attr);
+            if qlo == f64::NEG_INFINITY && qhi == f64::INFINITY {
+                continue;
+            }
+            count_cap = count_cap.min(self.marginals[attr].overlap_count(qlo, qhi));
+        }
+        match query.agg {
+            AggKind::Count => Estimate {
+                lo: 0.0,
+                hi: count_cap as f64,
+                point: count_cap as f64 / 2.0,
+            },
+            AggKind::Sum => {
+                // mass of the agg attribute's buckets overlapping the query
+                let attr = query.attr;
+                let (qlo, qhi) = self.query_range(query, attr);
+                let marginal = &self.marginals[attr];
+                let mut hi = 0.0;
+                let mut max_val = f64::NEG_INFINITY;
+                let mut min_val = f64::INFINITY;
+                for b in 0..marginal.counts.len() {
+                    let (blo, bhi) = marginal.bucket_range(b);
+                    if bhi >= qlo && blo <= qhi && marginal.counts[b] > 0 {
+                        hi += marginal.counts[b] as f64 * bhi.min(qhi);
+                        max_val = max_val.max(bhi.min(qhi));
+                        min_val = min_val.min(blo.max(qlo));
+                    }
+                }
+                // the count cap from other attributes can tighten further
+                if max_val.is_finite() {
+                    hi = hi.min(count_cap as f64 * max_val);
+                }
+                let lo = if min_val.is_finite() {
+                    (min_val).min(0.0) * count_cap as f64
+                } else {
+                    0.0
+                };
+                Estimate {
+                    lo,
+                    hi,
+                    point: (lo + hi) / 2.0,
+                }
+            }
+            other => panic!("histogram baseline supports COUNT and SUM, not {other:?}"),
+        }
+    }
+
+    /// Independence-assumption estimate: selectivities of the predicate's
+    /// attributes multiply; SUM scales the aggregate attribute's bucket
+    /// mass. The interval brackets the estimate by the bucket resolution,
+    /// *not* by any guarantee — correlated data breaks it (Table 2).
+    pub fn estimate_independent(&self, query: &AggQuery) -> Estimate {
+        let mut selectivity = 1.0;
+        for attr in 0..self.marginals.len() {
+            if query.agg != AggKind::Count && attr == query.attr {
+                continue;
+            }
+            let (qlo, qhi) = self.query_range(query, attr);
+            if qlo == f64::NEG_INFINITY && qhi == f64::INFINITY {
+                continue;
+            }
+            selectivity *= self.marginals[attr].selectivity(qlo, qhi);
+        }
+        match query.agg {
+            AggKind::Count => {
+                let point = selectivity * self.total_rows as f64;
+                // uncertainty: one bucket's worth of rows per constrained
+                // attribute
+                let slack = self
+                    .marginals
+                    .iter()
+                    .map(|m| m.counts.iter().copied().max().unwrap_or(0) as f64)
+                    .fold(0.0, f64::max);
+                Estimate {
+                    lo: (point - slack).max(0.0),
+                    hi: point + slack,
+                    point,
+                }
+            }
+            AggKind::Sum => {
+                let attr = query.attr;
+                let (qlo, qhi) = self.query_range(query, attr);
+                let marginal = &self.marginals[attr];
+                let mut mass = 0.0;
+                let mut slack = 0.0;
+                for b in 0..marginal.counts.len() {
+                    let (blo, bhi) = marginal.bucket_range(b);
+                    if bhi >= qlo && blo <= qhi && marginal.counts[b] > 0 {
+                        mass += self.bucket_sums[attr][b];
+                        slack += marginal.counts[b] as f64 * (bhi - blo);
+                    }
+                }
+                let point = selectivity * mass;
+                let half = selectivity * slack;
+                Estimate {
+                    lo: point - half,
+                    hi: point + half,
+                    point,
+                }
+            }
+            other => panic!("histogram baseline supports COUNT and SUM, not {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, AttrType, Predicate, Schema, Value};
+    use pc_storage::evaluate;
+
+    /// `g` correlates perfectly with `v`: v = 10·g.
+    fn correlated_table(n: usize) -> Table {
+        let schema = Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let g = (i % 10) as i64;
+            t.push_row(vec![Value::Int(g), Value::Float(10.0 * g as f64)]);
+        }
+        t
+    }
+
+    #[test]
+    fn conservative_count_never_fails() {
+        let t = correlated_table(1000);
+        let h = EquiWidthHistogram::build(&t, 10);
+        for glo in 0..10 {
+            for ghi in glo..10 {
+                let q = AggQuery::count(Predicate::atom(Atom::between(
+                    0,
+                    f64::from(glo),
+                    f64::from(ghi),
+                )));
+                let truth = evaluate(&t, &q).value();
+                let est = h.bound_conservative(&q);
+                assert!(
+                    est.lo <= truth && truth <= est.hi,
+                    "hard bound failed: {truth} ∉ [{}, {}]",
+                    est.lo,
+                    est.hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conservative_sum_never_fails_nonnegative() {
+        let t = correlated_table(1000);
+        let h = EquiWidthHistogram::build(&t, 10);
+        for glo in 0..10 {
+            let q = AggQuery::new(
+                AggKind::Sum,
+                1,
+                Predicate::atom(Atom::between(0, f64::from(glo), 9.0)),
+            );
+            let truth = evaluate(&t, &q).value();
+            let est = h.bound_conservative(&q);
+            assert!(
+                est.lo <= truth + 1e-9 && truth <= est.hi + 1e-9,
+                "hard bound failed: {truth} ∉ [{}, {}]",
+                est.lo,
+                est.hi
+            );
+        }
+    }
+
+    #[test]
+    fn independence_fails_under_correlation() {
+        // query on g for SUM(v): independence spreads v-mass uniformly
+        // across g-values, badly wrong when v = 10·g
+        let t = correlated_table(1000);
+        let h = EquiWidthHistogram::build(&t, 10);
+        let mut failures = 0;
+        for glo in 0..10 {
+            let q = AggQuery::new(
+                AggKind::Sum,
+                1,
+                Predicate::atom(Atom::between(0, f64::from(glo), f64::from(glo))),
+            );
+            let truth = evaluate(&t, &q).value();
+            let est = h.estimate_independent(&q);
+            if !(est.lo <= truth && truth <= est.hi) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 0, "independence should fail on correlated data");
+    }
+
+    #[test]
+    fn unconstrained_query_counts_everything() {
+        let t = correlated_table(64);
+        let h = EquiWidthHistogram::build(&t, 8);
+        let q = AggQuery::count(Predicate::always());
+        let est = h.bound_conservative(&q);
+        assert_eq!(est.hi, 64.0);
+        let ind = h.estimate_independent(&q);
+        assert!((ind.point - 64.0).abs() < 1e-9);
+    }
+}

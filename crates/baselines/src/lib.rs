@@ -1,0 +1,25 @@
+//! Statistical baselines evaluated against the PC framework in the paper
+//! (§6.1): sampling estimators with parametric and non-parametric
+//! confidence intervals, equi-width histograms, a Gaussian-mixture
+//! generative model, simple extrapolation, and elastic sensitivity for
+//! join queries.
+//!
+//! These are *competitors*, not part of the guarantee-bearing framework:
+//! each produces an interval that may fail to contain the truth (the
+//! failure rates of Figs 3-6 and Table 2 are exactly what the experiments
+//! measure).
+
+#![warn(missing_docs)]
+
+pub mod elastic;
+pub mod extrapolate;
+pub mod gmm;
+pub mod histogram;
+pub mod math;
+pub mod sampling;
+
+pub use elastic::{elastic_chain_bound, elastic_triangle_bound};
+pub use extrapolate::simple_extrapolate;
+pub use gmm::GaussianMixture;
+pub use histogram::EquiWidthHistogram;
+pub use sampling::{Ci, Estimate, StratifiedSample, UniformSample};

@@ -1,0 +1,152 @@
+//! Small numeric toolbox: normal quantiles for CLT confidence intervals
+//! and Box–Muller Gaussian sampling (keeping `rand` the only randomness
+//! dependency).
+
+use rand::Rng;
+
+/// Inverse standard normal CDF (the `z` value with `Φ(z) = p`), using
+/// Acklam's rational approximation (relative error < 1.15e-9 — far below
+/// the statistical noise of any experiment here).
+///
+/// # Panics
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs p in (0,1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The two-sided z value for a confidence level (e.g. `0.99` → ≈ 2.576).
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    normal_quantile(1.0 - (1.0 - confidence) / 2.0)
+}
+
+/// One standard normal draw via Box–Muller.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `N(mean, sd²)` draw.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * sample_standard_normal(rng)
+}
+
+/// Sample mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; 0 for slices shorter than 2.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn known_quantiles() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-4);
+        assert!((normal_quantile(0.0001) + 3.719016).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            assert!((normal_quantile(p) + normal_quantile(1.0 - p)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn z_values() {
+        assert!((z_for_confidence(0.95) - 1.959964).abs() < 1e-4);
+        assert!((z_for_confidence(0.99) - 2.575829).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn z_rejects_unit() {
+        z_for_confidence(1.0);
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| sample_normal(&mut rng, 3.0, 2.0))
+            .collect();
+        assert!((mean(&xs) - 3.0).abs() < 0.08, "mean {}", mean(&xs));
+        let var = sample_variance(&xs);
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn mean_variance_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(sample_variance(&[2.0, 4.0]), 2.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Sampling baselines (§6.1.1): the user supplies unbiased example missing
+//! rows; the estimator extrapolates a population total and wraps it in a
+//! confidence interval.
+//!
+//! Two interval families, as in the paper:
+//!
+//! * **Parametric (CLT)** — `N·x̄ ± z·N·s/√n`. Fails when the sample
+//!   variance under-estimates the spread (selective queries, skew).
+//! * **Non-parametric** — a Hoeffding-style interval whose width depends
+//!   on the *observed sample range* instead of the sample variance (the
+//!   milder-assumption bound of Hellerstein et al. \[12\]). Still fails when
+//!   the sample misses extremal values, which is the paper's central
+//!   observation about why hard bounds need PCs.
+
+use crate::math;
+use pc_storage::{AggKind, AggQuery, Table};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A point estimate with an interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Interval lower end.
+    pub lo: f64,
+    /// Interval upper end.
+    pub hi: f64,
+    /// The point estimate.
+    pub point: f64,
+}
+
+impl Estimate {
+    /// True if `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo - 1e-9 <= v && v <= self.hi + 1e-9
+    }
+}
+
+/// Confidence interval scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ci {
+    /// Central-limit-theorem interval at the given confidence level
+    /// (e.g. `0.99`).
+    Parametric(f64),
+    /// Range-based Hoeffding interval at the given confidence level.
+    NonParametric(f64),
+}
+
+/// Per-row contribution of a query: `v` for SUM, `1` for COUNT — zero when
+/// the row misses the predicate. Population totals are `N × mean`.
+fn contribution(table: &Table, row: usize, query: &AggQuery, enc: &mut [f64]) -> f64 {
+    table.encode_row_into(row, enc);
+    if !query.predicate.eval(enc) {
+        return 0.0;
+    }
+    match query.agg {
+        AggKind::Count => 1.0,
+        AggKind::Sum => enc[query.attr],
+        other => panic!("sampling estimator supports COUNT and SUM, not {other:?}"),
+    }
+}
+
+fn interval_from_contributions(contributions: &[f64], population: u64, ci: Ci) -> Estimate {
+    let n = contributions.len().max(1) as f64;
+    let npop = population as f64;
+    let m = math::mean(contributions);
+    let point = npop * m;
+    let half = match ci {
+        Ci::Parametric(conf) => {
+            let sd = math::sample_variance(contributions).sqrt();
+            math::z_for_confidence(conf) * npop * sd / n.sqrt()
+        }
+        Ci::NonParametric(_conf) => {
+            // Hoeffding with the *estimated* range: the failure probability
+            // 2·exp(−2nε²/R²) = 1 − conf gives ε = R·√(ln(2/(1−conf))/2n).
+            let lo = contributions.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = contributions
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            let range = if contributions.is_empty() {
+                0.0
+            } else {
+                hi - lo
+            };
+            let delta = 1.0 - confidence_of(ci);
+            npop * range * ((2.0 / delta).ln() / (2.0 * n)).sqrt()
+        }
+    };
+    Estimate {
+        lo: point - half,
+        hi: point + half,
+        point,
+    }
+}
+
+fn confidence_of(ci: Ci) -> f64 {
+    match ci {
+        Ci::Parametric(c) | Ci::NonParametric(c) => c,
+    }
+}
+
+/// A uniform random sample of the missing rows, plus the known population
+/// size (the paper's setting assumes the number of missing rows is known;
+/// mis-specifying it is studied separately via noise injection).
+#[derive(Debug, Clone)]
+pub struct UniformSample {
+    sample: Table,
+    population: u64,
+}
+
+impl UniformSample {
+    /// Draw `n` rows uniformly without replacement (all rows if
+    /// `n ≥ len`).
+    pub fn draw<R: Rng + ?Sized>(missing: &Table, n: usize, rng: &mut R) -> Self {
+        let mut idx: Vec<usize> = (0..missing.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n.min(missing.len()));
+        UniformSample {
+            sample: missing.select(&idx),
+            population: missing.len() as u64,
+        }
+    }
+
+    /// Build from an explicit sample table and population size.
+    pub fn from_parts(sample: Table, population: u64) -> Self {
+        UniformSample { sample, population }
+    }
+
+    /// Draw from `pool` but extrapolate to an externally-known
+    /// `population` (used when the pool itself is biased/truncated — the
+    /// estimator believes it sampled the full missing partition).
+    pub fn draw_with_population<R: Rng + ?Sized>(
+        pool: &Table,
+        n: usize,
+        population: u64,
+        rng: &mut R,
+    ) -> Self {
+        let mut s = UniformSample::draw(pool, n, rng);
+        s.population = population;
+        s
+    }
+
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// Estimate a COUNT or SUM query over the full missing partition.
+    pub fn estimate(&self, query: &AggQuery, ci: Ci) -> Estimate {
+        let mut enc = vec![0.0; self.sample.schema().width()];
+        let contributions: Vec<f64> = (0..self.sample.len())
+            .map(|r| contribution(&self.sample, r, query, &mut enc))
+            .collect();
+        interval_from_contributions(&contributions, self.population, ci)
+    }
+}
+
+/// A stratified sample: strata defined by row-partition of the missing
+/// table (the experiments stratify by the same grid the PCs use), sampled
+/// proportionally.
+#[derive(Debug, Clone)]
+pub struct StratifiedSample {
+    strata: Vec<(Table, u64)>,
+}
+
+impl StratifiedSample {
+    /// Draw ~`n` total rows allocated proportionally to stratum sizes.
+    /// Each non-empty stratum receives at least two rows (when it has
+    /// them): a single observation gives a zero-width non-parametric
+    /// range, which degenerates into guaranteed failures.
+    pub fn draw<R: Rng + ?Sized>(
+        missing: &Table,
+        strata_rows: &[Vec<usize>],
+        n: usize,
+        rng: &mut R,
+    ) -> Self {
+        let total: usize = strata_rows.iter().map(Vec::len).sum();
+        let mut strata = Vec::new();
+        for rows in strata_rows {
+            if rows.is_empty() {
+                continue;
+            }
+            let share = ((n * rows.len()) as f64 / total.max(1) as f64).round() as usize;
+            let take = share.max(2).min(rows.len());
+            let mut idx = rows.clone();
+            idx.shuffle(rng);
+            idx.truncate(take);
+            strata.push((missing.select(&idx), rows.len() as u64));
+        }
+        StratifiedSample { strata }
+    }
+
+    /// Total sampled rows across strata.
+    pub fn len(&self) -> usize {
+        self.strata.iter().map(|(t, _)| t.len()).sum()
+    }
+
+    /// True if no rows were sampled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimate a COUNT or SUM query: per-stratum totals summed, interval
+    /// half-widths combined in quadrature (parametric) or summed
+    /// (non-parametric — ranges do not cancel).
+    pub fn estimate(&self, query: &AggQuery, ci: Ci) -> Estimate {
+        let mut point = 0.0;
+        let mut var_sum = 0.0;
+        let mut half_sum = 0.0;
+        for (sample, pop) in &self.strata {
+            let mut enc = vec![0.0; sample.schema().width()];
+            let contributions: Vec<f64> = (0..sample.len())
+                .map(|r| contribution(sample, r, query, &mut enc))
+                .collect();
+            let est = interval_from_contributions(&contributions, *pop, ci);
+            point += est.point;
+            let half = (est.hi - est.lo) / 2.0;
+            var_sum += half * half;
+            half_sum += half;
+        }
+        let half = match ci {
+            Ci::Parametric(_) => var_sum.sqrt(),
+            Ci::NonParametric(_) => half_sum,
+        };
+        Estimate {
+            lo: point - half,
+            hi: point + half,
+            point,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, AttrType, Predicate, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(values: &[f64]) -> Table {
+        let schema = Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for (i, &v) in values.iter().enumerate() {
+            t.push_row(vec![Value::Int((i % 4) as i64), Value::Float(v)]);
+        }
+        t
+    }
+
+    #[test]
+    fn full_sample_estimates_exactly() {
+        let t = table(&[1.0, 2.0, 3.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = UniformSample::draw(&t, 4, &mut rng);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let est = s.estimate(&q, Ci::Parametric(0.95));
+        assert!((est.point - 10.0).abs() < 1e-9);
+        assert!(est.contains(10.0));
+    }
+
+    #[test]
+    fn count_estimate_with_predicate() {
+        let t = table(&[1.0; 100]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = UniformSample::draw(&t, 100, &mut rng);
+        // g = 0 matches 25 of 100 rows
+        let q = AggQuery::count(Predicate::atom(Atom::eq(0, 0.0)));
+        let est = s.estimate(&q, Ci::NonParametric(0.95));
+        assert!((est.point - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_sample_can_fail_on_skew() {
+        // one huge outlier; a tiny sample that misses it produces an
+        // interval excluding the truth — the paper's core observation
+        let mut values = vec![1.0; 999];
+        values.push(100_000.0);
+        let t = table(&values);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let truth = 999.0 + 100_000.0;
+        let mut failures = 0;
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = UniformSample::draw(&t, 20, &mut rng);
+            let est = s.estimate(&q, Ci::NonParametric(0.99));
+            if !est.contains(truth) {
+                failures += 1;
+            }
+        }
+        assert!(failures > 10, "only {failures}/20 failed");
+    }
+
+    #[test]
+    fn wider_confidence_widens_interval() {
+        let t = table(&[5.0, 1.0, 9.0, 2.0, 7.0, 3.0, 8.0, 4.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = UniformSample::draw(&t, 4, &mut rng);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let e90 = s.estimate(&q, Ci::Parametric(0.90));
+        let e99 = s.estimate(&q, Ci::Parametric(0.9999));
+        assert!(e99.hi - e99.lo > e90.hi - e90.lo);
+    }
+
+    #[test]
+    fn stratified_covers_all_strata() {
+        let t = table(&(0..80).map(f64::from).collect::<Vec<_>>());
+        let strata: Vec<Vec<usize>> = (0..4)
+            .map(|g| (0..80).filter(|r| r % 4 == g).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = StratifiedSample::draw(&t, &strata, 80, &mut rng);
+        assert_eq!(s.len(), 80);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let est = s.estimate(&q, Ci::Parametric(0.99));
+        let truth: f64 = (0..80).map(f64::from).sum();
+        assert!((est.point - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stratified_partial_sample_unbiasedish() {
+        let t = table(&(0..400).map(|i| f64::from(i % 10)).collect::<Vec<_>>());
+        let strata: Vec<Vec<usize>> = (0..4)
+            .map(|g| (0..400).filter(|r| r % 4 == g).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = StratifiedSample::draw(&t, &strata, 100, &mut rng);
+        let q = AggQuery::count(Predicate::always());
+        let est = s.estimate(&q, Ci::NonParametric(0.99));
+        assert!(
+            (est.point - 400.0).abs() < 1e-9,
+            "count extrapolates exactly"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "COUNT and SUM")]
+    fn avg_unsupported() {
+        let t = table(&[1.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = UniformSample::draw(&t, 2, &mut rng);
+        let q = AggQuery::new(AggKind::Avg, 1, Predicate::always());
+        s.estimate(&q, Ci::Parametric(0.9));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the statistical baselines: estimator
+//! identities at full sampling, interval monotonicity, and the
+//! conservative histogram's hard-bound contract.
+
+use pc_baselines::{Ci, EquiWidthHistogram, StratifiedSample, UniformSample};
+use pc_predicate::{Atom, AttrType, Predicate, Schema, Value};
+use pc_storage::{evaluate, AggKind, AggQuery, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn table_from(rows: &[(i64, i64)]) -> Table {
+    let schema = Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Int)]);
+    let mut t = Table::new(schema);
+    for &(g, v) in rows {
+        t.push_row(vec![Value::Int(g), Value::Int(v)]);
+    }
+    t
+}
+
+prop_compose! {
+    fn arb_rows()(rows in prop::collection::vec((0i64..5, 0i64..50), 1..40)) -> Vec<(i64, i64)> {
+        rows
+    }
+}
+
+prop_compose! {
+    fn arb_pred()(a in 0i64..5, b in 0i64..5) -> Predicate {
+        Predicate::atom(Atom::between(0, a.min(b) as f64, a.max(b) as f64))
+    }
+}
+
+proptest! {
+    #[test]
+    fn full_sample_is_exact(rows in arb_rows(), pred in arb_pred(), seed in 0u64..100) {
+        let t = table_from(&rows);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = UniformSample::draw(&t, t.len(), &mut rng);
+        for agg in [AggKind::Count, AggKind::Sum] {
+            let q = AggQuery::new(agg, 1, pred.clone());
+            let truth = evaluate(&t, &q).unwrap_or(0.0);
+            let est = sample.estimate(&q, Ci::Parametric(0.95));
+            prop_assert!((est.point - truth).abs() < 1e-9,
+                "{agg:?}: full sample must be exact, {} vs {truth}", est.point);
+            prop_assert!(est.contains(truth));
+        }
+    }
+
+    #[test]
+    fn intervals_widen_with_confidence(rows in arb_rows(), seed in 0u64..100) {
+        let t = table_from(&rows);
+        prop_assume!(t.len() >= 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = UniformSample::draw(&t, t.len() / 2, &mut rng);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let mut prev_width = -1.0;
+        for conf in [0.80, 0.90, 0.99, 0.9999] {
+            for ci in [Ci::Parametric(conf), Ci::NonParametric(conf)] {
+                let e = sample.estimate(&q, ci);
+                prop_assert!(e.hi >= e.lo);
+            }
+            let e = sample.estimate(&q, Ci::NonParametric(conf));
+            let width = e.hi - e.lo;
+            prop_assert!(width >= prev_width - 1e-9, "width must grow with confidence");
+            prev_width = width;
+        }
+    }
+
+    #[test]
+    fn stratified_point_matches_uniform_truth_at_full_draw(rows in arb_rows()) {
+        let t = table_from(&rows);
+        // strata by g value
+        let strata: Vec<Vec<usize>> = (0..5)
+            .map(|g| (0..t.len()).filter(|&r| t.encoded(r, 0) as i64 == g).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = StratifiedSample::draw(&t, &strata, t.len(), &mut rng);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let truth = evaluate(&t, &q).unwrap_or(0.0);
+        let est = s.estimate(&q, Ci::Parametric(0.99));
+        prop_assert!((est.point - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conservative_histogram_never_fails(rows in arb_rows(), pred in arb_pred(), buckets in 2usize..12) {
+        let t = table_from(&rows);
+        let h = EquiWidthHistogram::build(&t, buckets);
+        for agg in [AggKind::Count, AggKind::Sum] {
+            let q = AggQuery::new(agg, 1, pred.clone());
+            let truth = evaluate(&t, &q).unwrap_or(0.0);
+            let e = h.bound_conservative(&q);
+            prop_assert!(
+                e.lo - 1e-9 <= truth && truth <= e.hi + 1e-9,
+                "{agg:?}: hard bound failed, {truth} ∉ [{}, {}]", e.lo, e.hi
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_independent_is_exact_without_predicates(rows in arb_rows(), buckets in 2usize..12) {
+        let t = table_from(&rows);
+        let h = EquiWidthHistogram::build(&t, buckets);
+        let q = AggQuery::count(Predicate::always());
+        let truth = evaluate(&t, &q).unwrap_or(0.0);
+        let e = h.estimate_independent(&q);
+        prop_assert!((e.point - truth).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,42 @@
+//! Criterion bench for Fig 7: cell decomposition of heavily overlapping
+//! PC sets under the three strategies. The paper's claim is a >1000×
+//! reduction in satisfiability checks at n = 20; wall-clock tracks the
+//! check counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_bench::experiments::fig7::overlapping_set;
+use pc_bench::Scale;
+use pc_core::{decompose, Strategy};
+use pc_datagen::intel::{self, IntelConfig};
+use pc_predicate::Region;
+
+fn bench_decompose(c: &mut Criterion) {
+    let table = intel::generate(IntelConfig {
+        rows: 2_000,
+        ..IntelConfig::default()
+    });
+    let _ = Scale::quick();
+    let mut group = c.benchmark_group("fig7_decompose");
+    group.sample_size(10);
+    for n in [8usize, 12] {
+        let set = overlapping_set(&table, n, 7);
+        let base = Region::full(set.schema());
+        for (name, strategy) in [
+            ("naive", Strategy::Naive),
+            ("dfs", Strategy::Dfs),
+            ("dfs_rewrite", Strategy::DfsRewrite),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| decompose(&set, &base, strategy))
+            });
+        }
+        // early stopping for the approximate variant (Optimization 4)
+        group.bench_with_input(BenchmarkId::new("early_stop", n), &n, |b, _| {
+            b.iter(|| decompose(&set, &base, Strategy::EarlyStop { depth: n - 2 }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

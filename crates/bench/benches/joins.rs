@@ -1,0 +1,36 @@
+//! Criterion bench for the Fig 12 machinery: the fractional-edge-cover
+//! LP and the elastic-sensitivity formula across query shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_baselines::{elastic_chain_bound, elastic_triangle_bound};
+use pc_core::join::{fec_count_bound, fec_sum_bound, JoinSpec};
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_join_bounds");
+    let triangle = JoinSpec::triangle();
+    group.bench_function("fec_triangle", |b| {
+        b.iter(|| fec_count_bound(&triangle, &[1000.0, 1000.0, 1000.0]).expect("fec"))
+    });
+    for k in [3usize, 5, 8] {
+        let spec = JoinSpec::chain(k);
+        let counts = vec![1000.0; k];
+        group.bench_with_input(BenchmarkId::new("fec_chain", k), &spec, |b, spec| {
+            b.iter(|| fec_count_bound(spec, &counts).expect("fec"))
+        });
+    }
+    group.bench_function("fec_sum_triangle", |b| {
+        b.iter(|| fec_sum_bound(&triangle, 0, 5e5, &[1000.0, 1000.0, 1000.0]).expect("fec"))
+    });
+    group.bench_function("elastic_formulas", |b| {
+        b.iter(|| {
+            (
+                elastic_triangle_bound(1000.0, None),
+                elastic_chain_bound(1000.0, 5, None),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

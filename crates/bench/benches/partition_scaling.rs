@@ -1,0 +1,47 @@
+//! Criterion bench for Fig 8: per-query bounding time against disjoint
+//! (partitioned) PC sets of growing size — the greedy fast path. The
+//! paper reports ~50 ms at 2000 partitions and linear scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_core::{BoundEngine, BoundOptions};
+use pc_datagen::intel::{cols, IntelConfig};
+use pc_datagen::missing::remove_top_fraction;
+use pc_datagen::{intel, pcgen, QueryGenerator};
+use pc_storage::AggKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_partition(c: &mut Criterion) {
+    let table = intel::generate(IntelConfig {
+        rows: 20_000,
+        ..IntelConfig::default()
+    });
+    let (missing, _) = remove_top_fraction(&table, cols::LIGHT, 0.5);
+    let qg = QueryGenerator::from_table(&missing, &[cols::DEVICE, cols::EPOCH]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let queries = qg.gen_workload(AggKind::Sum, cols::LIGHT, 20, &mut rng);
+
+    let mut group = c.benchmark_group("fig8_partition_scaling");
+    group.sample_size(10);
+    for n in [50usize, 200, 500, 1000, 2000] {
+        let set = pcgen::corr_pc(&missing, &[cols::DEVICE, cols::EPOCH], n);
+        let engine = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                check_closure: false,
+                ..BoundOptions::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy_bound", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    let _ = engine.bound(q).expect("disjoint bounding");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments all [--full] [--csv DIR]
+//! experiments fig3 fig12 table2 [--quick]
+//! experiments list
+//! ```
+
+use pc_bench::experiments::*;
+use pc_bench::{ExpTable, Scale};
+use std::time::Instant;
+
+type Runner = fn(&Scale) -> ExpTable;
+
+const ALL: &[(&str, Runner)] = &[
+    ("fig1", fig1::run as Runner),
+    ("fig3", fig3::run),
+    ("fig4", fig4::run),
+    ("table1", table1::run),
+    ("fig5", fig5::run),
+    ("fig6", fig6::run),
+    ("fig7", fig7::run),
+    ("fig8", fig8::run),
+    ("fig9", fig9::run),
+    ("fig10", fig10::run),
+    ("fig11", fig11::run),
+    ("fig12", fig12::run),
+    ("table2", table2::run),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let picks: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| csv_dir.as_deref() != Some(a.as_str()))
+        .map(String::as_str)
+        .collect();
+
+    if picks.contains(&"list") {
+        for (id, _) in ALL {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let run_all = picks.is_empty() || picks.contains(&"all");
+
+    let mut ran = 0;
+    for (id, runner) in ALL {
+        if !run_all && !picks.contains(id) {
+            continue;
+        }
+        let start = Instant::now();
+        let table = runner(&scale);
+        let elapsed = start.elapsed();
+        println!("{}", table.render());
+        println!("[{} completed in {:.1}s]\n", id, elapsed.as_secs_f64());
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{id}.csv");
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            println!("[wrote {path}]\n");
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment(s): {picks:?}; try `experiments list`");
+        std::process::exit(1);
+    }
+}

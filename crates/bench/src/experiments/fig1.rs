@@ -1,0 +1,48 @@
+//! **Figure 1**: relative error of simple extrapolation as the fraction of
+//! (value-correlated) missing data grows. The motivating plot of §1 — by
+//! 50% missing, extrapolation is off by over half, silently.
+
+use super::{fmt, intel_missing};
+use crate::harness::Scale;
+use crate::ExpTable;
+use pc_baselines::extrapolate::{relative_error, simple_extrapolate};
+use pc_datagen::intel::cols;
+use pc_predicate::Predicate;
+use pc_storage::{evaluate, AggKind, AggQuery};
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> ExpTable {
+    let mut rows = Vec::new();
+    let q = AggQuery::new(AggKind::Sum, cols::LIGHT, Predicate::always());
+    for i in 1..=9 {
+        let r = f64::from(i) / 10.0;
+        let (missing, present) = intel_missing(scale, r);
+        let observed = evaluate(&present, &q).unwrap_or(0.0);
+        let truth = observed + evaluate(&missing, &q).unwrap_or(0.0);
+        let est = simple_extrapolate(observed, r);
+        rows.push(vec![fmt(r), fmt(relative_error(est, truth))]);
+    }
+    ExpTable {
+        id: "fig1",
+        title: "Simple extrapolation error vs fraction of correlated missing data",
+        header: vec!["missing_frac".into(), "relative_error".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_grows_with_missing_fraction() {
+        let t = run(&Scale::quick());
+        assert_eq!(t.rows.len(), 9);
+        let first: f64 = t.rows[0][1].parse().unwrap();
+        let last: f64 = t.rows[8][1].parse().unwrap();
+        assert!(
+            last > 2.0 * first,
+            "correlated missingness must hurt extrapolation increasingly: {first} → {last}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! **Figure 10**: the Airbnb-like dataset — skewed prices, lat/lon
+//! predicates. Informed PCs stay as tight as sampling bounds; random PCs
+//! are ~10× looser but still *bounds* ("PCs fail conservatively").
+
+use super::{airbnb_missing, fmt};
+use crate::harness::{workload, Method, Scale, Workbench};
+use crate::ExpTable;
+use pc_baselines::Ci;
+use pc_datagen::airbnb::cols;
+use pc_storage::AggKind;
+
+/// Shared driver for Figs 10 (Airbnb) and 11 (Border).
+pub fn run_dataset(
+    id: &'static str,
+    title: &'static str,
+    missing: pc_storage::Table,
+    pred_attrs: Vec<usize>,
+    agg_attr: usize,
+    scale: &Scale,
+) -> ExpTable {
+    let wb = Workbench::new(missing, pred_attrs, agg_attr, *scale, 1010, true);
+    let mut rows = Vec::new();
+    for agg in [AggKind::Count, AggKind::Sum] {
+        let queries = workload(
+            &wb.missing,
+            &wb.pred_attrs,
+            agg,
+            agg_attr,
+            scale.queries,
+            2000,
+        );
+        for method in [
+            Method::CorrPc,
+            Method::RandPc,
+            Method::Us {
+                mult: 10,
+                ci: Ci::NonParametric(0.9999),
+            },
+            Method::St {
+                mult: 10,
+                ci: Ci::NonParametric(0.9999),
+            },
+            Method::HistHard,
+        ] {
+            let s = wb.summarize_method(&method, &queries);
+            rows.push(vec![
+                agg.name().into(),
+                s.name.clone(),
+                format!("{:.2}", s.failure_pct()),
+                fmt(s.median_over),
+            ]);
+        }
+    }
+    ExpTable {
+        id,
+        title,
+        header: vec![
+            "agg".into(),
+            "method".into(),
+            "failure_pct".into(),
+            "median_over".into(),
+        ],
+        rows,
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> ExpTable {
+    let (missing, _) = airbnb_missing(scale, 0.3);
+    run_dataset(
+        "fig10",
+        "Airbnb-like: COUNT/SUM over-estimation by method (lat/lon predicates)",
+        missing,
+        vec![cols::LATITUDE, cols::LONGITUDE],
+        cols::PRICE,
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pcs_hold_and_rand_is_looser() {
+        let mut s = Scale::quick();
+        s.rows = 4000;
+        s.queries = 20;
+        s.n_pc = 100;
+        s.n_rand_pc = 30;
+        let t = run(&s);
+        for row in &t.rows {
+            if row[1].ends_with("PC") || row[1] == "Histogram" {
+                assert_eq!(row[2], "0.00", "{} {} must hold", row[0], row[1]);
+            }
+        }
+        let over = |agg: &str, m: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == agg && r[1] == m).unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        assert!(over("SUM", "Rand-PC") >= over("SUM", "Corr-PC"));
+    }
+}

@@ -1,0 +1,42 @@
+//! **Figure 4**: the Figure 3 protocol with SUM(light) queries — value
+//! skew makes sampling intervals fail more and PCs relatively tighter.
+
+use super::fig3::run_agg;
+use crate::harness::Scale;
+use crate::ExpTable;
+use pc_storage::AggKind;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> ExpTable {
+    ExpTable {
+        id: "fig4",
+        title: "SUM(light) failure rate / median over-estimation vs missing fraction (Intel)",
+        header: vec![
+            "missing_frac".into(),
+            "method".into(),
+            "failure_pct".into(),
+            "median_over".into(),
+        ],
+        rows: run_agg(scale, AggKind::Sum),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_rows_present_and_sound() {
+        let mut s = Scale::quick();
+        s.queries = 20;
+        s.rows = 4000;
+        let t = run(&s);
+        let corr_rows: Vec<_> = t.rows.iter().filter(|r| r[1] == "Corr-PC").collect();
+        assert_eq!(corr_rows.len(), 5, "one row per missing fraction");
+        for row in corr_rows {
+            assert_eq!(row[2], "0.00");
+            let over: f64 = row[3].parse().unwrap();
+            assert!(over >= 1.0, "upper bound must cover the truth");
+        }
+    }
+}

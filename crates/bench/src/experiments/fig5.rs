@@ -1,0 +1,86 @@
+//! **Figure 5**: how much more data does sampling need? Uniform samples of
+//! 1×, 2×, 5×, 10× the PC budget, median over-estimation for COUNT and
+//! SUM. The paper's finding: ~10× the data crosses over with a
+//! well-designed PC.
+
+use super::{fmt, intel_missing};
+use crate::harness::{workload, Method, Scale, Workbench};
+use crate::ExpTable;
+use pc_baselines::Ci;
+use pc_datagen::intel::cols;
+use pc_storage::AggKind;
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> ExpTable {
+    let (missing, _) = intel_missing(scale, 0.5);
+    let wb = Workbench::new(
+        missing,
+        vec![cols::DEVICE, cols::EPOCH],
+        cols::LIGHT,
+        *scale,
+        55,
+        false,
+    );
+    let mut rows = Vec::new();
+    for agg in [AggKind::Count, AggKind::Sum] {
+        let queries = workload(
+            &wb.missing,
+            &wb.pred_attrs,
+            agg,
+            cols::LIGHT,
+            scale.queries,
+            300,
+        );
+        for mult in [1usize, 2, 5, 10] {
+            let s = wb.summarize_method(
+                &Method::Us {
+                    mult,
+                    ci: Ci::NonParametric(0.9999),
+                },
+                &queries,
+            );
+            rows.push(vec![
+                agg.name().into(),
+                format!("US-{mult}N"),
+                fmt(s.median_over),
+            ]);
+        }
+        let pc = wb.summarize_method(&Method::CorrPc, &queries);
+        rows.push(vec![
+            agg.name().into(),
+            "Corr-PC".into(),
+            fmt(pc.median_over),
+        ]);
+    }
+    ExpTable {
+        id: "fig5",
+        title: "Uniform-sampling over-estimation vs sample size (vs Corr-PC)",
+        header: vec!["agg".into(), "method".into(), "median_over".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_samples_converge() {
+        let mut s = Scale::quick();
+        s.queries = 30;
+        s.rows = 4000;
+        let t = run(&s);
+        // per aggregate: US-1N should be looser than US-10N
+        for agg in ["COUNT", "SUM"] {
+            let grab = |m: &str| -> f64 {
+                t.rows.iter().find(|r| r[0] == agg && r[1] == m).unwrap()[2]
+                    .parse()
+                    .unwrap()
+            };
+            assert!(
+                grab("US-1N") >= grab("US-10N") * 0.95,
+                "{agg}: more data should not widen intervals"
+            );
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! **Figure 6**: robustness to mis-specified information. For the PC
+//! methods, Gaussian noise of 0–3 "standard deviations" corrupts the
+//! value-range endpoints; for the sampling baseline, the sample is drawn
+//! from a pool missing the top tail (a mis-estimated spread, §6.3.2).
+//!
+//! The paper's qualitative finding reproduced here: the sampling interval
+//! degrades fastest under spread mis-estimation, while PC bounds absorb
+//! endpoint noise (overlapping constraints additionally clamp each other
+//! via the most-restrictive rule). The noise *calibration* is
+//! under-specified in the paper and our synthetic cells carry more slack
+//! than the real Intel data, so the PC failure onset sits at larger noise
+//! than the paper's — see EXPERIMENTS.md.
+
+use super::intel_missing;
+use crate::harness::{summarize, workload, Scale};
+use crate::ExpTable;
+use pc_baselines::{Ci, UniformSample};
+use pc_core::{BoundEngine, BoundError, BoundOptions, PcSet};
+use pc_datagen::intel::cols;
+use pc_datagen::pcgen;
+use pc_predicate::AttrType;
+use pc_storage::{evaluate, AggKind, AggQuery, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pc_results(set: &PcSet, queries: &[AggQuery], missing: &Table) -> Vec<(f64, f64, f64)> {
+    let engine = BoundEngine::with_options(
+        set,
+        BoundOptions {
+            check_closure: false,
+            ..BoundOptions::default()
+        },
+    );
+    queries
+        .iter()
+        .map(|q| {
+            let truth = evaluate(missing, q).unwrap_or(0.0);
+            match engine.bound(q) {
+                Ok(r) => (r.range.lo, r.range.hi, truth),
+                Err(BoundError::EmptyAggregate) => (0.0, 0.0, truth),
+                // noise can force a count into a value-impossible cell;
+                // the constraints are then detectably contradictory and no
+                // interval exists — score it as a failure (empty interval)
+                Err(BoundError::Infeasible) => (f64::INFINITY, f64::NEG_INFINITY, truth),
+                Err(e) => panic!("bounding failed: {e}"),
+            }
+        })
+        .collect()
+}
+
+/// The sampling-side corruption: a sampling pool that misses the top
+/// `10%·k` of the aggregate attribute. A sample that never sees the
+/// extremes under-estimates the spread — "functionally equivalent to an
+/// inaccurate PC" (§6.3.2) — and its range-based interval fails on
+/// queries whose mass sits in the tail.
+fn truncated_pool(table: &Table, attr: usize, level: u32) -> Table {
+    debug_assert_eq!(table.schema().attr_type(attr), AttrType::Float);
+    if level == 0 {
+        return table.clone();
+    }
+    let mut values: Vec<f64> = (0..table.len()).map(|r| table.encoded(r, attr)).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let keep = 1.0 - 0.1 * f64::from(level);
+    let cut = values[(((values.len() - 1) as f64) * keep) as usize];
+    let rows: Vec<usize> = (0..table.len())
+        .filter(|&r| table.encoded(r, attr) <= cut)
+        .collect();
+    table.select(&rows)
+}
+
+/// Run the experiment.
+pub fn run(scale: &Scale) -> ExpTable {
+    let (missing, _) = intel_missing(scale, 0.5);
+    let attrs = [cols::DEVICE, cols::EPOCH];
+    let queries = workload(
+        &missing,
+        &attrs,
+        AggKind::Sum,
+        cols::LIGHT,
+        scale.queries,
+        400,
+    );
+    let corr = pcgen::corr_pc(&missing, &attrs, scale.n_pc);
+    // the paper's Overlapping-PC is a small set (10) of overlapping
+    // constraints; widened grid cells overlap their neighbours
+    let overlapping = pcgen::overlapping_pc(&missing, &[cols::EPOCH], 10, 1.0);
+
+    // Absolute Gaussian noise on the aggregate attribute's range
+    // endpoints, normalized by the constraint count: the failure
+    // probability is governed by noise-vs-slack where slack grows with
+    // √cells for query-spanning bounds, so σ ∝ √(n_pc/2000) keeps the
+    // quick and full workloads on the same failure curve as the paper's
+    // 2000-constraint setup.
+    let sigma_scale = (scale.n_pc as f64 / 2000.0).sqrt();
+    let light_sd = pcgen::attr_sigmas(&missing)[cols::LIGHT];
+    const DRAWS: u64 = 5;
+    let mut rows = Vec::new();
+    for level in 0..=3u32 {
+        let k = f64::from(level);
+        let mut sigmas = vec![0.0; missing.schema().width()];
+        sigmas[cols::LIGHT] = k * light_sd * sigma_scale;
+        let mut corr_fail = 0.0;
+        let mut overlap_fail = 0.0;
+        let mut us_fail = 0.0;
+        for draw in 0..DRAWS {
+            let mut rng = StdRng::seed_from_u64(900 + u64::from(level) * 31 + draw);
+
+            let noisy_corr = pcgen::perturb_values(&corr, &sigmas, &mut rng);
+            corr_fail += summarize("", &pc_results(&noisy_corr, &queries, &missing)).failure_pct();
+
+            let noisy_overlap = pcgen::perturb_values(&overlapping, &sigmas, &mut rng);
+            overlap_fail +=
+                summarize("", &pc_results(&noisy_overlap, &queries, &missing)).failure_pct();
+
+            // US-10n drawing from a pool that misses the top tail — the
+            // sample's estimated spread under-covers the true extremes
+            let pool = truncated_pool(&missing, cols::LIGHT, level);
+            let sample = UniformSample::draw_with_population(
+                &pool,
+                10 * scale.n_pc,
+                missing.len() as u64,
+                &mut rng,
+            );
+            let results: Vec<(f64, f64, f64)> = queries
+                .iter()
+                .map(|q| {
+                    let e = sample.estimate(q, Ci::NonParametric(0.99));
+                    let truth = evaluate(&missing, q).unwrap_or(0.0);
+                    (e.lo, e.hi, truth)
+                })
+                .collect();
+            us_fail += summarize("", &results).failure_pct();
+        }
+        let d = DRAWS as f64;
+        for (name, total) in [
+            ("Corr-PC", corr_fail),
+            ("Overlapping-PC", overlap_fail),
+            ("US-10n", us_fail),
+        ] {
+            rows.push(vec![
+                level.to_string(),
+                name.into(),
+                format!("{:.1}", total / d),
+            ]);
+        }
+    }
+    ExpTable {
+        id: "fig6",
+        title: "Failure rate under 0-3 SD noise in constraints / sample values (SUM, Intel)",
+        header: vec!["noise_sd".into(), "method".into(), "failure_pct".into()],
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_noise_no_pc_failures_and_noise_hurts() {
+        let mut s = Scale::quick();
+        s.queries = 25;
+        s.rows = 4000;
+        s.n_pc = 64;
+        let t = run(&s);
+        // level 0: PCs cannot fail
+        for row in t.rows.iter().filter(|r| r[0] == "0") {
+            if row[1].contains("PC") {
+                assert_eq!(row[2], "0.0", "{} must not fail without noise", row[1]);
+            }
+        }
+        // shape: 4 levels × 3 methods, all failure rates valid percentages.
+        // (Whether the corruption *bites* is scale-dependent: at this tiny
+        // test scale the small-sample interval is wide enough to absorb
+        // the truncated pool — the full-scale run in EXPERIMENTS.md shows
+        // US-10n failing 25→59%.)
+        assert_eq!(t.rows.len(), 12);
+        for row in &t.rows {
+            let pct: f64 = row[2].parse().unwrap();
+            assert!((0.0..=100.0).contains(&pct), "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Shared evaluation plumbing: the §6.1 protocol.
+//!
+//! Every framework summarizes the *actual* missing partition with a
+//! comparable information budget (`n` PCs ↔ `n` sample rows ↔ `n` histogram
+//! buckets), then answers a workload of random aggregate queries about the
+//! missing rows. We record, per method: the **failure rate** (how often the
+//! truth escapes the interval) and the **median over-estimation rate**
+//! (`upper / truth`, closer to 1 is tighter — only meaningful while
+//! failures are rare).
+
+use pc_baselines::{
+    Ci, EquiWidthHistogram, Estimate, GaussianMixture, StratifiedSample, UniformSample,
+};
+use pc_core::{BoundEngine, BoundError, BoundOptions, PcSet};
+use pc_datagen::pcgen;
+use pc_storage::{evaluate, AggKind, AggQuery, AggResult, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workload scale knobs. `quick()` keeps the full pipeline honest in CI;
+/// `full()` approaches the paper's workload sizes (scaled to the synthetic
+/// data and the from-scratch solvers — see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Rows in each generated dataset.
+    pub rows: usize,
+    /// Queries per workload.
+    pub queries: usize,
+    /// Predicate constraints for Corr-PC (and sample rows at 1×).
+    pub n_pc: usize,
+    /// Predicate constraints for Rand-PC (kept smaller: overlapping sets
+    /// decompose super-linearly).
+    pub n_rand_pc: usize,
+    /// GMM repetitions.
+    pub gmm_reps: usize,
+}
+
+impl Scale {
+    /// CI-friendly sizes (seconds, not minutes).
+    pub fn quick() -> Self {
+        Scale {
+            rows: 8_000,
+            queries: 60,
+            n_pc: 100,
+            n_rand_pc: 40,
+            gmm_reps: 5,
+        }
+    }
+
+    /// Paper-shaped sizes.
+    pub fn full() -> Self {
+        Scale {
+            rows: 60_000,
+            queries: 1000,
+            n_pc: 2000,
+            n_rand_pc: 100,
+            gmm_reps: 10,
+        }
+    }
+}
+
+/// Per-method workload outcome.
+#[derive(Debug, Clone)]
+pub struct MethodSummary {
+    /// Method display name (paper notation: Corr-PC, US-1n, ST-10p, …).
+    pub name: String,
+    /// Queries whose true value escaped the interval.
+    pub failures: usize,
+    /// Total queries evaluated.
+    pub total: usize,
+    /// Median of `upper / truth` over queries with positive truth.
+    pub median_over: f64,
+}
+
+impl MethodSummary {
+    /// Failure rate in percent.
+    pub fn failure_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.failures as f64 / self.total as f64
+        }
+    }
+}
+
+/// Median of a slice (0 if empty).
+pub fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metrics"));
+    xs[xs.len() / 2]
+}
+
+/// Summarize `(lo, hi)` intervals against truths.
+pub fn summarize(name: &str, results: &[(f64, f64, f64)]) -> MethodSummary {
+    let mut failures = 0;
+    let mut overs = Vec::new();
+    for &(lo, hi, truth) in results {
+        if truth < lo - 1e-6 || truth > hi + 1e-6 {
+            failures += 1;
+        }
+        if truth > 0.0 && hi.is_finite() {
+            overs.push(hi / truth);
+        }
+    }
+    MethodSummary {
+        name: name.to_string(),
+        failures,
+        total: results.len(),
+        median_over: median(&mut overs),
+    }
+}
+
+/// The estimators compared across the accuracy experiments.
+pub enum Method {
+    /// Corr-PC: equi-cardinality grid PCs on the correlated attributes.
+    CorrPc,
+    /// Rand-PC: random overlapping PCs plus a coarse cover.
+    RandPc,
+    /// Uniform sampling at `mult × n_pc` rows with the given CI scheme.
+    Us {
+        /// Sample size multiplier (1 → `n_pc` rows).
+        mult: usize,
+        /// Interval scheme.
+        ci: Ci,
+    },
+    /// Stratified sampling over the Corr-PC grid cells.
+    St {
+        /// Sample size multiplier.
+        mult: usize,
+        /// Interval scheme.
+        ci: Ci,
+    },
+    /// Histogram, conservative hard-bound mode.
+    HistHard,
+    /// Histogram, independence-assumption mode (Table 2's "Hist").
+    HistInd,
+    /// Gaussian-mixture generative model.
+    Gmm,
+}
+
+impl Method {
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match self {
+            Method::CorrPc => "Corr-PC".into(),
+            Method::RandPc => "Rand-PC".into(),
+            Method::Us { mult, ci } => format!("US-{mult}{}", ci_suffix(ci)),
+            Method::St { mult, ci } => format!("ST-{mult}{}", ci_suffix(ci)),
+            Method::HistHard => "Histogram".into(),
+            Method::HistInd => "Hist".into(),
+            Method::Gmm => "Gen".into(),
+        }
+    }
+}
+
+fn ci_suffix(ci: &Ci) -> &'static str {
+    match ci {
+        Ci::Parametric(_) => "p",
+        Ci::NonParametric(_) => "n",
+    }
+}
+
+/// A fully prepared evaluation context for one missing partition.
+pub struct Workbench {
+    /// The missing partition `R?` every method summarizes and is scored
+    /// against.
+    pub missing: Table,
+    /// Attributes used for partitioning/predicates.
+    pub pred_attrs: Vec<usize>,
+    /// The aggregated attribute.
+    pub agg_attr: usize,
+    corr_set: PcSet,
+    rand_set: Option<PcSet>,
+    strata: Vec<Vec<usize>>,
+    scale: Scale,
+    seed: u64,
+}
+
+impl Workbench {
+    /// Prepare PC sets and strata for a missing partition.
+    pub fn new(
+        missing: Table,
+        pred_attrs: Vec<usize>,
+        agg_attr: usize,
+        scale: Scale,
+        seed: u64,
+        with_rand_pc: bool,
+    ) -> Self {
+        let corr_set = pcgen::corr_pc(&missing, &pred_attrs, scale.n_pc);
+        let strata = pcgen::corr_partition(&missing, &pred_attrs, scale.n_pc);
+        let rand_set = with_rand_pc.then(|| {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            pcgen::rand_pc(&missing, &pred_attrs, scale.n_rand_pc, &mut rng)
+        });
+        Workbench {
+            missing,
+            pred_attrs,
+            agg_attr,
+            corr_set,
+            rand_set,
+            strata,
+            scale,
+            seed,
+        }
+    }
+
+    /// The prepared Corr-PC set.
+    pub fn corr_set(&self) -> &PcSet {
+        &self.corr_set
+    }
+
+    /// Evaluate a workload under one method, producing
+    /// `(lo, hi, truth)` triples.
+    pub fn run(&self, method: &Method, queries: &[AggQuery]) -> Vec<(f64, f64, f64)> {
+        let truths: Vec<f64> = queries
+            .iter()
+            .map(|q| evaluate(&self.missing, q).unwrap_or(0.0))
+            .collect();
+        let intervals: Vec<(f64, f64)> = match method {
+            Method::CorrPc => self.run_pc(&self.corr_set, queries),
+            Method::RandPc => {
+                let set = self
+                    .rand_set
+                    .as_ref()
+                    .expect("workbench built without Rand-PC");
+                self.run_pc(set, queries)
+            }
+            Method::Us { mult, ci } => {
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0x05a1);
+                let sample = UniformSample::draw(&self.missing, mult * self.scale.n_pc, &mut rng);
+                queries
+                    .iter()
+                    .map(|q| est_pair(sample.estimate(q, *ci)))
+                    .collect()
+            }
+            Method::St { mult, ci } => {
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0x57a7);
+                let sample = StratifiedSample::draw(
+                    &self.missing,
+                    &self.strata,
+                    mult * self.scale.n_pc,
+                    &mut rng,
+                );
+                queries
+                    .iter()
+                    .map(|q| est_pair(sample.estimate(q, *ci)))
+                    .collect()
+            }
+            Method::HistHard | Method::HistInd => {
+                let buckets = (self.scale.n_pc / self.missing.schema().width().max(1)).max(8);
+                let hist = EquiWidthHistogram::build(&self.missing, buckets);
+                queries
+                    .iter()
+                    .map(|q| {
+                        let e = match method {
+                            Method::HistHard => hist.bound_conservative(q),
+                            _ => hist.estimate_independent(q),
+                        };
+                        est_pair(e)
+                    })
+                    .collect()
+            }
+            Method::Gmm => {
+                let model = GaussianMixture::fit(&self.missing, 5, 25);
+                let mut rng = StdRng::seed_from_u64(self.seed ^ 0x6e6e);
+                // pre-generate the synthetic instances once; each query is
+                // then evaluated against every instance
+                let instances: Vec<Table> = (0..self.scale.gmm_reps)
+                    .map(|_| model.sample_table(&self.missing, self.missing.len(), &mut rng))
+                    .collect();
+                queries
+                    .iter()
+                    .map(|q| {
+                        let mut lo = f64::INFINITY;
+                        let mut hi = f64::NEG_INFINITY;
+                        for inst in &instances {
+                            let v = evaluate(inst, q).unwrap_or(0.0);
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                        (lo, hi)
+                    })
+                    .collect()
+            }
+        };
+        intervals
+            .into_iter()
+            .zip(truths)
+            .map(|((lo, hi), t)| (lo, hi, t))
+            .collect()
+    }
+
+    /// PC bounding with error tolerance: `EmptyAggregate` means the
+    /// constraints prove no row matches → the interval is `[0, 0]` for
+    /// COUNT/SUM-style workloads.
+    fn run_pc(&self, set: &PcSet, queries: &[AggQuery]) -> Vec<(f64, f64)> {
+        let engine = BoundEngine::with_options(
+            set,
+            BoundOptions {
+                check_closure: false, // generated sets are closed by construction
+                ..BoundOptions::default()
+            },
+        );
+        queries
+            .iter()
+            .map(|q| match engine.bound(q) {
+                Ok(report) => (report.range.lo, report.range.hi),
+                Err(BoundError::EmptyAggregate) => (0.0, 0.0),
+                Err(e) => panic!("PC bounding failed on generated constraints: {e}"),
+            })
+            .collect()
+    }
+
+    /// Run + summarize in one go.
+    pub fn summarize_method(&self, method: &Method, queries: &[AggQuery]) -> MethodSummary {
+        summarize(&method.name(), &self.run(method, queries))
+    }
+}
+
+fn est_pair(e: Estimate) -> (f64, f64) {
+    (e.lo, e.hi)
+}
+
+/// Evaluate a COUNT or SUM truth over a table, unwrapping empties to 0.
+pub fn truth_of(table: &Table, q: &AggQuery) -> f64 {
+    match evaluate(table, q) {
+        AggResult::Value(v) => v,
+        AggResult::Empty => 0.0,
+    }
+}
+
+/// The standard workload: `n` random queries of one aggregate kind over
+/// the missing partition's predicate attributes.
+pub fn workload(
+    missing: &Table,
+    pred_attrs: &[usize],
+    agg: AggKind,
+    agg_attr: usize,
+    n: usize,
+    seed: u64,
+) -> Vec<AggQuery> {
+    let qg = pc_datagen::QueryGenerator::from_table(missing, pred_attrs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    qg.gen_workload(agg, agg_attr, n, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_datagen::intel::{self, cols, IntelConfig};
+    use pc_datagen::missing::remove_top_fraction;
+
+    fn bench() -> Workbench {
+        let t = intel::generate(IntelConfig {
+            rows: 4_000,
+            seed: 31,
+            ..IntelConfig::default()
+        });
+        let (missing, _) = remove_top_fraction(&t, cols::LIGHT, 0.3);
+        Workbench::new(
+            missing,
+            vec![cols::DEVICE, cols::EPOCH],
+            cols::LIGHT,
+            Scale {
+                rows: 4_000,
+                queries: 20,
+                n_pc: 64,
+                n_rand_pc: 24,
+                gmm_reps: 3,
+            },
+            9,
+            true,
+        )
+    }
+
+    #[test]
+    fn corr_pc_never_fails_and_is_tight() {
+        let wb = bench();
+        let queries = workload(
+            &wb.missing,
+            &wb.pred_attrs,
+            AggKind::Count,
+            cols::LIGHT,
+            20,
+            5,
+        );
+        let s = wb.summarize_method(&Method::CorrPc, &queries);
+        assert_eq!(s.failures, 0, "hard bounds cannot fail");
+        assert!(
+            s.median_over >= 1.0 && s.median_over < 4.0,
+            "{}",
+            s.median_over
+        );
+    }
+
+    #[test]
+    fn rand_pc_never_fails_but_looser() {
+        let wb = bench();
+        let queries = workload(
+            &wb.missing,
+            &wb.pred_attrs,
+            AggKind::Sum,
+            cols::LIGHT,
+            10,
+            6,
+        );
+        let corr = wb.summarize_method(&Method::CorrPc, &queries);
+        let rand = wb.summarize_method(&Method::RandPc, &queries);
+        assert_eq!(rand.failures, 0);
+        assert!(
+            rand.median_over >= corr.median_over * 0.9,
+            "random PCs should not beat informed ones: {} vs {}",
+            rand.median_over,
+            corr.median_over
+        );
+    }
+
+    #[test]
+    fn all_methods_produce_summaries() {
+        let wb = bench();
+        let queries = workload(&wb.missing, &wb.pred_attrs, AggKind::Sum, cols::LIGHT, 8, 7);
+        for m in [
+            Method::CorrPc,
+            Method::Us {
+                mult: 1,
+                ci: Ci::NonParametric(0.9999),
+            },
+            Method::St {
+                mult: 1,
+                ci: Ci::NonParametric(0.9999),
+            },
+            Method::HistHard,
+            Method::HistInd,
+            Method::Gmm,
+        ] {
+            let s = wb.summarize_method(&m, &queries);
+            assert_eq!(s.total, 8, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn summarize_counts_failures() {
+        let s = summarize("x", &[(0.0, 10.0, 5.0), (0.0, 1.0, 5.0), (4.0, 6.0, 5.0)]);
+        assert_eq!(s.failures, 1);
+        assert_eq!(s.total, 3);
+        assert!((s.failure_pct() - 33.333).abs() < 0.01);
+    }
+}

@@ -1,0 +1,115 @@
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§6), regenerating the same rows/series on the synthetic
+//! dataset twins.
+//!
+//! Run everything with the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p pc-bench --bin experiments -- all
+//! cargo run --release -p pc-bench --bin experiments -- fig3 fig4 --full
+//! ```
+//!
+//! Each experiment returns an [`ExpTable`] that the binary pretty-prints
+//! and (optionally) writes as CSV. Absolute numbers differ from the paper
+//! (different hardware, synthetic data, scaled workloads — see
+//! EXPERIMENTS.md), but the qualitative shape — who wins, by roughly what
+//! factor, where crossovers fall — is the reproduction target.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{MethodSummary, Scale};
+
+/// A rendered experiment result: a titled table of string cells.
+#[derive(Debug, Clone)]
+pub struct ExpTable {
+    /// Experiment id, e.g. `fig3`.
+    pub id: &'static str,
+    /// Human title, e.g. `Figure 3: COUNT failure/over-estimation vs missing fraction`.
+    pub title: &'static str,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExpTable {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (cells containing commas or quotes are quoted).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String]| cells.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",");
+        out.push_str(&render(&self.header));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let t = ExpTable {
+            id: "figX",
+            title: "demo",
+            header: vec!["a".into(), "method".into()],
+            rows: vec![
+                vec!["1".into(), "Corr-PC".into()],
+                vec!["10".into(), "US".into()],
+            ],
+        };
+        let s = t.render();
+        assert!(s.contains("figX"));
+        assert!(s.lines().count() >= 4);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "a,method");
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

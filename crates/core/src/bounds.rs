@@ -1,0 +1,945 @@
+//! The bounding engine (§4): from a [`PcSet`] and an aggregate query to a
+//! deterministic result range.
+//!
+//! Pipeline: decompose the constraints into satisfiable cells inside the
+//! query region (Optimization 1 pushdown included), derive per-cell value
+//! bounds (`Uᵢ`/`Lᵢ` — the most restrictive of the active constraints'
+//! value ranges, the cell box, and the query), then allocate rows to cells
+//! with the MILP of §4.2 — or the greedy per-variable optimum when the set
+//! is disjoint (the "Faster Algorithm in Special Cases").
+//!
+//! Soundness details the paper leaves implicit, made explicit here:
+//!
+//! * **Frequency lower bounds under pushdown.** Restricting attention to
+//!   cells inside the query keeps every `≤ ku` constraint valid, but a
+//!   `≥ kl` constraint may be satisfied by rows *outside* the query; `kl`
+//!   is therefore only enforced when the constraint's entire allowed
+//!   region lies inside the query region, and relaxed to 0 otherwise.
+//! * **Closure.** If some point of the query region is covered by no
+//!   predicate, missing rows may exist there in unbounded number with
+//!   unbounded values, and the affected side(s) of the range become
+//!   infinite. [`BoundReport::closed`] records this.
+//! * **Value-infeasible cells.** A cell whose combined value ranges are
+//!   empty can hold no rows; its allocation is pinned to zero (a
+//!   tightening the MILP exploits, and the source of `Infeasible` errors
+//!   when a frequency lower bound has nowhere to go).
+
+use crate::{decompose, BoundError, Cell, DecomposeStats, PcSet, Strategy};
+use pc_predicate::Region;
+use pc_solver::{
+    greedy, solve_lp, solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpProblem, Sense,
+};
+use pc_storage::{AggKind, AggQuery};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundOptions {
+    /// Cell decomposition strategy (default: DFS + rewrite).
+    pub strategy: Strategy,
+    /// MILP search knobs.
+    pub milp: MilpOptions,
+    /// Whether to run the closure check; when disabled the report assumes
+    /// closure (callers that constructed provably-closed sets skip the
+    /// extra SAT call).
+    pub check_closure: bool,
+    /// Above this many allocation variables, solve the *LP relaxation*
+    /// instead of the exact MILP. Integrality constraints only tighten the
+    /// optimum, so the relaxation is still a hard bound — just possibly a
+    /// slightly wider one. This is the practical lever for heavily
+    /// overlapping sets (Rand-PC) where decomposition yields many cells.
+    pub lp_relax_cell_limit: usize,
+}
+
+impl Default for BoundOptions {
+    fn default() -> Self {
+        BoundOptions {
+            strategy: Strategy::DfsRewrite,
+            milp: MilpOptions::default(),
+            check_closure: true,
+            lp_relax_cell_limit: 150,
+        }
+    }
+}
+
+/// A deterministic result range: the aggregate is guaranteed in
+/// `[lo, hi]` for every missing-data instance satisfying the constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultRange {
+    /// Lower end (may be `-∞`).
+    pub lo: f64,
+    /// Upper end (may be `+∞`).
+    pub hi: f64,
+}
+
+impl ResultRange {
+    /// True if both ends are finite.
+    pub fn is_bounded(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+
+    /// True if `v` falls inside the range (bound "success").
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo - 1e-9 <= v && v <= self.hi + 1e-9
+    }
+
+    /// Shift both ends by a constant — combining a missing-data range with
+    /// the certain partition's exact answer for `SUM`/`COUNT`.
+    pub fn offset(&self, by: f64) -> ResultRange {
+        ResultRange {
+            lo: self.lo + by,
+            hi: self.hi + by,
+        }
+    }
+}
+
+/// The output of a bounding call.
+#[derive(Debug, Clone)]
+pub struct BoundReport {
+    /// The result range.
+    pub range: ResultRange,
+    /// Whether the constraint set covered the entire query region. `false`
+    /// means one or both ends were forced to ±∞.
+    pub closed: bool,
+    /// Decomposition work counters.
+    pub stats: DecomposeStats,
+}
+
+/// The cell allocation problem shared by every aggregate.
+struct CellProblem {
+    cells: Vec<Cell>,
+    /// Per-cell max/min achievable value of the aggregated attribute.
+    u: Vec<f64>,
+    l: Vec<f64>,
+    /// Per-cell allocation cap (min `ku` of active constraints; 0 if the
+    /// cell is value-infeasible).
+    cap: Vec<f64>,
+    /// Per constraint: `(kl_eff, ku, member cell indices)`.
+    pc_rows: Vec<(f64, f64, Vec<usize>)>,
+    closed: bool,
+    stats: DecomposeStats,
+}
+
+/// Computes result ranges for aggregate queries against one [`PcSet`].
+pub struct BoundEngine<'a> {
+    set: &'a PcSet,
+    options: BoundOptions,
+}
+
+impl<'a> BoundEngine<'a> {
+    /// Engine with default options.
+    pub fn new(set: &'a PcSet) -> Self {
+        BoundEngine {
+            set,
+            options: BoundOptions::default(),
+        }
+    }
+
+    /// Engine with explicit options.
+    pub fn with_options(set: &'a PcSet, options: BoundOptions) -> Self {
+        BoundEngine { set, options }
+    }
+
+    /// Compute the result range of `query` over the missing partition.
+    pub fn bound(&self, query: &AggQuery) -> Result<BoundReport, BoundError> {
+        let problem = self.build_problem(query)?;
+        match query.agg {
+            AggKind::Count => self.bound_count(&problem),
+            AggKind::Sum => self.bound_sum(&problem),
+            AggKind::Avg => self.bound_avg(&problem),
+            AggKind::Min => self.bound_min(&problem),
+            AggKind::Max => self.bound_max(&problem),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Problem construction
+    // ------------------------------------------------------------------
+
+    fn build_problem(&self, query: &AggQuery) -> Result<CellProblem, BoundError> {
+        let schema = self.set.schema();
+        // Optimization 1: push the query predicate into decomposition.
+        let mut base = query.predicate.to_region(schema);
+        base.intersect(self.set.domain());
+
+        let closed = if self.options.check_closure {
+            self.set.is_closed_within(&base)
+        } else {
+            true
+        };
+
+        let (cells, stats) = if self.set.disjoint_hint() {
+            self.disjoint_cells(&base)
+        } else {
+            decompose(self.set, &base, self.options.strategy)
+        };
+
+        let attr = query.attr;
+        let mut u = Vec::with_capacity(cells.len());
+        let mut l = Vec::with_capacity(cells.len());
+        let mut cap = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            let mut hi = cell.region.interval(attr).sup();
+            let mut lo = cell.region.interval(attr).inf();
+            let mut k = f64::INFINITY;
+            let mut feasible = true;
+            for &j in &cell.active {
+                let pc = &self.set.constraints()[j];
+                k = k.min(pc.frequency.hi as f64);
+                for (va, iv) in pc.values.ranges() {
+                    let narrowed = cell.region.interval(*va).intersect(iv);
+                    if narrowed.is_empty(cell.region.attr_type(*va)) {
+                        feasible = false;
+                    }
+                    if *va == attr {
+                        hi = hi.min(iv.sup());
+                        lo = lo.max(iv.inf());
+                    }
+                }
+            }
+            if hi < lo {
+                feasible = false;
+            }
+            u.push(hi);
+            l.push(lo);
+            cap.push(if feasible { k } else { 0.0 });
+        }
+
+        // Per-constraint frequency rows with pushdown-safe lower bounds.
+        let mut pc_rows = Vec::with_capacity(self.set.len());
+        for (j, pc) in self.set.constraints().iter().enumerate() {
+            let members: Vec<usize> = cells
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.is_active(j).then_some(i))
+                .collect();
+            let mut allowed = pc.allowed_region(schema);
+            allowed.intersect(self.set.domain());
+            let fully_inside = base.contains_region(&allowed);
+            let kl_eff = if fully_inside {
+                pc.frequency.lo as f64
+            } else {
+                0.0
+            };
+            if kl_eff > 0.0 {
+                let capacity: f64 = members.iter().map(|&i| cap[i]).sum();
+                if capacity < kl_eff {
+                    return Err(BoundError::Infeasible);
+                }
+            }
+            pc_rows.push((kl_eff, pc.frequency.hi as f64, members));
+        }
+
+        Ok(CellProblem {
+            cells,
+            u,
+            l,
+            cap,
+            pc_rows,
+            closed,
+            stats,
+        })
+    }
+
+    /// Fast path for disjoint sets: every constraint overlapping the base
+    /// region is its own cell; no SAT calls at all.
+    fn disjoint_cells(&self, base: &Region) -> (Vec<Cell>, DecomposeStats) {
+        let schema = self.set.schema();
+        let mut cells = Vec::new();
+        for (j, pc) in self.set.constraints().iter().enumerate() {
+            let mut region = pc.predicate.to_region(schema);
+            region.intersect(base);
+            if region.is_empty() {
+                continue;
+            }
+            let witness = region.pick_witness();
+            cells.push(Cell {
+                region,
+                active: vec![j],
+                witness,
+            });
+        }
+        let stats = DecomposeStats {
+            cells: cells.len(),
+            ..DecomposeStats::default()
+        };
+        (cells, stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared allocation solver
+    // ------------------------------------------------------------------
+
+    /// Optimize `Σ coefᵢ·xᵢ` over feasible allocations. `extra_min_total`
+    /// adds `Σ xᵢ ≥ 1` (used by AVG feasibility probes).
+    ///
+    /// Value-infeasible (cap = 0) cells are excluded from the program
+    /// entirely; the remaining variables need no explicit upper bounds —
+    /// each appears with coefficient 1 in its active constraints' `≤ ku`
+    /// rows, which bound it. That keeps the tableau at
+    /// `O(constraints) × O(cells)` instead of quadratic in cells.
+    fn allocate(
+        &self,
+        p: &CellProblem,
+        coef: &[f64],
+        sense: Sense,
+        extra_min_total: bool,
+    ) -> Result<f64, BoundError> {
+        // Greedy special case: every cell has exactly one active
+        // constraint and every constraint at most one member cell — the
+        // problem is separable per variable. The AVG probe's extra
+        // `Σ xᵢ ≥ 1` coupling row stays greedy too: if the separable
+        // optimum allocates nothing, force one row into the best cell.
+        let diagonal = p.cells.iter().all(|c| c.active.len() == 1)
+            && p.pc_rows.iter().all(|(_, _, m)| m.len() <= 1);
+        if diagonal {
+            let mut freq = Vec::with_capacity(p.cells.len());
+            for (i, cell) in p.cells.iter().enumerate() {
+                let j = cell.active[0];
+                let (kl, ku, _) = p.pc_rows[j];
+                let hi = ku.min(p.cap[i]);
+                let lo = kl.min(hi);
+                freq.push((lo, hi));
+            }
+            let mut sol = match sense {
+                Sense::Maximize => greedy::maximize_disjoint(coef, &freq),
+                Sense::Minimize => greedy::minimize_disjoint(coef, &freq),
+            };
+            if extra_min_total && sol.x.iter().sum::<f64>() < 1.0 {
+                // all coefficients point away from allocating; place the
+                // single required row where it costs least
+                let best = (0..freq.len())
+                    .filter(|&i| freq[i].1 >= 1.0)
+                    .max_by(|&a, &b| {
+                        let ca = if sense == Sense::Maximize {
+                            coef[a]
+                        } else {
+                            -coef[a]
+                        };
+                        let cb = if sense == Sense::Maximize {
+                            coef[b]
+                        } else {
+                            -coef[b]
+                        };
+                        ca.partial_cmp(&cb).expect("no NaN coefficients")
+                    });
+                match best {
+                    Some(i) => {
+                        sol.objective += coef[i];
+                        sol.x[i] += 1.0;
+                    }
+                    None => return Err(BoundError::Infeasible),
+                }
+            }
+            return Ok(sol.objective);
+        }
+
+        // Map live (cap > 0) cells to dense variable indices.
+        let live: Vec<usize> = (0..p.cells.len()).filter(|&i| p.cap[i] > 0.0).collect();
+        if live.is_empty() {
+            if extra_min_total {
+                return Err(BoundError::Infeasible);
+            }
+            return Ok(0.0);
+        }
+        let mut var_of = vec![usize::MAX; p.cells.len()];
+        for (v, &i) in live.iter().enumerate() {
+            var_of[i] = v;
+        }
+        let live_coef: Vec<f64> = live.iter().map(|&i| coef[i]).collect();
+        let mut lp = match sense {
+            Sense::Maximize => LinearProgram::maximize(live_coef),
+            Sense::Minimize => LinearProgram::minimize(live_coef),
+        };
+        for (kl, ku, members) in &p.pc_rows {
+            let terms: Vec<(usize, f64)> = members
+                .iter()
+                .filter(|&&i| var_of[i] != usize::MAX)
+                .map(|&i| (var_of[i], 1.0))
+                .collect();
+            if terms.is_empty() {
+                continue;
+            }
+            lp.add_constraint(terms.clone(), ConstraintOp::Le, *ku);
+            if *kl > 0.0 {
+                lp.add_constraint(terms, ConstraintOp::Ge, *kl);
+            }
+        }
+        if extra_min_total {
+            let all: Vec<(usize, f64)> = (0..live.len()).map(|v| (v, 1.0)).collect();
+            lp.add_constraint(all, ConstraintOp::Ge, 1.0);
+        }
+        if live.len() > self.options.lp_relax_cell_limit {
+            // LP relaxation: a hard (if slightly wider) bound — see
+            // `BoundOptions::lp_relax_cell_limit`.
+            let sol = solve_lp(&lp)?;
+            return Ok(sol.objective);
+        }
+        match solve_milp(&MilpProblem::all_integer(lp.clone()), self.options.milp) {
+            Ok(sol) => Ok(sol.objective),
+            // A pathological branch & bound tree is not a reason to fail a
+            // *bounding* call: the LP relaxation dominates the integer
+            // optimum in the optimization direction, so it is still sound.
+            Err(pc_solver::SolverError::LimitExceeded(_)) => Ok(solve_lp(&lp)?.objective),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-aggregate bounds
+    // ------------------------------------------------------------------
+
+    fn bound_count(&self, p: &CellProblem) -> Result<BoundReport, BoundError> {
+        let ones = vec![1.0; p.cells.len()];
+        let lo = if p.cells.is_empty() {
+            0.0
+        } else {
+            self.allocate(p, &ones, Sense::Minimize, false)?
+        };
+        let hi = if !p.closed {
+            f64::INFINITY
+        } else if p.cells.is_empty() {
+            0.0
+        } else {
+            self.allocate(p, &ones, Sense::Maximize, false)?
+        };
+        Ok(report(lo, hi, p))
+    }
+
+    fn bound_sum(&self, p: &CellProblem) -> Result<BoundReport, BoundError> {
+        if !p.closed {
+            return Ok(report(f64::NEG_INFINITY, f64::INFINITY, p));
+        }
+        if p.cells.is_empty() {
+            return Ok(report(0.0, 0.0, p));
+        }
+        // An unbounded value range in a usable cell blows the corresponding
+        // side of the range.
+        let hi_unbounded =
+            p.u.iter()
+                .zip(&p.cap)
+                .any(|(&ui, &cap)| ui == f64::INFINITY && cap > 0.0);
+        let lo_unbounded =
+            p.l.iter()
+                .zip(&p.cap)
+                .any(|(&li, &cap)| li == f64::NEG_INFINITY && cap > 0.0);
+        let hi = if hi_unbounded {
+            f64::INFINITY
+        } else {
+            // Coefficients for infeasible (cap = 0) cells are irrelevant;
+            // zero them to keep the LP numerically clean.
+            let coef: Vec<f64> =
+                p.u.iter()
+                    .zip(&p.cap)
+                    .map(|(&ui, &cap)| if cap > 0.0 { ui } else { 0.0 })
+                    .collect();
+            self.allocate(p, &coef, Sense::Maximize, false)?
+        };
+        let lo = if lo_unbounded {
+            f64::NEG_INFINITY
+        } else {
+            let coef: Vec<f64> =
+                p.l.iter()
+                    .zip(&p.cap)
+                    .map(|(&li, &cap)| if cap > 0.0 { li } else { 0.0 })
+                    .collect();
+            self.allocate(p, &coef, Sense::Minimize, false)?
+        };
+        Ok(report(lo, hi, p))
+    }
+
+    fn bound_max(&self, p: &CellProblem) -> Result<BoundReport, BoundError> {
+        let usable: Vec<usize> = (0..p.cells.len()).filter(|&i| p.cap[i] >= 1.0).collect();
+        if usable.is_empty() && p.closed {
+            return Err(BoundError::EmptyAggregate);
+        }
+        let hi = if !p.closed {
+            f64::INFINITY
+        } else {
+            usable
+                .iter()
+                .map(|&i| p.u[i])
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        // Conditional lower bound: every instance's MAX is at least the
+        // cheapest placement of any forced row; with no forced rows, at
+        // least one row is assumed (non-empty aggregate semantics).
+        let forced: Vec<f64> = p
+            .pc_rows
+            .iter()
+            .filter(|(kl, _, members)| *kl >= 1.0 && !members.is_empty())
+            .map(|(_, _, members)| {
+                members
+                    .iter()
+                    .filter(|&&i| p.cap[i] >= 1.0)
+                    .map(|&i| p.l[i])
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let lo = if !forced.is_empty() {
+            forced.into_iter().fold(f64::NEG_INFINITY, f64::max)
+        } else {
+            usable.iter().map(|&i| p.l[i]).fold(f64::INFINITY, f64::min)
+        };
+        let lo = if p.closed { lo } else { f64::NEG_INFINITY };
+        Ok(report(lo, hi, p))
+    }
+
+    fn bound_min(&self, p: &CellProblem) -> Result<BoundReport, BoundError> {
+        let usable: Vec<usize> = (0..p.cells.len()).filter(|&i| p.cap[i] >= 1.0).collect();
+        if usable.is_empty() && p.closed {
+            return Err(BoundError::EmptyAggregate);
+        }
+        let lo = if !p.closed {
+            f64::NEG_INFINITY
+        } else {
+            usable.iter().map(|&i| p.l[i]).fold(f64::INFINITY, f64::min)
+        };
+        let forced: Vec<f64> = p
+            .pc_rows
+            .iter()
+            .filter(|(kl, _, members)| *kl >= 1.0 && !members.is_empty())
+            .map(|(_, _, members)| {
+                members
+                    .iter()
+                    .filter(|&&i| p.cap[i] >= 1.0)
+                    .map(|&i| p.u[i])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        let hi = if !forced.is_empty() {
+            forced.into_iter().fold(f64::INFINITY, f64::min)
+        } else {
+            usable
+                .iter()
+                .map(|&i| p.u[i])
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        let hi = if p.closed { hi } else { f64::INFINITY };
+        Ok(report(lo, hi, p))
+    }
+
+    fn bound_avg(&self, p: &CellProblem) -> Result<BoundReport, BoundError> {
+        if !p.closed {
+            return Ok(report(f64::NEG_INFINITY, f64::INFINITY, p));
+        }
+        let usable: Vec<usize> = (0..p.cells.len()).filter(|&i| p.cap[i] >= 1.0).collect();
+        if usable.is_empty() {
+            return Err(BoundError::EmptyAggregate);
+        }
+        let max_u = usable
+            .iter()
+            .map(|&i| p.u[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_l = usable.iter().map(|&i| p.l[i]).fold(f64::INFINITY, f64::min);
+        if max_u == f64::INFINITY || min_l == f64::NEG_INFINITY {
+            let hi = if max_u == f64::INFINITY {
+                f64::INFINITY
+            } else {
+                max_u
+            };
+            let lo = if min_l == f64::NEG_INFINITY {
+                f64::NEG_INFINITY
+            } else {
+                min_l
+            };
+            return Ok(report(lo, hi, p));
+        }
+
+        let no_forced = p.pc_rows.iter().all(|(kl, _, _)| *kl == 0.0);
+        if no_forced {
+            // A single row in the best/worst cell realizes the extremes.
+            return Ok(report(min_l, max_u, p));
+        }
+
+        // §4.2: binary search the feasible average. `max AVG ≥ r` iff some
+        // allocation with ≥ 1 row has Σ xᵢ(Uᵢ − r) ≥ 0 (each allocated row
+        // contributes at most Uᵢ − r to `sum − r·count`).
+        let hi = self.search_avg(p, true, min_l, max_u)?;
+        let lo = self.search_avg(p, false, min_l, max_u)?;
+        Ok(report(lo, hi, p))
+    }
+
+    /// Binary-search the extreme feasible average. The returned endpoint
+    /// is always taken from the *infeasible* side of the final bracket, so
+    /// the tolerance can only widen the range, never clip the true
+    /// optimum.
+    fn search_avg(
+        &self,
+        p: &CellProblem,
+        upper: bool,
+        min_l: f64,
+        max_u: f64,
+    ) -> Result<f64, BoundError> {
+        let feasible = |r: f64| -> Result<bool, BoundError> {
+            // `max AVG ≥ r` iff some allocation with ≥1 row has
+            // Σ xᵢ(Uᵢ − r) ≥ 0; `min AVG ≤ r` iff Σ xᵢ(Lᵢ − r) ≤ 0.
+            let coef: Vec<f64> = if upper {
+                p.u.iter()
+                    .zip(&p.cap)
+                    .map(|(&ui, &cap)| if cap > 0.0 { ui - r } else { 0.0 })
+                    .collect()
+            } else {
+                p.l.iter()
+                    .zip(&p.cap)
+                    .map(|(&li, &cap)| if cap > 0.0 { li - r } else { 0.0 })
+                    .collect()
+            };
+            let sense = if upper {
+                Sense::Maximize
+            } else {
+                Sense::Minimize
+            };
+            let opt = self.allocate(p, &coef, sense, true)?;
+            Ok(if upper { opt >= -1e-9 } else { opt <= 1e-9 })
+        };
+
+        let extreme = if upper { max_u } else { min_l };
+        match feasible(extreme) {
+            Ok(true) => return Ok(extreme),
+            Ok(false) => {}
+            // No allocation with ≥1 row exists at all (the probe's
+            // constraints do not depend on r): the aggregate is empty.
+            Err(BoundError::Infeasible) => return Err(BoundError::EmptyAggregate),
+            Err(e) => return Err(e),
+        }
+        // Invariant: `good` side is feasible (every instance's average
+        // lies in [min_l, max_u], so the opposite extreme is feasible),
+        // `bad` side is not.
+        let (mut good, mut bad) = if upper {
+            (min_l, max_u)
+        } else {
+            (max_u, min_l)
+        };
+        let tol = (max_u - min_l).abs().max(1.0) * 1e-9;
+        for _ in 0..80 {
+            if (bad - good).abs() <= tol {
+                break;
+            }
+            let r = good + (bad - good) / 2.0;
+            if feasible(r)? {
+                good = r;
+            } else {
+                bad = r;
+            }
+        }
+        // `bad` over-covers the optimum by at most `tol` — sound.
+        Ok(bad)
+    }
+}
+
+fn report(lo: f64, hi: f64, p: &CellProblem) -> BoundReport {
+    BoundReport {
+        range: ResultRange { lo, hi },
+        closed: p.closed,
+        stats: p.stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrequencyConstraint, PredicateConstraint, ValueConstraint};
+    use pc_predicate::{Atom, AttrType, Interval, Predicate, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("utc", AttrType::Int), ("price", AttrType::Float)])
+    }
+
+    /// §4.4 disjoint example.
+    fn disjoint_set() -> PcSet {
+        let mut set = PcSet::new(schema())
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 129.99)),
+                FrequencyConstraint::between(50, 100),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 12.0, 13.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 149.99)),
+                FrequencyConstraint::between(50, 100),
+            ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(11.0, 13.0));
+        set.set_domain(domain);
+        set
+    }
+
+    /// §4.4 overlapping example.
+    fn overlapping_set() -> PcSet {
+        let mut set = PcSet::new(schema())
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 129.99)),
+                FrequencyConstraint::between(50, 100),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 11.0, 13.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 149.99)),
+                FrequencyConstraint::between(75, 125),
+            ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(11.0, 13.0));
+        set.set_domain(domain);
+        set
+    }
+
+    fn sum_query() -> AggQuery {
+        AggQuery::new(AggKind::Sum, 1, Predicate::always())
+    }
+
+    #[test]
+    fn paper_disjoint_sum_range() {
+        let set = disjoint_set();
+        let r = BoundEngine::new(&set).bound(&sum_query()).unwrap();
+        assert!(r.closed);
+        assert!((r.range.lo - 99.0).abs() < 1e-6, "lo = {}", r.range.lo);
+        assert!((r.range.hi - 27_998.0).abs() < 1e-6, "hi = {}", r.range.hi);
+    }
+
+    #[test]
+    fn paper_overlapping_sum_range() {
+        let set = overlapping_set();
+        let r = BoundEngine::new(&set).bound(&sum_query()).unwrap();
+        // [50·0.99 + 25·0.99, 50·129.99 + 75·149.99] = [74.25, 17748.75]
+        assert!((r.range.lo - 74.25).abs() < 1e-6, "lo = {}", r.range.lo);
+        assert!((r.range.hi - 17_748.75).abs() < 1e-6, "hi = {}", r.range.hi);
+    }
+
+    #[test]
+    fn count_range_overlapping() {
+        let set = overlapping_set();
+        let q = AggQuery::count(Predicate::always());
+        let r = BoundEngine::new(&set).bound(&q).unwrap();
+        // count: t2 forces ≥ 75 total; t1 allows ≤ 100 in [11,12) and t2
+        // caps the total at 125
+        assert_eq!(r.range.lo, 75.0);
+        assert_eq!(r.range.hi, 125.0);
+    }
+
+    #[test]
+    fn pushdown_single_day() {
+        let set = disjoint_set();
+        // query only Nov-12: second PC alone, kl kept (fully inside)
+        let q = AggQuery::new(
+            AggKind::Sum,
+            1,
+            Predicate::atom(Atom::bucket(0, 12.0, 13.0)),
+        );
+        let r = BoundEngine::new(&set).bound(&q).unwrap();
+        assert!((r.range.lo - 50.0 * 0.99).abs() < 1e-6);
+        assert!((r.range.hi - 100.0 * 149.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pushdown_relaxes_partial_kl() {
+        let set = overlapping_set();
+        // query [11, 12): t2 straddles the boundary so its kl must relax;
+        // t1 is fully inside and keeps kl = 50
+        let q = AggQuery::count(Predicate::atom(Atom::bucket(0, 11.0, 12.0)));
+        let r = BoundEngine::new(&set).bound(&q).unwrap();
+        assert_eq!(r.range.lo, 50.0);
+        assert_eq!(r.range.hi, 100.0);
+    }
+
+    #[test]
+    fn closure_violation_inflates_upper() {
+        // constraints only cover [11, 13) but the domain is the full line
+        let set = {
+            let mut s = disjoint_set();
+            s.set_domain(Region::full(&schema()));
+            s
+        };
+        let r = BoundEngine::new(&set)
+            .bound(&AggQuery::count(Predicate::always()))
+            .unwrap();
+        assert!(!r.closed);
+        assert_eq!(r.range.hi, f64::INFINITY);
+        assert_eq!(r.range.lo, 100.0); // forced rows still counted
+    }
+
+    #[test]
+    fn min_max_ranges() {
+        let set = disjoint_set();
+        let rmax = BoundEngine::new(&set)
+            .bound(&AggQuery::new(AggKind::Max, 1, Predicate::always()))
+            .unwrap();
+        assert_eq!(rmax.range.hi, 149.99);
+        // forced rows exist in both buckets; the adversary can price all
+        // of them at 0.99 → guaranteed MAX ≥ 0.99
+        assert!((rmax.range.lo - 0.99).abs() < 1e-9);
+
+        let rmin = BoundEngine::new(&set)
+            .bound(&AggQuery::new(AggKind::Min, 1, Predicate::always()))
+            .unwrap();
+        assert_eq!(rmin.range.lo, 0.99);
+        // each bucket forces rows with value ≤ its upper bound; min over
+        // buckets of U = 129.99
+        assert!((rmin.range.hi - 129.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_range_disjoint() {
+        let set = disjoint_set();
+        let r = BoundEngine::new(&set)
+            .bound(&AggQuery::new(AggKind::Avg, 1, Predicate::always()))
+            .unwrap();
+        // max avg: 100 rows at 129.99 + 50 rows at 149.99? No: maximize
+        // (sum − r·count): best is 50 rows at 129.99 (forced, cheap) and
+        // 100 at 149.99 → avg = (50·129.99 + 100·149.99)/150 = 143.32…
+        let best = (50.0 * 129.99 + 100.0 * 149.99) / 150.0;
+        assert!((r.range.hi - best).abs() < 1e-3, "hi = {}", r.range.hi);
+        // min avg: everything at 0.99
+        assert!((r.range.lo - 0.99).abs() < 1e-3, "lo = {}", r.range.lo);
+    }
+
+    #[test]
+    fn infeasible_constraints_detected() {
+        // force 10 rows in a bucket that another constraint caps at 0
+        let mut set = PcSet::new(schema())
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 0.0, 10.0)),
+                ValueConstraint::none(),
+                FrequencyConstraint::between(10, 20),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 0.0, 20.0)),
+                ValueConstraint::none(),
+                FrequencyConstraint::at_most(0),
+            ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(0.0, 20.0));
+        set.set_domain(domain);
+        let err = BoundEngine::new(&set)
+            .bound(&AggQuery::count(Predicate::always()))
+            .unwrap_err();
+        assert_eq!(err, BoundError::Infeasible);
+    }
+
+    #[test]
+    fn conflicting_overlap_enforces_most_restrictive() {
+        // c1: Chicago ≤ 5 rows ≤ 149.99; c2: everywhere ≤ 100 rows ≤ 149.99
+        // (the §3.1 interaction example — Chicago can't exceed 5)
+        let s = Schema::new(vec![("branch", AttrType::Cat), ("price", AttrType::Float)]);
+        let mut set = PcSet::new(s.clone())
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::eq(0, 0.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.0, 149.99)),
+                FrequencyConstraint::at_most(5),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::always(),
+                ValueConstraint::none().with(1, Interval::closed(0.0, 149.99)),
+                FrequencyConstraint::at_most(100),
+            ));
+        let mut domain = Region::full(&s);
+        domain.set_interval(0, Interval::closed(0.0, 3.0));
+        set.set_domain(domain);
+
+        // all sales in Chicago: at most 5 rows → ≤ 5 × 149.99
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::atom(Atom::eq(0, 0.0)));
+        let r = BoundEngine::new(&set).bound(&q).unwrap();
+        assert!((r.range.hi - 5.0 * 149.99).abs() < 1e-6);
+
+        // across all branches: ≤ 100 rows total
+        let r = BoundEngine::new(&set)
+            .bound(&AggQuery::count(Predicate::always()))
+            .unwrap();
+        assert_eq!(r.range.hi, 100.0);
+    }
+
+    #[test]
+    fn value_infeasible_cell_capped_at_zero() {
+        // two overlapping constraints with contradictory price ranges in
+        // the overlap: rows there are impossible
+        let mut set = PcSet::new(schema())
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 0.0, 10.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.0, 10.0)),
+                FrequencyConstraint::at_most(100),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 5.0, 15.0)),
+                ValueConstraint::none().with(1, Interval::closed(50.0, 60.0)),
+                FrequencyConstraint::at_most(100),
+            ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(0.0, 15.0));
+        set.set_domain(domain);
+        let r = BoundEngine::new(&set)
+            .bound(&AggQuery::count(Predicate::always()))
+            .unwrap();
+        // overlap cell [5,10) contributes nothing; 100 + 100 remain
+        assert_eq!(r.range.hi, 200.0);
+    }
+
+    #[test]
+    fn unconstrained_value_attr_gives_infinite_sum() {
+        let mut set = PcSet::new(schema()).with(PredicateConstraint::new(
+            Predicate::atom(Atom::bucket(0, 0.0, 10.0)),
+            ValueConstraint::none(), // price unconstrained!
+            FrequencyConstraint::at_most(5),
+        ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(0.0, 10.0));
+        set.set_domain(domain);
+        let r = BoundEngine::new(&set).bound(&sum_query()).unwrap();
+        assert_eq!(r.range.hi, f64::INFINITY);
+        assert_eq!(r.range.lo, f64::NEG_INFINITY);
+        // …but COUNT is still bounded
+        let rc = BoundEngine::new(&set)
+            .bound(&AggQuery::count(Predicate::always()))
+            .unwrap();
+        assert_eq!(rc.range.hi, 5.0);
+    }
+
+    #[test]
+    fn empty_aggregate_error() {
+        let mut set = PcSet::new(schema()).with(PredicateConstraint::new(
+            Predicate::atom(Atom::bucket(0, 0.0, 10.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 1.0)),
+            FrequencyConstraint::at_most(5),
+        ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(0.0, 10.0));
+        set.set_domain(domain);
+        // query a region no missing row can reach
+        let q = AggQuery::new(
+            AggKind::Avg,
+            1,
+            Predicate::atom(Atom::bucket(0, 50.0, 60.0)),
+        );
+        let err = BoundEngine::new(&set).bound(&q).unwrap_err();
+        assert_eq!(err, BoundError::EmptyAggregate);
+    }
+
+    #[test]
+    fn disjoint_hint_matches_full_decomposition() {
+        let mut hinted = disjoint_set();
+        hinted.set_disjoint_hint(true);
+        let full = disjoint_set();
+        for q in [
+            sum_query(),
+            AggQuery::count(Predicate::always()),
+            AggQuery::new(AggKind::Max, 1, Predicate::always()),
+        ] {
+            let a = BoundEngine::new(&hinted).bound(&q).unwrap();
+            let b = BoundEngine::new(&full).bound(&q).unwrap();
+            assert_eq!(a.range, b.range, "{q:?}");
+            assert_eq!(a.stats.sat_checks, 0, "hinted path must not call SAT");
+        }
+    }
+
+    #[test]
+    fn count_range_respects_true_result() {
+        // sanity: a concrete instance's count lies in the range
+        let set = overlapping_set();
+        let q = AggQuery::count(Predicate::always());
+        let r = BoundEngine::new(&set).bound(&q).unwrap().range;
+        // instance: 50 rows on Nov-11, 30 on Nov-12 → t1: 50 ∈ [50,100] ✓,
+        // t2: 80 ∈ [75,125] ✓
+        assert!(r.contains(80.0));
+        // 40 on Nov-11 would violate t1's lower bound — outside the range
+        // is not required, but 130 total violates t2 and must be outside
+        assert!(!r.contains(130.0));
+    }
+}

@@ -1,0 +1,48 @@
+use pc_predicate::Region;
+
+/// One disjoint cell of the decomposition (§4.1): the sub-domain belonging
+/// to exactly the `active` predicate constraints and excluded from all
+/// others.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The box of the *included* predicates intersected with the base
+    /// (query ∩ domain) region. The excluded predicates' negations are not
+    /// representable as a box; `witness` proves the full conjunction
+    /// non-empty.
+    pub region: Region,
+    /// Indices (into the [`crate::PcSet`]) of the predicate constraints
+    /// whose predicates this cell satisfies. Never empty: the all-negated
+    /// cell carries no constraints and is handled by the closure check.
+    pub active: Vec<usize>,
+    /// A concrete point inside the cell, when the decomposition proved
+    /// satisfiability exactly. `None` for cells admitted by approximate
+    /// early stopping (Optimization 4) — possible false positives that
+    /// only ever widen bounds.
+    pub witness: Option<Vec<f64>>,
+}
+
+impl Cell {
+    /// True if constraint `pc` is active in this cell.
+    pub fn is_active(&self, pc: usize) -> bool {
+        self.active.contains(&pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{AttrType, Schema};
+
+    #[test]
+    fn activity_lookup() {
+        let schema = Schema::new(vec![("x", AttrType::Float)]);
+        let cell = Cell {
+            region: Region::full(&schema),
+            active: vec![0, 2],
+            witness: None,
+        };
+        assert!(cell.is_active(0));
+        assert!(!cell.is_active(1));
+        assert!(cell.is_active(2));
+    }
+}

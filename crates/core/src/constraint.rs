@@ -1,0 +1,309 @@
+use pc_predicate::{Interval, Predicate, Region, Schema};
+use pc_storage::Table;
+use std::fmt;
+
+/// A value constraint ν: per-attribute ranges that every row matching the
+/// predicate must satisfy (§3.1). Attributes not listed are unconstrained.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ValueConstraint {
+    ranges: Vec<(usize, Interval)>,
+}
+
+impl ValueConstraint {
+    /// No constraints on any attribute.
+    pub fn none() -> Self {
+        ValueConstraint::default()
+    }
+
+    /// Build from `(attr, interval)` pairs; repeated attributes intersect.
+    pub fn new(ranges: Vec<(usize, Interval)>) -> Self {
+        ValueConstraint { ranges }
+    }
+
+    /// Add a range for one attribute.
+    pub fn with(mut self, attr: usize, interval: Interval) -> Self {
+        self.ranges.push((attr, interval));
+        self
+    }
+
+    /// The `(attr, interval)` pairs.
+    pub fn ranges(&self) -> &[(usize, Interval)] {
+        &self.ranges
+    }
+
+    /// The implied interval for `attr` (FULL if unconstrained).
+    pub fn interval_for(&self, attr: usize) -> Interval {
+        self.ranges
+            .iter()
+            .filter(|(a, _)| *a == attr)
+            .fold(Interval::FULL, |acc, (_, iv)| acc.intersect(iv))
+    }
+
+    /// True if the encoded row satisfies every range.
+    pub fn check_row(&self, row: &[f64]) -> bool {
+        self.ranges.iter().all(|(attr, iv)| iv.contains(row[*attr]))
+    }
+}
+
+/// A frequency constraint κ = (kl, ku): between `lo` and `hi` missing rows
+/// match the predicate (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrequencyConstraint {
+    /// Minimum number of matching missing rows.
+    pub lo: u64,
+    /// Maximum number of matching missing rows.
+    pub hi: u64,
+}
+
+impl FrequencyConstraint {
+    /// `lo ≤ count ≤ hi`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` — an unconditionally unsatisfiable constraint
+    /// is a construction error, not data.
+    pub fn between(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "frequency bounds inverted: [{lo}, {hi}]");
+        FrequencyConstraint { lo, hi }
+    }
+
+    /// `count ≤ hi` (no forced rows).
+    pub fn at_most(hi: u64) -> Self {
+        FrequencyConstraint { lo: 0, hi }
+    }
+
+    /// `count = n` exactly.
+    pub fn exactly(n: u64) -> Self {
+        FrequencyConstraint { lo: n, hi: n }
+    }
+}
+
+/// A predicate constraint π = (ψ, ν, κ) — Definition 3.1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateConstraint {
+    /// The predicate ψ selecting which missing rows the constraint talks
+    /// about.
+    pub predicate: Predicate,
+    /// The value ranges ν those rows must satisfy.
+    pub values: ValueConstraint,
+    /// The frequency range κ on how many such rows exist.
+    pub frequency: FrequencyConstraint,
+}
+
+impl PredicateConstraint {
+    /// Assemble a constraint.
+    pub fn new(
+        predicate: Predicate,
+        values: ValueConstraint,
+        frequency: FrequencyConstraint,
+    ) -> Self {
+        PredicateConstraint {
+            predicate,
+            values,
+            frequency,
+        }
+    }
+
+    /// The box of rows this constraint's *predicate and value ranges*
+    /// jointly allow: ψ's region intersected with ν's ranges. Any missing
+    /// row matching ψ must live in this region.
+    pub fn allowed_region(&self, schema: &Schema) -> Region {
+        let mut region = self.predicate.to_region(schema);
+        for (attr, iv) in self.values.ranges() {
+            region.set_interval(*attr, region.interval(*attr).intersect(iv));
+        }
+        region
+    }
+
+    /// Check the constraint against a concrete relation instance
+    /// (`R |= π`, Definition 3.1): every matching row satisfies ν, and the
+    /// number of matching rows is within κ.
+    pub fn check(&self, table: &Table) -> Result<(), ConstraintViolation> {
+        let mut matches = 0u64;
+        let mut buf = vec![0.0; table.schema().width()];
+        for r in 0..table.len() {
+            table.encode_row_into(r, &mut buf);
+            if self.predicate.eval(&buf) {
+                matches += 1;
+                if !self.values.check_row(&buf) {
+                    return Err(ConstraintViolation::ValueOutOfRange { row: r });
+                }
+            }
+        }
+        if matches < self.frequency.lo || matches > self.frequency.hi {
+            return Err(ConstraintViolation::FrequencyViolated {
+                observed: matches,
+                lo: self.frequency.lo,
+                hi: self.frequency.hi,
+            });
+        }
+        Ok(())
+    }
+
+    /// Human-readable rendering, e.g. the paper's
+    /// `c1: (branch = 'Chicago') ⇒ (0 ≤ price ≤ 149.99), (0, 5)`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a PredicateConstraint, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} ⇒ ", self.0.predicate.display(self.1))?;
+                if self.0.values.ranges().is_empty() {
+                    write!(f, "⊤")?;
+                } else {
+                    for (i, (attr, iv)) in self.0.values.ranges().iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " ∧ ")?;
+                        }
+                        write!(f, "{} ∈ {}", self.1.attr_name(*attr), iv)?;
+                    }
+                }
+                write!(f, ", ({}, {})", self.0.frequency.lo, self.0.frequency.hi)
+            }
+        }
+        D(self, schema)
+    }
+}
+
+/// Why a constraint failed on a concrete table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintViolation {
+    /// A row matched the predicate but fell outside a value range.
+    ValueOutOfRange {
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// The number of matching rows fell outside the frequency range.
+    FrequencyViolated {
+        /// How many rows actually matched.
+        observed: u64,
+        /// Declared minimum.
+        lo: u64,
+        /// Declared maximum.
+        hi: u64,
+    },
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintViolation::ValueOutOfRange { row } => {
+                write!(
+                    f,
+                    "row {row} matches the predicate but violates a value range"
+                )
+            }
+            ConstraintViolation::FrequencyViolated { observed, lo, hi } => {
+                write!(f, "{observed} matching rows, outside [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, AttrType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("utc", AttrType::Int),
+            ("branch", AttrType::Cat),
+            ("price", AttrType::Float),
+        ])
+    }
+
+    /// The paper's c1: "the most expensive product in Chicago costs 149.99
+    /// and no more than 5 are sold".
+    fn chicago_pc() -> PredicateConstraint {
+        PredicateConstraint::new(
+            Predicate::atom(Atom::eq(1, 0.0)),
+            ValueConstraint::none().with(2, Interval::closed(0.0, 149.99)),
+            FrequencyConstraint::at_most(5),
+        )
+    }
+
+    fn sales(rows: &[(i64, u32, f64)]) -> Table {
+        let mut t = Table::new(schema());
+        for &(utc, b, p) in rows {
+            t.push_row(vec![Value::Int(utc), Value::Cat(b), Value::Float(p)]);
+        }
+        t
+    }
+
+    #[test]
+    fn satisfied_constraint() {
+        let t = sales(&[(1, 0, 3.02), (2, 1, 500.0), (3, 0, 149.99)]);
+        // two Chicago rows within price range, frequency ≤ 5; the New York
+        // row is outside the predicate so its price does not matter
+        assert_eq!(chicago_pc().check(&t), Ok(()));
+    }
+
+    #[test]
+    fn value_violation_detected() {
+        let t = sales(&[(1, 0, 200.0)]);
+        assert_eq!(
+            chicago_pc().check(&t),
+            Err(ConstraintViolation::ValueOutOfRange { row: 0 })
+        );
+    }
+
+    #[test]
+    fn frequency_violation_detected() {
+        let rows: Vec<(i64, u32, f64)> = (0..6).map(|i| (i, 0, 1.0)).collect();
+        let t = sales(&rows);
+        assert_eq!(
+            chicago_pc().check(&t),
+            Err(ConstraintViolation::FrequencyViolated {
+                observed: 6,
+                lo: 0,
+                hi: 5
+            })
+        );
+    }
+
+    #[test]
+    fn lower_frequency_bound() {
+        let pc = PredicateConstraint::new(
+            Predicate::always(),
+            ValueConstraint::none(),
+            FrequencyConstraint::between(2, 10),
+        );
+        let t = sales(&[(1, 0, 1.0)]);
+        assert!(matches!(
+            pc.check(&t),
+            Err(ConstraintViolation::FrequencyViolated { observed: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn allowed_region_combines_predicate_and_values() {
+        let s = schema();
+        let region = chicago_pc().allowed_region(&s);
+        assert!(region.contains_row(&[9.0, 0.0, 100.0]));
+        assert!(!region.contains_row(&[9.0, 0.0, 200.0])); // price too high
+        assert!(!region.contains_row(&[9.0, 1.0, 100.0])); // wrong branch
+    }
+
+    #[test]
+    fn value_constraint_intersects_repeats() {
+        let v = ValueConstraint::none()
+            .with(2, Interval::closed(0.0, 100.0))
+            .with(2, Interval::closed(50.0, 200.0));
+        let iv = v.interval_for(2);
+        assert_eq!((iv.lo, iv.hi), (50.0, 100.0));
+        assert_eq!(v.interval_for(0), Interval::FULL);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_frequency_panics() {
+        FrequencyConstraint::between(5, 2);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let s = schema();
+        let text = chicago_pc().display(&s).to_string();
+        assert!(text.contains("branch"), "{text}");
+        assert!(text.contains("(0, 5)"), "{text}");
+    }
+}

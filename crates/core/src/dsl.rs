@@ -1,0 +1,302 @@
+//! The paper's constraint notation as a parseable DSL, so constraint sets
+//! can be written, versioned, and diffed as plain text — §1's argument
+//! that PCs "can be checked, versioned, and tested just like any other
+//! analysis code".
+//!
+//! One constraint per line, in the §3.1 notation:
+//!
+//! ```text
+//! branch = 'Chicago' => 0.0 <= price AND price <= 149.99, (0, 5)
+//! TRUE               => price <= 149.99, (0, 100)
+//! 11 <= utc AND utc < 12 => 0.99 <= price AND price <= 129.99, (50, 100)
+//! ```
+//!
+//! Grammar per line:
+//!
+//! ```text
+//! constraint := pred '=>' ranges ',' '(' number ',' number ')'
+//! pred       := TRUE | cond (AND cond)*
+//! ranges     := TRUE | cond (AND cond)*
+//! cond       := attr cmp literal | literal cmp attr | attr BETWEEN literal AND literal
+//! ```
+//!
+//! Blank lines and `#` comments are skipped. Categorical labels resolve
+//! against a dictionary provider (usually a [`pc_storage::Table`]).
+
+use crate::{FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint};
+use pc_predicate::text::{tokenize, Cursor, ParseError, Sym, Token};
+use pc_predicate::{Atom, Interval, Predicate, Schema};
+use pc_storage::Table;
+
+/// Parse a whole constraint-set document against a table (for the schema
+/// and categorical dictionaries).
+pub fn parse_pcset(table: &Table, src: &str) -> Result<PcSet, ParseError> {
+    let mut set = PcSet::new(table.schema().clone());
+    let mut offset = 0usize;
+    for line in src.lines() {
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            let pc = parse_constraint(table, line).map_err(|e| ParseError {
+                at: offset + e.at,
+                message: e.message,
+            })?;
+            set.push(pc);
+        }
+        offset += line.len() + 1;
+    }
+    Ok(set)
+}
+
+/// Parse one constraint line.
+pub fn parse_constraint(table: &Table, src: &str) -> Result<PredicateConstraint, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut c = Cursor::new(&tokens, src.len());
+
+    let predicate = parse_conjunction(table, &mut c, true)?;
+    c.expect_symbol(Sym::Arrow)?;
+    let values = parse_values(table, &mut c)?;
+    c.expect_symbol(Sym::Comma)?;
+    c.expect_symbol(Sym::LParen)?;
+    let at = c.at();
+    let kl = c.expect_number()?;
+    c.expect_symbol(Sym::Comma)?;
+    let ku = c.expect_number()?;
+    c.expect_symbol(Sym::RParen)?;
+    if !c.done() {
+        return Err(ParseError::new(c.at(), "unexpected trailing input"));
+    }
+    if kl < 0.0 || ku < 0.0 || kl.fract() != 0.0 || ku.fract() != 0.0 || kl > ku {
+        return Err(ParseError::new(
+            at,
+            format!("frequency bounds must be ordered non-negative integers, got ({kl}, {ku})"),
+        ));
+    }
+    Ok(PredicateConstraint::new(
+        predicate,
+        values,
+        FrequencyConstraint::between(kl as u64, ku as u64),
+    ))
+}
+
+/// `TRUE` or `cond AND cond AND …` up to (not consuming) `=>` or `,`.
+fn parse_conjunction(
+    table: &Table,
+    c: &mut Cursor<'_>,
+    stop_at_arrow: bool,
+) -> Result<Predicate, ParseError> {
+    if c.eat_keyword("TRUE") {
+        return Ok(Predicate::always());
+    }
+    let mut pred = Predicate::always();
+    loop {
+        let atom = parse_cond(table, c)?;
+        pred = pred.and(atom);
+        if c.eat_keyword("AND") {
+            continue;
+        }
+        break;
+    }
+    let _ = stop_at_arrow;
+    Ok(pred)
+}
+
+fn parse_values(table: &Table, c: &mut Cursor<'_>) -> Result<ValueConstraint, ParseError> {
+    if c.eat_keyword("TRUE") {
+        return Ok(ValueConstraint::none());
+    }
+    let mut vc = ValueConstraint::none();
+    loop {
+        let atom = parse_cond(table, c)?;
+        vc = vc.with(atom.attr, atom.interval);
+        if c.eat_keyword("AND") {
+            continue;
+        }
+        break;
+    }
+    Ok(vc)
+}
+
+fn resolve_attr(schema: &Schema, name: &str, at: usize) -> Result<usize, ParseError> {
+    schema
+        .index_of(name)
+        .ok_or_else(|| ParseError::new(at, format!("no attribute named `{name}` in {schema}")))
+}
+
+fn literal(table: &Table, attr: usize, tok: Option<Token>, at: usize) -> Result<f64, ParseError> {
+    match tok {
+        Some(Token::Number(n)) => Ok(n),
+        Some(Token::Str(s)) => {
+            let dict = table.dictionary(attr).ok_or_else(|| {
+                ParseError::new(at, "string literal on a non-categorical attribute")
+            })?;
+            dict.code(&s)
+                .map(f64::from)
+                .ok_or_else(|| ParseError::new(at, format!("unknown label '{s}'")))
+        }
+        other => Err(ParseError::new(
+            at,
+            format!("expected literal, found {other:?}"),
+        )),
+    }
+}
+
+fn parse_cond(table: &Table, c: &mut Cursor<'_>) -> Result<Atom, ParseError> {
+    let at = c.at();
+    match c.peek() {
+        Some(Token::Ident(_)) => {
+            let name = c.expect_ident()?;
+            let attr = resolve_attr(table.schema(), &name, at)?;
+            if c.eat_keyword("BETWEEN") {
+                let lo_at = c.at();
+                let lo = literal(table, attr, c.advance().cloned(), lo_at)?;
+                c.expect_keyword("AND")?;
+                let hi_at = c.at();
+                let hi = literal(table, attr, c.advance().cloned(), hi_at)?;
+                return Ok(Atom::between(attr, lo, hi));
+            }
+            let op = cmp(c)?;
+            let lit_at = c.at();
+            let lit = literal(table, attr, c.advance().cloned(), lit_at)?;
+            Ok(atom(attr, op, lit))
+        }
+        _ => {
+            let lit_at = c.at();
+            let tok = c.advance().cloned();
+            let op = cmp(c)?;
+            let name_at = c.at();
+            let name = c.expect_ident()?;
+            let attr = resolve_attr(table.schema(), &name, name_at)?;
+            let lit = literal(table, attr, tok, lit_at)?;
+            let flipped = match op {
+                Sym::Lt => Sym::Gt,
+                Sym::Le => Sym::Ge,
+                Sym::Gt => Sym::Lt,
+                Sym::Ge => Sym::Le,
+                o => o,
+            };
+            Ok(atom(attr, flipped, lit))
+        }
+    }
+}
+
+fn cmp(c: &mut Cursor<'_>) -> Result<Sym, ParseError> {
+    let at = c.at();
+    match c.advance() {
+        Some(Token::Symbol(s @ (Sym::Eq | Sym::Lt | Sym::Le | Sym::Gt | Sym::Ge))) => Ok(*s),
+        other => Err(ParseError::new(
+            at,
+            format!("expected comparison, found {other:?}"),
+        )),
+    }
+}
+
+fn atom(attr: usize, op: Sym, lit: f64) -> Atom {
+    let interval = match op {
+        Sym::Eq => Interval::point(lit),
+        Sym::Lt => Interval::at_most(lit, true),
+        Sym::Le => Interval::at_most(lit, false),
+        Sym::Gt => Interval::at_least(lit, true),
+        Sym::Ge => Interval::at_least(lit, false),
+        _ => unreachable!("cmp() filters operators"),
+    };
+    Atom::new(attr, interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BoundEngine;
+    use pc_predicate::{AttrType, Region, Value};
+    use pc_storage::{AggKind, AggQuery};
+
+    fn sales() -> Table {
+        let schema = Schema::new(vec![
+            ("utc", AttrType::Int),
+            ("branch", AttrType::Cat),
+            ("price", AttrType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        t.intern(1, "Chicago");
+        t.intern(1, "New York");
+        t.push_row(vec![Value::Int(1), Value::Cat(0), Value::Float(3.0)]);
+        t
+    }
+
+    #[test]
+    fn parse_paper_c1() {
+        let t = sales();
+        let pc = parse_constraint(
+            &t,
+            "branch = 'Chicago' => price <= 149.99 AND price >= 0, (0, 5)",
+        )
+        .unwrap();
+        assert_eq!(pc.frequency, FrequencyConstraint::at_most(5));
+        let iv = pc.values.interval_for(2);
+        assert_eq!((iv.lo, iv.hi), (0.0, 149.99));
+        assert!(pc.predicate.eval(&[9.0, 0.0, 1.0]));
+        assert!(!pc.predicate.eval(&[9.0, 1.0, 1.0]));
+    }
+
+    #[test]
+    fn parse_tautology_and_between() {
+        let t = sales();
+        let pc = parse_constraint(&t, "TRUE => price BETWEEN 0 AND 149.99, (0, 100)").unwrap();
+        assert!(pc.predicate.is_always());
+        assert_eq!(pc.frequency.hi, 100);
+    }
+
+    #[test]
+    fn parse_document_and_bound() {
+        let t = sales();
+        let src = "\
+# the §4.4 overlapping example
+11 <= utc AND utc < 12 => 0.99 <= price AND price <= 129.99, (50, 100)
+11 <= utc AND utc < 13 => 0.99 <= price AND price <= 149.99, (75, 125)
+";
+        let mut set = parse_pcset(&t, src).unwrap();
+        assert_eq!(set.len(), 2);
+        let mut domain = Region::full(t.schema());
+        domain.set_interval(0, Interval::half_open(11.0, 13.0));
+        set.set_domain(domain);
+        let r = BoundEngine::new(&set)
+            .bound(&AggQuery::new(AggKind::Sum, 2, Predicate::always()))
+            .unwrap();
+        assert!((r.range.lo - 74.25).abs() < 1e-6);
+        assert!((r.range.hi - 17_748.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_display_reparses() {
+        let t = sales();
+        let src = "branch = 'Chicago' => price BETWEEN 0 AND 149.99, (0, 5)";
+        let pc = parse_constraint(&t, src).unwrap();
+        // display uses math symbols; just check it renders and is stable
+        let shown = pc.display(t.schema()).to_string();
+        assert!(shown.contains("branch"), "{shown}");
+    }
+
+    #[test]
+    fn error_positions_accumulate_across_lines() {
+        let t = sales();
+        let src = "TRUE => price <= 1, (0, 5)\nbranch = 'Boston' => TRUE, (0, 1)\n";
+        let e = parse_pcset(&t, src).unwrap_err();
+        assert!(e.message.contains("Boston"));
+        assert!(
+            e.at > 26,
+            "error position must be on the second line, got {}",
+            e.at
+        );
+    }
+
+    #[test]
+    fn bad_frequency_rejected() {
+        let t = sales();
+        for bad in [
+            "TRUE => TRUE, (5, 2)",
+            "TRUE => TRUE, (0.5, 2)",
+            "TRUE => TRUE, (-1, 2)",
+        ] {
+            assert!(parse_constraint(&t, bad).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+use pc_solver::SolverError;
+use std::fmt;
+
+/// Errors from the bounding engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundError {
+    /// The constraint set admits *no* valid missing-data instance inside
+    /// the query region (e.g. a frequency lower bound with nowhere to put
+    /// the forced rows). The constraints themselves are contradictory.
+    Infeasible,
+    /// `AVG` / `MIN` / `MAX` was requested but every valid instance has
+    /// zero missing rows matching the query, so the aggregate is undefined.
+    EmptyAggregate,
+    /// The underlying LP/MILP solver failed (limits, malformed model).
+    Solver(SolverError),
+}
+
+impl fmt::Display for BoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundError::Infeasible => {
+                write!(
+                    f,
+                    "predicate constraints are contradictory within the query region"
+                )
+            }
+            BoundError::EmptyAggregate => {
+                write!(
+                    f,
+                    "no missing row can match the query; the aggregate is undefined"
+                )
+            }
+            BoundError::Solver(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BoundError {}
+
+impl From<SolverError> for BoundError {
+    fn from(e: SolverError) -> Self {
+        match e {
+            SolverError::Infeasible => BoundError::Infeasible,
+            other => BoundError::Solver(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_infeasible_maps_to_infeasible() {
+        assert_eq!(
+            BoundError::from(SolverError::Infeasible),
+            BoundError::Infeasible
+        );
+        assert_eq!(
+            BoundError::from(SolverError::Unbounded),
+            BoundError::Solver(SolverError::Unbounded)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert!(BoundError::Infeasible.to_string().contains("contradictory"));
+        assert!(BoundError::EmptyAggregate.to_string().contains("undefined"));
+    }
+}

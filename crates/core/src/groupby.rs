@@ -1,0 +1,116 @@
+//! GROUP-BY support (§2): "a GROUP-BY clause can be considered as a union
+//! of such queries without GROUP-BY" — each group value becomes one
+//! bounded query with the group membership conjoined to the WHERE clause.
+
+use crate::{BoundEngine, BoundError, BoundReport};
+use pc_predicate::{Atom, Interval};
+use pc_storage::AggQuery;
+
+/// The result range of one group.
+#[derive(Debug, Clone)]
+pub struct GroupBound {
+    /// The group's (encoded) key value.
+    pub key: f64,
+    /// The bound, or the per-group error (`EmptyAggregate` is common and
+    /// expected for groups no missing row can reach).
+    pub report: Result<BoundReport, BoundError>,
+}
+
+impl BoundEngine<'_> {
+    /// Bound `SELECT agg(attr) … GROUP BY group_attr` for an explicit list
+    /// of group keys (e.g. every dictionary code of a categorical
+    /// attribute, or the distinct values observed historically).
+    ///
+    /// Each group is the base query with `group_attr = key` conjoined —
+    /// exactly the union-of-queries semantics of §2. Group keys the
+    /// constraints prove unreachable come back as
+    /// [`BoundError::EmptyAggregate`] rather than a fabricated zero range,
+    /// so callers can distinguish "no missing rows here" from "bounded".
+    pub fn bound_group_by(
+        &self,
+        base: &AggQuery,
+        group_attr: usize,
+        keys: impl IntoIterator<Item = f64>,
+    ) -> Vec<GroupBound> {
+        keys.into_iter()
+            .map(|key| {
+                let predicate = base
+                    .predicate
+                    .clone()
+                    .and(Atom::new(group_attr, Interval::point(key)));
+                let query = AggQuery::new(base.agg, base.attr, predicate);
+                GroupBound {
+                    key,
+                    report: self.bound(&query),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint};
+    use pc_predicate::{AttrType, Predicate, Region, Schema};
+    use pc_storage::AggKind;
+
+    fn branch_set() -> PcSet {
+        let schema = Schema::new(vec![("branch", AttrType::Cat), ("price", AttrType::Float)]);
+        let mut domain = Region::full(&schema);
+        domain.set_interval(0, Interval::closed(0.0, 2.0));
+        let mut set = PcSet::new(schema);
+        for (code, hi, k) in [(0u32, 149.99, 5u64), (1, 100.0, 10), (2, 50.0, 3)] {
+            set.push(PredicateConstraint::new(
+                Predicate::atom(Atom::eq(0, f64::from(code))),
+                ValueConstraint::none().with(1, Interval::closed(0.0, hi)),
+                FrequencyConstraint::at_most(k),
+            ));
+        }
+        set.set_domain(domain);
+        set.set_disjoint_hint(true);
+        set
+    }
+
+    #[test]
+    fn group_by_branch_sums() {
+        let set = branch_set();
+        let engine = BoundEngine::new(&set);
+        let base = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let groups = engine.bound_group_by(&base, 0, [0.0, 1.0, 2.0]);
+        assert_eq!(groups.len(), 3);
+        let his: Vec<f64> = groups
+            .iter()
+            .map(|g| g.report.as_ref().unwrap().range.hi)
+            .collect();
+        assert!((his[0] - 5.0 * 149.99).abs() < 1e-6);
+        assert!((his[1] - 10.0 * 100.0).abs() < 1e-6);
+        assert!((his[2] - 3.0 * 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_sum_upper_bounds_match_total() {
+        // union semantics: the total SUM bound equals the sum of group
+        // bounds for disjoint groups covering the domain
+        let set = branch_set();
+        let engine = BoundEngine::new(&set);
+        let base = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let total = engine.bound(&base).unwrap().range.hi;
+        let group_total: f64 = engine
+            .bound_group_by(&base, 0, [0.0, 1.0, 2.0])
+            .iter()
+            .map(|g| g.report.as_ref().unwrap().range.hi)
+            .sum();
+        assert!((total - group_total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unreachable_group_is_flagged() {
+        let set = branch_set();
+        let engine = BoundEngine::new(&set);
+        // MIN over a group outside the domain: provably empty
+        let base = AggQuery::new(AggKind::Min, 1, Predicate::always());
+        let groups = engine.bound_group_by(&base, 0, [7.0]);
+        assert!(matches!(groups[0].report, Err(BoundError::EmptyAggregate)));
+    }
+}

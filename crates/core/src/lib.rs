@@ -1,0 +1,78 @@
+//! The Predicate-Constraint (PC) framework — the paper's primary
+//! contribution.
+//!
+//! A [`PredicateConstraint`] states: *"for all missing rows satisfying
+//! predicate ψ, their attribute values lie in the ranges ν, and between kl
+//! and ku such rows exist"* (Definition 3.1). A [`PcSet`] collects such
+//! constraints; the [`BoundEngine`] computes the deterministic **result
+//! range** — the min and max value any `COUNT / SUM / AVG / MIN / MAX`
+//! aggregate query could take over all missing-data instances consistent
+//! with the set (§4), via:
+//!
+//! 1. **Cell decomposition** ([`decompose()`](decompose())) of possibly-overlapping
+//!    predicates into disjoint satisfiable cells, with the paper's four
+//!    optimizations: query-predicate pushdown, DFS prefix pruning, the
+//!    `X ∧ ¬Y` rewrite, and approximate early stopping.
+//! 2. A **mixed-integer linear program** (§4.2) allocating rows to cells,
+//!    solved by `pc-solver`, with the greedy fast path for disjoint sets.
+//! 3. **Join bounds** (§5): the naive Cartesian-product bound and the
+//!    tighter fractional-edge-cover bound derived from Friedgut's
+//!    generalized weighted entropy inequality.
+//!
+//! Constraints are *testable*: [`PcSet::validate`] checks a set against
+//! historical data, returning every violation, which is the paper's
+//! argument for reproducible contingency analysis.
+//!
+//! # Example
+//!
+//! The paper's §4.4 disjoint example, end to end:
+//!
+//! ```
+//! use pc_core::*;
+//! use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
+//! use pc_storage::{AggKind, AggQuery};
+//!
+//! let schema = Schema::new(vec![("utc", AttrType::Int), ("price", AttrType::Float)]);
+//! let mut set = PcSet::new(schema.clone());
+//! // Nov-11: 50-100 sales, each in [0.99, 129.99]
+//! set.push(PredicateConstraint::new(
+//!     Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
+//!     ValueConstraint::none().with(1, Interval::closed(0.99, 129.99)),
+//!     FrequencyConstraint::between(50, 100),
+//! ));
+//! // Nov-12: 50-100 sales, each in [0.99, 149.99]
+//! set.push(PredicateConstraint::new(
+//!     Predicate::atom(Atom::bucket(0, 12.0, 13.0)),
+//!     ValueConstraint::none().with(1, Interval::closed(0.99, 149.99)),
+//!     FrequencyConstraint::between(50, 100),
+//! ));
+//! let mut domain = Region::full(&schema);
+//! domain.set_interval(0, Interval::half_open(11.0, 13.0));
+//! set.set_domain(domain);
+//!
+//! let report = BoundEngine::new(&set)
+//!     .bound(&AggQuery::new(AggKind::Sum, 1, Predicate::always()))
+//!     .unwrap();
+//! assert_eq!((report.range.lo, report.range.hi), (99.0, 27_998.0));
+//! ```
+
+#![warn(missing_docs)]
+
+mod bounds;
+mod cell;
+mod constraint;
+pub mod decompose;
+pub mod dsl;
+mod error;
+mod groupby;
+pub mod join;
+mod pcset;
+
+pub use bounds::{BoundEngine, BoundOptions, BoundReport, ResultRange};
+pub use cell::Cell;
+pub use constraint::{FrequencyConstraint, PredicateConstraint, ValueConstraint};
+pub use decompose::{decompose, DecomposeStats, Strategy};
+pub use dsl::{parse_constraint, parse_pcset};
+pub use error::BoundError;
+pub use groupby::GroupBound;
+pub use pcset::{PcSet, Violation};

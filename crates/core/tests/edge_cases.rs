@@ -1,0 +1,212 @@
+//! Edge-case integration tests for the bounding engine: degenerate sets,
+//! negative value domains, zero frequencies, out-of-domain queries, and
+//! the LP-relaxation/exact-MILP consistency contract.
+
+use pc_core::{
+    BoundEngine, BoundError, BoundOptions, FrequencyConstraint, PcSet, PredicateConstraint,
+    ValueConstraint,
+};
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
+use pc_storage::{AggKind, AggQuery};
+
+fn schema() -> Schema {
+    Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Float)])
+}
+
+fn domain(lo: f64, hi: f64) -> Region {
+    let mut d = Region::full(&schema());
+    d.set_interval(0, Interval::closed(lo, hi));
+    d
+}
+
+#[test]
+fn empty_set_is_unbounded_above() {
+    let set = PcSet::new(schema());
+    let r = BoundEngine::new(&set)
+        .bound(&AggQuery::count(Predicate::always()))
+        .unwrap();
+    assert!(!r.closed);
+    assert_eq!(r.range.lo, 0.0);
+    assert_eq!(r.range.hi, f64::INFINITY);
+}
+
+#[test]
+fn query_outside_domain_is_empty() {
+    let mut set = PcSet::new(schema()).with(PredicateConstraint::new(
+        Predicate::atom(Atom::between(0, 0.0, 5.0)),
+        ValueConstraint::none().with(1, Interval::closed(0.0, 10.0)),
+        FrequencyConstraint::at_most(9),
+    ));
+    set.set_domain(domain(0.0, 5.0));
+    let q = AggQuery::count(Predicate::atom(Atom::between(0, 50.0, 60.0)));
+    let r = BoundEngine::new(&set).bound(&q).unwrap();
+    assert_eq!((r.range.lo, r.range.hi), (0.0, 0.0));
+    assert!(r.closed, "an empty region is vacuously covered");
+}
+
+#[test]
+fn zero_frequency_means_no_rows() {
+    let mut set = PcSet::new(schema()).with(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::closed(0.0, 100.0)),
+        FrequencyConstraint::at_most(0),
+    ));
+    set.set_domain(domain(0.0, 5.0));
+    let engine = BoundEngine::new(&set);
+    let count = engine.bound(&AggQuery::count(Predicate::always())).unwrap();
+    assert_eq!((count.range.lo, count.range.hi), (0.0, 0.0));
+    let sum = engine
+        .bound(&AggQuery::new(AggKind::Sum, 1, Predicate::always()))
+        .unwrap();
+    assert_eq!((sum.range.lo, sum.range.hi), (0.0, 0.0));
+    // aggregates over guaranteed-empty relations are undefined
+    assert_eq!(
+        engine
+            .bound(&AggQuery::new(AggKind::Max, 1, Predicate::always()))
+            .unwrap_err(),
+        BoundError::EmptyAggregate
+    );
+}
+
+#[test]
+fn negative_value_domain_sum_bounds() {
+    // temperatures in [-40, 10], 5 to 8 readings
+    let mut set = PcSet::new(schema()).with(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::closed(-40.0, 10.0)),
+        FrequencyConstraint::between(5, 8),
+    ));
+    set.set_domain(domain(0.0, 5.0));
+    let r = BoundEngine::new(&set)
+        .bound(&AggQuery::new(AggKind::Sum, 1, Predicate::always()))
+        .unwrap();
+    // min: 8 readings at −40 (more rows make it *smaller*);
+    // max: 8 readings at +10... but 5 forced rows could be negative? No:
+    // max allocates all at +10, and extra rows only help: 8 × 10 = 80.
+    assert_eq!(r.range.lo, -320.0);
+    assert_eq!(r.range.hi, 80.0);
+
+    let mn = BoundEngine::new(&set)
+        .bound(&AggQuery::new(AggKind::Min, 1, Predicate::always()))
+        .unwrap();
+    assert_eq!(mn.range.lo, -40.0);
+    // forced rows exist, each ≤ 10, so the MIN cannot exceed 10
+    assert_eq!(mn.range.hi, 10.0);
+}
+
+#[test]
+fn avg_of_forced_uniform_rows_is_pinned() {
+    // exactly 4 rows, all with v ∈ [7, 7]: AVG must be exactly 7
+    let mut set = PcSet::new(schema()).with(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::point(7.0)),
+        FrequencyConstraint::exactly(4),
+    ));
+    set.set_domain(domain(0.0, 5.0));
+    let r = BoundEngine::new(&set)
+        .bound(&AggQuery::new(AggKind::Avg, 1, Predicate::always()))
+        .unwrap();
+    assert!((r.range.lo - 7.0).abs() < 1e-6);
+    assert!((r.range.hi - 7.0).abs() < 1e-6);
+}
+
+#[test]
+fn lp_relaxation_contains_exact_range() {
+    // the relaxed range must always contain the exact range
+    let mut set = PcSet::new(schema());
+    for (lo, hi, kl, ku) in [(0.0, 3.0, 2u64, 7u64), (2.0, 5.0, 1, 9), (0.0, 5.0, 5, 12)] {
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, lo, hi)),
+            ValueConstraint::none().with(1, Interval::closed(1.0, 10.0 + hi)),
+            FrequencyConstraint::between(kl, ku),
+        ));
+    }
+    set.set_domain(domain(0.0, 5.0));
+    let exact = BoundEngine::with_options(
+        &set,
+        BoundOptions {
+            lp_relax_cell_limit: usize::MAX,
+            ..BoundOptions::default()
+        },
+    );
+    let relaxed = BoundEngine::with_options(
+        &set,
+        BoundOptions {
+            lp_relax_cell_limit: 0,
+            ..BoundOptions::default()
+        },
+    );
+    for q in [
+        AggQuery::count(Predicate::always()),
+        AggQuery::new(AggKind::Sum, 1, Predicate::always()),
+        AggQuery::count(Predicate::atom(Atom::between(0, 0.0, 2.0))),
+    ] {
+        let e = exact.bound(&q).unwrap().range;
+        let r = relaxed.bound(&q).unwrap().range;
+        assert!(
+            r.lo <= e.lo + 1e-6,
+            "{q:?}: relax lo {} > exact {}",
+            r.lo,
+            e.lo
+        );
+        assert!(
+            r.hi >= e.hi - 1e-6,
+            "{q:?}: relax hi {} < exact {}",
+            r.hi,
+            e.hi
+        );
+    }
+}
+
+#[test]
+fn result_range_helpers() {
+    use pc_core::ResultRange;
+    let r = ResultRange { lo: 1.0, hi: 5.0 };
+    assert!(r.is_bounded());
+    assert!(r.contains(1.0) && r.contains(5.0) && !r.contains(5.1));
+    let shifted = r.offset(10.0);
+    assert_eq!((shifted.lo, shifted.hi), (11.0, 15.0));
+    let open = ResultRange {
+        lo: 0.0,
+        hi: f64::INFINITY,
+    };
+    assert!(!open.is_bounded());
+    assert!(open.contains(1e300));
+}
+
+#[test]
+fn tautology_constraint_bounds_everything() {
+    // c2 from §3.1 alone: TRUE ⇒ price ≤ 149.99, at most 100 rows
+    let mut set = PcSet::new(schema()).with(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::at_most(100),
+    ));
+    set.set_domain(domain(0.0, 100.0));
+    assert!(set.is_closed());
+    let r = BoundEngine::new(&set)
+        .bound(&AggQuery::new(AggKind::Sum, 1, Predicate::always()))
+        .unwrap();
+    assert!((r.range.hi - 100.0 * 149.99).abs() < 1e-6);
+}
+
+#[test]
+fn forced_rows_in_subregion_propagate_to_count_lower_bound() {
+    let mut set = PcSet::new(schema())
+        .with(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, 0.0, 2.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 1.0)),
+            FrequencyConstraint::between(10, 20),
+        ))
+        .with(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, 3.0, 5.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 1.0)),
+            FrequencyConstraint::at_most(7),
+        ));
+    set.set_domain(domain(0.0, 5.0));
+    let r = BoundEngine::new(&set)
+        .bound(&AggQuery::count(Predicate::always()))
+        .unwrap();
+    assert_eq!(r.range.lo, 10.0);
+    assert_eq!(r.range.hi, 27.0);
+}

@@ -1,0 +1,176 @@
+//! End-to-end soundness of the bounding engine.
+//!
+//! The framework's central guarantee (§1, outcome 2): if the missing data
+//! satisfies the constraints, the true aggregate lies inside the computed
+//! result range. We generate random constraint sets and random concrete
+//! tables; whenever the table happens to satisfy the set (checked with
+//! `PcSet::validate`), every aggregate of every query on that table must
+//! fall inside the engine's range.
+
+use pc_core::{
+    BoundEngine, BoundError, FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint,
+};
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema, Value};
+use pc_storage::{evaluate, AggKind, AggQuery, AggResult, Table};
+use proptest::prelude::*;
+
+const GMAX: i64 = 4;
+const VMAX: i64 = 10;
+
+fn schema() -> Schema {
+    Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Int)])
+}
+
+fn domain() -> Region {
+    let mut d = Region::full(&schema());
+    d.set_interval(0, Interval::closed(0.0, GMAX as f64));
+    d
+}
+
+/// A raw predicate plus slack knobs; value and frequency constraints are
+/// derived *from the table* (the way Corr-PC summarizes real missing data)
+/// so the table is a valid instance by construction.
+#[derive(Debug, Clone)]
+struct RawPc {
+    g_lo: i64,
+    g_hi: i64,
+    k_slack: u64,
+    v_slack: i64,
+}
+
+prop_compose! {
+    fn arb_pc()(
+        a in 0..=GMAX, b in 0..=GMAX,
+        k_slack in 0u64..4, v_slack in 0i64..3,
+    ) -> RawPc {
+        RawPc {
+            g_lo: a.min(b),
+            g_hi: a.max(b),
+            k_slack,
+            v_slack,
+        }
+    }
+}
+
+fn build_set(raw: &[RawPc], table: &Table) -> PcSet {
+    let mut set = PcSet::new(schema());
+    set.set_domain(domain());
+    for r in raw {
+        let pred = Predicate::atom(Atom::between(0, r.g_lo as f64, r.g_hi as f64));
+        // summarize the true matching rows, then widen by the slack knobs
+        let mut count = 0u64;
+        let mut vmin = f64::INFINITY;
+        let mut vmax = f64::NEG_INFINITY;
+        for row in 0..table.len() {
+            let enc = table.encoded_row(row);
+            if pred.eval(&enc) {
+                count += 1;
+                vmin = vmin.min(enc[1]);
+                vmax = vmax.max(enc[1]);
+            }
+        }
+        if count == 0 {
+            vmin = 0.0;
+            vmax = 0.0;
+        }
+        set.push(PredicateConstraint::new(
+            pred,
+            ValueConstraint::none().with(
+                1,
+                Interval::closed(vmin - r.v_slack as f64, vmax + r.v_slack as f64),
+            ),
+            FrequencyConstraint::between(count.saturating_sub(r.k_slack), count + r.k_slack),
+        ));
+    }
+    // catch-all so the set is closed over the domain: any row anywhere,
+    // generously bounded
+    set.push(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::closed(0.0, VMAX as f64)),
+        FrequencyConstraint::at_most(64),
+    ));
+    set
+}
+
+fn build_table(rows: &[(i64, i64)]) -> Table {
+    let mut t = Table::new(schema());
+    for &(g, v) in rows {
+        t.push_row(vec![Value::Int(g), Value::Int(v)]);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn valid_instances_fall_inside_ranges(
+        raw in prop::collection::vec(arb_pc(), 1..4),
+        rows in prop::collection::vec((0..=GMAX, 0..=VMAX), 0..12),
+        q_lo in 0..=GMAX, q_hi in 0..=GMAX,
+    ) {
+        let table = build_table(&rows);
+        let set = build_set(&raw, &table);
+        // valid by construction; validate() doubles as a test of itself
+        prop_assert!(set.validate(&table).is_empty());
+
+        let (qa, qb) = (q_lo.min(q_hi) as f64, q_lo.max(q_hi) as f64);
+        let qpred = Predicate::atom(Atom::between(0, qa, qb));
+        let engine = BoundEngine::new(&set);
+
+        for agg in [AggKind::Count, AggKind::Sum, AggKind::Avg, AggKind::Min, AggKind::Max] {
+            let query = AggQuery::new(agg, 1, qpred.clone());
+            let truth = evaluate(&table, &query);
+            match engine.bound(&query) {
+                Ok(report) => {
+                    if let AggResult::Value(v) = truth {
+                        prop_assert!(
+                            report.range.contains(v),
+                            "{agg:?}: true {v} outside [{}, {}] (closed={})",
+                            report.range.lo, report.range.hi, report.closed
+                        );
+                    }
+                }
+                Err(BoundError::EmptyAggregate) => {
+                    // the engine proved no row can match; the instance must
+                    // agree
+                    prop_assert_eq!(truth, AggResult::Empty);
+                }
+                Err(BoundError::Infeasible) => {
+                    // a valid instance exists (we hold one!) — infeasible
+                    // would be a soundness bug
+                    return Err(TestCaseError::fail("engine claimed infeasible with a valid instance in hand"));
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("solver error: {e}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn tightness_sum_upper_is_achievable_for_disjoint_partitions(
+        counts in prop::collection::vec((0u64..5, 1i64..=VMAX), 1..4),
+    ) {
+        // partition g into one bucket per entry; PC i forces exactly
+        // `count` rows at value ≤ v_hi. The SUM upper bound must equal
+        // Σ count·v_hi — i.e. the bound is tight (§4: "our bounds are
+        // tight").
+        let mut set = PcSet::new(schema());
+        let mut d = Region::full(&schema());
+        d.set_interval(0, Interval::closed(0.0, counts.len() as f64 - 1.0));
+        set.set_domain(d);
+        let mut expect = 0.0;
+        for (i, &(count, v_hi)) in counts.iter().enumerate() {
+            set.push(PredicateConstraint::new(
+                Predicate::atom(Atom::eq(0, i as f64)),
+                ValueConstraint::none().with(1, Interval::closed(0.0, v_hi as f64)),
+                FrequencyConstraint::exactly(count),
+            ));
+            expect += count as f64 * v_hi as f64;
+        }
+        set.set_disjoint_hint(true);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let report = BoundEngine::new(&set).bound(&q).unwrap();
+        prop_assert!((report.range.hi - expect).abs() < 1e-6,
+            "upper {} != achievable {expect}", report.range.hi);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for cell decomposition: all exact strategies must
+//! produce the same satisfiable cells on arbitrary overlapping constraint
+//! sets, early stopping must only add cells, and cells must genuinely
+//! partition the predicate space (witnesses are exclusive).
+
+use pc_core::{
+    decompose, FrequencyConstraint, PcSet, PredicateConstraint, Strategy, ValueConstraint,
+};
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
+use proptest::prelude::*;
+
+const D: i64 = 10;
+
+fn schema() -> Schema {
+    Schema::new(vec![("x", AttrType::Int), ("y", AttrType::Int)])
+}
+
+prop_compose! {
+    fn arb_box()(a in 0..=D, b in 0..=D, c in 0..=D, d in 0..=D) -> Predicate {
+        Predicate::always()
+            .and(Atom::between(0, a.min(b) as f64, a.max(b) as f64))
+            .and(Atom::between(1, c.min(d) as f64, c.max(d) as f64))
+    }
+}
+
+fn build_set(preds: Vec<Predicate>) -> PcSet {
+    let mut set = PcSet::new(schema());
+    for p in preds {
+        set.push(PredicateConstraint::new(
+            p,
+            ValueConstraint::none(),
+            FrequencyConstraint::at_most(10),
+        ));
+    }
+    set
+}
+
+fn signatures(cells: &[pc_core::Cell]) -> Vec<Vec<usize>> {
+    let mut sigs: Vec<Vec<usize>> = cells.iter().map(|c| c.active.clone()).collect();
+    sigs.sort();
+    sigs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_strategies_agree(preds in prop::collection::vec(arb_box(), 1..6)) {
+        let set = build_set(preds);
+        let base = Region::full(set.schema());
+        let (naive, _) = decompose(&set, &base, Strategy::Naive);
+        let (dfs, _) = decompose(&set, &base, Strategy::Dfs);
+        let (rw, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        prop_assert_eq!(signatures(&naive), signatures(&dfs));
+        prop_assert_eq!(signatures(&naive), signatures(&rw));
+    }
+
+    #[test]
+    fn early_stop_is_a_superset(preds in prop::collection::vec(arb_box(), 2..6), depth in 0usize..4) {
+        let set = build_set(preds);
+        let base = Region::full(set.schema());
+        let (exact, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        let (approx, stats) = decompose(&set, &base, Strategy::EarlyStop { depth });
+        let exact_sigs = signatures(&exact);
+        let approx_sigs = signatures(&approx);
+        for sig in &exact_sigs {
+            prop_assert!(approx_sigs.contains(sig), "lost satisfiable cell {:?}", sig);
+        }
+        // approximation admits cells without verifying — never fewer
+        prop_assert!(approx_sigs.len() >= exact_sigs.len());
+        if depth < set.len() {
+            prop_assert!(stats.assumed_sat > 0);
+        }
+    }
+
+    #[test]
+    fn witnesses_are_exclusive(preds in prop::collection::vec(arb_box(), 1..6)) {
+        let set = build_set(preds);
+        let base = Region::full(set.schema());
+        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        for cell in &cells {
+            let w = cell.witness.as_ref().expect("exact mode emits witnesses");
+            for (j, pc) in set.constraints().iter().enumerate() {
+                prop_assert_eq!(
+                    pc.predicate.eval(w),
+                    cell.is_active(j),
+                    "witness must match the cell's activity pattern exactly"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_grid_point_in_exactly_one_cell_or_uncovered(
+        preds in prop::collection::vec(arb_box(), 1..5)
+    ) {
+        // disjointness: a domain point matching some predicate belongs to
+        // exactly one emitted cell's activity pattern
+        let set = build_set(preds);
+        let base = Region::full(set.schema());
+        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        for x in 0..=D {
+            for y in 0..=D {
+                let row = [x as f64, y as f64];
+                let active: Vec<usize> = set
+                    .constraints()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pc)| pc.predicate.eval(&row))
+                    .map(|(j, _)| j)
+                    .collect();
+                let matching = cells
+                    .iter()
+                    .filter(|c| c.active == active)
+                    .count();
+                if active.is_empty() {
+                    prop_assert_eq!(matching, 0, "all-negative points spawn no cell");
+                } else {
+                    prop_assert_eq!(matching, 1, "point ({},{}) pattern {:?}", x, y, active);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_never_loses_query_cells(
+        preds in prop::collection::vec(arb_box(), 1..5),
+        qa in 0..=D, qb in 0..=D,
+    ) {
+        // decomposing inside the query region finds exactly the activity
+        // patterns realized by points inside the region
+        let set = build_set(preds);
+        let (qlo, qhi) = (qa.min(qb) as f64, qa.max(qb) as f64);
+        let mut base = Region::full(set.schema());
+        base.intersect_atom(&Atom::between(0, qlo, qhi));
+        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        let sigs = signatures(&cells);
+        for x in (qlo as i64)..=(qhi as i64) {
+            for y in 0..=D {
+                let row = [x as f64, y as f64];
+                let active: Vec<usize> = set
+                    .constraints()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pc)| pc.predicate.eval(&row))
+                    .map(|(j, _)| j)
+                    .collect();
+                if !active.is_empty() {
+                    prop_assert!(
+                        sigs.contains(&active),
+                        "pattern {:?} at ({},{}) missing under pushdown", active, x, y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interval_domains_respected(preds in prop::collection::vec(arb_box(), 1..5)) {
+        // a restricted domain excludes cells outside it
+        let mut set = build_set(preds);
+        let mut domain = Region::full(set.schema());
+        domain.set_interval(0, Interval::closed(0.0, 3.0));
+        set.set_domain(domain.clone());
+        let (cells, _) = decompose(&set, &domain, Strategy::DfsRewrite);
+        for cell in &cells {
+            let w = cell.witness.as_ref().unwrap();
+            prop_assert!(w[0] <= 3.0, "witness escaped the domain");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Synthetic twin of the Airbnb NYC 2019 listings dataset \[2\]:
+//! latitude/longitude clustered by borough, log-normal prices whose scale
+//! depends on the neighborhood, room type, and review counts.
+//!
+//! The paper calls this dataset "significantly skewed": a few Manhattan
+//! listings carry extreme prices. That skew (and the spatial correlation
+//! of price with lat/lon) is what Fig 10 exercises.
+
+use pc_predicate::{AttrType, Schema, Value};
+use pc_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs for the Airbnb-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct AirbnbConfig {
+    /// Total listings.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AirbnbConfig {
+    fn default() -> Self {
+        AirbnbConfig {
+            rows: 50_000,
+            seed: 0xA1B2B,
+        }
+    }
+}
+
+/// Attribute indices of the generated schema.
+pub mod cols {
+    /// `latitude` (Float)
+    pub const LATITUDE: usize = 0;
+    /// `longitude` (Float)
+    pub const LONGITUDE: usize = 1;
+    /// `room_type` (Cat: entire home / private room / shared room)
+    pub const ROOM_TYPE: usize = 2;
+    /// `price` (Float, $/night) — the aggregate attribute
+    pub const PRICE: usize = 3;
+    /// `reviews` (Int)
+    pub const REVIEWS: usize = 4;
+}
+
+/// The Airbnb-like schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        ("latitude", AttrType::Float),
+        ("longitude", AttrType::Float),
+        ("room_type", AttrType::Cat),
+        ("price", AttrType::Float),
+        ("reviews", AttrType::Int),
+    ])
+}
+
+/// Borough-like centers: (lat, lon, price scale, weight).
+const CENTERS: [(f64, f64, f64, f64); 5] = [
+    (40.78, -73.97, 220.0, 0.30), // Manhattan — expensive
+    (40.68, -73.95, 110.0, 0.35), // Brooklyn
+    (40.75, -73.87, 80.0, 0.18),  // Queens
+    (40.85, -73.88, 65.0, 0.10),  // Bronx
+    (40.58, -74.10, 70.0, 0.07),  // Staten Island
+];
+
+/// Generate the table.
+pub fn generate(config: AirbnbConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut table = Table::new(schema());
+    for _ in 0..config.rows {
+        // pick a borough by weight
+        let mut t = rng.gen::<f64>();
+        let mut center = CENTERS[0];
+        for c in CENTERS {
+            if t < c.3 {
+                center = c;
+                break;
+            }
+            t -= c.3;
+        }
+        let (clat, clon, scale, _) = center;
+        let lat = clat + 0.04 * gauss(&mut rng);
+        let lon = clon + 0.04 * gauss(&mut rng);
+        let room = match rng.gen_range(0..10) {
+            0..=4 => 0u32, // entire home
+            5..=8 => 1,    // private room
+            _ => 2,        // shared room
+        };
+        let room_factor = match room {
+            0 => 1.0,
+            1 => 0.55,
+            _ => 0.35,
+        };
+        // log-normal price with borough scale; heavy right tail
+        let price = (scale * room_factor * (0.6 * gauss(&mut rng)).exp()).clamp(10.0, 10_000.0);
+        let reviews = (50.0 * rng.gen::<f64>().powi(2)) as i64;
+        table.push_row(vec![
+            Value::Float(lat),
+            Value::Float(lon),
+            Value::Cat(room),
+            Value::Float(price),
+            Value::Int(reviews),
+        ]);
+    }
+    table
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, Predicate};
+    use pc_storage::{evaluate, AggKind, AggQuery};
+
+    fn small() -> Table {
+        generate(AirbnbConfig {
+            rows: 20_000,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn shape() {
+        let t = small();
+        assert_eq!(t.len(), 20_000);
+        let (plo, phi) = t.attr_range(cols::PRICE).unwrap();
+        assert!(plo >= 10.0 && phi <= 10_000.0);
+    }
+
+    #[test]
+    fn price_is_skewed() {
+        let t = small();
+        let avg = evaluate(
+            &t,
+            &AggQuery::new(AggKind::Avg, cols::PRICE, Predicate::always()),
+        )
+        .value();
+        let max = evaluate(
+            &t,
+            &AggQuery::new(AggKind::Max, cols::PRICE, Predicate::always()),
+        )
+        .value();
+        assert!(max > 6.0 * avg, "skew: max {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn manhattan_pricier_than_bronx() {
+        let t = small();
+        let manhattan = Predicate::always()
+            .and(Atom::between(cols::LATITUDE, 40.74, 40.82))
+            .and(Atom::between(cols::LONGITUDE, -74.01, -73.93));
+        let bronx = Predicate::always()
+            .and(Atom::between(cols::LATITUDE, 40.81, 40.89))
+            .and(Atom::between(cols::LONGITUDE, -73.92, -73.84));
+        let m = evaluate(&t, &AggQuery::new(AggKind::Avg, cols::PRICE, manhattan)).value();
+        let b = evaluate(&t, &AggQuery::new(AggKind::Avg, cols::PRICE, bronx)).value();
+        assert!(m > 1.5 * b, "manhattan {m} vs bronx {b}");
+    }
+
+    #[test]
+    fn room_types_present() {
+        let t = small();
+        for room in 0..3 {
+            let q = AggQuery::count(Predicate::atom(Atom::eq(cols::ROOM_TYPE, f64::from(room))));
+            assert!(evaluate(&t, &q).value() > 100.0);
+        }
+    }
+}

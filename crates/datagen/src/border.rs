@@ -1,0 +1,185 @@
+//! Synthetic twin of the BTS Border Crossing dataset \[23\]: monthly
+//! inbound-crossing summaries per port and vehicle measure. Counts are
+//! heavy-tailed — a handful of ports (San Ysidro, El Paso, …) dwarf the
+//! rest — and seasonal, so `port` and `date` correlate with `value`.
+
+use pc_predicate::{AttrType, Schema, Value};
+use pc_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs for the Border-Crossing-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct BorderConfig {
+    /// Total rows.
+    pub rows: usize,
+    /// Number of distinct ports (the real dataset has ~115).
+    pub ports: u32,
+    /// Number of months of data.
+    pub months: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BorderConfig {
+    fn default() -> Self {
+        BorderConfig {
+            rows: 100_000,
+            ports: 100,
+            months: 48,
+            seed: 0xB0BDE5,
+        }
+    }
+}
+
+/// Attribute indices of the generated schema.
+pub mod cols {
+    /// `port` (Cat)
+    pub const PORT: usize = 0;
+    /// `date` (Int — month index)
+    pub const DATE: usize = 1;
+    /// `measure` (Cat — vehicle type)
+    pub const MEASURE: usize = 2;
+    /// `value` (Int — crossings) — the aggregate attribute
+    pub const VALUE: usize = 3;
+}
+
+/// The Border-Crossing-like schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        ("port", AttrType::Cat),
+        ("date", AttrType::Int),
+        ("measure", AttrType::Cat),
+        ("value", AttrType::Int),
+    ])
+}
+
+/// Vehicle measures (matching the real dataset's categories).
+pub const MEASURES: [&str; 6] = [
+    "Personal Vehicles",
+    "Personal Vehicle Passengers",
+    "Pedestrians",
+    "Trucks",
+    "Buses",
+    "Trains",
+];
+
+/// Generate the table.
+pub fn generate(config: BorderConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut table = Table::new(schema());
+    // intern labels up front so codes are stable
+    for p in 0..config.ports {
+        table.intern(cols::PORT, &format!("Port{p:03}"));
+    }
+    for m in MEASURES {
+        table.intern(cols::MEASURE, m);
+    }
+    // Zipf-like port scales: port p gets scale ∝ 1/(p+1)
+    let port_scale: Vec<f64> = (0..config.ports)
+        .map(|p| 200_000.0 / f64::from(p + 1))
+        .collect();
+    let measure_scale = [1.0, 1.8, 0.5, 0.25, 0.03, 0.005];
+    for _ in 0..config.rows {
+        let port = rng.gen_range(0..config.ports);
+        let date = rng.gen_range(0..config.months);
+        let measure = rng.gen_range(0..MEASURES.len() as u32);
+        // summer seasonality + noise
+        let season = 1.0 + 0.35 * (std::f64::consts::TAU * f64::from(date % 12) / 12.0).sin();
+        let lambda = port_scale[port as usize] * measure_scale[measure as usize] * season;
+        let value = (lambda * (0.5 + rng.gen::<f64>())).round().max(0.0) as i64;
+        table.push_row(vec![
+            Value::Cat(port),
+            Value::Int(i64::from(date)),
+            Value::Cat(measure),
+            Value::Int(value),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, Predicate};
+    use pc_storage::{evaluate, AggKind, AggQuery};
+
+    fn small() -> Table {
+        generate(BorderConfig {
+            rows: 20_000,
+            seed: 11,
+            ..BorderConfig::default()
+        })
+    }
+
+    #[test]
+    fn shape_and_dictionaries() {
+        let t = small();
+        assert_eq!(t.len(), 20_000);
+        assert_eq!(t.dictionary(cols::PORT).unwrap().len(), 100);
+        assert_eq!(
+            t.dictionary(cols::MEASURE).unwrap().label(3),
+            Some("Trucks")
+        );
+    }
+
+    #[test]
+    fn port_values_are_heavy_tailed() {
+        let t = small();
+        let top = evaluate(
+            &t,
+            &AggQuery::new(
+                AggKind::Sum,
+                cols::VALUE,
+                Predicate::atom(Atom::eq(cols::PORT, 0.0)),
+            ),
+        )
+        .value();
+        let mid = evaluate(
+            &t,
+            &AggQuery::new(
+                AggKind::Sum,
+                cols::VALUE,
+                Predicate::atom(Atom::eq(cols::PORT, 50.0)),
+            ),
+        )
+        .value();
+        assert!(top > 20.0 * mid, "zipf: port0 {top} vs port50 {mid}");
+    }
+
+    #[test]
+    fn values_nonnegative() {
+        let t = small();
+        let (lo, _) = t.attr_range(cols::VALUE).unwrap();
+        assert!(lo >= 0.0);
+    }
+
+    #[test]
+    fn seasonality_visible() {
+        let t = generate(BorderConfig {
+            rows: 60_000,
+            seed: 13,
+            ..BorderConfig::default()
+        });
+        // month 3 (peak of sin at ~month 3) vs month 9 (trough)
+        let peak = evaluate(
+            &t,
+            &AggQuery::new(
+                AggKind::Avg,
+                cols::VALUE,
+                Predicate::atom(Atom::eq(cols::DATE, 3.0)),
+            ),
+        )
+        .value();
+        let trough = evaluate(
+            &t,
+            &AggQuery::new(
+                AggKind::Avg,
+                cols::VALUE,
+                Predicate::atom(Atom::eq(cols::DATE, 9.0)),
+            ),
+        )
+        .value();
+        assert!(peak > trough, "seasonality: {peak} vs {trough}");
+    }
+}

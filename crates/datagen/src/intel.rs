@@ -1,0 +1,205 @@
+//! Synthetic twin of the Intel Berkeley Research Lab sensor dataset \[25\]:
+//! 54 sensors logging epoch, temperature, humidity, light, and voltage.
+//!
+//! The structure that matters to the experiments is reproduced:
+//!
+//! * `light` follows a diurnal cycle (high during work hours, near zero at
+//!   night) with per-device scale offsets — so `device_id` and `epoch`
+//!   correlate strongly with `light`, which is what makes Corr-PC
+//!   partitions on (device, time) informative.
+//! * temperature/humidity drift slowly with additive noise.
+//! * a small fraction of light readings spike (sensor faces a lamp),
+//!   giving the heavy right tail that breaks sampling estimators.
+
+use pc_predicate::{AttrType, Schema, Value};
+use pc_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs for the Intel-like dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct IntelConfig {
+    /// Total rows to generate.
+    pub rows: usize,
+    /// Number of sensor devices (the real lab had 54).
+    pub devices: u32,
+    /// Epochs per simulated day (rows are spread uniformly over epochs).
+    pub epochs_per_day: u32,
+    /// Number of simulated days.
+    pub days: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IntelConfig {
+    fn default() -> Self {
+        IntelConfig {
+            rows: 50_000,
+            devices: 54,
+            epochs_per_day: 288, // one epoch per 5 minutes
+            days: 7,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Attribute indices of the generated schema.
+pub mod cols {
+    /// `device_id` (Int)
+    pub const DEVICE: usize = 0;
+    /// `epoch` (Int)
+    pub const EPOCH: usize = 1;
+    /// `temperature` (Float, °C)
+    pub const TEMPERATURE: usize = 2;
+    /// `humidity` (Float, %)
+    pub const HUMIDITY: usize = 3;
+    /// `light` (Float, lux) — the aggregate attribute of the experiments
+    pub const LIGHT: usize = 4;
+    /// `voltage` (Float, V)
+    pub const VOLTAGE: usize = 5;
+}
+
+/// The Intel-like schema.
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        ("device_id", AttrType::Int),
+        ("epoch", AttrType::Int),
+        ("temperature", AttrType::Float),
+        ("humidity", AttrType::Float),
+        ("light", AttrType::Float),
+        ("voltage", AttrType::Float),
+    ])
+}
+
+/// Generate the table.
+pub fn generate(config: IntelConfig) -> Table {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut table = Table::new(schema());
+    let total_epochs = (config.epochs_per_day * config.days) as f64;
+    // per-device light scale: some sensors sit near windows
+    let device_scale: Vec<f64> = (0..config.devices)
+        .map(|_| 0.4 + 1.2 * rng.gen::<f64>())
+        .collect();
+    for _ in 0..config.rows {
+        let device = rng.gen_range(0..config.devices);
+        let epoch = rng.gen_range(0..(config.epochs_per_day * config.days));
+        let day_pos = f64::from(epoch % config.epochs_per_day) / f64::from(config.epochs_per_day);
+        // diurnal curve peaking mid-day
+        let diurnal = (std::f64::consts::PI * day_pos).sin().max(0.0).powi(2);
+        let base_light = 60.0 + 500.0 * diurnal * device_scale[device as usize];
+        let spike = if rng.gen::<f64>() < 0.02 {
+            // lamp spike — the heavy tail
+            800.0 + 600.0 * rng.gen::<f64>()
+        } else {
+            0.0
+        };
+        let light = (base_light + spike + 25.0 * rng.gen::<f64>()).max(0.0);
+        let temperature =
+            18.0 + 6.0 * diurnal + 0.5 * device_scale[device as usize] + rng.gen::<f64>();
+        let humidity = 45.0 - 10.0 * diurnal + 5.0 * rng.gen::<f64>();
+        let voltage = 2.3 + 0.4 * (1.0 - f64::from(epoch) / total_epochs) + 0.05 * rng.gen::<f64>();
+        table.push_row(vec![
+            Value::Int(i64::from(device)),
+            Value::Int(i64::from(epoch)),
+            Value::Float(temperature),
+            Value::Float(humidity),
+            Value::Float(light),
+            Value::Float(voltage),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, Predicate};
+    use pc_storage::{evaluate, AggKind, AggQuery};
+
+    fn small() -> Table {
+        generate(IntelConfig {
+            rows: 20_000,
+            seed: 7,
+            ..IntelConfig::default()
+        })
+    }
+
+    #[test]
+    fn shape_and_ranges() {
+        let t = small();
+        assert_eq!(t.len(), 20_000);
+        let (dlo, dhi) = t.attr_range(cols::DEVICE).unwrap();
+        assert!(dlo >= 0.0 && dhi <= 53.0);
+        let (llo, _) = t.attr_range(cols::LIGHT).unwrap();
+        assert!(llo >= 0.0, "light is non-negative");
+    }
+
+    #[test]
+    fn light_is_diurnal() {
+        let t = small();
+        // mid-day epochs (around 144 of 288) vs night epochs (near 0)
+        let noon = AggQuery::new(
+            AggKind::Avg,
+            cols::LIGHT,
+            Predicate::always().and(Atom::bucket(cols::EPOCH, 130.0, 160.0)),
+        );
+        let night = AggQuery::new(
+            AggKind::Avg,
+            cols::LIGHT,
+            Predicate::always().and(Atom::bucket(cols::EPOCH, 0.0, 20.0)),
+        );
+        let noon_avg = evaluate(&t, &noon).value();
+        let night_avg = evaluate(&t, &night).value();
+        assert!(
+            noon_avg > 2.0 * night_avg,
+            "noon {noon_avg} should dwarf night {night_avg}"
+        );
+    }
+
+    #[test]
+    fn devices_have_distinct_scales() {
+        let t = small();
+        let mut avgs = Vec::new();
+        for d in 0..10 {
+            let q = AggQuery::new(
+                AggKind::Avg,
+                cols::LIGHT,
+                Predicate::atom(Atom::eq(cols::DEVICE, f64::from(d))),
+            );
+            avgs.push(evaluate(&t, &q).value());
+        }
+        let spread = avgs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            - avgs.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread > 50.0,
+            "device scales should differ, spread {spread}"
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate(IntelConfig {
+            rows: 100,
+            seed: 5,
+            ..IntelConfig::default()
+        });
+        let b = generate(IntelConfig {
+            rows: 100,
+            seed: 5,
+            ..IntelConfig::default()
+        });
+        assert_eq!(a.encoded_row(57), b.encoded_row(57));
+    }
+
+    #[test]
+    fn heavy_tail_exists() {
+        let t = small();
+        let q = AggQuery::count(Predicate::atom(Atom::new(
+            cols::LIGHT,
+            pc_predicate::Interval::at_least(800.0, false),
+        )));
+        let spikes = evaluate(&t, &q).value();
+        assert!(spikes > 50.0, "expected lamp spikes, got {spikes}");
+        assert!(spikes < 2000.0, "spikes must stay rare, got {spikes}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic dataset twins, missing-data injectors, query workloads, and
+//! PC generators for the experiment harness.
+//!
+//! The paper evaluates on three public datasets (Intel Wireless \[25\],
+//! Airbnb NYC \[2\], Border Crossing \[23\]) that are not bundled here; each
+//! generator reproduces the schema, scale knobs, skew, and — critically —
+//! the *correlation between partition attributes and the aggregate
+//! attribute* that drives every accuracy result. The missing-data
+//! injectors reproduce the paper's correlated removal ("removing those
+//! rows with maximum values of the light attribute"), and the PC
+//! generators implement Corr-PC, Rand-PC, and Overlapping-PC (§6.1.4)
+//! plus the Fig 6 noise injection.
+
+#![warn(missing_docs)]
+
+pub mod airbnb;
+pub mod border;
+pub mod intel;
+pub mod missing;
+pub mod pcgen;
+pub mod queries;
+pub mod synth_join;
+
+pub use airbnb::AirbnbConfig;
+pub use border::BorderConfig;
+pub use intel::IntelConfig;
+pub use missing::{remove_random_fraction, remove_top_fraction};
+pub use pcgen::{corr_pc, overlapping_pc, perturb_values, rand_pc};
+pub use queries::QueryGenerator;

@@ -1,0 +1,101 @@
+//! Missing-data injectors: split a ground-truth table into a missing
+//! partition `R?` and a certain partition `R*` (§3's formal setting).
+//!
+//! The paper's headline removal is *correlated*: "Missing rows are
+//! generated from the dataset in a correlated way — removing those rows
+//! with maximum values of the light attribute." That is
+//! [`remove_top_fraction`]; [`remove_random_fraction`] is the uncorrelated
+//! control.
+
+use pc_storage::Table;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Remove the fraction `frac` of rows with the **largest** values of
+/// `attr`. Returns `(missing, present)`.
+///
+/// # Panics
+/// Panics if `frac` is outside `[0, 1]`.
+pub fn remove_top_fraction(table: &Table, attr: usize, frac: f64) -> (Table, Table) {
+    assert!((0.0..=1.0).contains(&frac), "fraction out of range: {frac}");
+    let n = table.len();
+    let k = ((n as f64) * frac).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        table
+            .encoded(b, attr)
+            .partial_cmp(&table.encoded(a, attr))
+            .expect("stored values are never NaN")
+    });
+    let missing: Vec<usize> = order[..k.min(n)].to_vec();
+    table.split_rows(&missing)
+}
+
+/// Remove a uniformly random fraction of rows. Returns
+/// `(missing, present)`.
+pub fn remove_random_fraction<R: Rng + ?Sized>(
+    table: &Table,
+    frac: f64,
+    rng: &mut R,
+) -> (Table, Table) {
+    assert!((0.0..=1.0).contains(&frac), "fraction out of range: {frac}");
+    let n = table.len();
+    let k = ((n as f64) * frac).round() as usize;
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k.min(n));
+    table.split_rows(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{AttrType, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![("v", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(vec![Value::Float(i as f64)]);
+        }
+        t
+    }
+
+    #[test]
+    fn top_fraction_takes_largest() {
+        let t = table(100);
+        let (missing, present) = remove_top_fraction(&t, 0, 0.2);
+        assert_eq!(missing.len(), 20);
+        assert_eq!(present.len(), 80);
+        let (mlo, _) = missing.attr_range(0).unwrap();
+        let (_, phi) = present.attr_range(0).unwrap();
+        assert_eq!(mlo, 80.0);
+        assert_eq!(phi, 79.0);
+    }
+
+    #[test]
+    fn random_fraction_sizes() {
+        let t = table(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (missing, present) = remove_random_fraction(&t, 0.3, &mut rng);
+        assert_eq!(missing.len(), 300);
+        assert_eq!(present.len(), 700);
+    }
+
+    #[test]
+    fn zero_and_full_fractions() {
+        let t = table(10);
+        let (m, p) = remove_top_fraction(&t, 0, 0.0);
+        assert_eq!((m.len(), p.len()), (0, 10));
+        let (m, p) = remove_top_fraction(&t, 0, 1.0);
+        assert_eq!((m.len(), p.len()), (10, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn invalid_fraction_rejected() {
+        remove_top_fraction(&table(5), 0, 1.5);
+    }
+}

@@ -1,0 +1,351 @@
+//! PC generators (§6.1.4): Corr-PC, Rand-PC, Overlapping-PC, and the
+//! Fig 6 noise injection.
+//!
+//! All generators summarize the *actual* missing partition — the paper's
+//! protocol gives every framework true information about the missing data
+//! in `O(n)` space and measures how useful that summary is for bounding.
+
+use pc_core::{FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint};
+use pc_predicate::{Atom, Interval, Predicate, Region};
+use pc_storage::{GridPartitioner, Table};
+use rand::Rng;
+
+/// Summarize the rows at `rows` (indices into `missing`) into a value
+/// constraint covering every attribute: observed min/max per attribute.
+fn summarize_values(missing: &Table, rows: &[usize]) -> ValueConstraint {
+    let width = missing.schema().width();
+    let mut vc = ValueConstraint::none();
+    if rows.is_empty() {
+        return vc;
+    }
+    for attr in 0..width {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &r in rows {
+            let v = missing.encoded(r, attr);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        vc = vc.with(attr, Interval::closed(lo, hi));
+    }
+    vc
+}
+
+/// **Corr-PC**: an equi-cardinality grid over the given (correlated)
+/// attributes with `n` cells total; each cell becomes a PC whose frequency
+/// is the exact count and whose value ranges are the observed per-attribute
+/// min/max. The grid's outer buckets are unbounded, so the set is closed
+/// over the full domain, and the predicates are disjoint (greedy fast path).
+pub fn corr_pc(missing: &Table, attrs: &[usize], n: usize) -> PcSet {
+    assert!(!attrs.is_empty(), "need at least one partition attribute");
+    let per_dim = (n as f64).powf(1.0 / attrs.len() as f64).round().max(1.0) as usize;
+    let buckets = vec![per_dim; attrs.len()];
+    let grid = GridPartitioner::from_table(missing, attrs, &buckets);
+    let cells = grid.assign(missing);
+    let mut set = PcSet::new(missing.schema().clone());
+    for (ci, rows) in cells.iter().enumerate() {
+        let predicate = grid.cell_predicate(ci);
+        let values = summarize_values(missing, rows);
+        set.push(PredicateConstraint::new(
+            predicate,
+            values,
+            FrequencyConstraint::exactly(rows.len() as u64),
+        ));
+    }
+    set.set_disjoint_hint(true);
+    set
+}
+
+/// The grid row-partition matching [`corr_pc`]'s cells — used to stratify
+/// sampling baselines identically to the PC partitions (§6.1.1).
+pub fn corr_partition(missing: &Table, attrs: &[usize], n: usize) -> Vec<Vec<usize>> {
+    let per_dim = (n as f64).powf(1.0 / attrs.len() as f64).round().max(1.0) as usize;
+    let buckets = vec![per_dim; attrs.len()];
+    GridPartitioner::from_table(missing, attrs, &buckets).assign(missing)
+}
+
+/// **Rand-PC**: random overlapping boxes over the partition attributes
+/// (true counts and value ranges within each box), plus a coarse covering
+/// grid so the set stays closed ("we take extra care to ensure they
+/// adequately cover the space").
+pub fn rand_pc<R: Rng + ?Sized>(missing: &Table, attrs: &[usize], n: usize, rng: &mut R) -> PcSet {
+    // spend ~1/4 of the budget on a coarse cover, the rest on random boxes
+    let cover_cells = (n / 4).max(1);
+    let mut set = corr_pc(missing, attrs, cover_cells);
+    set.set_disjoint_hint(false); // random boxes overlap the grid
+
+    let domains: Vec<(f64, f64)> = attrs
+        .iter()
+        .map(|&a| missing.attr_range(a).unwrap_or((0.0, 1.0)))
+        .collect();
+    let width = missing.schema().width();
+    // the grid may round to a different cell count; aim for n total
+    let remaining = n.saturating_sub(set.len());
+    for _ in 0..remaining {
+        let mut pred = Predicate::always();
+        for (&attr, &(dlo, dhi)) in attrs.iter().zip(&domains) {
+            let span = (dhi - dlo).max(f64::MIN_POSITIVE);
+            let w = span * rng.gen_range(0.05..0.5);
+            let lo = dlo + rng.gen_range(0.0..(span - w).max(f64::MIN_POSITIVE));
+            pred = pred.and(Atom::between(attr, lo, lo + w));
+        }
+        // exact stats inside the box
+        let mut rows = Vec::new();
+        let mut enc = vec![0.0; width];
+        for r in 0..missing.len() {
+            missing.encode_row_into(r, &mut enc);
+            if pred.eval(&enc) {
+                rows.push(r);
+            }
+        }
+        let values = summarize_values(missing, &rows);
+        set.push(PredicateConstraint::new(
+            pred,
+            values,
+            FrequencyConstraint::exactly(rows.len() as u64),
+        ));
+    }
+    set
+}
+
+/// **Overlapping-PC**: the Corr-PC grid with every cell's box widened by
+/// `expand` (fraction of its span per side), so neighbouring constraints
+/// overlap. Statistics stay exact for the *widened* boxes. This is the
+/// redundancy that makes the framework robust to noise in Fig 6: when one
+/// constraint is corrupted, an overlapping neighbour still clamps the
+/// range.
+pub fn overlapping_pc(missing: &Table, attrs: &[usize], n: usize, expand: f64) -> PcSet {
+    let per_dim = (n as f64).powf(1.0 / attrs.len() as f64).round().max(1.0) as usize;
+    let buckets = vec![per_dim; attrs.len()];
+    let grid = GridPartitioner::from_table(missing, attrs, &buckets);
+    let base_cells = grid.assign(missing);
+    let mut set = PcSet::new(missing.schema().clone());
+    let width = missing.schema().width();
+    for ci in 0..base_cells.len() {
+        let tight = grid.cell_predicate(ci);
+        // widen each finite endpoint by `expand` of the cell's span
+        let mut pred = Predicate::always();
+        for atom in tight.atoms() {
+            let iv = atom.interval;
+            let span = if iv.is_bounded() { iv.hi - iv.lo } else { 0.0 };
+            let pad = span * expand;
+            let lo = if iv.lo.is_finite() {
+                iv.lo - pad
+            } else {
+                iv.lo
+            };
+            let hi = if iv.hi.is_finite() {
+                iv.hi + pad
+            } else {
+                iv.hi
+            };
+            pred = pred.and(Atom::new(atom.attr, Interval::new(lo, false, hi, true)));
+        }
+        let mut rows = Vec::new();
+        let mut enc = vec![0.0; width];
+        for r in 0..missing.len() {
+            missing.encode_row_into(r, &mut enc);
+            if pred.eval(&enc) {
+                rows.push(r);
+            }
+        }
+        let values = summarize_values(missing, &rows);
+        set.push(PredicateConstraint::new(
+            pred,
+            values,
+            FrequencyConstraint::between(0, rows.len() as u64),
+        ));
+    }
+    set
+}
+
+/// Fig 6 noise injection: add independent `N(0, σ_attr²)` noise to every
+/// value-range endpoint (σ given per attribute). Inverted ranges are
+/// re-ordered so constraints stay well-formed; frequencies are untouched.
+/// The result may no longer hold on the data — that is the point.
+pub fn perturb_values<R: Rng + ?Sized>(set: &PcSet, sigmas: &[f64], rng: &mut R) -> PcSet {
+    let mut out = PcSet::new(set.schema().clone());
+    out.set_domain(set.domain().clone());
+    out.set_disjoint_hint(set.disjoint_hint());
+    for pc in set.constraints() {
+        let mut vc = ValueConstraint::none();
+        for (attr, iv) in pc.values.ranges() {
+            let sigma = sigmas.get(*attr).copied().unwrap_or(0.0);
+            let mut lo = iv.lo + sigma * gauss(rng);
+            let mut hi = iv.hi + sigma * gauss(rng);
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            vc = vc.with(*attr, Interval::closed(lo, hi));
+        }
+        out.push(PredicateConstraint::new(
+            pc.predicate.clone(),
+            vc,
+            pc.frequency,
+        ));
+    }
+    out
+}
+
+/// Fig 6 noise injection, *relative* flavour: each endpoint of the listed
+/// attributes' value ranges receives `N(0, (k·w/4)²)` noise where `w` is
+/// that range's own width (σ ≈ w/4 for a roughly uniform spread); other
+/// attributes keep their exact ranges. Noise scaled to each constraint's
+/// spread perturbs tight and loose constraints proportionally, which is
+/// what produces the graded failure curves of Fig 6. (Noising the
+/// partition attributes' ranges instead merely contradicts the predicates
+/// themselves and collapses every query to `Infeasible` — an
+/// all-or-nothing cliff with no information in it.)
+pub fn perturb_values_relative<R: Rng + ?Sized>(
+    set: &PcSet,
+    attrs: &[usize],
+    k: f64,
+    rng: &mut R,
+) -> PcSet {
+    let mut out = PcSet::new(set.schema().clone());
+    out.set_domain(set.domain().clone());
+    out.set_disjoint_hint(set.disjoint_hint());
+    for pc in set.constraints() {
+        let mut vc = ValueConstraint::none();
+        for (attr, iv) in pc.values.ranges() {
+            if !attrs.contains(attr) {
+                vc = vc.with(*attr, *iv);
+                continue;
+            }
+            let width = if iv.is_bounded() { iv.hi - iv.lo } else { 0.0 };
+            let sigma = k * width;
+            let mut lo = iv.lo + sigma * gauss(rng);
+            let mut hi = iv.hi + sigma * gauss(rng);
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            vc = vc.with(*attr, Interval::closed(lo, hi));
+        }
+        out.push(PredicateConstraint::new(
+            pc.predicate.clone(),
+            vc,
+            pc.frequency,
+        ));
+    }
+    out
+}
+
+/// Per-attribute standard deviations of a table — the noise scale used by
+/// the Fig 6 experiment (`k` SD noise = `k × attr_sd`).
+pub fn attr_sigmas(table: &Table) -> Vec<f64> {
+    let width = table.schema().width();
+    let n = table.len().max(1) as f64;
+    (0..width)
+        .map(|a| {
+            let mean: f64 = (0..table.len()).map(|r| table.encoded(r, a)).sum::<f64>() / n;
+            let var: f64 = (0..table.len())
+                .map(|r| (table.encoded(r, a) - mean).powi(2))
+                .sum::<f64>()
+                / n;
+            var.sqrt()
+        })
+        .collect()
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Restrict a PC set's domain to the bounding box of a table (useful when
+/// the missing partition is known to live inside the observed attribute
+/// ranges).
+pub fn domain_from_table(set: &mut PcSet, table: &Table) {
+    let mut domain = Region::full(set.schema());
+    for attr in 0..set.schema().width() {
+        if let Some((lo, hi)) = table.attr_range(attr) {
+            domain.set_interval(attr, Interval::closed(lo, hi));
+        }
+    }
+    set.set_domain(domain);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intel::{self, cols, IntelConfig};
+    use crate::missing::remove_top_fraction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn missing_table() -> Table {
+        let t = intel::generate(IntelConfig {
+            rows: 5_000,
+            seed: 21,
+            ..IntelConfig::default()
+        });
+        let (missing, _) = remove_top_fraction(&t, cols::LIGHT, 0.3);
+        missing
+    }
+
+    #[test]
+    fn corr_pc_validates_and_closed() {
+        let missing = missing_table();
+        let set = corr_pc(&missing, &[cols::DEVICE, cols::EPOCH], 100);
+        assert!(
+            set.len() >= 81 && set.len() <= 121,
+            "≈100 cells, got {}",
+            set.len()
+        );
+        assert!(set.validate(&missing).is_empty(), "constraints must hold");
+        assert!(set.is_closed(), "grid covers the full domain");
+        assert!(set.disjoint_hint());
+    }
+
+    #[test]
+    fn corr_partition_matches_cells() {
+        let missing = missing_table();
+        let strata = corr_partition(&missing, &[cols::DEVICE, cols::EPOCH], 100);
+        let total: usize = strata.iter().map(Vec::len).sum();
+        assert_eq!(total, missing.len());
+    }
+
+    #[test]
+    fn rand_pc_validates_and_closed() {
+        let missing = missing_table();
+        let mut rng = StdRng::seed_from_u64(9);
+        let set = rand_pc(&missing, &[cols::DEVICE, cols::EPOCH], 60, &mut rng);
+        assert_eq!(set.len(), 60);
+        assert!(set.validate(&missing).is_empty());
+        assert!(set.is_closed(), "cover grid keeps the set closed");
+        assert!(!set.disjoint_hint());
+    }
+
+    #[test]
+    fn overlapping_pc_validates_and_overlaps() {
+        let missing = missing_table();
+        let mut set = overlapping_pc(&missing, &[cols::EPOCH], 10, 0.3);
+        assert!(set.validate(&missing).is_empty());
+        assert!(!set.verify_disjoint(), "cells must overlap after widening");
+        assert!(set.is_closed());
+    }
+
+    #[test]
+    fn perturbation_can_break_constraints() {
+        let missing = missing_table();
+        let set = corr_pc(&missing, &[cols::DEVICE, cols::EPOCH], 64);
+        let sigmas: Vec<f64> = attr_sigmas(&missing).iter().map(|s| 2.0 * s).collect();
+        let mut rng = StdRng::seed_from_u64(17);
+        let noisy = perturb_values(&set, &sigmas, &mut rng);
+        assert_eq!(noisy.len(), set.len());
+        assert!(
+            !noisy.validate(&missing).is_empty(),
+            "2-SD noise should violate at least one constraint"
+        );
+    }
+
+    #[test]
+    fn zero_noise_is_identity_for_validation() {
+        let missing = missing_table();
+        let set = corr_pc(&missing, &[cols::DEVICE], 16);
+        let mut rng = StdRng::seed_from_u64(3);
+        let same = perturb_values(&set, &vec![0.0; missing.schema().width()], &mut rng);
+        assert!(same.validate(&missing).is_empty());
+    }
+}

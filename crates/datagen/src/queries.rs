@@ -1,0 +1,112 @@
+//! Random aggregate-query workloads: range predicates of random position
+//! and width over chosen attributes, as in "1000 randomly chosen
+//! predicates" (§6, Table 2).
+
+use pc_predicate::{Atom, Predicate};
+use pc_storage::{AggKind, AggQuery, Table};
+use rand::Rng;
+
+/// Generates random range-predicate aggregate queries over a table's
+/// observed attribute domains.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    pred_attrs: Vec<usize>,
+    domains: Vec<(f64, f64)>,
+    /// Predicate width range as a fraction of each attribute's domain.
+    pub width_range: (f64, f64),
+}
+
+impl QueryGenerator {
+    /// Build from a table's value ranges on the given predicate
+    /// attributes.
+    pub fn from_table(table: &Table, pred_attrs: &[usize]) -> Self {
+        let domains = pred_attrs
+            .iter()
+            .map(|&a| table.attr_range(a).unwrap_or((0.0, 1.0)))
+            .collect();
+        QueryGenerator {
+            pred_attrs: pred_attrs.to_vec(),
+            domains,
+            width_range: (0.1, 0.5),
+        }
+    }
+
+    /// One random query with the given aggregate.
+    pub fn gen_query<R: Rng + ?Sized>(
+        &self,
+        agg: AggKind,
+        agg_attr: usize,
+        rng: &mut R,
+    ) -> AggQuery {
+        let mut pred = Predicate::always();
+        for (&attr, &(dlo, dhi)) in self.pred_attrs.iter().zip(&self.domains) {
+            let span = (dhi - dlo).max(f64::MIN_POSITIVE);
+            let frac = rng.gen_range(self.width_range.0..=self.width_range.1);
+            let w = span * frac;
+            let lo = dlo + rng.gen_range(0.0..=(span - w).max(0.0));
+            pred = pred.and(Atom::between(attr, lo, lo + w));
+        }
+        AggQuery::new(agg, agg_attr, pred)
+    }
+
+    /// A batch of `n` random queries.
+    pub fn gen_workload<R: Rng + ?Sized>(
+        &self,
+        agg: AggKind,
+        agg_attr: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<AggQuery> {
+        (0..n).map(|_| self.gen_query(agg, agg_attr, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intel::{self, cols, IntelConfig};
+    use pc_storage::{evaluate, AggResult};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn queries_hit_data() {
+        let t = intel::generate(IntelConfig {
+            rows: 3_000,
+            seed: 2,
+            ..IntelConfig::default()
+        });
+        let qg = QueryGenerator::from_table(&t, &[cols::DEVICE, cols::EPOCH]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let queries = qg.gen_workload(AggKind::Count, cols::LIGHT, 50, &mut rng);
+        assert_eq!(queries.len(), 50);
+        let nonempty = queries
+            .iter()
+            .filter(|q| match evaluate(&t, q) {
+                AggResult::Value(v) => v > 0.0,
+                AggResult::Empty => false,
+            })
+            .count();
+        assert!(
+            nonempty > 40,
+            "most random queries should match rows: {nonempty}/50"
+        );
+    }
+
+    #[test]
+    fn widths_respect_range() {
+        let t = intel::generate(IntelConfig {
+            rows: 500,
+            seed: 2,
+            ..IntelConfig::default()
+        });
+        let mut qg = QueryGenerator::from_table(&t, &[cols::EPOCH]);
+        qg.width_range = (0.2, 0.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let q = qg.gen_query(AggKind::Sum, cols::LIGHT, &mut rng);
+        let iv = q.predicate.interval_for(cols::EPOCH);
+        let (dlo, dhi) = t.attr_range(cols::EPOCH).unwrap();
+        let frac = (iv.hi - iv.lo) / (dhi - dlo);
+        assert!((frac - 0.2).abs() < 0.01, "width fraction {frac}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Randomly populated edge tables for the §6.6.3 join experiments:
+//! triangle counting on a directed graph and the acyclic chain join.
+
+use pc_predicate::{AttrType, Schema, Value};
+use pc_storage::Table;
+use rand::Rng;
+
+/// A random two-column edge table with `rows` *distinct* edges over a node
+/// domain of `nodes` ids. Set semantics matter: the AGM / fractional-edge-
+/// cover bound assumes relations are sets, and duplicate edges would
+/// multiply join results past it.
+///
+/// # Panics
+/// Panics if `rows > nodes²` (not enough distinct edges exist).
+pub fn random_edges<R: Rng + ?Sized>(
+    rows: usize,
+    nodes: i64,
+    attr_a: &str,
+    attr_b: &str,
+    rng: &mut R,
+) -> Table {
+    assert!(nodes >= 1);
+    assert!(
+        (rows as i64) <= nodes.saturating_mul(nodes),
+        "cannot draw {rows} distinct edges from {nodes} nodes"
+    );
+    let schema = Schema::new(vec![
+        (attr_a.to_string(), AttrType::Int),
+        (attr_b.to_string(), AttrType::Int),
+    ]);
+    let mut t = Table::new(schema);
+    let mut seen = std::collections::HashSet::with_capacity(rows);
+    while seen.len() < rows {
+        let e = (rng.gen_range(0..nodes), rng.gen_range(0..nodes));
+        if seen.insert(e) {
+            t.push_row(vec![Value::Int(e.0), Value::Int(e.1)]);
+        }
+    }
+    t
+}
+
+/// The three edge tables of the triangle query `R(a,b) ⋈ S(b,c) ⋈ T(c,a)`,
+/// each with `rows` random edges. Node domain `√rows`-ish keeps join sizes
+/// non-trivial, mirroring the paper's randomly populated tables.
+pub fn triangle_tables<R: Rng + ?Sized>(rows: usize, rng: &mut R) -> [Table; 3] {
+    // ~50% edge density: dense enough for triangles, sparse enough to
+    // stay clear of the degenerate complete graph
+    let nodes = ((2.0 * rows as f64).sqrt().ceil() as i64).max(2);
+    [
+        random_edges(rows, nodes, "a", "b", rng),
+        random_edges(rows, nodes, "b", "c", rng),
+        random_edges(rows, nodes, "c", "a", rng),
+    ]
+}
+
+/// The `k` tables of the chain `R1(x1,x2) ⋈ R2(x2,x3) ⋈ … ⋈ Rk(xk,xk+1)`,
+/// each with `rows` random edges.
+pub fn chain_tables<R: Rng + ?Sized>(k: usize, rows: usize, rng: &mut R) -> Vec<Table> {
+    let nodes = ((2.0 * rows as f64).sqrt().ceil() as i64).max(2);
+    (1..=k)
+        .map(|i| random_edges(rows, nodes, &format!("x{i}"), &format!("x{}", i + 1), rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_storage::natural_join;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_tables_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = random_edges(100, 10, "a", "b", &mut rng);
+        assert_eq!(t.len(), 100);
+        let (lo, hi) = t.attr_range(0).unwrap();
+        assert!(lo >= 0.0 && hi <= 9.0);
+    }
+
+    #[test]
+    fn triangle_ground_truth_below_agm() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let [r, s, t] = triangle_tables(100, &mut rng);
+        let rs = natural_join(&r, &s);
+        let rst = natural_join(&rs, &t);
+        let agm = (100.0_f64).powf(1.5);
+        assert!(
+            (rst.len() as f64) <= agm,
+            "true triangles {} must respect the AGM bound {agm}",
+            rst.len()
+        );
+    }
+
+    #[test]
+    fn chain_tables_schemas_connect() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tables = chain_tables(5, 50, &mut rng);
+        assert_eq!(tables.len(), 5);
+        for w in tables.windows(2) {
+            let shared = w[0]
+                .schema()
+                .iter()
+                .filter(|(_, name, _)| w[1].schema().index_of(name).is_some())
+                .count();
+            assert_eq!(shared, 1, "adjacent chain tables share exactly one attr");
+        }
+        // the chain actually joins
+        let mut acc = tables[0].clone();
+        for t in &tables[1..] {
+            acc = natural_join(&acc, t);
+        }
+        // join size is data-dependent; just ensure the pipeline ran
+        let _ = acc.len();
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the PC generators: on *arbitrary* tables, the
+//! generated constraint sets must validate against the data they
+//! summarize, stay closed over the domain, and produce sound bounds.
+
+use pc_core::BoundEngine;
+use pc_datagen::pcgen;
+use pc_predicate::{AttrType, Predicate, Schema, Value};
+use pc_storage::{evaluate, AggKind, AggQuery, Table};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn table_from(rows: &[(i64, i64)]) -> Table {
+    let schema = Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Int)]);
+    let mut t = Table::new(schema);
+    for &(g, v) in rows {
+        t.push_row(vec![Value::Int(g), Value::Int(v)]);
+    }
+    t
+}
+
+prop_compose! {
+    fn arb_rows()(rows in prop::collection::vec((-20i64..20, -50i64..50), 1..60)) -> Vec<(i64, i64)> {
+        rows
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn corr_pc_validates_and_closes(rows in arb_rows(), n in 1usize..20) {
+        let t = table_from(&rows);
+        let set = pcgen::corr_pc(&t, &[0], n);
+        prop_assert!(set.validate(&t).is_empty(), "generated constraints must hold");
+        prop_assert!(set.is_closed(), "grid must cover the domain");
+    }
+
+    #[test]
+    fn corr_pc_bounds_contain_truth(rows in arb_rows(), n in 1usize..12) {
+        let t = table_from(&rows);
+        let set = pcgen::corr_pc(&t, &[0], n);
+        let engine = BoundEngine::new(&set);
+        for agg in [AggKind::Count, AggKind::Sum] {
+            let q = AggQuery::new(agg, 1, Predicate::always());
+            let truth = evaluate(&t, &q).unwrap_or(0.0);
+            let r = engine.bound(&q).unwrap();
+            prop_assert!(
+                r.range.contains(truth),
+                "{agg:?}: {truth} outside [{}, {}]", r.range.lo, r.range.hi
+            );
+        }
+    }
+
+    #[test]
+    fn rand_pc_validates_and_closes(rows in arb_rows(), n in 4usize..16, seed in 0u64..50) {
+        let t = table_from(&rows);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = pcgen::rand_pc(&t, &[0], n, &mut rng);
+        prop_assert!(set.validate(&t).is_empty());
+        prop_assert!(set.is_closed(), "cover grid keeps closure");
+    }
+
+    #[test]
+    fn overlapping_pc_validates(rows in arb_rows(), n in 2usize..8) {
+        let t = table_from(&rows);
+        let set = pcgen::overlapping_pc(&t, &[0], n, 0.5);
+        prop_assert!(set.validate(&t).is_empty());
+    }
+
+    #[test]
+    fn zero_perturbation_is_identity(rows in arb_rows(), seed in 0u64..50) {
+        let t = table_from(&rows);
+        let set = pcgen::corr_pc(&t, &[0], 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let same = pcgen::perturb_values(&set, &[0.0, 0.0], &mut rng);
+        prop_assert!(same.validate(&t).is_empty());
+        let rel = pcgen::perturb_values_relative(&set, &[1], 0.0, &mut rng);
+        prop_assert!(rel.validate(&t).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+use crate::{Atom, Interval, Region, Schema};
+use std::fmt;
+
+/// A conjunction of range atoms — the predicate language of §3.1.
+///
+/// The empty conjunction is the tautology `TRUE` (as in the paper's `c2`
+/// example, a constraint over all branches). Conjunctions over the same
+/// attribute are allowed and intersect naturally when converted to a
+/// [`Region`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Predicate {
+    atoms: Vec<Atom>,
+}
+
+impl Predicate {
+    /// The tautology `TRUE`.
+    pub fn always() -> Self {
+        Predicate { atoms: Vec::new() }
+    }
+
+    /// Build from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Self {
+        Predicate { atoms }
+    }
+
+    /// Single-atom predicate.
+    pub fn atom(atom: Atom) -> Self {
+        Predicate { atoms: vec![atom] }
+    }
+
+    /// The constituent atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// True if this is the tautology.
+    pub fn is_always(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Conjoin another atom.
+    pub fn and(mut self, atom: Atom) -> Self {
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Conjoin all atoms of another predicate.
+    pub fn and_pred(mut self, other: &Predicate) -> Self {
+        self.atoms.extend_from_slice(&other.atoms);
+        self
+    }
+
+    /// Evaluate against an encoded row.
+    #[inline]
+    pub fn eval(&self, row: &[f64]) -> bool {
+        self.atoms.iter().all(|a| a.eval(row))
+    }
+
+    /// The axis-aligned box this conjunction describes.
+    pub fn to_region(&self, schema: &Schema) -> Region {
+        let mut region = Region::full(schema);
+        for atom in &self.atoms {
+            region.intersect_atom(atom);
+        }
+        region
+    }
+
+    /// The interval this predicate implies for `attr` (FULL if
+    /// unconstrained).
+    pub fn interval_for(&self, attr: usize) -> Interval {
+        self.atoms
+            .iter()
+            .filter(|a| a.attr == attr)
+            .fold(Interval::FULL, |acc, a| acc.intersect(&a.interval))
+    }
+
+    /// Human-readable form using schema names.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Predicate, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0.is_always() {
+                    return write!(f, "TRUE");
+                }
+                for (i, a) in self.0.atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{}", a.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl From<Atom> for Predicate {
+    fn from(a: Atom) -> Self {
+        Predicate::atom(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttrType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("utc", AttrType::Int),
+            ("branch", AttrType::Cat),
+            ("price", AttrType::Float),
+        ])
+    }
+
+    #[test]
+    fn tautology_accepts_everything() {
+        let p = Predicate::always();
+        assert!(p.eval(&[1.0, 2.0, 3.0]));
+        assert!(p.is_always());
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let p = Predicate::always()
+            .and(Atom::eq(1, 0.0))
+            .and(Atom::between(2, 0.0, 149.99));
+        assert!(p.eval(&[5.0, 0.0, 100.0]));
+        assert!(!p.eval(&[5.0, 1.0, 100.0]));
+        assert!(!p.eval(&[5.0, 0.0, 200.0]));
+    }
+
+    #[test]
+    fn interval_for_intersects_repeated_attrs() {
+        let p = Predicate::always()
+            .and(Atom::between(2, 0.0, 100.0))
+            .and(Atom::between(2, 50.0, 200.0));
+        let iv = p.interval_for(2);
+        assert_eq!((iv.lo, iv.hi), (50.0, 100.0));
+        assert_eq!(p.interval_for(0), Interval::FULL);
+    }
+
+    #[test]
+    fn to_region_matches_eval() {
+        let s = schema();
+        let p = Predicate::always()
+            .and(Atom::bucket(0, 10.0, 20.0))
+            .and(Atom::eq(1, 2.0));
+        let r = p.to_region(&s);
+        assert!(r.contains_row(&[15.0, 2.0, 7.0]));
+        assert!(!r.contains_row(&[20.0, 2.0, 7.0]));
+        assert!(!r.contains_row(&[15.0, 3.0, 7.0]));
+    }
+
+    #[test]
+    fn display_tautology() {
+        let s = schema();
+        assert_eq!(Predicate::always().display(&s).to_string(), "TRUE");
+    }
+}

@@ -1,0 +1,245 @@
+//! Exact satisfiability for decomposed cells.
+//!
+//! A cell produced by cell decomposition (§4.1 of the paper) has the shape
+//! `base ∧ ¬ψ₁ ∧ … ∧ ¬ψₖ`, where `base` is the conjunction of the *included*
+//! predicates (and the query pushdown predicate, Optimization 1) and the
+//! `ψⱼ` are the *excluded* predicates. Geometrically this asks whether the
+//! box `base` minus the union of boxes `ψⱼ` is non-empty.
+//!
+//! The paper uses Z3 for this test. Because predicates are restricted to
+//! conjunctions of ranges, the problem is decidable by a small DPLL-style
+//! search: if some `ψⱼ` covers `base`, the cell is empty; otherwise pick a
+//! `ψⱼ` and branch on which of its atoms a witness violates, shrinking
+//! `base` by the atom's complement. The search is exact (no approximation)
+//! and produces a concrete witness row on success.
+
+use crate::{Predicate, Region};
+
+/// Decide whether `base ∧ ¬ψ₁ ∧ … ∧ ¬ψₖ` is satisfiable, returning a
+/// witness row (one encoded `f64` per attribute) if so.
+///
+/// `negs` are the excluded predicates. An excluded tautology makes every
+/// cell empty (`¬TRUE` is unsatisfiable), which falls out naturally since
+/// the tautology's box covers everything.
+pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
+    if base.is_empty() {
+        return None;
+    }
+    // Keep only excluded predicates whose box intersects `base`; a disjoint
+    // exclusion is vacuously satisfied. If any exclusion covers `base`
+    // entirely, no witness can exist.
+    let mut live: Vec<&Predicate> = Vec::with_capacity(negs.len());
+    for p in negs {
+        let mut boxed = base.clone();
+        for atom in p.atoms() {
+            boxed.intersect_atom(atom);
+        }
+        // `boxed` = base ∩ ψ. Empty ⇒ ψ can't capture any point of base.
+        if boxed.is_empty() {
+            continue;
+        }
+        if boxed == *base || covers(p, base) {
+            return None;
+        }
+        live.push(p);
+    }
+    if live.is_empty() {
+        return base.pick_witness();
+    }
+    // Branch on the exclusion with the fewest atoms: fewest subproblems.
+    let (pick_idx, pick) = live
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, p)| p.atoms().len())
+        .map(|(i, p)| (i, *p))
+        .expect("live is non-empty");
+    let rest: Vec<&Predicate> = live
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| (i != pick_idx).then_some(*p))
+        .collect();
+    // A witness avoiding ψ must violate at least one of its atoms.
+    for atom in pick.atoms() {
+        let ty = base.attr_type(atom.attr);
+        for neg_atom in atom.negate(ty) {
+            let mut shrunk = base.clone();
+            shrunk.intersect_atom(&neg_atom);
+            if let Some(w) = find_witness(&shrunk, &rest) {
+                return Some(w);
+            }
+        }
+    }
+    None
+}
+
+/// Decide satisfiability without materializing the witness.
+pub fn is_sat(base: &Region, negs: &[&Predicate]) -> bool {
+    find_witness(base, negs).is_some()
+}
+
+/// True if predicate `p`'s box contains all of `base`.
+fn covers(p: &Predicate, base: &Region) -> bool {
+    p.atoms().iter().all(|atom| {
+        let ty = base.attr_type(atom.attr);
+        atom.interval
+            .contains_interval(base.interval(atom.attr), ty)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, AttrType, Interval, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)])
+    }
+
+    fn boxp(x0: f64, x1: f64, y0: f64, y1: f64) -> Predicate {
+        Predicate::always()
+            .and(Atom::between(0, x0, x1))
+            .and(Atom::between(1, y0, y1))
+    }
+
+    #[test]
+    fn no_exclusions_sat() {
+        let s = schema();
+        let base = boxp(0.0, 1.0, 0.0, 1.0).to_region(&s);
+        let w = find_witness(&base, &[]).unwrap();
+        assert!(base.contains_row(&w));
+    }
+
+    #[test]
+    fn covered_base_unsat() {
+        let s = schema();
+        let base = boxp(0.0, 1.0, 0.0, 1.0).to_region(&s);
+        let cover = boxp(-1.0, 2.0, -1.0, 2.0);
+        assert!(!is_sat(&base, &[&cover]));
+    }
+
+    #[test]
+    fn negated_tautology_unsat() {
+        let s = schema();
+        let base = Region::full(&s);
+        let taut = Predicate::always();
+        assert!(!is_sat(&base, &[&taut]));
+    }
+
+    #[test]
+    fn disjoint_exclusion_ignored() {
+        let s = schema();
+        let base = boxp(0.0, 1.0, 0.0, 1.0).to_region(&s);
+        let far = boxp(10.0, 11.0, 10.0, 11.0);
+        let w = find_witness(&base, &[&far]).unwrap();
+        assert!(base.contains_row(&w));
+    }
+
+    #[test]
+    fn partial_overlap_sat_with_witness_outside_exclusion() {
+        let s = schema();
+        let base = boxp(0.0, 10.0, 0.0, 10.0).to_region(&s);
+        let cut = boxp(0.0, 5.0, 0.0, 10.0);
+        let w = find_witness(&base, &[&cut]).unwrap();
+        assert!(base.contains_row(&w));
+        assert!(!cut.eval(&w));
+    }
+
+    #[test]
+    fn union_of_two_halves_covers() {
+        // two exclusions that jointly (but not individually) cover base
+        let s = schema();
+        let base = boxp(0.0, 10.0, 0.0, 10.0).to_region(&s);
+        let left = boxp(-1.0, 5.0, -1.0, 11.0);
+        let right = boxp(5.0, 11.0, -1.0, 11.0);
+        assert!(!is_sat(&base, &[&left, &right]));
+    }
+
+    #[test]
+    fn union_with_gap_sat() {
+        let s = schema();
+        let base = boxp(0.0, 10.0, 0.0, 10.0).to_region(&s);
+        let left = boxp(-1.0, 4.0, -1.0, 11.0);
+        let right = boxp(6.0, 11.0, -1.0, 11.0);
+        let w = find_witness(&base, &[&left, &right]).unwrap();
+        assert!(base.contains_row(&w));
+        assert!(!left.eval(&w) && !right.eval(&w));
+        assert!(w[0] > 4.0 && w[0] < 6.0);
+    }
+
+    #[test]
+    fn cross_covering_quadrants() {
+        // four quadrant boxes cover the unit square only jointly
+        let s = schema();
+        let base = boxp(0.0, 1.0, 0.0, 1.0).to_region(&s);
+        let q1 = boxp(0.0, 0.5, 0.0, 0.5);
+        let q2 = boxp(0.5, 1.0, 0.0, 0.5);
+        let q3 = boxp(0.0, 0.5, 0.5, 1.0);
+        let q4 = boxp(0.5, 1.0, 0.5, 1.0);
+        assert!(!is_sat(&base, &[&q1, &q2, &q3, &q4]));
+        // leave a pinhole: shrink q4 so (0.75, 0.75) escapes through the
+        // open corner
+        let q4_small = Predicate::always()
+            .and(Atom::new(0, Interval::closed(0.5, 0.7)))
+            .and(Atom::new(1, Interval::closed(0.5, 1.0)));
+        let w = find_witness(&base, &[&q1, &q2, &q3, &q4_small]).unwrap();
+        assert!(base.contains_row(&w));
+        for q in [&q1, &q2, &q3, &q4_small] {
+            assert!(!q.eval(&w));
+        }
+    }
+
+    #[test]
+    fn discrete_domain_exact_cover() {
+        // base: cat ∈ [0, 2]; exclusions cat=0, cat=1, cat=2 cover exactly
+        let s = Schema::new(vec![("c", AttrType::Cat)]);
+        let mut base = Region::full(&s);
+        base.intersect_atom(&Atom::between(0, 0.0, 2.0));
+        let e0 = Predicate::atom(Atom::eq(0, 0.0));
+        let e1 = Predicate::atom(Atom::eq(0, 1.0));
+        let e2 = Predicate::atom(Atom::eq(0, 2.0));
+        assert!(!is_sat(&base, &[&e0, &e1, &e2]));
+        assert!(is_sat(&base, &[&e0, &e2]));
+        let w = find_witness(&base, &[&e0, &e2]).unwrap();
+        assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn paper_example_three_cells() {
+        // §4.4: t1 = Nov11 ≤ utc < Nov12, t2 = Nov11 ≤ utc < Nov13.
+        // Cell t1 ∧ ¬t2 is unsatisfiable; the others are satisfiable.
+        let s = Schema::new(vec![("utc", AttrType::Int), ("price", AttrType::Float)]);
+        let t1 = Predicate::atom(Atom::bucket(0, 11.0, 12.0));
+        let t2 = Predicate::atom(Atom::bucket(0, 11.0, 13.0));
+        let full = Region::full(&s);
+
+        // c1 = t1 ∧ t2
+        let c1 = {
+            let mut r = full.clone();
+            for a in t1.atoms().iter().chain(t2.atoms()) {
+                r.intersect_atom(a);
+            }
+            r
+        };
+        assert!(is_sat(&c1, &[]));
+
+        // c2 = ¬t1 ∧ t2
+        let c2 = {
+            let mut r = full.clone();
+            for a in t2.atoms() {
+                r.intersect_atom(a);
+            }
+            r
+        };
+        assert!(is_sat(&c2, &[&t1]));
+
+        // c3 = t1 ∧ ¬t2 : t2's box contains t1's box, so unsat
+        let c3 = {
+            let mut r = full.clone();
+            for a in t1.atoms() {
+                r.intersect_atom(a);
+            }
+            r
+        };
+        assert!(!is_sat(&c3, &[&t2]));
+    }
+}

@@ -1,0 +1,425 @@
+//! A small shared lexer for the library's text surfaces: the SQL-ish
+//! aggregate query parser (`pc-storage`) and the predicate-constraint
+//! notation parser (`pc-core`). No dependencies, byte-precise error
+//! positions.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (`SELECT`, `price`, `AND`, …).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (quotes stripped, `''` escapes a
+    /// quote).
+    Str(String),
+    /// One of `( ) , * =>` or a comparison operator.
+    Symbol(Sym),
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=` / `<>`
+    Ne,
+    /// `=>` (the implication arrow of constraint notation)
+    Arrow,
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Star => "*",
+            Sym::Eq => "=",
+            Sym::Lt => "<",
+            Sym::Le => "<=",
+            Sym::Gt => ">",
+            Sym::Ge => ">=",
+            Sym::Ne => "!=",
+            Sym::Arrow => "=>",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A lexing/parsing error with a byte position into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error.
+    pub fn new(at: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            at,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Tokenize a source string. Keywords are not distinguished from
+/// identifiers at this level; parsers match case-insensitively.
+pub fn tokenize(src: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((i, Token::Symbol(Sym::LParen)));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Token::Symbol(Sym::RParen)));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Token::Symbol(Sym::Comma)));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Token::Symbol(Sym::Star)));
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((i, Token::Symbol(Sym::Arrow)));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Symbol(Sym::Eq)));
+                    i += 1;
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push((i, Token::Symbol(Sym::Le)));
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push((i, Token::Symbol(Sym::Ne)));
+                    i += 2;
+                }
+                _ => {
+                    out.push((i, Token::Symbol(Sym::Lt)));
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Symbol(Sym::Ge)));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Symbol(Sym::Gt)));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((i, Token::Symbol(Sym::Ne)));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected `!=`"));
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new(start, "unterminated string literal")),
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((start, Token::Str(s)));
+            }
+            '0'..='9' | '.' | '-' | '+' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '_')
+                {
+                    // allow exponent signs directly after e/E
+                    if matches!(bytes[i] as char, 'e' | 'E')
+                        && matches!(bytes.get(i + 1).map(|b| *b as char), Some('+') | Some('-'))
+                    {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                let text: String = src[start..i].chars().filter(|c| *c != '_').collect();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("bad number `{text}`")))?;
+                out.push((start, Token::Number(n)));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_' | '.')
+                {
+                    i += 1;
+                }
+                out.push((start, Token::Ident(src[start..i].to_string())));
+            }
+            other => {
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A token cursor with convenience matchers shared by both parsers.
+pub struct Cursor<'a> {
+    tokens: &'a [(usize, Token)],
+    pos: usize,
+    len: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wrap a token stream; `src_len` is used for end-of-input error
+    /// positions.
+    pub fn new(tokens: &'a [(usize, Token)], src_len: usize) -> Self {
+        Cursor {
+            tokens,
+            pos: 0,
+            len: src_len,
+        }
+    }
+
+    /// The current token, if any.
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    /// Byte position of the current token (or end of input).
+    pub fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(self.len)
+    }
+
+    /// Advance and return the token.
+    pub fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t);
+        self.pos += 1;
+        t
+    }
+
+    /// True at end of input.
+    pub fn done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consume a keyword (case-insensitive identifier); error otherwise.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let at = self.at();
+        match self.advance() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError::new(
+                at,
+                format!("expected `{kw}`, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Consume a keyword if present.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume a symbol; error otherwise.
+    pub fn expect_symbol(&mut self, sym: Sym) -> Result<(), ParseError> {
+        let at = self.at();
+        match self.advance() {
+            Some(Token::Symbol(s)) if *s == sym => Ok(()),
+            other => Err(ParseError::new(
+                at,
+                format!("expected `{sym}`, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Consume a symbol if present.
+    pub fn eat_symbol(&mut self, sym: Sym) -> bool {
+        if let Some(Token::Symbol(s)) = self.peek() {
+            if *s == sym {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume an identifier.
+    pub fn expect_ident(&mut self) -> Result<String, ParseError> {
+        let at = self.at();
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s.clone()),
+            other => Err(ParseError::new(
+                at,
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    /// Consume a numeric literal.
+    pub fn expect_number(&mut self) -> Result<f64, ParseError> {
+        let at = self.at();
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(*n),
+            other => Err(ParseError::new(
+                at,
+                format!("expected number, found {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT SUM(price)"),
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("SUM".into()),
+                Token::Symbol(Sym::LParen),
+                Token::Ident("price".into()),
+                Token::Symbol(Sym::RParen),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("a <= 1 >= < > != <> => ="),
+            vec![
+                Token::Ident("a".into()),
+                Token::Symbol(Sym::Le),
+                Token::Number(1.0),
+                Token::Symbol(Sym::Ge),
+                Token::Symbol(Sym::Lt),
+                Token::Symbol(Sym::Gt),
+                Token::Symbol(Sym::Ne),
+                Token::Symbol(Sym::Ne),
+                Token::Symbol(Sym::Arrow),
+                Token::Symbol(Sym::Eq),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 -3 1e3 1_000"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(-3.0),
+                Token::Number(1000.0),
+                Token::Number(1000.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks("'Chicago' 'O''Hare'"),
+            vec![Token::Str("Chicago".into()), Token::Str("O'Hare".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let e = tokenize("'oops").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        assert_eq!(e.at, 0);
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        let e = tokenize("price @ 3").unwrap_err();
+        assert!(e.message.contains('@'));
+    }
+
+    #[test]
+    fn cursor_walkthrough() {
+        let tokens = tokenize("COUNT ( * )").unwrap();
+        let mut c = Cursor::new(&tokens, 11);
+        assert!(c.eat_keyword("count"));
+        c.expect_symbol(Sym::LParen).unwrap();
+        assert!(c.eat_symbol(Sym::Star));
+        c.expect_symbol(Sym::RParen).unwrap();
+        assert!(c.done());
+    }
+}

@@ -1,0 +1,96 @@
+use std::fmt;
+
+/// A single attribute value.
+///
+/// The bounding engine works on `f64` endpoints, so every value can be
+/// *encoded* as an `f64` via [`Value::encode`]. Categorical values are
+/// dictionary codes assigned by the storage layer; their encoding is the
+/// code itself, which makes equality predicates degenerate (point)
+/// intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A 64-bit signed integer (also used for timestamps and dictionary
+    /// codes surfaced to users).
+    Int(i64),
+    /// A 64-bit float. Must not be NaN; constructors in the storage layer
+    /// enforce this.
+    Float(f64),
+    /// A dictionary-encoded categorical code.
+    Cat(u32),
+}
+
+impl Value {
+    /// Encode the value on the common `f64` number line used by intervals.
+    ///
+    /// `i64` values above 2^53 would lose precision; the storage layer
+    /// rejects such extremes at ingest, so within the library the encoding
+    /// is exact.
+    #[inline]
+    pub fn encode(&self) -> f64 {
+        match *self {
+            Value::Int(v) => v as f64,
+            Value::Float(v) => v,
+            Value::Cat(v) => f64::from(v),
+        }
+    }
+
+    /// True if this value is an integer-like (discrete) value.
+    #[inline]
+    pub fn is_discrete(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Cat(_))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Cat(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Cat(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_roundtrips_ints() {
+        assert_eq!(Value::Int(42).encode(), 42.0);
+        assert_eq!(Value::Int(-7).encode(), -7.0);
+        assert_eq!(Value::Cat(3).encode(), 3.0);
+        assert_eq!(Value::Float(1.5).encode(), 1.5);
+    }
+
+    #[test]
+    fn discreteness() {
+        assert!(Value::Int(1).is_discrete());
+        assert!(Value::Cat(1).is_discrete());
+        assert!(!Value::Float(1.0).is_discrete());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Cat(5).to_string(), "#5");
+    }
+}

@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Errors produced by the LP and MILP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be improved without limit.
+    Unbounded,
+    /// The iteration or node limit was exhausted before convergence.
+    /// Carries the limit that was hit, for diagnostics.
+    LimitExceeded(usize),
+    /// The problem is malformed (mismatched dimensions, NaN coefficients,
+    /// inverted bounds, …).
+    BadModel(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Infeasible => write!(f, "problem is infeasible"),
+            SolverError::Unbounded => write!(f, "problem is unbounded"),
+            SolverError::LimitExceeded(n) => {
+                write!(f, "solver limit of {n} iterations/nodes exceeded")
+            }
+            SolverError::BadModel(msg) => write!(f, "malformed model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SolverError::Infeasible.to_string().contains("infeasible"));
+        assert!(SolverError::Unbounded.to_string().contains("unbounded"));
+        assert!(SolverError::LimitExceeded(10).to_string().contains("10"));
+        assert!(SolverError::BadModel("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's fast special case (§4.2, "Faster Algorithm in Special
+//! Cases"): when predicate constraints are pairwise *disjoint*, every
+//! predicate is its own cell, the MILP constraint matrix is diagonal, and
+//! the optimum decomposes per variable.
+//!
+//! For `max Σ uᵢ·xᵢ` with `klᵢ ≤ xᵢ ≤ kuᵢ`, each `xᵢ` independently takes
+//! `kuᵢ` when its objective coefficient is positive and `klᵢ` otherwise.
+//! This is what lets the framework scale to thousands of partitioned PCs
+//! (Fig 8 of the paper).
+
+/// Result of the greedy allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedySolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Per-variable allocation.
+    pub x: Vec<f64>,
+}
+
+/// Maximize `Σ uᵢ·xᵢ` subject to `klᵢ ≤ xᵢ ≤ kuᵢ` with disjoint
+/// constraints.
+///
+/// # Panics
+/// Panics (debug) if `kl > ku` for some variable; callers validate
+/// frequency constraints at construction.
+pub fn maximize_disjoint(u: &[f64], freq: &[(f64, f64)]) -> GreedySolution {
+    assert_eq!(u.len(), freq.len(), "objective/bounds length mismatch");
+    let mut x = Vec::with_capacity(u.len());
+    let mut objective = 0.0;
+    for (&ui, &(kl, ku)) in u.iter().zip(freq) {
+        debug_assert!(kl <= ku, "frequency bounds inverted: [{kl}, {ku}]");
+        let xi = if ui > 0.0 { ku } else { kl };
+        objective += ui * xi;
+        x.push(xi);
+    }
+    GreedySolution { objective, x }
+}
+
+/// Minimize `Σ uᵢ·xᵢ` subject to `klᵢ ≤ xᵢ ≤ kuᵢ` with disjoint
+/// constraints (used for lower bounds).
+pub fn minimize_disjoint(u: &[f64], freq: &[(f64, f64)]) -> GreedySolution {
+    let negated: Vec<f64> = u.iter().map(|v| -v).collect();
+    let mut sol = maximize_disjoint(&negated, freq);
+    sol.objective = -sol.objective;
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_disjoint_example() {
+        // §4.4 disjoint case: two day-buckets, price bounds
+        // [0.99, 129.99] × (50, 100) and [0.99, 149.99] × (50, 100):
+        // upper = 100·129.99 + 100·149.99 = 27998.00
+        let sol = maximize_disjoint(&[129.99, 149.99], &[(50.0, 100.0), (50.0, 100.0)]);
+        assert!((sol.objective - 27_998.0).abs() < 1e-9);
+        assert_eq!(sol.x, vec![100.0, 100.0]);
+
+        // lower = 50·0.99 + 50·0.99 = 99.00
+        let sol = minimize_disjoint(&[0.99, 0.99], &[(50.0, 100.0), (50.0, 100.0)]);
+        assert!((sol.objective - 99.0).abs() < 1e-9);
+        assert_eq!(sol.x, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn negative_values_take_lower_frequency() {
+        let sol = maximize_disjoint(&[-5.0, 3.0], &[(2.0, 10.0), (0.0, 4.0)]);
+        assert_eq!(sol.x, vec![2.0, 4.0]);
+        assert!((sol.objective - (-10.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_coefficient_takes_lower() {
+        // u = 0 contributes nothing either way; we take kl to keep COUNT
+        // lower bounds minimal.
+        let sol = maximize_disjoint(&[0.0], &[(3.0, 9.0)]);
+        assert_eq!(sol.x, vec![3.0]);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let sol = maximize_disjoint(&[], &[]);
+        assert_eq!(sol.objective, 0.0);
+        assert!(sol.x.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_milp_on_disjoint_problems() {
+        use crate::{solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpProblem};
+        let u = [3.0, -2.0, 0.5, 7.0];
+        let freq = [(0.0, 5.0), (1.0, 4.0), (2.0, 2.0), (0.0, 100.0)];
+        let greedy = maximize_disjoint(&u, &freq);
+
+        let mut lp = LinearProgram::maximize(u.to_vec());
+        for (i, &(kl, ku)) in freq.iter().enumerate() {
+            lp.add_constraint(vec![(i, 1.0)], ConstraintOp::Ge, kl);
+            lp.add_constraint(vec![(i, 1.0)], ConstraintOp::Le, ku);
+        }
+        let milp = solve_milp(&MilpProblem::all_integer(lp), MilpOptions::default()).unwrap();
+        assert!((greedy.objective - milp.objective).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,194 @@
+use crate::SolverError;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `row · x ≤ rhs`
+    Le,
+    /// `row · x ≥ rhs`
+    Ge,
+    /// `row · x = rhs`
+    Eq,
+}
+
+/// A sparse linear constraint `Σ coefᵢ·x_{varᵢ}  op  rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices must be in range and
+    /// may repeat (repeats are summed).
+    pub terms: Vec<(usize, f64)>,
+    /// The relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over `n` variables.
+///
+/// Variables carry individual `[lo, hi]` bounds; `lo` may be
+/// `f64::NEG_INFINITY` (free below) and `hi` may be `f64::INFINITY`.
+/// The default bounds are `[0, +∞)`, the natural domain for the row
+/// allocation variables of the PC bounding MILP.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Optimization direction.
+    pub sense: Sense,
+    /// Dense objective coefficients, one per variable.
+    pub objective: Vec<f64>,
+    /// The constraint rows.
+    pub constraints: Vec<Constraint>,
+    /// Per-variable `(lo, hi)` bounds.
+    pub bounds: Vec<(f64, f64)>,
+}
+
+impl LinearProgram {
+    /// A maximization problem over `n` variables with `x ≥ 0` bounds and no
+    /// constraints yet.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        let n = objective.len();
+        LinearProgram {
+            sense: Sense::Maximize,
+            objective,
+            constraints: Vec::new(),
+            bounds: vec![(0.0, f64::INFINITY); n],
+        }
+    }
+
+    /// A minimization problem over `n` variables with `x ≥ 0` bounds.
+    pub fn minimize(objective: Vec<f64>) -> Self {
+        let mut lp = LinearProgram::maximize(objective);
+        lp.sense = Sense::Minimize;
+        lp
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Add a constraint from sparse terms.
+    pub fn add_constraint(&mut self, terms: Vec<(usize, f64)>, op: ConstraintOp, rhs: f64) {
+        self.constraints.push(Constraint { terms, op, rhs });
+    }
+
+    /// Set the bounds of one variable.
+    pub fn set_bounds(&mut self, var: usize, lo: f64, hi: f64) {
+        self.bounds[var] = (lo, hi);
+    }
+
+    /// Validate dimensions and numeric sanity before solving.
+    pub fn validate(&self) -> Result<(), SolverError> {
+        let n = self.num_vars();
+        if self.objective.iter().any(|c| c.is_nan()) {
+            return Err(SolverError::BadModel("NaN objective coefficient".into()));
+        }
+        for (i, &(lo, hi)) in self.bounds.iter().enumerate() {
+            if lo.is_nan() || hi.is_nan() {
+                return Err(SolverError::BadModel(format!("NaN bound on x{i}")));
+            }
+            if lo > hi {
+                return Err(SolverError::Infeasible);
+            }
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            if c.rhs.is_nan() {
+                return Err(SolverError::BadModel(format!("NaN rhs in constraint {ci}")));
+            }
+            for &(var, coef) in &c.terms {
+                if var >= n {
+                    return Err(SolverError::BadModel(format!(
+                        "constraint {ci} references x{var} but there are only {n} variables"
+                    )));
+                }
+                if coef.is_nan() {
+                    return Err(SolverError::BadModel(format!(
+                        "NaN coefficient in constraint {ci}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate the objective at a point.
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check whether `x` satisfies all constraints and bounds within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars() {
+            return false;
+        }
+        for (&(lo, hi), &v) in self.bounds.iter().zip(x) {
+            if v < lo - tol || v > hi + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(var, coef)| coef * x[var]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let lp = LinearProgram::maximize(vec![1.0, 2.0]);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.bounds, vec![(0.0, f64::INFINITY); 2]);
+        assert!(lp.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_var_index() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_constraint(vec![(3, 1.0)], ConstraintOp::Le, 1.0);
+        assert!(matches!(lp.validate(), Err(SolverError::BadModel(_))));
+    }
+
+    #[test]
+    fn validate_catches_inverted_bounds() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.set_bounds(0, 5.0, 2.0);
+        assert_eq!(lp.validate(), Err(SolverError::Infeasible));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], ConstraintOp::Le, 3.0);
+        lp.add_constraint(vec![(0, 1.0)], ConstraintOp::Ge, 1.0);
+        assert!(lp.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.5, 1.0], 1e-9)); // violates Ge
+        assert!(!lp.is_feasible(&[2.0, 2.0], 1e-9)); // violates Le
+        assert!(!lp.is_feasible(&[-1.0, 0.0], 1e-9)); // violates bound
+    }
+
+    #[test]
+    fn objective_eval() {
+        let lp = LinearProgram::maximize(vec![2.0, -1.0]);
+        assert_eq!(lp.objective_at(&[3.0, 4.0]), 2.0);
+    }
+}

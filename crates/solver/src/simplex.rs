@@ -1,0 +1,525 @@
+//! Dense two-phase primal simplex.
+//!
+//! The solver accepts the general [`LinearProgram`] model (arbitrary
+//! variable bounds, ≤ / ≥ / = rows, maximize or minimize) and reduces it to
+//! standard form `max cᵀy, Ay = b, y ≥ 0, b ≥ 0` by shifting, mirroring, or
+//! splitting variables and adding slack/surplus/artificial columns. Phase 1
+//! drives artificial variables to zero (or proves infeasibility); phase 2
+//! optimizes the real objective. Bland's rule is used throughout, which
+//! guarantees termination at the cost of some speed — the right trade-off
+//! for a bounding engine where correctness is the product.
+
+use crate::{ConstraintOp, LinearProgram, Sense, SolverError};
+
+/// Numeric tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-9;
+
+/// An optimal LP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal objective value (in the original sense).
+    pub objective: f64,
+    /// Optimal assignment for the original variables.
+    pub x: Vec<f64>,
+}
+
+/// How an original variable is represented in standard form.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = y_col + lo` with `y ≥ 0`.
+    Shifted { col: usize, lo: f64 },
+    /// `x = hi − y_col` with `y ≥ 0` (used when only an upper bound is
+    /// finite).
+    Mirrored { col: usize, hi: f64 },
+    /// `x = y_pos − y_neg`, both `≥ 0` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+/// Standard-form row: dense coefficients over structural columns.
+struct StdRow {
+    coefs: Vec<f64>,
+    op: ConstraintOp,
+    rhs: f64,
+}
+
+/// Solve a linear program with the two-phase simplex method.
+pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, SolverError> {
+    lp.validate()?;
+    let n = lp.num_vars();
+
+    // --- 1. Map variables into non-negative standard-form columns. -------
+    let mut maps = Vec::with_capacity(n);
+    let mut ncols = 0usize;
+    for &(lo, hi) in &lp.bounds {
+        let m = if lo.is_finite() {
+            let col = ncols;
+            ncols += 1;
+            VarMap::Shifted { col, lo }
+        } else if hi.is_finite() {
+            let col = ncols;
+            ncols += 1;
+            VarMap::Mirrored { col, hi }
+        } else {
+            let pos = ncols;
+            let neg = ncols + 1;
+            ncols += 2;
+            VarMap::Split { pos, neg }
+        };
+        maps.push(m);
+    }
+
+    // Standard-form objective (always maximize internally).
+    let sign = match lp.sense {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let mut c = vec![0.0; ncols];
+    let mut obj_const = 0.0;
+    for (i, &ci) in lp.objective.iter().enumerate() {
+        let ci = ci * sign;
+        match maps[i] {
+            VarMap::Shifted { col, lo } => {
+                c[col] += ci;
+                obj_const += ci * lo;
+            }
+            VarMap::Mirrored { col, hi } => {
+                c[col] -= ci;
+                obj_const += ci * hi;
+            }
+            VarMap::Split { pos, neg } => {
+                c[pos] += ci;
+                c[neg] -= ci;
+            }
+        }
+    }
+
+    // --- 2. Translate constraints (and finite upper bounds) to rows. -----
+    let mut rows: Vec<StdRow> = Vec::with_capacity(lp.constraints.len() + n);
+    for cons in &lp.constraints {
+        let mut coefs = vec![0.0; ncols];
+        let mut rhs = cons.rhs;
+        for &(var, coef) in &cons.terms {
+            match maps[var] {
+                VarMap::Shifted { col, lo } => {
+                    coefs[col] += coef;
+                    rhs -= coef * lo;
+                }
+                VarMap::Mirrored { col, hi } => {
+                    coefs[col] -= coef;
+                    rhs -= coef * hi;
+                }
+                VarMap::Split { pos, neg } => {
+                    coefs[pos] += coef;
+                    coefs[neg] -= coef;
+                }
+            }
+        }
+        rows.push(StdRow {
+            coefs,
+            op: cons.op,
+            rhs,
+        });
+    }
+    // Bounds not absorbed by the shift become explicit rows.
+    for (i, &(lo, hi)) in lp.bounds.iter().enumerate() {
+        match maps[i] {
+            VarMap::Shifted { col, lo: shift } if hi.is_finite() => {
+                let mut coefs = vec![0.0; ncols];
+                coefs[col] = 1.0;
+                rows.push(StdRow {
+                    coefs,
+                    op: ConstraintOp::Le,
+                    rhs: hi - shift,
+                });
+            }
+            VarMap::Split { pos, neg } => {
+                // Free variable: both bounds infinite, nothing to add.
+                debug_assert!(!lo.is_finite() && !hi.is_finite());
+                let _ = (pos, neg);
+            }
+            _ => {}
+        }
+    }
+
+    // --- 3. Build the simplex tableau with slacks and artificials. -------
+    let m = rows.len();
+    // Columns: structural | slack/surplus | artificial | rhs
+    let mut n_slack = 0;
+    for r in &rows {
+        if !matches!(r.op, ConstraintOp::Eq) {
+            n_slack += 1;
+        }
+    }
+    let total = ncols + n_slack + m; // upper bound on artificial count
+    let width = total + 1;
+    let mut a = vec![0.0; m * width];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_at = ncols;
+    let mut art_at = ncols + n_slack;
+    let mut artificials = Vec::new();
+
+    for (r, row) in rows.iter().enumerate() {
+        let (mut coefs, mut rhs) = (row.coefs.clone(), row.rhs);
+        let mut op = row.op;
+        if rhs < 0.0 {
+            for v in &mut coefs {
+                *v = -*v;
+            }
+            rhs = -rhs;
+            op = match op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+        for (j, &v) in coefs.iter().enumerate() {
+            a[r * width + j] = v;
+        }
+        a[r * width + total] = rhs;
+        match op {
+            ConstraintOp::Le => {
+                a[r * width + slack_at] = 1.0;
+                basis[r] = slack_at;
+                slack_at += 1;
+            }
+            ConstraintOp::Ge => {
+                a[r * width + slack_at] = -1.0;
+                slack_at += 1;
+                a[r * width + art_at] = 1.0;
+                basis[r] = art_at;
+                artificials.push(art_at);
+                art_at += 1;
+            }
+            ConstraintOp::Eq => {
+                a[r * width + art_at] = 1.0;
+                basis[r] = art_at;
+                artificials.push(art_at);
+                art_at += 1;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        a,
+        basis,
+        m,
+        total,
+        width,
+        blocked: Vec::new(),
+    };
+
+    // --- 4. Phase 1: drive artificials out. -------------------------------
+    if !artificials.is_empty() {
+        let mut cost = vec![0.0; total];
+        for &j in &artificials {
+            cost[j] = -1.0;
+        }
+        let value = tab.optimize(&cost)?;
+        if value < -1e-7 {
+            return Err(SolverError::Infeasible);
+        }
+        // Pivot any artificial still in the basis out (degenerate rows),
+        // or verify its value is zero.
+        for r in 0..tab.m {
+            if artificials.contains(&tab.basis[r]) {
+                let pivot_col = (0..ncols + n_slack)
+                    .find(|&j| tab.at(r, j).abs() > TOL && !artificials.contains(&j));
+                if let Some(j) = pivot_col {
+                    tab.pivot(r, j);
+                } else {
+                    // Row is all-zero over real columns: redundant.
+                    debug_assert!(tab.rhs(r).abs() <= 1e-7);
+                }
+            }
+        }
+        // Freeze artificial columns at zero so phase 2 never re-enters them.
+        for &j in &artificials {
+            for r in 0..tab.m {
+                if tab.basis[r] != j {
+                    tab.set(r, j, 0.0);
+                }
+            }
+        }
+        tab.blocked = artificials;
+    }
+
+    // --- 5. Phase 2: the real objective. ----------------------------------
+    let mut cost = vec![0.0; total];
+    cost[..ncols].copy_from_slice(&c);
+    let value = tab.optimize(&cost)?;
+
+    // --- 6. Recover the original variables. -------------------------------
+    let mut y = vec![0.0; total];
+    for r in 0..tab.m {
+        y[tab.basis[r]] = tab.rhs(r);
+    }
+    let mut x = vec![0.0; n];
+    for (i, map) in maps.iter().enumerate() {
+        x[i] = match *map {
+            VarMap::Shifted { col, lo } => y[col] + lo,
+            VarMap::Mirrored { col, hi } => hi - y[col],
+            VarMap::Split { pos, neg } => y[pos] - y[neg],
+        };
+    }
+    let objective = (value + obj_const) * sign;
+    Ok(LpSolution { objective, x })
+}
+
+/// Dense row-major simplex tableau in canonical form (basis columns are
+/// unit vectors).
+struct Tableau {
+    a: Vec<f64>,
+    basis: Vec<usize>,
+    m: usize,
+    total: usize,
+    width: usize,
+    /// Artificial columns frozen after phase 1; never re-enter the basis.
+    blocked: Vec<usize>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, j: usize) -> f64 {
+        self.a[r * self.width + j]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, j: usize, v: f64) {
+        self.a[r * self.width + j] = v;
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.a[r * self.width + self.total]
+    }
+
+    /// Gauss-pivot on `(row, col)` and update the basis.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.width;
+        let p = self.at(row, col);
+        debug_assert!(p.abs() > TOL, "pivot on (near-)zero element");
+        let inv = 1.0 / p;
+        for j in 0..w {
+            self.a[row * w + j] *= inv;
+        }
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let f = self.at(r, col);
+            if f == 0.0 {
+                continue;
+            }
+            for j in 0..w {
+                let v = self.a[row * w + j];
+                self.a[r * w + j] -= f * v;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Maximize `cost · y` from the current basic feasible solution.
+    /// Returns the optimal objective value. Uses Bland's rule.
+    fn optimize(&mut self, cost: &[f64]) -> Result<f64, SolverError> {
+        let iter_limit = 200 + 50 * (self.m + self.total);
+        for _ in 0..iter_limit {
+            // Reduced costs: c_j − c_B · B⁻¹A_j (computed from the
+            // canonical tableau).
+            let mut entering = None;
+            for j in 0..self.total {
+                if self.blocked.contains(&j) {
+                    continue;
+                }
+                let mut red = cost[j];
+                for r in 0..self.m {
+                    let cb = cost[self.basis[r]];
+                    if cb != 0.0 {
+                        red -= cb * self.at(r, j);
+                    }
+                }
+                if red > TOL {
+                    entering = Some(j);
+                    break; // Bland: smallest index
+                }
+            }
+            let Some(col) = entering else {
+                // Optimal: objective = c_B · x_B
+                let mut v = 0.0;
+                for r in 0..self.m {
+                    v += cost[self.basis[r]] * self.rhs(r);
+                }
+                return Ok(v);
+            };
+            // Ratio test, Bland tie-break on basis variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.m {
+                let arj = self.at(r, col);
+                if arj > TOL {
+                    let ratio = self.rhs(r) / arj;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - TOL
+                                || ((ratio - lratio).abs() <= TOL && self.basis[r] < self.basis[lr])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Err(SolverError::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(SolverError::LimitExceeded(iter_limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintOp::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18  → 36 at (2, 6)
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]);
+        lp.add_constraint(vec![(0, 1.0)], Le, 4.0);
+        lp.add_constraint(vec![(1, 2.0)], Le, 12.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 2.0)], Le, 18.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, 36.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge() {
+        // min 2x + 3y s.t. x + y ≥ 4, x ≥ 1 → 9 at (4? ...)
+        // optimum: put everything on the cheaper x: x=4,y=0 → 8
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 4.0);
+        lp.add_constraint(vec![(0, 1.0)], Ge, 1.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, 8.0);
+        assert_close(s.x[0], 4.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // max x + y s.t. x + y = 5, x − y = 1 → x=3, y=2
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Eq, 5.0);
+        lp.add_constraint(vec![(0, 1.0), (1, -1.0)], Eq, 1.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, 5.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.add_constraint(vec![(0, 1.0)], Ge, 5.0);
+        lp.add_constraint(vec![(0, 1.0)], Le, 3.0);
+        assert_eq!(solve_lp(&lp), Err(SolverError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 0.0]);
+        lp.add_constraint(vec![(1, 1.0)], Le, 1.0);
+        assert_eq!(solve_lp(&lp), Err(SolverError::Unbounded));
+    }
+
+    #[test]
+    fn variable_upper_bounds_respected() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.set_bounds(0, 0.0, 2.5);
+        lp.set_bounds(1, 1.0, 4.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, 6.5);
+        assert_close(s.x[0], 2.5);
+        assert_close(s.x[1], 4.0);
+    }
+
+    #[test]
+    fn lower_bound_shift() {
+        // min x s.t. x ≥ -10 with lo = -10: optimum at -10
+        let mut lp = LinearProgram::minimize(vec![1.0]);
+        lp.set_bounds(0, -10.0, f64::INFINITY);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, -10.0);
+    }
+
+    #[test]
+    fn mirrored_variable() {
+        // max x with x ≤ 7 only (lo = −∞): optimum 7
+        let mut lp = LinearProgram::maximize(vec![1.0]);
+        lp.set_bounds(0, f64::NEG_INFINITY, 7.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, 7.0);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min x + y s.t. x + y ≥ −3, x free, y ≥ 0 → −3
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
+        lp.set_bounds(0, f64::NEG_INFINITY, f64::INFINITY);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, -3.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, -3.0);
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // max −x s.t. −x ≥ −4 (i.e. x ≤ 4), x ≥ 2 → −2 at x = 2
+        let mut lp = LinearProgram::maximize(vec![-1.0]);
+        lp.add_constraint(vec![(0, -1.0)], Ge, -4.0);
+        lp.add_constraint(vec![(0, 1.0)], Ge, 2.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, -2.0);
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // classic degenerate example; Bland's rule must terminate
+        let mut lp = LinearProgram::maximize(vec![0.75, -150.0, 0.02, -6.0]);
+        lp.add_constraint(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], Le, 0.0);
+        lp.add_constraint(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], Le, 0.0);
+        lp.add_constraint(vec![(2, 1.0)], Le, 1.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, 0.05);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut lp = LinearProgram::maximize(vec![5.0, 4.0, 3.0]);
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0)], Le, 5.0);
+        lp.add_constraint(vec![(0, 4.0), (1, 1.0), (2, 2.0)], Le, 11.0);
+        lp.add_constraint(vec![(0, 3.0), (1, 4.0), (2, 2.0)], Le, 8.0);
+        let s = solve_lp(&lp).unwrap();
+        assert!(lp.is_feasible(&s.x, 1e-6));
+        assert_close(s.objective, 13.0);
+    }
+
+    #[test]
+    fn fec_shape_lp() {
+        // The fractional-edge-cover LP for the triangle query:
+        // min c1 + c2 + c3 s.t. each attribute covered:
+        //  a: c1 + c3 ≥ 1, b: c1 + c2 ≥ 1, c: c2 + c3 ≥ 1 → all 0.5, sum 1.5
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0, 1.0]);
+        lp.add_constraint(vec![(0, 1.0), (2, 1.0)], Ge, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 1.0);
+        lp.add_constraint(vec![(1, 1.0), (2, 1.0)], Ge, 1.0);
+        let s = solve_lp(&lp).unwrap();
+        assert_close(s.objective, 1.5);
+    }
+}

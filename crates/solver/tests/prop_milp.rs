@@ -1,0 +1,134 @@
+//! Property-based verification of the LP and MILP solvers against a
+//! brute-force oracle on small bounded integer programs of the exact shape
+//! produced by PC bounding: `max u·x` subject to interval constraints
+//! `kl ≤ Σ_{i∈S} xᵢ ≤ ku` over subsets `S`, with `0 ≤ xᵢ ≤ cap`.
+
+use pc_solver::{
+    solve_lp, solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpProblem, SolverError,
+};
+use proptest::prelude::*;
+
+const NVARS: usize = 3;
+const CAP: i64 = 4;
+
+#[derive(Debug, Clone)]
+struct PcShapedProblem {
+    u: Vec<f64>,
+    // (membership bitmask, kl, ku)
+    rows: Vec<(u8, i64, i64)>,
+}
+
+prop_compose! {
+    fn arb_problem()(
+        u in prop::collection::vec(-5..=5i64, NVARS),
+        rows in prop::collection::vec(
+            (1u8..(1 << NVARS), 0..=6i64, 0..=6i64),
+            0..4,
+        ),
+    ) -> PcShapedProblem {
+        PcShapedProblem {
+            u: u.into_iter().map(|v| v as f64).collect(),
+            rows: rows
+                .into_iter()
+                .map(|(mask, a, b)| (mask, a.min(b), a.max(b)))
+                .collect(),
+        }
+    }
+}
+
+fn build_lp(p: &PcShapedProblem) -> LinearProgram {
+    let mut lp = LinearProgram::maximize(p.u.clone());
+    for i in 0..NVARS {
+        lp.set_bounds(i, 0.0, CAP as f64);
+    }
+    for &(mask, kl, ku) in &p.rows {
+        let terms: Vec<(usize, f64)> = (0..NVARS)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| (i, 1.0))
+            .collect();
+        lp.add_constraint(terms.clone(), ConstraintOp::Ge, kl as f64);
+        lp.add_constraint(terms, ConstraintOp::Le, ku as f64);
+    }
+    lp
+}
+
+/// Enumerate all integer points in [0, CAP]^NVARS.
+fn brute_force(p: &PcShapedProblem) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    let mut x = [0i64; NVARS];
+    loop {
+        let feasible = p.rows.iter().all(|&(mask, kl, ku)| {
+            let s: i64 = (0..NVARS)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| x[i])
+                .sum();
+            kl <= s && s <= ku
+        });
+        if feasible {
+            let obj: f64 = p.u.iter().zip(&x).map(|(c, &v)| c * v as f64).sum();
+            best = Some(best.map_or(obj, |b: f64| b.max(obj)));
+        }
+        let mut k = 0;
+        loop {
+            if k == NVARS {
+                return best;
+            }
+            x[k] += 1;
+            if x[k] <= CAP {
+                break;
+            }
+            x[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn milp_matches_brute_force(p in arb_problem()) {
+        let lp = build_lp(&p);
+        let got = solve_milp(&MilpProblem::all_integer(lp), MilpOptions::default());
+        match brute_force(&p) {
+            Some(best) => {
+                let sol = got.expect("oracle says feasible");
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "milp {} vs oracle {}", sol.objective, best);
+            }
+            None => {
+                prop_assert_eq!(got.unwrap_err(), SolverError::Infeasible);
+            }
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_dominates_milp(p in arb_problem()) {
+        let lp = build_lp(&p);
+        let relax = solve_lp(&lp);
+        let milp = solve_milp(&MilpProblem::all_integer(lp), MilpOptions::default());
+        if let (Ok(r), Ok(m)) = (relax, milp) {
+            prop_assert!(r.objective >= m.objective - 1e-6,
+                "relaxation {} must dominate integer optimum {}", r.objective, m.objective);
+        }
+    }
+
+    #[test]
+    fn lp_solution_is_feasible(p in arb_problem()) {
+        let lp = build_lp(&p);
+        if let Ok(sol) = solve_lp(&lp) {
+            prop_assert!(lp.is_feasible(&sol.x, 1e-6));
+        }
+    }
+
+    #[test]
+    fn milp_solution_is_integral_and_feasible(p in arb_problem()) {
+        let lp = build_lp(&p);
+        if let Ok(sol) = solve_milp(&MilpProblem::all_integer(lp.clone()), MilpOptions::default()) {
+            prop_assert!(lp.is_feasible(&sol.x, 1e-5));
+            for v in &sol.x {
+                prop_assert!((v - v.round()).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+use crate::{filter_indices, Table};
+use pc_predicate::Predicate;
+
+/// The aggregate functions supported by the PC framework (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `COUNT(*)`
+    Count,
+    /// `SUM(attr)`
+    Sum,
+    /// `AVG(attr)`
+    Avg,
+    /// `MIN(attr)`
+    Min,
+    /// `MAX(attr)`
+    Max,
+}
+
+impl AggKind {
+    /// Display name matching SQL.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggKind::Count => "COUNT",
+            AggKind::Sum => "SUM",
+            AggKind::Avg => "AVG",
+            AggKind::Min => "MIN",
+            AggKind::Max => "MAX",
+        }
+    }
+}
+
+/// A single-aggregate query `SELECT agg(attr) FROM R WHERE pred`.
+///
+/// `attr` is ignored for `COUNT`. GROUP-BY queries decompose into one
+/// `AggQuery` per group (paper §2), so the framework only needs this form.
+#[derive(Debug, Clone)]
+pub struct AggQuery {
+    /// Which aggregate.
+    pub agg: AggKind,
+    /// Aggregated attribute index (ignored for COUNT).
+    pub attr: usize,
+    /// The WHERE clause.
+    pub predicate: Predicate,
+}
+
+impl AggQuery {
+    /// `SELECT COUNT(*) WHERE pred`.
+    pub fn count(predicate: Predicate) -> Self {
+        AggQuery {
+            agg: AggKind::Count,
+            attr: 0,
+            predicate,
+        }
+    }
+
+    /// `SELECT agg(attr) WHERE pred`.
+    pub fn new(agg: AggKind, attr: usize, predicate: Predicate) -> Self {
+        AggQuery {
+            agg,
+            attr,
+            predicate,
+        }
+    }
+}
+
+/// The result of evaluating an [`AggQuery`] on concrete data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggResult {
+    /// A defined numeric result.
+    Value(f64),
+    /// The aggregate of zero rows (`SUM`/`COUNT` of nothing are 0 by SQL
+    /// semantics handled by callers; `AVG`/`MIN`/`MAX` are undefined).
+    Empty,
+}
+
+impl AggResult {
+    /// The numeric value, or `default` when empty.
+    pub fn unwrap_or(self, default: f64) -> f64 {
+        match self {
+            AggResult::Value(v) => v,
+            AggResult::Empty => default,
+        }
+    }
+
+    /// The numeric value; panics when empty.
+    pub fn value(self) -> f64 {
+        match self {
+            AggResult::Value(v) => v,
+            AggResult::Empty => panic!("aggregate over zero rows has no value"),
+        }
+    }
+}
+
+/// Evaluate an aggregate query over a table — the ground-truth executor.
+pub fn evaluate(table: &Table, query: &AggQuery) -> AggResult {
+    let rows = filter_indices(table, &query.predicate);
+    evaluate_on_rows(table, query, &rows)
+}
+
+/// Evaluate over an explicit row subset (used by sampling baselines).
+pub fn evaluate_on_rows(table: &Table, query: &AggQuery, rows: &[usize]) -> AggResult {
+    match query.agg {
+        AggKind::Count => AggResult::Value(rows.len() as f64),
+        AggKind::Sum => {
+            if rows.is_empty() {
+                // SQL SUM of no rows is NULL, but every framework in the
+                // paper treats it as contributing 0 to totals.
+                return AggResult::Value(0.0);
+            }
+            let col = table.column(query.attr);
+            AggResult::Value(rows.iter().map(|&r| col.encoded(r)).sum())
+        }
+        AggKind::Avg => {
+            if rows.is_empty() {
+                return AggResult::Empty;
+            }
+            let col = table.column(query.attr);
+            let sum: f64 = rows.iter().map(|&r| col.encoded(r)).sum();
+            AggResult::Value(sum / rows.len() as f64)
+        }
+        AggKind::Min => fold_extreme(table, query.attr, rows, f64::min),
+        AggKind::Max => fold_extreme(table, query.attr, rows, f64::max),
+    }
+}
+
+fn fold_extreme(table: &Table, attr: usize, rows: &[usize], op: fn(f64, f64) -> f64) -> AggResult {
+    if rows.is_empty() {
+        return AggResult::Empty;
+    }
+    let col = table.column(attr);
+    let mut acc = col.encoded(rows[0]);
+    for &r in &rows[1..] {
+        acc = op(acc, col.encoded(r));
+    }
+    AggResult::Value(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, AttrType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for (g, v) in [(0, 1.0), (0, 2.0), (1, 10.0), (1, 20.0), (1, 30.0)] {
+            t.push_row(vec![Value::Int(g), Value::Float(v)]);
+        }
+        t
+    }
+
+    #[test]
+    fn all_five_aggregates() {
+        let t = table();
+        let p = Predicate::atom(Atom::eq(0, 1.0));
+        assert_eq!(
+            evaluate(&t, &AggQuery::count(p.clone())),
+            AggResult::Value(3.0)
+        );
+        assert_eq!(
+            evaluate(&t, &AggQuery::new(AggKind::Sum, 1, p.clone())),
+            AggResult::Value(60.0)
+        );
+        assert_eq!(
+            evaluate(&t, &AggQuery::new(AggKind::Avg, 1, p.clone())),
+            AggResult::Value(20.0)
+        );
+        assert_eq!(
+            evaluate(&t, &AggQuery::new(AggKind::Min, 1, p.clone())),
+            AggResult::Value(10.0)
+        );
+        assert_eq!(
+            evaluate(&t, &AggQuery::new(AggKind::Max, 1, p)),
+            AggResult::Value(30.0)
+        );
+    }
+
+    #[test]
+    fn empty_semantics() {
+        let t = table();
+        let nothing = Predicate::atom(Atom::eq(0, 99.0));
+        assert_eq!(
+            evaluate(&t, &AggQuery::count(nothing.clone())),
+            AggResult::Value(0.0)
+        );
+        assert_eq!(
+            evaluate(&t, &AggQuery::new(AggKind::Sum, 1, nothing.clone())),
+            AggResult::Value(0.0)
+        );
+        assert_eq!(
+            evaluate(&t, &AggQuery::new(AggKind::Avg, 1, nothing.clone())),
+            AggResult::Empty
+        );
+        assert_eq!(
+            evaluate(&t, &AggQuery::new(AggKind::Min, 1, nothing)),
+            AggResult::Empty
+        );
+    }
+
+    #[test]
+    fn evaluate_on_explicit_rows() {
+        let t = table();
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        assert_eq!(evaluate_on_rows(&t, &q, &[0, 4]), AggResult::Value(31.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_value_panics() {
+        AggResult::Empty.value();
+    }
+}

@@ -1,0 +1,127 @@
+use pc_predicate::{AttrType, Value};
+
+/// A typed column of values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats (NaN-free by construction).
+    Float(Vec<f64>),
+    /// Dictionary codes.
+    Cat(Vec<u32>),
+}
+
+impl Column {
+    /// An empty column of the given type.
+    pub fn empty(ty: AttrType) -> Self {
+        match ty {
+            AttrType::Int => Column::Int(Vec::new()),
+            AttrType::Float => Column::Float(Vec::new()),
+            AttrType::Cat => Column::Cat(Vec::new()),
+        }
+    }
+
+    /// The column's attribute type.
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Column::Int(_) => AttrType::Int,
+            Column::Float(_) => AttrType::Float,
+            Column::Cat(_) => AttrType::Cat,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v) => v.len(),
+            Column::Float(v) => v.len(),
+            Column::Cat(v) => v.len(),
+        }
+    }
+
+    /// True if the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value; the value's variant must match the column type.
+    ///
+    /// # Panics
+    /// Panics on a type mismatch or NaN float — both indicate caller bugs
+    /// the storage layer refuses to absorb.
+    pub fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (Column::Int(col), Value::Int(x)) => col.push(*x),
+            (Column::Float(col), Value::Float(x)) => {
+                assert!(!x.is_nan(), "NaN cannot be stored");
+                col.push(*x);
+            }
+            (Column::Cat(col), Value::Cat(x)) => col.push(*x),
+            (col, v) => panic!("type mismatch: {:?} column, {v:?} value", col.attr_type()),
+        }
+    }
+
+    /// The encoded (`f64`) value at `row`.
+    #[inline]
+    pub fn encoded(&self, row: usize) -> f64 {
+        match self {
+            Column::Int(v) => v[row] as f64,
+            Column::Float(v) => v[row],
+            Column::Cat(v) => f64::from(v[row]),
+        }
+    }
+
+    /// The typed value at `row`.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[row]),
+            Column::Float(v) => Value::Float(v[row]),
+            Column::Cat(v) => Value::Cat(v[row]),
+        }
+    }
+
+    /// Materialize a subset of rows as a new column.
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(rows.iter().map(|&r| v[r]).collect()),
+            Column::Float(v) => Column::Float(rows.iter().map(|&r| v[r]).collect()),
+            Column::Cat(v) => Column::Cat(rows.iter().map(|&r| v[r]).collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut c = Column::empty(AttrType::Float);
+        c.push(&Value::Float(1.5));
+        c.push(&Value::Float(-2.5));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.encoded(1), -2.5);
+        assert_eq!(c.value(0), Value::Float(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut c = Column::empty(AttrType::Int);
+        c.push(&Value::Float(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let mut c = Column::empty(AttrType::Float);
+        c.push(&Value::Float(f64::NAN));
+    }
+
+    #[test]
+    fn gather_subset() {
+        let c = Column::Int(vec![10, 20, 30, 40]);
+        let g = c.gather(&[3, 1]);
+        assert_eq!(g, Column::Int(vec![40, 20]));
+    }
+}

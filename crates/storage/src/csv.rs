@@ -1,0 +1,254 @@
+//! Minimal CSV import/export so real datasets can be loaded without
+//! adding a parsing dependency. Covers the shape the experiments'
+//! datasets use: a header row, numeric columns, and quoted or bare
+//! categorical labels. Not a general RFC-4180 implementation — embedded
+//! newlines inside quoted fields are unsupported (and rejected loudly).
+
+use crate::Table;
+use pc_predicate::{AttrType, Schema, Value};
+use std::fmt::Write as _;
+
+/// Errors from CSV ingestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn split_line(line: &str, lineno: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            line: lineno,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Parse CSV text into a [`Table`] with the given schema. The header row
+/// must name exactly the schema's attributes (in order); categorical
+/// fields are interned on the fly.
+pub fn table_from_csv(schema: Schema, src: &str) -> Result<Table, CsvError> {
+    let mut lines = src.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CsvError {
+        line: 1,
+        message: "empty input".into(),
+    })?;
+    let names = split_line(header, 1)?;
+    if names.len() != schema.width() {
+        return Err(CsvError {
+            line: 1,
+            message: format!(
+                "header has {} columns, schema {} needs {}",
+                names.len(),
+                schema,
+                schema.width()
+            ),
+        });
+    }
+    for (i, name) in names.iter().enumerate() {
+        if name.trim() != schema.attr_name(i) {
+            return Err(CsvError {
+                line: 1,
+                message: format!(
+                    "header column {} is `{}`, schema expects `{}`",
+                    i,
+                    name.trim(),
+                    schema.attr_name(i)
+                ),
+            });
+        }
+    }
+
+    let mut table = Table::new(schema.clone());
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_line(line, lineno)?;
+        if fields.len() != schema.width() {
+            return Err(CsvError {
+                line: lineno,
+                message: format!("expected {} fields, found {}", schema.width(), fields.len()),
+            });
+        }
+        let mut row = Vec::with_capacity(schema.width());
+        for (attr, field) in fields.iter().enumerate() {
+            let field = field.trim();
+            let value = match schema.attr_type(attr) {
+                AttrType::Int => Value::Int(field.parse::<i64>().map_err(|_| CsvError {
+                    line: lineno,
+                    message: format!(
+                        "`{field}` is not an integer for attribute `{}`",
+                        schema.attr_name(attr)
+                    ),
+                })?),
+                AttrType::Float => {
+                    let v: f64 = field.parse().map_err(|_| CsvError {
+                        line: lineno,
+                        message: format!(
+                            "`{field}` is not a number for attribute `{}`",
+                            schema.attr_name(attr)
+                        ),
+                    })?;
+                    if v.is_nan() {
+                        return Err(CsvError {
+                            line: lineno,
+                            message: "NaN values cannot be stored".into(),
+                        });
+                    }
+                    Value::Float(v)
+                }
+                AttrType::Cat => Value::Cat(table.intern(attr, field)),
+            };
+            row.push(value);
+        }
+        table.push_row(row);
+    }
+    Ok(table)
+}
+
+/// Render a table as CSV (header + one line per row, labels quoted when
+/// they contain commas or quotes).
+pub fn table_to_csv(table: &Table) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    for i in 0..schema.width() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(schema.attr_name(i));
+    }
+    out.push('\n');
+    for r in 0..table.len() {
+        for (a, value) in table.row(r).into_iter().enumerate() {
+            if a > 0 {
+                out.push(',');
+            }
+            match value {
+                Value::Int(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Float(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::Cat(code) => {
+                    let label = table
+                        .dictionary(a)
+                        .and_then(|d| d.label(code))
+                        .unwrap_or("?");
+                    if label.contains(',') || label.contains('"') {
+                        let _ = write!(out, "\"{}\"", label.replace('"', "\"\""));
+                    } else {
+                        out.push_str(label);
+                    }
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("utc", AttrType::Int),
+            ("branch", AttrType::Cat),
+            ("price", AttrType::Float),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "utc,branch,price\n1,Chicago,3.02\n2,New York,6.71\n3,Chicago,18.99\n";
+        let t = table_from_csv(schema(), src).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.encoded(1, 1), 1.0); // New York's code
+        assert_eq!(t.encoded(2, 2), 18.99);
+        let back = table_to_csv(&t);
+        let t2 = table_from_csv(schema(), &back).unwrap();
+        assert_eq!(t2.len(), 3);
+        assert_eq!(t2.encoded_row(1), t.encoded_row(1));
+    }
+
+    #[test]
+    fn quoted_labels() {
+        let src = "utc,branch,price\n1,\"Hanover, NH\",2.0\n2,\"The \"\"Loop\"\"\",3.0\n";
+        let t = table_from_csv(schema(), src).unwrap();
+        assert_eq!(t.dictionary(1).unwrap().label(0), Some("Hanover, NH"));
+        assert_eq!(t.dictionary(1).unwrap().label(1), Some("The \"Loop\""));
+        // roundtrip keeps the quoting
+        let back = table_to_csv(&t);
+        let t2 = table_from_csv(schema(), &back).unwrap();
+        assert_eq!(t2.dictionary(1).unwrap().label(0), Some("Hanover, NH"));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let e = table_from_csv(schema(), "utc,store,price\n").unwrap_err();
+        assert!(e.message.contains("store"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn bad_values_located() {
+        let e = table_from_csv(schema(), "utc,branch,price\n1,Chi,ok\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("ok"));
+        let e = table_from_csv(schema(), "utc,branch,price\nx,Chi,1.0\n").unwrap_err();
+        assert!(e.message.contains("not an integer"));
+        let e = table_from_csv(schema(), "utc,branch,price\n1,Chi,NaN\n").unwrap_err();
+        assert!(e.message.contains("NaN"));
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_field_count_checked() {
+        let t = table_from_csv(schema(), "utc,branch,price\n\n1,Chi,1.0\n\n").unwrap();
+        assert_eq!(t.len(), 1);
+        let e = table_from_csv(schema(), "utc,branch,price\n1,Chi\n").unwrap_err();
+        assert!(e.message.contains("expected 3 fields"));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let e = table_from_csv(schema(), "utc,branch,price\n1,\"Chi,1.0\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

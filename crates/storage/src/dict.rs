@@ -1,0 +1,83 @@
+use std::collections::HashMap;
+
+/// A string dictionary assigning dense `u32` codes in first-seen order.
+///
+/// Categorical columns store codes; the dictionary recovers the label for
+/// display and lets predicates be written against strings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dictionary {
+    labels: Vec<String>,
+    codes: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Intern a label, returning its (possibly new) code.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        if let Some(&code) = self.codes.get(label) {
+            return code;
+        }
+        let code = u32::try_from(self.labels.len()).expect("dictionary overflow");
+        self.labels.push(label.to_string());
+        self.codes.insert(label.to_string(), code);
+        code
+    }
+
+    /// Look up an existing label's code without interning.
+    pub fn code(&self, label: &str) -> Option<u32> {
+        self.codes.get(label).copied()
+    }
+
+    /// The label for a code.
+    pub fn label(&self, code: u32) -> Option<&str> {
+        self.labels.get(code as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("Chicago");
+        let b = d.intern("New York");
+        let a2 = d.intern("Chicago");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_ways() {
+        let mut d = Dictionary::new();
+        let c = d.intern("Trenton");
+        assert_eq!(d.code("Trenton"), Some(c));
+        assert_eq!(d.label(c), Some("Trenton"));
+        assert_eq!(d.code("nowhere"), None);
+        assert_eq!(d.label(99), None);
+    }
+
+    #[test]
+    fn codes_are_dense_first_seen() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("c"), 2);
+    }
+}

@@ -1,0 +1,58 @@
+use crate::Table;
+use pc_predicate::Predicate;
+
+/// Row indices of `table` satisfying `pred`, evaluated column-at-a-time.
+///
+/// Atoms are applied in sequence, shrinking the candidate set; this is the
+/// standard columnar filter pattern and avoids materializing encoded rows.
+pub fn filter_indices(table: &Table, pred: &Predicate) -> Vec<usize> {
+    let mut live: Vec<usize> = (0..table.len()).collect();
+    for atom in pred.atoms() {
+        let col = table.column(atom.attr);
+        live.retain(|&r| atom.interval.contains(col.encoded(r)));
+        if live.is_empty() {
+            break;
+        }
+    }
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{Atom, AttrType, Schema, Value};
+
+    fn numbers() -> Table {
+        let schema = Schema::new(vec![("x", AttrType::Int), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..10 {
+            t.push_row(vec![Value::Int(i), Value::Float(i as f64 * 1.5)]);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_predicate_selects_all() {
+        let t = numbers();
+        assert_eq!(filter_indices(&t, &Predicate::always()).len(), 10);
+    }
+
+    #[test]
+    fn conjunction_narrows() {
+        let t = numbers();
+        let p = Predicate::always()
+            .and(Atom::between(0, 2.0, 7.0))
+            .and(Atom::between(1, 0.0, 9.0)); // y = 1.5x ≤ 9 → x ≤ 6
+        let got = filter_indices(&t, &p);
+        assert_eq!(got, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn contradictory_predicate_selects_none() {
+        let t = numbers();
+        let p = Predicate::always()
+            .and(Atom::between(0, 0.0, 3.0))
+            .and(Atom::between(0, 5.0, 9.0));
+        assert!(filter_indices(&t, &p).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+use crate::Table;
+use pc_predicate::Schema;
+use std::collections::HashMap;
+
+/// Natural (inner equi-) join of two tables on all shared attribute names.
+///
+/// A classic build/probe hash join; the output schema is `left`'s
+/// attributes followed by `right`'s non-shared attributes. Keys compare by
+/// *encoded* value, so joining categorical columns across tables assumes a
+/// shared dictionary — the synthetic join workloads (§6.6.3) use integer
+/// keys, which need no dictionary at all.
+///
+/// # Panics
+/// Panics if the tables share no attribute names (a Cartesian product is
+/// never what the ground-truth executor should silently compute) or if a
+/// shared attribute has conflicting types.
+pub fn natural_join(left: &Table, right: &Table) -> Table {
+    let ls = left.schema();
+    let rs = right.schema();
+    let mut shared: Vec<(usize, usize)> = Vec::new();
+    for (li, name, lty) in ls.iter() {
+        if let Some(ri) = rs.index_of(name) {
+            assert_eq!(
+                lty,
+                rs.attr_type(ri),
+                "shared attribute `{name}` has conflicting types"
+            );
+            shared.push((li, ri));
+        }
+    }
+    assert!(
+        !shared.is_empty(),
+        "natural join requires at least one shared attribute"
+    );
+    let right_extra: Vec<usize> = (0..rs.width())
+        .filter(|ri| !shared.iter().any(|&(_, sri)| sri == *ri))
+        .collect();
+
+    let out_schema = Schema::new(
+        ls.iter()
+            .map(|(_, n, t)| (n.to_string(), t))
+            .chain(
+                right_extra
+                    .iter()
+                    .map(|&ri| (rs.attr_name(ri).to_string(), rs.attr_type(ri))),
+            )
+            .collect(),
+    );
+    let mut out = Table::new(out_schema);
+
+    // Build on the smaller side for memory; we always build on `right`
+    // here for simplicity — tables in the experiments are similar sizes.
+    let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+    for r in 0..right.len() {
+        let key: Vec<u64> = shared
+            .iter()
+            .map(|&(_, ri)| right.encoded(r, ri).to_bits())
+            .collect();
+        index.entry(key).or_default().push(r);
+    }
+
+    for l in 0..left.len() {
+        let key: Vec<u64> = shared
+            .iter()
+            .map(|&(li, _)| left.encoded(l, li).to_bits())
+            .collect();
+        if let Some(matches) = index.get(&key) {
+            for &r in matches {
+                let mut row = left.row(l);
+                for &ri in &right_extra {
+                    row.push(right.column(ri).value(r));
+                }
+                out.push_row(row);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{AttrType, Value};
+
+    fn edges(pairs: &[(i64, i64)], a: &str, b: &str) -> Table {
+        let schema = Schema::new(vec![
+            (a.to_string(), AttrType::Int),
+            (b.to_string(), AttrType::Int),
+        ]);
+        let mut t = Table::new(schema);
+        for &(x, y) in pairs {
+            t.push_row(vec![Value::Int(x), Value::Int(y)]);
+        }
+        t
+    }
+
+    #[test]
+    fn two_way_join() {
+        let r = edges(&[(1, 10), (2, 20), (3, 20)], "x", "y");
+        let s = edges(&[(20, 100), (20, 200), (30, 300)], "y", "z");
+        let j = natural_join(&r, &s);
+        // y=20 matches rows (2,20) and (3,20) × two s-rows = 4 results
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.schema().width(), 3);
+        assert_eq!(j.schema().index_of("z"), Some(2));
+    }
+
+    #[test]
+    fn triangle_query_ground_truth() {
+        // R(a,b) ⋈ S(b,c) ⋈ T(c,a): count triangles in a 3-cycle + noise
+        let r = edges(&[(1, 2), (2, 3), (5, 6)], "a", "b");
+        let s = edges(&[(2, 3), (3, 1), (6, 9)], "b", "c");
+        let t = edges(&[(3, 1), (1, 2), (9, 7)], "c", "a");
+        let rs = natural_join(&r, &s);
+        let rst = natural_join(&rs, &t);
+        // the directed 3-cycle 1→2→3→1 matches as (a,b,c) = (1,2,3) via
+        // T(3,1) and as the rotation (2,3,1) via T(1,2); the rotation
+        // (3,1,2) needs R(3,1), which is absent — so exactly 2 rows.
+        assert_eq!(rst.len(), 2);
+        let row = rst.row(0);
+        assert_eq!(row[0], Value::Int(1)); // a
+        assert_eq!(row[1], Value::Int(2)); // b
+        assert_eq!(row[2], Value::Int(3)); // c
+    }
+
+    #[test]
+    fn no_matches_empty_output() {
+        let r = edges(&[(1, 1)], "x", "y");
+        let s = edges(&[(2, 2)], "y", "z");
+        assert!(natural_join(&r, &s).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "shared attribute")]
+    fn disjoint_schemas_rejected() {
+        let r = edges(&[(1, 1)], "a", "b");
+        let s = edges(&[(1, 1)], "c", "d");
+        natural_join(&r, &s);
+    }
+
+    #[test]
+    fn join_on_two_shared_attrs() {
+        let r = edges(&[(1, 2), (1, 3)], "a", "b");
+        let s = edges(&[(1, 2), (1, 9)], "a", "b");
+        let j = natural_join(&r, &s);
+        assert_eq!(j.len(), 1); // only (1,2) matches on both attrs
+        assert_eq!(j.schema().width(), 2);
+    }
+}

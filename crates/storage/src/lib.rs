@@ -1,0 +1,31 @@
+//! In-memory columnar storage for the Predicate-Constraint framework.
+//!
+//! The paper evaluates PCs against ground truth computed on real tables;
+//! this crate is the substrate that plays the role of the authors'
+//! evaluation database: typed columnar tables with dictionary-encoded
+//! categoricals, predicate filters, the five supported aggregates
+//! (`COUNT/SUM/AVG/MIN/MAX`), natural hash joins for the §6.6.3 join
+//! experiments, and quantile partitioning used by PC generators and
+//! stratified sampling.
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod column;
+pub mod csv;
+mod dict;
+mod filter;
+mod join;
+mod partition;
+pub mod sql;
+mod table;
+
+pub use aggregate::{evaluate, evaluate_on_rows, AggKind, AggQuery, AggResult};
+pub use column::Column;
+pub use csv::{table_from_csv, table_to_csv};
+pub use dict::Dictionary;
+pub use filter::filter_indices;
+pub use join::natural_join;
+pub use partition::{quantile_boundaries, GridPartitioner};
+pub use sql::{parse_query, render_query};
+pub use table::Table;

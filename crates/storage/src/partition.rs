@@ -1,0 +1,189 @@
+use crate::Table;
+use pc_predicate::{Atom, Interval, Predicate};
+
+/// Quantile boundaries splitting `values` into `buckets` roughly
+/// equi-cardinality pieces. Returns `buckets − 1` interior cut points.
+///
+/// Duplicated cut points (heavy ties) are deduplicated, so the effective
+/// number of buckets can be smaller on skewed data — matching how the
+/// paper's Corr-PC "divides the combined space into equi-cardinality
+/// buckets" (§6.1.4).
+pub fn quantile_boundaries(values: &[f64], buckets: usize) -> Vec<f64> {
+    assert!(buckets >= 1, "need at least one bucket");
+    if values.is_empty() || buckets == 1 {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("stored values are never NaN"));
+    let mut cuts = Vec::with_capacity(buckets - 1);
+    for k in 1..buckets {
+        let idx = (k * sorted.len()) / buckets;
+        let cut = sorted[idx.min(sorted.len() - 1)];
+        if cuts.last() != Some(&cut) {
+            cuts.push(cut);
+        }
+    }
+    cuts
+}
+
+/// An equi-cardinality grid over one or two attributes of a table, used by
+/// the Corr-PC generator and the stratified sampling baseline.
+#[derive(Debug, Clone)]
+pub struct GridPartitioner {
+    /// `(attr, bucket edges)` per dimension; edges have length
+    /// `buckets + 1` with ±∞ sentinels at the ends.
+    dims: Vec<(usize, Vec<f64>)>,
+}
+
+impl GridPartitioner {
+    /// Build a grid from the table's value distribution: `buckets_per_dim`
+    /// quantile buckets on each listed attribute.
+    pub fn from_table(table: &Table, attrs: &[usize], buckets_per_dim: &[usize]) -> Self {
+        assert_eq!(attrs.len(), buckets_per_dim.len());
+        let mut dims = Vec::with_capacity(attrs.len());
+        for (&attr, &buckets) in attrs.iter().zip(buckets_per_dim) {
+            let values: Vec<f64> = (0..table.len()).map(|r| table.encoded(r, attr)).collect();
+            let mut edges = vec![f64::NEG_INFINITY];
+            edges.extend(quantile_boundaries(&values, buckets));
+            edges.push(f64::INFINITY);
+            dims.push((attr, edges));
+        }
+        GridPartitioner { dims }
+    }
+
+    /// Number of grid cells.
+    pub fn num_cells(&self) -> usize {
+        self.dims.iter().map(|(_, e)| e.len() - 1).product()
+    }
+
+    /// The flat cell index a row falls into.
+    pub fn cell_of(&self, table: &Table, row: usize) -> usize {
+        let mut idx = 0;
+        for (attr, edges) in &self.dims {
+            let v = table.encoded(row, *attr);
+            let b = bucket_of(edges, v);
+            idx = idx * (edges.len() - 1) + b;
+        }
+        idx
+    }
+
+    /// The predicate describing a flat cell index: half-open buckets
+    /// `[lo, hi)` except the last bucket of each dimension, which is
+    /// unbounded above so the grid covers (is *closed* over) the whole
+    /// domain.
+    pub fn cell_predicate(&self, mut cell: usize) -> Predicate {
+        let mut atoms = Vec::with_capacity(self.dims.len());
+        for (attr, edges) in self.dims.iter().rev() {
+            let nb = edges.len() - 1;
+            let b = cell % nb;
+            cell /= nb;
+            let lo = edges[b];
+            let hi = edges[b + 1];
+            let iv = Interval::new(lo, lo == f64::NEG_INFINITY, hi, true);
+            atoms.push(Atom::new(*attr, iv));
+        }
+        atoms.reverse();
+        Predicate::new(atoms)
+    }
+
+    /// Group every row of a table into its cell: returns `num_cells` row
+    /// index lists.
+    pub fn assign(&self, table: &Table) -> Vec<Vec<usize>> {
+        let mut cells = vec![Vec::new(); self.num_cells()];
+        for r in 0..table.len() {
+            cells[self.cell_of(table, r)].push(r);
+        }
+        cells
+    }
+}
+
+fn bucket_of(edges: &[f64], v: f64) -> usize {
+    // edges = [-inf, c1, ..., ck, +inf]; bucket b covers [edges[b],
+    // edges[b+1]). Linear scan: grids are small (tens of edges).
+    for b in 0..edges.len() - 2 {
+        if v < edges[b + 1] {
+            return b;
+        }
+    }
+    edges.len() - 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_predicate::{AttrType, Schema, Value};
+
+    fn table_1d(values: &[f64]) -> Table {
+        let schema = Schema::new(vec![("v", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for &v in values {
+            t.push_row(vec![Value::Float(v)]);
+        }
+        t
+    }
+
+    #[test]
+    fn quantiles_split_evenly() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let cuts = quantile_boundaries(&values, 4);
+        assert_eq!(cuts, vec![25.0, 50.0, 75.0]);
+    }
+
+    #[test]
+    fn quantiles_dedupe_ties() {
+        let values = vec![5.0; 50];
+        let cuts = quantile_boundaries(&values, 4);
+        assert!(cuts.len() <= 1);
+    }
+
+    #[test]
+    fn grid_covers_all_rows() {
+        let t = table_1d(&(0..97).map(f64::from).collect::<Vec<_>>());
+        let g = GridPartitioner::from_table(&t, &[0], &[4]);
+        let cells = g.assign(&t);
+        assert_eq!(cells.iter().map(Vec::len).sum::<usize>(), 97);
+        // roughly equi-cardinality
+        for c in &cells {
+            assert!(c.len() >= 20 && c.len() <= 30, "cell size {}", c.len());
+        }
+    }
+
+    #[test]
+    fn cell_predicate_matches_assignment() {
+        let t = table_1d(&[1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 40.0, 55.0]);
+        let g = GridPartitioner::from_table(&t, &[0], &[3]);
+        let cells = g.assign(&t);
+        for (ci, rows) in cells.iter().enumerate() {
+            let pred = g.cell_predicate(ci);
+            for &r in rows {
+                assert!(
+                    pred.eval(&t.encoded_row(r)),
+                    "row {r} must satisfy its cell's predicate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_dimensional_grid() {
+        let schema = Schema::new(vec![("x", AttrType::Float), ("y", AttrType::Float)]);
+        let mut t = Table::new(schema);
+        for i in 0..64 {
+            t.push_row(vec![
+                Value::Float(f64::from(i % 8)),
+                Value::Float(f64::from(i / 8)),
+            ]);
+        }
+        let g = GridPartitioner::from_table(&t, &[0, 1], &[2, 2]);
+        assert_eq!(g.num_cells(), 4);
+        let cells = g.assign(&t);
+        for c in &cells {
+            assert_eq!(c.len(), 16);
+        }
+        // grid closure: an out-of-distribution row still lands in a cell
+        let pred_union_hits = (0..g.num_cells())
+            .filter(|&ci| g.cell_predicate(ci).eval(&[1e9, -1e9]))
+            .count();
+        assert_eq!(pred_union_hits, 1);
+    }
+}

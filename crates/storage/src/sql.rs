@@ -1,0 +1,380 @@
+//! A SQL-ish surface for aggregate queries — the paper's user interface
+//! (§2) is exactly this query family:
+//!
+//! ```sql
+//! SELECT SUM(price) FROM sales
+//! WHERE utc >= 11 AND utc < 13 AND branch = 'Chicago'
+//! ```
+//!
+//! Supported grammar:
+//!
+//! ```text
+//! query  := SELECT agg [FROM ident] [WHERE cond (AND cond)*]
+//! agg    := COUNT(*) | (SUM|AVG|MIN|MAX) ( ident )
+//! cond   := ident cmp literal
+//!         | literal cmp ident
+//!         | ident BETWEEN literal AND literal
+//! cmp    := = | < | <= | > | >=
+//! ```
+//!
+//! String literals resolve against the categorical attribute's dictionary;
+//! an unknown label is an error (it cannot match anything, which is almost
+//! certainly a typo the user wants to hear about).
+
+use crate::{AggKind, AggQuery, Table};
+use pc_predicate::text::{tokenize, Cursor, ParseError, Sym, Token};
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Schema};
+
+/// Parse `SELECT agg(attr) [FROM t] [WHERE …]` against a table (needed to
+/// resolve attribute names and dictionary labels).
+pub fn parse_query(table: &Table, src: &str) -> Result<AggQuery, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut c = Cursor::new(&tokens, src.len());
+    c.expect_keyword("SELECT")?;
+
+    let at = c.at();
+    let agg_name = c.expect_ident()?;
+    let agg = match agg_name.to_ascii_uppercase().as_str() {
+        "COUNT" => AggKind::Count,
+        "SUM" => AggKind::Sum,
+        "AVG" => AggKind::Avg,
+        "MIN" => AggKind::Min,
+        "MAX" => AggKind::Max,
+        other => {
+            return Err(ParseError::new(
+                at,
+                format!("unknown aggregate `{other}` (expected COUNT/SUM/AVG/MIN/MAX)"),
+            ))
+        }
+    };
+    c.expect_symbol(Sym::LParen)?;
+    let attr = if agg == AggKind::Count {
+        c.expect_symbol(Sym::Star)?;
+        0
+    } else {
+        let at = c.at();
+        let name = c.expect_ident()?;
+        resolve_attr(table.schema(), &name, at)?
+    };
+    c.expect_symbol(Sym::RParen)?;
+
+    if c.eat_keyword("FROM") {
+        let _table_name = c.expect_ident()?; // single-table queries: name is decorative
+    }
+
+    let mut predicate = Predicate::always();
+    if c.eat_keyword("WHERE") {
+        loop {
+            let atom = parse_condition(table, &mut c)?;
+            predicate = predicate.and(atom);
+            if !c.eat_keyword("AND") {
+                break;
+            }
+        }
+    }
+    if !c.done() {
+        return Err(ParseError::new(c.at(), "unexpected trailing input"));
+    }
+    Ok(AggQuery::new(agg, attr, predicate))
+}
+
+/// Render a query back to SQL — the inverse of [`parse_query`]
+/// (categorical point conditions recover their dictionary labels). Useful
+/// for logging the workloads experiments generate and for persisting
+/// queries next to constraint documents.
+pub fn render_query(table: &Table, query: &AggQuery) -> String {
+    let schema = table.schema();
+    let mut out = String::from("SELECT ");
+    if query.agg == AggKind::Count {
+        out.push_str("COUNT(*)");
+    } else {
+        out.push_str(&format!(
+            "{}({})",
+            query.agg.name(),
+            schema.attr_name(query.attr)
+        ));
+    }
+    let mut first = true;
+    for atom in query.predicate.atoms() {
+        out.push_str(if first { " WHERE " } else { " AND " });
+        first = false;
+        let name = schema.attr_name(atom.attr);
+        let iv = atom.interval;
+        let lit = |v: f64| -> String {
+            match table.dictionary(atom.attr).and_then(|d| d.label(v as u32)) {
+                Some(label) if v >= 0.0 && v.fract() == 0.0 => {
+                    format!("'{}'", label.replace('\'', "''"))
+                }
+                _ => format!("{v}"),
+            }
+        };
+        if iv.lo == iv.hi && !iv.lo_open && !iv.hi_open {
+            out.push_str(&format!("{name} = {}", lit(iv.lo)));
+        } else if iv.lo == f64::NEG_INFINITY {
+            let op = if iv.hi_open { "<" } else { "<=" };
+            out.push_str(&format!("{name} {op} {}", lit(iv.hi)));
+        } else if iv.hi == f64::INFINITY {
+            let op = if iv.lo_open { ">" } else { ">=" };
+            out.push_str(&format!("{name} {op} {}", lit(iv.lo)));
+        } else {
+            // two-sided: render as a pair of comparisons to preserve
+            // endpoint openness exactly (BETWEEN is always closed)
+            let lo_op = if iv.lo_open { ">" } else { ">=" };
+            let hi_op = if iv.hi_open { "<" } else { "<=" };
+            out.push_str(&format!(
+                "{name} {lo_op} {} AND {name} {hi_op} {}",
+                lit(iv.lo),
+                lit(iv.hi)
+            ));
+        }
+    }
+    out
+}
+
+fn resolve_attr(schema: &Schema, name: &str, at: usize) -> Result<usize, ParseError> {
+    schema
+        .index_of(name)
+        .ok_or_else(|| ParseError::new(at, format!("no attribute named `{name}` in {schema}")))
+}
+
+/// A literal is a number or a dictionary label.
+fn parse_literal(table: &Table, attr: usize, c: &mut Cursor<'_>) -> Result<f64, ParseError> {
+    let at = c.at();
+    match c.advance() {
+        Some(Token::Number(n)) => Ok(*n),
+        Some(Token::Str(s)) => {
+            let dict = table.dictionary(attr).ok_or_else(|| {
+                ParseError::new(
+                    at,
+                    format!(
+                        "attribute `{}` is not categorical; string literal makes no sense",
+                        table.schema().attr_name(attr)
+                    ),
+                )
+            })?;
+            let code = dict
+                .code(s)
+                .ok_or_else(|| ParseError::new(at, format!("unknown label '{s}'")))?;
+            Ok(f64::from(code))
+        }
+        other => Err(ParseError::new(
+            at,
+            format!("expected literal, found {other:?}"),
+        )),
+    }
+}
+
+fn parse_condition(table: &Table, c: &mut Cursor<'_>) -> Result<Atom, ParseError> {
+    let at = c.at();
+    // two forms: `attr op lit` / `attr BETWEEN a AND b`, or `lit op attr`
+    match c.peek() {
+        Some(Token::Ident(_)) => {
+            let name = c.expect_ident()?;
+            let attr = resolve_attr(table.schema(), &name, at)?;
+            if c.eat_keyword("BETWEEN") {
+                let lo = parse_literal(table, attr, c)?;
+                c.expect_keyword("AND")?;
+                let hi = parse_literal(table, attr, c)?;
+                return Ok(Atom::between(attr, lo, hi));
+            }
+            let op_at = c.at();
+            let op = expect_cmp(c)?;
+            let lit = parse_literal(table, attr, c)?;
+            atom_for(attr, op, lit, table.schema().attr_type(attr), op_at)
+        }
+        _ => {
+            // literal op attr — flip the comparison
+            let lit_at = c.at();
+            let lit_tok = c.advance().cloned();
+            let op = expect_cmp(c)?;
+            let name_at = c.at();
+            let name = c.expect_ident()?;
+            let attr = resolve_attr(table.schema(), &name, name_at)?;
+            let lit =
+                match lit_tok {
+                    Some(Token::Number(n)) => n,
+                    Some(Token::Str(s)) => {
+                        let dict = table.dictionary(attr).ok_or_else(|| {
+                            ParseError::new(lit_at, "string literal on non-categorical attribute")
+                        })?;
+                        f64::from(dict.code(&s).ok_or_else(|| {
+                            ParseError::new(lit_at, format!("unknown label '{s}'"))
+                        })?)
+                    }
+                    other => {
+                        return Err(ParseError::new(
+                            lit_at,
+                            format!("expected literal, found {other:?}"),
+                        ))
+                    }
+                };
+            let flipped = match op {
+                Sym::Lt => Sym::Gt,
+                Sym::Le => Sym::Ge,
+                Sym::Gt => Sym::Lt,
+                Sym::Ge => Sym::Le,
+                other => other,
+            };
+            atom_for(attr, flipped, lit, table.schema().attr_type(attr), lit_at)
+        }
+    }
+}
+
+fn expect_cmp(c: &mut Cursor<'_>) -> Result<Sym, ParseError> {
+    let at = c.at();
+    match c.advance() {
+        Some(Token::Symbol(s @ (Sym::Eq | Sym::Lt | Sym::Le | Sym::Gt | Sym::Ge))) => Ok(*s),
+        other => Err(ParseError::new(
+            at,
+            format!("expected comparison operator, found {other:?}"),
+        )),
+    }
+}
+
+fn atom_for(attr: usize, op: Sym, lit: f64, _ty: AttrType, at: usize) -> Result<Atom, ParseError> {
+    let interval = match op {
+        Sym::Eq => Interval::point(lit),
+        Sym::Lt => Interval::at_most(lit, true),
+        Sym::Le => Interval::at_most(lit, false),
+        Sym::Gt => Interval::at_least(lit, true),
+        Sym::Ge => Interval::at_least(lit, false),
+        other => {
+            return Err(ParseError::new(
+                at,
+                format!("`{other}` is not a comparison"),
+            ))
+        }
+    };
+    Ok(Atom::new(attr, interval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+    use pc_predicate::Value;
+
+    fn sales() -> Table {
+        let schema = Schema::new(vec![
+            ("utc", AttrType::Int),
+            ("branch", AttrType::Cat),
+            ("price", AttrType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        let chi = t.intern(1, "Chicago");
+        let ny = t.intern(1, "New York");
+        for (d, b, p) in [(1, chi, 3.0), (2, ny, 6.5), (3, chi, 19.0), (4, chi, 150.0)] {
+            t.push_row(vec![Value::Int(d), Value::Cat(b), Value::Float(p)]);
+        }
+        t
+    }
+
+    #[test]
+    fn count_star() {
+        let t = sales();
+        let q = parse_query(&t, "SELECT COUNT(*) FROM sales").unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 4.0);
+    }
+
+    #[test]
+    fn sum_with_conditions() {
+        let t = sales();
+        let q = parse_query(
+            &t,
+            "SELECT SUM(price) WHERE utc >= 2 AND utc <= 3 AND branch = 'Chicago'",
+        )
+        .unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 19.0);
+    }
+
+    #[test]
+    fn between_and_flipped_literal() {
+        let t = sales();
+        let q = parse_query(&t, "SELECT AVG(price) WHERE utc BETWEEN 1 AND 2").unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 4.75);
+        let q = parse_query(&t, "SELECT COUNT(*) WHERE 3 <= utc").unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 2.0);
+    }
+
+    #[test]
+    fn strict_inequalities() {
+        let t = sales();
+        let q = parse_query(&t, "SELECT COUNT(*) WHERE price > 6.5").unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 2.0);
+        let q = parse_query(&t, "SELECT COUNT(*) WHERE price >= 6.5").unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 3.0);
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let t = sales();
+        let q = parse_query(&t, "select min(price) from sales where branch = 'New York'").unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 6.5);
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let t = sales();
+        let e = parse_query(&t, "SELECT MEDIAN(price)").unwrap_err();
+        assert!(e.message.contains("MEDIAN"), "{e}");
+        let e = parse_query(&t, "SELECT SUM(cost)").unwrap_err();
+        assert!(e.message.contains("cost"), "{e}");
+        let e = parse_query(&t, "SELECT COUNT(*) WHERE branch = 'Boston'").unwrap_err();
+        assert!(e.message.contains("Boston"), "{e}");
+        let e = parse_query(&t, "SELECT COUNT(*) WHERE price = 'Chicago'").unwrap_err();
+        assert!(e.message.contains("not categorical"), "{e}");
+        let e = parse_query(&t, "SELECT COUNT(*) extra").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let t = sales();
+        for src in [
+            "SELECT COUNT(*)",
+            "SELECT SUM(price) WHERE branch = 'Chicago'",
+            "SELECT AVG(price) WHERE utc >= 2 AND utc < 4",
+            "SELECT MAX(price) WHERE price > 5 AND price <= 150",
+            "SELECT MIN(price) WHERE utc BETWEEN 1 AND 3",
+        ] {
+            let q1 = parse_query(&t, src).unwrap();
+            let rendered = render_query(&t, &q1);
+            let q2 = parse_query(&t, &rendered).unwrap();
+            // semantic equivalence: same rows selected, same aggregate
+            assert_eq!(q1.agg, q2.agg, "{src} → {rendered}");
+            assert_eq!(q1.attr, q2.attr);
+            for r in 0..t.len() {
+                let row = t.encoded_row(r);
+                assert_eq!(
+                    q1.predicate.eval(&row),
+                    q2.predicate.eval(&row),
+                    "{src} → {rendered} disagree on row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_escapes_labels() {
+        let schema = Schema::new(vec![("b", AttrType::Cat)]);
+        let mut t = Table::new(schema);
+        let code = t.intern(0, "O'Hare");
+        t.push_row(vec![Value::Cat(code)]);
+        let q = parse_query(&t, "SELECT COUNT(*) WHERE b = 'O''Hare'").unwrap();
+        let rendered = render_query(&t, &q);
+        assert!(rendered.contains("'O''Hare'"), "{rendered}");
+        assert!(parse_query(&t, &rendered).is_ok());
+    }
+
+    #[test]
+    fn paper_query_form() {
+        // the §4.4 query shape parses and evaluates
+        let t = sales();
+        let q = parse_query(
+            &t,
+            "SELECT SUM(price) FROM sales WHERE utc >= 2 AND utc <= 4",
+        )
+        .unwrap();
+        assert_eq!(evaluate(&t, &q).value(), 6.5 + 19.0 + 150.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the storage engine against brute-force
+//! oracles: columnar filters vs row-at-a-time scans, aggregate identities,
+//! hash joins vs nested loops, and grid-partition totality.
+
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Schema, Value};
+use pc_storage::{
+    evaluate, filter_indices, natural_join, AggKind, AggQuery, AggResult, GridPartitioner, Table,
+};
+use proptest::prelude::*;
+
+fn table_from(rows: &[(i64, i64)]) -> Table {
+    let schema = Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Int)]);
+    let mut t = Table::new(schema);
+    for &(g, v) in rows {
+        t.push_row(vec![Value::Int(g), Value::Int(v)]);
+    }
+    t
+}
+
+prop_compose! {
+    fn arb_rows()(rows in prop::collection::vec((0i64..6, 0i64..20), 0..40)) -> Vec<(i64, i64)> {
+        rows
+    }
+}
+
+prop_compose! {
+    fn arb_pred()(a in 0i64..6, b in 0i64..6, c in 0i64..20, d in 0i64..20) -> Predicate {
+        Predicate::always()
+            .and(Atom::between(0, a.min(b) as f64, a.max(b) as f64))
+            .and(Atom::between(1, c.min(d) as f64, c.max(d) as f64))
+    }
+}
+
+proptest! {
+    #[test]
+    fn filter_matches_scan(rows in arb_rows(), pred in arb_pred()) {
+        let t = table_from(&rows);
+        let fast = filter_indices(&t, &pred);
+        let slow: Vec<usize> = (0..t.len())
+            .filter(|&r| pred.eval(&t.encoded_row(r)))
+            .collect();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn aggregates_match_manual(rows in arb_rows(), pred in arb_pred()) {
+        let t = table_from(&rows);
+        let matched: Vec<i64> = rows
+            .iter()
+            .filter(|(g, v)| pred.eval(&[*g as f64, *v as f64]))
+            .map(|(_, v)| *v)
+            .collect();
+
+        let count = evaluate(&t, &AggQuery::count(pred.clone()));
+        prop_assert_eq!(count, AggResult::Value(matched.len() as f64));
+
+        let sum = evaluate(&t, &AggQuery::new(AggKind::Sum, 1, pred.clone()));
+        prop_assert_eq!(sum, AggResult::Value(matched.iter().sum::<i64>() as f64));
+
+        let min = evaluate(&t, &AggQuery::new(AggKind::Min, 1, pred.clone()));
+        let max = evaluate(&t, &AggQuery::new(AggKind::Max, 1, pred.clone()));
+        match (matched.iter().min(), matched.iter().max()) {
+            (Some(&lo), Some(&hi)) => {
+                prop_assert_eq!(min, AggResult::Value(lo as f64));
+                prop_assert_eq!(max, AggResult::Value(hi as f64));
+            }
+            _ => {
+                prop_assert_eq!(min, AggResult::Empty);
+                prop_assert_eq!(max, AggResult::Empty);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_by_is_a_partition(rows in arb_rows(), pred in arb_pred()) {
+        let t = table_from(&rows);
+        let (hit, miss) = t.partition_by(&pred);
+        prop_assert_eq!(hit.len() + miss.len(), t.len());
+        for r in 0..hit.len() {
+            prop_assert!(pred.eval(&hit.encoded_row(r)));
+        }
+        for r in 0..miss.len() {
+            prop_assert!(!pred.eval(&miss.encoded_row(r)));
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop(
+        left in prop::collection::vec((0i64..5, 0i64..5), 0..15),
+        right in prop::collection::vec((0i64..5, 0i64..5), 0..15),
+    ) {
+        let l = {
+            let schema = Schema::new(vec![("a", AttrType::Int), ("b", AttrType::Int)]);
+            let mut t = Table::new(schema);
+            for &(x, y) in &left {
+                t.push_row(vec![Value::Int(x), Value::Int(y)]);
+            }
+            t
+        };
+        let r = {
+            let schema = Schema::new(vec![("b", AttrType::Int), ("c", AttrType::Int)]);
+            let mut t = Table::new(schema);
+            for &(x, y) in &right {
+                t.push_row(vec![Value::Int(x), Value::Int(y)]);
+            }
+            t
+        };
+        let joined = natural_join(&l, &r);
+        let expected: usize = left
+            .iter()
+            .map(|(_, b)| right.iter().filter(|(rb, _)| rb == b).count())
+            .sum();
+        prop_assert_eq!(joined.len(), expected);
+        // every output row's b matches in both inputs
+        for i in 0..joined.len() {
+            let row = joined.encoded_row(i);
+            prop_assert!(left.iter().any(|&(a, b)| a as f64 == row[0] && b as f64 == row[1]));
+            prop_assert!(right.iter().any(|&(b, c)| b as f64 == row[1] && c as f64 == row[2]));
+        }
+    }
+
+    #[test]
+    fn grid_cells_partition_rows(rows in arb_rows(), buckets in 1usize..6) {
+        prop_assume!(!rows.is_empty());
+        let t = table_from(&rows);
+        let grid = GridPartitioner::from_table(&t, &[1], &[buckets]);
+        let cells = grid.assign(&t);
+        prop_assert_eq!(cells.iter().map(Vec::len).sum::<usize>(), t.len());
+        // each row satisfies exactly one cell predicate
+        for r in 0..t.len() {
+            let enc = t.encoded_row(r);
+            let hits = (0..grid.num_cells())
+                .filter(|&c| grid.cell_predicate(c).eval(&enc))
+                .count();
+            prop_assert_eq!(hits, 1, "row must land in exactly one grid cell");
+        }
+    }
+
+    #[test]
+    fn select_preserves_values(rows in arb_rows(), mask in prop::collection::vec(any::<bool>(), 0..40)) {
+        let t = table_from(&rows);
+        let picked: Vec<usize> = (0..t.len())
+            .filter(|&r| mask.get(r).copied().unwrap_or(false))
+            .collect();
+        let sub = t.select(&picked);
+        prop_assert_eq!(sub.len(), picked.len());
+        for (i, &r) in picked.iter().enumerate() {
+            prop_assert_eq!(sub.encoded_row(i), t.encoded_row(r));
+        }
+    }
+
+    #[test]
+    fn interval_filter_equivalence(rows in arb_rows(), lo in 0i64..20, hi in 0i64..20) {
+        // an open interval over Int behaves as its normalized closed form
+        let t = table_from(&rows);
+        let open = Predicate::atom(Atom::new(1, Interval::open(lo as f64, hi as f64)));
+        let closed = Predicate::atom(Atom::new(
+            1,
+            Interval::open(lo as f64, hi as f64).normalize(AttrType::Int),
+        ));
+        prop_assert_eq!(filter_indices(&t, &open), filter_indices(&t, &closed));
+    }
+}

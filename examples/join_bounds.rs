@@ -1,0 +1,98 @@
+//! Join bounds (§5 / Fig 12): bounding aggregates of natural joins whose
+//! inputs are missing, with the naive Cartesian-product bound, the
+//! fractional-edge-cover (worst-case-optimal) bound, and the elastic
+//! sensitivity competitor — against ground truth.
+//!
+//! Run: `cargo run --release --example join_bounds`
+
+use predicate_constraints::baselines::{elastic_chain_bound, elastic_triangle_bound};
+use predicate_constraints::core::join::{
+    fec_count_bound, fec_sum_bound, naive_count_bound, JoinSpec,
+};
+use predicate_constraints::core::{BoundEngine, BoundOptions};
+use predicate_constraints::datagen::pcgen;
+use predicate_constraints::datagen::synth_join::{chain_tables, triangle_tables};
+use predicate_constraints::predicate::Predicate;
+use predicate_constraints::storage::{natural_join, AggKind, AggQuery, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn count_bound(table: &Table) -> f64 {
+    let set = pcgen::corr_pc(table, &[0, 1], 25);
+    BoundEngine::with_options(
+        &set,
+        BoundOptions {
+            check_closure: false,
+            ..BoundOptions::default()
+        },
+    )
+    .bound(&AggQuery::count(Predicate::always()))
+    .expect("count bound")
+    .range
+    .hi
+}
+
+fn main() {
+    println!("--- triangle counting:  R(a,b) ⋈ S(b,c) ⋈ T(c,a) ---");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>10}",
+        "N", "naive(N^3)", "FEC(N^1.5)", "elastic", "truth"
+    );
+    let spec = JoinSpec::triangle();
+    for n in [100usize, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let tables = triangle_tables(n, &mut rng);
+        let counts: Vec<f64> = tables.iter().map(count_bound).collect();
+        let naive = naive_count_bound(&counts);
+        let fec = fec_count_bound(&spec, &counts).expect("fec");
+        let elastic = elastic_triangle_bound(n as f64, None);
+        let rs = natural_join(&tables[0], &tables[1]);
+        let truth = natural_join(&rs, &tables[2]).len();
+        println!("{n:>8} {naive:>14.3e} {fec:>14.3e} {elastic:>14.3e} {truth:>10}");
+        assert!(truth as f64 <= fec, "FEC must bound the truth");
+        assert!(fec <= naive, "FEC is never looser than the product bound");
+    }
+
+    println!("\n--- acyclic chain:  R1(x1,x2) ⋈ … ⋈ R5(x5,x6) ---");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "K", "naive(K^5)", "FEC(K^3)", "elastic"
+    );
+    let spec = JoinSpec::chain(5);
+    for k in [100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(50 + k as u64);
+        let tables = chain_tables(5, k, &mut rng);
+        let counts: Vec<f64> = tables.iter().map(count_bound).collect();
+        let naive = naive_count_bound(&counts);
+        let fec = fec_count_bound(&spec, &counts).expect("fec");
+        let elastic = elastic_chain_bound(k as f64, 5, None);
+        println!("{k:>8} {naive:>14.3e} {fec:>14.3e} {elastic:>14.3e}");
+    }
+
+    println!("\n--- SUM across a join (GWE inequality, §5.2) ---");
+    // SUM over R's `a` attribute in the triangle query: the bound is
+    // SUM_R(a) × COUNT(S or T)^cover.
+    let mut rng = StdRng::seed_from_u64(99);
+    let tables = triangle_tables(400, &mut rng);
+    let spec = JoinSpec::triangle();
+    let counts: Vec<f64> = tables.iter().map(count_bound).collect();
+    let sum_r = {
+        let set = pcgen::corr_pc(&tables[0], &[0, 1], 25);
+        BoundEngine::new(&set)
+            .bound(&AggQuery::new(AggKind::Sum, 0, Predicate::always()))
+            .expect("sum bound")
+            .range
+            .hi
+    };
+    let bound = fec_sum_bound(&spec, 0, sum_r, &counts).expect("sum bound");
+    // ground truth: materialize the join and sum `a`
+    let rs = natural_join(&tables[0], &tables[1]);
+    let rst = natural_join(&rs, &tables[2]);
+    let truth = predicate_constraints::storage::evaluate(
+        &rst,
+        &AggQuery::new(AggKind::Sum, 0, Predicate::always()),
+    )
+    .unwrap_or(0.0);
+    println!("SUM(a) over the triangle join: bound {bound:.3e}, truth {truth:.3e}");
+    assert!(truth <= bound, "GWE bound must hold");
+}

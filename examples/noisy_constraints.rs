@@ -1,0 +1,121 @@
+//! Overlapping constraints as a defence against mis-specification
+//! (§3.1's c1/c2 interaction and the Fig 6 robustness story).
+//!
+//! When constraints overlap, the framework enforces the *most restrictive*
+//! combination in every decomposed cell. A wrong (too-generous) constraint
+//! overlapped by a correct one is harmless; a wrong standalone constraint
+//! is not — and `PcSet::validate` catches it on historical data before it
+//! can mislead anyone.
+//!
+//! Run: `cargo run --release --example noisy_constraints`
+
+use predicate_constraints::core::{
+    BoundEngine, FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint,
+};
+use predicate_constraints::predicate::{
+    Atom, AttrType, Interval, Predicate, Region, Schema, Value,
+};
+use predicate_constraints::storage::{AggKind, AggQuery, Table};
+
+fn main() {
+    // Sales(branch, price) with branches Chicago(0), NewYork(1), Trenton(2)
+    let schema = Schema::new(vec![("branch", AttrType::Cat), ("price", AttrType::Float)]);
+    let branch = schema.expect_index("branch");
+    let price = schema.expect_index("price");
+    let mut domain = Region::full(&schema);
+    domain.set_interval(branch, Interval::closed(0.0, 2.0));
+
+    // §3.1's interacting constraints:
+    //   c1: Chicago sales cost ≤ 149.99, at most 5 of them
+    //   c2: ALL sales cost ≤ 149.99, at most 100 of them
+    let c1 = PredicateConstraint::new(
+        Predicate::atom(Atom::eq(branch, 0.0)),
+        ValueConstraint::none().with(price, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::at_most(5),
+    );
+    let c2 = PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(price, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::at_most(100),
+    );
+    let mut set = PcSet::new(schema.clone()).with(c1).with(c2);
+    set.set_domain(domain.clone());
+
+    println!("constraints:");
+    for pc in set.constraints() {
+        println!("  {}", pc.display(&schema));
+    }
+
+    let engine = BoundEngine::new(&set);
+    let chicago_sum = engine
+        .bound(&AggQuery::new(
+            AggKind::Sum,
+            price,
+            Predicate::atom(Atom::eq(branch, 0.0)),
+        ))
+        .expect("bound");
+    println!(
+        "\nSUM(price) in Chicago ≤ {:.2}  (5 × 149.99 — c1 overrides c2's 100 rows)",
+        chicago_sum.range.hi
+    );
+    let total_count = engine
+        .bound(&AggQuery::count(Predicate::always()))
+        .expect("bound");
+    println!(
+        "COUNT(*) everywhere   ≤ {}  (c2's cap, c1 adds nothing here)",
+        total_count.range.hi
+    );
+
+    // -----------------------------------------------------------------
+    // Now a *mis-specified* constraint: someone claims Chicago prices
+    // reach 10_000. Because c2 overlaps it, the reconciled bound barely
+    // moves — the most restrictive range still wins in the overlap.
+    // -----------------------------------------------------------------
+    let wrong = PredicateConstraint::new(
+        Predicate::atom(Atom::eq(branch, 0.0)),
+        ValueConstraint::none().with(price, Interval::closed(0.0, 10_000.0)),
+        FrequencyConstraint::at_most(5),
+    );
+    let mut noisy = PcSet::new(schema.clone())
+        .with(wrong.clone())
+        .with(PredicateConstraint::new(
+            Predicate::always(),
+            ValueConstraint::none().with(price, Interval::closed(0.0, 149.99)),
+            FrequencyConstraint::at_most(100),
+        ));
+    noisy.set_domain(domain);
+    let engine = BoundEngine::new(&noisy);
+    let reconciled = engine
+        .bound(&AggQuery::new(
+            AggKind::Sum,
+            price,
+            Predicate::atom(Atom::eq(branch, 0.0)),
+        ))
+        .expect("bound");
+    println!(
+        "\nwith a corrupted Chicago range (≤ 10000), the reconciled bound is still {:.2}",
+        reconciled.range.hi
+    );
+    assert!((reconciled.range.hi - 5.0 * 149.99).abs() < 1e-6);
+
+    // -----------------------------------------------------------------
+    // And constraints are *testable*: validating against historical data
+    // catches violations before the constraints are trusted.
+    // -----------------------------------------------------------------
+    let mut history = Table::new(schema.clone());
+    for p in [12.0, 80.0, 149.0, 200.0] {
+        history.push_row(vec![Value::Cat(0), Value::Float(p)]);
+    }
+    let strict = PcSet::new(schema.clone()).with(PredicateConstraint::new(
+        Predicate::atom(Atom::eq(branch, 0.0)),
+        ValueConstraint::none().with(price, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::at_most(5),
+    ));
+    let violations = strict.validate(&history);
+    println!("\nvalidating \"price ≤ 149.99\" against history:");
+    for v in &violations {
+        println!("  ✗ {v}");
+    }
+    assert_eq!(violations.len(), 1, "the $200 sale must be flagged");
+    println!("(the $200 sale on row 3 falsifies the constraint — fix it *before* analysis)");
+}

@@ -1,0 +1,139 @@
+//! The paper's §1 motivating scenario: a sensor fleet logs readings in
+//! partitions, one partition fails to load, and the analyst must decide
+//! whether her threshold-exceedance count is trustworthy.
+//!
+//! The workflow this example demonstrates is the framework's whole point:
+//!
+//! 1. derive candidate constraints from *historical* data (days 0-5),
+//! 2. **test** them on a held-out day (day 6) — constraints are code,
+//!    they get validated like code,
+//! 3. apply them to the day-7 partition that was lost,
+//! 4. read off a hard range for the query and compare against the ground
+//!    truth we secretly kept.
+//!
+//! Run: `cargo run --release --example sensor_outage`
+
+use predicate_constraints::core::{BoundEngine, PcSet};
+use predicate_constraints::datagen::intel::{self, cols, IntelConfig};
+use predicate_constraints::datagen::pcgen;
+use predicate_constraints::predicate::{Atom, Interval, Predicate};
+use predicate_constraints::storage::{evaluate, AggQuery, Table};
+
+/// Split an Intel-like table by day (epoch buckets of one day).
+fn day_slice(table: &Table, epochs_per_day: i64, day: i64) -> Table {
+    let pred = Predicate::atom(Atom::bucket(
+        cols::EPOCH,
+        (day * epochs_per_day) as f64,
+        ((day + 1) * epochs_per_day) as f64,
+    ));
+    table.partition_by(&pred).0
+}
+
+fn main() {
+    let config = IntelConfig {
+        rows: 60_000,
+        days: 8,
+        ..IntelConfig::default()
+    };
+    let epd = i64::from(config.epochs_per_day);
+    let lab = intel::generate(config);
+
+    // Days 0-5: history. Day 6: held-out validation. Day 7: lost.
+    let history: Vec<Table> = (0..6).map(|d| day_slice(&lab, epd, d)).collect();
+    let validation_day = day_slice(&lab, epd, 6);
+    let lost_day = day_slice(&lab, epd, 7); // ground truth, normally gone
+
+    // 1. Derive per-device constraints from history: for each device, the
+    //    observed light range and daily reading count across history,
+    //    with safety margins (20% on values, 30% on counts).
+    let mut set = PcSet::new(lab.schema().clone());
+    {
+        use predicate_constraints::core::{
+            FrequencyConstraint, PredicateConstraint, ValueConstraint,
+        };
+        for device in 0..54u32 {
+            let pred = Predicate::atom(Atom::eq(cols::DEVICE, f64::from(device)));
+            let mut max_light: f64 = 0.0;
+            let mut max_count = 0u64;
+            for day in &history {
+                let rows = day.partition_by(&pred).0;
+                max_count = max_count.max(rows.len() as u64);
+                if let Some((_, hi)) = rows.attr_range(cols::LIGHT) {
+                    max_light = max_light.max(hi);
+                }
+            }
+            set.push(PredicateConstraint::new(
+                pred,
+                ValueConstraint::none().with(cols::LIGHT, Interval::closed(0.0, max_light * 1.2)),
+                FrequencyConstraint::at_most((max_count as f64 * 1.3).ceil() as u64),
+            ));
+        }
+        let mut domain = predicate_constraints::predicate::Region::full(lab.schema());
+        domain.set_interval(cols::DEVICE, Interval::closed(0.0, 53.0));
+        set.set_domain(domain);
+        set.set_disjoint_hint(true);
+    }
+    println!(
+        "derived {} per-device constraints from 6 days of history",
+        set.len()
+    );
+    assert!(set.is_closed(), "every device is covered");
+
+    // 2. Test the constraints on the held-out day — exactly like a test
+    //    suite for analysis assumptions.
+    let violations = set.validate(&validation_day);
+    if violations.is_empty() {
+        println!("validation day: all constraints hold ✓");
+    } else {
+        println!(
+            "validation day: {} violations — widen margins!",
+            violations.len()
+        );
+        for v in violations.iter().take(3) {
+            println!("  {v}");
+        }
+    }
+
+    // 3. The query: how many readings exceeded the light threshold?
+    let threshold = 900.0;
+    let q = AggQuery::count(Predicate::atom(Atom::new(
+        cols::LIGHT,
+        Interval::at_least(threshold, false),
+    )));
+    let observed: f64 = (0..6)
+        .map(|d| evaluate(&history[d], &q).unwrap_or(0.0))
+        .sum::<f64>()
+        + evaluate(&validation_day, &q).unwrap_or(0.0);
+
+    // 4. Bound the lost day's contribution.
+    let engine = BoundEngine::new(&set);
+    let report = engine.bound(&q).expect("bound");
+    let total = report.range.offset(observed);
+    println!("\nreadings with light ≥ {threshold}: observed {observed} in 7 loaded days");
+    println!(
+        "contingency range including the lost partition: [{:.0}, {:.0}]",
+        total.lo, total.hi
+    );
+
+    // The reveal: where the truth actually fell.
+    let lost_truth = evaluate(&lost_day, &q).unwrap_or(0.0);
+    println!(
+        "(ground truth for the lost day: {lost_truth}; inside the missing-range [{:.0}, {:.0}] = {})",
+        report.range.lo,
+        report.range.hi,
+        report.range.contains(lost_truth)
+    );
+    assert!(
+        report.range.contains(lost_truth),
+        "hard bound must contain the truth when constraints hold"
+    );
+
+    // Bonus: what an equi-cardinality Corr-PC summary of the lost day
+    // itself would give (the experiments' idealized setting).
+    let corr = pcgen::corr_pc(&lost_day, &[cols::DEVICE, cols::EPOCH], 200);
+    let tight = BoundEngine::new(&corr).bound(&q).expect("bound");
+    println!(
+        "idealized Corr-PC summary of the lost day: [{:.0}, {:.0}]",
+        tight.range.lo, tight.range.hi
+    );
+}

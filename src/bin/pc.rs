@@ -1,0 +1,185 @@
+//! `pc` — contingency analysis from the command line.
+//!
+//! ```text
+//! pc bound    --data sales.csv --schema utc:int,branch:cat,price:float \
+//!             --constraints assumptions.pc \
+//!             --query "SELECT SUM(price) WHERE branch = 'Chicago'"
+//! pc validate --data history.csv --schema ... --constraints assumptions.pc
+//! pc check    --data sales.csv --schema ... --constraints assumptions.pc   # closure
+//! ```
+//!
+//! * `--data` — CSV with a header row (used for the schema's dictionaries,
+//!   for validation, and as the *certain* partition when `--combine` is
+//!   given).
+//! * `--schema` — `name:type` pairs (`int`, `float`, `cat`).
+//! * `--constraints` — a predicate-constraint document in the paper's
+//!   notation (see `pc_core::dsl`).
+//! * `--query` — a SQL aggregate query (see `pc_storage::sql`).
+//! * `--combine` — add the certain partition's exact answer to the
+//!   missing-data range (SUM/COUNT only).
+
+use predicate_constraints::core::{dsl, BoundEngine, BoundError};
+use predicate_constraints::predicate::{AttrType, Schema};
+use predicate_constraints::storage::{evaluate, parse_query, table_from_csv, AggKind, Table};
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+struct Args {
+    command: String,
+    data: Option<String>,
+    schema: Option<String>,
+    constraints: Option<String>,
+    query: Option<String>,
+    combine: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or("usage: pc <bound|validate|check> …")?;
+    let mut args = Args {
+        command,
+        data: None,
+        schema: None,
+        constraints: None,
+        query: None,
+        combine: false,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--data" => args.data = argv.next(),
+            "--schema" => args.schema = argv.next(),
+            "--constraints" => args.constraints = argv.next(),
+            "--query" => args.query = argv.next(),
+            "--combine" => args.combine = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_schema(spec: &str) -> Result<Schema, String> {
+    let mut attrs = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty) = part
+            .split_once(':')
+            .ok_or_else(|| format!("schema entry `{part}` must be name:type"))?;
+        let ty = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" => AttrType::Int,
+            "float" => AttrType::Float,
+            "cat" => AttrType::Cat,
+            other => return Err(format!("unknown type `{other}` (int/float/cat)")),
+        };
+        attrs.push((name.trim().to_string(), ty));
+    }
+    Ok(Schema::new(attrs))
+}
+
+fn load_table(args: &Args) -> Result<Table, String> {
+    let data_path = args.data.as_ref().ok_or("--data is required")?;
+    let schema_spec = args.schema.as_ref().ok_or("--schema is required")?;
+    let schema = parse_schema(schema_spec)?;
+    let text =
+        std::fs::read_to_string(data_path).map_err(|e| format!("cannot read {data_path}: {e}"))?;
+    table_from_csv(schema, &text).map_err(|e| e.to_string())
+}
+
+fn load_constraints(
+    args: &Args,
+    table: &Table,
+) -> Result<predicate_constraints::core::PcSet, String> {
+    let path = args
+        .constraints
+        .as_ref()
+        .ok_or("--constraints is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    dsl::parse_pcset(table, &text).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let table = match load_table(&args) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+
+    match args.command.as_str() {
+        "validate" => {
+            let set = match load_constraints(&args, &table) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let violations = set.validate(&table);
+            if violations.is_empty() {
+                println!("OK: all {} constraints hold on the data", set.len());
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("VIOLATION: {v}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        "check" => {
+            let set = match load_constraints(&args, &table) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            if set.is_closed() {
+                println!("CLOSED: every point of the domain is covered by some constraint");
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "NOT CLOSED: some missing rows would be unconstrained — \
+                     bounds on uncovered regions will be infinite"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "bound" => {
+            let set = match load_constraints(&args, &table) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let sql = match &args.query {
+                Some(q) => q,
+                None => return fail("--query is required for `bound`"),
+            };
+            let query = match parse_query(&table, sql) {
+                Ok(q) => q,
+                Err(e) => return fail(&e.to_string()),
+            };
+            let report = match BoundEngine::new(&set).bound(&query) {
+                Ok(r) => r,
+                Err(BoundError::EmptyAggregate) => {
+                    println!("EMPTY: no missing row can match this query");
+                    return ExitCode::SUCCESS;
+                }
+                Err(e) => return fail(&e.to_string()),
+            };
+            if !report.closed {
+                eprintln!("warning: constraint set does not cover the query region");
+            }
+            let range = if args.combine {
+                if !matches!(query.agg, AggKind::Sum | AggKind::Count) {
+                    return fail("--combine only makes sense for SUM/COUNT");
+                }
+                let certain = evaluate(&table, &query).unwrap_or(0.0);
+                println!("certain partition answer: {certain}");
+                report.range.offset(certain)
+            } else {
+                report.range
+            };
+            println!("{sql}");
+            println!("result range: [{}, {}]", range.lo, range.hi);
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command `{other}` (bound/validate/check)")),
+    }
+}

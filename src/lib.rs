@@ -1,0 +1,28 @@
+//! # predicate-constraints
+//!
+//! Facade crate for the Predicate-Constraint (PC) missing-data contingency
+//! analysis framework — a reproduction of "Fast and Reliable Missing Data
+//! Contingency Analysis with Predicate-Constraints" (SIGMOD 2020).
+//!
+//! The workspace is organized as focused sub-crates, all re-exported here:
+//!
+//! * [`predicate`] — typed predicate language, interval/region algebra, and
+//!   the exact cell satisfiability solver.
+//! * [`solver`] — two-phase simplex LP and branch-and-bound MILP solvers.
+//! * [`storage`] — in-memory columnar tables, filters, aggregates, joins.
+//! * [`core`] — the PC framework itself: constraint sets, cell
+//!   decomposition, aggregate result ranges, and join bounds.
+//! * [`baselines`] — statistical baselines evaluated against PCs in the
+//!   paper (sampling confidence intervals, histograms, GMM, elastic
+//!   sensitivity).
+//! * [`datagen`] — synthetic dataset twins, missing-data injectors, and
+//!   workload/PC generators used by the experiment harness.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use pc_baselines as baselines;
+pub use pc_core as core;
+pub use pc_datagen as datagen;
+pub use pc_predicate as predicate;
+pub use pc_solver as solver;
+pub use pc_storage as storage;

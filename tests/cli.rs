@@ -1,0 +1,157 @@
+//! Integration test for the `pc` CLI: the full text-in, range-out flow a
+//! downstream analyst runs.
+
+use std::process::Command;
+
+fn pc_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pc"))
+}
+
+fn write_fixtures(dir: &std::path::Path) -> (String, String) {
+    let data = dir.join("sales.csv");
+    std::fs::write(
+        &data,
+        "utc,branch,price\n\
+         1,Chicago,3.02\n\
+         2,New York,6.71\n\
+         3,Chicago,18.99\n",
+    )
+    .unwrap();
+    let constraints = dir.join("assumptions.pc");
+    std::fs::write(
+        &constraints,
+        "# outage assumptions\n\
+         branch = 'Chicago' => price BETWEEN 0 AND 149.99, (0, 5)\n\
+         TRUE => price BETWEEN 0 AND 149.99, (0, 100)\n",
+    )
+    .unwrap();
+    (
+        data.to_string_lossy().into_owned(),
+        constraints.to_string_lossy().into_owned(),
+    )
+}
+
+const SCHEMA: &str = "utc:int,branch:cat,price:float";
+
+#[test]
+fn bound_command_end_to_end() {
+    let dir = std::env::temp_dir().join("pc-cli-test-bound");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let out = pc_bin()
+        .args([
+            "bound",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--query",
+            "SELECT SUM(price) WHERE branch = 'Chicago'",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("[0, 749.95"), "{stdout}");
+}
+
+#[test]
+fn bound_with_combine() {
+    let dir = std::env::temp_dir().join("pc-cli-test-combine");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let out = pc_bin()
+        .args([
+            "bound",
+            "--combine",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--query",
+            "SELECT COUNT(*)",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    // 3 certain rows + missing ∈ [0, 100]
+    assert!(stdout.contains("certain partition answer: 3"), "{stdout}");
+    assert!(stdout.contains("[3, 103]"), "{stdout}");
+}
+
+#[test]
+fn validate_flags_violations() {
+    let dir = std::env::temp_dir().join("pc-cli-test-validate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, _) = write_fixtures(&dir);
+    // constraint that the $18.99 Chicago sale violates
+    let constraints = dir.join("strict.pc");
+    std::fs::write(
+        &constraints,
+        "branch = 'Chicago' => price BETWEEN 0 AND 10, (0, 5)\n",
+    )
+    .unwrap();
+    let out = pc_bin()
+        .args([
+            "validate",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            constraints.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "violations must fail the exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VIOLATION"), "{stdout}");
+}
+
+#[test]
+fn check_reports_open_sets() {
+    let dir = std::env::temp_dir().join("pc-cli-test-check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, _) = write_fixtures(&dir);
+    let constraints = dir.join("open.pc");
+    std::fs::write(
+        &constraints,
+        "branch = 'Chicago' => price BETWEEN 0 AND 10, (0, 5)\n",
+    )
+    .unwrap();
+    let out = pc_bin()
+        .args([
+            "check",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            constraints.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NOT CLOSED"));
+}
+
+#[test]
+fn helpful_errors_for_bad_input() {
+    let out = pc_bin().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = pc_bin()
+        .args(["bound", "--data", "/nonexistent.csv", "--schema", "a:int"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}

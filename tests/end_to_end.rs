@@ -1,0 +1,173 @@
+//! End-to-end integration: synthetic dataset → correlated missingness →
+//! PC summarization → hard bounds for all five aggregates, checked
+//! against ground truth and against the statistical baselines' contract.
+
+use predicate_constraints::baselines::{Ci, EquiWidthHistogram, UniformSample};
+use predicate_constraints::core::{BoundEngine, BoundError, BoundOptions};
+use predicate_constraints::datagen::intel::{self, cols, IntelConfig};
+use predicate_constraints::datagen::missing::{remove_random_fraction, remove_top_fraction};
+use predicate_constraints::datagen::{pcgen, QueryGenerator};
+use predicate_constraints::storage::{evaluate, AggKind, AggQuery, AggResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (
+    predicate_constraints::storage::Table,
+    predicate_constraints::storage::Table,
+) {
+    let t = intel::generate(IntelConfig {
+        rows: 10_000,
+        seed: 77,
+        ..IntelConfig::default()
+    });
+    remove_top_fraction(&t, cols::LIGHT, 0.35)
+}
+
+#[test]
+fn corr_pc_bounds_all_aggregates_soundly() {
+    let (missing, _present) = setup();
+    let set = pcgen::corr_pc(&missing, &[cols::DEVICE, cols::EPOCH], 150);
+    assert!(set.validate(&missing).is_empty());
+    let engine = BoundEngine::new(&set);
+
+    let qg = QueryGenerator::from_table(&missing, &[cols::DEVICE, cols::EPOCH]);
+    let mut rng = StdRng::seed_from_u64(5);
+    for agg in [
+        AggKind::Count,
+        AggKind::Sum,
+        AggKind::Avg,
+        AggKind::Min,
+        AggKind::Max,
+    ] {
+        for q in qg.gen_workload(agg, cols::LIGHT, 30, &mut rng) {
+            let truth = evaluate(&missing, &q);
+            match (engine.bound(&q), truth) {
+                (Ok(report), AggResult::Value(v)) => {
+                    assert!(
+                        report.range.contains(v),
+                        "{agg:?}: {v} outside [{}, {}]",
+                        report.range.lo,
+                        report.range.hi
+                    );
+                }
+                (Ok(_), AggResult::Empty) => {}
+                (Err(BoundError::EmptyAggregate), truth) => {
+                    assert_eq!(truth, AggResult::Empty, "{agg:?} claimed empty wrongly");
+                }
+                (Err(e), _) => panic!("{agg:?} errored: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn uncorrelated_missingness_is_the_easy_case() {
+    // with random removal, even extrapolation works; PCs remain sound
+    let t = intel::generate(IntelConfig {
+        rows: 6_000,
+        seed: 3,
+        ..IntelConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(11);
+    let (missing, present) = remove_random_fraction(&t, 0.3, &mut rng);
+    let q = AggQuery::new(AggKind::Sum, cols::LIGHT, pc_predicate_always());
+    let observed = evaluate(&present, &q).unwrap_or(0.0);
+    let est = predicate_constraints::baselines::simple_extrapolate(observed, 0.3);
+    let truth = observed + evaluate(&missing, &q).unwrap_or(0.0);
+    let rel = (est - truth).abs() / truth;
+    assert!(
+        rel < 0.05,
+        "random missingness extrapolates well, rel {rel}"
+    );
+}
+
+fn pc_predicate_always() -> predicate_constraints::predicate::Predicate {
+    predicate_constraints::predicate::Predicate::always()
+}
+
+#[test]
+fn combined_certain_plus_missing_range() {
+    let (missing, present) = setup();
+    let set = pcgen::corr_pc(&missing, &[cols::DEVICE, cols::EPOCH], 150);
+    let engine = BoundEngine::new(&set);
+
+    let q = AggQuery::new(AggKind::Sum, cols::LIGHT, pc_predicate_always());
+    let certain = evaluate(&present, &q).unwrap_or(0.0);
+    let report = engine.bound(&q).unwrap();
+    let total_range = report.range.offset(certain);
+
+    let full_truth = certain + evaluate(&missing, &q).unwrap_or(0.0);
+    assert!(total_range.contains(full_truth));
+    // the range is non-trivial: narrower than a factor-3 guess band
+    assert!(total_range.hi < full_truth * 3.0);
+}
+
+#[test]
+fn early_stopping_only_widens() {
+    let (missing, _) = setup();
+    let mut rng = StdRng::seed_from_u64(21);
+    let set = pcgen::rand_pc(&missing, &[cols::DEVICE, cols::EPOCH], 12, &mut rng);
+    let exact_engine = BoundEngine::new(&set);
+    // stop 3 layers early: every unverified suffix multiplies the admitted
+    // cells by up to 2³, so the depth must stay close to the set size —
+    // Optimization 4 trades a *few* layers of verification, not most
+    let approx_engine = BoundEngine::with_options(
+        &set,
+        BoundOptions {
+            strategy: predicate_constraints::core::Strategy::EarlyStop { depth: 9 },
+            ..BoundOptions::default()
+        },
+    );
+    let qg = QueryGenerator::from_table(&missing, &[cols::DEVICE, cols::EPOCH]);
+    let mut qrng = StdRng::seed_from_u64(23);
+    for q in qg.gen_workload(AggKind::Sum, cols::LIGHT, 10, &mut qrng) {
+        let exact = exact_engine.bound(&q).unwrap().range;
+        let approx = approx_engine.bound(&q).unwrap().range;
+        assert!(
+            approx.hi >= exact.hi - 1e-6,
+            "early stopping must not tighten the upper bound"
+        );
+        assert!(approx.lo <= exact.lo + 1e-6);
+    }
+}
+
+#[test]
+fn baselines_contract_failure_vs_tightness() {
+    // the paper's qualitative claim across ALL experiments: statistical
+    // intervals are tighter but fail; PC bounds never fail
+    let (missing, _) = setup();
+    let set = pcgen::corr_pc(&missing, &[cols::DEVICE, cols::EPOCH], 150);
+    let engine = BoundEngine::new(&set);
+    let hist = EquiWidthHistogram::build(&missing, 30);
+    let mut rng = StdRng::seed_from_u64(31);
+    let sample = UniformSample::draw(&missing, 150, &mut rng);
+
+    let qg = QueryGenerator::from_table(&missing, &[cols::DEVICE, cols::EPOCH]);
+    let mut qrng = StdRng::seed_from_u64(37);
+    let queries = qg.gen_workload(AggKind::Sum, cols::LIGHT, 60, &mut qrng);
+
+    let mut pc_failures = 0;
+    let mut hist_failures = 0;
+    let mut sample_failures = 0;
+    for q in &queries {
+        let truth = evaluate(&missing, q).unwrap_or(0.0);
+        let pc = engine.bound(q).unwrap().range;
+        if !pc.contains(truth) {
+            pc_failures += 1;
+        }
+        let h = hist.bound_conservative(q);
+        if !(h.lo - 1e-6 <= truth && truth <= h.hi + 1e-6) {
+            hist_failures += 1;
+        }
+        let s = sample.estimate(q, Ci::Parametric(0.95));
+        if !s.contains(truth) {
+            sample_failures += 1;
+        }
+    }
+    assert_eq!(pc_failures, 0, "hard bounds cannot fail");
+    assert_eq!(hist_failures, 0, "conservative histograms cannot fail");
+    assert!(
+        sample_failures > 0,
+        "a 95% CLT interval should fail somewhere over 60 skewed queries"
+    );
+}

@@ -1,0 +1,120 @@
+//! Integration tests for the §5 join-bound pipeline: PC summaries of each
+//! relation → per-relation COUNT/SUM bounds → fractional-edge-cover join
+//! bound, verified against materialized joins.
+
+use predicate_constraints::core::join::{
+    fec_count_bound, fec_sum_bound, naive_count_bound, JoinSpec,
+};
+use predicate_constraints::core::{BoundEngine, BoundOptions};
+use predicate_constraints::datagen::pcgen;
+use predicate_constraints::datagen::synth_join::{chain_tables, random_edges, triangle_tables};
+use predicate_constraints::predicate::Predicate;
+use predicate_constraints::storage::{evaluate, natural_join, AggKind, AggQuery, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn count_bound(table: &Table) -> f64 {
+    let set = pcgen::corr_pc(table, &[0, 1], 16);
+    BoundEngine::with_options(
+        &set,
+        BoundOptions {
+            check_closure: false,
+            ..BoundOptions::default()
+        },
+    )
+    .bound(&AggQuery::count(Predicate::always()))
+    .unwrap()
+    .range
+    .hi
+}
+
+#[test]
+fn triangle_bound_dominates_truth_across_sizes() {
+    let spec = JoinSpec::triangle();
+    for n in [50usize, 200, 800] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let tables = triangle_tables(n, &mut rng);
+        let counts: Vec<f64> = tables.iter().map(count_bound).collect();
+        let fec = fec_count_bound(&spec, &counts).unwrap();
+        let naive = naive_count_bound(&counts);
+        let truth = {
+            let rs = natural_join(&tables[0], &tables[1]);
+            natural_join(&rs, &tables[2]).len() as f64
+        };
+        assert!(truth <= fec + 1e-9, "N={n}: truth {truth} > FEC {fec}");
+        assert!(fec <= naive + 1e-9, "N={n}: FEC looser than naive");
+        // the FEC bound tracks N^1.5 since per-relation counts are exact
+        let expected = (n as f64).powf(1.5);
+        assert!(
+            (fec / expected - 1.0).abs() < 0.05,
+            "N={n}: FEC {fec} should be ≈ N^1.5 = {expected}"
+        );
+    }
+}
+
+#[test]
+fn chain_bound_shape() {
+    let spec = JoinSpec::chain(5);
+    let k = 200usize;
+    let mut rng = StdRng::seed_from_u64(9);
+    let tables = chain_tables(5, k, &mut rng);
+    let counts: Vec<f64> = tables.iter().map(count_bound).collect();
+    let fec = fec_count_bound(&spec, &counts).unwrap();
+    assert!((fec / (k as f64).powi(3) - 1.0).abs() < 0.05, "K³ shape");
+    // materialize the 5-way chain and verify the bound
+    let mut acc = tables[0].clone();
+    for t in &tables[1..] {
+        acc = natural_join(&acc, t);
+    }
+    assert!(acc.len() as f64 <= fec);
+}
+
+#[test]
+fn sum_bound_gwe_holds_on_join() {
+    let spec = JoinSpec::triangle();
+    let mut rng = StdRng::seed_from_u64(13);
+    let tables = triangle_tables(300, &mut rng);
+    let counts: Vec<f64> = tables.iter().map(count_bound).collect();
+    let sum_r = {
+        let set = pcgen::corr_pc(&tables[0], &[0, 1], 16);
+        BoundEngine::new(&set)
+            .bound(&AggQuery::new(AggKind::Sum, 0, Predicate::always()))
+            .unwrap()
+            .range
+            .hi
+    };
+    let bound = fec_sum_bound(&spec, 0, sum_r, &counts).unwrap();
+    let truth = {
+        let rs = natural_join(&tables[0], &tables[1]);
+        let rst = natural_join(&rs, &tables[2]);
+        evaluate(&rst, &AggQuery::new(AggKind::Sum, 0, Predicate::always())).unwrap_or(0.0)
+    };
+    assert!(truth <= bound, "GWE: truth {truth} > bound {bound}");
+}
+
+#[test]
+fn two_way_join_exact_product_shape() {
+    // R(x,y) ⋈ S(y,z): the AGM bound is |R|·|S| and the naive bound
+    // coincides — no gap on acyclic 2-joins
+    let mut rng = StdRng::seed_from_u64(17);
+    let r = random_edges(100, 20, "x", "y", &mut rng);
+    let s = random_edges(80, 20, "y", "z", &mut rng);
+    let spec = JoinSpec::new(vec![
+        predicate_constraints::core::join::JoinRelation::new("R", &["x", "y"]),
+        predicate_constraints::core::join::JoinRelation::new("S", &["y", "z"]),
+    ]);
+    let counts = [count_bound(&r), count_bound(&s)];
+    let fec = fec_count_bound(&spec, &counts).unwrap();
+    let naive = naive_count_bound(&counts);
+    assert!((fec - naive).abs() / naive < 1e-6);
+    assert!(natural_join(&r, &s).len() as f64 <= fec);
+}
+
+#[test]
+fn per_relation_pc_bounds_are_exact_for_full_tables() {
+    // Corr-PC with exact frequencies bounds COUNT(*) of a whole table
+    // exactly — the FEC inputs in the experiments are not inflated
+    let mut rng = StdRng::seed_from_u64(23);
+    let t = random_edges(150, 25, "a", "b", &mut rng);
+    assert!((count_bound(&t) - 150.0).abs() < 1e-9);
+}

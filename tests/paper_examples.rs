@@ -1,0 +1,191 @@
+//! Integration tests pinning the paper's worked examples end-to-end
+//! through the facade crate.
+
+use predicate_constraints::core::{
+    BoundEngine, FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint,
+};
+use predicate_constraints::predicate::{
+    Atom, AttrType, Interval, Predicate, Region, Schema, Value,
+};
+use predicate_constraints::storage::{AggKind, AggQuery, Table};
+
+fn sales_schema() -> Schema {
+    Schema::new(vec![
+        ("utc", AttrType::Int),
+        ("branch", AttrType::Cat),
+        ("price", AttrType::Float),
+    ])
+}
+
+fn outage_domain(schema: &Schema) -> Region {
+    let mut domain = Region::full(schema);
+    domain.set_interval(0, Interval::half_open(11.0, 13.0));
+    domain
+}
+
+/// §4.4, disjoint case: the result range is computable by hand.
+#[test]
+fn section_4_4_disjoint() {
+    let schema = sales_schema();
+    let mut set = PcSet::new(schema.clone());
+    set.push(PredicateConstraint::new(
+        Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.99, 129.99)),
+        FrequencyConstraint::between(50, 100),
+    ));
+    set.push(PredicateConstraint::new(
+        Predicate::atom(Atom::bucket(0, 12.0, 13.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.99, 149.99)),
+        FrequencyConstraint::between(50, 100),
+    ));
+    set.set_domain(outage_domain(&schema));
+
+    let q = AggQuery::new(AggKind::Sum, 2, Predicate::always());
+    let r = BoundEngine::new(&set).bound(&q).unwrap().range;
+    assert!((r.lo - 99.0).abs() < 1e-9);
+    assert!((r.hi - 27_998.0).abs() < 1e-9);
+}
+
+/// §4.4, overlapping case: requires decomposition + MILP; note the paper's
+/// observation that the optimal allocation does *not* maximize rows in c1.
+#[test]
+fn section_4_4_overlapping() {
+    let schema = sales_schema();
+    let mut set = PcSet::new(schema.clone());
+    set.push(PredicateConstraint::new(
+        Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.99, 129.99)),
+        FrequencyConstraint::between(50, 100),
+    ));
+    set.push(PredicateConstraint::new(
+        Predicate::atom(Atom::bucket(0, 11.0, 13.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.99, 149.99)),
+        FrequencyConstraint::between(75, 125),
+    ));
+    set.set_domain(outage_domain(&schema));
+
+    let q = AggQuery::new(AggKind::Sum, 2, Predicate::always());
+    let report = BoundEngine::new(&set).bound(&q).unwrap();
+    assert!(report.closed);
+    assert!((report.range.lo - 74.25).abs() < 1e-6);
+    assert!((report.range.hi - 17_748.75).abs() < 1e-6);
+}
+
+/// §3.1: c1/c2 interaction — "Chicago cannot have more than 5 sales at
+/// 149.99" even though c2 alone would allow 100.
+#[test]
+fn section_3_1_constraint_interaction() {
+    let schema = sales_schema();
+    let mut domain = Region::full(&schema);
+    domain.set_interval(1, Interval::closed(0.0, 2.0));
+    let mut set = PcSet::new(schema.clone());
+    // c1: Chicago (code 0)
+    set.push(PredicateConstraint::new(
+        Predicate::atom(Atom::eq(1, 0.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::at_most(5),
+    ));
+    // c2: everywhere
+    set.push(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(2, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::at_most(100),
+    ));
+    set.set_domain(domain);
+
+    let engine = BoundEngine::new(&set);
+    let chicago = engine
+        .bound(&AggQuery::new(
+            AggKind::Sum,
+            2,
+            Predicate::atom(Atom::eq(1, 0.0)),
+        ))
+        .unwrap();
+    assert!((chicago.range.hi - 5.0 * 149.99).abs() < 1e-6);
+
+    let everywhere = engine
+        .bound(&AggQuery::new(AggKind::Sum, 2, Predicate::always()))
+        .unwrap();
+    // 5 Chicago rows + 95 elsewhere, all at 149.99
+    assert!((everywhere.range.hi - 100.0 * 149.99).abs() < 1e-6);
+}
+
+/// §3.2 closure: c1 + c3 are closed over {Chicago, New York} but not over
+/// a domain including Trenton.
+#[test]
+fn definition_3_2_closure() {
+    let schema = sales_schema();
+    let c1 = PredicateConstraint::new(
+        Predicate::atom(Atom::eq(1, 0.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::at_most(5),
+    );
+    let c3 = PredicateConstraint::new(
+        Predicate::atom(Atom::eq(1, 1.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.0, 100.0)),
+        FrequencyConstraint::at_most(10),
+    );
+    let mut set = PcSet::new(schema.clone()).with(c1).with(c3);
+
+    let mut two_branches = Region::full(&schema);
+    two_branches.set_interval(1, Interval::closed(0.0, 1.0));
+    set.set_domain(two_branches);
+    assert!(set.is_closed());
+
+    let mut three_branches = Region::full(&schema);
+    three_branches.set_interval(1, Interval::closed(0.0, 2.0));
+    set.set_domain(three_branches);
+    assert!(!set.is_closed());
+}
+
+/// The simple histogram-as-tautology encoding from §3.1 produces exact
+/// counts.
+#[test]
+fn histogram_as_tautological_pcs() {
+    let schema = sales_schema();
+    let mut domain = Region::full(&schema);
+    domain.set_interval(1, Interval::closed(0.0, 2.0));
+    let mut set = PcSet::new(schema.clone());
+    for (code, count) in [(0u32, 100u64), (1, 20), (2, 10)] {
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::eq(1, f64::from(code))),
+            ValueConstraint::none(),
+            FrequencyConstraint::exactly(count),
+        ));
+    }
+    set.set_domain(domain);
+    set.set_disjoint_hint(true);
+
+    let engine = BoundEngine::new(&set);
+    let total = engine
+        .bound(&AggQuery::count(Predicate::always()))
+        .unwrap()
+        .range;
+    assert_eq!((total.lo, total.hi), (130.0, 130.0));
+    let ny = engine
+        .bound(&AggQuery::count(Predicate::atom(Atom::eq(1, 1.0))))
+        .unwrap()
+        .range;
+    assert_eq!((ny.lo, ny.hi), (20.0, 20.0));
+}
+
+/// Definition 3.1 round-trip: a table satisfying a constraint passes
+/// `check`, and each violation type is detected.
+#[test]
+fn definition_3_1_satisfaction() {
+    let schema = sales_schema();
+    let pc = PredicateConstraint::new(
+        Predicate::atom(Atom::eq(1, 0.0)),
+        ValueConstraint::none().with(2, Interval::closed(0.0, 149.99)),
+        FrequencyConstraint::between(1, 2),
+    );
+    let mut ok = Table::new(schema.clone());
+    ok.push_row(vec![Value::Int(1), Value::Cat(0), Value::Float(3.02)]);
+    ok.push_row(vec![Value::Int(2), Value::Cat(1), Value::Float(999.0)]);
+    assert!(pc.check(&ok).is_ok());
+
+    let mut too_many = ok.clone();
+    too_many.push_row(vec![Value::Int(3), Value::Cat(0), Value::Float(1.0)]);
+    too_many.push_row(vec![Value::Int(4), Value::Cat(0), Value::Float(1.0)]);
+    assert!(pc.check(&too_many).is_err());
+}
