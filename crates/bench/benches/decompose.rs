@@ -1,14 +1,26 @@
-//! Criterion bench for Fig 7: cell decomposition of heavily overlapping
-//! PC sets under the three strategies. The paper's claim is a >1000×
-//! reduction in satisfiability checks at n = 20; wall-clock tracks the
-//! check counts.
+//! Criterion bench for Fig 7 and the parallel/incremental bound engine.
+//!
+//! * `fig7_decompose` — cell decomposition of heavily overlapping PC sets
+//!   under the three strategies (the paper's >1000× sat-check reduction at
+//!   n = 20; wall-clock tracks the check counts).
+//! * `parallel_decompose` — sequential vs forked DFS on an 18-constraint
+//!   overlapping set at several thread counts.
+//! * `group_by` — a 100-key GROUP-BY: per-key full decomposition baseline
+//!   vs the shared-decomposition path, cold and warm-started.
+//!
+//! Set `PC_BENCH_JSON=/path/file.json` to append machine-readable results
+//! (the repo's `BENCH_decompose.json` is produced this way).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pc_bench::experiments::fig7::overlapping_set;
 use pc_bench::Scale;
-use pc_core::{decompose, Strategy};
+use pc_core::{
+    decompose, decompose_with, BoundEngine, BoundOptions, FrequencyConstraint, Parallelism, PcSet,
+    PredicateConstraint, Strategy, ValueConstraint,
+};
 use pc_datagen::intel::{self, IntelConfig};
-use pc_predicate::Region;
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
+use pc_storage::{AggKind, AggQuery};
 
 fn bench_decompose(c: &mut Criterion) {
     let table = intel::generate(IntelConfig {
@@ -27,16 +39,145 @@ fn bench_decompose(c: &mut Criterion) {
             ("dfs_rewrite", Strategy::DfsRewrite),
         ] {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
-                b.iter(|| decompose(&set, &base, strategy))
+                b.iter(|| decompose(&set, &base, strategy).unwrap())
             });
         }
         // early stopping for the approximate variant (Optimization 4)
         group.bench_with_input(BenchmarkId::new("early_stop", n), &n, |b, _| {
-            b.iter(|| decompose(&set, &base, Strategy::EarlyStop { depth: n - 2 }))
+            b.iter(|| decompose(&set, &base, Strategy::EarlyStop { depth: n - 2 }).unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_decompose);
+/// Sequential vs fork/join decomposition of one large overlapping set.
+/// The emitted cells are identical; only wall-clock differs.
+fn bench_parallel_decompose(c: &mut Criterion) {
+    let table = intel::generate(IntelConfig {
+        rows: 2_000,
+        ..IntelConfig::default()
+    });
+    let n = 18usize;
+    let set = overlapping_set(&table, n, 7);
+    let base = Region::full(set.schema());
+    let mut group = c.benchmark_group("parallel_decompose");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sequential", n), |b| {
+        b.iter(|| decompose(&set, &base, Strategy::DfsRewrite).unwrap())
+    });
+    for threads in [2usize, 4, 8] {
+        let par = Parallelism {
+            threads,
+            depth: None,
+        };
+        group.bench_function(BenchmarkId::new(format!("threads_{threads}"), n), |b| {
+            b.iter(|| decompose_with(&set, &base, Strategy::DfsRewrite, par).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// A categorical group attribute with `keys` groups, covered by `n_pc`
+/// heavily overlapping 2-D boxes over (group, value) — each spanning
+/// 40–90% of both ranges, like the paper's Rand-PC workload. Every group
+/// slice still sees most constraints with overlapping value ranges, so a
+/// per-key decomposition pays a real (exponential-family) DFS for every
+/// key, which is exactly the workload the shared decomposition removes.
+fn group_by_set(keys: usize, n_pc: usize, seed: u64) -> PcSet {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let schema = Schema::new(vec![("g", AttrType::Cat), ("v", AttrType::Float)]);
+    let mut domain = Region::full(&schema);
+    domain.set_interval(0, Interval::closed(0.0, (keys - 1) as f64));
+    let mut set = PcSet::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gmax = (keys - 1) as f64;
+    let vmax = 1_000.0;
+    for i in 0..n_pc {
+        let gw = gmax * rng.gen_range(0.4..0.9);
+        let glo = rng.gen_range(0.0..(gmax - gw));
+        let vw = vmax * rng.gen_range(0.4..0.9);
+        let vlo = rng.gen_range(0.0..(vmax - vw));
+        set.push(PredicateConstraint::new(
+            Predicate::always()
+                .and(Atom::between(0, glo, glo + gw))
+                .and(Atom::between(1, vlo, vlo + vw)),
+            ValueConstraint::none().with(1, Interval::closed(vlo, vlo + vw)),
+            FrequencyConstraint::at_most(40 + (i as u64 % 7)),
+        ));
+    }
+    // catch-all constraint: keeps the set closed so every group produces a
+    // finite range and the allocation solver actually runs
+    set.push(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::closed(0.0, vmax)),
+        FrequencyConstraint::at_most(500),
+    ));
+    set.set_domain(domain);
+    set
+}
+
+fn bench_group_by(c: &mut Criterion) {
+    let keys: Vec<f64> = (0..100).map(f64::from).collect();
+    let set = group_by_set(100, 20, 7);
+    let query = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+
+    let mut group = c.benchmark_group("group_by");
+    group.sample_size(10);
+
+    let configs: [(&str, BoundOptions); 3] = [
+        (
+            "per_key_baseline",
+            BoundOptions {
+                shared_group_by: false,
+                threads: 1,
+                ..BoundOptions::default()
+            },
+        ),
+        (
+            "shared_cold",
+            BoundOptions {
+                warm_start: false,
+                threads: 1,
+                ..BoundOptions::default()
+            },
+        ),
+        (
+            "shared_warm",
+            BoundOptions {
+                threads: 1,
+                ..BoundOptions::default()
+            },
+        ),
+    ];
+    for (name, options) in configs {
+        let engine = BoundEngine::with_options(&set, options);
+        group.bench_function(BenchmarkId::new(name, keys.len()), |b| {
+            b.iter(|| engine.bound_group_by(&query, 0, keys.iter().copied()))
+        });
+    }
+    // LP-relaxation variant: every allocation solved as a (warm-startable)
+    // LP — the throughput configuration for wide GROUP-BYs (bounds stay
+    // sound, possibly slightly wider).
+    for (name, warm_start) in [("shared_lp_cold", false), ("shared_lp_warm", true)] {
+        let options = BoundOptions {
+            lp_relax_cell_limit: 0,
+            warm_start,
+            threads: 1,
+            ..BoundOptions::default()
+        };
+        let engine = BoundEngine::with_options(&set, options);
+        group.bench_function(BenchmarkId::new(name, keys.len()), |b| {
+            b.iter(|| engine.bound_group_by(&query, 0, keys.iter().copied()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_parallel_decompose,
+    bench_group_by
+);
 criterion_main!(benches);

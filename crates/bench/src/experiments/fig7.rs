@@ -55,7 +55,8 @@ pub fn run(scale: &Scale) -> ExpTable {
         ("DFS", Strategy::Dfs),
         ("DFS + Re-writing", Strategy::DfsRewrite),
     ] {
-        let (cells, stats) = decompose(&set, &base, strategy);
+        let (cells, stats) =
+            decompose(&set, &base, strategy).expect("n is within the naive strategy's limit");
         rows.push(vec![
             name.into(),
             stats.sat_checks.to_string(),

@@ -24,12 +24,22 @@
 //!   tightening the MILP exploits, and the source of `Infeasible` errors
 //!   when a frequency lower bound has nowhere to go).
 
-use crate::{decompose, BoundError, Cell, DecomposeStats, PcSet, Strategy};
+use crate::decompose::{decompose_with, Parallelism};
+use crate::{BoundError, Cell, DecomposeStats, PcSet, Strategy};
 use pc_predicate::Region;
 use pc_solver::{
-    greedy, solve_lp, solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpProblem, Sense,
+    greedy, solve_lp, solve_lp_warm, solve_milp, ConstraintOp, LinearProgram, MilpOptions,
+    MilpProblem, Sense, WarmStart,
 };
 use pc_storage::{AggKind, AggQuery};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Below this many constraints a decomposition never fans out across
+/// threads: the include/exclude tree is too small to amortize spawning.
+pub const PARALLEL_MIN_CONSTRAINTS: usize = 10;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +58,29 @@ pub struct BoundOptions {
     /// slightly wider one. This is the practical lever for heavily
     /// overlapping sets (Rand-PC) where decomposition yields many cells.
     pub lp_relax_cell_limit: usize,
+    /// Worker threads for decomposition fan-out and parallel GROUP-BY
+    /// groups. `0` = auto-detect the machine's parallelism, `1` = strictly
+    /// sequential. Bounds (and decomposed cells) are identical across
+    /// thread counts; only the work counters in
+    /// [`DecomposeStats`] may differ (`parallel_subtrees`, and GROUP-BY
+    /// `sat_checks` — per-chunk specialization memos re-pay checks at
+    /// chunk boundaries).
+    pub threads: usize,
+    /// Explicit decomposition fan-out depth; `None` derives
+    /// `⌈log₂ threads⌉`. See [`Parallelism::depth`].
+    pub parallel_depth: Option<usize>,
+    /// GROUP-BY strategy: decompose once against the base query and
+    /// specialize the surviving cells per group key (with simplex warm
+    /// starts chained between neighboring groups), instead of running a
+    /// full decomposition per key. For the exact strategies (`Dfs`,
+    /// `DfsRewrite`) bounds are identical either way; under the
+    /// approximate [`Strategy::EarlyStop`] both paths stay *sound* but the
+    /// shared path may admit more unverified cells and report wider
+    /// ranges. Disable to A/B the fast path against the naive one.
+    pub shared_group_by: bool,
+    /// Chain simplex warm starts between consecutive groups of a GROUP-BY
+    /// (LP paths only; MILP branch & bound always solves cold).
+    pub warm_start: bool,
 }
 
 impl Default for BoundOptions {
@@ -57,6 +90,10 @@ impl Default for BoundOptions {
             milp: MilpOptions::default(),
             check_closure: true,
             lp_relax_cell_limit: 150,
+            threads: 0,
+            parallel_depth: None,
+            shared_group_by: true,
+            warm_start: true,
         }
     }
 }
@@ -104,8 +141,18 @@ pub struct BoundReport {
     pub stats: DecomposeStats,
 }
 
+/// Simplex bases kept across the LP solves of a GROUP-BY chain, keyed by
+/// tableau-shape-determining facts (probe kind and dimensions) so a basis
+/// is only offered to a structurally compatible successor.
+type WarmKey = (Sense, bool, usize, usize);
+
+/// Shared, single-threaded warm-start store for one chain of related
+/// bounding calls (one GROUP-BY chunk). `Rc<RefCell>`: chains never cross
+/// threads — each parallel chunk owns its own store.
+pub(crate) type WarmCache = Rc<RefCell<HashMap<WarmKey, WarmStart>>>;
+
 /// The cell allocation problem shared by every aggregate.
-struct CellProblem {
+pub(crate) struct CellProblem {
     cells: Vec<Cell>,
     /// Per-cell max/min achievable value of the aggregated attribute.
     u: Vec<f64>,
@@ -117,12 +164,15 @@ struct CellProblem {
     pc_rows: Vec<(f64, f64, Vec<usize>)>,
     closed: bool,
     stats: DecomposeStats,
+    /// Warm-start store threaded in by a GROUP-BY chain; `None` for
+    /// standalone bounds.
+    warm: Option<WarmCache>,
 }
 
 /// Computes result ranges for aggregate queries against one [`PcSet`].
 pub struct BoundEngine<'a> {
-    set: &'a PcSet,
-    options: BoundOptions,
+    pub(crate) set: &'a PcSet,
+    pub(crate) options: BoundOptions,
 }
 
 impl<'a> BoundEngine<'a> {
@@ -139,15 +189,37 @@ impl<'a> BoundEngine<'a> {
         BoundEngine { set, options }
     }
 
+    /// The engine's configuration.
+    pub fn options(&self) -> &BoundOptions {
+        &self.options
+    }
+
     /// Compute the result range of `query` over the missing partition.
     pub fn bound(&self, query: &AggQuery) -> Result<BoundReport, BoundError> {
-        let problem = self.build_problem(query)?;
-        match query.agg {
-            AggKind::Count => self.bound_count(&problem),
-            AggKind::Sum => self.bound_sum(&problem),
-            AggKind::Avg => self.bound_avg(&problem),
-            AggKind::Min => self.bound_min(&problem),
-            AggKind::Max => self.bound_max(&problem),
+        // One bounding call can solve many structurally identical LPs (the
+        // AVG binary search runs ~80 feasibility probes); give it its own
+        // warm-start chain.
+        let warm = if self.options.warm_start {
+            Some(Rc::new(RefCell::new(HashMap::new())))
+        } else {
+            None
+        };
+        let problem = self.build_problem(query, warm)?;
+        self.bound_problem(query.agg, &problem)
+    }
+
+    /// Dispatch a constructed problem to the per-aggregate bound.
+    pub(crate) fn bound_problem(
+        &self,
+        agg: AggKind,
+        problem: &CellProblem,
+    ) -> Result<BoundReport, BoundError> {
+        match agg {
+            AggKind::Count => self.bound_count(problem),
+            AggKind::Sum => self.bound_sum(problem),
+            AggKind::Avg => self.bound_avg(problem),
+            AggKind::Min => self.bound_min(problem),
+            AggKind::Max => self.bound_max(problem),
         }
     }
 
@@ -155,7 +227,44 @@ impl<'a> BoundEngine<'a> {
     // Problem construction
     // ------------------------------------------------------------------
 
-    fn build_problem(&self, query: &AggQuery) -> Result<CellProblem, BoundError> {
+    /// The decomposition fan-out policy for an `n`-constraint set under
+    /// the engine's options.
+    fn decompose_policy(&self, n: usize) -> Parallelism {
+        if self.options.threads == 1 || n < PARALLEL_MIN_CONSTRAINTS {
+            Parallelism::SEQUENTIAL
+        } else {
+            Parallelism {
+                threads: self.options.threads,
+                depth: self.options.parallel_depth,
+            }
+        }
+    }
+
+    /// Satisfiable cells inside `base`: the disjoint fast path or a (possibly
+    /// parallel) decomposition. Shared by [`BoundEngine::bound`] and the
+    /// shared-decomposition GROUP-BY.
+    pub(crate) fn cells_for_base(
+        &self,
+        base: &Region,
+    ) -> Result<(Vec<Cell>, DecomposeStats), BoundError> {
+        if self.set.disjoint_hint() {
+            Ok(self.disjoint_cells(base))
+        } else {
+            decompose_with(
+                self.set,
+                base,
+                self.options.strategy,
+                self.decompose_policy(self.set.len()),
+            )
+            .map_err(BoundError::from)
+        }
+    }
+
+    fn build_problem(
+        &self,
+        query: &AggQuery,
+        warm: Option<WarmCache>,
+    ) -> Result<CellProblem, BoundError> {
         let schema = self.set.schema();
         // Optimization 1: push the query predicate into decomposition.
         let mut base = query.predicate.to_region(schema);
@@ -167,13 +276,24 @@ impl<'a> BoundEngine<'a> {
             true
         };
 
-        let (cells, stats) = if self.set.disjoint_hint() {
-            self.disjoint_cells(&base)
-        } else {
-            decompose(self.set, &base, self.options.strategy)
-        };
+        let (cells, stats) = self.cells_for_base(&base)?;
+        self.problem_from_cells(query.attr, &base, cells, stats, closed, warm)
+    }
 
-        let attr = query.attr;
+    /// Assemble the allocation problem from an explicit cell list (either
+    /// freshly decomposed or specialized from a shared GROUP-BY
+    /// decomposition). `base` is the effective query region the cells live
+    /// in — it decides which frequency lower bounds survive pushdown.
+    pub(crate) fn problem_from_cells(
+        &self,
+        attr: usize,
+        base: &Region,
+        cells: Vec<Cell>,
+        stats: DecomposeStats,
+        closed: bool,
+        warm: Option<WarmCache>,
+    ) -> Result<CellProblem, BoundError> {
+        let schema = self.set.schema();
         let mut u = Vec::with_capacity(cells.len());
         let mut l = Vec::with_capacity(cells.len());
         let mut cap = Vec::with_capacity(cells.len());
@@ -182,7 +302,7 @@ impl<'a> BoundEngine<'a> {
             let mut lo = cell.region.interval(attr).inf();
             let mut k = f64::INFINITY;
             let mut feasible = true;
-            for &j in &cell.active {
+            for j in cell.active.iter() {
                 let pc = &self.set.constraints()[j];
                 k = k.min(pc.frequency.hi as f64);
                 for (va, iv) in pc.values.ranges() {
@@ -237,6 +357,7 @@ impl<'a> BoundEngine<'a> {
             pc_rows,
             closed,
             stats,
+            warm,
         })
     }
 
@@ -253,8 +374,8 @@ impl<'a> BoundEngine<'a> {
             }
             let witness = region.pick_witness();
             cells.push(Cell {
-                region,
-                active: vec![j],
+                region: Arc::new(region),
+                active: [j].into_iter().collect(),
                 witness,
             });
         }
@@ -294,7 +415,10 @@ impl<'a> BoundEngine<'a> {
         if diagonal {
             let mut freq = Vec::with_capacity(p.cells.len());
             for (i, cell) in p.cells.iter().enumerate() {
-                let j = cell.active[0];
+                let j = cell
+                    .active
+                    .first_index()
+                    .expect("diagonal cell is non-empty");
                 let (kl, ku, _) = p.pc_rows[j];
                 let hi = ku.min(p.cap[i]);
                 let lo = kl.min(hi);
@@ -371,17 +495,42 @@ impl<'a> BoundEngine<'a> {
         if live.len() > self.options.lp_relax_cell_limit {
             // LP relaxation: a hard (if slightly wider) bound — see
             // `BoundOptions::lp_relax_cell_limit`.
-            let sol = solve_lp(&lp)?;
-            return Ok(sol.objective);
+            return Ok(self.solve_lp_maybe_warm(p, &lp, sense, extra_min_total)?);
         }
         match solve_milp(&MilpProblem::all_integer(lp.clone()), self.options.milp) {
             Ok(sol) => Ok(sol.objective),
             // A pathological branch & bound tree is not a reason to fail a
             // *bounding* call: the LP relaxation dominates the integer
             // optimum in the optimization direction, so it is still sound.
-            Err(pc_solver::SolverError::LimitExceeded(_)) => Ok(solve_lp(&lp)?.objective),
+            Err(pc_solver::SolverError::LimitExceeded(_)) => {
+                Ok(self.solve_lp_maybe_warm(p, &lp, sense, extra_min_total)?)
+            }
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// Solve an LP, consulting and refreshing the problem's warm-start
+    /// cache when a GROUP-BY chain supplied one. The cache key pins the
+    /// probe kind and the tableau dimensions; `solve_lp_warm` additionally
+    /// verifies basis compatibility and falls back to a cold solve, so a
+    /// stale basis can cost time but never correctness.
+    fn solve_lp_maybe_warm(
+        &self,
+        p: &CellProblem,
+        lp: &LinearProgram,
+        sense: Sense,
+        extra_min_total: bool,
+    ) -> Result<f64, pc_solver::SolverError> {
+        // Cache creation is already gated on `options.warm_start` at both
+        // construction sites (`bound`, the group-by chunk driver).
+        let Some(cache) = &p.warm else {
+            return solve_lp(lp).map(|sol| sol.objective);
+        };
+        let key: WarmKey = (sense, extra_min_total, lp.num_vars(), lp.constraints.len());
+        let prior = cache.borrow().get(&key).cloned();
+        let (sol, basis) = solve_lp_warm(lp, prior.as_ref())?;
+        cache.borrow_mut().insert(key, basis);
+        Ok(sol.objective)
     }
 
     // ------------------------------------------------------------------

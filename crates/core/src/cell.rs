@@ -1,4 +1,122 @@
 use pc_predicate::Region;
+use std::sync::Arc;
+
+/// Which predicate constraints a cell satisfies, as a small bitset.
+///
+/// Decomposition emits up to `2ⁿ` cells whose identity is a subset of the
+/// `n` constraint indices; storing that subset as machine words instead of
+/// a `Vec<usize>` makes cell signatures allocation-free for `n ≤ 64` (one
+/// inline word, the overwhelmingly common case) and keeps membership tests
+/// O(1) instead of a linear scan. Indices above 63 spill into heap words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ActiveSet {
+    /// Bits 0–63.
+    inline: u64,
+    /// Bits 64+, in 64-bit words (empty for small constraint sets).
+    spill: Vec<u64>,
+}
+
+impl ActiveSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ActiveSet::default()
+    }
+
+    /// Insert constraint index `i`.
+    pub fn insert(&mut self, i: usize) {
+        if i < 64 {
+            self.inline |= 1 << i;
+        } else {
+            let word = i / 64 - 1;
+            if self.spill.len() <= word {
+                self.spill.resize(word + 1, 0);
+            }
+            self.spill[word] |= 1 << (i % 64);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i < 64 {
+            self.inline & (1 << i) != 0
+        } else {
+            self.spill
+                .get(i / 64 - 1)
+                .is_some_and(|w| w & (1 << (i % 64)) != 0)
+        }
+    }
+
+    /// Number of active constraints.
+    pub fn len(&self) -> usize {
+        self.inline.count_ones() as usize
+            + self
+                .spill
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+    }
+
+    /// True if no constraint is active.
+    pub fn is_empty(&self) -> bool {
+        self.inline == 0 && self.spill.iter().all(|&w| w == 0)
+    }
+
+    /// The smallest active index, if any.
+    pub fn first_index(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Active indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let inline = WordBits::new(self.inline, 0);
+        let spill = self
+            .spill
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &bits)| WordBits::new(bits, (w + 1) * 64));
+        inline.chain(spill)
+    }
+
+    /// The indices as a sorted `Vec` (test/diagnostic convenience).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<usize> for ActiveSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut set = ActiveSet::new();
+        for i in iter {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+/// Iterator over the set bits of one word.
+struct WordBits {
+    bits: u64,
+    base: usize,
+}
+
+impl WordBits {
+    fn new(bits: u64, base: usize) -> Self {
+        WordBits { bits, base }
+    }
+}
+
+impl Iterator for WordBits {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let tz = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.base + tz)
+    }
+}
 
 /// One disjoint cell of the decomposition (§4.1): the sub-domain belonging
 /// to exactly the `active` predicate constraints and excluded from all
@@ -8,12 +126,14 @@ pub struct Cell {
     /// The box of the *included* predicates intersected with the base
     /// (query ∩ domain) region. The excluded predicates' negations are not
     /// representable as a box; `witness` proves the full conjunction
-    /// non-empty.
-    pub region: Region,
-    /// Indices (into the [`crate::PcSet`]) of the predicate constraints
-    /// whose predicates this cell satisfies. Never empty: the all-negated
-    /// cell carries no constraints and is handled by the closure check.
-    pub active: Vec<usize>,
+    /// non-empty. Shared (`Arc`) because sibling cells of an untightened
+    /// DFS branch — and group-by specializations — reuse the same box.
+    pub region: Arc<Region>,
+    /// Bitset of indices (into the [`crate::PcSet`]) of the predicate
+    /// constraints whose predicates this cell satisfies. Never empty: the
+    /// all-negated cell carries no constraints and is handled by the
+    /// closure check.
+    pub active: ActiveSet,
     /// A concrete point inside the cell, when the decomposition proved
     /// satisfiability exactly. `None` for cells admitted by approximate
     /// early stopping (Optimization 4) — possible false positives that
@@ -24,7 +144,7 @@ pub struct Cell {
 impl Cell {
     /// True if constraint `pc` is active in this cell.
     pub fn is_active(&self, pc: usize) -> bool {
-        self.active.contains(&pc)
+        self.active.contains(pc)
     }
 }
 
@@ -37,12 +157,46 @@ mod tests {
     fn activity_lookup() {
         let schema = Schema::new(vec![("x", AttrType::Float)]);
         let cell = Cell {
-            region: Region::full(&schema),
-            active: vec![0, 2],
+            region: Arc::new(Region::full(&schema)),
+            active: [0usize, 2].into_iter().collect(),
             witness: None,
         };
         assert!(cell.is_active(0));
         assert!(!cell.is_active(1));
         assert!(cell.is_active(2));
+    }
+
+    #[test]
+    fn active_set_small() {
+        let mut s = ActiveSet::new();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(5);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_vec(), vec![0, 5, 63]);
+        assert_eq!(s.first_index(), Some(0));
+        assert!(s.contains(63) && !s.contains(62));
+    }
+
+    #[test]
+    fn active_set_spills_past_64() {
+        let mut s = ActiveSet::new();
+        s.insert(64);
+        s.insert(200);
+        s.insert(3);
+        assert_eq!(s.to_vec(), vec![3, 64, 200]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(200) && !s.contains(201) && !s.contains(128));
+        assert_eq!(s.first_index(), Some(3));
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a: ActiveSet = [1usize, 2, 3].into_iter().collect();
+        let b: ActiveSet = [3usize, 2, 1].into_iter().collect();
+        assert_eq!(a, b);
+        let c: ActiveSet = [1usize, 2].into_iter().collect();
+        assert_ne!(a, c);
     }
 }

@@ -1,4 +1,5 @@
-//! Cell decomposition (§4.1) with the paper's optimizations.
+//! Cell decomposition (§4.1) with the paper's optimizations, a parallel
+//! fork/join driver, and allocation-conscious region handling.
 //!
 //! For `n` predicate constraints there are up to `2ⁿ` cells — conjunctions
 //! choosing, for every constraint, either its predicate or the negation.
@@ -20,9 +21,39 @@
 //! Query-predicate pushdown (Optimization 1) enters through the `base`
 //! region: cells are decomposed inside `query ∩ domain`, so constraints
 //! not overlapping the query never spawn cells.
+//!
+//! # Parallelism
+//!
+//! The DFS strategies accept a [`Parallelism`] policy
+//! ([`decompose_with`]). The include/exclude tree is forked at the top
+//! `⌈log₂ threads⌉` levels: whenever *both* branches of a node survive
+//! within the fan-out depth, they run as independent subtrees
+//! (`rayon::join`), each accumulating into its own cell vector and
+//! [`DecomposeStats`], merged include-first afterwards — so the emitted
+//! cell order, the cells themselves, and every counter except
+//! [`DecomposeStats::parallel_subtrees`] are *identical* to the sequential
+//! run (property-tested in `tests/prop_decompose.rs`). The `X ∧ ¬Y`
+//! rewrite and prefix pruning are per-branch decisions and survive the
+//! split untouched. Nodes where only one branch survives descend without
+//! burning fan-out depth, so pruning-heavy trees still fill all threads.
+//!
+//! # Allocation discipline
+//!
+//! Regions travel the tree as [`Arc<Region>`]: a branch clones the box
+//! only when one of its atoms genuinely tightens an interval
+//! ([`Region::tightened_by`]); otherwise the child shares the parent's
+//! allocation. Cell signatures are [`ActiveSet`] bitsets, not index
+//! vectors.
 
-use crate::{Cell, PcSet};
+use crate::{ActiveSet, Cell, PcSet};
 use pc_predicate::{sat, Predicate, Region};
+use std::fmt;
+use std::sync::Arc;
+
+/// Constraint-count ceiling for [`Strategy::Naive`]: `2ⁿ` cells past this
+/// are pointless to enumerate (and would overflow the mask well before
+/// exhausting patience).
+pub const NAIVE_LIMIT: usize = 25;
 
 /// Which decomposition algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +73,33 @@ pub enum Strategy {
     },
 }
 
+/// Why a decomposition could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// [`Strategy::Naive`] was asked to enumerate more than
+    /// [`NAIVE_LIMIT`] constraints' worth of cells.
+    TooManyConstraints {
+        /// Constraints in the set.
+        n: usize,
+        /// The enforced ceiling.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::TooManyConstraints { n, limit } => write!(
+                f,
+                "naive decomposition of {n} constraints would enumerate 2^{n} cells \
+                 (limit: {limit}); use a DFS strategy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
 /// Counters describing the work a decomposition performed; the
 /// "number of evaluated cells" metric of Fig 7 is [`DecomposeStats::sat_checks`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,33 +114,128 @@ pub struct DecomposeStats {
     pub rewrite_skips: u64,
     /// Cells admitted without verification by early stopping.
     pub assumed_sat: u64,
+    /// Subtrees executed as independent parallel tasks (0 in sequential
+    /// runs; the only counter that may differ between sequential and
+    /// parallel runs of the same decomposition).
+    pub parallel_subtrees: u64,
 }
 
-/// Decompose the constraint set inside `base` (= query region ∩ domain).
+impl DecomposeStats {
+    /// Fold another subtree's counters into this one (`cells` is derived
+    /// from the merged cell vector by the caller, not summed here).
+    pub fn absorb(&mut self, other: &DecomposeStats) {
+        self.sat_checks += other.sat_checks;
+        self.pruned_subtrees += other.pruned_subtrees;
+        self.rewrite_skips += other.rewrite_skips;
+        self.assumed_sat += other.assumed_sat;
+        self.parallel_subtrees += other.parallel_subtrees;
+    }
+}
+
+/// How far to fan the decomposition DFS out across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads to target. `0` = auto-detect
+    /// (`rayon::current_num_threads`), `1` = sequential.
+    pub threads: usize,
+    /// Explicit fan-out depth override. `None` derives `⌈log₂ threads⌉`.
+    pub depth: Option<usize>,
+}
+
+impl Parallelism {
+    /// Strictly sequential execution.
+    pub const SEQUENTIAL: Parallelism = Parallelism {
+        threads: 1,
+        depth: None,
+    };
+
+    /// Auto-detected thread count, derived fan-out depth.
+    pub const AUTO: Parallelism = Parallelism {
+        threads: 0,
+        depth: None,
+    };
+
+    /// The thread count after auto-detection.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// Levels of the DFS at which both-branch nodes fork. Capped by the
+    /// constraint count (deeper fan-out than the tree has levels is
+    /// meaningless). `threads: 1` always means sequential — an explicit
+    /// `depth` only overrides the *derived* `⌈log₂ threads⌉`, it cannot
+    /// re-enable forking on a sequential policy, and it is clamped to
+    /// `⌈log₂ threads⌉ + 2` (≤ 4× threads concurrent subtrees): the
+    /// backend spawns a real scoped thread per fork, so an unclamped
+    /// depth would translate into exponentially many live threads.
+    pub fn fan_out_depth(&self, n_constraints: usize) -> usize {
+        let threads = self.resolved_threads();
+        if threads <= 1 {
+            return 0;
+        }
+        let log2 = (usize::BITS - (threads - 1).leading_zeros()) as usize;
+        let depth = self.depth.unwrap_or(log2).min(log2 + 2);
+        depth.min(n_constraints)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::SEQUENTIAL
+    }
+}
+
+/// Decompose the constraint set inside `base` (= query region ∩ domain),
+/// sequentially. See [`decompose_with`] for the parallel driver.
 ///
 /// Cells whose active set is empty are not emitted; whether missing rows
 /// may exist outside every predicate is the closure question, answered by
 /// [`PcSet::is_closed_within`].
-pub fn decompose(set: &PcSet, base: &Region, strategy: Strategy) -> (Vec<Cell>, DecomposeStats) {
+pub fn decompose(
+    set: &PcSet,
+    base: &Region,
+    strategy: Strategy,
+) -> Result<(Vec<Cell>, DecomposeStats), DecomposeError> {
+    decompose_with(set, base, strategy, Parallelism::SEQUENTIAL)
+}
+
+/// Decompose with an explicit [`Parallelism`] policy.
+///
+/// The emitted cells (and their order) are identical to the sequential
+/// run; only [`DecomposeStats::parallel_subtrees`] depends on the policy.
+/// [`Strategy::Naive`] ignores the policy — it exists as the unoptimized
+/// baseline and parallelizing it would only flatter it.
+pub fn decompose_with(
+    set: &PcSet,
+    base: &Region,
+    strategy: Strategy,
+    par: Parallelism,
+) -> Result<(Vec<Cell>, DecomposeStats), DecomposeError> {
     let mut stats = DecomposeStats::default();
     let mut cells = Vec::new();
     let n = set.len();
     if base.is_empty() {
-        return (cells, stats);
+        return Ok((cells, stats));
     }
     match strategy {
         Strategy::Naive => {
-            assert!(
-                n <= 25,
-                "naive decomposition of {n} constraints would enumerate 2^{n} cells"
-            );
+            if n > NAIVE_LIMIT {
+                return Err(DecomposeError::TooManyConstraints {
+                    n,
+                    limit: NAIVE_LIMIT,
+                });
+            }
             for mask in 0u64..(1 << n) {
                 let mut region = base.clone();
-                let mut active = Vec::new();
+                let mut active = ActiveSet::new();
                 let mut negs: Vec<&Predicate> = Vec::new();
                 for (i, pc) in set.constraints().iter().enumerate() {
                     if mask & (1 << i) != 0 {
-                        active.push(i);
+                        active.insert(i);
                         for atom in pc.predicate.atoms() {
                             region.intersect_atom(atom);
                         }
@@ -94,7 +247,7 @@ pub fn decompose(set: &PcSet, base: &Region, strategy: Strategy) -> (Vec<Cell>, 
                 if let Some(witness) = sat::find_witness(&region, &negs) {
                     if !active.is_empty() {
                         cells.push(Cell {
-                            region,
+                            region: Arc::new(region),
                             active,
                             witness: Some(witness),
                         });
@@ -102,68 +255,60 @@ pub fn decompose(set: &PcSet, base: &Region, strategy: Strategy) -> (Vec<Cell>, 
                 }
             }
         }
-        Strategy::Dfs => {
+        Strategy::Dfs | Strategy::DfsRewrite | Strategy::EarlyStop { .. } => {
+            let (rewrite, stop_depth) = match strategy {
+                Strategy::Dfs => (false, usize::MAX),
+                Strategy::DfsRewrite => (true, usize::MAX),
+                Strategy::EarlyStop { depth } => (true, depth),
+                Strategy::Naive => unreachable!(),
+            };
             dfs(
-                set,
-                base.clone(),
+                &Frame {
+                    set,
+                    rewrite,
+                    stop_depth,
+                },
+                Arc::new(base.clone()),
                 Vec::new(),
-                Vec::new(),
+                ActiveSet::new(),
                 0,
-                false,
-                usize::MAX,
-                &mut cells,
-                &mut stats,
-            );
-        }
-        Strategy::DfsRewrite => {
-            dfs(
-                set,
-                base.clone(),
-                Vec::new(),
-                Vec::new(),
-                0,
-                true,
-                usize::MAX,
-                &mut cells,
-                &mut stats,
-            );
-        }
-        Strategy::EarlyStop { depth } => {
-            dfs(
-                set,
-                base.clone(),
-                Vec::new(),
-                Vec::new(),
-                0,
-                true,
-                depth,
+                par.fan_out_depth(n),
                 &mut cells,
                 &mut stats,
             );
         }
     }
     stats.cells = cells.len();
-    (cells, stats)
+    Ok((cells, stats))
+}
+
+/// Invariant parameters of one decomposition, threaded through the DFS by
+/// reference instead of as six separate arguments.
+struct Frame<'a> {
+    set: &'a PcSet,
+    rewrite: bool,
+    stop_depth: usize,
 }
 
 /// DFS over include/exclude decisions for constraint `idx`, with the
 /// invariant that the current prefix (region ∧ ¬excluded) is satisfiable
-/// (or assumed so past `stop_depth`).
+/// (or assumed so past `stop_depth`). Within the top `par_depth` levels a
+/// node whose branches *both* survive forks them across threads.
 #[allow(clippy::too_many_arguments)]
 fn dfs<'a>(
-    set: &'a PcSet,
-    region: Region,
+    frame: &Frame<'a>,
+    region: Arc<Region>,
     excluded: Vec<&'a Predicate>,
-    active: Vec<usize>,
+    active: ActiveSet,
     idx: usize,
-    rewrite: bool,
-    stop_depth: usize,
+    par_depth: usize,
     cells: &mut Vec<Cell>,
     stats: &mut DecomposeStats,
 ) {
+    let set = frame.set;
     if idx == set.len() {
         if !active.is_empty() {
-            let witness = if stop_depth == usize::MAX {
+            let witness = if frame.stop_depth == usize::MAX {
                 // exact mode: prefix satisfiability was verified; reproduce
                 // the witness for downstream consumers (cheap relative to
                 // the checks already done)
@@ -181,95 +326,129 @@ fn dfs<'a>(
     }
     let pc = &set.constraints()[idx];
 
-    // Past the early-stop depth: admit both branches without verification.
-    if idx >= stop_depth {
-        stats.assumed_sat += 2;
-        let mut inc_region = region.clone();
-        for atom in pc.predicate.atoms() {
-            inc_region.intersect_atom(atom);
-        }
-        let mut inc_active = active.clone();
-        inc_active.push(idx);
-        dfs(
-            set,
-            inc_region,
-            excluded.clone(),
-            inc_active,
-            idx + 1,
-            rewrite,
-            stop_depth,
-            cells,
-            stats,
-        );
-        let mut exc = excluded;
-        exc.push(&pc.predicate);
-        dfs(
-            set,
-            region,
-            exc,
-            active,
-            idx + 1,
-            rewrite,
-            stop_depth,
-            cells,
-            stats,
-        );
-        return;
-    }
-
-    // Include branch: X ∧ ψ.
-    let mut inc_region = region.clone();
-    for atom in pc.predicate.atoms() {
-        inc_region.intersect_atom(atom);
-    }
-    stats.sat_checks += 1;
-    let include_sat = sat::is_sat(&inc_region, &excluded);
-    if include_sat {
-        let mut inc_active = active.clone();
-        inc_active.push(idx);
-        dfs(
-            set,
-            inc_region,
-            excluded.clone(),
-            inc_active,
-            idx + 1,
-            rewrite,
-            stop_depth,
-            cells,
-            stats,
-        );
-    } else {
-        stats.pruned_subtrees += 1;
-    }
-
-    // Exclude branch: X ∧ ¬ψ.
-    let exclude_sat = if rewrite && !include_sat {
-        // Rewrite rule: X is satisfiable (DFS invariant) and X ∧ ψ is not,
-        // so every point of X avoids ψ — X ∧ ¬ψ is satisfiable for free.
-        stats.rewrite_skips += 1;
-        true
-    } else {
-        let mut probe = excluded.clone();
-        probe.push(&pc.predicate);
-        stats.sat_checks += 1;
-        sat::is_sat(&region, &probe)
+    // Include branch box: clone-on-tighten — most constraints repeat
+    // intervals the prefix already fixed, and those branches share the
+    // parent's allocation.
+    let inc_region = match region.tightened_by(pc.predicate.atoms()) {
+        Some(tightened) => Arc::new(tightened),
+        None => Arc::clone(&region),
     };
-    if exclude_sat {
-        let mut exc = excluded;
-        exc.push(&pc.predicate);
-        dfs(
-            set,
-            region,
-            exc,
-            active,
-            idx + 1,
-            rewrite,
-            stop_depth,
-            cells,
-            stats,
-        );
+
+    let (include_sat, exclude_sat);
+    if idx >= frame.stop_depth {
+        // Past the early-stop depth: admit both branches unverified.
+        stats.assumed_sat += 2;
+        include_sat = true;
+        exclude_sat = true;
     } else {
-        stats.pruned_subtrees += 1;
+        // Include: X ∧ ψ.
+        stats.sat_checks += 1;
+        include_sat = sat::is_sat(&inc_region, &excluded);
+        // Exclude: X ∧ ¬ψ.
+        exclude_sat = if frame.rewrite && !include_sat {
+            // Rewrite rule: X is satisfiable (DFS invariant) and X ∧ ψ is
+            // not, so every point of X avoids ψ — X ∧ ¬ψ is satisfiable
+            // for free.
+            stats.rewrite_skips += 1;
+            true
+        } else {
+            let mut probe = excluded.clone();
+            probe.push(&pc.predicate);
+            stats.sat_checks += 1;
+            sat::is_sat(&region, &probe)
+        };
+        if !include_sat {
+            stats.pruned_subtrees += 1;
+        }
+        if !exclude_sat {
+            stats.pruned_subtrees += 1;
+        }
+    }
+
+    match (include_sat, exclude_sat) {
+        (true, true) if par_depth > 0 => {
+            // Fork: each subtree gets its own accumulator; merge
+            // include-first so the output order matches sequential.
+            let mut inc_active = active.clone();
+            inc_active.insert(idx);
+            let inc_excluded = excluded.clone();
+            let mut exc = excluded;
+            exc.push(&pc.predicate);
+            let (mut inc_out, mut exc_out) = (
+                (Vec::new(), DecomposeStats::default()),
+                (Vec::new(), DecomposeStats::default()),
+            );
+            rayon::join(
+                || {
+                    dfs(
+                        frame,
+                        inc_region,
+                        inc_excluded,
+                        inc_active,
+                        idx + 1,
+                        par_depth - 1,
+                        &mut inc_out.0,
+                        &mut inc_out.1,
+                    )
+                },
+                || {
+                    dfs(
+                        frame,
+                        region,
+                        exc,
+                        active,
+                        idx + 1,
+                        par_depth - 1,
+                        &mut exc_out.0,
+                        &mut exc_out.1,
+                    )
+                },
+            );
+            stats.parallel_subtrees += 2;
+            stats.absorb(&inc_out.1);
+            stats.absorb(&exc_out.1);
+            cells.append(&mut inc_out.0);
+            cells.append(&mut exc_out.0);
+        }
+        (true, true) => {
+            let mut inc_active = active.clone();
+            inc_active.insert(idx);
+            dfs(
+                frame,
+                inc_region,
+                excluded.clone(),
+                inc_active,
+                idx + 1,
+                par_depth,
+                cells,
+                stats,
+            );
+            let mut exc = excluded;
+            exc.push(&pc.predicate);
+            dfs(frame, region, exc, active, idx + 1, par_depth, cells, stats);
+        }
+        (true, false) => {
+            // Only one branch survives: descend without spending fan-out
+            // depth, so pruning-heavy trees still fill all threads.
+            let mut inc_active = active;
+            inc_active.insert(idx);
+            dfs(
+                frame,
+                inc_region,
+                excluded,
+                inc_active,
+                idx + 1,
+                par_depth,
+                cells,
+                stats,
+            );
+        }
+        (false, true) => {
+            let mut exc = excluded;
+            exc.push(&pc.predicate);
+            dfs(frame, region, exc, active, idx + 1, par_depth, cells, stats);
+        }
+        (false, false) => {}
     }
 }
 
@@ -299,7 +478,7 @@ mod tests {
     }
 
     fn cell_signatures(cells: &[Cell]) -> Vec<Vec<usize>> {
-        let mut sigs: Vec<Vec<usize>> = cells.iter().map(|c| c.active.clone()).collect();
+        let mut sigs: Vec<Vec<usize>> = cells.iter().map(|c| c.active.to_vec()).collect();
         sigs.sort();
         sigs
     }
@@ -309,7 +488,7 @@ mod tests {
         let set = paper_444_set();
         let base = Region::full(set.schema());
         for strategy in [Strategy::Naive, Strategy::Dfs, Strategy::DfsRewrite] {
-            let (cells, _) = decompose(&set, &base, strategy);
+            let (cells, _) = decompose(&set, &base, strategy).unwrap();
             // c1 = t1∧t2 and c2 = ¬t1∧t2; c3 = t1∧¬t2 is unsatisfiable
             assert_eq!(
                 cell_signatures(&cells),
@@ -327,9 +506,9 @@ mod tests {
             .with(pc_on_utc(8.0, 20.0))
             .with(pc_on_utc(0.0, 20.0));
         let base = Region::full(set.schema());
-        let (naive, naive_stats) = decompose(&set, &base, Strategy::Naive);
-        let (dfs, dfs_stats) = decompose(&set, &base, Strategy::Dfs);
-        let (rw, rw_stats) = decompose(&set, &base, Strategy::DfsRewrite);
+        let (naive, naive_stats) = decompose(&set, &base, Strategy::Naive).unwrap();
+        let (dfs, dfs_stats) = decompose(&set, &base, Strategy::Dfs).unwrap();
+        let (rw, rw_stats) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
         assert_eq!(cell_signatures(&naive), cell_signatures(&dfs));
         assert_eq!(cell_signatures(&naive), cell_signatures(&rw));
         // the rewrite can only remove checks relative to plain DFS; naive
@@ -341,10 +520,92 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_exactly() {
+        let set = PcSet::new(schema())
+            .with(pc_on_utc(0.0, 10.0))
+            .with(pc_on_utc(5.0, 15.0))
+            .with(pc_on_utc(8.0, 20.0))
+            .with(pc_on_utc(0.0, 20.0))
+            .with(pc_on_utc(12.0, 30.0));
+        let base = Region::full(set.schema());
+        let (seq, seq_stats) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = Parallelism {
+                threads,
+                depth: None,
+            };
+            let (pcells, pstats) = decompose_with(&set, &base, Strategy::DfsRewrite, par).unwrap();
+            // same cells in the same order, not just as a set
+            assert_eq!(
+                seq.iter().map(|c| c.active.to_vec()).collect::<Vec<_>>(),
+                pcells.iter().map(|c| c.active.to_vec()).collect::<Vec<_>>(),
+                "threads = {threads}"
+            );
+            assert_eq!(seq_stats.sat_checks, pstats.sat_checks);
+            assert_eq!(seq_stats.rewrite_skips, pstats.rewrite_skips);
+            assert_eq!(seq_stats.pruned_subtrees, pstats.pruned_subtrees);
+            assert_eq!(seq_stats.cells, pstats.cells);
+            assert!(pstats.parallel_subtrees > 0, "fan-out must engage");
+        }
+    }
+
+    #[test]
+    fn fan_out_depth_derivation() {
+        assert_eq!(Parallelism::SEQUENTIAL.fan_out_depth(20), 0);
+        let p = |threads| Parallelism {
+            threads,
+            depth: None,
+        };
+        assert_eq!(p(2).fan_out_depth(20), 1);
+        assert_eq!(p(4).fan_out_depth(20), 2);
+        assert_eq!(p(5).fan_out_depth(20), 3);
+        assert_eq!(p(8).fan_out_depth(20), 3);
+        assert_eq!(p(8).fan_out_depth(2), 2, "capped by constraint count");
+        let explicit = Parallelism {
+            threads: 8,
+            depth: Some(5),
+        };
+        assert_eq!(explicit.fan_out_depth(20), 5);
+        // threads: 1 is sequential even with an explicit depth override
+        let sequential_with_depth = Parallelism {
+            threads: 1,
+            depth: Some(3),
+        };
+        assert_eq!(sequential_with_depth.fan_out_depth(20), 0);
+        // a runaway explicit depth is clamped near the derived depth
+        // instead of spawning exponentially many threads
+        let runaway = Parallelism {
+            threads: 2,
+            depth: Some(20),
+        };
+        assert_eq!(runaway.fan_out_depth(25), 3);
+    }
+
+    #[test]
+    fn naive_overflow_is_an_error_not_a_panic() {
+        let mut set = PcSet::new(schema());
+        for i in 0..(NAIVE_LIMIT + 1) {
+            set.push(pc_on_utc(i as f64, i as f64 + 2.0));
+        }
+        let base = Region::full(set.schema());
+        let err = decompose(&set, &base, Strategy::Naive).unwrap_err();
+        assert_eq!(
+            err,
+            DecomposeError::TooManyConstraints {
+                n: NAIVE_LIMIT + 1,
+                limit: NAIVE_LIMIT
+            }
+        );
+        assert!(err.to_string().contains("naive decomposition"));
+        // the DFS strategies handle the same set fine
+        assert!(decompose(&set, &base, Strategy::DfsRewrite).is_ok());
+    }
+
+    #[test]
     fn witnesses_are_genuine() {
         let set = paper_444_set();
         let base = Region::full(set.schema());
-        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
         for cell in &cells {
             let w = cell
                 .witness
@@ -367,7 +628,7 @@ mod tests {
         // query touches only utc ∈ [12, 13): t1 cannot be active
         let mut base = Region::full(set.schema());
         base.intersect_atom(&Atom::bucket(0, 12.0, 13.0));
-        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
         assert_eq!(cell_signatures(&cells), vec![vec![1]]);
     }
 
@@ -378,8 +639,8 @@ mod tests {
             .with(pc_on_utc(20.0, 30.0)) // disjoint from the first
             .with(pc_on_utc(5.0, 25.0));
         let base = Region::full(set.schema());
-        let (exact, _) = decompose(&set, &base, Strategy::DfsRewrite);
-        let (approx, stats) = decompose(&set, &base, Strategy::EarlyStop { depth: 1 });
+        let (exact, _) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
+        let (approx, stats) = decompose(&set, &base, Strategy::EarlyStop { depth: 1 }).unwrap();
         let exact_sigs = cell_signatures(&exact);
         let approx_sigs = cell_signatures(&approx);
         for sig in &exact_sigs {
@@ -397,7 +658,7 @@ mod tests {
         let set = paper_444_set();
         let mut base = Region::full(set.schema());
         base.intersect_atom(&Atom::bucket(0, 100.0, 100.0));
-        let (cells, stats) = decompose(&set, &base, Strategy::DfsRewrite);
+        let (cells, stats) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
         assert!(cells.is_empty());
         assert_eq!(stats.sat_checks, 0);
     }
@@ -406,7 +667,7 @@ mod tests {
     fn no_constraints_no_cells() {
         let set = PcSet::new(schema());
         let base = Region::full(set.schema());
-        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite);
+        let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
         assert!(cells.is_empty());
     }
 }

@@ -1,3 +1,4 @@
+use crate::decompose::DecomposeError;
 use pc_solver::SolverError;
 use std::fmt;
 
@@ -13,6 +14,9 @@ pub enum BoundError {
     EmptyAggregate,
     /// The underlying LP/MILP solver failed (limits, malformed model).
     Solver(SolverError),
+    /// Cell decomposition refused to run (e.g. the naive strategy past its
+    /// constraint ceiling).
+    Decompose(DecomposeError),
 }
 
 impl fmt::Display for BoundError {
@@ -31,6 +35,7 @@ impl fmt::Display for BoundError {
                 )
             }
             BoundError::Solver(e) => write!(f, "solver failure: {e}"),
+            BoundError::Decompose(e) => write!(f, "decomposition failure: {e}"),
         }
     }
 }
@@ -43,6 +48,12 @@ impl From<SolverError> for BoundError {
             SolverError::Infeasible => BoundError::Infeasible,
             other => BoundError::Solver(other),
         }
+    }
+}
+
+impl From<DecomposeError> for BoundError {
+    fn from(e: DecomposeError) -> Self {
+        BoundError::Decompose(e)
     }
 }
 

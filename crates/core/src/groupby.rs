@@ -1,10 +1,45 @@
 //! GROUP-BY support (§2): "a GROUP-BY clause can be considered as a union
 //! of such queries without GROUP-BY" — each group value becomes one
 //! bounded query with the group membership conjoined to the WHERE clause.
+//!
+//! # Shared decomposition
+//!
+//! The naive reading of that union decomposes the constraint set from
+//! scratch for every group key — a 1 000-key categorical GROUP-BY pays for
+//! 1 000 exponential-worst-case decompositions of the *same* constraints.
+//! The engine instead (when [`crate::BoundOptions::shared_group_by`] is
+//! on, the default):
+//!
+//! 1. decomposes **once** against `query ∩ domain`, the union of every
+//!    group's region;
+//! 2. **specializes** the surviving cells per key: a cell whose box
+//!    misses the key's slice is dropped on an interval intersection, a
+//!    cell whose stored witness lies inside the slice is kept for free,
+//!    and only cells in between pay a satisfiability re-check of their
+//!    conjunction inside the slice;
+//! 3. solves groups across **threads** (contiguous chunks, preserving
+//!    output order), each chunk chaining **simplex warm starts** from one
+//!    group's LPs to the next ([`pc_solver::solve_lp_warm`]).
+//!
+//! Specialization is exact, not heuristic: the activity patterns
+//! satisfiable inside a slice are precisely the shared patterns whose
+//! conjunction remains satisfiable there (a slice witness is also a base
+//! witness), so every group's bound equals what a from-scratch
+//! [`BoundEngine::bound`] of that group computes — property-tested in
+//! `tests/prop_groupby.rs`. The one exception is the approximate
+//! [`crate::Strategy::EarlyStop`]: unverified cells admitted by the shared
+//! base pass stay admitted in every overlapping slice, so shared bounds
+//! can be wider (never narrower) than per-key bounds there — both remain
+//! sound, as early stopping only ever widens.
 
-use crate::{BoundEngine, BoundError, BoundReport};
-use pc_predicate::{Atom, Interval};
+use crate::bounds::WarmCache;
+use crate::{BoundEngine, BoundError, BoundReport, Cell, DecomposeStats};
+use pc_predicate::{sat, Atom, Interval, Predicate, Region};
 use pc_storage::AggQuery;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// The result range of one group.
 #[derive(Debug, Clone)]
@@ -26,32 +61,395 @@ impl BoundEngine<'_> {
     /// constraints prove unreachable come back as
     /// [`BoundError::EmptyAggregate`] rather than a fabricated zero range,
     /// so callers can distinguish "no missing rows here" from "bounded".
+    ///
+    /// Groups are answered from one shared decomposition, in parallel,
+    /// with warm-started LPs (see the module docs); results are returned
+    /// in key order regardless of thread count, and each group's bound is
+    /// identical to a standalone [`BoundEngine::bound`] of that group.
     pub fn bound_group_by(
         &self,
         base: &AggQuery,
         group_attr: usize,
         keys: impl IntoIterator<Item = f64>,
     ) -> Vec<GroupBound> {
-        keys.into_iter()
-            .map(|key| {
-                let predicate = base
-                    .predicate
-                    .clone()
-                    .and(Atom::new(group_attr, Interval::point(key)));
-                let query = AggQuery::new(base.agg, base.attr, predicate);
-                GroupBound {
+        let keys: Vec<f64> = keys.into_iter().collect();
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        if !self.options.shared_group_by || self.mostly_key_local(group_attr) {
+            return self.bound_group_by_per_key(base, group_attr, &keys);
+        }
+
+        // 1. One decomposition for the union of all groups.
+        let mut base_region = base.predicate.to_region(self.set.schema());
+        base_region.intersect(self.set.domain());
+        let shared = match self.cells_for_base(&base_region) {
+            Ok(shared) => shared,
+            Err(e) => {
+                return keys
+                    .iter()
+                    .map(|&key| GroupBound {
+                        key,
+                        report: Err(e.clone()),
+                    })
+                    .collect()
+            }
+        };
+
+        // Closure hoisting: a slice of a closed region is closed (it is a
+        // subset), so one base-level check answers every group. Only a
+        // non-closed base needs per-slice re-checks (a slice can dodge the
+        // uncovered part).
+        let base_closed = self.options.check_closure && self.set.is_closed_within(&base_region);
+        let ctx = self.shared_ctx(&shared, group_attr, base_closed);
+
+        // 2–3. Specialize and solve per key, chunked across threads; each
+        // chunk owns a warm-start chain and a specialization memo.
+        let threads = self.group_threads(keys.len());
+        let solve_chunk = |chunk: &[f64]| -> Vec<GroupBound> {
+            let warm: Option<WarmCache> = self
+                .options
+                .warm_start
+                .then(|| Rc::new(RefCell::new(HashMap::new())));
+            let mut memo: SliceMemo = HashMap::new();
+            chunk
+                .iter()
+                .map(|&key| GroupBound {
                     key,
-                    report: self.bound(&query),
-                }
+                    report: self.bound_group_slice(
+                        base,
+                        key,
+                        &ctx,
+                        &base_region,
+                        &mut memo,
+                        warm.clone(),
+                    ),
+                })
+                .collect()
+        };
+        chunked_groups(&keys, threads, &solve_chunk)
+    }
+
+    /// Precompute the per-cell facts every group reuses: for each cell,
+    /// the exclusions overlapping its box at all, paired with their
+    /// group-attribute interval.
+    fn shared_ctx<'c>(
+        &'c self,
+        shared: &'c (Vec<Cell>, DecomposeStats),
+        group_attr: usize,
+        base_closed: bool,
+    ) -> SharedCtx<'c> {
+        let (cells, stats) = shared;
+        let constraints = self.set.constraints();
+        // Each predicate's group-attribute interval depends only on the
+        // predicate: fold once per constraint, not once per (cell ×
+        // constraint).
+        let g_iv_of: Vec<Interval> = constraints
+            .iter()
+            .map(|pc| {
+                pc.predicate
+                    .atoms()
+                    .iter()
+                    .filter(|a| a.attr == group_attr)
+                    .fold(Interval::FULL, |acc, a| acc.intersect(&a.interval))
             })
-            .collect()
+            .collect();
+        let mut relevant_of = Vec::with_capacity(cells.len());
+        let mut memoable = Vec::with_capacity(cells.len());
+        for cell in cells {
+            // An exclusion whose box misses the cell box in any dimension
+            // can never capture a point of any slice of this cell.
+            let relevant: Vec<(Interval, &Predicate)> = constraints
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| !cell.active.contains(*j))
+                .filter(|(_, pc)| {
+                    pc.predicate.atoms().iter().all(|a| {
+                        !cell
+                            .region
+                            .interval(a.attr)
+                            .intersect(&a.interval)
+                            .is_empty(cell.region.attr_type(a.attr))
+                    })
+                })
+                .map(|(j, pc)| (g_iv_of[j], &pc.predicate))
+                .collect();
+            memoable.push(relevant.len() <= 64);
+            relevant_of.push(relevant);
+        }
+        SharedCtx {
+            cells,
+            stats: *stats,
+            relevant_of,
+            memoable,
+            group_attr,
+            base_closed,
+        }
+    }
+
+    /// The pre-tentpole baseline: one full `bound()` per key. Used for A/B
+    /// comparison (`shared_group_by: false`), as the property-test oracle,
+    /// and as the plan for mostly-key-local sets — which is why it still
+    /// honors `options.threads` by chunking keys like the shared path.
+    fn bound_group_by_per_key(
+        &self,
+        base: &AggQuery,
+        group_attr: usize,
+        keys: &[f64],
+    ) -> Vec<GroupBound> {
+        let threads = self.group_threads(keys.len());
+        // When the keys already fan out across threads, the per-key
+        // decompositions inside each chunk run sequentially — nesting a
+        // threads-wide decomposition inside threads-wide chunks would
+        // oversubscribe the machine threads²-fold (the backend has no
+        // shared pool).
+        let inner = if threads > 1 {
+            BoundEngine::with_options(
+                self.set,
+                crate::BoundOptions {
+                    threads: 1,
+                    ..self.options
+                },
+            )
+        } else {
+            BoundEngine::with_options(self.set, self.options)
+        };
+        let solve_chunk = |chunk: &[f64]| -> Vec<GroupBound> {
+            chunk
+                .iter()
+                .map(|&key| {
+                    let predicate = base
+                        .predicate
+                        .clone()
+                        .and(Atom::new(group_attr, Interval::point(key)));
+                    let query = AggQuery::new(base.agg, base.attr, predicate);
+                    GroupBound {
+                        key,
+                        report: inner.bound(&query),
+                    }
+                })
+                .collect()
+        };
+        chunked_groups(keys, threads, &solve_chunk)
+    }
+
+    /// Bound one group from the shared decomposition.
+    fn bound_group_slice(
+        &self,
+        base: &AggQuery,
+        key: f64,
+        ctx: &SharedCtx<'_>,
+        base_region: &Region,
+        memo: &mut SliceMemo,
+        warm: Option<WarmCache>,
+    ) -> Result<BoundReport, BoundError> {
+        let group_attr = ctx.group_attr;
+        let key_iv = Interval::point(key);
+        let ty = base_region.attr_type(group_attr);
+        let mut slice = base_region.clone();
+        slice.set_interval(group_attr, slice.interval(group_attr).intersect(&key_iv));
+
+        let mut stats = ctx.stats;
+        let mut cells = Vec::with_capacity(ctx.cells.len());
+        for (cell_idx, cell) in ctx.cells.iter().enumerate() {
+            let cur = cell.region.interval(group_attr);
+            let narrowed = cur.intersect(&key_iv);
+            if narrowed.is_empty(ty) {
+                // the cell's box misses this group entirely
+                continue;
+            }
+            let region = if narrowed == *cur {
+                Arc::clone(&cell.region)
+            } else {
+                let mut r = (*cell.region).clone();
+                r.set_interval(group_attr, narrowed);
+                Arc::new(r)
+            };
+            let witness = match &cell.witness {
+                // the shared witness already lives in this group's slice:
+                // satisfiability carries over for free
+                Some(w) if region.contains_row(w) => Some(w.clone()),
+                // box overlaps but the witness is elsewhere: re-verify the
+                // cell's conjunction inside the slice — memoized by which
+                // exclusions are group-active, because two slices overlapped
+                // by the same exclusion subset have isomorphic cross-sections
+                // (only the group coordinate differs)
+                Some(_) => {
+                    match self.slice_witness(cell_idx, key, &region, ctx, memo, &mut stats) {
+                        Some(w) => Some(w),
+                        None => continue,
+                    }
+                }
+                // early-stop cell, admitted unverified in the shared pass:
+                // stays admitted (only ever widens bounds, like the
+                // sequential EarlyStop semantics)
+                None => None,
+            };
+            cells.push(Cell {
+                region,
+                active: cell.active.clone(),
+                witness,
+            });
+        }
+        stats.cells = cells.len();
+
+        let closed = if !self.options.check_closure || ctx.base_closed {
+            // disabled, or hoisted: every slice of a closed base is closed
+            true
+        } else {
+            self.set.is_closed_within(&slice)
+        };
+        let problem = self.problem_from_cells(base.attr, &slice, cells, stats, closed, warm)?;
+        self.bound_problem(base.agg, &problem)
+    }
+
+    /// Decide satisfiability of `cell ∧ ¬exclusions` inside the slice at
+    /// `key`, returning a witness. Memoized on (cell, group-active
+    /// exclusion mask): a cached verdict transfers to any other key with
+    /// the same mask, with the witness's group coordinate remapped.
+    fn slice_witness(
+        &self,
+        cell_idx: usize,
+        key: f64,
+        region: &Region,
+        ctx: &SharedCtx<'_>,
+        memo: &mut SliceMemo,
+        stats: &mut DecomposeStats,
+    ) -> Option<Vec<f64>> {
+        let relevant = &ctx.relevant_of[cell_idx];
+        // Only group-active relevant exclusions can capture a point of
+        // this slice; the rest are disjoint from it in some dimension.
+        let negs: Vec<&Predicate> = relevant
+            .iter()
+            .filter(|(g_iv, _)| g_iv.contains(key))
+            .map(|(_, p)| *p)
+            .collect();
+        if !ctx.memoable[cell_idx] {
+            // too many relevant exclusions for the 64-bit mask: still use
+            // the (sound) group-active filter, just without memoization
+            stats.sat_checks += 1;
+            return sat::find_witness(region, &negs);
+        }
+        let mut mask = 0u64;
+        for (bit, (g_iv, _)) in relevant.iter().enumerate() {
+            if g_iv.contains(key) {
+                mask |= 1 << bit;
+            }
+        }
+        if let Some(template) = memo.get(&(cell_idx, mask)) {
+            return template.as_ref().map(|t| {
+                let mut w = t.clone();
+                w[ctx.group_attr] = key;
+                w
+            });
+        }
+        stats.sat_checks += 1;
+        let witness = sat::find_witness(region, &negs);
+        memo.insert((cell_idx, mask), witness.clone());
+        witness
+    }
+
+    /// True when most constraints pin the group attribute to a single
+    /// value (per-key floors/caps). Such sets are poison for the shared
+    /// path — the base decomposition must arrange *every* key's private
+    /// constraints against each other, while per-key pushdown prunes all
+    /// but one of them in a single check each. Bounds are identical either
+    /// way; this only picks the cheaper plan. (A two-level decomposition
+    /// that hoists key-local constraints out of the shared pass is the
+    /// natural follow-up — see ROADMAP.)
+    fn mostly_key_local(&self, group_attr: usize) -> bool {
+        let schema = self.set.schema();
+        let n = self.set.len();
+        if n == 0 {
+            return false;
+        }
+        let local = self
+            .set
+            .constraints()
+            .iter()
+            .filter(|pc| {
+                let region = pc.predicate.to_region(schema);
+                let iv = region.interval(group_attr);
+                iv.sup() == iv.inf()
+            })
+            .count();
+        local * 2 > n
+    }
+
+    /// Threads to spread groups over.
+    fn group_threads(&self, n_keys: usize) -> usize {
+        let par = crate::Parallelism {
+            threads: self.options.threads,
+            depth: None,
+        };
+        par.resolved_threads().min(n_keys).max(1)
+    }
+}
+
+/// Precomputed, read-only facts shared by every group of one GROUP-BY.
+struct SharedCtx<'a> {
+    /// The shared decomposition's cells.
+    cells: &'a [Cell],
+    /// Its work counters (copied into every group's report).
+    stats: DecomposeStats,
+    /// Per cell: exclusions whose box overlaps the cell box at all, with
+    /// their group-attribute interval (`FULL` when unconstrained on it).
+    relevant_of: Vec<Vec<(Interval, &'a Predicate)>>,
+    /// Whether the cell's relevant exclusions fit the 64-bit memo mask.
+    memoable: Vec<bool>,
+    group_attr: usize,
+    /// Result of the hoisted base-level closure check.
+    base_closed: bool,
+}
+
+/// Per-chunk specialization memo: (cell, group-active exclusion mask) →
+/// witness template (`None` = that cross-section is unsatisfiable).
+type SliceMemo = HashMap<(usize, u64), Option<Vec<f64>>>;
+
+/// Split `keys` into `threads` contiguous chunks, apply `solve_chunk` to
+/// each (in parallel when `threads > 1`), and concatenate in key order —
+/// the chunking driver shared by the shared-decomposition and per-key
+/// GROUP-BY paths.
+fn chunked_groups<F>(keys: &[f64], threads: usize, solve_chunk: &F) -> Vec<GroupBound>
+where
+    F: Fn(&[f64]) -> Vec<GroupBound> + Sync,
+{
+    if threads <= 1 {
+        return solve_chunk(keys);
+    }
+    let chunk_len = keys.len().div_ceil(threads);
+    let chunks: Vec<&[f64]> = keys.chunks(chunk_len).collect();
+    parallel_map_chunks(&chunks, solve_chunk)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Apply `f` to every chunk, fork/join style, preserving chunk order.
+fn parallel_map_chunks<'k, T, F>(chunks: &[&'k [f64]], f: &F) -> Vec<Vec<T>>
+where
+    T: Send,
+    F: Fn(&'k [f64]) -> Vec<T> + Sync,
+{
+    match chunks.len() {
+        0 => Vec::new(),
+        1 => vec![f(chunks[0])],
+        n => {
+            let (left, right) = chunks.split_at(n / 2);
+            let (mut lv, rv) = rayon::join(
+                || parallel_map_chunks(left, f),
+                || parallel_map_chunks(right, f),
+            );
+            lv.extend(rv);
+            lv
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint};
+    use crate::{BoundOptions, FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint};
     use pc_predicate::{AttrType, Predicate, Region, Schema};
     use pc_storage::AggKind;
 
@@ -69,6 +467,36 @@ mod tests {
         }
         set.set_domain(domain);
         set.set_disjoint_hint(true);
+        set
+    }
+
+    /// Overlapping constraints across branches: exercises the real
+    /// decomposition + MILP machinery in both group-by paths.
+    fn overlapping_branch_set() -> PcSet {
+        let schema = Schema::new(vec![("branch", AttrType::Cat), ("price", AttrType::Float)]);
+        let mut domain = Region::full(&schema);
+        domain.set_interval(0, Interval::closed(0.0, 3.0));
+        let mut set = PcSet::new(schema);
+        // per-branch constraints
+        for (code, hi, k) in [(0u32, 149.99, 5u64), (1, 100.0, 10), (2, 50.0, 3)] {
+            set.push(PredicateConstraint::new(
+                Predicate::atom(Atom::eq(0, f64::from(code))),
+                ValueConstraint::none().with(1, Interval::closed(0.0, hi)),
+                FrequencyConstraint::at_most(k),
+            ));
+        }
+        // cross-cutting constraints overlapping several branches
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, 0.0, 2.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 120.0)),
+            FrequencyConstraint::at_most(12),
+        ));
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, 1.0, 4.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 80.0)),
+            FrequencyConstraint::between(2, 9),
+        ));
+        set.set_domain(domain);
         set
     }
 
@@ -112,5 +540,106 @@ mod tests {
         let base = AggQuery::new(AggKind::Min, 1, Predicate::always());
         let groups = engine.bound_group_by(&base, 0, [7.0]);
         assert!(matches!(groups[0].report, Err(BoundError::EmptyAggregate)));
+    }
+
+    fn assert_reports_match(shared: &[GroupBound], per_key: &[GroupBound]) {
+        assert_eq!(shared.len(), per_key.len());
+        for (s, p) in shared.iter().zip(per_key) {
+            assert_eq!(s.key, p.key);
+            match (&s.report, &p.report) {
+                (Ok(a), Ok(b)) => {
+                    assert!(
+                        (a.range.lo - b.range.lo).abs() < 1e-6
+                            && (a.range.hi - b.range.hi).abs() < 1e-6,
+                        "key {}: shared [{}, {}] vs per-key [{}, {}]",
+                        s.key,
+                        a.range.lo,
+                        a.range.hi,
+                        b.range.lo,
+                        b.range.hi
+                    );
+                    assert_eq!(a.closed, b.closed, "key {}", s.key);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "key {}", s.key),
+                (a, b) => panic!("key {}: shared {:?} vs per-key {:?}", s.key, a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_path_matches_per_key_on_overlapping_sets() {
+        let set = overlapping_branch_set();
+        let keys = [0.0, 1.0, 2.0, 3.0, 7.0];
+        for agg in [
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::Min,
+            AggKind::Max,
+            AggKind::Avg,
+        ] {
+            let base = AggQuery::new(agg, 1, Predicate::always());
+            let shared_engine = BoundEngine::new(&set);
+            let shared = shared_engine.bound_group_by(&base, 0, keys);
+            let baseline_engine = BoundEngine::with_options(
+                &set,
+                BoundOptions {
+                    shared_group_by: false,
+                    ..BoundOptions::default()
+                },
+            );
+            let per_key = baseline_engine.bound_group_by(&base, 0, keys);
+            assert_reports_match(&shared, &per_key);
+        }
+    }
+
+    #[test]
+    fn parallel_groups_preserve_key_order_and_results() {
+        let set = overlapping_branch_set();
+        let base = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let keys: Vec<f64> = (0..4).map(f64::from).collect();
+        let sequential = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                threads: 1,
+                ..BoundOptions::default()
+            },
+        )
+        .bound_group_by(&base, 0, keys.clone());
+        for threads in [2usize, 3, 8] {
+            let parallel = BoundEngine::with_options(
+                &set,
+                BoundOptions {
+                    threads,
+                    ..BoundOptions::default()
+                },
+            )
+            .bound_group_by(&base, 0, keys.clone());
+            assert_reports_match(&parallel, &sequential);
+        }
+    }
+
+    #[test]
+    fn warm_start_off_matches_on() {
+        let set = overlapping_branch_set();
+        let base = AggQuery::new(AggKind::Avg, 1, Predicate::always());
+        let keys = [0.0, 1.0, 2.0, 3.0];
+        let warm = BoundEngine::new(&set).bound_group_by(&base, 0, keys);
+        let cold = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                warm_start: false,
+                ..BoundOptions::default()
+            },
+        )
+        .bound_group_by(&base, 0, keys);
+        assert_reports_match(&warm, &cold);
+    }
+
+    #[test]
+    fn empty_key_list_is_empty() {
+        let set = branch_set();
+        let engine = BoundEngine::new(&set);
+        let base = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        assert!(engine.bound_group_by(&base, 0, []).is_empty());
     }
 }

@@ -12,12 +12,29 @@
 //! 1. **Cell decomposition** ([`decompose()`](decompose())) of possibly-overlapping
 //!    predicates into disjoint satisfiable cells, with the paper's four
 //!    optimizations: query-predicate pushdown, DFS prefix pruning, the
-//!    `X ∧ ¬Y` rewrite, and approximate early stopping.
+//!    `X ∧ ¬Y` rewrite, and approximate early stopping — plus a parallel
+//!    fork/join driver ([`decompose::decompose_with`]) that fans the DFS
+//!    out across threads at the top `⌈log₂ threads⌉` levels with
+//!    bit-identical results, bitset cell signatures ([`ActiveSet`]), and
+//!    clone-on-tighten region sharing.
 //! 2. A **mixed-integer linear program** (§4.2) allocating rows to cells,
-//!    solved by `pc-solver`, with the greedy fast path for disjoint sets.
+//!    solved by `pc-solver`, with the greedy fast path for disjoint sets
+//!    and simplex **warm starts** chained across related solves.
 //! 3. **Join bounds** (§5): the naive Cartesian-product bound and the
 //!    tighter fractional-edge-cover bound derived from Friedgut's
 //!    generalized weighted entropy inequality.
+//! 4. **Incremental GROUP-BY** ([`BoundEngine::bound_group_by`]): one
+//!    shared decomposition specialized per group key, groups solved in
+//!    parallel — instead of a from-scratch decomposition per key.
+//!
+//! Parallelism, fan-out depth, and the group-by fast paths are all knobs
+//! on [`BoundOptions`] (`threads`, `parallel_depth`, `shared_group_by`,
+//! `warm_start`); under the exact strategies every configuration returns
+//! identical bounds — the knobs trade machine resources for latency, not
+//! accuracy. The one caveat is the deliberately approximate
+//! [`Strategy::EarlyStop`], where the shared group-by path may admit more
+//! unverified cells than per-key and report wider (still sound) ranges —
+//! see [`BoundOptions::shared_group_by`].
 //!
 //! Constraints are *testable*: [`PcSet::validate`] checks a set against
 //! historical data, returning every violation, which is the paper's
@@ -68,10 +85,12 @@ mod groupby;
 pub mod join;
 mod pcset;
 
-pub use bounds::{BoundEngine, BoundOptions, BoundReport, ResultRange};
-pub use cell::Cell;
+pub use bounds::{BoundEngine, BoundOptions, BoundReport, ResultRange, PARALLEL_MIN_CONSTRAINTS};
+pub use cell::{ActiveSet, Cell};
 pub use constraint::{FrequencyConstraint, PredicateConstraint, ValueConstraint};
-pub use decompose::{decompose, DecomposeStats, Strategy};
+pub use decompose::{
+    decompose, decompose_with, DecomposeError, DecomposeStats, Parallelism, Strategy,
+};
 pub use dsl::{parse_constraint, parse_pcset};
 pub use error::BoundError;
 pub use groupby::GroupBound;

@@ -54,6 +54,26 @@ impl Region {
         self.intervals[atom.attr] = self.intervals[atom.attr].intersect(&atom.interval);
     }
 
+    /// Narrow by a set of atoms, materializing a new region only if some
+    /// atom actually tightens an interval. `None` means every atom was
+    /// already implied (`self ∩ atoms = self`), so callers can keep using
+    /// `self` — the allocation-avoidance backbone of the decomposition DFS,
+    /// where most branch atoms repeat intervals the prefix already fixed.
+    pub fn tightened_by<'a>(&self, atoms: impl IntoIterator<Item = &'a Atom>) -> Option<Region> {
+        let mut out: Option<Region> = None;
+        for atom in atoms {
+            let cur = out
+                .as_ref()
+                .map_or_else(|| self.interval(atom.attr), |r| r.interval(atom.attr));
+            let narrowed = cur.intersect(&atom.interval);
+            if narrowed != *cur {
+                out.get_or_insert_with(|| self.clone())
+                    .set_interval(atom.attr, narrowed);
+            }
+        }
+        out
+    }
+
     /// Narrow by another region (pointwise interval intersection).
     pub fn intersect(&mut self, other: &Region) {
         debug_assert_eq!(self.width(), other.width());
@@ -202,6 +222,21 @@ mod tests {
         let mut tiny = Region::full(&s);
         tiny.intersect_atom(&Atom::eq(1, 0.0));
         assert!(tiny.contains_region(&empty));
+    }
+
+    #[test]
+    fn tightened_by_detects_no_ops() {
+        let s = schema();
+        let mut r = Region::full(&s);
+        r.intersect_atom(&Atom::bucket(0, 0.0, 10.0));
+        // an implied atom must not allocate a new region
+        assert!(r.tightened_by(&[Atom::bucket(0, -5.0, 20.0)]).is_none());
+        assert!(r.tightened_by(std::iter::empty()).is_none());
+        // a genuinely narrowing atom must
+        let t = r.tightened_by(&[Atom::bucket(0, 2.0, 5.0)]).unwrap();
+        assert_eq!(*t.interval(0), Interval::half_open(2.0, 5.0));
+        // and the original is untouched
+        assert_eq!(*r.interval(0), Interval::half_open(0.0, 10.0));
     }
 
     #[test]

@@ -27,18 +27,39 @@ pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
     }
     // Keep only excluded predicates whose box intersects `base`; a disjoint
     // exclusion is vacuously satisfied. If any exclusion covers `base`
-    // entirely, no witness can exist.
+    // entirely, no witness can exist. Both facts are decided per-atom on
+    // interval intersections without materializing `base ∩ ψ`.
     let mut live: Vec<&Predicate> = Vec::with_capacity(negs.len());
     for p in negs {
-        let mut boxed = base.clone();
-        for atom in p.atoms() {
-            boxed.intersect_atom(atom);
+        let mut disjoint = false;
+        let mut unchanged = true;
+        let atoms = p.atoms();
+        for (i, atom) in atoms.iter().enumerate() {
+            // Fold earlier atoms on the same attribute into the current
+            // interval so conjunctions like `x ∈ [0,3] ∧ x ∈ [5,8]` are
+            // recognized as empty (cumulative emptiness), exactly like the
+            // old materialized `base ∩ ψ` test. Predicates have a handful
+            // of atoms, so the inner scan is cheaper than a region clone.
+            let mut cur = *base.interval(atom.attr);
+            for prev in &atoms[..i] {
+                if prev.attr == atom.attr {
+                    cur = cur.intersect(&prev.interval);
+                }
+            }
+            let narrowed = cur.intersect(&atom.interval);
+            if narrowed.is_empty(base.attr_type(atom.attr)) {
+                // ψ can't capture any point of base
+                disjoint = true;
+                break;
+            }
+            if narrowed != cur {
+                unchanged = false;
+            }
         }
-        // `boxed` = base ∩ ψ. Empty ⇒ ψ can't capture any point of base.
-        if boxed.is_empty() {
+        if disjoint {
             continue;
         }
-        if boxed == *base || covers(p, base) {
+        if unchanged || covers(p, base) {
             return None;
         }
         live.push(p);
@@ -58,12 +79,25 @@ pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
         .enumerate()
         .filter_map(|(i, p)| (i != pick_idx).then_some(*p))
         .collect();
-    // A witness avoiding ψ must violate at least one of its atoms.
+    // A witness avoiding ψ must violate at least one of its atoms. Clone
+    // the base box only for branches that genuinely narrow it and stay
+    // non-empty; a non-narrowing complement atom recurses on `base` as-is.
     for atom in pick.atoms() {
         let ty = base.attr_type(atom.attr);
         for neg_atom in atom.negate(ty) {
+            let cur = base.interval(neg_atom.attr);
+            let narrowed = cur.intersect(&neg_atom.interval);
+            if narrowed.is_empty(ty) {
+                continue;
+            }
+            if narrowed == *cur {
+                if let Some(w) = find_witness(base, &rest) {
+                    return Some(w);
+                }
+                continue;
+            }
             let mut shrunk = base.clone();
-            shrunk.intersect_atom(&neg_atom);
+            shrunk.set_interval(neg_atom.attr, narrowed);
             if let Some(w) = find_witness(&shrunk, &rest) {
                 return Some(w);
             }
@@ -99,6 +133,19 @@ mod tests {
         Predicate::always()
             .and(Atom::between(0, x0, x1))
             .and(Atom::between(1, y0, y1))
+    }
+
+    #[test]
+    fn self_contradictory_exclusion_is_dropped_without_search() {
+        // two atoms on the same attribute with an empty conjunction: the
+        // exclusion can capture nothing and must not spawn branch work
+        let s = schema();
+        let base = boxp(0.0, 10.0, 0.0, 10.0).to_region(&s);
+        let contradictory = Predicate::always()
+            .and(Atom::between(0, 0.0, 3.0))
+            .and(Atom::between(0, 5.0, 8.0));
+        let w = find_witness(&base, &[&contradictory]).unwrap();
+        assert!(base.contains_row(&w));
     }
 
     #[test]

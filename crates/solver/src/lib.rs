@@ -29,4 +29,4 @@ pub mod simplex;
 pub use error::SolverError;
 pub use linprog::{Constraint, ConstraintOp, LinearProgram, Sense};
 pub use milp::{solve_milp, MilpOptions, MilpProblem, MilpSolution};
-pub use simplex::{solve_lp, LpSolution};
+pub use simplex::{solve_lp, solve_lp_warm, LpSolution, WarmStart};

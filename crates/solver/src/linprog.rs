@@ -1,7 +1,7 @@
 use crate::SolverError;
 
 /// Optimization direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sense {
     /// Maximize the objective.
     Maximize,

@@ -1,4 +1,4 @@
-//! Dense two-phase primal simplex.
+//! Dense two-phase primal simplex with warm starts.
 //!
 //! The solver accepts the general [`LinearProgram`] model (arbitrary
 //! variable bounds, ≤ / ≥ / = rows, maximize or minimize) and reduces it to
@@ -8,6 +8,15 @@
 //! optimizes the real objective. Bland's rule is used throughout, which
 //! guarantees termination at the cost of some speed — the right trade-off
 //! for a bounding engine where correctness is the product.
+//!
+//! [`solve_lp_warm`] additionally accepts the final basis of a previous,
+//! structurally similar solve (a [`WarmStart`]). If that basis can be
+//! pivoted into the fresh tableau and is primal-feasible there, phase 1 is
+//! skipped entirely and phase 2 starts next to the old optimum — the
+//! payoff when a GROUP-BY loop solves a chain of LPs that differ only in
+//! a few coefficients. Any incompatibility (shape mismatch, singular
+//! pivot, infeasible basis) silently falls back to the cold two-phase
+//! path, so warm starting never affects the result, only the work.
 
 use crate::{ConstraintOp, LinearProgram, Sense, SolverError};
 
@@ -42,8 +51,31 @@ struct StdRow {
     rhs: f64,
 }
 
+/// An optimal basis carried from one solve to the next.
+///
+/// Opaque: obtained from [`solve_lp_warm`] and only meaningful for a
+/// later program that standardizes to the same tableau shape (same row
+/// count, same structural + slack column count). Mismatches are detected
+/// and degrade to a cold solve.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Basis column of each tableau row.
+    basis: Vec<usize>,
+    /// Structural + slack column count the basis refers to.
+    real_cols: usize,
+}
+
 /// Solve a linear program with the two-phase simplex method.
 pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, SolverError> {
+    solve_lp_warm(lp, None).map(|(solution, _)| solution)
+}
+
+/// Solve, optionally warm-starting from a previous solve's [`WarmStart`],
+/// and return this solve's final basis for the next one in the chain.
+pub fn solve_lp_warm(
+    lp: &LinearProgram,
+    warm: Option<&WarmStart>,
+) -> Result<(LpSolution, WarmStart), SolverError> {
     lp.validate()?;
     let n = lp.num_vars();
 
@@ -150,98 +182,138 @@ pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, SolverError> {
             n_slack += 1;
         }
     }
-    let total = ncols + n_slack + m; // upper bound on artificial count
+    let real_cols = ncols + n_slack;
+    let total = real_cols + m; // upper bound on artificial count
     let width = total + 1;
-    let mut a = vec![0.0; m * width];
-    let mut basis = vec![usize::MAX; m];
-    let mut slack_at = ncols;
-    let mut art_at = ncols + n_slack;
-    let mut artificials = Vec::new();
+    let build_tableau = || -> (Tableau, Vec<usize>) {
+        let mut a = vec![0.0; m * width];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_at = ncols;
+        let mut art_at = real_cols;
+        let mut artificials = Vec::new();
 
-    for (r, row) in rows.iter().enumerate() {
-        let (mut coefs, mut rhs) = (row.coefs.clone(), row.rhs);
-        let mut op = row.op;
-        if rhs < 0.0 {
-            for v in &mut coefs {
-                *v = -*v;
+        for (r, row) in rows.iter().enumerate() {
+            let (mut coefs, mut rhs) = (row.coefs.clone(), row.rhs);
+            let mut op = row.op;
+            if rhs < 0.0 {
+                for v in &mut coefs {
+                    *v = -*v;
+                }
+                rhs = -rhs;
+                op = match op {
+                    ConstraintOp::Le => ConstraintOp::Ge,
+                    ConstraintOp::Ge => ConstraintOp::Le,
+                    ConstraintOp::Eq => ConstraintOp::Eq,
+                };
             }
-            rhs = -rhs;
-            op = match op {
-                ConstraintOp::Le => ConstraintOp::Ge,
-                ConstraintOp::Ge => ConstraintOp::Le,
-                ConstraintOp::Eq => ConstraintOp::Eq,
-            };
+            for (j, &v) in coefs.iter().enumerate() {
+                a[r * width + j] = v;
+            }
+            a[r * width + total] = rhs;
+            match op {
+                ConstraintOp::Le => {
+                    a[r * width + slack_at] = 1.0;
+                    basis[r] = slack_at;
+                    slack_at += 1;
+                }
+                ConstraintOp::Ge => {
+                    a[r * width + slack_at] = -1.0;
+                    slack_at += 1;
+                    a[r * width + art_at] = 1.0;
+                    basis[r] = art_at;
+                    artificials.push(art_at);
+                    art_at += 1;
+                }
+                ConstraintOp::Eq => {
+                    a[r * width + art_at] = 1.0;
+                    basis[r] = art_at;
+                    artificials.push(art_at);
+                    art_at += 1;
+                }
+            }
         }
-        for (j, &v) in coefs.iter().enumerate() {
-            a[r * width + j] = v;
-        }
-        a[r * width + total] = rhs;
-        match op {
-            ConstraintOp::Le => {
-                a[r * width + slack_at] = 1.0;
-                basis[r] = slack_at;
-                slack_at += 1;
-            }
-            ConstraintOp::Ge => {
-                a[r * width + slack_at] = -1.0;
-                slack_at += 1;
-                a[r * width + art_at] = 1.0;
-                basis[r] = art_at;
-                artificials.push(art_at);
-                art_at += 1;
-            }
-            ConstraintOp::Eq => {
-                a[r * width + art_at] = 1.0;
-                basis[r] = art_at;
-                artificials.push(art_at);
-                art_at += 1;
-            }
-        }
-    }
-
-    let mut tab = Tableau {
-        a,
-        basis,
-        m,
-        total,
-        width,
-        blocked: Vec::new(),
+        (
+            Tableau {
+                a,
+                basis,
+                m,
+                total,
+                width,
+                blocked: Vec::new(),
+            },
+            artificials,
+        )
     };
 
-    // --- 4. Phase 1: drive artificials out. -------------------------------
-    if !artificials.is_empty() {
-        let mut cost = vec![0.0; total];
-        for &j in &artificials {
-            cost[j] = -1.0;
-        }
-        let value = tab.optimize(&cost)?;
-        if value < -1e-7 {
-            return Err(SolverError::Infeasible);
-        }
-        // Pivot any artificial still in the basis out (degenerate rows),
-        // or verify its value is zero.
-        for r in 0..tab.m {
-            if artificials.contains(&tab.basis[r]) {
-                let pivot_col = (0..ncols + n_slack)
-                    .find(|&j| tab.at(r, j).abs() > TOL && !artificials.contains(&j));
-                if let Some(j) = pivot_col {
-                    tab.pivot(r, j);
-                } else {
-                    // Row is all-zero over real columns: redundant.
-                    debug_assert!(tab.rhs(r).abs() <= 1e-7);
+    // --- 4a. Warm path: pivot the previous basis into a copy of the fresh
+    // tableau and skip phase 1 if it is still primal-feasible. The pristine
+    // build is kept so a failed crash falls through to the cold path
+    // without re-standardizing. --------------------------------------------
+    let (pristine, pristine_artificials) = build_tableau();
+    let mut warmed: Option<Tableau> = None;
+    if let Some(w) = warm {
+        if w.real_cols == real_cols && w.basis.len() == m {
+            let mut tab = pristine.clone();
+            let artificials = pristine_artificials.clone();
+            if crash_basis(&mut tab, &w.basis, real_cols) {
+                // Freeze artificial columns at zero exactly as a phase-1
+                // exit would (keeping the unit column of any artificial
+                // that stayed basic on a redundant row).
+                for &j in &artificials {
+                    for r in 0..tab.m {
+                        if tab.basis[r] != j {
+                            tab.set(r, j, 0.0);
+                        }
+                    }
                 }
+                tab.blocked = artificials;
+                warmed = Some(tab);
             }
         }
-        // Freeze artificial columns at zero so phase 2 never re-enters them.
-        for &j in &artificials {
-            for r in 0..tab.m {
-                if tab.basis[r] != j {
-                    tab.set(r, j, 0.0);
-                }
-            }
-        }
-        tab.blocked = artificials;
     }
+
+    // --- 4b. Cold path: phase 1 drives artificials out. -------------------
+    let mut tab = match warmed {
+        Some(tab) => tab,
+        None => {
+            let (mut tab, artificials) = (pristine, pristine_artificials);
+            if !artificials.is_empty() {
+                let mut cost = vec![0.0; total];
+                for &j in &artificials {
+                    cost[j] = -1.0;
+                }
+                let value = tab.optimize(&cost)?;
+                if value < -1e-7 {
+                    return Err(SolverError::Infeasible);
+                }
+                // Pivot any artificial still in the basis out (degenerate
+                // rows), or verify its value is zero.
+                for r in 0..tab.m {
+                    if artificials.contains(&tab.basis[r]) {
+                        let pivot_col = (0..real_cols)
+                            .find(|&j| tab.at(r, j).abs() > TOL && !artificials.contains(&j));
+                        if let Some(j) = pivot_col {
+                            tab.pivot(r, j);
+                        } else {
+                            // Row is all-zero over real columns: redundant.
+                            debug_assert!(tab.rhs(r).abs() <= 1e-7);
+                        }
+                    }
+                }
+                // Freeze artificial columns at zero so phase 2 never
+                // re-enters them.
+                for &j in &artificials {
+                    for r in 0..tab.m {
+                        if tab.basis[r] != j {
+                            tab.set(r, j, 0.0);
+                        }
+                    }
+                }
+                tab.blocked = artificials;
+            }
+            tab
+        }
+    };
 
     // --- 5. Phase 2: the real objective. ----------------------------------
     let mut cost = vec![0.0; total];
@@ -262,11 +334,82 @@ pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, SolverError> {
         };
     }
     let objective = (value + obj_const) * sign;
-    Ok(LpSolution { objective, x })
+    let next_warm = WarmStart {
+        basis: tab.basis.clone(),
+        real_cols,
+    };
+    Ok((LpSolution { objective, x }, next_warm))
+}
+
+/// Pivot `basis[r]` into row `r` for every row. Returns `true` only if
+/// every pivot element is usable and the resulting basic solution is
+/// primal-feasible — i.e. the tableau is ready for phase 2. A basis entry
+/// in the artificial range is allowed when it is that row's own artificial
+/// (a redundant row whose artificial stayed basic at zero in the previous
+/// solve); the row is left on its fresh artificial, and feasibility then
+/// requires its value to be ~0. On `false` the tableau is garbage and must
+/// be rebuilt.
+fn crash_basis(tab: &mut Tableau, basis: &[usize], real_cols: usize) -> bool {
+    let m = tab.m;
+    let mut assigned = vec![false; m];
+    let mut art_row = vec![false; m];
+    // Rows the previous solve left on an artificial (redundant rows):
+    // acceptable only on the row owning that artificial in the fresh
+    // tableau (identical construction order ⇒ identical column), where
+    // there is nothing to pivot.
+    for r in 0..m {
+        if basis[r] >= real_cols {
+            if tab.basis[r] != basis[r] {
+                return false;
+            }
+            assigned[r] = true;
+            art_row[r] = true;
+        }
+    }
+    // Eliminate each structural/slack basis column with free row choice
+    // (partial pivoting): the row labels of a basis are arbitrary, and the
+    // fresh tableau may have a zero exactly where the old tableau had the
+    // unit — only nonsingularity matters.
+    for &j in basis {
+        if j >= real_cols {
+            continue;
+        }
+        let row = (0..m).filter(|&r| !assigned[r]).max_by(|&a, &b| {
+            tab.at(a, j)
+                .abs()
+                .partial_cmp(&tab.at(b, j).abs())
+                .expect("no NaN in tableau")
+        });
+        let Some(row) = row else {
+            return false;
+        };
+        if tab.at(row, j).abs() <= TOL {
+            return false;
+        }
+        tab.pivot(row, j);
+        assigned[row] = true;
+    }
+    (0..m).all(|r| {
+        let rhs = tab.rhs(r);
+        if art_row[r] {
+            // A basic artificial is only sound if its row is redundant in
+            // *this* LP too: zero rhs AND all-zero over the real columns.
+            // Such a row can never change again (every future pivot
+            // multiplier against it is one of those zeros), so the
+            // artificial provably stays at 0. A merely-zero rhs is NOT
+            // enough — phase 2 could later grow the artificial through a
+            // negative entry in the entering column (its row skips the
+            // ratio test) and report an infeasible "optimum".
+            rhs.abs() <= 1e-7 && (0..real_cols).all(|j| tab.at(r, j).abs() <= 1e-7)
+        } else {
+            rhs >= -1e-7
+        }
+    })
 }
 
 /// Dense row-major simplex tableau in canonical form (basis columns are
 /// unit vectors).
+#[derive(Clone)]
 struct Tableau {
     a: Vec<f64>,
     basis: Vec<usize>,
@@ -508,6 +651,94 @@ mod tests {
         let s = solve_lp(&lp).unwrap();
         assert!(lp.is_feasible(&s.x, 1e-6));
         assert_close(s.objective, 13.0);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_across_a_chain() {
+        // A chain of LPs differing only in objective and rhs — the
+        // group-by shape. Warm must agree with cold at every step.
+        let mut warm: Option<WarmStart> = None;
+        for step in 0..6 {
+            let shift = f64::from(step);
+            let mut lp = LinearProgram::maximize(vec![3.0 + shift, 5.0 - 0.3 * shift]);
+            lp.add_constraint(vec![(0, 1.0)], Le, 4.0 + shift);
+            lp.add_constraint(vec![(1, 2.0)], Le, 12.0);
+            lp.add_constraint(vec![(0, 3.0), (1, 2.0)], Le, 18.0 + shift);
+            let cold = solve_lp(&lp).unwrap();
+            let (hot, next) = solve_lp_warm(&lp, warm.as_ref()).unwrap();
+            assert!(
+                (cold.objective - hot.objective).abs() < 1e-6,
+                "step {step}: cold {} vs warm {}",
+                cold.objective,
+                hot.objective
+            );
+            warm = Some(next);
+        }
+    }
+
+    #[test]
+    fn warm_start_shape_mismatch_falls_back() {
+        let mut small = LinearProgram::maximize(vec![1.0]);
+        small.add_constraint(vec![(0, 1.0)], Le, 5.0);
+        let (_, warm) = solve_lp_warm(&small, None).unwrap();
+
+        // different variable and row counts: the stale basis must be
+        // ignored, not crash or corrupt the solve
+        let mut big = LinearProgram::maximize(vec![3.0, 5.0]);
+        big.add_constraint(vec![(0, 1.0)], Le, 4.0);
+        big.add_constraint(vec![(1, 2.0)], Le, 12.0);
+        big.add_constraint(vec![(0, 3.0), (1, 2.0)], Le, 18.0);
+        let (s, _) = solve_lp_warm(&big, Some(&warm)).unwrap();
+        assert_close(s.objective, 36.0);
+    }
+
+    #[test]
+    fn warm_start_with_ge_rows_skips_phase_one_when_feasible() {
+        let build = |rhs: f64| {
+            let mut lp = LinearProgram::minimize(vec![2.0, 3.0]);
+            lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, rhs);
+            lp.add_constraint(vec![(0, 1.0)], Ge, 1.0);
+            lp
+        };
+        let (first, warm) = solve_lp_warm(&build(4.0), None).unwrap();
+        assert_close(first.objective, 8.0);
+        // nearby rhs: the old optimal basis is still feasible
+        let (second, _) = solve_lp_warm(&build(5.0), Some(&warm)).unwrap();
+        assert_close(second.objective, 10.0);
+        // infeasible-for-the-old-basis jump must still solve correctly
+        let (third, _) = solve_lp_warm(&build(0.5), Some(&warm)).unwrap();
+        assert_close(third.objective, 2.0);
+    }
+
+    #[test]
+    fn warm_start_from_redundant_row_basis_stays_sound() {
+        // LP1 has a duplicated Eq row, so its optimal basis keeps an
+        // artificial basic at zero on the redundant row. LP2 has the same
+        // shape but independent rows: a naive crash that accepts the basic
+        // artificial lets phase 2 grow it and report an infeasible
+        // objective (3 instead of the true optimum 1). The warm solve must
+        // match the cold solve exactly.
+        let mut lp1 = LinearProgram::maximize(vec![0.0, 0.0, 1.0]);
+        lp1.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Eq, 3.0);
+        lp1.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Eq, 3.0);
+        let (s1, warm) = solve_lp_warm(&lp1, None).unwrap();
+        assert_close(s1.objective, 3.0);
+
+        let mut lp2 = LinearProgram::maximize(vec![0.0, 0.0, 1.0]);
+        lp2.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Eq, 3.0);
+        lp2.add_constraint(vec![(0, 1.0), (1, 2.0), (2, -1.0)], Eq, 3.0);
+        let cold = solve_lp(&lp2).unwrap();
+        assert_close(cold.objective, 1.0);
+        let (hot, _) = solve_lp_warm(&lp2, Some(&warm)).unwrap();
+        assert_close(hot.objective, 1.0);
+        assert!(
+            lp2.is_feasible(&hot.x, 1e-6),
+            "warm solution must satisfy LP2"
+        );
+
+        // and a genuinely redundant successor may still reuse the basis
+        let (again, _) = solve_lp_warm(&lp1, Some(&warm)).unwrap();
+        assert_close(again.objective, 3.0);
     }
 
     #[test]

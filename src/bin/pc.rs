@@ -17,8 +17,16 @@
 //! * `--query` — a SQL aggregate query (see `pc_storage::sql`).
 //! * `--combine` — add the certain partition's exact answer to the
 //!   missing-data range (SUM/COUNT only).
+//! * `--group-by COL` — bound the query once per distinct value of `COL`
+//!   (dictionary codes for categorical columns, observed values
+//!   otherwise), via the engine's shared-decomposition group-by path.
+//! * `--threads N` — worker threads for parallel decomposition and
+//!   parallel groups (`0` = auto-detect, `1` = sequential; bounds are
+//!   identical at any setting).
+//! * `--per-key-groupby` — disable the shared-decomposition group-by
+//!   (A/B baseline: one full decomposition per group).
 
-use predicate_constraints::core::{dsl, BoundEngine, BoundError};
+use predicate_constraints::core::{dsl, BoundEngine, BoundError, BoundOptions};
 use predicate_constraints::predicate::{AttrType, Schema};
 use predicate_constraints::storage::{evaluate, parse_query, table_from_csv, AggKind, Table};
 use std::process::ExitCode;
@@ -35,6 +43,9 @@ struct Args {
     constraints: Option<String>,
     query: Option<String>,
     combine: bool,
+    group_by: Option<String>,
+    threads: usize,
+    per_key_groupby: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +58,9 @@ fn parse_args() -> Result<Args, String> {
         constraints: None,
         query: None,
         combine: false,
+        group_by: None,
+        threads: 0,
+        per_key_groupby: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -55,6 +69,14 @@ fn parse_args() -> Result<Args, String> {
             "--constraints" => args.constraints = argv.next(),
             "--query" => args.query = argv.next(),
             "--combine" => args.combine = true,
+            "--group-by" => args.group_by = argv.next(),
+            "--threads" => {
+                let v = argv.next().ok_or("--threads needs a value")?;
+                args.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: `{v}` is not a number"))?;
+            }
+            "--per-key-groupby" => args.per_key_groupby = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -155,7 +177,60 @@ fn main() -> ExitCode {
                 Ok(q) => q,
                 Err(e) => return fail(&e.to_string()),
             };
-            let report = match BoundEngine::new(&set).bound(&query) {
+            let options = BoundOptions {
+                threads: args.threads,
+                shared_group_by: !args.per_key_groupby,
+                ..BoundOptions::default()
+            };
+            let engine = BoundEngine::with_options(&set, options);
+
+            if let Some(group_col) = &args.group_by {
+                if args.combine {
+                    return fail(
+                        "--combine cannot be used with --group-by \
+                         (per-group certain-partition offsets are not supported yet)",
+                    );
+                }
+                let Some(attr) = table.schema().index_of(group_col) else {
+                    return fail(&format!("--group-by: no column named `{group_col}`"));
+                };
+                let keys: Vec<f64> = match table.dictionary(attr) {
+                    // categorical: every dictionary code is a group
+                    Some(dict) => (0..dict.len()).map(|c| c as f64).collect(),
+                    // numeric: the distinct observed values
+                    None => {
+                        let mut vals: Vec<f64> =
+                            (0..table.len()).map(|r| table.encoded(r, attr)).collect();
+                        vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN keys"));
+                        vals.dedup();
+                        vals
+                    }
+                };
+                if keys.is_empty() {
+                    return fail("--group-by: no group keys found in the data");
+                }
+                println!("{sql} GROUP BY {group_col}");
+                for group in engine.bound_group_by(&query, attr, keys) {
+                    let label = table
+                        .dictionary(attr)
+                        .and_then(|d| d.label(group.key as u32))
+                        .map(str::to_string)
+                        .unwrap_or_else(|| group.key.to_string());
+                    match group.report {
+                        Ok(r) => {
+                            let tag = if r.closed { "" } else { "  (not closed)" };
+                            println!("{label}: [{}, {}]{tag}", r.range.lo, r.range.hi);
+                        }
+                        Err(BoundError::EmptyAggregate) => {
+                            println!("{label}: empty (no missing row can reach this group)");
+                        }
+                        Err(e) => println!("{label}: error: {e}"),
+                    }
+                }
+                return ExitCode::SUCCESS;
+            }
+
+            let report = match engine.bound(&query) {
                 Ok(r) => r,
                 Err(BoundError::EmptyAggregate) => {
                     println!("EMPTY: no missing row can match this query");

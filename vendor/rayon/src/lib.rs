@@ -1,0 +1,86 @@
+//! Vendored, std-only stand-in for the small slice of the `rayon` API the
+//! workspace uses. The build container is offline with an empty registry,
+//! so the real crate cannot be fetched.
+//!
+//! [`join`] provides genuine fork/join parallelism via `std::thread::scope`
+//! — the second closure runs on a freshly spawned scoped thread while the
+//! first runs on the caller's thread. There is no work-stealing pool;
+//! callers are expected to fan out only at the top of their recursion.
+//! The decomposition driver forks at the top `⌈log₂ threads⌉` levels by
+//! default (≈ `threads − 1` short-lived threads at once) and clamps an
+//! explicit depth override to `⌈log₂ threads⌉ + 2`, so concurrent spawned
+//! threads stay within ≈ 4× the requested thread count — the right
+//! trade-off for coarse-grained subtree work.
+
+use std::thread;
+
+/// Run `a` and `b`, potentially in parallel, returning both results.
+///
+/// `b` executes on a scoped thread; `a` executes on the current thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let handle = s.spawn(b);
+        let ra = a();
+        let rb = handle.join().expect("rayon-shim: joined closure panicked");
+        (ra, rb)
+    })
+}
+
+/// Number of threads worth fanning out to: the machine's available
+/// parallelism, overridable with `RAYON_NUM_THREADS` (0 or unset = auto).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_parallel_side_effects() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let (l, r) = join(
+            || xs[..500].iter().sum::<u64>(),
+            || xs[500..].iter().sum::<u64>(),
+        );
+        assert_eq!(l + r, 499_500);
+    }
+
+    #[test]
+    fn nested_joins() {
+        fn sum(lo: u64, hi: u64, depth: usize) -> u64 {
+            if depth == 0 || hi - lo < 2 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| sum(lo, mid, depth - 1), || sum(mid, hi, depth - 1));
+            a + b
+        }
+        assert_eq!(sum(0, 10_000, 3), (0..10_000).sum::<u64>());
+    }
+
+    #[test]
+    fn thread_count_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
