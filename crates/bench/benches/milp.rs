@@ -1,0 +1,151 @@
+//! Criterion bench for the branch & bound MILP solver: cold vs
+//! warm-started node relaxations, sequential vs work-stealing-parallel
+//! search.
+//!
+//! The workload is a batch of PC-allocation-shaped problems — `max u·x`
+//! over random subset rows `Σ_{i∈S} xᵢ ≤ ku` with box bounds `0 ≤ xᵢ ≤ 4`
+//! — with *fractional* row capacities, so every relaxation sits at a
+//! fractional vertex and the search genuinely branches (integral-data
+//! instances solve at the root and would benchmark nothing).
+//!
+//! Parallel ids carry the pool size (`…_par_4w` = 4 workers): the global
+//! pool is sized once per process from `RAYON_NUM_THREADS` / the
+//! machine, so "1 vs N threads" here is sequential mode vs the whole
+//! pool. On a single-core container the parallel rows only measure task
+//! overhead; the scaling signal needs the multi-core CI runner (see
+//! `BENCH_milp.json`'s host note).
+//!
+//! Set `PC_BENCH_JSON=/path/file.json` to append machine-readable results
+//! (the repo's `BENCH_milp.json` is produced this way).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_solver::{solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random allocation-shaped MILP that forces real branching. Like the
+/// paper's §4.2 programs it mixes `Σ x ≤ ku` caps with `Σ x ≥ kl` floors
+/// (frequency lower bounds): the floors are what make phase 1 non-trivial
+/// at every node — an all-slack basis is infeasible, a cold solve pays
+/// artificial elimination, and the warm path's crash + dual restore
+/// skips it.
+fn try_alloc_problem(nvars: usize, nrows: usize, seed: u64) -> MilpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u: Vec<f64> = (0..nvars)
+        .map(|_| rng.gen_range(1..20) as f64 + 0.99)
+        .collect();
+    let mut lp = LinearProgram::maximize(u);
+    for i in 0..nvars {
+        lp.set_bounds(i, 0.0, 4.0);
+    }
+    for row in 0..nrows {
+        let k = rng.gen_range(2..=(nvars / 2).max(2));
+        let mut members: Vec<usize> = (0..nvars).collect();
+        // partial Fisher–Yates: the first k entries are a random subset
+        for i in 0..k {
+            let j = rng.gen_range(i..nvars);
+            members.swap(i, j);
+        }
+        let terms: Vec<(usize, f64)> = members[..k].iter().map(|&i| (i, 1.0)).collect();
+        // fractional capacity: the relaxation can never sit integral here
+        let ku = rng.gen_range(5..11) as f64 + 0.5;
+        if row % 3 != 0 {
+            // a frequency floor on the same membership
+            let kl = rng.gen_range(1..3) as f64;
+            lp.add_constraint(terms.clone(), ConstraintOp::Ge, kl);
+        }
+        lp.add_constraint(terms, ConstraintOp::Le, ku);
+    }
+    MilpProblem::all_integer(lp)
+}
+
+/// First `count` *solvable* instances from the seed stream (random floors
+/// can conflict across overlapping subsets; infeasible draws are skipped
+/// so every mode benches identical productive work).
+fn alloc_problems(nvars: usize, nrows: usize, count: usize) -> Vec<(MilpProblem, f64)> {
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while out.len() < count {
+        let p = try_alloc_problem(nvars, nrows, seed);
+        seed += 1;
+        if let Ok(sol) = solve_milp(&p, MilpOptions::default()) {
+            out.push((p, sol.objective));
+        }
+    }
+    out
+}
+
+fn modes() -> Vec<(String, MilpOptions)> {
+    let pool = rayon::current_num_threads();
+    vec![
+        (
+            "cold_seq".into(),
+            MilpOptions {
+                threads: 1,
+                warm_start: false,
+                ..MilpOptions::default()
+            },
+        ),
+        (
+            "warm_seq".into(),
+            MilpOptions {
+                threads: 1,
+                warm_start: true,
+                ..MilpOptions::default()
+            },
+        ),
+        (
+            format!("cold_par_{pool}w"),
+            MilpOptions {
+                threads: 0,
+                warm_start: false,
+                ..MilpOptions::default()
+            },
+        ),
+        (
+            format!("warm_par_{pool}w"),
+            MilpOptions {
+                threads: 0,
+                warm_start: true,
+                ..MilpOptions::default()
+            },
+        ),
+    ]
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let sizes = [(10usize, 8usize), (14, 12)];
+    let mut group = c.benchmark_group("milp_bnb");
+    group.sample_size(10);
+    for (nvars, nrows) in sizes {
+        let problems = alloc_problems(nvars, nrows, 4);
+        for (name, options) in modes() {
+            // sanity outside the timed region: every mode proves the same
+            // objective on every instance
+            for (p, want) in &problems {
+                let got = solve_milp(p, options).expect("solvable in every mode");
+                assert!(
+                    (got.objective - want).abs() < 1e-6,
+                    "{name}: {} vs {}",
+                    got.objective,
+                    want
+                );
+            }
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{nvars}x{nrows}")),
+                &problems,
+                |b, ps| {
+                    b.iter(|| {
+                        for (p, _) in ps {
+                            solve_milp(p, options).expect("solvable");
+                        }
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

@@ -67,6 +67,7 @@ fn bench_solvers(c: &mut Criterion) {
                         MilpOptions {
                             node_limit: 20_000,
                             best_effort: true,
+                            ..MilpOptions::default()
                         },
                     )
                     .expect("milp")

@@ -32,14 +32,14 @@ use pc_solver::{
     MilpProblem, Sense, WarmStart,
 };
 use pc_storage::{AggKind, AggQuery};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Below this many constraints a decomposition never fans out across
-/// threads: the include/exclude tree is too small to amortize spawning.
-pub const PARALLEL_MIN_CONSTRAINTS: usize = 10;
+/// threads: the include/exclude tree is too small to be worth exposing to
+/// the pool at all (forks are deque pushes now, but an Arc'd region and a
+/// merge step per fork still cost more than a handful of SAT checks).
+pub const PARALLEL_MIN_CONSTRAINTS: usize = 8;
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy)]
@@ -60,14 +60,20 @@ pub struct BoundOptions {
     pub lp_relax_cell_limit: usize,
     /// Worker threads for decomposition fan-out and parallel GROUP-BY
     /// groups. `0` = auto-detect the machine's parallelism, `1` = strictly
-    /// sequential. Bounds (and decomposed cells) are identical across
-    /// thread counts; only the work counters in
-    /// [`DecomposeStats`] may differ (`parallel_subtrees`, and GROUP-BY
-    /// `sat_checks` — per-chunk specialization memos re-pay checks at
-    /// chunk boundaries).
+    /// sequential (also forcing the allocation MILP sequential — see
+    /// [`MilpOptions::threads`] for the solver-level knob, which inherits
+    /// this value unless set explicitly). Decomposed cells are
+    /// bit-identical across thread counts and bounds agree up to the
+    /// branch & bound pruning tolerance (~1e-6 — a parallel search may
+    /// prune a node that would have improved the incumbent by less than
+    /// that, exactly as a sequential search may in a different order).
+    /// Work counters in [`DecomposeStats`] may differ
+    /// (`parallel_subtrees`, and GROUP-BY `sat_checks` — two group tasks
+    /// racing on the same uncached specialization both pay the check).
     pub threads: usize,
-    /// Explicit decomposition fan-out depth; `None` derives
-    /// `⌈log₂ threads⌉`. See [`Parallelism::depth`].
+    /// Optional cap on the decomposition fork depth; `None` (default)
+    /// forks every split above the sequential cutoff. See
+    /// [`Parallelism::depth`].
     pub parallel_depth: Option<usize>,
     /// GROUP-BY strategy: decompose once against the base query and
     /// specialize the surviving cells per group key (with simplex warm
@@ -78,8 +84,11 @@ pub struct BoundOptions {
     /// shared path may admit more unverified cells and report wider
     /// ranges. Disable to A/B the fast path against the naive one.
     pub shared_group_by: bool,
-    /// Chain simplex warm starts between consecutive groups of a GROUP-BY
-    /// (LP paths only; MILP branch & bound always solves cold).
+    /// Chain simplex warm starts between related LP solves: consecutive
+    /// groups of a GROUP-BY, the probes of one AVG binary search, and —
+    /// through [`MilpOptions::warm_start`] — parent-to-child node
+    /// relaxations inside branch & bound. Disabling this turns all of
+    /// them off.
     pub warm_start: bool,
 }
 
@@ -146,10 +155,14 @@ pub struct BoundReport {
 /// is only offered to a structurally compatible successor.
 type WarmKey = (Sense, bool, usize, usize);
 
-/// Shared, single-threaded warm-start store for one chain of related
-/// bounding calls (one GROUP-BY chunk). `Rc<RefCell>`: chains never cross
-/// threads — each parallel chunk owns its own store.
-pub(crate) type WarmCache = Rc<RefCell<HashMap<WarmKey, WarmStart>>>;
+/// Shared warm-start store for one chain of related bounding calls (a
+/// standalone `bound()`, or the groups one pool worker solves in a
+/// GROUP-BY). `Arc<Mutex>`: chains are *effectively* single-threaded —
+/// the GROUP-BY driver hands each worker its own store — but group tasks
+/// are stealable, so the store must tolerate whichever thread ends up
+/// running the task. The mutex is uncontended in that design; a stale or
+/// racing basis can cost a cold fallback, never correctness.
+pub(crate) type WarmCache = Arc<Mutex<HashMap<WarmKey, WarmStart>>>;
 
 /// The cell allocation problem shared by every aggregate.
 pub(crate) struct CellProblem {
@@ -200,7 +213,7 @@ impl<'a> BoundEngine<'a> {
         // AVG binary search runs ~80 feasibility probes); give it its own
         // warm-start chain.
         let warm = if self.options.warm_start {
-            Some(Rc::new(RefCell::new(HashMap::new())))
+            Some(Arc::new(Mutex::new(HashMap::new())))
         } else {
             None
         };
@@ -497,7 +510,7 @@ impl<'a> BoundEngine<'a> {
             // `BoundOptions::lp_relax_cell_limit`.
             return Ok(self.solve_lp_maybe_warm(p, &lp, sense, extra_min_total)?);
         }
-        match solve_milp(&MilpProblem::all_integer(lp.clone()), self.options.milp) {
+        match solve_milp(&MilpProblem::all_integer(lp.clone()), self.milp_options()) {
             Ok(sol) => Ok(sol.objective),
             // A pathological branch & bound tree is not a reason to fail a
             // *bounding* call: the LP relaxation dominates the integer
@@ -506,6 +519,31 @@ impl<'a> BoundEngine<'a> {
                 Ok(self.solve_lp_maybe_warm(p, &lp, sense, extra_min_total)?)
             }
             Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The branch & bound configuration for this engine's allocation
+    /// MILPs: the engine-level knobs flow into the solver-level ones, so
+    /// `BoundOptions { threads, warm_start }` configures the whole
+    /// vertical slice without callers knowing the solver has its own
+    /// knobs. A strictly sequential engine (`threads: 1`) forces a
+    /// sequential search; otherwise `milp.threads` left at its sequential
+    /// default inherits the engine's fan-out (set it explicitly to
+    /// decouple the two). `warm_start: false` disables node-to-node basis
+    /// reuse along with the LP chains — both engine knobs stay honest A/B
+    /// switches for the whole pipeline.
+    fn milp_options(&self) -> MilpOptions {
+        let threads = if self.options.threads == 1 {
+            1
+        } else if self.options.milp.threads == 1 {
+            self.options.threads
+        } else {
+            self.options.milp.threads
+        };
+        MilpOptions {
+            threads,
+            warm_start: self.options.warm_start && self.options.milp.warm_start,
+            ..self.options.milp
         }
     }
 
@@ -527,9 +565,9 @@ impl<'a> BoundEngine<'a> {
             return solve_lp(lp).map(|sol| sol.objective);
         };
         let key: WarmKey = (sense, extra_min_total, lp.num_vars(), lp.constraints.len());
-        let prior = cache.borrow().get(&key).cloned();
+        let prior = cache.lock().unwrap().get(&key).cloned();
         let (sol, basis) = solve_lp_warm(lp, prior.as_ref())?;
-        cache.borrow_mut().insert(key, basis);
+        cache.lock().unwrap().insert(key, basis);
         Ok(sol.objective)
     }
 

@@ -25,17 +25,21 @@
 //! # Parallelism
 //!
 //! The DFS strategies accept a [`Parallelism`] policy
-//! ([`decompose_with`]). The include/exclude tree is forked at the top
-//! `⌈log₂ threads⌉` levels: whenever *both* branches of a node survive
-//! within the fan-out depth, they run as independent subtrees
-//! (`rayon::join`), each accumulating into its own cell vector and
-//! [`DecomposeStats`], merged include-first afterwards — so the emitted
-//! cell order, the cells themselves, and every counter except
-//! [`DecomposeStats::parallel_subtrees`] are *identical* to the sequential
-//! run (property-tested in `tests/prop_decompose.rs`). The `X ∧ ¬Y`
+//! ([`decompose_with`]). Whenever *both* branches of a node survive and
+//! the remaining subtree is worth forking (more than
+//! [`PAR_SEQ_CUTOFF`] undecided constraints), they run as independent
+//! stealable tasks (`rayon::join` on the work-stealing pool), each
+//! accumulating into its own cell vector and [`DecomposeStats`], merged
+//! include-first afterwards — so the emitted cell order, the cells
+//! themselves, and every counter except
+//! [`DecomposeStats::parallel_subtrees`] are *identical* to the
+//! sequential run (property-tested in `tests/prop_decompose.rs`). Earlier
+//! versions clamped forking to the top `⌈log₂ threads⌉` levels because
+//! the backend spawned an OS thread per fork; with the pool a fork is a
+//! deque push, so every split above the sequential cutoff forks and the
+//! stealing discipline balances skewed subtrees on its own. The `X ∧ ¬Y`
 //! rewrite and prefix pruning are per-branch decisions and survive the
-//! split untouched. Nodes where only one branch survives descend without
-//! burning fan-out depth, so pruning-heavy trees still fill all threads.
+//! split untouched.
 //!
 //! # Allocation discipline
 //!
@@ -132,13 +136,23 @@ impl DecomposeStats {
     }
 }
 
+/// Minimum number of *undecided* constraints below a node for its
+/// include/exclude split to fork as pool tasks. Below this the subtree is
+/// at most `2^PAR_SEQ_CUTOFF` satisfiability checks — cheaper to finish
+/// inline than to make stealable.
+pub const PAR_SEQ_CUTOFF: usize = 3;
+
 /// How far to fan the decomposition DFS out across threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Parallelism {
     /// Worker threads to target. `0` = auto-detect
     /// (`rayon::current_num_threads`), `1` = sequential.
     pub threads: usize,
-    /// Explicit fan-out depth override. `None` derives `⌈log₂ threads⌉`.
+    /// Optional cap on the number of DFS levels (from the root) at which
+    /// forking is allowed. `None` (the default) forks at *every* split
+    /// with more than [`PAR_SEQ_CUTOFF`] undecided constraints — the
+    /// work-stealing pool makes forks cheap enough that a depth clamp is
+    /// pure tuning, kept for A/B experiments.
     pub depth: Option<usize>,
 }
 
@@ -149,7 +163,7 @@ impl Parallelism {
         depth: None,
     };
 
-    /// Auto-detected thread count, derived fan-out depth.
+    /// Auto-detected thread count, unlimited fork depth.
     pub const AUTO: Parallelism = Parallelism {
         threads: 0,
         depth: None,
@@ -164,22 +178,17 @@ impl Parallelism {
         }
     }
 
-    /// Levels of the DFS at which both-branch nodes fork. Capped by the
-    /// constraint count (deeper fan-out than the tree has levels is
-    /// meaningless). `threads: 1` always means sequential — an explicit
-    /// `depth` only overrides the *derived* `⌈log₂ threads⌉`, it cannot
-    /// re-enable forking on a sequential policy, and it is clamped to
-    /// `⌈log₂ threads⌉ + 2` (≤ 4× threads concurrent subtrees): the
-    /// backend spawns a real scoped thread per fork, so an unclamped
-    /// depth would translate into exponentially many live threads.
-    pub fn fan_out_depth(&self, n_constraints: usize) -> usize {
-        let threads = self.resolved_threads();
-        if threads <= 1 {
+    /// Levels of the DFS (counted from the root) at which both-branch
+    /// nodes may fork. `threads: 1` always means sequential — an explicit
+    /// `depth` cannot re-enable forking on a sequential policy. With
+    /// `depth: None` every level may fork; the per-node
+    /// [`PAR_SEQ_CUTOFF`] on remaining constraints is what keeps leaves
+    /// inline.
+    pub fn fork_levels(&self, n_constraints: usize) -> usize {
+        if self.resolved_threads() <= 1 {
             return 0;
         }
-        let log2 = (usize::BITS - (threads - 1).leading_zeros()) as usize;
-        let depth = self.depth.unwrap_or(log2).min(log2 + 2);
-        depth.min(n_constraints)
+        self.depth.unwrap_or(n_constraints).min(n_constraints)
     }
 }
 
@@ -267,12 +276,12 @@ pub fn decompose_with(
                     set,
                     rewrite,
                     stop_depth,
+                    fork_levels: par.fork_levels(n),
                 },
                 Arc::new(base.clone()),
                 Vec::new(),
                 ActiveSet::new(),
                 0,
-                par.fan_out_depth(n),
                 &mut cells,
                 &mut stats,
             );
@@ -288,12 +297,25 @@ struct Frame<'a> {
     set: &'a PcSet,
     rewrite: bool,
     stop_depth: usize,
+    /// DFS levels (from the root) at which both-branch nodes may fork; 0
+    /// means sequential.
+    fork_levels: usize,
+}
+
+impl Frame<'_> {
+    /// Fork the split at `idx`? Only within the allowed levels, and only
+    /// when the subtree still holds enough undecided constraints to
+    /// amortize a stealable task.
+    fn should_fork(&self, idx: usize) -> bool {
+        idx < self.fork_levels && self.set.len() - idx > PAR_SEQ_CUTOFF
+    }
 }
 
 /// DFS over include/exclude decisions for constraint `idx`, with the
 /// invariant that the current prefix (region ∧ ¬excluded) is satisfiable
-/// (or assumed so past `stop_depth`). Within the top `par_depth` levels a
-/// node whose branches *both* survive forks them across threads.
+/// (or assumed so past `stop_depth`). A node whose branches *both*
+/// survive forks them as stealable pool tasks whenever
+/// [`Frame::should_fork`] allows.
 #[allow(clippy::too_many_arguments)]
 fn dfs<'a>(
     frame: &Frame<'a>,
@@ -301,7 +323,6 @@ fn dfs<'a>(
     excluded: Vec<&'a Predicate>,
     active: ActiveSet,
     idx: usize,
-    par_depth: usize,
     cells: &mut Vec<Cell>,
     stats: &mut DecomposeStats,
 ) {
@@ -366,7 +387,7 @@ fn dfs<'a>(
     }
 
     match (include_sat, exclude_sat) {
-        (true, true) if par_depth > 0 => {
+        (true, true) if frame.should_fork(idx) => {
             // Fork: each subtree gets its own accumulator; merge
             // include-first so the output order matches sequential.
             let mut inc_active = active.clone();
@@ -386,7 +407,6 @@ fn dfs<'a>(
                         inc_excluded,
                         inc_active,
                         idx + 1,
-                        par_depth - 1,
                         &mut inc_out.0,
                         &mut inc_out.1,
                     )
@@ -398,7 +418,6 @@ fn dfs<'a>(
                         exc,
                         active,
                         idx + 1,
-                        par_depth - 1,
                         &mut exc_out.0,
                         &mut exc_out.1,
                     )
@@ -419,17 +438,14 @@ fn dfs<'a>(
                 excluded.clone(),
                 inc_active,
                 idx + 1,
-                par_depth,
                 cells,
                 stats,
             );
             let mut exc = excluded;
             exc.push(&pc.predicate);
-            dfs(frame, region, exc, active, idx + 1, par_depth, cells, stats);
+            dfs(frame, region, exc, active, idx + 1, cells, stats);
         }
         (true, false) => {
-            // Only one branch survives: descend without spending fan-out
-            // depth, so pruning-heavy trees still fill all threads.
             let mut inc_active = active;
             inc_active.insert(idx);
             dfs(
@@ -438,7 +454,6 @@ fn dfs<'a>(
                 excluded,
                 inc_active,
                 idx + 1,
-                par_depth,
                 cells,
                 stats,
             );
@@ -446,7 +461,7 @@ fn dfs<'a>(
         (false, true) => {
             let mut exc = excluded;
             exc.push(&pc.predicate);
-            dfs(frame, region, exc, active, idx + 1, par_depth, cells, stats);
+            dfs(frame, region, exc, active, idx + 1, cells, stats);
         }
         (false, false) => {}
     }
@@ -550,35 +565,50 @@ mod tests {
     }
 
     #[test]
-    fn fan_out_depth_derivation() {
-        assert_eq!(Parallelism::SEQUENTIAL.fan_out_depth(20), 0);
-        let p = |threads| Parallelism {
-            threads,
-            depth: None,
-        };
-        assert_eq!(p(2).fan_out_depth(20), 1);
-        assert_eq!(p(4).fan_out_depth(20), 2);
-        assert_eq!(p(5).fan_out_depth(20), 3);
-        assert_eq!(p(8).fan_out_depth(20), 3);
-        assert_eq!(p(8).fan_out_depth(2), 2, "capped by constraint count");
-        let explicit = Parallelism {
-            threads: 8,
-            depth: Some(5),
-        };
-        assert_eq!(explicit.fan_out_depth(20), 5);
-        // threads: 1 is sequential even with an explicit depth override
+    fn fork_levels_derivation() {
+        // sequential policies never fork, even with an explicit depth
+        assert_eq!(Parallelism::SEQUENTIAL.fork_levels(20), 0);
         let sequential_with_depth = Parallelism {
             threads: 1,
             depth: Some(3),
         };
-        assert_eq!(sequential_with_depth.fan_out_depth(20), 0);
-        // a runaway explicit depth is clamped near the derived depth
-        // instead of spawning exponentially many threads
-        let runaway = Parallelism {
-            threads: 2,
-            depth: Some(20),
+        assert_eq!(sequential_with_depth.fork_levels(20), 0);
+        // parallel policies fork at every level by default …
+        let p = |threads| Parallelism {
+            threads,
+            depth: None,
         };
-        assert_eq!(runaway.fan_out_depth(25), 3);
+        assert_eq!(p(2).fork_levels(20), 20);
+        assert_eq!(p(8).fork_levels(20), 20);
+        // … unless an explicit cap says otherwise (clamped to the tree)
+        let capped = Parallelism {
+            threads: 8,
+            depth: Some(5),
+        };
+        assert_eq!(capped.fork_levels(20), 5);
+        assert_eq!(capped.fork_levels(3), 3);
+    }
+
+    #[test]
+    fn sequential_cutoff_keeps_small_trees_inline() {
+        // a subtree of ≤ PAR_SEQ_CUTOFF undecided constraints never forks
+        let frame = |n: usize| Frame {
+            set: Box::leak(Box::new({
+                let mut s = PcSet::new(schema());
+                for i in 0..n {
+                    s.push(pc_on_utc(i as f64, i as f64 + 2.0));
+                }
+                s
+            })),
+            rewrite: true,
+            stop_depth: usize::MAX,
+            fork_levels: n,
+        };
+        let f = frame(PAR_SEQ_CUTOFF);
+        assert!(!f.should_fork(0), "tiny tree stays sequential");
+        let f = frame(PAR_SEQ_CUTOFF + 1);
+        assert!(f.should_fork(0), "root of a big tree forks");
+        assert!(!f.should_fork(1), "but its bottom levels do not");
     }
 
     #[test]

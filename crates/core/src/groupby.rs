@@ -16,10 +16,17 @@
 //!    misses the key's slice is dropped on an interval intersection, a
 //!    cell whose stored witness lies inside the slice is kept for free,
 //!    and only cells in between pay a satisfiability re-check of their
-//!    conjunction inside the slice;
-//! 3. solves groups across **threads** (contiguous chunks, preserving
-//!    output order), each chunk chaining **simplex warm starts** from one
-//!    group's LPs to the next ([`pc_solver::solve_lp_warm`]).
+//!    conjunction inside the slice (memoized across groups in one shared
+//!    store);
+//! 3. solves **every group as its own stealable task** on the
+//!    work-stealing pool, preserving output order. Earlier versions split
+//!    the keys into `threads` fixed chunks, so one slow group (a dense
+//!    slice paying a long branch & bound) stalled its whole chunk behind
+//!    a barrier; with per-group tasks idle workers steal the remaining
+//!    groups instead. Each pool worker chains **simplex warm starts**
+//!    ([`pc_solver::solve_lp_warm`]) from one group's LPs to the next
+//!    through a per-worker cache, so chains stay effectively
+//!    single-threaded without a barrier coupling them.
 //!
 //! Specialization is exact, not heuristic: the activity patterns
 //! satisfiable inside a slice are precisely the shared patterns whose
@@ -36,10 +43,8 @@ use crate::bounds::WarmCache;
 use crate::{BoundEngine, BoundError, BoundReport, Cell, DecomposeStats};
 use pc_predicate::{sat, Atom, Interval, Predicate, Region};
 use pc_storage::AggQuery;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The result range of one group.
 #[derive(Debug, Clone)]
@@ -103,31 +108,24 @@ impl BoundEngine<'_> {
         let base_closed = self.options.check_closure && self.set.is_closed_within(&base_region);
         let ctx = self.shared_ctx(&shared, group_attr, base_closed);
 
-        // 2–3. Specialize and solve per key, chunked across threads; each
-        // chunk owns a warm-start chain and a specialization memo.
+        // 2–3. Specialize and solve, one stealable task per key. The
+        // specialization memo is shared by every group; warm-start chains
+        // are per pool worker.
         let threads = self.group_threads(keys.len());
-        let solve_chunk = |chunk: &[f64]| -> Vec<GroupBound> {
-            let warm: Option<WarmCache> = self
-                .options
-                .warm_start
-                .then(|| Rc::new(RefCell::new(HashMap::new())));
-            let mut memo: SliceMemo = HashMap::new();
-            chunk
-                .iter()
-                .map(|&key| GroupBound {
-                    key,
-                    report: self.bound_group_slice(
-                        base,
-                        key,
-                        &ctx,
-                        &base_region,
-                        &mut memo,
-                        warm.clone(),
-                    ),
-                })
-                .collect()
+        let memo: Mutex<SliceMemo> = Mutex::new(HashMap::new());
+        let caches = WarmCaches::new(self.options.warm_start);
+        let solve = |key: f64| GroupBound {
+            key,
+            report: self.bound_group_slice(
+                base,
+                key,
+                &ctx,
+                &base_region,
+                &memo,
+                caches.for_current_worker(),
+            ),
         };
-        chunked_groups(&keys, threads, &solve_chunk)
+        pooled_groups(&keys, threads, &solve)
     }
 
     /// Precompute the per-cell facts every group reuses: for each cell,
@@ -189,8 +187,11 @@ impl BoundEngine<'_> {
 
     /// The pre-tentpole baseline: one full `bound()` per key. Used for A/B
     /// comparison (`shared_group_by: false`), as the property-test oracle,
-    /// and as the plan for mostly-key-local sets — which is why it still
-    /// honors `options.threads` by chunking keys like the shared path.
+    /// and as the plan for mostly-key-local sets — which is why it spreads
+    /// keys over the pool like the shared path. Per-key decompositions may
+    /// fork *inside* a group task too: nested fan-out lands on the same
+    /// work-stealing pool, so there is no thread oversubscription to
+    /// avoid (the old chunked driver pinned inner work to one thread).
     fn bound_group_by_per_key(
         &self,
         base: &AggQuery,
@@ -198,39 +199,18 @@ impl BoundEngine<'_> {
         keys: &[f64],
     ) -> Vec<GroupBound> {
         let threads = self.group_threads(keys.len());
-        // When the keys already fan out across threads, the per-key
-        // decompositions inside each chunk run sequentially — nesting a
-        // threads-wide decomposition inside threads-wide chunks would
-        // oversubscribe the machine threads²-fold (the backend has no
-        // shared pool).
-        let inner = if threads > 1 {
-            BoundEngine::with_options(
-                self.set,
-                crate::BoundOptions {
-                    threads: 1,
-                    ..self.options
-                },
-            )
-        } else {
-            BoundEngine::with_options(self.set, self.options)
+        let solve = |key: f64| {
+            let predicate = base
+                .predicate
+                .clone()
+                .and(Atom::new(group_attr, Interval::point(key)));
+            let query = AggQuery::new(base.agg, base.attr, predicate);
+            GroupBound {
+                key,
+                report: self.bound(&query),
+            }
         };
-        let solve_chunk = |chunk: &[f64]| -> Vec<GroupBound> {
-            chunk
-                .iter()
-                .map(|&key| {
-                    let predicate = base
-                        .predicate
-                        .clone()
-                        .and(Atom::new(group_attr, Interval::point(key)));
-                    let query = AggQuery::new(base.agg, base.attr, predicate);
-                    GroupBound {
-                        key,
-                        report: inner.bound(&query),
-                    }
-                })
-                .collect()
-        };
-        chunked_groups(keys, threads, &solve_chunk)
+        pooled_groups(keys, threads, &solve)
     }
 
     /// Bound one group from the shared decomposition.
@@ -240,7 +220,7 @@ impl BoundEngine<'_> {
         key: f64,
         ctx: &SharedCtx<'_>,
         base_region: &Region,
-        memo: &mut SliceMemo,
+        memo: &Mutex<SliceMemo>,
         warm: Option<WarmCache>,
     ) -> Result<BoundReport, BoundError> {
         let group_attr = ctx.group_attr;
@@ -306,14 +286,17 @@ impl BoundEngine<'_> {
     /// Decide satisfiability of `cell ∧ ¬exclusions` inside the slice at
     /// `key`, returning a witness. Memoized on (cell, group-active
     /// exclusion mask): a cached verdict transfers to any other key with
-    /// the same mask, with the witness's group coordinate remapped.
+    /// the same mask, with the witness's group coordinate remapped. The
+    /// memo is shared by every group task; two workers racing on the same
+    /// uncached mask both pay the check (last insert wins, verdicts are
+    /// equal), so concurrency can only add `sat_checks`, never miss one.
     fn slice_witness(
         &self,
         cell_idx: usize,
         key: f64,
         region: &Region,
         ctx: &SharedCtx<'_>,
-        memo: &mut SliceMemo,
+        memo: &Mutex<SliceMemo>,
         stats: &mut DecomposeStats,
     ) -> Option<Vec<f64>> {
         let relevant = &ctx.relevant_of[cell_idx];
@@ -336,16 +319,18 @@ impl BoundEngine<'_> {
                 mask |= 1 << bit;
             }
         }
-        if let Some(template) = memo.get(&(cell_idx, mask)) {
-            return template.as_ref().map(|t| {
-                let mut w = t.clone();
+        let cached = memo.lock().unwrap().get(&(cell_idx, mask)).cloned();
+        if let Some(template) = cached {
+            return template.map(|mut w| {
                 w[ctx.group_attr] = key;
                 w
             });
         }
         stats.sat_checks += 1;
         let witness = sat::find_witness(region, &negs);
-        memo.insert((cell_idx, mask), witness.clone());
+        memo.lock()
+            .unwrap()
+            .insert((cell_idx, mask), witness.clone());
         witness
     }
 
@@ -358,7 +343,6 @@ impl BoundEngine<'_> {
     /// that hoists key-local constraints out of the shared pass is the
     /// natural follow-up — see ROADMAP.)
     fn mostly_key_local(&self, group_attr: usize) -> bool {
-        let schema = self.set.schema();
         let n = self.set.len();
         if n == 0 {
             return false;
@@ -368,8 +352,10 @@ impl BoundEngine<'_> {
             .constraints()
             .iter()
             .filter(|pc| {
-                let region = pc.predicate.to_region(schema);
-                let iv = region.interval(group_attr);
+                // fold only the group-attribute atoms (like
+                // `shared_ctx`'s `g_iv_of`) — no full Region per
+                // constraint just to read one interval
+                let iv = pc.predicate.interval_for(group_attr);
                 iv.sup() == iv.inf()
             })
             .count();
@@ -402,48 +388,67 @@ struct SharedCtx<'a> {
     base_closed: bool,
 }
 
-/// Per-chunk specialization memo: (cell, group-active exclusion mask) →
-/// witness template (`None` = that cross-section is unsatisfiable).
+/// Shared specialization memo: (cell, group-active exclusion mask) →
+/// witness template (`None` = that cross-section is unsatisfiable). One
+/// mutex'd store serves every group of a GROUP-BY — a verdict computed
+/// for any key transfers to all keys with the same mask, regardless of
+/// which worker solved them.
 type SliceMemo = HashMap<(usize, u64), Option<Vec<f64>>>;
 
-/// Split `keys` into `threads` contiguous chunks, apply `solve_chunk` to
-/// each (in parallel when `threads > 1`), and concatenate in key order —
-/// the chunking driver shared by the shared-decomposition and per-key
-/// GROUP-BY paths.
-fn chunked_groups<F>(keys: &[f64], threads: usize, solve_chunk: &F) -> Vec<GroupBound>
-where
-    F: Fn(&[f64]) -> Vec<GroupBound> + Sync,
-{
-    if threads <= 1 {
-        return solve_chunk(keys);
-    }
-    let chunk_len = keys.len().div_ceil(threads);
-    let chunks: Vec<&[f64]> = keys.chunks(chunk_len).collect();
-    parallel_map_chunks(&chunks, solve_chunk)
-        .into_iter()
-        .flatten()
-        .collect()
+/// One warm-start cache per pool worker (plus one for the calling
+/// thread): groups solved on the same worker chain their simplex bases
+/// from one LP to the next without cross-thread contention, replacing the
+/// per-chunk `Rc<RefCell>` chains of the chunked driver.
+struct WarmCaches {
+    slots: Option<Vec<WarmCache>>,
 }
 
-/// Apply `f` to every chunk, fork/join style, preserving chunk order.
-fn parallel_map_chunks<'k, T, F>(chunks: &[&'k [f64]], f: &F) -> Vec<Vec<T>>
-where
-    T: Send,
-    F: Fn(&'k [f64]) -> Vec<T> + Sync,
-{
-    match chunks.len() {
-        0 => Vec::new(),
-        1 => vec![f(chunks[0])],
-        n => {
-            let (left, right) = chunks.split_at(n / 2);
-            let (mut lv, rv) = rayon::join(
-                || parallel_map_chunks(left, f),
-                || parallel_map_chunks(right, f),
-            );
-            lv.extend(rv);
-            lv
-        }
+impl WarmCaches {
+    fn new(enabled: bool) -> Self {
+        let slots = enabled.then(|| {
+            (0..=rayon::current_num_threads())
+                .map(|_| Arc::new(Mutex::new(HashMap::new())))
+                .collect()
+        });
+        WarmCaches { slots }
     }
+
+    /// The cache owned by the executing worker (last slot for calls from
+    /// outside the pool), or `None` when warm starting is disabled.
+    fn for_current_worker(&self) -> Option<WarmCache> {
+        let slots = self.slots.as_ref()?;
+        let i = rayon::current_thread_index().unwrap_or(slots.len() - 1);
+        Some(Arc::clone(&slots[i]))
+    }
+}
+
+/// Solve every key as its own stealable pool task, returning results in
+/// key order — the driver shared by the shared-decomposition and per-key
+/// GROUP-BY paths. No chunk barriers: a slow group delays only itself,
+/// and idle workers steal whatever groups remain.
+fn pooled_groups<F>(keys: &[f64], threads: usize, solve: &F) -> Vec<GroupBound>
+where
+    F: Fn(f64) -> GroupBound + Sync,
+{
+    if threads <= 1 || keys.len() <= 1 {
+        return keys.iter().map(|&key| solve(key)).collect();
+    }
+    let slots: Vec<Mutex<Option<GroupBound>>> = keys.iter().map(|_| Mutex::new(None)).collect();
+    rayon::scope(|s| {
+        for (slot, &key) in slots.iter().zip(keys) {
+            s.spawn(move |_| {
+                *slot.lock().unwrap() = Some(solve(key));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every group task ran to completion")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -548,9 +553,13 @@ mod tests {
             assert_eq!(s.key, p.key);
             match (&s.report, &p.report) {
                 (Ok(a), Ok(b)) => {
+                    // 1e-5, not 1e-6: with the pool auto-enabled the
+                    // allocation B&B may prune a node tying the incumbent
+                    // within its 1e-6 tolerance in one run and explore it
+                    // in the other
                     assert!(
-                        (a.range.lo - b.range.lo).abs() < 1e-6
-                            && (a.range.hi - b.range.hi).abs() < 1e-6,
+                        (a.range.lo - b.range.lo).abs() < 1e-5
+                            && (a.range.hi - b.range.hi).abs() < 1e-5,
                         "key {}: shared [{}, {}] vs per-key [{}, {}]",
                         s.key,
                         a.range.lo,

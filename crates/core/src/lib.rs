@@ -13,9 +13,10 @@
 //!    predicates into disjoint satisfiable cells, with the paper's four
 //!    optimizations: query-predicate pushdown, DFS prefix pruning, the
 //!    `X ∧ ¬Y` rewrite, and approximate early stopping — plus a parallel
-//!    fork/join driver ([`decompose::decompose_with`]) that fans the DFS
-//!    out across threads at the top `⌈log₂ threads⌉` levels with
-//!    bit-identical results, bitset cell signatures ([`ActiveSet`]), and
+//!    fork/join driver ([`decompose::decompose_with`]) that forks every
+//!    surviving include/exclude split above a small sequential cutoff as
+//!    stealable tasks on the work-stealing pool, with bit-identical
+//!    results, bitset cell signatures ([`ActiveSet`]), and
 //!    clone-on-tighten region sharing.
 //! 2. A **mixed-integer linear program** (§4.2) allocating rows to cells,
 //!    solved by `pc-solver`, with the greedy fast path for disjoint sets
@@ -90,6 +91,7 @@ pub use cell::{ActiveSet, Cell};
 pub use constraint::{FrequencyConstraint, PredicateConstraint, ValueConstraint};
 pub use decompose::{
     decompose, decompose_with, DecomposeError, DecomposeStats, Parallelism, Strategy,
+    PAR_SEQ_CUTOFF,
 };
 pub use dsl::{parse_constraint, parse_pcset};
 pub use error::BoundError;

@@ -1,24 +1,64 @@
-//! Branch & bound mixed-integer linear programming.
+//! Branch & bound mixed-integer linear programming — warm-started and
+//! parallel.
 //!
 //! The PC bounding problem (§4.2 of the paper) requires *integer* row
-//! allocations per cell. We solve it by depth-first branch & bound over the
-//! LP relaxation: at each node solve the relaxation with [`solve_lp`]; if
-//! the optimum is integral we have a candidate, otherwise branch on the
-//! most fractional variable with `x ≤ ⌊v⌋` and `x ≥ ⌈v⌉` children. Nodes
-//! whose relaxation bound cannot beat the incumbent are pruned. Because PC
-//! allocation problems have integer constraint data, the relaxation bound
-//! is additionally tightened by rounding.
+//! allocations per cell. We solve it by branch & bound over the LP
+//! relaxation: at each node solve the relaxation; if the optimum is
+//! integral we have a candidate, otherwise branch on the most fractional
+//! variable with `x ≤ ⌊v⌋` and `x ≥ ⌈v⌉` children. Nodes whose relaxation
+//! bound cannot beat the incumbent are pruned.
+//!
+//! Two engine-level optimizations ride on that classic skeleton:
+//!
+//! * **Warm starts down the tree** ([`MilpOptions::warm_start`]): a child
+//!   node's LP differs from its parent's by a single tightened variable
+//!   bound, so the parent's optimal simplex basis is threaded into
+//!   [`solve_lp_warm`] — when the basis is still primal-feasible, phase 1
+//!   is skipped entirely and phase 2 re-optimizes from next door. Basis
+//!   incompatibility (e.g. a down-branch materializing a new bound row)
+//!   silently degrades to a cold solve, so warm starting never changes
+//!   results, only work.
+//! * **Parallel search** ([`MilpOptions::threads`]): children are explored
+//!   as stealable tasks on the work-stealing pool (`rayon::join`), the
+//!   branch nearer the relaxation running hot on the current worker and
+//!   the far branch exposed for stealing. The incumbent objective is
+//!   shared through an [`AtomicU64`] (bit-cast `f64`) read lock-free at
+//!   every prune test, so a bound proven on one worker prunes subtrees on
+//!   all of them. The full incumbent updates under a mutex with
+//!   deterministic tie-breaking — among the incumbents actually offered,
+//!   equal objectives resolve to the lexicographically smaller solution
+//!   vector rather than to whichever worker got there first. (Which
+//!   optima are *offered* can still vary: a subtree tying the incumbent
+//!   within the pruning tolerance may be pruned in one schedule and
+//!   explored in another, so the returned `x` — and the objective, by at
+//!   most that tolerance — can differ run to run.) Every mode proves an
+//!   optimal objective up to the 1e-6 pruning tolerance; `threads: 1`
+//!   additionally fixes the exact node visit order (the classic DFS
+//!   stack).
 
-use crate::{simplex::solve_lp, LinearProgram, Sense, SolverError};
+use crate::simplex::{solve_lp_warm, WarmStart};
+use crate::{Sense, SolverError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Tolerance within which a value counts as integral.
 const INT_TOL: f64 = 1e-6;
 
-/// A mixed-integer program: a [`LinearProgram`] plus integrality flags.
+/// Objective difference below which two incumbents count as tied (and the
+/// lexicographically smaller solution vector wins).
+const TIE_TOL: f64 = 1e-12;
+
+/// Parallel recursion depth past which a subtree switches to the
+/// explicit-stack sequential search, bounding native stack growth on
+/// pathological branching chains.
+const PAR_DEPTH_LIMIT: usize = 64;
+
+/// A mixed-integer program: a [`LinearProgram`](crate::LinearProgram)
+/// plus integrality flags.
 #[derive(Debug, Clone)]
 pub struct MilpProblem {
     /// The relaxation.
-    pub lp: LinearProgram,
+    pub lp: crate::LinearProgram,
     /// `integer[i]` marks variable `i` as integral.
     pub integer: Vec<bool>,
 }
@@ -26,7 +66,7 @@ pub struct MilpProblem {
 impl MilpProblem {
     /// A problem where *all* variables are integers (the PC allocation
     /// case).
-    pub fn all_integer(lp: LinearProgram) -> Self {
+    pub fn all_integer(lp: crate::LinearProgram) -> Self {
         let n = lp.num_vars();
         MilpProblem {
             lp,
@@ -43,6 +83,15 @@ pub struct MilpOptions {
     /// If true, return the best incumbent when the node limit is reached
     /// instead of an error (the bound is then *approximate but feasible*).
     pub best_effort: bool,
+    /// Worker threads for the search: `1` (the default) runs the
+    /// deterministic sequential DFS; `0` or `≥ 2` explores children as
+    /// stealable tasks on the global work-stealing pool (the pool's size,
+    /// not this number, decides actual concurrency). Objective and
+    /// feasibility are identical in every mode.
+    pub threads: usize,
+    /// Thread each node's parent simplex basis into the child relaxation
+    /// (on by default). Never affects results, only work.
+    pub warm_start: bool,
 }
 
 impl Default for MilpOptions {
@@ -50,6 +99,8 @@ impl Default for MilpOptions {
         MilpOptions {
             node_limit: 50_000,
             best_effort: false,
+            threads: 1,
+            warm_start: true,
         }
     }
 }
@@ -68,6 +119,10 @@ pub struct MilpSolution {
     pub nodes: usize,
 }
 
+/// One node's accumulated bound overrides: `(var, lo, hi)` entries applied
+/// on top of the root LP.
+type Overrides = Vec<(usize, f64, f64)>;
+
 /// Solve a MILP by branch & bound.
 pub fn solve_milp(
     problem: &MilpProblem,
@@ -78,57 +133,178 @@ pub fn solve_milp(
             "integrality flags length must equal variable count".into(),
         ));
     }
-    let maximizing = problem.lp.sense == Sense::Maximize;
-    let mut incumbent: Option<(f64, Vec<f64>)> = None;
-    let mut nodes = 0usize;
-    // Stack of bound overrides: (var, lo, hi) lists per node.
-    let mut stack: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new()];
+    // Node warm starts pay when a cold node solve has a real phase 1 —
+    // i.e. some row standardizes with an artificial (Ge/Eq, or a Le whose
+    // negative rhs flips). An all-Le program starts feasible on its slack
+    // basis for free, so there the crash-and-restore machinery is pure
+    // per-node overhead; skip it. (Branching only tightens variable
+    // bounds, so the verdict holds for every node of the tree.)
+    let phase1_is_real = problem.lp.constraints.iter().any(|c| match c.op {
+        crate::ConstraintOp::Ge | crate::ConstraintOp::Eq => true,
+        crate::ConstraintOp::Le => c.rhs < 0.0,
+    });
+    let options = MilpOptions {
+        warm_start: options.warm_start && phase1_is_real,
+        ..options
+    };
+    let search = Search::new(problem, options);
+    if options.threads == 1 {
+        search.run_stack(Vec::new(), None);
+    } else {
+        search.run_parallel(Vec::new(), None, 0);
+    }
+    search.finish()
+}
 
-    while let Some(overrides) = stack.pop() {
-        if nodes >= options.node_limit {
-            return finish_limit(problem, incumbent, nodes, options);
+/// Shared state of one branch & bound search, readable from every worker.
+struct Search<'a> {
+    problem: &'a MilpProblem,
+    options: MilpOptions,
+    maximizing: bool,
+    /// Best incumbent objective, bit-cast, for lock-free prune tests.
+    /// Initialized to the sense's identity (−∞ / +∞) so "no incumbent"
+    /// never prunes.
+    best_bits: AtomicU64,
+    /// The full incumbent `(objective, x)`; tie-broken deterministically.
+    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    nodes: AtomicUsize,
+    limit_hit: AtomicBool,
+    failed: AtomicBool,
+    error: Mutex<Option<SolverError>>,
+}
+
+impl<'a> Search<'a> {
+    fn new(problem: &'a MilpProblem, options: MilpOptions) -> Self {
+        let maximizing = problem.lp.sense == Sense::Maximize;
+        let identity = if maximizing {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+        Search {
+            problem,
+            options,
+            maximizing,
+            best_bits: AtomicU64::new(identity.to_bits()),
+            incumbent: Mutex::new(None),
+            nodes: AtomicUsize::new(0),
+            limit_hit: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
         }
-        nodes += 1;
+    }
 
-        let mut lp = problem.lp.clone();
-        let mut conflict = false;
-        for &(var, lo, hi) in &overrides {
+    /// Claim the right to process one node, or flag the limit.
+    fn try_claim_node(&self) -> bool {
+        loop {
+            let n = self.nodes.load(Ordering::SeqCst);
+            if n >= self.options.node_limit {
+                self.limit_hit.store(true, Ordering::SeqCst);
+                return false;
+            }
+            if self
+                .nodes
+                .compare_exchange(n, n + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    fn record_error(&self, e: SolverError) {
+        let mut slot = self.error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.failed.store(true, Ordering::SeqCst);
+    }
+
+    fn aborted(&self) -> bool {
+        self.failed.load(Ordering::SeqCst)
+    }
+
+    fn best(&self) -> f64 {
+        f64::from_bits(self.best_bits.load(Ordering::Acquire))
+    }
+
+    /// `a` strictly better than `b` in the optimization direction.
+    fn better(&self, a: f64, b: f64) -> bool {
+        if self.maximizing {
+            a > b
+        } else {
+            a < b
+        }
+    }
+
+    /// Install `(obj, x)` as the incumbent if it beats the current one —
+    /// or ties it with a lexicographically smaller `x` (the deterministic
+    /// tie-break that makes the reported solution independent of worker
+    /// scheduling).
+    fn offer_incumbent(&self, obj: f64, x: Vec<f64>) {
+        let mut slot = self.incumbent.lock().unwrap();
+        let replace = match &*slot {
+            None => true,
+            Some((best, best_x)) => {
+                if self.better(obj, *best) {
+                    true
+                } else {
+                    (obj - best).abs() <= TIE_TOL && lex_less(&x, best_x)
+                }
+            }
+        };
+        if replace {
+            self.best_bits.store(obj.to_bits(), Ordering::Release);
+            *slot = Some((obj, x));
+        }
+    }
+
+    /// Solve one (already claimed) node. Returns branch instructions —
+    /// `(variable, fractional value, this node's basis)` — or `None` when
+    /// the node was pruned, infeasible, integral, or errored.
+    fn process_node(
+        &self,
+        overrides: &Overrides,
+        warm: Option<&WarmStart>,
+    ) -> Option<(usize, f64, Option<WarmStart>)> {
+        let mut lp = self.problem.lp.clone();
+        for &(var, lo, hi) in overrides {
             let (cur_lo, cur_hi) = lp.bounds[var];
             let new_lo = cur_lo.max(lo);
             let new_hi = cur_hi.min(hi);
             if new_lo > new_hi {
-                conflict = true;
-                break;
+                return None;
             }
             lp.set_bounds(var, new_lo, new_hi);
         }
-        if conflict {
-            continue;
-        }
 
-        let relax = match solve_lp(&lp) {
-            Ok(s) => s,
-            Err(SolverError::Infeasible) => continue,
-            Err(e) => return Err(e),
+        let warm = if self.options.warm_start { warm } else { None };
+        let (relax, basis) = match solve_lp_warm(&lp, warm) {
+            Ok(solved) => solved,
+            Err(SolverError::Infeasible) => return None,
+            Err(e) => {
+                self.record_error(e);
+                return None;
+            }
         };
 
-        // Prune by bound.
-        if let Some((best, _)) = &incumbent {
-            let bound = relax.objective;
-            let no_better = if maximizing {
-                bound <= *best + INT_TOL
-            } else {
-                bound >= *best - INT_TOL
-            };
-            if no_better {
-                continue;
-            }
+        // Prune by bound against the (possibly slightly stale) shared
+        // incumbent: staleness can only delay a prune, never cause one.
+        let best = self.best();
+        let bound = relax.objective;
+        let no_better = if self.maximizing {
+            bound <= best + INT_TOL
+        } else {
+            bound >= best - INT_TOL
+        };
+        if no_better {
+            return None;
         }
 
         // Find the most fractional integral variable.
         let mut branch_var = None;
         let mut worst_frac = INT_TOL;
-        for (i, (&is_int, &v)) in problem.integer.iter().zip(&relax.x).enumerate() {
+        for (i, (&is_int, &v)) in self.problem.integer.iter().zip(&relax.x).enumerate() {
             if !is_int {
                 continue;
             }
@@ -141,90 +317,156 @@ pub fn solve_milp(
 
         match branch_var {
             None => {
-                // Integral (within tolerance): round and accept as incumbent.
-                let mut x = relax.x.clone();
-                for (i, &is_int) in problem.integer.iter().enumerate() {
+                // Integral (within tolerance): round and offer as incumbent.
+                let mut x = relax.x;
+                for (i, &is_int) in self.problem.integer.iter().enumerate() {
                     if is_int {
                         x[i] = x[i].round();
                     }
                 }
-                let obj = problem.lp.objective_at(&x);
-                let better = match &incumbent {
-                    None => true,
-                    Some((best, _)) => {
-                        if maximizing {
-                            obj > *best
-                        } else {
-                            obj < *best
-                        }
-                    }
-                };
-                if better && problem.lp.is_feasible(&x, 1e-5) {
-                    incumbent = Some((obj, x));
+                let obj = self.problem.lp.objective_at(&x);
+                if self.problem.lp.is_feasible(&x, 1e-5) {
+                    self.offer_incumbent(obj, x);
                 }
+                None
             }
-            Some((var, v)) => {
-                let down = {
-                    let mut o = overrides.clone();
-                    o.push((var, f64::NEG_INFINITY, v.floor()));
-                    o
-                };
-                let up = {
-                    let mut o = overrides;
-                    o.push((var, v.ceil(), f64::INFINITY));
-                    o
-                };
-                // Explore the rounding direction closer to the relaxation
-                // first: better incumbents earlier → more pruning.
-                if v - v.floor() > 0.5 {
-                    stack.push(down);
-                    stack.push(up);
-                } else {
-                    stack.push(up);
-                    stack.push(down);
-                }
+            Some((var, v)) => Some((var, v, self.options.warm_start.then_some(basis))),
+        }
+    }
+
+    /// The two children of a branch, `(near, far)`: the rounding direction
+    /// closer to the relaxation first — better incumbents earlier, more
+    /// pruning.
+    fn children(overrides: Overrides, var: usize, v: f64) -> (Overrides, Overrides) {
+        let mut down = overrides.clone();
+        down.push((var, f64::NEG_INFINITY, v.floor()));
+        let mut up = overrides;
+        up.push((var, v.ceil(), f64::INFINITY));
+        if v - v.floor() > 0.5 {
+            (up, down)
+        } else {
+            (down, up)
+        }
+    }
+
+    /// Deterministic sequential DFS with an explicit stack (the near child
+    /// is pushed last, so it pops first — the pre-parallel visit order).
+    fn run_stack(&self, overrides: Overrides, warm: Option<Arc<WarmStart>>) {
+        let mut stack: Vec<(Overrides, Option<Arc<WarmStart>>)> = vec![(overrides, warm)];
+        while let Some((overrides, warm)) = stack.pop() {
+            if self.aborted() || !self.try_claim_node() {
+                return;
+            }
+            if let Some((var, v, basis)) = self.process_node(&overrides, warm.as_deref()) {
+                let basis = basis.map(Arc::new);
+                let (near, far) = Self::children(overrides, var, v);
+                stack.push((far, basis.clone()));
+                stack.push((near, basis));
             }
         }
     }
 
-    match incumbent {
-        Some((objective, x)) => Ok(MilpSolution {
-            objective,
-            x,
-            proven_optimal: true,
-            nodes,
-        }),
-        None => Err(SolverError::Infeasible),
+    /// Parallel exploration: the near child runs hot on this worker, the
+    /// far child becomes a stealable task. Deep chains fall back to the
+    /// stack search to bound recursion.
+    fn run_parallel(&self, overrides: Overrides, warm: Option<Arc<WarmStart>>, depth: usize) {
+        if depth >= PAR_DEPTH_LIMIT {
+            return self.run_stack(overrides, warm);
+        }
+        if self.aborted() || !self.try_claim_node() {
+            return;
+        }
+        let Some((var, v, basis)) = self.process_node(&overrides, warm.as_deref()) else {
+            return;
+        };
+        let basis = basis.map(Arc::new);
+        let (near, far) = Self::children(overrides, var, v);
+        let far_basis = basis.clone();
+        rayon::join(
+            || self.run_parallel(near, basis, depth + 1),
+            || self.run_parallel(far, far_basis, depth + 1),
+        );
+    }
+
+    fn finish(self) -> Result<MilpSolution, SolverError> {
+        if let Some(e) = self.error.into_inner().unwrap() {
+            return Err(e);
+        }
+        let nodes = self.nodes.into_inner();
+        let incumbent = self.incumbent.into_inner().unwrap();
+        if self.limit_hit.into_inner() {
+            if self.options.best_effort {
+                if let Some((objective, x)) = incumbent {
+                    return Ok(MilpSolution {
+                        objective,
+                        x,
+                        proven_optimal: false,
+                        nodes,
+                    });
+                }
+            }
+            return Err(SolverError::LimitExceeded(self.options.node_limit));
+        }
+        match incumbent {
+            Some((objective, x)) => Ok(MilpSolution {
+                objective,
+                x,
+                proven_optimal: true,
+                nodes,
+            }),
+            None => Err(SolverError::Infeasible),
+        }
     }
 }
 
-fn finish_limit(
-    problem: &MilpProblem,
-    incumbent: Option<(f64, Vec<f64>)>,
-    nodes: usize,
-    options: MilpOptions,
-) -> Result<MilpSolution, SolverError> {
-    if options.best_effort {
-        if let Some((objective, x)) = incumbent {
-            return Ok(MilpSolution {
-                objective,
-                x,
-                proven_optimal: false,
-                nodes,
-            });
+/// Strict lexicographic order on solution vectors (`total_cmp`, so ties
+/// resolve identically on every platform and schedule).
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
         }
     }
-    let _ = problem;
-    Err(SolverError::LimitExceeded(options.node_limit))
+    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ConstraintOp::*;
+    use crate::LinearProgram;
 
     fn assert_close(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Every (threads, warm_start) combination the engine supports.
+    fn all_modes() -> [MilpOptions; 4] {
+        let base = MilpOptions::default();
+        [
+            MilpOptions {
+                threads: 1,
+                warm_start: false,
+                ..base
+            },
+            MilpOptions {
+                threads: 1,
+                warm_start: true,
+                ..base
+            },
+            MilpOptions {
+                threads: 0,
+                warm_start: false,
+                ..base
+            },
+            MilpOptions {
+                threads: 0,
+                warm_start: true,
+                ..base
+            },
+        ]
     }
 
     #[test]
@@ -235,13 +477,16 @@ mod tests {
         for i in 0..4 {
             lp.set_bounds(i, 0.0, 1.0);
         }
-        let sol = solve_milp(&MilpProblem::all_integer(lp), MilpOptions::default()).unwrap();
-        assert_close(sol.objective, 21.0);
-        assert!(sol.proven_optimal);
-        assert_eq!(
-            sol.x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(),
-            vec![0, 1, 1, 1]
-        );
+        for options in all_modes() {
+            let sol = solve_milp(&MilpProblem::all_integer(lp.clone()), options).unwrap();
+            assert_close(sol.objective, 21.0);
+            assert!(sol.proven_optimal);
+            assert_eq!(
+                sol.x.iter().map(|v| v.round() as i64).collect::<Vec<_>>(),
+                vec![0, 1, 1, 1],
+                "{options:?}"
+            );
+        }
     }
 
     #[test]
@@ -278,10 +523,12 @@ mod tests {
         lp.add_constraint(vec![(0, 1.0)], Le, 100.0);
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 75.0);
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Le, 125.0);
-        let sol = solve_milp(&MilpProblem::all_integer(lp), MilpOptions::default()).unwrap();
-        assert_close(sol.objective, 50.0 * 129.99 + 75.0 * 149.99);
-        assert_close(sol.x[0], 50.0);
-        assert_close(sol.x[1], 75.0);
+        for options in all_modes() {
+            let sol = solve_milp(&MilpProblem::all_integer(lp.clone()), options).unwrap();
+            assert_close(sol.objective, 50.0 * 129.99 + 75.0 * 149.99);
+            assert_close(sol.x[0], 50.0);
+            assert_close(sol.x[1], 75.0);
+        }
     }
 
     #[test]
@@ -289,15 +536,16 @@ mod tests {
         // min x + y s.t. x + y ≥ 3.5, integers → 4
         let mut lp = LinearProgram::minimize(vec![1.0, 1.0]);
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 3.5);
-        let sol = solve_milp(&MilpProblem::all_integer(lp), MilpOptions::default()).unwrap();
-        assert_close(sol.objective, 4.0);
+        for options in all_modes() {
+            let sol = solve_milp(&MilpProblem::all_integer(lp.clone()), options).unwrap();
+            assert_close(sol.objective, 4.0);
+        }
     }
 
     #[test]
     fn mixed_integrality() {
-        // max x + y s.t. x + y ≤ 2.5, only x integral → x=2? no:
-        // y continuous can take 0.5, optimum 2.5 regardless; force x's
-        // integrality to matter: max 2x + y, x ≤ 1.5 → x = 1, y = 1.5 → 3.5
+        // max 2x + y, x ≤ 1.5, x + y ≤ 2.5, only x integral
+        // → x = 1, y = 1.5 → 3.5
         let mut lp = LinearProgram::maximize(vec![2.0, 1.0]);
         lp.add_constraint(vec![(0, 1.0)], Le, 1.5);
         lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Le, 2.5);
@@ -316,8 +564,10 @@ mod tests {
         // 0.4 ≤ x ≤ 0.6 has no integer point
         let mut lp = LinearProgram::maximize(vec![1.0]);
         lp.set_bounds(0, 0.4, 0.6);
-        let r = solve_milp(&MilpProblem::all_integer(lp), MilpOptions::default());
-        assert_eq!(r, Err(SolverError::Infeasible));
+        for options in all_modes() {
+            let r = solve_milp(&MilpProblem::all_integer(lp.clone()), options);
+            assert_eq!(r, Err(SolverError::Infeasible));
+        }
     }
 
     #[test]
@@ -329,8 +579,73 @@ mod tests {
             MilpOptions {
                 node_limit: 1,
                 best_effort: false,
+                ..MilpOptions::default()
             },
         );
         assert_eq!(r, Err(SolverError::LimitExceeded(1)));
+    }
+
+    #[test]
+    fn node_limit_best_effort_returns_incumbent() {
+        // enough nodes to find *an* integral point, not enough to prove
+        // optimality everywhere: the result must be feasible and flagged
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0, 7.0]);
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 5.0)], Le, 11.5);
+        for i in 0..3 {
+            lp.set_bounds(i, 0.0, 3.0);
+        }
+        let problem = MilpProblem::all_integer(lp.clone());
+        let full = solve_milp(&problem, MilpOptions::default()).unwrap();
+        let mut clipped = None;
+        for limit in 2..20 {
+            let r = solve_milp(
+                &problem,
+                MilpOptions {
+                    node_limit: limit,
+                    best_effort: true,
+                    ..MilpOptions::default()
+                },
+            );
+            if let Ok(sol) = r {
+                if !sol.proven_optimal {
+                    clipped = Some(sol);
+                    break;
+                }
+            }
+        }
+        let sol = clipped.expect("some limit clips the search with an incumbent");
+        assert!(lp.is_feasible(&sol.x, 1e-5));
+        assert!(sol.objective <= full.objective + 1e-6);
+    }
+
+    #[test]
+    fn warm_start_does_not_change_the_optimum() {
+        // a denser problem where warm starts genuinely engage
+        let mut lp = LinearProgram::maximize(vec![5.0, 4.0, 3.0, 6.0]);
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0), (3, 2.0)], Le, 9.5);
+        lp.add_constraint(vec![(0, 4.0), (1, 1.0), (2, 2.0)], Le, 10.5);
+        lp.add_constraint(vec![(1, 1.0), (2, 4.0), (3, 3.0)], Le, 8.5);
+        for i in 0..4 {
+            lp.set_bounds(i, 0.0, 4.0);
+        }
+        let problem = MilpProblem::all_integer(lp);
+        let cold = solve_milp(
+            &problem,
+            MilpOptions {
+                warm_start: false,
+                ..MilpOptions::default()
+            },
+        )
+        .unwrap();
+        let warm = solve_milp(
+            &problem,
+            MilpOptions {
+                warm_start: true,
+                ..MilpOptions::default()
+            },
+        )
+        .unwrap();
+        assert_close(cold.objective, warm.objective);
+        assert!(problem.lp.is_feasible(&warm.x, 1e-5));
     }
 }

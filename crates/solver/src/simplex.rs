@@ -246,13 +246,30 @@ pub fn solve_lp_warm(
     };
 
     // --- 4a. Warm path: pivot the previous basis into a copy of the fresh
-    // tableau and skip phase 1 if it is still primal-feasible. The pristine
-    // build is kept so a failed crash falls through to the cold path
-    // without re-standardizing. --------------------------------------------
+    // tableau and skip phase 1 if it can be made primal-feasible. The
+    // pristine build is kept so a failed crash falls through to the cold
+    // path without re-standardizing.
+    //
+    // A crashed basis that is *not* primal-feasible can still pay — but
+    // only when the cold alternative is expensive, i.e. the LP has Ge/Eq
+    // rows whose artificials force a real phase 1. That is exactly the
+    // branch & bound child shape: the parent's *optimal* basis revisited
+    // after one variable bound tightened keeps its reduced costs ≤ 0
+    // (costs unchanged), so a few dual simplex pivots restore
+    // feasibility. For an all-Le program the slack basis is feasible for
+    // free, a cold start pays no phase 1, and both the crash and a
+    // dual restore of a stale chain basis (whose dual feasibility a *new
+    // objective* voids anyway) are pure overhead — so there the warm
+    // basis is only used when it crashes in primal-feasible as-is. ---------
     let (pristine, pristine_artificials) = build_tableau();
+    // Phase-2 cost vector, built early: the dual restore prices entering
+    // columns against it.
+    let mut cost = vec![0.0; total];
+    cost[..ncols].copy_from_slice(&c);
     let mut warmed: Option<Tableau> = None;
     if let Some(w) = warm {
         if w.real_cols == real_cols && w.basis.len() == m {
+            let phase1_is_costly = !pristine_artificials.is_empty();
             let mut tab = pristine.clone();
             let artificials = pristine_artificials.clone();
             if crash_basis(&mut tab, &w.basis, real_cols) {
@@ -267,7 +284,9 @@ pub fn solve_lp_warm(
                     }
                 }
                 tab.blocked = artificials;
-                warmed = Some(tab);
+                if tab.primal_feasible() || (phase1_is_costly && tab.dual_restore(&cost)) {
+                    warmed = Some(tab);
+                }
             }
         }
     }
@@ -316,8 +335,6 @@ pub fn solve_lp_warm(
     };
 
     // --- 5. Phase 2: the real objective. ----------------------------------
-    let mut cost = vec![0.0; total];
-    cost[..ncols].copy_from_slice(&c);
     let value = tab.optimize(&cost)?;
 
     // --- 6. Recover the original variables. -------------------------------
@@ -342,13 +359,14 @@ pub fn solve_lp_warm(
 }
 
 /// Pivot `basis[r]` into row `r` for every row. Returns `true` only if
-/// every pivot element is usable and the resulting basic solution is
-/// primal-feasible — i.e. the tableau is ready for phase 2. A basis entry
-/// in the artificial range is allowed when it is that row's own artificial
+/// every pivot element is usable and any artificial-basic rows are sound
+/// (see below) — the caller then decides whether the basic solution is
+/// primal-feasible as-is or needs a dual restore first. A basis entry in
+/// the artificial range is allowed when it is that row's own artificial
 /// (a redundant row whose artificial stayed basic at zero in the previous
-/// solve); the row is left on its fresh artificial, and feasibility then
-/// requires its value to be ~0. On `false` the tableau is garbage and must
-/// be rebuilt.
+/// solve); the row is left on its fresh artificial, and soundness then
+/// requires its value to be ~0 with no live real coefficients. On `false`
+/// the tableau is garbage and must be rebuilt.
 fn crash_basis(tab: &mut Tableau, basis: &[usize], real_cols: usize) -> bool {
     let m = tab.m;
     let mut assigned = vec![false; m];
@@ -390,7 +408,6 @@ fn crash_basis(tab: &mut Tableau, basis: &[usize], real_cols: usize) -> bool {
         assigned[row] = true;
     }
     (0..m).all(|r| {
-        let rhs = tab.rhs(r);
         if art_row[r] {
             // A basic artificial is only sound if its row is redundant in
             // *this* LP too: zero rhs AND all-zero over the real columns.
@@ -400,9 +417,11 @@ fn crash_basis(tab: &mut Tableau, basis: &[usize], real_cols: usize) -> bool {
             // enough — phase 2 could later grow the artificial through a
             // negative entry in the entering column (its row skips the
             // ratio test) and report an infeasible "optimum".
-            rhs.abs() <= 1e-7 && (0..real_cols).all(|j| tab.at(r, j).abs() <= 1e-7)
+            tab.rhs(r).abs() <= 1e-7 && (0..real_cols).all(|j| tab.at(r, j).abs() <= 1e-7)
         } else {
-            rhs >= -1e-7
+            // Negative rhs here is *recoverable* (dual restore), not a
+            // reason to scrap the crash.
+            true
         }
     })
 }
@@ -459,6 +478,74 @@ impl Tableau {
             }
         }
         self.basis[row] = col;
+    }
+
+    /// All basic values non-negative (within the feasibility tolerance)?
+    fn primal_feasible(&self) -> bool {
+        (0..self.m).all(|r| self.rhs(r) >= -1e-7)
+    }
+
+    /// Dual simplex pivots from a (near-)dual-feasible basis: repeatedly
+    /// pivot the most negative basic value out, entering the column that
+    /// keeps reduced costs non-positive (min ratio `dⱼ / a_rⱼ` over
+    /// `a_rⱼ < 0`, index tie-break). This is the warm-start workhorse for
+    /// branch & bound: a parent-optimal basis stays dual-feasible after a
+    /// child tightens one variable bound, so feasibility comes back in a
+    /// handful of pivots instead of a cold phase 1.
+    ///
+    /// Returns `true` when primal feasibility was restored. `false` —
+    /// no entering column (the child LP is likely infeasible, but the
+    /// cold path is the arbiter of that) or the iteration cap — means
+    /// "give up, rebuild cold"; correctness never depends on this
+    /// succeeding, because the caller always follows with the primal
+    /// [`Tableau::optimize`] from a feasible basis or a cold rebuild.
+    fn dual_restore(&mut self, cost: &[f64]) -> bool {
+        let iter_limit = 100 + 10 * (self.m + self.total);
+        for _ in 0..iter_limit {
+            // Leaving row: most negative basic value.
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..self.m {
+                let v = self.rhs(r);
+                if v < -1e-7 && leave.is_none_or(|(_, worst)| v < worst) {
+                    leave = Some((r, v));
+                }
+            }
+            let Some((row, _)) = leave else {
+                return true;
+            };
+            // Entering column: among negative entries of the leaving row,
+            // the one whose reduced cost-to-entry ratio is smallest keeps
+            // d ≤ 0 everywhere after the pivot.
+            let mut enter: Option<(usize, f64)> = None;
+            for j in 0..self.total {
+                if self.blocked.contains(&j) {
+                    continue;
+                }
+                let arj = self.at(row, j);
+                if arj < -TOL {
+                    let mut d = cost[j];
+                    for r2 in 0..self.m {
+                        let cb = cost[self.basis[r2]];
+                        if cb != 0.0 {
+                            d -= cb * self.at(r2, j);
+                        }
+                    }
+                    let ratio = d / arj;
+                    let better = match enter {
+                        None => true,
+                        Some((_, best)) => ratio < best - TOL,
+                    };
+                    if better {
+                        enter = Some((j, ratio));
+                    }
+                }
+            }
+            let Some((col, _)) = enter else {
+                return false;
+            };
+            self.pivot(row, col);
+        }
+        false
     }
 
     /// Maximize `cost · y` from the current basic feasible solution.

@@ -20,9 +20,10 @@
 //! * `--group-by COL` — bound the query once per distinct value of `COL`
 //!   (dictionary codes for categorical columns, observed values
 //!   otherwise), via the engine's shared-decomposition group-by path.
-//! * `--threads N` — worker threads for parallel decomposition and
-//!   parallel groups (`0` = auto-detect, `1` = sequential; bounds are
-//!   identical at any setting).
+//! * `--threads N` — worker threads for parallel decomposition, parallel
+//!   GROUP-BY groups, and the allocation MILP's branch & bound (`0` =
+//!   auto-detect, `1` = sequential; bounds are identical at any setting
+//!   up to the branch & bound pruning tolerance, ~1e-6).
 //! * `--per-key-groupby` — disable the shared-decomposition group-by
 //!   (A/B baseline: one full decomposition per group).
 
@@ -177,6 +178,9 @@ fn main() -> ExitCode {
                 Ok(q) => q,
                 Err(e) => return fail(&e.to_string()),
             };
+            // --threads flows through the engine into decomposition,
+            // GROUP-BY group tasks, and the allocation MILP's branch &
+            // bound alike.
             let options = BoundOptions {
                 threads: args.threads,
                 shared_group_by: !args.per_key_groupby,
@@ -197,11 +201,16 @@ fn main() -> ExitCode {
                 let keys: Vec<f64> = match table.dictionary(attr) {
                     // categorical: every dictionary code is a group
                     Some(dict) => (0..dict.len()).map(|c| c as f64).collect(),
-                    // numeric: the distinct observed values
+                    // numeric: the distinct observed values. The CSV
+                    // loader rejects NaN, but other frontends may not —
+                    // filter explicitly and sort by total order rather
+                    // than trusting partial_cmp.
                     None => {
-                        let mut vals: Vec<f64> =
-                            (0..table.len()).map(|r| table.encoded(r, attr)).collect();
-                        vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN keys"));
+                        let mut vals: Vec<f64> = (0..table.len())
+                            .map(|r| table.encoded(r, attr))
+                            .filter(|v| !v.is_nan())
+                            .collect();
+                        vals.sort_by(f64::total_cmp);
                         vals.dedup();
                         vals
                     }

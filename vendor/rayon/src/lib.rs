@@ -1,22 +1,50 @@
-//! Vendored, std-only stand-in for the small slice of the `rayon` API the
+//! Vendored, std-only stand-in for the slice of the `rayon` API this
 //! workspace uses. The build container is offline with an empty registry,
 //! so the real crate cannot be fetched.
 //!
-//! [`join`] provides genuine fork/join parallelism via `std::thread::scope`
-//! — the second closure runs on a freshly spawned scoped thread while the
-//! first runs on the caller's thread. There is no work-stealing pool;
-//! callers are expected to fan out only at the top of their recursion.
-//! The decomposition driver forks at the top `⌈log₂ threads⌉` levels by
-//! default (≈ `threads − 1` short-lived threads at once) and clamps an
-//! explicit depth override to `⌈log₂ threads⌉ + 2`, so concurrent spawned
-//! threads stay within ≈ 4× the requested thread count — the right
-//! trade-off for coarse-grained subtree work.
+//! Unlike the previous shim (which spawned a scoped thread per [`join`]),
+//! this version runs a genuine **work-stealing pool**: a lazily-started
+//! set of worker threads (sized by `RAYON_NUM_THREADS`, else the machine's
+//! available parallelism), each with its own deque. [`join`] pushes its
+//! second closure as a *stealable task* and runs the first inline; a
+//! caller whose second closure was stolen does not block — it pops and
+//! runs other local work, steals from other workers, and returns as soon
+//! as the stolen closure's completion latch flips. [`scope`] /
+//! [`Scope::spawn`] provide dynamic fan-out with the same discipline.
+//! Deep, irregular recursion (decomposition subtrees, branch & bound,
+//! witness search) therefore parallelizes at every fork point for the
+//! price of a deque push, instead of an OS thread.
+//!
+//! See [`pool`]'s module docs for the architecture, stealing discipline,
+//! and panic semantics in detail. The public API is a compatible subset of
+//! the real crate: with a registry available, `rayon = "1"` drops in
+//! unchanged.
+//!
+//! With one worker (`RAYON_NUM_THREADS=1` or a single-core machine) every
+//! entry point degrades to strictly sequential inline execution — no
+//! threads are ever started, and `join(a, b)` is exactly `(a(), b())`.
 
-use std::thread;
+mod pool;
+
+use pool::{global_registry, HeapJob, StackJob, WorkerThread};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `a` and `b`, potentially in parallel, returning both results.
 ///
-/// `b` executes on a scoped thread; `a` executes on the current thread.
+/// `a` runs on the calling thread; `b` is pushed onto the worker's deque
+/// where any idle worker may steal it. If nobody does, the caller pops it
+/// back and runs it inline (sequential order, zero thread traffic). If it
+/// *was* stolen, the caller works on other tasks until `b` completes.
+///
+/// Calls from outside the pool migrate into it first (blocking the
+/// external thread until both closures finish). If either closure panics,
+/// the panic is resurfaced on the caller **after** both closures have
+/// finished — a thief never outlives the stack frame it borrowed — with
+/// `a`'s panic taking precedence.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -24,30 +52,186 @@ where
     RA: Send,
     RB: Send,
 {
-    thread::scope(|s| {
-        let handle = s.spawn(b);
+    if pool::pool_size() <= 1 {
         let ra = a();
-        let rb = handle.join().expect("rayon-shim: joined closure panicked");
-        (ra, rb)
-    })
+        let rb = b();
+        return (ra, rb);
+    }
+    match WorkerThread::current() {
+        Some(worker) => join_on_worker(worker, a, b),
+        None => global_registry().in_worker_cold(move |worker| join_on_worker(worker, a, b)),
+    }
 }
 
-/// Number of threads worth fanning out to: the machine's available
-/// parallelism, overridable with `RAYON_NUM_THREADS` (0 or unset = auto).
-pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+fn join_on_worker<A, B, RA, RB>(worker: &WorkerThread, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let b_job = StackJob::new(b);
+    // Safety: we do not leave this frame until the job's latch is set
+    // (wait_for_stack_job), so the reference cannot dangle.
+    let b_ref = unsafe { b_job.as_job_ref() };
+    worker.push(b_ref);
+    let ra = panic::catch_unwind(AssertUnwindSafe(a));
+    worker.wait_for_stack_job(&b_job);
+    let rb = b_job.into_result();
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        // `a`'s panic wins; `b`'s payload (if any) is dropped, like the
+        // real crate.
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (Ok(_), Err(payload)) => panic::resume_unwind(payload),
+    }
+}
+
+/// A scope for spawning an unknown-ahead-of-time number of tasks that may
+/// borrow from the enclosing stack frame (`'scope`). Created by [`scope`],
+/// which does not return until every spawned task has finished.
+pub struct Scope<'scope> {
+    /// Tasks spawned but not yet finished.
+    pending: AtomicUsize,
+    /// First panic observed in a spawned task.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// One-worker mode: run tasks inline at the spawn site.
+    inline: bool,
+    /// Invariant over `'scope` (spawned closures may borrow mutably).
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Create a scope, run `op` inside it, and wait for every task it spawned
+/// (transitively) to finish. The waiting thread is not idle: it executes
+/// and steals pool work until the scope drains. The first panic from `op`
+/// or any task is resurfaced after the scope is fully drained.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    if pool::pool_size() <= 1 {
+        let s = Scope::new(true);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+        return s.finish(result);
+    }
+    match WorkerThread::current() {
+        Some(worker) => scope_on_worker(worker, op),
+        None => global_registry().in_worker_cold(move |worker| scope_on_worker(worker, op)),
+    }
+}
+
+fn scope_on_worker<'scope, OP, R>(worker: &WorkerThread, op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope::new(false);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    worker.wait_until(|| s.pending.load(Ordering::SeqCst) == 0);
+    s.finish(result)
+}
+
+impl<'scope> Scope<'scope> {
+    fn new(inline: bool) -> Self {
+        Scope {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            inline,
+            marker: PhantomData,
+        }
+    }
+
+    /// Spawn a task into the scope. The task may borrow anything that
+    /// outlives the [`scope`] call and may itself spawn further tasks.
+    ///
+    /// Tasks go onto the spawning worker's own deque (LIFO next to its
+    /// current work) when called from inside the pool, and onto the global
+    /// injector otherwise. A task panic is captured and re-thrown by the
+    /// enclosing [`scope`] once everything has drained.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        if self.inline {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(self))) {
+                self.store_panic(payload);
+            }
+            return;
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let scope_ptr = SendPtr(self as *const Scope<'scope> as *const ());
+        // Safety: the job borrows `self` (and whatever `body` captured
+        // from `'scope`) through raw pointers; `scope` blocks until
+        // `pending` hits zero, which this job's epilogue guarantees to
+        // happen only after `body` has returned or panicked.
+        let job = HeapJob::into_job_ref(move || {
+            let scope = unsafe { &*(scope_ptr.get() as *const Scope<'_>) };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                scope.store_panic(payload);
+            }
+            scope.pending.fetch_sub(1, Ordering::SeqCst);
+        });
+        match WorkerThread::current() {
+            Some(worker) => worker.push(job),
+            None => global_registry().inject(job),
+        }
+    }
+
+    fn store_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Propagate panics (the body's own first, then the first task's) and
+    /// unwrap the result.
+    fn finish<R>(&self, result: std::thread::Result<R>) -> R {
+        match result {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(r) => {
+                if let Some(payload) = self.panic.lock().unwrap().take() {
+                    panic::resume_unwind(payload);
+                }
+                r
             }
         }
     }
-    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Raw-pointer wrapper asserting `Send` (the pointee is a [`Scope`], whose
+/// shared state is all thread-safe).
+struct SendPtr(*const ());
+unsafe impl Send for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than direct field access) so closures capture the
+    /// whole `Send` wrapper, not the raw pointer field (edition-2021
+    /// disjoint capture would otherwise un-`Send` the closure).
+    fn get(&self) -> *const () {
+        self.0
+    }
+}
+
+/// Number of worker threads the pool runs with: `RAYON_NUM_THREADS` if set
+/// to a positive integer, else the machine's available parallelism. Fixed
+/// for the life of the process.
+pub fn current_num_threads() -> usize {
+    pool::pool_size()
+}
+
+/// The calling thread's index within the pool (`0..current_num_threads()`),
+/// or `None` when called from outside the pool. Useful for per-worker
+/// caches.
+pub fn current_thread_index() -> Option<usize> {
+    WorkerThread::current().map(|w| w.index())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn join_returns_both() {
@@ -76,11 +260,99 @@ mod tests {
             let (a, b) = join(|| sum(lo, mid, depth - 1), || sum(mid, hi, depth - 1));
             a + b
         }
-        assert_eq!(sum(0, 10_000, 3), (0..10_000).sum::<u64>());
+        assert_eq!(sum(0, 10_000, 6), (0..10_000).sum::<u64>());
+    }
+
+    #[test]
+    fn deep_unbalanced_joins() {
+        // a left-leaning chain: the second closure is tiny at every level,
+        // so stealing (if any) and pop-back must both keep the totals right
+        fn chain(n: u64) -> u64 {
+            if n == 0 {
+                return 0;
+            }
+            let (rest, one) = join(|| chain(n - 1), || 1u64);
+            rest + one
+        }
+        assert_eq!(chain(300), 300);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            for i in 0..64u64 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(i, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more() {
+        let counter = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move |s| {
+                    for _ in 0..8 {
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_returns_value() {
+        let v = scope(|s| {
+            s.spawn(|_| {});
+            42
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| 1, || panic!("boom-b"));
+        });
+        let payload = r.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom-b");
+
+        let r = std::panic::catch_unwind(|| {
+            join(|| panic!("boom-a"), || 2);
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_propagates_task_panics() {
+        let r = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task panic"));
+            });
+        });
+        assert!(r.is_err());
+        // the pool must survive a propagated panic
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!(a + b, 3);
     }
 
     #[test]
     fn thread_count_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn external_thread_has_no_index() {
+        assert_eq!(current_thread_index(), None);
     }
 }

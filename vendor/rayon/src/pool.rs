@@ -1,0 +1,527 @@
+//! The work-stealing pool behind [`crate::join`] and [`crate::scope`].
+//!
+//! # Architecture
+//!
+//! One global [`Registry`] is created lazily on first use and lives for the
+//! process. It owns `N` worker threads (`N` from `RAYON_NUM_THREADS`, else
+//! `std::thread::available_parallelism()`), each with its own deque of
+//! [`JobRef`]s, plus one shared *injector* queue for work arriving from
+//! threads outside the pool.
+//!
+//! # Stealing discipline
+//!
+//! Each worker treats its own deque as a LIFO stack (`push_back` /
+//! `pop_back`): newly forked subtrees run hot, depth-first, exactly as the
+//! sequential program would. Thieves take from the *opposite* end
+//! (`pop_front`), i.e. the oldest — and therefore usually largest —
+//! pending subtree, which keeps steal traffic low under the skewed work
+//! distributions that dominate parallel query processing. An idle worker
+//! scans the injector first (external work has no other way in), then the
+//! other workers' deques starting at a per-victim rotating offset so
+//! thieves don't convoy on worker 0. The deques are mutex'd `VecDeque`s
+//! rather than lock-free Chase–Lev arrays: the workspace forks
+//! coarse-grained tasks (SAT-checked decomposition subtrees, LP solves),
+//! so queue operations are nowhere near the contention point, and `std` is
+//! the only dependency available offline.
+//!
+//! A worker with nothing to run or steal parks on a generation-stamped
+//! condvar. A push with no parked workers (the saturated steady state)
+//! costs one relaxed atomic load — no lock, no syscall; a push that sees
+//! sleepers takes the lock, bumps the generation, and wakes exactly one
+//! of them. The narrow race (a push reading "no sleepers" just as a
+//! worker parks) is deliberately left to the wait timeout: all parks are
+//! timeout-bounded, so a missed wakeup degrades to at most a millisecond
+//! of latency on one task, never a deadlock.
+//!
+//! # Blocked callers steal
+//!
+//! A `join` whose second closure was stolen, or a `scope` with spawned
+//! tasks still in flight, does not block its thread: it enters
+//! [`WorkerThread::wait_until`], which keeps popping local work and
+//! stealing remote work until the completion latch it is waiting for
+//! flips. This is what makes deep, irregular recursion safe — every
+//! blocked frame is also a worker.
+//!
+//! # Panic semantics
+//!
+//! Every job runs under `catch_unwind`. `join` waits for *both* closures
+//! to finish before resuming the first panic (never unwinding while a
+//! thief still holds a pointer into the joiner's stack frame); `scope`
+//! waits for all spawned tasks and then resumes the first panic observed
+//! (the body's own panic taking precedence). Worker threads therefore
+//! never die from task panics; panics always resurface on the caller.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// How long an idle worker parks between steal scans once the condvar
+/// generation says nothing new arrived. Small enough that a (theoretical)
+/// missed wakeup costs microseconds, large enough not to burn a core.
+const IDLE_PARK: Duration = Duration::from_micros(100);
+
+// ---------------------------------------------------------------------------
+// Type-erased jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job living either on a blocked caller's
+/// stack ([`StackJob`]) or on the heap ([`HeapJob`]). The owner guarantees
+/// the pointee outlives the reference (stack jobs block until their latch
+/// is set; heap jobs are consumed exactly once).
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef only crosses threads together with the closure it
+// points to, whose `Send` bound the public APIs enforce.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// True if this reference points at `data` (used by `join` to
+    /// recognize its own second closure when popping it back).
+    fn points_at(&self, data: *const ()) -> bool {
+        std::ptr::eq(self.data, data)
+    }
+
+    /// Run the job. Consumes the reference; each job executes once.
+    pub(crate) fn execute(self) {
+        unsafe { (self.execute_fn)(self.data) }
+    }
+}
+
+/// A job whose closure and result slot live on the stack of the thread
+/// that created it. That thread MUST NOT return past the job's frame until
+/// [`Latch::probe`] turns true.
+pub(crate) struct StackJob<F, R> {
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        StackJob {
+            func: Mutex::new(Some(func)),
+            result: Mutex::new(None),
+            latch: Latch::new(),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    /// A type-erased reference to this job.
+    ///
+    /// # Safety
+    /// The caller must keep `self` alive and in place until the latch is
+    /// set, and must hand the reference to at most one executor.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe fn execute<F, R>(data: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            let job = &*(data as *const StackJob<F, R>);
+            let func = job.func.lock().unwrap().take().expect("job executed twice");
+            let result = panic::catch_unwind(AssertUnwindSafe(func));
+            *job.result.lock().unwrap() = Some(result);
+            job.latch.set();
+        }
+        JobRef {
+            data: self as *const Self as *const (),
+            execute_fn: execute::<F, R>,
+        }
+    }
+
+    /// The erased pointer identity of this job (for [`JobRef::points_at`]).
+    fn data_ptr(&self) -> *const () {
+        self as *const Self as *const ()
+    }
+
+    /// Take the finished result (the closure's return value, or the panic
+    /// payload it unwound with). Only valid once the latch is set.
+    pub(crate) fn into_result(self) -> thread::Result<R> {
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("job result taken before completion")
+    }
+}
+
+/// A heap-allocated fire-and-forget job (used by `scope`'s `spawn`): the
+/// closure owns everything it needs; completion is signalled through
+/// whatever the closure captured (a scope counter), not a latch.
+pub(crate) struct HeapJob<F> {
+    func: F,
+}
+
+impl<F> HeapJob<F>
+where
+    F: FnOnce() + Send,
+{
+    /// Box the closure and erase it. The job executes exactly once;
+    /// executing frees the box.
+    pub(crate) fn into_job_ref(func: F) -> JobRef {
+        unsafe fn execute<F>(data: *const ())
+        where
+            F: FnOnce() + Send,
+        {
+            let job = Box::from_raw(data as *mut HeapJob<F>);
+            // Panics are the closure's responsibility (scope wraps its
+            // bodies in catch_unwind); a stray panic here would abort via
+            // unwind-through-extern, so scope's wrapper is load-bearing.
+            (job.func)();
+        }
+        let boxed = Box::new(HeapJob { func });
+        JobRef {
+            data: Box::into_raw(boxed) as *const (),
+            execute_fn: execute::<F>,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latches
+// ---------------------------------------------------------------------------
+
+/// A one-shot completion flag. Waiters either spin through the registry's
+/// steal loop ([`WorkerThread::wait_until`]) or park with a timeout
+/// ([`Latch::wait_cold`]); `set` additionally unparks one registered
+/// waiter thread for promptness.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    /// Thread to unpark on set (the blocked owner), if any registered.
+    waiter: Mutex<Option<thread::Thread>>,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Latch {
+            done: AtomicBool::new(false),
+            waiter: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set(&self) {
+        // Take the waiter handle out BEFORE flipping `done`: the instant
+        // the owner observes `done == true` it may return and free the
+        // latch (it lives on the owner's stack), so the store must be the
+        // last access to `self`. A waiter that registers in the window
+        // between the take and the store misses its unpark and rides the
+        // bounded park timeout instead — latency, not unsoundness.
+        let waiter = self.waiter.lock().unwrap().take();
+        self.done.store(true, Ordering::Release);
+        if let Some(t) = waiter {
+            t.unpark();
+        }
+    }
+
+    /// Block the calling (non-worker) thread until set.
+    pub(crate) fn wait_cold(&self) {
+        while !self.probe() {
+            self.park_waiting();
+        }
+    }
+
+    /// Register the current thread for a prompt unpark, re-check, and park
+    /// briefly. The timeout (rather than a plain `park`) makes the race
+    /// between registration and `set` harmless.
+    fn park_waiting(&self) {
+        *self.waiter.lock().unwrap() = Some(thread::current());
+        if !self.probe() {
+            thread::park_timeout(IDLE_PARK);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sleep / wake
+// ---------------------------------------------------------------------------
+
+/// Generation-stamped condvar: pushes bump the generation and notify;
+/// sleepers re-check the stamp under the lock, so a push between "found
+/// nothing to steal" and "went to sleep" is never missed.
+///
+/// The fast path is everything: `join` pushes on every fork, so when all
+/// workers are busy (the steady state of a saturated pool) `notify` must
+/// cost one relaxed atomic load and nothing else. Only when the sleeper
+/// count says someone is actually parked does a push take the lock — and
+/// then it wakes exactly one worker, not the whole pool (each push
+/// carries one job; `notify_all` would stampede every sleeper at a
+/// single stealable task).
+struct Sleep {
+    generation: Mutex<u64>,
+    condvar: Condvar,
+    /// Workers currently inside `sleep` (maintained under the lock).
+    sleepers: AtomicUsize,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Sleep {
+            generation: Mutex::new(0),
+            condvar: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+
+    fn current_generation(&self) -> u64 {
+        *self.generation.lock().unwrap()
+    }
+
+    fn notify(&self) {
+        if self.sleepers.load(Ordering::Relaxed) == 0 {
+            // Nobody parked: a racing not-yet-parked worker re-checks the
+            // generation under the lock before waiting, and the wait
+            // itself is timeout-bounded — so skipping the lock here is
+            // safe, and it keeps saturated-pool pushes lock-free.
+            return;
+        }
+        let mut g = self.generation.lock().unwrap();
+        *g = g.wrapping_add(1);
+        self.condvar.notify_one();
+    }
+
+    /// Sleep until the generation moves past `seen` (or a timeout, which
+    /// only costs another scan).
+    fn sleep(&self, seen: u64) {
+        let g = self.generation.lock().unwrap();
+        if *g != seen {
+            return;
+        }
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let _ = self.condvar.wait_timeout(g, 10 * IDLE_PARK).unwrap();
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry and workers
+// ---------------------------------------------------------------------------
+
+/// Shared state of the global pool.
+pub(crate) struct Registry {
+    /// Per-worker deques. Owners push/pop at the back; thieves steal from
+    /// the front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Work injected by non-pool threads.
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+    /// Rotating steal offset so thieves fan out over victims.
+    steal_seed: AtomicUsize,
+}
+
+/// The number of worker threads the pool runs (or would run) with:
+/// `RAYON_NUM_THREADS` if set to a positive integer, else the machine's
+/// available parallelism. Fixed for the life of the process once the pool
+/// has started.
+pub(crate) fn pool_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// The lazily-started global registry. Worker threads are detached; they
+/// live until process exit.
+pub(crate) fn global_registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        deques: (0..pool_size())
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect(),
+        injector: Mutex::new(VecDeque::new()),
+        sleep: Sleep::new(),
+        steal_seed: AtomicUsize::new(0),
+    })
+}
+
+/// Start the worker threads (idempotent). Split from `global_registry` so
+/// the registry can be referenced from the spawned threads' closures.
+fn ensure_workers(registry: &'static Registry) {
+    static STARTED: OnceLock<()> = OnceLock::new();
+    STARTED.get_or_init(|| {
+        for index in 0..registry.deques.len() {
+            thread::Builder::new()
+                .name(format!("rayon-worker-{index}"))
+                .spawn(move || worker_main(registry, index))
+                .expect("failed to spawn pool worker");
+        }
+    });
+}
+
+/// Per-thread handle identifying a pool worker.
+pub(crate) struct WorkerThread {
+    registry: &'static Registry,
+    index: usize,
+}
+
+thread_local! {
+    static CURRENT_WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+fn worker_main(registry: &'static Registry, index: usize) {
+    let worker = WorkerThread { registry, index };
+    CURRENT_WORKER.with(|c| c.set(&worker as *const WorkerThread));
+    loop {
+        let seen = registry.sleep.current_generation();
+        if let Some(job) = worker.find_work() {
+            job.execute();
+        } else {
+            registry.sleep.sleep(seen);
+        }
+    }
+}
+
+impl WorkerThread {
+    /// The calling thread's worker handle, if it is a pool thread.
+    ///
+    /// The `'static` is a small lie — the handle lives on `worker_main`'s
+    /// stack — but worker stacks only unwind at process exit.
+    pub(crate) fn current() -> Option<&'static WorkerThread> {
+        CURRENT_WORKER.with(|c| {
+            let p = c.get();
+            if p.is_null() {
+                None
+            } else {
+                Some(unsafe { &*p })
+            }
+        })
+    }
+
+    pub(crate) fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Push a job onto this worker's deque (LIFO end) and wake a sleeper
+    /// to come steal it.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.registry.deques[self.index]
+            .lock()
+            .unwrap()
+            .push_back(job);
+        self.registry.sleep.notify();
+    }
+
+    /// Pop the most recently pushed local job, if any.
+    fn pop_local(&self) -> Option<JobRef> {
+        self.registry.deques[self.index].lock().unwrap().pop_back()
+    }
+
+    /// Something to run: local work first (LIFO), then injected work, then
+    /// a steal sweep over the other workers (FIFO from each victim).
+    fn find_work(&self) -> Option<JobRef> {
+        if let Some(job) = self.pop_local() {
+            return Some(job);
+        }
+        self.registry.find_external_work(Some(self.index))
+    }
+
+    /// Run jobs until `cond` is true, stealing when the local deque runs
+    /// dry. This is how "blocked" frames (join waiting on a stolen
+    /// closure, scope waiting on spawned tasks) stay productive.
+    pub(crate) fn wait_until(&self, cond: impl Fn() -> bool) {
+        while !cond() {
+            if let Some(job) = self.find_work() {
+                job.execute();
+            } else {
+                thread::park_timeout(IDLE_PARK);
+            }
+        }
+    }
+
+    /// `join`'s wait discipline: run local jobs (the second closure is
+    /// usually still sitting on top of our own deque — recognize it by
+    /// address and stop once it has run), steal when local work runs dry,
+    /// and return when `latch` flips.
+    pub(crate) fn wait_for_stack_job<F, R>(&self, job: &StackJob<F, R>)
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        while !job.latch().probe() {
+            if let Some(local) = self.pop_local() {
+                let was_target = local.points_at(job.data_ptr());
+                local.execute();
+                if was_target {
+                    return;
+                }
+            } else if let Some(stolen) = self.registry.find_external_work(Some(self.index)) {
+                stolen.execute();
+            } else {
+                job.latch().park_waiting();
+            }
+        }
+    }
+}
+
+impl Registry {
+    /// Injected work, else a steal sweep over every worker but `skip`.
+    fn find_external_work(&self, skip: Option<usize>) -> Option<JobRef> {
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = self.steal_seed.fetch_add(1, Ordering::Relaxed) % n.max(1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == skip {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Queue work from outside the pool and wake a worker.
+    pub(crate) fn inject(&'static self, job: JobRef) {
+        ensure_workers(self);
+        self.injector.lock().unwrap().push_back(job);
+        self.sleep.notify();
+    }
+
+    /// Run `f` on a pool worker, blocking the calling (external) thread
+    /// until it completes. Panics inside `f` resurface here.
+    pub(crate) fn in_worker_cold<F, R>(&'static self, f: F) -> R
+    where
+        F: FnOnce(&WorkerThread) -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(|| {
+            let worker = WorkerThread::current().expect("injected job executed outside the pool");
+            f(worker)
+        });
+        // Safety: we block on the latch below, so `job` outlives its ref.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.inject(job_ref);
+        job.latch().wait_cold();
+        match job.into_result() {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}

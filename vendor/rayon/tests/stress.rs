@@ -1,0 +1,169 @@
+//! Stress tests for the work-stealing pool with a real multi-worker
+//! configuration.
+//!
+//! The global pool is sized once per process, so this integration test
+//! (its own process, unlike the unit tests) pins `RAYON_NUM_THREADS=4`
+//! before anything touches the pool — on a single-core CI container the
+//! unit tests only exercise the inline fast paths, while everything here
+//! runs through the deques, the injector, and the steal loop, with more
+//! workers than cores (maximum contention per core).
+//!
+//! The invariants under test: nested `join`/`scope` under contention
+//! neither deadlock nor lose tasks, results are exactly the sequential
+//! ones, and panics propagate without poisoning the pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Once;
+
+fn pool4() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        // Safety of the env mutation: `Once` runs before any pool use in
+        // this process, and tests in this binary all funnel through here.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        assert_eq!(rayon::current_num_threads(), 4);
+    });
+}
+
+/// Fork/join sum over a range, forking at every level — tiny leaves, so
+/// the deques see heavy push/pop/steal traffic.
+fn par_sum(lo: u64, hi: u64) -> u64 {
+    if hi - lo <= 8 {
+        return (lo..hi).sum();
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (a, b) = rayon::join(|| par_sum(lo, mid), || par_sum(mid, hi));
+    a + b
+}
+
+#[test]
+fn deep_join_tree_no_lost_work() {
+    pool4();
+    for _ in 0..20 {
+        assert_eq!(par_sum(0, 100_000), (0..100_000).sum::<u64>());
+    }
+}
+
+#[test]
+fn many_external_callers_contend() {
+    pool4();
+    // External threads all inject into the same pool concurrently: the
+    // injector, sleep/wake protocol, and steal sweep all contend.
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let lo = t * 10_000;
+                assert_eq!(par_sum(lo, lo + 10_000), (lo..lo + 10_000).sum::<u64>());
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn nested_scopes_inside_joins() {
+    pool4();
+    let counter = AtomicU64::new(0);
+    let (left, ()) = rayon::join(
+        || {
+            rayon::scope(|s| {
+                for _ in 0..32 {
+                    let counter = &counter;
+                    s.spawn(move |s| {
+                        // nested spawn from within a task
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            counter.load(Ordering::SeqCst)
+        },
+        || {
+            // keep the other workers busy with join traffic meanwhile
+            assert_eq!(par_sum(0, 50_000), (0..50_000).sum::<u64>());
+        },
+    );
+    assert_eq!(left, 64);
+    assert_eq!(counter.load(Ordering::SeqCst), 64);
+}
+
+#[test]
+fn scope_spawned_from_external_thread() {
+    pool4();
+    let counter = AtomicU64::new(0);
+    rayon::scope(|s| {
+        for i in 0..100u64 {
+            let counter = &counter;
+            s.spawn(move |_| {
+                counter.fetch_add(i, Ordering::SeqCst);
+            });
+        }
+    });
+    assert_eq!(counter.load(Ordering::SeqCst), (0..100).sum::<u64>());
+}
+
+#[test]
+fn unbalanced_join_chain_under_contention() {
+    pool4();
+    // Left-leaning join chain (worst case for stealing: one giant task,
+    // many trivial siblings) racing a balanced tree.
+    fn chain(n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let (rest, one) = rayon::join(|| chain(n - 1), || 1u64);
+        rest + one
+    }
+    let (a, b) = rayon::join(|| chain(500), || par_sum(0, 20_000));
+    assert_eq!(a, 500);
+    assert_eq!(b, (0..20_000).sum::<u64>());
+}
+
+#[test]
+fn panic_under_contention_leaves_pool_usable() {
+    pool4();
+    for round in 0..5 {
+        let r = std::panic::catch_unwind(|| {
+            rayon::join(
+                || par_sum(0, 10_000),
+                || {
+                    if round % 2 == 0 {
+                        panic!("stolen side panic");
+                    }
+                    0u64
+                },
+            )
+        });
+        if round % 2 == 0 {
+            assert!(r.is_err());
+        } else {
+            assert!(r.is_ok());
+        }
+        // pool still fully functional afterwards
+        assert_eq!(par_sum(0, 1_000), (0..1_000).sum::<u64>());
+    }
+}
+
+#[test]
+fn worker_indices_are_in_range() {
+    pool4();
+    let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+    rayon::scope(|s| {
+        for _ in 0..64 {
+            let seen = &seen;
+            s.spawn(move |_| {
+                if let Some(i) = rayon::current_thread_index() {
+                    assert!(i < rayon::current_num_threads());
+                    seen.lock().unwrap().insert(i);
+                }
+                // burn a little time so tasks spread over workers
+                std::hint::black_box((0..1_000u64).sum::<u64>());
+            });
+        }
+    });
+    assert!(!seen.lock().unwrap().is_empty());
+}
