@@ -1,0 +1,178 @@
+//! Criterion bench for the session serve path: cold per-query
+//! decomposition vs one long-lived `Session` specializing a cached
+//! decomposition, on a stream of repeated aggregate queries against one
+//! overlapping PC set.
+//!
+//! Modes:
+//!
+//! * `cold` — `BoundEngine::bound` per query: every query re-decomposes
+//!   its region from scratch (the pre-session architecture).
+//! * `warm_chain` — a `Session` with the cell cache *disabled*: cold
+//!   decompositions, but simplex warm starts chained across queries.
+//!   Isolates the warm-chaining contribution.
+//! * `session` — the full session: decompose once against the domain,
+//!   specialize cached cells per query, chain warm starts. The serve
+//!   path `pc batch` uses.
+//!
+//! Every mode is asserted (outside the timed region) to produce
+//! identical ranges, so the bench only ever compares equal work.
+//!
+//! Set `PC_BENCH_JSON=/path/file.json` to append machine-readable results
+//! (the repo's `BENCH_serve.json` is produced this way).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_core::{
+    BoundEngine, BoundOptions, FrequencyConstraint, PcSet, PredicateConstraint, Session,
+    SessionOptions, ValueConstraint,
+};
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
+use pc_storage::{AggKind, AggQuery};
+
+/// An overlapping constraint set over (region, value): `n` staggered
+/// range constraints whose boxes overlap their neighbors, so the
+/// decomposition tree is genuinely bushy and worth amortizing.
+fn serving_set(n: usize) -> PcSet {
+    let schema = Schema::new(vec![("region", AttrType::Int), ("value", AttrType::Float)]);
+    let mut set = PcSet::new(schema);
+    for i in 0..n {
+        let lo = (i * 5 % 23) as f64;
+        let hi = lo + 9.0 + (i % 4) as f64;
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, lo, hi)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 40.0 + 10.0 * (i % 6) as f64)),
+            FrequencyConstraint::at_most(15 + (i % 7) as u64),
+        ));
+    }
+    // a catch-all cap closes the set: every query gets finite bounds
+    set.push(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::closed(0.0, 100.0)),
+        FrequencyConstraint::at_most(200),
+    ));
+    let mut domain = Region::full(set.schema());
+    domain.set_interval(0, Interval::closed(0.0, 40.0));
+    domain.set_interval(1, Interval::closed(0.0, 100.0));
+    set.set_domain(domain);
+    set
+}
+
+/// `a == b` within tolerance, treating equal infinities as equal.
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() < 1e-6
+}
+
+/// The query stream: aggregate queries over staggered region windows —
+/// the repeated-traffic shape a session amortizes (every query's region
+/// cuts the shared decomposition differently).
+fn query_stream(count: usize) -> Vec<AggQuery> {
+    (0..count)
+        .map(|i| {
+            let lo = (i * 7 % 29) as f64;
+            let hi = lo + 6.0 + (i % 5) as f64;
+            let predicate = Predicate::atom(Atom::between(0, lo, hi));
+            match i % 3 {
+                0 => AggQuery::new(AggKind::Sum, 1, predicate),
+                1 => AggQuery::count(predicate),
+                _ => AggQuery::new(AggKind::Max, 1, predicate),
+            }
+        })
+        .collect()
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let opts = BoundOptions::default();
+    let mut group = c.benchmark_group("query_throughput");
+    group.sample_size(10);
+    for n_constraints in [10usize, 14] {
+        let set = serving_set(n_constraints);
+        let queries = query_stream(24);
+
+        // sanity outside the timed region: all three modes agree
+        let engine = BoundEngine::with_options(&set, opts);
+        let session = Session::with_options(
+            &set,
+            SessionOptions {
+                bound: opts,
+                cache_cells: true,
+            },
+        );
+        let chain_only = Session::with_options(
+            &set,
+            SessionOptions {
+                bound: opts,
+                cache_cells: false,
+            },
+        );
+        for q in &queries {
+            let cold = engine.bound(q).expect("bounded workload").range;
+            let served = session.bound(q).expect("bounded workload").range;
+            let chained = chain_only.bound(q).expect("bounded workload").range;
+            assert!(
+                close(cold.lo, served.lo) && close(cold.hi, served.hi),
+                "session mismatch on {q:?}: {cold:?} vs {served:?}"
+            );
+            assert!(
+                close(cold.lo, chained.lo) && close(cold.hi, chained.hi),
+                "warm-chain mismatch on {q:?}: {cold:?} vs {chained:?}"
+            );
+        }
+
+        let param = format!("{n_constraints}pc");
+        group.bench_with_input(
+            criterion::BenchmarkId::new("cold", &param),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let engine = BoundEngine::with_options(&set, opts);
+                    for q in qs {
+                        engine.bound(q).expect("bounded workload");
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            criterion::BenchmarkId::new("warm_chain", &param),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let session = Session::with_options(
+                        &set,
+                        SessionOptions {
+                            bound: opts,
+                            cache_cells: false,
+                        },
+                    );
+                    for q in qs {
+                        session.bound(q).expect("bounded workload");
+                    }
+                })
+            },
+        );
+        // The session is constructed (and its cache filled) once, outside
+        // the timed loop: this measures the steady serving state — the
+        // whole point of the layer. The first iteration pays the one-time
+        // decomposition; criterion's warmup absorbs it.
+        group.bench_with_input(
+            criterion::BenchmarkId::new("session", &param),
+            &queries,
+            |b, qs| {
+                let session = Session::with_options(
+                    &set,
+                    SessionOptions {
+                        bound: opts,
+                        cache_cells: true,
+                    },
+                );
+                b.iter(|| {
+                    for q in qs {
+                        session.bound(q).expect("bounded workload");
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

@@ -58,16 +58,19 @@ pub struct BoundOptions {
     /// slightly wider one. This is the practical lever for heavily
     /// overlapping sets (Rand-PC) where decomposition yields many cells.
     pub lp_relax_cell_limit: usize,
-    /// Worker threads for decomposition fan-out and parallel GROUP-BY
-    /// groups. `0` = auto-detect the machine's parallelism, `1` = strictly
+    /// Worker threads for decomposition fan-out, parallel GROUP-BY
+    /// groups, and the parallel witness search inside wide SAT checks.
+    /// `0` = auto-detect the machine's parallelism, `1` = strictly
     /// sequential (also forcing the allocation MILP sequential — see
     /// [`MilpOptions::threads`] for the solver-level knob, which inherits
-    /// this value unless set explicitly). Decomposed cells are
-    /// bit-identical across thread counts and bounds agree up to the
-    /// branch & bound pruning tolerance (~1e-6 — a parallel search may
-    /// prune a node that would have improved the incumbent by less than
-    /// that, exactly as a sequential search may in a different order).
-    /// Work counters in [`DecomposeStats`] may differ
+    /// this value unless set explicitly). Decomposed cell signatures,
+    /// regions, and order are bit-identical across thread counts and
+    /// bounds agree up to the branch & bound pruning tolerance (~1e-6 — a
+    /// parallel search may prune a node that would have improved the
+    /// incumbent by less than that, exactly as a sequential search may in
+    /// a different order). Cell *witnesses* may be different equally
+    /// genuine points when the first-hit-wins parallel witness search
+    /// engages, and work counters in [`DecomposeStats`] may differ
     /// (`parallel_subtrees`, and GROUP-BY `sat_checks` — two group tasks
     /// racing on the same uncached specialization both pay the check).
     pub threads: usize,
@@ -156,13 +159,73 @@ pub struct BoundReport {
 type WarmKey = (Sense, bool, usize, usize);
 
 /// Shared warm-start store for one chain of related bounding calls (a
-/// standalone `bound()`, or the groups one pool worker solves in a
-/// GROUP-BY). `Arc<Mutex>`: chains are *effectively* single-threaded —
-/// the GROUP-BY driver hands each worker its own store — but group tasks
-/// are stealable, so the store must tolerate whichever thread ends up
-/// running the task. The mutex is uncontended in that design; a stale or
-/// racing basis can cost a cold fallback, never correctness.
+/// standalone `bound()`, the groups one pool worker solves in a
+/// GROUP-BY, or the queries one worker serves in a [`crate::Session`]).
+/// `Arc<Mutex>`: chains are *effectively* single-threaded — the drivers
+/// hand each worker its own store — but tasks are stealable, so the
+/// store must tolerate whichever thread ends up running them. The mutex
+/// is uncontended in that design; a stale or racing basis can cost a
+/// cold fallback, never correctness.
 pub(crate) type WarmCache = Arc<Mutex<HashMap<WarmKey, WarmStart>>>;
+
+/// One warm-start cache per pool worker (plus one for the calling
+/// thread): tasks solved on the same worker chain their simplex bases
+/// from one LP to the next without cross-thread contention. Shared by
+/// the GROUP-BY drivers (per-group tasks) and [`crate::Session`] (one
+/// long-lived set of chains across all of a session's queries).
+pub(crate) struct WarmCaches {
+    slots: Option<Vec<WarmCache>>,
+}
+
+impl WarmCaches {
+    pub(crate) fn new(enabled: bool) -> Self {
+        let slots = enabled.then(|| {
+            (0..=rayon::current_num_threads())
+                .map(|_| Arc::new(Mutex::new(HashMap::new())))
+                .collect()
+        });
+        WarmCaches { slots }
+    }
+
+    /// The cache owned by the executing worker (last slot for calls from
+    /// outside the pool), or `None` when warm starting is disabled.
+    pub(crate) fn for_current_worker(&self) -> Option<WarmCache> {
+        let slots = self.slots.as_ref()?;
+        let i = rayon::current_thread_index().unwrap_or(slots.len() - 1);
+        Some(Arc::clone(&slots[i]))
+    }
+}
+
+/// Run `f` over every item as its own stealable pool task, returning
+/// results in input order — the fan-out driver shared by the GROUP-BY
+/// paths and [`crate::Session::bound_many`]. No chunk barriers: a slow
+/// item delays only itself, and idle workers steal whatever remains.
+pub(crate) fn pooled_map<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    rayon::scope(|s| {
+        for (slot, item) in slots.iter().zip(items) {
+            s.spawn(move |_| {
+                *slot.lock().unwrap() = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every pooled task ran to completion")
+        })
+        .collect()
+}
 
 /// The cell allocation problem shared by every aggregate.
 pub(crate) struct CellProblem {
@@ -217,8 +280,38 @@ impl<'a> BoundEngine<'a> {
         } else {
             None
         };
+        self.bound_with_warm(query, warm)
+    }
+
+    /// [`BoundEngine::bound`] with an externally owned warm-start chain —
+    /// how a [`crate::Session`] threads one cache through many queries
+    /// instead of each call starting cold.
+    pub(crate) fn bound_with_warm(
+        &self,
+        query: &AggQuery,
+        warm: Option<WarmCache>,
+    ) -> Result<BoundReport, BoundError> {
         let problem = self.build_problem(query, warm)?;
         self.bound_problem(query.agg, &problem)
+    }
+
+    /// Whether wide satisfiability checks (closure, specialization
+    /// re-checks) may use the parallel witness search: any engine not
+    /// pinned strictly sequential. The search itself stays inline below
+    /// [`pc_predicate::sat::PAR_WITNESS_CUTOFF`] live exclusions and on a
+    /// one-worker pool.
+    pub(crate) fn par_witness(&self) -> bool {
+        self.options.threads != 1
+    }
+
+    /// Threads to spread a batch of independent tasks (GROUP-BY groups,
+    /// session queries) over.
+    pub(crate) fn task_threads(&self, n_items: usize) -> usize {
+        let par = crate::Parallelism {
+            threads: self.options.threads,
+            depth: None,
+        };
+        par.resolved_threads().min(n_items).max(1)
     }
 
     /// Dispatch a constructed problem to the per-aggregate bound.
@@ -284,7 +377,7 @@ impl<'a> BoundEngine<'a> {
         base.intersect(self.set.domain());
 
         let closed = if self.options.check_closure {
-            self.set.is_closed_within(&base)
+            self.set.is_closed_within_with(&base, self.par_witness())
         } else {
             true
         };

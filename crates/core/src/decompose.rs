@@ -30,10 +30,15 @@
 //! [`PAR_SEQ_CUTOFF`] undecided constraints), they run as independent
 //! stealable tasks (`rayon::join` on the work-stealing pool), each
 //! accumulating into its own cell vector and [`DecomposeStats`], merged
-//! include-first afterwards — so the emitted cell order, the cells
-//! themselves, and every counter except
+//! include-first afterwards — so the emitted cell order, the cell
+//! signatures and regions, and every counter except
 //! [`DecomposeStats::parallel_subtrees`] are *identical* to the
-//! sequential run (property-tested in `tests/prop_decompose.rs`). Earlier
+//! sequential run (property-tested in `tests/prop_decompose.rs`). The
+//! one representation-level difference: a parallel policy also enables
+//! the first-hit-wins parallel witness search inside each SAT check
+//! ([`pc_predicate::sat::find_witness_with`]), so a cell's stored
+//! *witness* may be a different — equally genuine — point of the same
+//! cell than the sequential run's. Earlier
 //! versions clamped forking to the top `⌈log₂ threads⌉` levels because
 //! the backend spawned an OS thread per fork; with the pool a fork is a
 //! deque push, so every split above the sequential cutoff forks and the
@@ -214,8 +219,10 @@ pub fn decompose(
 
 /// Decompose with an explicit [`Parallelism`] policy.
 ///
-/// The emitted cells (and their order) are identical to the sequential
-/// run; only [`DecomposeStats::parallel_subtrees`] depends on the policy.
+/// The emitted cell signatures, regions, and order are identical to the
+/// sequential run; only [`DecomposeStats::parallel_subtrees`] (and
+/// possibly the identity of stored witnesses — see the module docs)
+/// depends on the policy.
 /// [`Strategy::Naive`] ignores the policy — it exists as the unoptimized
 /// baseline and parallelizing it would only flatter it.
 pub fn decompose_with(
@@ -271,12 +278,18 @@ pub fn decompose_with(
                 Strategy::EarlyStop { depth } => (true, depth),
                 Strategy::Naive => unreachable!(),
             };
+            let fork_levels = par.fork_levels(n);
             dfs(
                 &Frame {
                     set,
                     rewrite,
                     stop_depth,
-                    fork_levels: par.fork_levels(n),
+                    fork_levels,
+                    // A parallel policy also lets each node's SAT check
+                    // fan its branch disjuncts out as stealable tasks
+                    // (sat::find_witness_with) — the checks stay inline
+                    // below the solver's own width cutoff.
+                    par_witness: fork_levels > 0,
                 },
                 Arc::new(base.clone()),
                 Vec::new(),
@@ -300,6 +313,8 @@ struct Frame<'a> {
     /// DFS levels (from the root) at which both-branch nodes may fork; 0
     /// means sequential.
     fork_levels: usize,
+    /// Whether SAT checks may use the parallel witness search.
+    par_witness: bool,
 }
 
 impl Frame<'_> {
@@ -333,7 +348,7 @@ fn dfs<'a>(
                 // exact mode: prefix satisfiability was verified; reproduce
                 // the witness for downstream consumers (cheap relative to
                 // the checks already done)
-                sat::find_witness(&region, &excluded)
+                sat::find_witness_with(&region, &excluded, frame.par_witness)
             } else {
                 None
             };
@@ -364,7 +379,7 @@ fn dfs<'a>(
     } else {
         // Include: X ∧ ψ.
         stats.sat_checks += 1;
-        include_sat = sat::is_sat(&inc_region, &excluded);
+        include_sat = sat::is_sat_with(&inc_region, &excluded, frame.par_witness);
         // Exclude: X ∧ ¬ψ.
         exclude_sat = if frame.rewrite && !include_sat {
             // Rewrite rule: X is satisfiable (DFS invariant) and X ∧ ψ is
@@ -376,7 +391,7 @@ fn dfs<'a>(
             let mut probe = excluded.clone();
             probe.push(&pc.predicate);
             stats.sat_checks += 1;
-            sat::is_sat(&region, &probe)
+            sat::is_sat_with(&region, &probe, frame.par_witness)
         };
         if !include_sat {
             stats.pruned_subtrees += 1;
@@ -603,6 +618,7 @@ mod tests {
             rewrite: true,
             stop_depth: usize::MAX,
             fork_levels: n,
+            par_witness: false,
         };
         let f = frame(PAR_SEQ_CUTOFF);
         assert!(!f.should_fork(0), "tiny tree stays sequential");

@@ -2,49 +2,67 @@
 //! of such queries without GROUP-BY" — each group value becomes one
 //! bounded query with the group membership conjoined to the WHERE clause.
 //!
-//! # Shared decomposition
+//! # Two-level shared decomposition
 //!
 //! The naive reading of that union decomposes the constraint set from
 //! scratch for every group key — a 1 000-key categorical GROUP-BY pays for
 //! 1 000 exponential-worst-case decompositions of the *same* constraints.
 //! The engine instead (when [`crate::BoundOptions::shared_group_by`] is
-//! on, the default):
+//! on, the default) runs a **two-level** scheme:
 //!
-//! 1. decomposes **once** against `query ∩ domain`, the union of every
-//!    group's region;
-//! 2. **specializes** the surviving cells per key: a cell whose box
-//!    misses the key's slice is dropped on an interval intersection, a
-//!    cell whose stored witness lies inside the slice is kept for free,
-//!    and only cells in between pay a satisfiability re-check of their
-//!    conjunction inside the slice (memoized across groups in one shared
-//!    store);
-//! 3. solves **every group as its own stealable task** on the
-//!    work-stealing pool, preserving output order. Earlier versions split
-//!    the keys into `threads` fixed chunks, so one slow group (a dense
-//!    slice paying a long branch & bound) stalled its whole chunk behind
-//!    a barrier; with per-group tasks idle workers steal the remaining
-//!    groups instead. Each pool worker chains **simplex warm starts**
-//!    ([`pc_solver::solve_lp_warm`]) from one group's LPs to the next
-//!    through a per-worker cache, so chains stay effectively
-//!    single-threaded without a barrier coupling them.
+//! 1. **Level 1 — shared constraints, decomposed once.** Constraints are
+//!    partitioned by their group-attribute interval: those pinned to a
+//!    single key (*key-local* — per-key floors and caps, the common shape
+//!    of per-group assumptions) are set aside; the rest (*shared*) are
+//!    decomposed once against `query ∩ domain`, the union of every
+//!    group's region. Key-local constraints never enter this
+//!    decomposition, so a thousand per-key caps no longer blow up the
+//!    shared include/exclude tree — the failure mode that used to force a
+//!    `mostly_key_local` fallback to the per-key path, now retired.
+//! 2. **Specialize** the surviving cells per key
+//!    ([`crate::specialize::SliceSpecializer`]): a cell whose box misses
+//!    the key's slice is dropped on an interval intersection, a cell
+//!    whose stored witness lies inside the slice is kept for free, and
+//!    only cells in between pay a satisfiability re-check — memoized
+//!    across keys on the group-active exclusion mask.
+//! 3. **Level 2 — splice the key's local constraints** into its slice
+//!    ([`crate::specialize::splice_locals`]): a mini include/exclude DFS
+//!    over the handful of constraints pinned to that key, run inside each
+//!    specialized cell *and* inside the virtual ∅-cell (the part of the
+//!    slice covered by no shared constraint, which only key-local
+//!    constraints can populate; its satisfiability is memoized across
+//!    keys like any other cross-section). The carried witnesses settle
+//!    one branch of every split for free.
+//! 4. Solve **every group as its own stealable task** on the
+//!    work-stealing pool, preserving output order, with per-worker
+//!    simplex warm-start chains ([`pc_solver::solve_lp_warm`]).
 //!
-//! Specialization is exact, not heuristic: the activity patterns
-//! satisfiable inside a slice are precisely the shared patterns whose
-//! conjunction remains satisfiable there (a slice witness is also a base
-//! witness), so every group's bound equals what a from-scratch
-//! [`BoundEngine::bound`] of that group computes — property-tested in
-//! `tests/prop_groupby.rs`. The one exception is the approximate
-//! [`crate::Strategy::EarlyStop`]: unverified cells admitted by the shared
-//! base pass stay admitted in every overlapping slice, so shared bounds
-//! can be wider (never narrower) than per-key bounds there — both remain
+//! The scheme is exact, not heuristic: inside the `group = key` slice,
+//! every key-local constraint of *another* key is automatically excluded
+//! and automatically satisfied, so the satisfiable activity patterns are
+//! exactly (shared pattern satisfiable in the slice) × (local
+//! refinements) — and adding a local include/exclude only ever shrinks a
+//! pattern's region, so enumerating locals under each satisfiable shared
+//! pattern (plus the ∅-pattern) loses nothing. Every group's bound equals
+//! what a from-scratch [`BoundEngine::bound`] of that group computes —
+//! property-tested in `tests/prop_groupby.rs`, including the
+//! key-local-heavy sets the old heuristic punted on. The one exception is
+//! the approximate [`crate::Strategy::EarlyStop`]: unverified cells
+//! admitted by the shared base pass stay admitted in every overlapping
+//! slice (and their local splices stay unverified), so shared bounds can
+//! be wider (never narrower) than per-key bounds there — both remain
 //! sound, as early stopping only ever widens.
 
-use crate::bounds::WarmCache;
-use crate::{BoundEngine, BoundError, BoundReport, Cell, DecomposeStats};
-use pc_predicate::{sat, Atom, Interval, Predicate, Region};
+use crate::bounds::{pooled_map, WarmCache, WarmCaches};
+use crate::specialize::{splice_locals, SliceSpecializer};
+use crate::{
+    ActiveSet, BoundEngine, BoundError, BoundReport, Cell, DecomposeStats, PcSet,
+    PredicateConstraint,
+};
+use pc_predicate::{Atom, Interval, Region};
 use pc_storage::AggQuery;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The result range of one group.
 #[derive(Debug, Clone)]
@@ -54,6 +72,23 @@ pub struct GroupBound {
     /// The bound, or the per-group error (`EmptyAggregate` is common and
     /// expected for groups no missing row can reach).
     pub report: Result<BoundReport, BoundError>,
+}
+
+/// Hash key for an `f64` group key (`-0.0` folded onto `0.0`).
+fn key_bits(key: f64) -> u64 {
+    if key == 0.0 { 0.0f64 } else { key }.to_bits()
+}
+
+/// The two-level partition of a constraint set with respect to one group
+/// attribute, plus the level-1 decomposition of the shared part.
+struct TwoLevel {
+    /// Global indices of the shared (not key-pinned) constraints.
+    shared_ids: Vec<usize>,
+    /// Key → global indices of the constraints pinned to that key.
+    locals_by_key: HashMap<u64, Vec<usize>>,
+    /// Level-1 cells (active sets in *global* indices).
+    cells: Vec<Cell>,
+    stats: DecomposeStats,
 }
 
 impl BoundEngine<'_> {
@@ -67,10 +102,11 @@ impl BoundEngine<'_> {
     /// [`BoundError::EmptyAggregate`] rather than a fabricated zero range,
     /// so callers can distinguish "no missing rows here" from "bounded".
     ///
-    /// Groups are answered from one shared decomposition, in parallel,
-    /// with warm-started LPs (see the module docs); results are returned
-    /// in key order regardless of thread count, and each group's bound is
-    /// identical to a standalone [`BoundEngine::bound`] of that group.
+    /// Groups are answered from one shared two-level decomposition, in
+    /// parallel, with warm-started LPs (see the module docs); results are
+    /// returned in key order regardless of thread count, and each group's
+    /// bound is identical to a standalone [`BoundEngine::bound`] of that
+    /// group.
     pub fn bound_group_by(
         &self,
         base: &AggQuery,
@@ -81,15 +117,16 @@ impl BoundEngine<'_> {
         if keys.is_empty() {
             return Vec::new();
         }
-        if !self.options.shared_group_by || self.mostly_key_local(group_attr) {
+        if !self.options.shared_group_by {
             return self.bound_group_by_per_key(base, group_attr, &keys);
         }
 
-        // 1. One decomposition for the union of all groups.
+        // 1. Partition into shared / key-local and decompose the shared
+        //    part once for the union of all groups.
         let mut base_region = base.predicate.to_region(self.set.schema());
         base_region.intersect(self.set.domain());
-        let shared = match self.cells_for_base(&base_region) {
-            Ok(shared) => shared,
+        let two = match self.two_level_decompose(group_attr, &base_region) {
+            Ok(two) => two,
             Err(e) => {
                 return keys
                     .iter()
@@ -105,356 +142,196 @@ impl BoundEngine<'_> {
         // subset), so one base-level check answers every group. Only a
         // non-closed base needs per-slice re-checks (a slice can dodge the
         // uncovered part).
-        let base_closed = self.options.check_closure && self.set.is_closed_within(&base_region);
-        let ctx = self.shared_ctx(&shared, group_attr, base_closed);
+        let base_closed = self.options.check_closure
+            && self
+                .set
+                .is_closed_within_with(&base_region, self.par_witness());
+        let spec = SliceSpecializer::new(
+            self.set,
+            &two.shared_ids,
+            &two.cells,
+            group_attr,
+            self.par_witness(),
+        );
 
-        // 2–3. Specialize and solve, one stealable task per key. The
-        // specialization memo is shared by every group; warm-start chains
-        // are per pool worker.
-        let threads = self.group_threads(keys.len());
-        let memo: Mutex<SliceMemo> = Mutex::new(HashMap::new());
+        // 2–4. Specialize, splice, and solve, one stealable task per key.
+        let threads = self.task_threads(keys.len());
         let caches = WarmCaches::new(self.options.warm_start);
-        let solve = |key: f64| GroupBound {
-            key,
+        let solve = |key: &f64| GroupBound {
+            key: *key,
             report: self.bound_group_slice(
                 base,
-                key,
-                &ctx,
+                *key,
+                group_attr,
+                &two,
+                &spec,
                 &base_region,
-                &memo,
+                base_closed,
                 caches.for_current_worker(),
             ),
         };
-        pooled_groups(&keys, threads, &solve)
+        pooled_map(&keys, threads, &solve)
     }
 
-    /// Precompute the per-cell facts every group reuses: for each cell,
-    /// the exclusions overlapping its box at all, paired with their
-    /// group-attribute interval.
-    fn shared_ctx<'c>(
-        &'c self,
-        shared: &'c (Vec<Cell>, DecomposeStats),
+    /// Partition the constraints by group-attribute pinning and run the
+    /// level-1 decomposition of the shared subset, remapping cell
+    /// signatures back to global constraint indices.
+    fn two_level_decompose(
+        &self,
         group_attr: usize,
-        base_closed: bool,
-    ) -> SharedCtx<'c> {
-        let (cells, stats) = shared;
+        base_region: &Region,
+    ) -> Result<TwoLevel, BoundError> {
         let constraints = self.set.constraints();
-        // Each predicate's group-attribute interval depends only on the
-        // predicate: fold once per constraint, not once per (cell ×
-        // constraint).
-        let g_iv_of: Vec<Interval> = constraints
-            .iter()
-            .map(|pc| {
-                pc.predicate
-                    .atoms()
-                    .iter()
-                    .filter(|a| a.attr == group_attr)
-                    .fold(Interval::FULL, |acc, a| acc.intersect(&a.interval))
-            })
-            .collect();
-        let mut relevant_of = Vec::with_capacity(cells.len());
-        let mut memoable = Vec::with_capacity(cells.len());
-        for cell in cells {
-            // An exclusion whose box misses the cell box in any dimension
-            // can never capture a point of any slice of this cell.
-            let relevant: Vec<(Interval, &Predicate)> = constraints
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| !cell.active.contains(*j))
-                .filter(|(_, pc)| {
-                    pc.predicate.atoms().iter().all(|a| {
-                        !cell
-                            .region
-                            .interval(a.attr)
-                            .intersect(&a.interval)
-                            .is_empty(cell.region.attr_type(a.attr))
-                    })
-                })
-                .map(|(j, pc)| (g_iv_of[j], &pc.predicate))
-                .collect();
-            memoable.push(relevant.len() <= 64);
-            relevant_of.push(relevant);
+        let mut shared_ids = Vec::with_capacity(constraints.len());
+        let mut locals_by_key: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (j, pc) in constraints.iter().enumerate() {
+            // fold only the group-attribute atoms — no full Region per
+            // constraint just to read one interval
+            let iv = pc.predicate.interval_for(group_attr);
+            if iv.inf() == iv.sup() && iv.inf().is_finite() {
+                locals_by_key.entry(key_bits(iv.inf())).or_default().push(j);
+            } else {
+                shared_ids.push(j);
+            }
         }
-        SharedCtx {
+
+        let (cells, stats) = if shared_ids.len() == constraints.len() {
+            // nothing is key-local: the shared set is the whole set
+            self.cells_for_base(base_region)?
+        } else {
+            // decompose the shared subset through a scratch engine, then
+            // remap the sub-indices its cells carry to global ones
+            let mut sub = PcSet::new(self.set.schema().clone());
+            sub.set_domain(self.set.domain().clone());
+            // pairwise disjointness is inherited by any subset
+            sub.set_disjoint_hint(self.set.disjoint_hint());
+            for &j in &shared_ids {
+                sub.push(constraints[j].clone());
+            }
+            let (mut cells, stats) =
+                BoundEngine::with_options(&sub, self.options).cells_for_base(base_region)?;
+            for cell in &mut cells {
+                cell.active = cell.active.iter().map(|i| shared_ids[i]).collect();
+            }
+            (cells, stats)
+        };
+        Ok(TwoLevel {
+            shared_ids,
+            locals_by_key,
             cells,
-            stats: *stats,
-            relevant_of,
-            memoable,
-            group_attr,
-            base_closed,
-        }
+            stats,
+        })
     }
 
     /// The pre-tentpole baseline: one full `bound()` per key. Used for A/B
-    /// comparison (`shared_group_by: false`), as the property-test oracle,
-    /// and as the plan for mostly-key-local sets — which is why it spreads
-    /// keys over the pool like the shared path. Per-key decompositions may
-    /// fork *inside* a group task too: nested fan-out lands on the same
-    /// work-stealing pool, so there is no thread oversubscription to
-    /// avoid (the old chunked driver pinned inner work to one thread).
+    /// comparison (`shared_group_by: false`) and as the property-test
+    /// oracle — which is why it spreads keys over the pool like the shared
+    /// path. Per-key decompositions may fork *inside* a group task too:
+    /// nested fan-out lands on the same work-stealing pool, so there is no
+    /// thread oversubscription to avoid.
     fn bound_group_by_per_key(
         &self,
         base: &AggQuery,
         group_attr: usize,
         keys: &[f64],
     ) -> Vec<GroupBound> {
-        let threads = self.group_threads(keys.len());
-        let solve = |key: f64| {
+        let threads = self.task_threads(keys.len());
+        let solve = |key: &f64| {
             let predicate = base
                 .predicate
                 .clone()
-                .and(Atom::new(group_attr, Interval::point(key)));
+                .and(Atom::new(group_attr, Interval::point(*key)));
             let query = AggQuery::new(base.agg, base.attr, predicate);
             GroupBound {
-                key,
+                key: *key,
                 report: self.bound(&query),
             }
         };
-        pooled_groups(keys, threads, &solve)
+        pooled_map(keys, threads, &solve)
     }
 
-    /// Bound one group from the shared decomposition.
+    /// Bound one group: specialize the level-1 cells to the key's slice,
+    /// splice the key's local constraints in, and solve.
+    #[allow(clippy::too_many_arguments)]
     fn bound_group_slice(
         &self,
         base: &AggQuery,
         key: f64,
-        ctx: &SharedCtx<'_>,
+        group_attr: usize,
+        two: &TwoLevel,
+        spec: &SliceSpecializer<'_>,
         base_region: &Region,
-        memo: &Mutex<SliceMemo>,
+        base_closed: bool,
         warm: Option<WarmCache>,
     ) -> Result<BoundReport, BoundError> {
-        let group_attr = ctx.group_attr;
-        let key_iv = Interval::point(key);
-        let ty = base_region.attr_type(group_attr);
         let mut slice = base_region.clone();
-        slice.set_interval(group_attr, slice.interval(group_attr).intersect(&key_iv));
+        slice.set_interval(
+            group_attr,
+            slice.interval(group_attr).intersect(&Interval::point(key)),
+        );
 
-        let mut stats = ctx.stats;
-        let mut cells = Vec::with_capacity(ctx.cells.len());
-        for (cell_idx, cell) in ctx.cells.iter().enumerate() {
-            let cur = cell.region.interval(group_attr);
-            let narrowed = cur.intersect(&key_iv);
-            if narrowed.is_empty(ty) {
-                // the cell's box misses this group entirely
-                continue;
-            }
-            let region = if narrowed == *cur {
-                Arc::clone(&cell.region)
-            } else {
-                let mut r = (*cell.region).clone();
-                r.set_interval(group_attr, narrowed);
-                Arc::new(r)
-            };
-            let witness = match &cell.witness {
-                // the shared witness already lives in this group's slice:
-                // satisfiability carries over for free
-                Some(w) if region.contains_row(w) => Some(w.clone()),
-                // box overlaps but the witness is elsewhere: re-verify the
-                // cell's conjunction inside the slice — memoized by which
-                // exclusions are group-active, because two slices overlapped
-                // by the same exclusion subset have isomorphic cross-sections
-                // (only the group coordinate differs)
-                Some(_) => {
-                    match self.slice_witness(cell_idx, key, &region, ctx, memo, &mut stats) {
-                        Some(w) => Some(w),
-                        None => continue,
+        let mut stats = two.stats;
+        let specialized = spec.specialize_slice(key, base_region, &mut stats);
+
+        let cells = match two.locals_by_key.get(&key_bits(key)) {
+            // No constraint is pinned to this key: the specialized cells
+            // are the slice's full decomposition.
+            None => specialized.into_iter().map(|(_, cell)| cell).collect(),
+            Some(local_ids) => {
+                let locals: Vec<(usize, &PredicateConstraint)> = local_ids
+                    .iter()
+                    .map(|&j| (j, &self.set.constraints()[j]))
+                    .collect();
+                let mut cells = Vec::with_capacity(specialized.len() * 2);
+                for (src, cell) in specialized {
+                    let negs = spec.group_active_negs(src, key);
+                    splice_locals(
+                        cell.region,
+                        &cell.active,
+                        cell.witness,
+                        negs,
+                        &locals,
+                        self.par_witness(),
+                        &mut cells,
+                        &mut stats,
+                    );
+                }
+                // The virtual ∅-cell: slice points covered by no shared
+                // constraint, reachable only through this key's locals.
+                if !slice.is_empty() {
+                    if let Some(w) = spec.virtual_witness(key, &slice, &mut stats) {
+                        splice_locals(
+                            Arc::new(slice.clone()),
+                            &ActiveSet::new(),
+                            Some(w),
+                            spec.virtual_negs(key),
+                            &locals,
+                            self.par_witness(),
+                            &mut cells,
+                            &mut stats,
+                        );
                     }
                 }
-                // early-stop cell, admitted unverified in the shared pass:
-                // stays admitted (only ever widens bounds, like the
-                // sequential EarlyStop semantics)
-                None => None,
-            };
-            cells.push(Cell {
-                region,
-                active: cell.active.clone(),
-                witness,
-            });
-        }
+                cells
+            }
+        };
         stats.cells = cells.len();
 
-        let closed = if !self.options.check_closure || ctx.base_closed {
+        let closed = if !self.options.check_closure || base_closed {
             // disabled, or hoisted: every slice of a closed base is closed
             true
         } else {
-            self.set.is_closed_within(&slice)
+            self.set.is_closed_within_with(&slice, self.par_witness())
         };
         let problem = self.problem_from_cells(base.attr, &slice, cells, stats, closed, warm)?;
         self.bound_problem(base.agg, &problem)
     }
-
-    /// Decide satisfiability of `cell ∧ ¬exclusions` inside the slice at
-    /// `key`, returning a witness. Memoized on (cell, group-active
-    /// exclusion mask): a cached verdict transfers to any other key with
-    /// the same mask, with the witness's group coordinate remapped. The
-    /// memo is shared by every group task; two workers racing on the same
-    /// uncached mask both pay the check (last insert wins, verdicts are
-    /// equal), so concurrency can only add `sat_checks`, never miss one.
-    fn slice_witness(
-        &self,
-        cell_idx: usize,
-        key: f64,
-        region: &Region,
-        ctx: &SharedCtx<'_>,
-        memo: &Mutex<SliceMemo>,
-        stats: &mut DecomposeStats,
-    ) -> Option<Vec<f64>> {
-        let relevant = &ctx.relevant_of[cell_idx];
-        // Only group-active relevant exclusions can capture a point of
-        // this slice; the rest are disjoint from it in some dimension.
-        let negs: Vec<&Predicate> = relevant
-            .iter()
-            .filter(|(g_iv, _)| g_iv.contains(key))
-            .map(|(_, p)| *p)
-            .collect();
-        if !ctx.memoable[cell_idx] {
-            // too many relevant exclusions for the 64-bit mask: still use
-            // the (sound) group-active filter, just without memoization
-            stats.sat_checks += 1;
-            return sat::find_witness(region, &negs);
-        }
-        let mut mask = 0u64;
-        for (bit, (g_iv, _)) in relevant.iter().enumerate() {
-            if g_iv.contains(key) {
-                mask |= 1 << bit;
-            }
-        }
-        let cached = memo.lock().unwrap().get(&(cell_idx, mask)).cloned();
-        if let Some(template) = cached {
-            return template.map(|mut w| {
-                w[ctx.group_attr] = key;
-                w
-            });
-        }
-        stats.sat_checks += 1;
-        let witness = sat::find_witness(region, &negs);
-        memo.lock()
-            .unwrap()
-            .insert((cell_idx, mask), witness.clone());
-        witness
-    }
-
-    /// True when most constraints pin the group attribute to a single
-    /// value (per-key floors/caps). Such sets are poison for the shared
-    /// path — the base decomposition must arrange *every* key's private
-    /// constraints against each other, while per-key pushdown prunes all
-    /// but one of them in a single check each. Bounds are identical either
-    /// way; this only picks the cheaper plan. (A two-level decomposition
-    /// that hoists key-local constraints out of the shared pass is the
-    /// natural follow-up — see ROADMAP.)
-    fn mostly_key_local(&self, group_attr: usize) -> bool {
-        let n = self.set.len();
-        if n == 0 {
-            return false;
-        }
-        let local = self
-            .set
-            .constraints()
-            .iter()
-            .filter(|pc| {
-                // fold only the group-attribute atoms (like
-                // `shared_ctx`'s `g_iv_of`) — no full Region per
-                // constraint just to read one interval
-                let iv = pc.predicate.interval_for(group_attr);
-                iv.sup() == iv.inf()
-            })
-            .count();
-        local * 2 > n
-    }
-
-    /// Threads to spread groups over.
-    fn group_threads(&self, n_keys: usize) -> usize {
-        let par = crate::Parallelism {
-            threads: self.options.threads,
-            depth: None,
-        };
-        par.resolved_threads().min(n_keys).max(1)
-    }
-}
-
-/// Precomputed, read-only facts shared by every group of one GROUP-BY.
-struct SharedCtx<'a> {
-    /// The shared decomposition's cells.
-    cells: &'a [Cell],
-    /// Its work counters (copied into every group's report).
-    stats: DecomposeStats,
-    /// Per cell: exclusions whose box overlaps the cell box at all, with
-    /// their group-attribute interval (`FULL` when unconstrained on it).
-    relevant_of: Vec<Vec<(Interval, &'a Predicate)>>,
-    /// Whether the cell's relevant exclusions fit the 64-bit memo mask.
-    memoable: Vec<bool>,
-    group_attr: usize,
-    /// Result of the hoisted base-level closure check.
-    base_closed: bool,
-}
-
-/// Shared specialization memo: (cell, group-active exclusion mask) →
-/// witness template (`None` = that cross-section is unsatisfiable). One
-/// mutex'd store serves every group of a GROUP-BY — a verdict computed
-/// for any key transfers to all keys with the same mask, regardless of
-/// which worker solved them.
-type SliceMemo = HashMap<(usize, u64), Option<Vec<f64>>>;
-
-/// One warm-start cache per pool worker (plus one for the calling
-/// thread): groups solved on the same worker chain their simplex bases
-/// from one LP to the next without cross-thread contention, replacing the
-/// per-chunk `Rc<RefCell>` chains of the chunked driver.
-struct WarmCaches {
-    slots: Option<Vec<WarmCache>>,
-}
-
-impl WarmCaches {
-    fn new(enabled: bool) -> Self {
-        let slots = enabled.then(|| {
-            (0..=rayon::current_num_threads())
-                .map(|_| Arc::new(Mutex::new(HashMap::new())))
-                .collect()
-        });
-        WarmCaches { slots }
-    }
-
-    /// The cache owned by the executing worker (last slot for calls from
-    /// outside the pool), or `None` when warm starting is disabled.
-    fn for_current_worker(&self) -> Option<WarmCache> {
-        let slots = self.slots.as_ref()?;
-        let i = rayon::current_thread_index().unwrap_or(slots.len() - 1);
-        Some(Arc::clone(&slots[i]))
-    }
-}
-
-/// Solve every key as its own stealable pool task, returning results in
-/// key order — the driver shared by the shared-decomposition and per-key
-/// GROUP-BY paths. No chunk barriers: a slow group delays only itself,
-/// and idle workers steal whatever groups remain.
-fn pooled_groups<F>(keys: &[f64], threads: usize, solve: &F) -> Vec<GroupBound>
-where
-    F: Fn(f64) -> GroupBound + Sync,
-{
-    if threads <= 1 || keys.len() <= 1 {
-        return keys.iter().map(|&key| solve(key)).collect();
-    }
-    let slots: Vec<Mutex<Option<GroupBound>>> = keys.iter().map(|_| Mutex::new(None)).collect();
-    rayon::scope(|s| {
-        for (slot, &key) in slots.iter().zip(keys) {
-            s.spawn(move |_| {
-                *slot.lock().unwrap() = Some(solve(key));
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every group task ran to completion")
-        })
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BoundOptions, FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint};
+    use crate::{BoundOptions, FrequencyConstraint, PredicateConstraint, ValueConstraint};
     use pc_predicate::{AttrType, Predicate, Region, Schema};
     use pc_storage::AggKind;
 
@@ -599,6 +476,68 @@ mod tests {
             let per_key = baseline_engine.bound_group_by(&base, 0, keys);
             assert_reports_match(&shared, &per_key);
         }
+    }
+
+    #[test]
+    fn two_level_handles_purely_key_local_sets() {
+        // Every constraint pins the group attribute: the level-1
+        // decomposition is empty and the virtual ∅-cell carries all the
+        // work — exactly the shape the retired `mostly_key_local`
+        // heuristic used to punt to the per-key path.
+        let set = branch_set();
+        let keys = [0.0, 1.0, 2.0, 7.0];
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Max] {
+            let base = AggQuery::new(agg, 1, Predicate::always());
+            let shared = BoundEngine::new(&set).bound_group_by(&base, 0, keys);
+            let per_key = BoundEngine::with_options(
+                &set,
+                BoundOptions {
+                    shared_group_by: false,
+                    ..BoundOptions::default()
+                },
+            )
+            .bound_group_by(&base, 0, keys);
+            assert_reports_match(&shared, &per_key);
+        }
+    }
+
+    #[test]
+    fn two_level_splices_forced_key_local_constraints() {
+        // A key-local *floor* (kl > 0) interacting with a shared cap:
+        // the spliced cells must let the MILP see both rows at once.
+        let schema = Schema::new(vec![("branch", AttrType::Cat), ("price", AttrType::Float)]);
+        let mut domain = Region::full(&schema);
+        domain.set_interval(0, Interval::closed(0.0, 1.0));
+        let mut set = PcSet::new(schema);
+        // branch 0 must hold 4–6 rows priced in [10, 20]
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::eq(0, 0.0)),
+            ValueConstraint::none().with(1, Interval::closed(10.0, 20.0)),
+            FrequencyConstraint::between(4, 6),
+        ));
+        // everywhere: at most 9 rows priced in [0, 100]
+        set.push(PredicateConstraint::new(
+            Predicate::always(),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 100.0)),
+            FrequencyConstraint::at_most(9),
+        ));
+        set.set_domain(domain);
+
+        let base = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let keys = [0.0, 1.0];
+        let shared = BoundEngine::new(&set).bound_group_by(&base, 0, keys);
+        let per_key = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                shared_group_by: false,
+                ..BoundOptions::default()
+            },
+        )
+        .bound_group_by(&base, 0, keys);
+        assert_reports_match(&shared, &per_key);
+        // sanity: branch 0's floor is visible (lo ≥ 4 · 10)
+        let g0 = shared[0].report.as_ref().unwrap();
+        assert!(g0.range.lo >= 40.0 - 1e-9, "lo = {}", g0.range.lo);
     }
 
     #[test]

@@ -24,9 +24,18 @@
 //! 3. **Join bounds** (§5): the naive Cartesian-product bound and the
 //!    tighter fractional-edge-cover bound derived from Friedgut's
 //!    generalized weighted entropy inequality.
-//! 4. **Incremental GROUP-BY** ([`BoundEngine::bound_group_by`]): one
-//!    shared decomposition specialized per group key, groups solved in
-//!    parallel — instead of a from-scratch decomposition per key.
+//! 4. **Incremental GROUP-BY** ([`BoundEngine::bound_group_by`]): a
+//!    two-level scheme — shared constraints decomposed once, each key's
+//!    group-local constraints spliced into its specialized slice, groups
+//!    solved in parallel — instead of a from-scratch decomposition per
+//!    key.
+//! 5. A **session layer** ([`Session`]) for serving query traffic: the
+//!    set is decomposed once against its full domain into an `Arc`-shared
+//!    [`specialize::CellSet`], each query specializes the cached cells to
+//!    its region (re-SAT-checking only cells the region genuinely cuts),
+//!    and simplex warm starts chain *across* queries through per-worker
+//!    caches. [`Session::bound_many`] fans a batch out over the
+//!    work-stealing pool.
 //!
 //! Parallelism, fan-out depth, and the group-by fast paths are all knobs
 //! on [`BoundOptions`] (`threads`, `parallel_depth`, `shared_group_by`,
@@ -85,6 +94,8 @@ mod error;
 mod groupby;
 pub mod join;
 mod pcset;
+mod session;
+pub mod specialize;
 
 pub use bounds::{BoundEngine, BoundOptions, BoundReport, ResultRange, PARALLEL_MIN_CONSTRAINTS};
 pub use cell::{ActiveSet, Cell};
@@ -97,3 +108,5 @@ pub use dsl::{parse_constraint, parse_pcset};
 pub use error::BoundError;
 pub use groupby::GroupBound;
 pub use pcset::{PcSet, Violation};
+pub use session::{Session, SessionOptions};
+pub use specialize::CellSet;

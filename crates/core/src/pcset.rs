@@ -113,9 +113,26 @@ impl PcSet {
     /// point of `domain ∩ within` covered by some predicate? Implemented
     /// as unsatisfiability of the all-negated cell.
     pub fn is_closed_within(&self, within: &Region) -> bool {
+        self.is_closed_within_with(within, false)
+    }
+
+    /// [`PcSet::is_closed_within`] with the parallel witness-search
+    /// opt-in: the all-negated cell excludes *every* constraint, which is
+    /// the widest satisfiability query the engine issues — exactly where
+    /// [`sat::find_witness_with`]'s per-disjunct fan-out pays.
+    pub fn is_closed_within_with(&self, within: &Region, parallel: bool) -> bool {
+        self.uncovered_witness_with(within, parallel).is_none()
+    }
+
+    /// A concrete point of `domain ∩ within` covered by no predicate —
+    /// the counterexample behind a failed closure check (`None` means the
+    /// region is closed). Callers that cache the witness can later
+    /// re-prove *non*-closure of any sub-region containing it without a
+    /// SAT call (see [`crate::Session`]).
+    pub fn uncovered_witness_with(&self, within: &Region, parallel: bool) -> Option<Vec<f64>> {
         let base = self.domain.intersected(within);
         let negs: Vec<&Predicate> = self.constraints.iter().map(|pc| &pc.predicate).collect();
-        !sat::is_sat(&base, &negs)
+        sat::find_witness_with(&base, &negs, parallel)
     }
 
     /// Closure over the whole declared domain.

@@ -1,0 +1,369 @@
+//! The session layer: serve many queries against one constraint set.
+//!
+//! [`BoundEngine::bound`] rebuilds the cell decomposition — the engine's
+//! exponential-worst-case step — on every call. That is the right shape
+//! for one-shot contingency questions and exactly the wrong shape for a
+//! serving system answering heavy query traffic against one PC set. A
+//! [`Session`] amortizes the expensive work across queries:
+//!
+//! * the constraint set is decomposed **once**, against its full domain,
+//!   into an [`Arc`]-shared [`CellSet`] (built lazily on first use and
+//!   reused by every subsequent query, including concurrent ones);
+//! * each query is answered by **specializing** the cached cells to the
+//!   query's region — interval intersections to drop and share cells,
+//!   plus an exact SAT re-check for only the cells the region genuinely
+//!   cuts (see [`crate::specialize`]);
+//! * the base-level **closure verdict is hoisted**: a sub-region of a
+//!   closed region is closed, so queries against a closed set skip the
+//!   all-negated SAT check entirely; for a non-closed set the
+//!   *counterexample point* is cached, so any query containing it is
+//!   proven non-closed without a SAT call either — only queries that
+//!   dodge the uncovered part pay an exact check;
+//! * simplex **warm starts chain across queries**, not just within one:
+//!   the session keeps per-worker [`WarmCaches`] alive for its whole
+//!   lifetime, so the 80-probe AVG binary search of query *n + 1* starts
+//!   from the bases query *n* left behind.
+//!
+//! Specialization is exact (the module docs of [`crate::specialize`]
+//! carry the argument), so a session returns the same ranges as a fresh
+//! [`BoundEngine::bound`] of every query — property-tested in
+//! `tests/prop_session.rs`. Under the approximate
+//! [`crate::Strategy::EarlyStop`] the session may admit more unverified
+//! cells than a per-query decomposition and report wider (still sound)
+//! ranges.
+//!
+//! [`Session::bound_many`] runs a batch as stealable pool tasks (results
+//! in input order); `pc batch` streams a query file through one session
+//! from the command line, and the `query_throughput` bench records the
+//! cold-vs-session speedup to `BENCH_serve.json`.
+
+use crate::bounds::{pooled_map, WarmCache, WarmCaches};
+use crate::specialize::CellSet;
+use crate::{BoundEngine, BoundError, BoundOptions, BoundReport, GroupBound};
+use pc_storage::AggQuery;
+use std::sync::{Arc, OnceLock};
+
+/// Session configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionOptions {
+    /// Engine knobs shared by every query of the session.
+    pub bound: BoundOptions,
+    /// Decompose the full domain once and answer queries by specializing
+    /// the cached cells (the default). Disabled, every query decomposes
+    /// its own region from scratch — the cold baseline, kept as an honest
+    /// A/B switch (`pc … --no-session-cache`); warm-start chaining across
+    /// queries stays on either way unless `bound.warm_start` is off.
+    pub cache_cells: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            bound: BoundOptions::default(),
+            cache_cells: true,
+        }
+    }
+}
+
+/// A long-lived query-serving handle over one [`crate::PcSet`]: decompose
+/// once, specialize per query, chain warm starts across queries. See the
+/// module docs.
+///
+/// All methods take `&self`; a session is safe to share across threads
+/// (the lazily built cell cache is a [`OnceLock`], the warm-start stores
+/// are per-worker).
+pub struct Session<'a> {
+    engine: BoundEngine<'a>,
+    cache_cells: bool,
+    cells: OnceLock<Result<Arc<CellSet>, BoundError>>,
+    warm: WarmCaches,
+}
+
+impl<'a> Session<'a> {
+    /// A session with default options.
+    pub fn new(set: &'a crate::PcSet) -> Self {
+        Session::with_options(set, SessionOptions::default())
+    }
+
+    /// A session with explicit options.
+    pub fn with_options(set: &'a crate::PcSet, options: SessionOptions) -> Self {
+        Session {
+            engine: BoundEngine::with_options(set, options.bound),
+            cache_cells: options.cache_cells,
+            cells: OnceLock::new(),
+            warm: WarmCaches::new(options.bound.warm_start),
+        }
+    }
+
+    /// The underlying engine (for one-off calls that bypass the cache).
+    pub fn engine(&self) -> &BoundEngine<'a> {
+        &self.engine
+    }
+
+    /// The session's cached domain-wide decomposition, built on first
+    /// use. Fails with the decomposition's error (e.g. a
+    /// [`crate::Strategy::Naive`] overflow), which every later query then
+    /// reports too.
+    pub fn cell_set(&self) -> Result<Arc<CellSet>, BoundError> {
+        self.cells
+            .get_or_init(|| {
+                let set = self.engine.set;
+                let base = set.domain().clone();
+                let (cells, stats) = self.engine.cells_for_base(&base)?;
+                // Cache the closure *counterexample*, not just the
+                // verdict: a non-closed set would otherwise re-prove
+                // non-closure with the widest SAT query on every bound.
+                let uncovered = if self.engine.options.check_closure {
+                    set.uncovered_witness_with(&base, self.engine.par_witness())
+                } else {
+                    None
+                };
+                Ok(Arc::new(CellSet::new(set, base, cells, stats, uncovered)))
+            })
+            .clone()
+    }
+
+    /// Compute the result range of one query, reusing the session's
+    /// cached decomposition and warm-start chains. Returns exactly what
+    /// [`BoundEngine::bound`] would (see the module docs).
+    pub fn bound(&self, query: &AggQuery) -> Result<BoundReport, BoundError> {
+        self.bound_with(query, self.warm.for_current_worker())
+    }
+
+    fn bound_with(
+        &self,
+        query: &AggQuery,
+        warm: Option<WarmCache>,
+    ) -> Result<BoundReport, BoundError> {
+        if !self.cache_cells {
+            // Cold cells, warm chains: the honest baseline for the cache
+            // knob still benefits from cross-query basis reuse.
+            return self.engine.bound_with_warm(query, warm);
+        }
+        let cell_set = self.cell_set()?;
+        let set = self.engine.set;
+        let mut target = query.predicate.to_region(set.schema());
+        target.intersect(set.domain());
+
+        let mut stats = cell_set.stats();
+        let cells = cell_set.specialize(set, &target, &mut stats, self.engine.par_witness());
+        stats.cells = cells.len();
+
+        let closed = if !self.engine.options.check_closure || cell_set.closed() {
+            // hoisted: a sub-region of a closed base is closed
+            true
+        } else if cell_set.uncovered().is_some_and(|w| target.contains_row(w)) {
+            // the cached counterexample lies inside the query: provably
+            // not closed, no SAT call
+            false
+        } else {
+            // non-closed base, but the query region may dodge the
+            // uncovered part — one exact check decides
+            set.is_closed_within_with(&target, self.engine.par_witness())
+        };
+        let problem = self
+            .engine
+            .problem_from_cells(query.attr, &target, cells, stats, closed, warm)?;
+        self.engine.bound_problem(query.agg, &problem)
+    }
+
+    /// Bound a batch of queries through the session, each as its own
+    /// stealable pool task; results come back in input order. The cell
+    /// cache is primed once before the fan-out so the workers specialize
+    /// instead of racing to decompose.
+    pub fn bound_many(&self, queries: &[AggQuery]) -> Vec<Result<BoundReport, BoundError>> {
+        if self.cache_cells && !queries.is_empty() {
+            // Prime the OnceLock up front; a per-query error replays below.
+            let _ = self.cell_set();
+        }
+        let threads = self.engine.task_threads(queries.len());
+        pooled_map(queries, threads, &|query| {
+            self.bound_with(query, self.warm.for_current_worker())
+        })
+    }
+
+    /// Bound a GROUP-BY through the session's engine: the two-level
+    /// shared decomposition already amortizes level 1 across the keys of
+    /// one call (see [`BoundEngine::bound_group_by`]); the session adds
+    /// its configuration, not a second cache layer.
+    pub fn bound_group_by(
+        &self,
+        base: &AggQuery,
+        group_attr: usize,
+        keys: impl IntoIterator<Item = f64>,
+    ) -> Vec<GroupBound> {
+        self.engine.bound_group_by(base, group_attr, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrequencyConstraint, PcSet, PredicateConstraint, Strategy, ValueConstraint};
+    use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
+    use pc_storage::AggKind;
+
+    fn schema() -> Schema {
+        Schema::new(vec![("utc", AttrType::Int), ("price", AttrType::Float)])
+    }
+
+    fn overlapping_set() -> PcSet {
+        let mut set = PcSet::new(schema())
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 129.99)),
+                FrequencyConstraint::between(50, 100),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 11.0, 13.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 149.99)),
+                FrequencyConstraint::between(75, 125),
+            ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(11.0, 13.0));
+        set.set_domain(domain);
+        set
+    }
+
+    fn queries() -> Vec<AggQuery> {
+        vec![
+            AggQuery::new(AggKind::Sum, 1, Predicate::always()),
+            AggQuery::count(Predicate::always()),
+            AggQuery::count(Predicate::atom(Atom::bucket(0, 11.0, 12.0))),
+            AggQuery::new(
+                AggKind::Sum,
+                1,
+                Predicate::atom(Atom::bucket(0, 12.0, 13.0)),
+            ),
+            AggQuery::new(AggKind::Avg, 1, Predicate::always()),
+            AggQuery::new(AggKind::Max, 1, Predicate::always()),
+        ]
+    }
+
+    #[test]
+    fn session_matches_fresh_engine() {
+        let set = overlapping_set();
+        let session = Session::new(&set);
+        let engine = BoundEngine::new(&set);
+        for q in queries() {
+            let fresh = engine.bound(&q).unwrap();
+            let served = session.bound(&q).unwrap();
+            assert_eq!(fresh.range, served.range, "{q:?}");
+            assert_eq!(fresh.closed, served.closed, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_queries_pay_no_new_sat_checks() {
+        let set = overlapping_set();
+        let session = Session::new(&set);
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let first = session.bound(&q).unwrap();
+        let second = session.bound(&q).unwrap();
+        assert_eq!(first.range, second.range);
+        // the full-domain query is answered by sharing every cached cell:
+        // the only sat_checks are the cached decomposition's own
+        assert_eq!(
+            second.stats.sat_checks,
+            session.cell_set().unwrap().stats().sat_checks
+        );
+    }
+
+    #[test]
+    fn bound_many_preserves_order_and_results() {
+        let set = overlapping_set();
+        let session = Session::new(&set);
+        let qs = queries();
+        let batch = session.bound_many(&qs);
+        assert_eq!(batch.len(), qs.len());
+        for (q, got) in qs.iter().zip(&batch) {
+            let want = session.bound(q);
+            match (&want, got) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.range, b.range, "{q:?}");
+                    assert_eq!(a.closed, b.closed, "{q:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("{q:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_disabled_still_matches() {
+        let set = overlapping_set();
+        let session = Session::with_options(
+            &set,
+            SessionOptions {
+                cache_cells: false,
+                ..SessionOptions::default()
+            },
+        );
+        let engine = BoundEngine::new(&set);
+        for q in queries() {
+            let fresh = engine.bound(&q).unwrap();
+            let served = session.bound(&q).unwrap();
+            assert_eq!(fresh.range, served.range, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn non_closed_sets_reuse_the_cached_counterexample() {
+        // constraints cover utc ∈ [11, 13) but the domain spans [11, 15):
+        // the base is not closed and the session caches a witness of the
+        // uncovered part
+        let mut set = overlapping_set();
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(11.0, 15.0));
+        set.set_domain(domain);
+        let session = Session::new(&set);
+        let engine = BoundEngine::new(&set);
+
+        let w = session.cell_set().unwrap();
+        let w = w.uncovered().expect("base is not closed").to_vec();
+
+        // a query containing the counterexample is non-closed for free; a
+        // query dodging the uncovered part pays one exact check — both
+        // must match the fresh engine
+        for q in [
+            AggQuery::count(Predicate::always()),
+            AggQuery::count(Predicate::atom(Atom::bucket(0, 11.0, 12.0))),
+        ] {
+            let fresh = engine.bound(&q).unwrap();
+            let served = session.bound(&q).unwrap();
+            assert_eq!(fresh.closed, served.closed, "{q:?}");
+            assert_eq!(fresh.range, served.range, "{q:?}");
+        }
+        // sanity on the cached point itself
+        assert!(set.domain().contains_row(&w));
+        for pc in set.constraints() {
+            assert!(!pc.predicate.eval(&w));
+        }
+    }
+
+    #[test]
+    fn naive_overflow_surfaces_per_query() {
+        let mut set = PcSet::new(schema());
+        for i in 0..(crate::decompose::NAIVE_LIMIT + 1) {
+            set.push(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, i as f64, i as f64 + 2.0)),
+                ValueConstraint::none(),
+                FrequencyConstraint::at_most(5),
+            ));
+        }
+        let session = Session::with_options(
+            &set,
+            SessionOptions {
+                bound: BoundOptions {
+                    strategy: Strategy::Naive,
+                    ..BoundOptions::default()
+                },
+                ..SessionOptions::default()
+            },
+        );
+        let q = AggQuery::count(Predicate::always());
+        assert!(matches!(session.bound(&q), Err(BoundError::Decompose(_))));
+        // and again — the cached error replays without re-decomposing
+        assert!(session.bound(&q).is_err());
+    }
+}

@@ -1,0 +1,771 @@
+//! Cell-set specialization: decompose once, answer many queries.
+//!
+//! Cell decomposition is the engine's expensive step — exponential in the
+//! worst case — yet its output depends only on the constraint set and the
+//! region it was decomposed against, not on any particular query. This
+//! module is the machinery that exploits that: a [`CellSet`] freezes one
+//! decomposition (cells, their per-cell *relevant exclusions*, the
+//! base-level closure verdict) so later queries can be answered by
+//! **specializing** the cached cells instead of re-decomposing.
+//!
+//! Specialization of a cell `box ∧ ¬ψ₁ ∧ … ∧ ¬ψₖ` to a sub-region `Q`:
+//!
+//! * `box ∩ Q` empty → the cell cannot contribute; drop it on interval
+//!   intersections alone.
+//! * `box ⊆ Q` → the cell is untouched; share it (`Arc` region, witness
+//!   and all).
+//! * the cached witness lies inside `box ∩ Q` → satisfiability carries
+//!   over for free.
+//! * otherwise → one exact SAT re-check of the cell's conjunction inside
+//!   `box ∩ Q`, against only the *relevant* exclusions (those whose box
+//!   overlaps the cell box at all — the rest cannot capture any point of
+//!   any sub-region of the cell).
+//!
+//! This is exact, not heuristic: `Q ⊆ base` means every activity pattern
+//! satisfiable inside `Q` is satisfiable inside `base` (the same point
+//! works), so the satisfiable patterns inside `Q` are precisely the
+//! cached patterns whose conjunction stays satisfiable there — a
+//! specialized [`CellSet`] yields the same bounds as a from-scratch
+//! decomposition of `Q` (property-tested in `tests/prop_session.rs`).
+//! The one deliberate exception is [`crate::Strategy::EarlyStop`]: cells
+//! the base pass admitted unverified stay admitted in every overlapping
+//! sub-region, so specialized bounds can be wider (never narrower) —
+//! both remain sound, as early stopping only ever widens.
+//!
+//! Two consumers build on the same machinery:
+//!
+//! * [`crate::Session`] specializes one domain-wide [`CellSet`] to each
+//!   query's region (tentpole of the serve path);
+//! * the two-level GROUP-BY ([`crate::BoundEngine::bound_group_by`])
+//!   specializes a *shared-constraint* decomposition to each group's
+//!   slice through [`SliceSpecializer`] — slices of the form
+//!   `group = key` admit a memo (two keys cut by the same exclusion
+//!   subset have isomorphic cross-sections) — and then **splices** each
+//!   key's group-local constraints into its slice with [`splice_locals`],
+//!   a mini include/exclude DFS over the handful of constraints pinned to
+//!   that key.
+
+use crate::decompose::DecomposeStats;
+use crate::{ActiveSet, Cell, PcSet, PredicateConstraint};
+use pc_predicate::{sat, Interval, Predicate, Region};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// True if `pc`'s predicate box overlaps `region` in every atom's
+/// dimension — the necessary condition for the exclusion to capture any
+/// point of the region (atoms repeated on one attribute are checked
+/// individually; a self-contradictory predicate passes the filter and is
+/// then discarded inside the SAT solver, which folds them cumulatively).
+fn overlaps_region(pc: &PredicateConstraint, region: &Region) -> bool {
+    pc.predicate.atoms().iter().all(|a| {
+        !region
+            .interval(a.attr)
+            .intersect(&a.interval)
+            .is_empty(region.attr_type(a.attr))
+    })
+}
+
+/// One frozen decomposition, ready to be specialized to sub-regions.
+///
+/// Holds the cells decomposed against `base`, the base-level closure
+/// verdict (a sub-region of a closed region is closed, so one check
+/// hoists over every query), and per-cell relevant-exclusion indices for
+/// the SAT re-checks specialization needs.
+#[derive(Debug)]
+pub struct CellSet {
+    base: Region,
+    cells: Vec<Cell>,
+    stats: DecomposeStats,
+    /// A point of `base` covered by no predicate — the closure
+    /// counterexample (`None` = closed, or closure checking disabled).
+    uncovered: Option<Vec<f64>>,
+    /// Per cell: indices (into the owning [`PcSet`]) of non-active
+    /// constraints whose box overlaps the cell box at all.
+    relevant_of: Vec<Vec<usize>>,
+}
+
+impl CellSet {
+    /// Freeze a decomposition of `set` against `base`. `uncovered` is
+    /// the base-level closure counterexample (`None` when the base is
+    /// closed — or when closure checking is disabled, which downstream
+    /// treats the same way).
+    pub(crate) fn new(
+        set: &PcSet,
+        base: Region,
+        cells: Vec<Cell>,
+        stats: DecomposeStats,
+        uncovered: Option<Vec<f64>>,
+    ) -> Self {
+        let relevant_of = cells
+            .iter()
+            .map(|cell| {
+                set.constraints()
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, pc)| {
+                        !cell.active.contains(*j) && overlaps_region(pc, &cell.region)
+                    })
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        CellSet {
+            base,
+            cells,
+            stats,
+            uncovered,
+            relevant_of,
+        }
+    }
+
+    /// The region the cells were decomposed against.
+    pub fn base(&self) -> &Region {
+        &self.base
+    }
+
+    /// The decomposed cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Work counters of the one-time decomposition.
+    pub fn stats(&self) -> DecomposeStats {
+        self.stats
+    }
+
+    /// Whether the constraint set covers all of [`CellSet::base`].
+    pub fn closed(&self) -> bool {
+        self.uncovered.is_none()
+    }
+
+    /// The cached point of [`CellSet::base`] no predicate covers, when
+    /// the base is not closed. Any sub-region containing it is provably
+    /// not closed without a SAT call.
+    pub fn uncovered(&self) -> Option<&[f64]> {
+        self.uncovered.as_deref()
+    }
+
+    /// Specialize the cached cells to `target` (⊆ base): the cells a
+    /// decomposition of `target` would produce, at the cost of interval
+    /// intersections plus a SAT re-check for only the cells `target`
+    /// genuinely cuts. `stats.sat_checks` counts the re-checks.
+    pub(crate) fn specialize(
+        &self,
+        set: &PcSet,
+        target: &Region,
+        stats: &mut DecomposeStats,
+        parallel: bool,
+    ) -> Vec<Cell> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        for (i, cell) in self.cells.iter().enumerate() {
+            // Untouched cell: share the whole thing, witness included.
+            if target.contains_region(&cell.region) {
+                out.push(cell.clone());
+                continue;
+            }
+            let narrowed = cell.region.intersected(target);
+            if narrowed.is_empty() {
+                continue;
+            }
+            let witness = match &cell.witness {
+                Some(w) if narrowed.contains_row(w) => Some(w.clone()),
+                Some(_) => {
+                    // The box overlaps but the witness is elsewhere:
+                    // re-verify the conjunction inside the narrowed box.
+                    let negs: Vec<&Predicate> = self.relevant_of[i]
+                        .iter()
+                        .map(|&j| &set.constraints()[j].predicate)
+                        .collect();
+                    stats.sat_checks += 1;
+                    match sat::find_witness_with(&narrowed, &negs, parallel) {
+                        Some(w) => Some(w),
+                        None => continue,
+                    }
+                }
+                // Early-stop cell admitted unverified in the base pass:
+                // stays admitted (only ever widens bounds).
+                None => None,
+            };
+            out.push(Cell {
+                region: Arc::new(narrowed),
+                active: cell.active.clone(),
+                witness,
+            });
+        }
+        out
+    }
+}
+
+/// Memo of slice cross-section verdicts: (cell index, group-active
+/// exclusion mask) → witness template (`None` = that cross-section is
+/// unsatisfiable). A verdict computed for one key transfers to every key
+/// cut by the same exclusion subset, with the witness's group coordinate
+/// remapped. The virtual ∅-cell of the two-level GROUP-BY memoizes under
+/// cell index `usize::MAX`.
+type SliceMemo = HashMap<(usize, u64), Option<Vec<f64>>>;
+
+/// Cell index the virtual empty-shared cell memoizes under.
+const VIRTUAL_CELL: usize = usize::MAX;
+
+/// Per-GROUP-BY specializer for `group = key` slices: the cached
+/// decomposition's cells plus the per-cell relevant exclusions *with
+/// their group-attribute intervals*, so each slice only re-checks against
+/// exclusions actually active at its key, and verdicts are memoized
+/// across keys on the group-active exclusion mask.
+pub(crate) struct SliceSpecializer<'a> {
+    cells: &'a [Cell],
+    group_attr: usize,
+    /// Whether the parallel witness search may engage in re-checks.
+    parallel: bool,
+    /// Per cell: relevant exclusions as (group-attr interval, predicate).
+    relevant_of: Vec<Vec<(Interval, &'a Predicate)>>,
+    /// Whether the cell's relevant exclusions fit the 64-bit memo mask.
+    memoable: Vec<bool>,
+    /// Every shared constraint as (group-attr interval, predicate) — the
+    /// exclusion list of the virtual ∅-cell.
+    all_shared: Vec<(Interval, &'a Predicate)>,
+    memo: Mutex<SliceMemo>,
+}
+
+impl<'a> SliceSpecializer<'a> {
+    /// Build the per-cell relevant-exclusion tables for `cells`, a
+    /// decomposition of the `shared_ids` subset of `set`'s constraints
+    /// (active sets already remapped to global indices).
+    pub(crate) fn new(
+        set: &'a PcSet,
+        shared_ids: &[usize],
+        cells: &'a [Cell],
+        group_attr: usize,
+        parallel: bool,
+    ) -> Self {
+        let constraints = set.constraints();
+        // Each predicate's group-attribute interval depends only on the
+        // predicate: fold once per constraint, not once per (cell ×
+        // constraint).
+        let all_shared: Vec<(Interval, &Predicate)> = shared_ids
+            .iter()
+            .map(|&j| {
+                let pred = &constraints[j].predicate;
+                (pred.interval_for(group_attr), pred)
+            })
+            .collect();
+        let mut relevant_of = Vec::with_capacity(cells.len());
+        let mut memoable = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let relevant: Vec<(Interval, &Predicate)> = shared_ids
+                .iter()
+                .zip(&all_shared)
+                .filter(|(&j, _)| !cell.active.contains(j))
+                .filter(|(&j, _)| overlaps_region(&constraints[j], &cell.region))
+                .map(|(_, entry)| *entry)
+                .collect();
+            memoable.push(relevant.len() <= 64);
+            relevant_of.push(relevant);
+        }
+        SliceSpecializer {
+            cells,
+            group_attr,
+            parallel,
+            relevant_of,
+            memoable,
+            all_shared,
+            memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Specialize every cached cell to the `group = key` slice of
+    /// `base_region`, returning `(source cell index, specialized cell)`
+    /// pairs — the index lets the caller fetch the matching exclusion
+    /// list for local-constraint splicing.
+    pub(crate) fn specialize_slice(
+        &self,
+        key: f64,
+        base_region: &Region,
+        stats: &mut DecomposeStats,
+    ) -> Vec<(usize, Cell)> {
+        let key_iv = Interval::point(key);
+        let ty = base_region.attr_type(self.group_attr);
+        let mut out = Vec::with_capacity(self.cells.len());
+        for (i, cell) in self.cells.iter().enumerate() {
+            let cur = cell.region.interval(self.group_attr);
+            let narrowed = cur.intersect(&key_iv);
+            if narrowed.is_empty(ty) {
+                // the cell's box misses this group entirely
+                continue;
+            }
+            let region = if narrowed == *cur {
+                Arc::clone(&cell.region)
+            } else {
+                let mut r = (*cell.region).clone();
+                r.set_interval(self.group_attr, narrowed);
+                Arc::new(r)
+            };
+            let witness = match &cell.witness {
+                // the shared witness already lives in this group's slice
+                Some(w) if region.contains_row(w) => Some(w.clone()),
+                // box overlaps but the witness is elsewhere: re-verify,
+                // memoized on the group-active exclusion mask
+                Some(_) => {
+                    match self.memoized_witness(i, &self.relevant_of[i], key, &region, stats) {
+                        Some(w) => Some(w),
+                        None => continue,
+                    }
+                }
+                // early-stop cell: stays admitted unverified
+                None => None,
+            };
+            out.push((
+                i,
+                Cell {
+                    region,
+                    active: cell.active.clone(),
+                    witness,
+                },
+            ));
+        }
+        out
+    }
+
+    /// The exclusions that can capture points of cell `src`'s slice at
+    /// `key`: relevant exclusions whose group interval contains the key.
+    pub(crate) fn group_active_negs(&self, src: usize, key: f64) -> Vec<&'a Predicate> {
+        self.relevant_of[src]
+            .iter()
+            .filter(|(g_iv, _)| g_iv.contains(key))
+            .map(|(_, p)| *p)
+            .collect()
+    }
+
+    /// The exclusion list of the virtual ∅-cell at `key`: every shared
+    /// constraint group-active there (a constraint inactive on the group
+    /// attribute at `key` excludes nothing from the slice).
+    pub(crate) fn virtual_negs(&self, key: f64) -> Vec<&'a Predicate> {
+        self.all_shared
+            .iter()
+            .filter(|(g_iv, _)| g_iv.contains(key))
+            .map(|(_, p)| *p)
+            .collect()
+    }
+
+    /// Witness for the virtual ∅-cell (`slice ∧ ¬every group-active
+    /// shared constraint`) — the activity patterns with *no* shared
+    /// constraint, which the shared decomposition never emits but a
+    /// key-local constraint can populate. Memoized across keys exactly
+    /// like cell cross-sections.
+    pub(crate) fn virtual_witness(
+        &self,
+        key: f64,
+        slice: &Region,
+        stats: &mut DecomposeStats,
+    ) -> Option<Vec<f64>> {
+        let memoable = self.all_shared.len() <= 64;
+        self.check_memoized(VIRTUAL_CELL, &self.all_shared, memoable, key, slice, stats)
+    }
+
+    /// Decide satisfiability of cell `src`'s conjunction inside the slice
+    /// at `key`. Memoized on (cell, group-active exclusion mask): a
+    /// cached verdict transfers to any other key with the same mask, with
+    /// the witness's group coordinate remapped — two slices cut by the
+    /// same exclusion subset have isomorphic cross-sections (only the
+    /// group coordinate differs). The memo is shared by every group task;
+    /// two workers racing on the same uncached mask both pay the check
+    /// (last insert wins, verdicts are equal), so concurrency can only
+    /// add `sat_checks`, never miss one.
+    fn memoized_witness(
+        &self,
+        src: usize,
+        relevant: &[(Interval, &Predicate)],
+        key: f64,
+        region: &Region,
+        stats: &mut DecomposeStats,
+    ) -> Option<Vec<f64>> {
+        self.check_memoized(src, relevant, self.memoable[src], key, region, stats)
+    }
+
+    fn check_memoized(
+        &self,
+        src: usize,
+        relevant: &[(Interval, &Predicate)],
+        memoable: bool,
+        key: f64,
+        region: &Region,
+        stats: &mut DecomposeStats,
+    ) -> Option<Vec<f64>> {
+        let negs: Vec<&Predicate> = relevant
+            .iter()
+            .filter(|(g_iv, _)| g_iv.contains(key))
+            .map(|(_, p)| *p)
+            .collect();
+        if !memoable {
+            // too many relevant exclusions for the 64-bit mask: still use
+            // the (sound) group-active filter, just without memoization
+            stats.sat_checks += 1;
+            return sat::find_witness_with(region, &negs, self.parallel);
+        }
+        let mut mask = 0u64;
+        for (bit, (g_iv, _)) in relevant.iter().enumerate() {
+            if g_iv.contains(key) {
+                mask |= 1 << bit;
+            }
+        }
+        let cached = self.memo.lock().unwrap().get(&(src, mask)).cloned();
+        if let Some(template) = cached {
+            return template.map(|mut w| {
+                w[self.group_attr] = key;
+                w
+            });
+        }
+        stats.sat_checks += 1;
+        let witness = sat::find_witness_with(region, &negs, self.parallel);
+        self.memo
+            .lock()
+            .unwrap()
+            .insert((src, mask), witness.clone());
+        witness
+    }
+}
+
+/// Splice a key's group-local constraints into one specialized cell: a
+/// mini include/exclude DFS over `locals` (global index, constraint),
+/// starting from the cell's box, activity set, and — in exact mode — a
+/// proven witness of `region ∧ ¬shared_negs`.
+///
+/// Each level decides one local constraint. The carried witness settles
+/// one branch for free: if it satisfies the constraint it proves the
+/// include branch, otherwise the exclude branch; the *other* branch pays
+/// at most one exact SAT check (the include branch none at all when its
+/// tightened box is empty). Sub-cells reaching the leaf with a non-empty
+/// activity set are emitted with their prefix witness.
+///
+/// `verified = false` (the cell was admitted unverified by
+/// [`crate::Strategy::EarlyStop`]) degrades to geometric pruning only:
+/// every box-non-empty combination is admitted witness-less, matching the
+/// early-stop contract (possible false positives, bounds only widen).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn splice_locals<'a>(
+    region: Arc<Region>,
+    active: &ActiveSet,
+    witness: Option<Vec<f64>>,
+    shared_negs: Vec<&'a Predicate>,
+    locals: &[(usize, &'a PredicateConstraint)],
+    parallel: bool,
+    out: &mut Vec<Cell>,
+    stats: &mut DecomposeStats,
+) {
+    let verified = witness.is_some();
+    splice_dfs(
+        locals,
+        0,
+        region,
+        active.clone(),
+        shared_negs,
+        witness,
+        verified,
+        parallel,
+        out,
+        stats,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn splice_dfs<'a>(
+    locals: &[(usize, &'a PredicateConstraint)],
+    idx: usize,
+    region: Arc<Region>,
+    active: ActiveSet,
+    excluded: Vec<&'a Predicate>,
+    witness: Option<Vec<f64>>,
+    verified: bool,
+    parallel: bool,
+    out: &mut Vec<Cell>,
+    stats: &mut DecomposeStats,
+) {
+    if idx == locals.len() {
+        // The ∅-shared virtual cell with every local excluded is not a
+        // cell (no active constraint): the closure check owns that
+        // region.
+        if !active.is_empty() {
+            out.push(Cell {
+                region,
+                active,
+                witness,
+            });
+        }
+        return;
+    }
+    let (gid, pc) = locals[idx];
+    let inc_region = match region.tightened_by(pc.predicate.atoms()) {
+        Some(tightened) => Arc::new(tightened),
+        None => Arc::clone(&region),
+    };
+
+    if !verified {
+        // Unverified prefix (early-stop admission): geometric pruning
+        // only, both surviving branches stay unverified.
+        stats.assumed_sat += 2;
+        if !inc_region.is_empty() {
+            let mut inc_active = active.clone();
+            inc_active.insert(gid);
+            splice_dfs(
+                locals,
+                idx + 1,
+                inc_region,
+                inc_active,
+                excluded.clone(),
+                None,
+                false,
+                parallel,
+                out,
+                stats,
+            );
+        }
+        let mut exc = excluded;
+        exc.push(&pc.predicate);
+        splice_dfs(
+            locals,
+            idx + 1,
+            region,
+            active,
+            exc,
+            None,
+            false,
+            parallel,
+            out,
+            stats,
+        );
+        return;
+    }
+
+    let w = witness.as_ref().expect("verified prefix carries a witness");
+    // The prefix witness lies in `region ∧ ¬excluded`; whichever branch
+    // it falls on is proven for free (w in the include box ⟺ w satisfies
+    // the predicate, since w is already in `region`).
+    let inc_witness = if inc_region.is_empty() {
+        None
+    } else if inc_region.contains_row(w) {
+        Some(w.clone())
+    } else {
+        stats.sat_checks += 1;
+        sat::find_witness_with(&inc_region, &excluded, parallel)
+    };
+    let exc_witness = if !pc.predicate.eval(w) {
+        Some(w.clone())
+    } else {
+        let mut probe = excluded.clone();
+        probe.push(&pc.predicate);
+        stats.sat_checks += 1;
+        sat::find_witness_with(&region, &probe, parallel)
+    };
+
+    if let Some(iw) = inc_witness {
+        let mut inc_active = active.clone();
+        inc_active.insert(gid);
+        splice_dfs(
+            locals,
+            idx + 1,
+            inc_region,
+            inc_active,
+            excluded.clone(),
+            Some(iw),
+            true,
+            parallel,
+            out,
+            stats,
+        );
+    }
+    if let Some(ew) = exc_witness {
+        let mut exc = excluded;
+        exc.push(&pc.predicate);
+        splice_dfs(
+            locals,
+            idx + 1,
+            region,
+            active,
+            exc,
+            Some(ew),
+            true,
+            parallel,
+            out,
+            stats,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompose, BoundEngine, FrequencyConstraint, Strategy, ValueConstraint};
+    use pc_predicate::{Atom, AttrType, Schema};
+    use pc_storage::{AggKind, AggQuery};
+
+    fn schema() -> Schema {
+        Schema::new(vec![("x", AttrType::Int), ("v", AttrType::Float)])
+    }
+
+    fn pc_box(xlo: f64, xhi: f64, vhi: f64) -> PredicateConstraint {
+        PredicateConstraint::new(
+            Predicate::atom(Atom::bucket(0, xlo, xhi)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, vhi)),
+            FrequencyConstraint::at_most(10),
+        )
+    }
+
+    fn overlapping_set() -> PcSet {
+        let mut set = PcSet::new(schema())
+            .with(pc_box(0.0, 10.0, 50.0))
+            .with(pc_box(5.0, 15.0, 60.0))
+            .with(pc_box(8.0, 20.0, 70.0));
+        let mut domain = Region::full(set.schema());
+        domain.set_interval(0, Interval::half_open(0.0, 20.0));
+        set.set_domain(domain);
+        set
+    }
+
+    fn cell_set(set: &PcSet) -> CellSet {
+        let base = set.domain().clone();
+        let (cells, stats) = decompose(set, &base, Strategy::DfsRewrite).unwrap();
+        let uncovered = set.uncovered_witness_with(&base, false);
+        CellSet::new(set, base, cells, stats, uncovered)
+    }
+
+    #[test]
+    fn specializing_to_base_is_identity() {
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        let mut stats = cs.stats();
+        let cells = cs.specialize(&set, cs.base(), &mut stats, false);
+        assert_eq!(cells.len(), cs.cells().len());
+        // no SAT re-checks: every cell is contained in the target
+        assert_eq!(stats.sat_checks, cs.stats().sat_checks);
+        for (a, b) in cells.iter().zip(cs.cells()) {
+            assert_eq!(a.active, b.active);
+            assert_eq!(a.witness, b.witness);
+        }
+    }
+
+    #[test]
+    fn specialized_cells_match_fresh_decomposition() {
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        for (lo, hi) in [(0.0, 6.0), (4.0, 12.0), (9.0, 20.0), (12.0, 20.0)] {
+            let mut target = set.domain().clone();
+            target.set_interval(
+                0,
+                target.interval(0).intersect(&Interval::half_open(lo, hi)),
+            );
+            let mut stats = cs.stats();
+            let specialized = cs.specialize(&set, &target, &mut stats, false);
+            let (fresh, _) = decompose(&set, &target, Strategy::DfsRewrite).unwrap();
+            let mut a: Vec<Vec<usize>> = specialized.iter().map(|c| c.active.to_vec()).collect();
+            let mut b: Vec<Vec<usize>> = fresh.iter().map(|c| c.active.to_vec()).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "target [{lo}, {hi})");
+            for cell in &specialized {
+                let w = cell.witness.as_ref().expect("exact mode carries witnesses");
+                assert!(cell.region.contains_row(w));
+                for (j, pc) in set.constraints().iter().enumerate() {
+                    assert_eq!(
+                        pc.predicate.eval(w),
+                        cell.is_active(j),
+                        "target [{lo}, {hi})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_target_drops_everything() {
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        let mut target = set.domain().clone();
+        target.set_interval(0, Interval::half_open(100.0, 120.0));
+        let mut stats = cs.stats();
+        assert!(cs.specialize(&set, &target, &mut stats, false).is_empty());
+    }
+
+    #[test]
+    fn splice_matches_full_decomposition() {
+        // shared constraint on x plus one key-local (point) constraint:
+        // splicing the local into the shared cells must reproduce the
+        // cells of decomposing both constraints together in the slice.
+        let s = Schema::new(vec![("g", AttrType::Cat), ("v", AttrType::Float)]);
+        let shared = PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, 0.0, 3.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 50.0)),
+            FrequencyConstraint::at_most(10),
+        );
+        let local = PredicateConstraint::new(
+            Predicate::atom(Atom::eq(0, 1.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 80.0)),
+            FrequencyConstraint::at_most(5),
+        );
+        let mut both = PcSet::new(s.clone())
+            .with(shared.clone())
+            .with(local.clone());
+        let mut domain = Region::full(&s);
+        domain.set_interval(0, Interval::closed(0.0, 3.0));
+        both.set_domain(domain.clone());
+
+        // slice g = 1
+        let mut slice = domain.clone();
+        slice.set_interval(0, Interval::point(1.0));
+        let (want, _) = decompose(&both, &slice, Strategy::DfsRewrite).unwrap();
+
+        // two-level by hand: decompose the shared constraint alone …
+        let mut shared_only = PcSet::new(s).with(shared);
+        shared_only.set_domain(domain);
+        let (cells, _) = decompose(&shared_only, &slice, Strategy::DfsRewrite).unwrap();
+        // … then splice the local (global index 1) into each shared cell
+        let mut got = Vec::new();
+        let mut stats = DecomposeStats::default();
+        for cell in cells {
+            splice_locals(
+                cell.region,
+                &cell.active,
+                cell.witness,
+                Vec::new(),
+                &[(1, &local)],
+                false,
+                &mut got,
+                &mut stats,
+            );
+        }
+        let mut a: Vec<Vec<usize>> = want.iter().map(|c| c.active.to_vec()).collect();
+        let mut b: Vec<Vec<usize>> = got.iter().map(|c| c.active.to_vec()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        for cell in &got {
+            let w = cell
+                .witness
+                .as_ref()
+                .expect("spliced cells carry witnesses");
+            assert!(cell.region.contains_row(w));
+        }
+    }
+
+    #[test]
+    fn session_style_bound_via_specialize_matches_engine() {
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        let engine = BoundEngine::new(&set);
+        for (lo, hi) in [(0.0, 20.0), (3.0, 11.0), (10.0, 20.0)] {
+            let query = AggQuery::new(AggKind::Sum, 1, Predicate::atom(Atom::bucket(0, lo, hi)));
+            let fresh = engine.bound(&query).unwrap();
+            let mut target = query.predicate.to_region(set.schema());
+            target.intersect(set.domain());
+            let mut stats = cs.stats();
+            let cells = cs.specialize(&set, &target, &mut stats, false);
+            stats.cells = cells.len();
+            let closed = cs.closed() || set.is_closed_within(&target);
+            let problem = engine
+                .problem_from_cells(query.attr, &target, cells, stats, closed, None)
+                .unwrap();
+            let specialized = engine.bound_problem(query.agg, &problem).unwrap();
+            assert_eq!(fresh.range, specialized.range, "query [{lo}, {hi})");
+            assert_eq!(fresh.closed, specialized.closed);
+        }
+    }
+}

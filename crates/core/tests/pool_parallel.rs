@@ -63,8 +63,14 @@ fn forked_decomposition_is_bit_identical() {
         assert_eq!(seq_cells.len(), cells.len(), "threads={threads}");
         for (s, p) in seq_cells.iter().zip(&cells) {
             assert_eq!(s.active.to_vec(), p.active.to_vec());
-            assert_eq!(s.witness, p.witness);
             assert!(*s.region == *p.region);
+            // Witness *identity* may differ: the parallel witness search
+            // is first-hit-wins. Genuineness must hold regardless.
+            let w = p.witness.as_ref().expect("exact mode carries witnesses");
+            assert!(p.region.contains_row(w));
+            for (j, pc) in set.constraints().iter().enumerate() {
+                assert_eq!(pc.predicate.eval(w), p.is_active(j));
+            }
         }
         assert_eq!(seq_stats.sat_checks, stats.sat_checks);
         assert_eq!(seq_stats.pruned_subtrees, stats.pruned_subtrees);

@@ -183,3 +183,67 @@ proptest! {
         }
     }
 }
+
+prop_compose! {
+    /// A *key-local* constraint: the group attribute pinned to one key
+    /// (a per-group floor/cap — the shape the retired `mostly_key_local`
+    /// heuristic used to punt to the per-key path, now handled by the
+    /// two-level splice).
+    fn arb_local_pc()(
+        g in 0..=GMAX,
+        c in 0..=VMAX, d in 0..=VMAX,
+        ku in 1u64..8,
+        forced: bool,
+    ) -> PredicateConstraint {
+        let (vlo, vhi) = (c.min(d) as f64, c.max(d) as f64);
+        let freq = if forced {
+            FrequencyConstraint::between(1, ku)
+        } else {
+            FrequencyConstraint::at_most(ku)
+        };
+        PredicateConstraint::new(
+            Predicate::always()
+                .and(Atom::eq(0, g as f64))
+                .and(Atom::between(1, vlo, vhi + 1.0)),
+            ValueConstraint::none().with(1, Interval::closed(vlo, vhi)),
+            freq,
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Two-level GROUP-BY == per-key GROUP-BY on key-local-heavy sets:
+    /// mostly (or entirely) key-pinned constraints, optionally mixed with
+    /// a few cross-cutting ones. These are the sets where the old
+    /// `mostly_key_local` heuristic forced the per-key fallback; the
+    /// two-level scheme must bound them identically through the shared
+    /// path — shared constraints decomposed once, each key's locals
+    /// spliced into its slice.
+    #[test]
+    fn two_level_equals_per_key_on_key_local_heavy_sets(
+        locals in prop::collection::vec(arb_local_pc(), 2..7),
+        shared in prop::collection::vec(arb_pc(), 0..3),
+        agg_pick in 0usize..5,
+    ) {
+        let agg = [AggKind::Sum, AggKind::Count, AggKind::Avg, AggKind::Min, AggKind::Max][agg_pick];
+        let set = build_set(locals.into_iter().chain(shared).collect());
+        let query = AggQuery::new(agg, 1, Predicate::always());
+        let keys: Vec<f64> = (0..=GMAX).map(|k| k as f64).collect();
+
+        let two_level = BoundEngine::new(&set).bound_group_by(&query, 0, keys.clone());
+        let per_key = BoundEngine::with_options(&set, BoundOptions {
+            shared_group_by: false,
+            ..BoundOptions::default()
+        })
+        .bound_group_by(&query, 0, keys);
+
+        prop_assert_eq!(two_level.len(), per_key.len());
+        for (t, p) in two_level.iter().zip(&per_key) {
+            if let Err(msg) = reports_equal(t, p) {
+                return Err(TestCaseError::fail(msg));
+            }
+        }
+    }
+}

@@ -12,8 +12,31 @@
 //! `ψⱼ` and branch on which of its atoms a witness violates, shrinking
 //! `base` by the atom's complement. The search is exact (no approximation)
 //! and produces a concrete witness row on success.
+//!
+//! # Parallel search
+//!
+//! The branch step is a disjunction: a witness avoiding the picked `ψ`
+//! must violate at least one of its atoms, and the per-atom subproblems
+//! are independent. [`find_witness_with`] runs them as stealable tasks on
+//! the work-stealing pool whenever the search is still *wide* (more than
+//! [`PAR_WITNESS_CUTOFF`] live exclusions — subtree size is exponential in
+//! that count, so narrow searches stay inline). The first task to find a
+//! witness wins: a shared stop flag cancels the remaining subtrees, which
+//! only ever skips work that would have produced a *different equally
+//! valid* witness. Satisfiability verdicts are identical to the
+//! sequential search; the witness row itself may differ between runs
+//! (both are genuine points of the cell).
 
 use crate::{Predicate, Region};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Minimum number of live (overlapping, non-covering) exclusions for the
+/// branch disjuncts to fork as pool tasks. The remaining subtree is at
+/// worst exponential in the live count, so above this the tasks amortize
+/// their deque pushes; below it the whole search is a handful of interval
+/// intersections and stays inline.
+pub const PAR_WITNESS_CUTOFF: usize = 6;
 
 /// Decide whether `base ∧ ¬ψ₁ ∧ … ∧ ¬ψₖ` is satisfiable, returning a
 /// witness row (one encoded `f64` per attribute) if so.
@@ -21,7 +44,40 @@ use crate::{Predicate, Region};
 /// `negs` are the excluded predicates. An excluded tautology makes every
 /// cell empty (`¬TRUE` is unsatisfiable), which falls out naturally since
 /// the tautology's box covers everything.
+///
+/// Strictly sequential; see [`find_witness_with`] for the parallel
+/// driver.
 pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
+    search(base, negs, false, None)
+}
+
+/// [`find_witness`] with an explicit parallelism opt-in: when `parallel`
+/// is true and the global pool has more than one worker, wide branch
+/// disjunctions fork as first-hit-wins stealable tasks (see the module
+/// docs). The satisfiability verdict is identical either way; only the
+/// identity of the returned witness may vary.
+pub fn find_witness_with(base: &Region, negs: &[&Predicate], parallel: bool) -> Option<Vec<f64>> {
+    if parallel && rayon::current_num_threads() > 1 {
+        search(base, negs, true, None)
+    } else {
+        search(base, negs, false, None)
+    }
+}
+
+/// The DPLL-style search. `stop` is the shared first-hit-wins
+/// cancellation flag of an enclosing parallel fan-out: once set, every
+/// search under that fan-out may return `None` *as a cancellation* — the
+/// fan-out that set it has already recorded a genuine witness, and
+/// cancelled results are discarded, never interpreted as UNSAT.
+fn search(
+    base: &Region,
+    negs: &[&Predicate],
+    parallel: bool,
+    stop: Option<&AtomicBool>,
+) -> Option<Vec<f64>> {
+    if stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+        return None;
+    }
     if base.is_empty() {
         return None;
     }
@@ -79,9 +135,56 @@ pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
         .enumerate()
         .filter_map(|(i, p)| (i != pick_idx).then_some(*p))
         .collect();
-    // A witness avoiding ψ must violate at least one of its atoms. Clone
-    // the base box only for branches that genuinely narrow it and stay
-    // non-empty; a non-narrowing complement atom recurses on `base` as-is.
+
+    // A witness avoiding ψ must violate at least one of its atoms — the
+    // branch disjunction. Wide parallel searches materialize the branch
+    // boxes up front and fan them out as tasks.
+    if parallel && live.len() > PAR_WITNESS_CUTOFF {
+        let mut branches: Vec<Option<Region>> = Vec::new();
+        // Non-narrowing complement atoms all reduce to the identical
+        // subproblem `search(base, rest)`: fan out at most one (`None`).
+        let mut unchanged_pushed = false;
+        for atom in pick.atoms() {
+            let ty = base.attr_type(atom.attr);
+            for neg_atom in atom.negate(ty) {
+                let cur = base.interval(neg_atom.attr);
+                let narrowed = cur.intersect(&neg_atom.interval);
+                if narrowed.is_empty(ty) {
+                    continue;
+                }
+                if narrowed == *cur {
+                    if !unchanged_pushed {
+                        unchanged_pushed = true;
+                        branches.push(None);
+                    }
+                } else {
+                    let mut shrunk = base.clone();
+                    shrunk.set_interval(neg_atom.attr, narrowed);
+                    branches.push(Some(shrunk));
+                }
+            }
+        }
+        if branches.len() > 1 {
+            return fan_out(base, &rest, branches, stop);
+        }
+        for branch in branches {
+            let found = match &branch {
+                Some(shrunk) => search(shrunk, &rest, parallel, stop),
+                None => search(base, &rest, parallel, stop),
+            };
+            if found.is_some() {
+                return found;
+            }
+        }
+        return None;
+    }
+
+    // Sequential branch loop: clone the base box lazily, only for
+    // branches that genuinely narrow it and stay non-empty — the first
+    // witness stops the scan. A non-narrowing complement atom recurses on
+    // `base` as-is, and only once: every such branch is the identical
+    // subproblem.
+    let mut unchanged_tried = false;
     for atom in pick.atoms() {
         let ty = base.attr_type(atom.attr);
         for neg_atom in atom.negate(ty) {
@@ -91,24 +194,76 @@ pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
                 continue;
             }
             if narrowed == *cur {
-                if let Some(w) = find_witness(base, &rest) {
+                if unchanged_tried {
+                    continue;
+                }
+                unchanged_tried = true;
+                if let Some(w) = search(base, &rest, parallel, stop) {
                     return Some(w);
                 }
-                continue;
+            } else {
+                let mut shrunk = base.clone();
+                shrunk.set_interval(neg_atom.attr, narrowed);
+                if let Some(w) = search(&shrunk, &rest, parallel, stop) {
+                    return Some(w);
+                }
             }
-            let mut shrunk = base.clone();
-            shrunk.set_interval(neg_atom.attr, narrowed);
-            if let Some(w) = find_witness(&shrunk, &rest) {
-                return Some(w);
+            if stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                return None;
             }
         }
     }
     None
 }
 
+/// Run the branch disjuncts as first-hit-wins stealable tasks. Any task
+/// that finds a witness sets the (shared) stop flag — cancelling every
+/// other subtree under the same root — and the first such witness *at
+/// this level* is the result. A level whose tasks were all cancelled
+/// returns `None`, which its own parent fan-out discards: the witness
+/// that caused the cancellation propagates up the chain of the task that
+/// found it.
+fn fan_out(
+    base: &Region,
+    rest: &[&Predicate],
+    branches: Vec<Option<Region>>,
+    stop: Option<&AtomicBool>,
+) -> Option<Vec<f64>> {
+    let local_stop = AtomicBool::new(false);
+    let stop = stop.unwrap_or(&local_stop);
+    let result: Mutex<Option<Vec<f64>>> = Mutex::new(None);
+    rayon::scope(|s| {
+        for branch in branches {
+            let result = &result;
+            s.spawn(move |_| {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let found = match &branch {
+                    Some(shrunk) => search(shrunk, rest, true, Some(stop)),
+                    None => search(base, rest, true, Some(stop)),
+                };
+                if let Some(w) = found {
+                    stop.store(true, Ordering::Relaxed);
+                    let mut slot = result.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(w);
+                    }
+                }
+            });
+        }
+    });
+    result.into_inner().unwrap()
+}
+
 /// Decide satisfiability without materializing the witness.
 pub fn is_sat(base: &Region, negs: &[&Predicate]) -> bool {
     find_witness(base, negs).is_some()
+}
+
+/// [`is_sat`] with the parallel-search opt-in of [`find_witness_with`].
+pub fn is_sat_with(base: &Region, negs: &[&Predicate], parallel: bool) -> bool {
+    find_witness_with(base, negs, parallel).is_some()
 }
 
 /// True if predicate `p`'s box contains all of `base`.

@@ -92,6 +92,31 @@ proptest! {
         }
     }
 
+    /// The parallel witness search agrees with the sequential one on the
+    /// *verdict* (the witness row itself is first-hit-wins and may
+    /// differ), and its witnesses are genuine. Exclusion lists above
+    /// `PAR_WITNESS_CUTOFF` keep the fan-out path live on multi-worker
+    /// pools; on a one-worker pool the call degrades to sequential, so
+    /// the property holds on any host.
+    #[test]
+    fn parallel_witness_search_matches_sequential(
+        base_pred in arb_predicate(3),
+        negs in prop::collection::vec(arb_predicate(3), 0..10)
+    ) {
+        let schema = int_schema(3);
+        let base = base_pred.to_region(&schema);
+        let neg_refs: Vec<&Predicate> = negs.iter().collect();
+        let seq = sat::find_witness(&base, &neg_refs);
+        let par = sat::find_witness_with(&base, &neg_refs, true);
+        prop_assert_eq!(seq.is_some(), par.is_some(), "SAT verdict must not depend on parallelism");
+        if let Some(w) = par {
+            prop_assert!(base.contains_row(&w));
+            for p in &neg_refs {
+                prop_assert!(!p.eval(&w), "parallel witness satisfies an excluded predicate");
+            }
+        }
+    }
+
     #[test]
     fn intersect_is_conjunction(a in arb_interval(), b in arb_interval(), v in 0..=GRID) {
         let v = v as f64;

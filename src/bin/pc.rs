@@ -4,6 +4,8 @@
 //! pc bound    --data sales.csv --schema utc:int,branch:cat,price:float \
 //!             --constraints assumptions.pc \
 //!             --query "SELECT SUM(price) WHERE branch = 'Chicago'"
+//! pc batch    --data sales.csv --schema ... --constraints assumptions.pc \
+//!             --queries queries.sql                # one SQL query per line
 //! pc validate --data history.csv --schema ... --constraints assumptions.pc
 //! pc check    --data sales.csv --schema ... --constraints assumptions.pc   # closure
 //! ```
@@ -15,21 +17,36 @@
 //! * `--constraints` — a predicate-constraint document in the paper's
 //!   notation (see `pc_core::dsl`).
 //! * `--query` — a SQL aggregate query (see `pc_storage::sql`).
+//! * `--queries` — for `batch`: a file of SQL queries, one per line
+//!   (blank lines and `#` comments skipped; `-` reads stdin). The whole
+//!   batch is served through one `Session` — the constraint set is
+//!   decomposed once and every query specializes the cached cells, with
+//!   simplex warm starts chained across queries.
 //! * `--combine` — add the certain partition's exact answer to the
 //!   missing-data range (SUM/COUNT only).
 //! * `--group-by COL` — bound the query once per distinct value of `COL`
 //!   (dictionary codes for categorical columns, observed values
-//!   otherwise), via the engine's shared-decomposition group-by path.
+//!   otherwise), via the engine's two-level shared-decomposition group-by.
 //! * `--threads N` — worker threads for parallel decomposition, parallel
-//!   GROUP-BY groups, and the allocation MILP's branch & bound (`0` =
-//!   auto-detect, `1` = sequential; bounds are identical at any setting
-//!   up to the branch & bound pruning tolerance, ~1e-6).
+//!   GROUP-BY groups / batch queries, the parallel witness search, and
+//!   the allocation MILP's branch & bound (`0` = auto-detect, `1` =
+//!   sequential; bounds are identical at any setting up to the branch &
+//!   bound pruning tolerance, ~1e-6).
 //! * `--per-key-groupby` — disable the shared-decomposition group-by
 //!   (A/B baseline: one full decomposition per group).
+//! * `--no-session-cache` — for `batch`: decompose each query's region
+//!   from scratch instead of specializing the session's cached domain
+//!   decomposition (A/B baseline for the session layer). `bound` always
+//!   runs cache-less — one query has nothing to amortize, and the
+//!   per-query pushdown decomposition is never larger than the domain's.
+//! * `--no-warm-start` — disable all simplex warm-start chaining
+//!   (within queries, across queries, and inside branch & bound).
 
-use predicate_constraints::core::{dsl, BoundEngine, BoundError, BoundOptions};
+use predicate_constraints::core::{dsl, BoundError, BoundOptions, PcSet, Session, SessionOptions};
 use predicate_constraints::predicate::{AttrType, Schema};
-use predicate_constraints::storage::{evaluate, parse_query, table_from_csv, AggKind, Table};
+use predicate_constraints::storage::{
+    evaluate, parse_query, table_from_csv, AggKind, AggQuery, Table,
+};
 use std::process::ExitCode;
 
 fn fail(msg: &str) -> ExitCode {
@@ -43,25 +60,33 @@ struct Args {
     schema: Option<String>,
     constraints: Option<String>,
     query: Option<String>,
+    queries: Option<String>,
     combine: bool,
     group_by: Option<String>,
     threads: usize,
     per_key_groupby: bool,
+    no_session_cache: bool,
+    no_warm_start: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
-    let command = argv.next().ok_or("usage: pc <bound|validate|check> …")?;
+    let command = argv
+        .next()
+        .ok_or("usage: pc <bound|batch|validate|check> …")?;
     let mut args = Args {
         command,
         data: None,
         schema: None,
         constraints: None,
         query: None,
+        queries: None,
         combine: false,
         group_by: None,
         threads: 0,
         per_key_groupby: false,
+        no_session_cache: false,
+        no_warm_start: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -69,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
             "--schema" => args.schema = argv.next(),
             "--constraints" => args.constraints = argv.next(),
             "--query" => args.query = argv.next(),
+            "--queries" => args.queries = argv.next(),
             "--combine" => args.combine = true,
             "--group-by" => args.group_by = argv.next(),
             "--threads" => {
@@ -78,10 +104,25 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--threads: `{v}` is not a number"))?;
             }
             "--per-key-groupby" => args.per_key_groupby = true,
+            "--no-session-cache" => args.no_session_cache = true,
+            "--no-warm-start" => args.no_warm_start = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     Ok(args)
+}
+
+/// The engine/session configuration the CLI knobs describe.
+fn session_options(args: &Args) -> SessionOptions {
+    SessionOptions {
+        bound: BoundOptions {
+            threads: args.threads,
+            shared_group_by: !args.per_key_groupby,
+            warm_start: !args.no_warm_start,
+            ..BoundOptions::default()
+        },
+        cache_cells: !args.no_session_cache,
+    }
 }
 
 fn parse_schema(spec: &str) -> Result<Schema, String> {
@@ -110,10 +151,7 @@ fn load_table(args: &Args) -> Result<Table, String> {
     table_from_csv(schema, &text).map_err(|e| e.to_string())
 }
 
-fn load_constraints(
-    args: &Args,
-    table: &Table,
-) -> Result<predicate_constraints::core::PcSet, String> {
+fn load_constraints(args: &Args, table: &Table) -> Result<PcSet, String> {
     let path = args
         .constraints
         .as_ref()
@@ -165,7 +203,91 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "batch" => {
+            // Reject flags this command would otherwise silently ignore —
+            // wrong-shaped output with exit code 0 is worse than an error.
+            if args.group_by.is_some() {
+                return fail("--group-by is not supported by `batch`; put GROUP BY queries through `bound --group-by`");
+            }
+            if args.combine {
+                return fail("--combine is not supported by `batch` yet");
+            }
+            if args.query.is_some() {
+                return fail("`batch` takes --queries (a file of queries), not --query");
+            }
+            if args.per_key_groupby {
+                return fail("--per-key-groupby is not supported by `batch` (no GROUP BY queries here); its A/B knobs are --no-session-cache / --no-warm-start");
+            }
+            let set = match load_constraints(&args, &table) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let path = match &args.queries {
+                Some(p) => p,
+                None => {
+                    return fail("--queries is required for `batch` (a file, or `-` for stdin)")
+                }
+            };
+            let text = if path == "-" {
+                use std::io::Read;
+                let mut buf = String::new();
+                if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                    return fail(&format!("cannot read stdin: {e}"));
+                }
+                buf
+            } else {
+                match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => return fail(&format!("cannot read {path}: {e}")),
+                }
+            };
+            let mut sqls: Vec<&str> = Vec::new();
+            let mut queries: Vec<AggQuery> = Vec::new();
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                match parse_query(&table, line) {
+                    Ok(q) => {
+                        sqls.push(line);
+                        queries.push(q);
+                    }
+                    Err(e) => return fail(&format!("{line}: {e}")),
+                }
+            }
+            if queries.is_empty() {
+                return fail("--queries: no queries found");
+            }
+            // One session serves the whole stream: decompose once,
+            // specialize per query, chain warm starts across queries.
+            let session = Session::with_options(&set, session_options(&args));
+            let mut failed = false;
+            for (sql, report) in sqls.iter().zip(session.bound_many(&queries)) {
+                match report {
+                    Ok(r) => {
+                        let tag = if r.closed { "" } else { "  (not closed)" };
+                        println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
+                    }
+                    Err(BoundError::EmptyAggregate) => {
+                        println!("{sql} -> empty (no missing row can match)");
+                    }
+                    Err(e) => {
+                        failed = true;
+                        println!("{sql} -> error: {e}");
+                    }
+                }
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
         "bound" => {
+            if args.queries.is_some() {
+                return fail("`bound` takes --query (one query), not --queries; use `batch` for a query file");
+            }
             let set = match load_constraints(&args, &table) {
                 Ok(s) => s,
                 Err(e) => return fail(&e),
@@ -178,15 +300,22 @@ fn main() -> ExitCode {
                 Ok(q) => q,
                 Err(e) => return fail(&e.to_string()),
             };
-            // --threads flows through the engine into decomposition,
-            // GROUP-BY group tasks, and the allocation MILP's branch &
-            // bound alike.
-            let options = BoundOptions {
-                threads: args.threads,
-                shared_group_by: !args.per_key_groupby,
-                ..BoundOptions::default()
-            };
-            let engine = BoundEngine::with_options(&set, options);
+            // --threads flows through the session/engine into
+            // decomposition, GROUP-BY group tasks, the parallel witness
+            // search, and the allocation MILP's branch & bound alike.
+            // `bound` answers exactly one query, so the session's
+            // domain-wide cell cache has nothing to amortize — worse, it
+            // would trade the query-region pushdown for a possibly much
+            // larger full-domain decomposition. Always serve `bound`
+            // cache-less (per-query pushdown decomposition, as before the
+            // session layer); `batch` is where the cache pays.
+            let session = Session::with_options(
+                &set,
+                SessionOptions {
+                    cache_cells: false,
+                    ..session_options(&args)
+                },
+            );
 
             if let Some(group_col) = &args.group_by {
                 if args.combine {
@@ -219,7 +348,7 @@ fn main() -> ExitCode {
                     return fail("--group-by: no group keys found in the data");
                 }
                 println!("{sql} GROUP BY {group_col}");
-                for group in engine.bound_group_by(&query, attr, keys) {
+                for group in session.bound_group_by(&query, attr, keys) {
                     let label = table
                         .dictionary(attr)
                         .and_then(|d| d.label(group.key as u32))
@@ -239,7 +368,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
 
-            let report = match engine.bound(&query) {
+            let report = match session.bound(&query) {
                 Ok(r) => r,
                 Err(BoundError::EmptyAggregate) => {
                     println!("EMPTY: no missing row can match this query");
@@ -264,6 +393,8 @@ fn main() -> ExitCode {
             println!("result range: [{}, {}]", range.lo, range.hi);
             ExitCode::SUCCESS
         }
-        other => fail(&format!("unknown command `{other}` (bound/validate/check)")),
+        other => fail(&format!(
+            "unknown command `{other}` (bound/batch/validate/check)"
+        )),
     }
 }

@@ -89,6 +89,59 @@ fn bound_with_combine() {
 }
 
 #[test]
+fn batch_command_streams_queries_through_one_session() {
+    let dir = std::env::temp_dir().join("pc-cli-test-batch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let queries = dir.join("queries.sql");
+    std::fs::write(
+        &queries,
+        "# a stream of aggregate queries\n\
+         SELECT SUM(price) WHERE branch = 'Chicago'\n\
+         \n\
+         SELECT COUNT(*)\n\
+         SELECT SUM(price)\n",
+    )
+    .unwrap();
+    for extra in [&[][..], &["--no-session-cache"], &["--no-warm-start"]] {
+        let out = pc_bin()
+            .args([
+                "batch",
+                "--data",
+                &data,
+                "--schema",
+                SCHEMA,
+                "--constraints",
+                &constraints,
+                "--queries",
+                queries.to_str().unwrap(),
+            ])
+            .args(extra)
+            .output()
+            .unwrap();
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "extra: {extra:?}, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // comment and blank lines skipped, results in input order,
+        // identical with and without the session cache / warm starts
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 3, "{stdout}");
+        assert!(
+            lines[0].contains("Chicago") && lines[0].contains("[0, 749.95"),
+            "{stdout}"
+        );
+        assert!(
+            lines[1].contains("COUNT(*)") && lines[1].contains("[0, 100]"),
+            "{stdout}"
+        );
+        assert!(lines[2].starts_with("SELECT SUM(price) ->"), "{stdout}");
+    }
+}
+
+#[test]
 fn validate_flags_violations() {
     let dir = std::env::temp_dir().join("pc-cli-test-validate");
     std::fs::create_dir_all(&dir).unwrap();
@@ -154,4 +207,55 @@ fn helpful_errors_for_bad_input() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn unsupported_flag_combinations_are_rejected() {
+    let dir = std::env::temp_dir().join("pc-cli-test-flagmix");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let queries = dir.join("q.sql");
+    std::fs::write(&queries, "SELECT COUNT(*)\n").unwrap();
+    let base = |cmd: &str| {
+        let mut c = pc_bin();
+        c.args([
+            cmd,
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+        ]);
+        c
+    };
+    // batch must not silently ignore bound-only flags
+    for extra in [
+        &["--queries", "q", "--group-by", "branch"][..],
+        &["--queries", "q", "--combine"],
+        &["--queries", "q", "--query", "SELECT COUNT(*)"],
+    ] {
+        let mut cmd = base("batch");
+        // point --queries at the real file (first pair is a placeholder)
+        let extra: Vec<&str> = extra
+            .iter()
+            .map(|s| {
+                if *s == "q" {
+                    queries.to_str().unwrap()
+                } else {
+                    *s
+                }
+            })
+            .collect();
+        let out = cmd.args(&extra).output().unwrap();
+        assert!(!out.status.success(), "batch must reject {extra:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    }
+    // and bound must not silently ignore --queries
+    let out = base("bound")
+        .args(["--queries", queries.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--query"));
 }
