@@ -1,12 +1,18 @@
-//! Criterion bench for the branch & bound MILP solver: cold vs
-//! warm-started node relaxations, sequential vs work-stealing-parallel
-//! search.
+//! Criterion bench for the branch & bound MILP solver: the three
+//! warm-start tiers (cold crash / basis restore / tableau carry) crossed
+//! with sequential vs work-stealing-parallel search.
 //!
 //! The workload is a batch of PC-allocation-shaped problems — `max u·x`
 //! over random subset rows `Σ_{i∈S} xᵢ ≤ ku` with box bounds `0 ≤ xᵢ ≤ 4`
 //! — with *fractional* row capacities, so every relaxation sits at a
 //! fractional vertex and the search genuinely branches (integral-data
 //! instances solve at the root and would benchmark nothing).
+//!
+//! Besides the wall-clock rows, every mode's sanity pass aggregates the
+//! solver's per-node counters ([`pc_solver::SearchStats`]) and emits them
+//! as `milp_pivots/...` JSON lines next to the timing rows: carried vs
+//! rebuilt node counts and their pivot totals — the measured
+//! O(m) → O(1) rebuild elimination of the tableau carry.
 //!
 //! Parallel ids carry the pool size (`…_par_4w` = 4 workers): the global
 //! pool is sized once per process from `RAYON_NUM_THREADS` / the
@@ -19,7 +25,8 @@
 //! (the repo's `BENCH_milp.json` is produced this way).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pc_solver::{solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpProblem};
+use pc_bench::emit_bench_json_line;
+use pc_solver::{solve_milp, ConstraintOp, LinearProgram, MilpOptions, MilpProblem, SearchStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,8 +34,9 @@ use rand::{Rng, SeedableRng};
 /// paper's §4.2 programs it mixes `Σ x ≤ ku` caps with `Σ x ≥ kl` floors
 /// (frequency lower bounds): the floors are what make phase 1 non-trivial
 /// at every node — an all-slack basis is infeasible, a cold solve pays
-/// artificial elimination, and the warm path's crash + dual restore
-/// skips it.
+/// artificial elimination, the basis tier's crash + dual restore skips
+/// phase 1 but still rebuilds the tableau, and the carry tier skips the
+/// rebuild too (one appended row + O(1) dual pivots per node).
 fn try_alloc_problem(nvars: usize, nrows: usize, seed: u64) -> MilpProblem {
     let mut rng = StdRng::seed_from_u64(seed);
     let u: Vec<f64> = (0..nvars)
@@ -77,40 +85,48 @@ fn alloc_problems(nvars: usize, nrows: usize, count: usize) -> Vec<(MilpProblem,
 
 fn modes() -> Vec<(String, MilpOptions)> {
     let pool = rayon::current_num_threads();
-    vec![
-        (
-            "cold_seq".into(),
+    let tiers: [(&str, bool, bool); 3] = [
+        ("cold", false, false),
+        ("basis", true, false),
+        ("carry", true, true),
+    ];
+    let mut out = Vec::new();
+    for (tier, warm_start, tableau_carry) in tiers {
+        out.push((
+            format!("{tier}_seq"),
             MilpOptions {
                 threads: 1,
-                warm_start: false,
+                warm_start,
+                tableau_carry,
                 ..MilpOptions::default()
             },
-        ),
-        (
-            "warm_seq".into(),
-            MilpOptions {
-                threads: 1,
-                warm_start: true,
-                ..MilpOptions::default()
-            },
-        ),
-        (
-            format!("cold_par_{pool}w"),
+        ));
+    }
+    for (tier, warm_start, tableau_carry) in tiers {
+        out.push((
+            format!("{tier}_par_{pool}w"),
             MilpOptions {
                 threads: 0,
-                warm_start: false,
+                warm_start,
+                tableau_carry,
                 ..MilpOptions::default()
             },
-        ),
-        (
-            format!("warm_par_{pool}w"),
-            MilpOptions {
-                threads: 0,
-                warm_start: true,
-                ..MilpOptions::default()
-            },
-        ),
-    ]
+        ));
+    }
+    out
+}
+
+/// The pivot-count columns that ride next to criterion's timing rows.
+fn emit_pivot_profile(id: &str, nodes: u64, s: &SearchStats) {
+    emit_bench_json_line(&format!(
+        "{{\"id\": \"{id}\", \"nodes\": {nodes}, \"carried_nodes\": {}, \"rebuilt_nodes\": {}, \
+         \"carried_pivots\": {}, \"rebuilt_pivots\": {}, \"pivots\": {}}}",
+        s.carried_nodes,
+        s.rebuilt_nodes,
+        s.carried_pivots,
+        s.rebuilt_pivots,
+        s.pivots()
+    ));
 }
 
 fn bench_milp(c: &mut Criterion) {
@@ -121,7 +137,10 @@ fn bench_milp(c: &mut Criterion) {
         let problems = alloc_problems(nvars, nrows, 4);
         for (name, options) in modes() {
             // sanity outside the timed region: every mode proves the same
-            // objective on every instance
+            // objective on every instance — and its aggregated node/pivot
+            // profile becomes the pivot-count columns of the artifact
+            let mut nodes = 0u64;
+            let mut stats = SearchStats::default();
             for (p, want) in &problems {
                 let got = solve_milp(p, options).expect("solvable in every mode");
                 assert!(
@@ -130,7 +149,17 @@ fn bench_milp(c: &mut Criterion) {
                     got.objective,
                     want
                 );
+                nodes += got.nodes as u64;
+                stats.carried_nodes += got.search.carried_nodes;
+                stats.rebuilt_nodes += got.search.rebuilt_nodes;
+                stats.carried_pivots += got.search.carried_pivots;
+                stats.rebuilt_pivots += got.search.rebuilt_pivots;
             }
+            emit_pivot_profile(
+                &format!("milp_pivots/{name}/{nvars}x{nrows}"),
+                nodes,
+                &stats,
+            );
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{nvars}x{nrows}")),
                 &problems,

@@ -11,22 +11,39 @@
 //!   decompositions, but simplex warm starts chained across queries.
 //!   Isolates the warm-chaining contribution.
 //! * `session` — the full session: decompose once against the domain,
-//!   specialize cached cells per query, chain warm starts. The serve
-//!   path `pc batch` uses.
+//!   specialize cached cells per query, chain warm starts — with the
+//!   default tableau carry, so structurally repeating LPs re-price one
+//!   carried canonical tableau across queries. The serve path `pc batch`
+//!   uses.
+//! * `session_basis` — the full session with `tableau_carry` off:
+//!   identical cell cache, but chained warm starts hand over bases only
+//!   (the pre-carry architecture). Isolates the carry's contribution.
 //!
 //! Every mode is asserted (outside the timed region) to produce
-//! identical ranges, so the bench only ever compares equal work.
+//! identical ranges, so the bench only ever compares equal work; each
+//! mode's aggregated `BoundReport::solver` counters (pivots, carried vs
+//! rebuilt tableaux, branch & bound nodes) are emitted as
+//! `serve_pivots/...` JSON lines next to the timing rows.
 //!
 //! Set `PC_BENCH_JSON=/path/file.json` to append machine-readable results
 //! (the repo's `BENCH_serve.json` is produced this way).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pc_bench::emit_bench_json_line;
 use pc_core::{
-    BoundEngine, BoundOptions, FrequencyConstraint, PcSet, PredicateConstraint, Session,
+    BoundEngine, BoundOptions, FrequencyConstraint, LpWork, PcSet, PredicateConstraint, Session,
     SessionOptions, ValueConstraint,
 };
 use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
 use pc_storage::{AggKind, AggQuery};
+
+/// The solver-work columns that ride next to criterion's timing rows.
+fn emit_work_profile(id: &str, w: &LpWork) {
+    emit_bench_json_line(&format!(
+        "{{\"id\": \"{id}\", \"pivots\": {}, \"carried\": {}, \"rebuilt\": {}, \"nodes\": {}}}",
+        w.pivots, w.carried, w.rebuilt, w.nodes
+    ));
+}
 
 /// An overlapping constraint set over (region, value): `n` staggered
 /// range constraints whose boxes overlap their neighbors, so the
@@ -36,11 +53,27 @@ fn serving_set(n: usize) -> PcSet {
     let mut set = PcSet::new(schema);
     for i in 0..n {
         let lo = (i * 5 % 23) as f64;
-        let hi = lo + 9.0 + (i % 4) as f64;
+        // every third constraint is a narrow *floor* (a frequency lower
+        // bound on a box small enough that query windows contain it
+        // whole, so pushdown keeps the bound): floors force Ge rows into
+        // the allocation LPs — a real phase 1 per cold solve — and
+        // engage the AVG binary search below, the workload shapes the
+        // warm-start tiers exist for
+        let (hi, freq) = if i % 3 == 0 {
+            (
+                lo + 3.0,
+                FrequencyConstraint::between(2, 15 + (i % 7) as u64),
+            )
+        } else {
+            (
+                lo + 9.0 + (i % 4) as f64,
+                FrequencyConstraint::at_most(15 + (i % 7) as u64),
+            )
+        };
         set.push(PredicateConstraint::new(
             Predicate::atom(Atom::between(0, lo, hi)),
             ValueConstraint::none().with(1, Interval::closed(0.0, 40.0 + 10.0 * (i % 6) as f64)),
-            FrequencyConstraint::at_most(15 + (i % 7) as u64),
+            freq,
         ));
     }
     // a catch-all cap closes the set: every query gets finite bounds
@@ -63,16 +96,21 @@ fn close(a: f64, b: f64) -> bool {
 
 /// The query stream: aggregate queries over staggered region windows —
 /// the repeated-traffic shape a session amortizes (every query's region
-/// cuts the shared decomposition differently).
+/// cuts the shared decomposition differently). AVG queries are the
+/// chain-carry showcase: each runs a binary search of up to ~80
+/// feasibility probes over the *same* constraint rows with shifting
+/// objectives, so with `tableau_carry` every probe after the first
+/// re-prices one carried tableau instead of rebuilding and crashing.
 fn query_stream(count: usize) -> Vec<AggQuery> {
     (0..count)
         .map(|i| {
             let lo = (i * 7 % 29) as f64;
             let hi = lo + 6.0 + (i % 5) as f64;
             let predicate = Predicate::atom(Atom::between(0, lo, hi));
-            match i % 3 {
+            match i % 4 {
                 0 => AggQuery::new(AggKind::Sum, 1, predicate),
                 1 => AggQuery::count(predicate),
+                2 => AggQuery::new(AggKind::Avg, 1, predicate),
                 _ => AggQuery::new(AggKind::Max, 1, predicate),
             }
         })
@@ -87,12 +125,25 @@ fn bench_query_throughput(c: &mut Criterion) {
         let set = serving_set(n_constraints);
         let queries = query_stream(24);
 
-        // sanity outside the timed region: all three modes agree
+        // sanity outside the timed region: all four modes agree — and
+        // their aggregated solver-work counters become the pivot columns
+        // of the artifact
+        let basis_opts = BoundOptions {
+            tableau_carry: false,
+            ..opts
+        };
         let engine = BoundEngine::with_options(&set, opts);
         let session = Session::with_options(
             &set,
             SessionOptions {
                 bound: opts,
+                cache_cells: true,
+            },
+        );
+        let session_basis = Session::with_options(
+            &set,
+            SessionOptions {
+                bound: basis_opts,
                 cache_cells: true,
             },
         );
@@ -103,21 +154,42 @@ fn bench_query_throughput(c: &mut Criterion) {
                 cache_cells: false,
             },
         );
+        let mut cold_work = LpWork::default();
+        let mut session_work = LpWork::default();
+        let mut basis_work = LpWork::default();
+        let absorb = |into: &mut LpWork, w: LpWork| {
+            into.pivots += w.pivots;
+            into.carried += w.carried;
+            into.rebuilt += w.rebuilt;
+            into.nodes += w.nodes;
+        };
         for q in &queries {
-            let cold = engine.bound(q).expect("bounded workload").range;
-            let served = session.bound(q).expect("bounded workload").range;
+            let cold = engine.bound(q).expect("bounded workload");
+            let served = session.bound(q).expect("bounded workload");
+            let basis = session_basis.bound(q).expect("bounded workload");
             let chained = chain_only.bound(q).expect("bounded workload").range;
+            absorb(&mut cold_work, cold.solver);
+            absorb(&mut session_work, served.solver);
+            absorb(&mut basis_work, basis.solver);
+            let (cold, served, basis) = (cold.range, served.range, basis.range);
             assert!(
                 close(cold.lo, served.lo) && close(cold.hi, served.hi),
                 "session mismatch on {q:?}: {cold:?} vs {served:?}"
+            );
+            assert!(
+                close(cold.lo, basis.lo) && close(cold.hi, basis.hi),
+                "session_basis mismatch on {q:?}: {cold:?} vs {basis:?}"
             );
             assert!(
                 close(cold.lo, chained.lo) && close(cold.hi, chained.hi),
                 "warm-chain mismatch on {q:?}: {cold:?} vs {chained:?}"
             );
         }
-
         let param = format!("{n_constraints}pc");
+        emit_work_profile(&format!("serve_pivots/cold/{param}"), &cold_work);
+        emit_work_profile(&format!("serve_pivots/session/{param}"), &session_work);
+        emit_work_profile(&format!("serve_pivots/session_basis/{param}"), &basis_work);
+
         group.bench_with_input(
             criterion::BenchmarkId::new("cold", &param),
             &queries,
@@ -160,6 +232,25 @@ fn bench_query_throughput(c: &mut Criterion) {
                     &set,
                     SessionOptions {
                         bound: opts,
+                        cache_cells: true,
+                    },
+                );
+                b.iter(|| {
+                    for q in qs {
+                        session.bound(q).expect("bounded workload");
+                    }
+                })
+            },
+        );
+        // carry-off ablation: same cache, bases-only warm chains
+        group.bench_with_input(
+            criterion::BenchmarkId::new("session_basis", &param),
+            &queries,
+            |b, qs| {
+                let session = Session::with_options(
+                    &set,
+                    SessionOptions {
+                        bound: basis_opts,
                         cache_cells: true,
                     },
                 );

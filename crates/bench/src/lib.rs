@@ -18,6 +18,26 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+
+/// Append one machine-readable line to the `PC_BENCH_JSON` stream (the
+/// same file the vendored criterion shim writes its timing rows to) and
+/// echo it to stdout — how the benches publish pivot/work-profile
+/// columns next to their wall-clock rows.
+pub fn emit_bench_json_line(line: &str) {
+    println!("pivots {line}");
+    if let Ok(path) = std::env::var("PC_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(file, "{line}");
+            }
+        }
+    }
+}
 pub mod harness;
 
 pub use harness::{MethodSummary, Scale};

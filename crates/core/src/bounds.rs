@@ -28,10 +28,11 @@ use crate::decompose::{decompose_with, Parallelism};
 use crate::{BoundError, Cell, DecomposeStats, PcSet, Strategy};
 use pc_predicate::Region;
 use pc_solver::{
-    greedy, solve_lp, solve_lp_warm, solve_milp, ConstraintOp, LinearProgram, MilpOptions,
-    MilpProblem, Sense, WarmStart,
+    greedy, solve_lp_tableau, solve_milp_carried, CanonicalTableau, ConstraintOp, LinearProgram,
+    MilpOptions, MilpProblem, SearchStats, Sense, WarmStart,
 };
 use pc_storage::{AggKind, AggQuery};
+use std::cell::Cell as StdCell;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -91,8 +92,24 @@ pub struct BoundOptions {
     /// groups of a GROUP-BY, the probes of one AVG binary search, and —
     /// through [`MilpOptions::warm_start`] — parent-to-child node
     /// relaxations inside branch & bound. Disabling this turns all of
-    /// them off.
+    /// them off, *including* the tableau carry (the carry is the warm
+    /// start's deeper tier; the engine knob is the whole-family switch,
+    /// unlike the solver-level [`MilpOptions`] pair, where the
+    /// contradictory `warm_start: false, tableau_carry: true` is rejected
+    /// with an error).
     pub warm_start: bool,
+    /// Carry whole canonical tableaux instead of just bases wherever the
+    /// chained LPs allow it (on by default): parent-to-child inside
+    /// branch & bound (append the branch bound as one row — O(1) pivots
+    /// per node instead of an O(m) rebuild + crash), and across the LP
+    /// solves of one chain when the constraint structure matches exactly
+    /// (the AVG binary search re-prices the same tableau ~80 times with
+    /// zero rebuilds; a [`crate::Session`]'s per-worker caches carry
+    /// tableaux across *queries*). Structure mismatches degrade to the
+    /// basis tier automatically. Honest A/B switch
+    /// (`pc … --no-tableau-carry`): never affects results, only work —
+    /// see [`BoundReport::solver`] for the counters.
+    pub tableau_carry: bool,
 }
 
 impl Default for BoundOptions {
@@ -106,6 +123,7 @@ impl Default for BoundOptions {
             parallel_depth: None,
             shared_group_by: true,
             warm_start: true,
+            tableau_carry: true,
         }
     }
 }
@@ -141,6 +159,42 @@ impl ResultRange {
     }
 }
 
+/// Aggregated LP/MILP work counters of one bounding call — the serving
+/// layer's view of the warm-start tiers (see [`pc_solver::SolveStats`]
+/// and [`pc_solver::SearchStats`] for the per-solve species). "Carried"
+/// solves reused a canonical tableau (branch & bound children answered
+/// in O(1) pivots, or a chained LP re-priced under a new objective);
+/// "rebuilt" solves standardized and built a tableau from scratch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpWork {
+    /// Total simplex pivots across every LP solve of the call.
+    pub pivots: u64,
+    /// Solves answered from a carried canonical tableau.
+    pub carried: u64,
+    /// Solves that rebuilt a tableau from scratch.
+    pub rebuilt: u64,
+    /// Branch & bound nodes explored by the call's allocation MILPs.
+    pub nodes: u64,
+}
+
+impl LpWork {
+    fn absorb_search(&mut self, nodes: usize, s: SearchStats) {
+        self.pivots += s.pivots();
+        self.carried += s.carried_nodes;
+        self.rebuilt += s.rebuilt_nodes;
+        self.nodes += nodes as u64;
+    }
+
+    fn absorb_lp(&mut self, s: pc_solver::SolveStats) {
+        self.pivots += s.pivots;
+        if s.rebuilt {
+            self.rebuilt += 1;
+        } else {
+            self.carried += 1;
+        }
+    }
+}
+
 /// The output of a bounding call.
 #[derive(Debug, Clone)]
 pub struct BoundReport {
@@ -151,12 +205,24 @@ pub struct BoundReport {
     pub closed: bool,
     /// Decomposition work counters.
     pub stats: DecomposeStats,
+    /// LP/MILP work counters (pivots, carried vs rebuilt tableaux, branch
+    /// & bound nodes) — the measured side of the warm-start tiers.
+    pub solver: LpWork,
 }
 
-/// Simplex bases kept across the LP solves of a GROUP-BY chain, keyed by
+/// Simplex state kept across the LP solves of a GROUP-BY chain, keyed by
 /// tableau-shape-determining facts (probe kind and dimensions) so a basis
 /// is only offered to a structurally compatible successor.
 type WarmKey = (Sense, bool, usize, usize);
+
+/// What a chain slot holds between solves: the whole canonical tableau
+/// when the engine carries ([`BoundOptions::tableau_carry`]), or just the
+/// basis otherwise. A carried tableau whose structure no longer matches
+/// the next program demotes itself to its basis inside the solver.
+pub(crate) enum CachedWarm {
+    Basis(WarmStart),
+    Tableau(Box<CanonicalTableau>),
+}
 
 /// Shared warm-start store for one chain of related bounding calls (a
 /// standalone `bound()`, the groups one pool worker solves in a
@@ -165,8 +231,10 @@ type WarmKey = (Sense, bool, usize, usize);
 /// hand each worker its own store — but tasks are stealable, so the
 /// store must tolerate whichever thread ends up running them. The mutex
 /// is uncontended in that design; a stale or racing basis can cost a
-/// cold fallback, never correctness.
-pub(crate) type WarmCache = Arc<Mutex<HashMap<WarmKey, WarmStart>>>;
+/// cold fallback, never correctness. Entries are *taken* (moved) for the
+/// duration of a solve and re-inserted after — carrying a tableau must
+/// not clone it.
+pub(crate) type WarmCache = Arc<Mutex<HashMap<WarmKey, CachedWarm>>>;
 
 /// One warm-start cache per pool worker (plus one for the calling
 /// thread): tasks solved on the same worker chain their simplex bases
@@ -243,6 +311,23 @@ pub(crate) struct CellProblem {
     /// Warm-start store threaded in by a GROUP-BY chain; `None` for
     /// standalone bounds.
     warm: Option<WarmCache>,
+    /// LP/MILP work counters accumulated while solving this problem
+    /// (interior-mutable: the per-aggregate bounds take `&CellProblem`).
+    work: StdCell<LpWork>,
+}
+
+impl CellProblem {
+    fn record_search(&self, nodes: usize, s: SearchStats) {
+        let mut w = self.work.get();
+        w.absorb_search(nodes, s);
+        self.work.set(w);
+    }
+
+    fn record_lp(&self, s: pc_solver::SolveStats) {
+        let mut w = self.work.get();
+        w.absorb_lp(s);
+        self.work.set(w);
+    }
 }
 
 /// Computes result ranges for aggregate queries against one [`PcSet`].
@@ -464,6 +549,7 @@ impl<'a> BoundEngine<'a> {
             closed,
             stats,
             warm,
+            work: StdCell::new(LpWork::default()),
         })
     }
 
@@ -603,8 +689,35 @@ impl<'a> BoundEngine<'a> {
             // `BoundOptions::lp_relax_cell_limit`.
             return Ok(self.solve_lp_maybe_warm(p, &lp, sense, extra_min_total)?);
         }
-        match solve_milp(&MilpProblem::all_integer(lp.clone()), self.milp_options()) {
-            Ok(sol) => Ok(sol.objective),
+        // The chain carry reaches into branch & bound too: consecutive
+        // allocation MILPs of one chain (the probes of an AVG binary
+        // search foremost) share constraint structure and differ only in
+        // objective, so each solve seeds the next solve's *root*
+        // relaxation with its carried tableau. Same cache slots as the
+        // plain LP chain; a structural mismatch demotes inside the solver.
+        let milp_options = self.milp_options();
+        let key: WarmKey = (sense, extra_min_total, lp.num_vars(), lp.constraints.len());
+        let chain = milp_options
+            .tableau_carry
+            .then_some(&p.warm)
+            .and_then(|w| w.as_ref());
+        let prior = chain.and_then(|cache| match cache.lock().unwrap().remove(&key) {
+            Some(CachedWarm::Tableau(t)) => Some(*t),
+            // a basis entry under a carry-enabled engine cannot occur
+            // (carry-on chains always store tableaux); drop defensively
+            Some(CachedWarm::Basis(_)) | None => None,
+        });
+        match solve_milp_carried(&MilpProblem::all_integer(lp.clone()), milp_options, prior) {
+            Ok((sol, root)) => {
+                p.record_search(sol.nodes, sol.search);
+                if let (Some(cache), Some(root)) = (chain, root) {
+                    cache
+                        .lock()
+                        .unwrap()
+                        .insert(key, CachedWarm::Tableau(Box::new(root)));
+                }
+                Ok(sol.objective)
+            }
             // A pathological branch & bound tree is not a reason to fail a
             // *bounding* call: the LP relaxation dominates the integer
             // optimum in the optimization direction, so it is still sound.
@@ -617,13 +730,17 @@ impl<'a> BoundEngine<'a> {
 
     /// The branch & bound configuration for this engine's allocation
     /// MILPs: the engine-level knobs flow into the solver-level ones, so
-    /// `BoundOptions { threads, warm_start }` configures the whole
-    /// vertical slice without callers knowing the solver has its own
-    /// knobs. A strictly sequential engine (`threads: 1`) forces a
-    /// sequential search; otherwise `milp.threads` left at its sequential
-    /// default inherits the engine's fan-out (set it explicitly to
-    /// decouple the two). `warm_start: false` disables node-to-node basis
-    /// reuse along with the LP chains — both engine knobs stay honest A/B
+    /// `BoundOptions { threads, warm_start, tableau_carry }` configures
+    /// the whole vertical slice without callers knowing the solver has
+    /// its own knobs. A strictly sequential engine (`threads: 1`) forces
+    /// a sequential search; otherwise `milp.threads` left at its
+    /// sequential default inherits the engine's fan-out (set it
+    /// explicitly to decouple the two). `warm_start: false` disables the
+    /// whole warm family — node-to-node basis reuse, the LP chains, *and*
+    /// the tableau carry (so the engine never hands the solver the
+    /// contradictory `warm_start: false, tableau_carry: true` combination
+    /// the solver rejects); `tableau_carry: false` alone keeps the basis
+    /// tier and drops only tier 3. All three engine knobs stay honest A/B
     /// switches for the whole pipeline.
     fn milp_options(&self) -> MilpOptions {
         let threads = if self.options.threads == 1 {
@@ -633,18 +750,27 @@ impl<'a> BoundEngine<'a> {
         } else {
             self.options.milp.threads
         };
+        let warm_start = self.options.warm_start && self.options.milp.warm_start;
         MilpOptions {
             threads,
-            warm_start: self.options.warm_start && self.options.milp.warm_start,
+            warm_start,
+            tableau_carry: warm_start
+                && self.options.tableau_carry
+                && self.options.milp.tableau_carry,
             ..self.options.milp
         }
     }
 
     /// Solve an LP, consulting and refreshing the problem's warm-start
-    /// cache when a GROUP-BY chain supplied one. The cache key pins the
-    /// probe kind and the tableau dimensions; `solve_lp_warm` additionally
-    /// verifies basis compatibility and falls back to a cold solve, so a
-    /// stale basis can cost time but never correctness.
+    /// cache when a chain supplied one. The cache key pins the probe kind
+    /// and the tableau dimensions; the solver additionally verifies
+    /// structural/basis compatibility and falls back tier by tier (carry
+    /// → basis crash → cold), so a stale entry can cost time but never
+    /// correctness. With [`BoundOptions::tableau_carry`] the slot holds
+    /// the whole canonical tableau — moved out for the solve and moved
+    /// back after — so an AVG binary search re-prices one tableau across
+    /// all its probes and a [`crate::Session`] carries tableaux across
+    /// queries, not just bases.
     fn solve_lp_maybe_warm(
         &self,
         p: &CellProblem,
@@ -655,12 +781,24 @@ impl<'a> BoundEngine<'a> {
         // Cache creation is already gated on `options.warm_start` at both
         // construction sites (`bound`, the group-by chunk driver).
         let Some(cache) = &p.warm else {
-            return solve_lp(lp).map(|sol| sol.objective);
+            let (sol, ct) = solve_lp_tableau(lp, None, None)?;
+            p.record_lp(ct.stats());
+            return Ok(sol.objective);
         };
         let key: WarmKey = (sense, extra_min_total, lp.num_vars(), lp.constraints.len());
-        let prior = cache.lock().unwrap().get(&key).cloned();
-        let (sol, basis) = solve_lp_warm(lp, prior.as_ref())?;
-        cache.lock().unwrap().insert(key, basis);
+        let (prior, basis) = match cache.lock().unwrap().remove(&key) {
+            Some(CachedWarm::Tableau(t)) => (Some(*t), None),
+            Some(CachedWarm::Basis(b)) => (None, Some(b)),
+            None => (None, None),
+        };
+        let (sol, ct) = solve_lp_tableau(lp, prior, basis.as_ref())?;
+        p.record_lp(ct.stats());
+        let entry = if self.options.tableau_carry {
+            CachedWarm::Tableau(Box::new(ct))
+        } else {
+            CachedWarm::Basis(ct.warm_start())
+        };
+        cache.lock().unwrap().insert(key, entry);
         Ok(sol.objective)
     }
 
@@ -912,6 +1050,7 @@ fn report(lo: f64, hi: f64, p: &CellProblem) -> BoundReport {
         range: ResultRange { lo, hi },
         closed: p.closed,
         stats: p.stats,
+        solver: p.work.get(),
     }
 }
 
@@ -1190,6 +1329,71 @@ mod tests {
         );
         let err = BoundEngine::new(&set).bound(&q).unwrap_err();
         assert_eq!(err, BoundError::EmptyAggregate);
+    }
+
+    #[test]
+    fn tableau_carry_never_changes_ranges_and_counts_work() {
+        // Floors force Ge rows (real phase 1) and an AVG binary search —
+        // the chain shape the carry accelerates. Carry on and off must
+        // agree on every range; the carry run must actually carry.
+        let mut set = PcSet::new(schema())
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 129.99)),
+                FrequencyConstraint::between(50, 100),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 11.0, 13.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.99, 149.99)),
+                FrequencyConstraint::between(75, 125),
+            ))
+            .with(PredicateConstraint::new(
+                Predicate::atom(Atom::bucket(0, 12.0, 13.0)),
+                ValueConstraint::none().with(1, Interval::closed(5.0, 80.0)),
+                FrequencyConstraint::between(10, 60),
+            ));
+        let mut domain = Region::full(&schema());
+        domain.set_interval(0, Interval::half_open(11.0, 13.0));
+        set.set_domain(domain);
+
+        let carry_engine = BoundEngine::new(&set);
+        let basis_engine = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                tableau_carry: false,
+                ..BoundOptions::default()
+            },
+        );
+        let mut carried_total = 0;
+        for agg in [
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::Avg,
+            AggKind::Min,
+            AggKind::Max,
+        ] {
+            let q = AggQuery::new(agg, 1, Predicate::always());
+            let with = carry_engine.bound(&q).unwrap();
+            let without = basis_engine.bound(&q).unwrap();
+            assert!(
+                (with.range.lo - without.range.lo).abs() < 1e-5
+                    && (with.range.hi - without.range.hi).abs() < 1e-5,
+                "{agg:?}: carry [{}, {}] vs basis [{}, {}]",
+                with.range.lo,
+                with.range.hi,
+                without.range.lo,
+                without.range.hi
+            );
+            assert_eq!(
+                without.solver.carried, 0,
+                "{agg:?}: basis run must not carry"
+            );
+            carried_total += with.solver.carried;
+        }
+        assert!(
+            carried_total > 0,
+            "the AVG chain must answer probes from carried tableaux"
+        );
     }
 
     #[test]

@@ -127,6 +127,10 @@ pub struct DecomposeStats {
     /// runs; the only counter that may differ between sequential and
     /// parallel runs of the same decomposition).
     pub parallel_subtrees: u64,
+    /// GROUP-BY level-2 splices answered from the cross-key memo (the
+    /// whole include/exclude DFS of one cell replayed from a structurally
+    /// identical key, zero SAT calls).
+    pub splice_memo_hits: u64,
 }
 
 impl DecomposeStats {
@@ -138,6 +142,7 @@ impl DecomposeStats {
         self.rewrite_skips += other.rewrite_skips;
         self.assumed_sat += other.assumed_sat;
         self.parallel_subtrees += other.parallel_subtrees;
+        self.splice_memo_hits += other.splice_memo_hits;
     }
 }
 

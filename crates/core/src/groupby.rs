@@ -32,7 +32,13 @@
 //!    slice covered by no shared constraint, which only key-local
 //!    constraints can populate; its satisfiability is memoized across
 //!    keys like any other cross-section). The carried witnesses settle
-//!    one branch of every split for free.
+//!    one branch of every split for free — and whole splice *outcomes*
+//!    are memoized across keys too: keys whose local constraints are
+//!    structurally identical (same boxes modulo the group coordinate,
+//!    the common shape of generated per-key caps) replay each cell's
+//!    entire DFS from the first such key's leaf list with zero SAT calls
+//!    (`DecomposeStats::splice_memo_hits`), witnesses transferred by
+//!    remapping the group coordinate.
 //! 4. Solve **every group as its own stealable task** on the
 //!    work-stealing pool, preserving output order, with per-worker
 //!    simplex warm-start chains ([`pc_solver::solve_lp_warm`]).
@@ -54,7 +60,7 @@
 //! sound, as early stopping only ever widens.
 
 use crate::bounds::{pooled_map, WarmCache, WarmCaches};
-use crate::specialize::{splice_locals, SliceSpecializer};
+use crate::specialize::{splice_locals, SliceSpecializer, VIRTUAL_CELL};
 use crate::{
     ActiveSet, BoundEngine, BoundError, BoundReport, Cell, DecomposeStats, PcSet,
     PredicateConstraint,
@@ -282,11 +288,31 @@ impl BoundEngine<'_> {
                     .iter()
                     .map(|&j| (j, &self.set.constraints()[j]))
                     .collect();
+                // Cross-key splice memoization: keys whose local
+                // constraints are structurally identical (same boxes
+                // modulo the group coordinate — the common shape of
+                // generated per-key caps) share whole splice outcomes;
+                // a hit replays the cell's include/exclude DFS with zero
+                // SAT calls.
+                let sig = SliceSpecializer::locals_signature(&locals, group_attr);
                 let mut cells = Vec::with_capacity(specialized.len() * 2);
                 for (src, cell) in specialized {
+                    if spec.replay_splice(
+                        src,
+                        key,
+                        sig.as_ref(),
+                        &cell.region,
+                        &cell.active,
+                        &locals,
+                        &mut cells,
+                        &mut stats,
+                    ) {
+                        continue;
+                    }
+                    let start = cells.len();
                     let negs = spec.group_active_negs(src, key);
                     splice_locals(
-                        cell.region,
+                        Arc::clone(&cell.region),
                         &cell.active,
                         cell.witness,
                         negs,
@@ -295,21 +321,42 @@ impl BoundEngine<'_> {
                         &mut cells,
                         &mut stats,
                     );
+                    spec.record_splice(src, key, sig.as_ref(), &locals, &cells[start..]);
                 }
                 // The virtual ∅-cell: slice points covered by no shared
                 // constraint, reachable only through this key's locals.
                 if !slice.is_empty() {
-                    if let Some(w) = spec.virtual_witness(key, &slice, &mut stats) {
-                        splice_locals(
-                            Arc::new(slice.clone()),
-                            &ActiveSet::new(),
-                            Some(w),
-                            spec.virtual_negs(key),
-                            &locals,
-                            self.par_witness(),
-                            &mut cells,
-                            &mut stats,
-                        );
+                    let virtual_region = Arc::new(slice.clone());
+                    if !spec.replay_splice(
+                        VIRTUAL_CELL,
+                        key,
+                        sig.as_ref(),
+                        &virtual_region,
+                        &ActiveSet::new(),
+                        &locals,
+                        &mut cells,
+                        &mut stats,
+                    ) {
+                        if let Some(w) = spec.virtual_witness(key, &slice, &mut stats) {
+                            let start = cells.len();
+                            splice_locals(
+                                virtual_region,
+                                &ActiveSet::new(),
+                                Some(w),
+                                spec.virtual_negs(key),
+                                &locals,
+                                self.par_witness(),
+                                &mut cells,
+                                &mut stats,
+                            );
+                            spec.record_splice(
+                                VIRTUAL_CELL,
+                                key,
+                                sig.as_ref(),
+                                &locals,
+                                &cells[start..],
+                            );
+                        }
                     }
                 }
                 cells
@@ -538,6 +585,63 @@ mod tests {
         // sanity: branch 0's floor is visible (lo ≥ 4 · 10)
         let g0 = shared[0].report.as_ref().unwrap();
         assert!(g0.range.lo >= 40.0 - 1e-9, "lo = {}", g0.range.lo);
+    }
+
+    #[test]
+    fn structurally_identical_keys_share_splice_verdicts() {
+        // Generated per-key caps: every branch gets the *same* local
+        // constraint shape (same value box, same frequency range — only
+        // the group coordinate differs), plus shared cross-cutting
+        // constraints so the splice genuinely runs inside non-trivial
+        // cells. The cross-key memo must replay later keys' splices
+        // (splice_memo_hits > 0) without changing any bound.
+        let schema = Schema::new(vec![("branch", AttrType::Cat), ("price", AttrType::Float)]);
+        let mut domain = Region::full(&schema);
+        domain.set_interval(0, Interval::closed(0.0, 7.0));
+        let mut set = PcSet::new(schema);
+        for code in 0..8u32 {
+            // identical boxes modulo the group coordinate, incl. a floor
+            set.push(PredicateConstraint::new(
+                Predicate::atom(Atom::eq(0, f64::from(code))),
+                ValueConstraint::none().with(1, Interval::closed(10.0, 90.0)),
+                FrequencyConstraint::between(1, 6),
+            ));
+        }
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, 0.0, 5.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 120.0)),
+            FrequencyConstraint::at_most(20),
+        ));
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, 2.0, 7.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 80.0)),
+            FrequencyConstraint::at_most(15),
+        ));
+        set.set_domain(domain);
+
+        let keys: Vec<f64> = (0..8).map(f64::from).collect();
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Avg] {
+            let base = AggQuery::new(agg, 1, Predicate::always());
+            let shared = BoundEngine::new(&set).bound_group_by(&base, 0, keys.clone());
+            let per_key = BoundEngine::with_options(
+                &set,
+                BoundOptions {
+                    shared_group_by: false,
+                    ..BoundOptions::default()
+                },
+            )
+            .bound_group_by(&base, 0, keys.clone());
+            assert_reports_match(&shared, &per_key);
+            let hits: u64 = shared
+                .iter()
+                .filter_map(|g| g.report.as_ref().ok())
+                .map(|r| r.stats.splice_memo_hits)
+                .sum();
+            assert!(
+                hits > 0,
+                "{agg:?}: structurally identical keys must replay splices"
+            );
+        }
     }
 
     #[test]

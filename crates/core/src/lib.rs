@@ -97,7 +97,9 @@ mod pcset;
 mod session;
 pub mod specialize;
 
-pub use bounds::{BoundEngine, BoundOptions, BoundReport, ResultRange, PARALLEL_MIN_CONSTRAINTS};
+pub use bounds::{
+    BoundEngine, BoundOptions, BoundReport, LpWork, ResultRange, PARALLEL_MIN_CONSTRAINTS,
+};
 pub use cell::{ActiveSet, Cell};
 pub use constraint::{FrequencyConstraint, PredicateConstraint, ValueConstraint};
 pub use decompose::{

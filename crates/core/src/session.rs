@@ -22,7 +22,18 @@
 //! * simplex **warm starts chain across queries**, not just within one:
 //!   the session keeps per-worker [`WarmCaches`] alive for its whole
 //!   lifetime, so the 80-probe AVG binary search of query *n + 1* starts
-//!   from the bases query *n* left behind.
+//!   from the state query *n* left behind. With
+//!   [`crate::BoundOptions::tableau_carry`] (the default) each chain slot
+//!   holds the whole **canonical tableau**, not just the basis: a
+//!   successor LP with identical constraint structure (every probe of an
+//!   AVG search; repeated traffic against the same specialization) is
+//!   answered by re-pricing the carried tableau under its new objective —
+//!   zero standardization, zero rebuild, zero crash pivots — and only a
+//!   structural mismatch demotes the slot to its basis. The same knob
+//!   carries parent tableaux into branch & bound children inside each
+//!   allocation MILP (O(1) pivots per node; see `pc_solver::milp`), and
+//!   [`crate::BoundReport::solver`] reports the carried/rebuilt/pivot
+//!   counters per query.
 //!
 //! Specialization is exact (the module docs of [`crate::specialize`]
 //! carry the argument), so a session returns the same ranges as a fresh

@@ -205,7 +205,34 @@ impl CellSet {
 type SliceMemo = HashMap<(usize, u64), Option<Vec<f64>>>;
 
 /// Cell index the virtual empty-shared cell memoizes under.
-const VIRTUAL_CELL: usize = usize::MAX;
+pub(crate) const VIRTUAL_CELL: usize = usize::MAX;
+
+/// Structural signature of one key's local-constraint list: per local,
+/// the sorted non-group atoms as `(attr, lo bits, lo_open, hi bits,
+/// hi_open)`. Atoms on the group attribute are dropped — inside a
+/// `group = key` point slice every atom of a constraint pinned to that
+/// key is a no-op on the group coordinate — so two keys whose local caps
+/// are "the same boxes modulo the group coordinate" (the common shape of
+/// generated per-key assumptions) get equal signatures. `Arc`-shared:
+/// the signature is computed once per key and cloned into memo keys.
+pub(crate) type LocalsSig = Arc<Vec<Vec<(usize, u64, bool, u64, bool)>>>;
+
+/// One leaf of a completed local-constraint splice in
+/// structure-transferable form: which locals the leaf includes, plus its
+/// witness template (`None` = unverified early-stop leaf). On replay the
+/// include set reconstructs the leaf's region and activity against the
+/// new key's own locals, and the witness's group coordinate is remapped.
+struct SpliceLeaf {
+    include_mask: u64,
+    witness: Option<Vec<f64>>,
+}
+
+/// Memo of whole splice outcomes: (cell index, group-active exclusion
+/// mask, locals signature) → the leaf list `splice_locals` emitted. A hit
+/// replays the entire include/exclude DFS of that cell for a
+/// structurally identical key with zero SAT calls (the ROADMAP's
+/// cross-key splice memoization).
+type SpliceMemo = HashMap<(usize, u64, LocalsSig), Arc<Vec<SpliceLeaf>>>;
 
 /// Per-GROUP-BY specializer for `group = key` slices: the cached
 /// decomposition's cells plus the per-cell relevant exclusions *with
@@ -225,6 +252,8 @@ pub(crate) struct SliceSpecializer<'a> {
     /// exclusion list of the virtual ∅-cell.
     all_shared: Vec<(Interval, &'a Predicate)>,
     memo: Mutex<SliceMemo>,
+    /// Cross-key splice-outcome memo (see [`SpliceMemo`]).
+    splice_memo: Mutex<SpliceMemo>,
 }
 
 impl<'a> SliceSpecializer<'a> {
@@ -270,7 +299,167 @@ impl<'a> SliceSpecializer<'a> {
             memoable,
             all_shared,
             memo: Mutex::new(HashMap::new()),
+            splice_memo: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Compute one key's locals signature (shared by every cell of that
+    /// key's slice), or `None` when the list exceeds the 64-bit replay
+    /// mask. See [`LocalsSig`] for why group-attribute atoms are dropped.
+    pub(crate) fn locals_signature(
+        locals: &[(usize, &PredicateConstraint)],
+        group_attr: usize,
+    ) -> Option<LocalsSig> {
+        if locals.len() > 64 {
+            return None;
+        }
+        let sig = locals
+            .iter()
+            .map(|(_, pc)| {
+                let mut atoms: Vec<(usize, u64, bool, u64, bool)> = pc
+                    .predicate
+                    .atoms()
+                    .iter()
+                    .filter(|a| a.attr != group_attr)
+                    .map(|a| {
+                        (
+                            a.attr,
+                            a.interval.lo.to_bits(),
+                            a.interval.lo_open,
+                            a.interval.hi.to_bits(),
+                            a.interval.hi_open,
+                        )
+                    })
+                    .collect();
+                atoms.sort_unstable();
+                atoms
+            })
+            .collect();
+        Some(Arc::new(sig))
+    }
+
+    /// The group-active exclusion mask of cell `src` (or the virtual
+    /// ∅-cell) at `key`, when its relevant exclusions fit the 64-bit
+    /// memo mask.
+    fn mask_for(&self, src: usize, key: f64) -> Option<u64> {
+        let (relevant, memoable) = if src == VIRTUAL_CELL {
+            (&self.all_shared, self.all_shared.len() <= 64)
+        } else {
+            (&self.relevant_of[src], self.memoable[src])
+        };
+        memoable.then(|| {
+            let mut mask = 0u64;
+            for (bit, (g_iv, _)) in relevant.iter().enumerate() {
+                if g_iv.contains(key) {
+                    mask |= 1 << bit;
+                }
+            }
+            mask
+        })
+    }
+
+    /// Replay a memoized splice of cell `src` (or [`VIRTUAL_CELL`]) for
+    /// `key`, pushing the reconstructed leaves into `out`. Returns `true`
+    /// on a memo hit — the caller then skips `splice_locals` entirely
+    /// (zero SAT calls; `stats.splice_memo_hits` counts it). Soundness of
+    /// the transfer: two keys with the same source cell, the same
+    /// group-active exclusion mask, and structurally identical locals
+    /// have isomorphic slices (only the group coordinate differs), the
+    /// DFS leaf set is witness-order-independent (a leaf is emitted iff
+    /// its conjunction is satisfiable, and the SAT search is exact), and
+    /// a leaf witness transfers because every predicate it must satisfy
+    /// or violate does so in a non-group dimension — identical across the
+    /// two keys — while its remapped group coordinate satisfies the point
+    /// slice and every key-pinned atom by construction.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn replay_splice(
+        &self,
+        src: usize,
+        key: f64,
+        sig: Option<&LocalsSig>,
+        base_region: &Arc<Region>,
+        base_active: &ActiveSet,
+        locals: &[(usize, &PredicateConstraint)],
+        out: &mut Vec<Cell>,
+        stats: &mut DecomposeStats,
+    ) -> bool {
+        let (Some(sig), Some(mask)) = (sig, self.mask_for(src, key)) else {
+            return false;
+        };
+        let memo_key = (src, mask, Arc::clone(sig));
+        let leaves = match self.splice_memo.lock().unwrap().get(&memo_key) {
+            Some(leaves) => Arc::clone(leaves),
+            None => return false,
+        };
+        for leaf in leaves.iter() {
+            let mut region = Arc::clone(base_region);
+            let mut active = base_active.clone();
+            for (p, (gid, pc)) in locals.iter().enumerate() {
+                if leaf.include_mask & (1 << p) != 0 {
+                    if let Some(tightened) = region.tightened_by(pc.predicate.atoms()) {
+                        region = Arc::new(tightened);
+                    }
+                    active.insert(*gid);
+                }
+            }
+            // Isomorphism keeps replayed regions non-empty; the guard is
+            // pure insurance (dropping a leaf only widens nothing — an
+            // empty region holds no rows).
+            debug_assert!(!region.is_empty(), "replayed splice leaf went empty");
+            if region.is_empty() {
+                continue;
+            }
+            let witness = leaf.witness.as_ref().map(|w| {
+                let mut w = w.clone();
+                w[self.group_attr] = key;
+                w
+            });
+            out.push(Cell {
+                region,
+                active,
+                witness,
+            });
+        }
+        stats.splice_memo_hits += 1;
+        true
+    }
+
+    /// Record a completed splice of cell `src` at `key` (the `produced`
+    /// slice of the output vector) so structurally identical keys can
+    /// replay it.
+    pub(crate) fn record_splice(
+        &self,
+        src: usize,
+        key: f64,
+        sig: Option<&LocalsSig>,
+        locals: &[(usize, &PredicateConstraint)],
+        produced: &[Cell],
+    ) {
+        let (Some(sig), Some(mask)) = (sig, self.mask_for(src, key)) else {
+            return;
+        };
+        let leaves: Vec<SpliceLeaf> = produced
+            .iter()
+            .map(|cell| {
+                let mut include_mask = 0u64;
+                for (p, (gid, _)) in locals.iter().enumerate() {
+                    if cell.active.contains(*gid) {
+                        include_mask |= 1 << p;
+                    }
+                }
+                SpliceLeaf {
+                    include_mask,
+                    witness: cell.witness.clone(),
+                }
+            })
+            .collect();
+        // Two group tasks racing on the same uncached key both pay the
+        // splice (last insert wins, leaf sets are equal) — concurrency
+        // can only add work, never lose a leaf.
+        self.splice_memo
+            .lock()
+            .unwrap()
+            .insert((src, mask, Arc::clone(sig)), Arc::new(leaves));
     }
 
     /// Specialize every cached cell to the `group = key` slice of

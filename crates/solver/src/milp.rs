@@ -1,5 +1,5 @@
-//! Branch & bound mixed-integer linear programming — warm-started and
-//! parallel.
+//! Branch & bound mixed-integer linear programming — warm-started,
+//! tableau-carrying, and parallel.
 //!
 //! The PC bounding problem (§4.2 of the paper) requires *integer* row
 //! allocations per cell. We solve it by branch & bound over the LP
@@ -8,16 +8,54 @@
 //! variable with `x ≤ ⌊v⌋` and `x ≥ ⌈v⌉` children. Nodes whose relaxation
 //! bound cannot beat the incumbent are pruned.
 //!
-//! Two engine-level optimizations ride on that classic skeleton:
+//! # Warm starts down the tree: the three tiers
 //!
-//! * **Warm starts down the tree** ([`MilpOptions::warm_start`]): a child
-//!   node's LP differs from its parent's by a single tightened variable
-//!   bound, so the parent's optimal simplex basis is threaded into
-//!   [`solve_lp_warm`] — when the basis is still primal-feasible, phase 1
-//!   is skipped entirely and phase 2 re-optimizes from next door. Basis
-//!   incompatibility (e.g. a down-branch materializing a new bound row)
-//!   silently degrades to a cold solve, so warm starting never changes
-//!   results, only work.
+//! A child node's LP differs from its parent's by a single tightened
+//! variable bound, which the engine exploits at three escalating levels:
+//!
+//! 1. **Cold crash** (`warm_start: false, tableau_carry: false`) — every
+//!    node standardizes its LP, builds a tableau, and runs phase 1 from
+//!    the slack/artificial basis. The property-tested oracle.
+//! 2. **Basis restore** ([`MilpOptions::warm_start`]) — the parent's
+//!    optimal simplex *basis* is threaded into
+//!    [`solve_lp_tableau`](crate::solve_lp_tableau): the child still
+//!    rebuilds its tableau from scratch, then crashes the parent basis
+//!    in (O(m) pivots) and dual-restores feasibility, skipping phase 1.
+//!    Basis incompatibility silently degrades to a cold solve.
+//! 3. **Tableau carry** ([`MilpOptions::tableau_carry`], the default) —
+//!    the parent's whole [`CanonicalTableau`] is carried: the child
+//!    appends its branch bound as one row, runs a single elimination
+//!    pass against the parent-optimal basis, and dual-restores — **O(1)
+//!    pivots per node** instead of the O(m) rebuild + crash of tier 2.
+//!    Parents hand the tableau to both children through an [`Arc`]
+//!    snapshot: the near child (explored first, on the same worker)
+//!    clones the core lazily, and the far child — which by then usually
+//!    holds the last reference, whether it ran locally or was stolen —
+//!    takes it by move. A carried solve that stalls (dual-restore
+//!    iteration cap, numerically degenerate re-optimization) falls back
+//!    to a fresh rebuild, and every
+//!    [`TABLEAU_REFRESH_DEPTH`] consecutive carries the node rebuilds
+//!    anyway, bounding floating-point drift down deep chains.
+//!
+//!    Requesting `tableau_carry` while disabling `warm_start` is a
+//!    contradiction — the carried tableau *is* the warm start's deeper
+//!    tier — and is rejected with [`SolverError::BadModel`] rather than
+//!    silently ignored.
+//!
+//!    Interaction with the all-Le auto-disable: for a program whose rows
+//!    are all `≤` with nonnegative rhs, a cold phase 1 is free, so the
+//!    *basis-restore* tier is auto-disabled (crash + restore would be
+//!    pure overhead). The tableau carry stays active there — the work it
+//!    eliminates is the rebuild itself, which exists regardless of
+//!    phase-1 cost. (Branching only tightens variable bounds, so the
+//!    all-Le verdict holds for every node of the tree.)
+//!
+//!    Per-node pivot and rebuild counters ([`SearchStats`], on
+//!    [`MilpSolution::search`]) make the O(m) → O(1) claim measurable:
+//!    `benches/milp.rs` records them next to the wall-clock ablations,
+//!    and `tests/prop_milp_carry.rs` asserts carried nodes pivot
+//!    strictly less than rebuilt ones on Ge-bearing programs.
+//!
 //! * **Parallel search** ([`MilpOptions::threads`]): children are explored
 //!   as stealable tasks on the work-stealing pool (`rayon::join`), the
 //!   branch nearer the relaxation running hot on the current worker and
@@ -36,8 +74,11 @@
 //!   additionally fixes the exact node visit order (the classic DFS
 //!   stack).
 
-use crate::simplex::{solve_lp_warm, WarmStart};
+use crate::simplex::{
+    solve_lp_tableau, BranchBound, CanonicalTableau, ChildSolve, SolveStats, WarmStart,
+};
 use crate::{Sense, SolverError};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -52,6 +93,13 @@ const TIE_TOL: f64 = 1e-12;
 /// explicit-stack sequential search, bounding native stack growth on
 /// pathological branching chains.
 const PAR_DEPTH_LIMIT: usize = 64;
+
+/// Consecutive carried solves after which a node rebuilds its tableau
+/// from scratch even though the carry succeeded: each carried child
+/// inherits its parent's accumulated floating-point error, and a
+/// periodic refactorization bounds the drift at a bounded (and counted —
+/// see [`SearchStats::rebuilt_nodes`]) cost.
+pub const TABLEAU_REFRESH_DEPTH: u32 = 32;
 
 /// A mixed-integer program: a [`LinearProgram`](crate::LinearProgram)
 /// plus integrality flags.
@@ -90,8 +138,15 @@ pub struct MilpOptions {
     /// feasibility are identical in every mode.
     pub threads: usize,
     /// Thread each node's parent simplex basis into the child relaxation
-    /// (on by default). Never affects results, only work.
+    /// (on by default; tier 2 of the module docs). Never affects results,
+    /// only work. Disabling this while leaving [`MilpOptions::tableau_carry`]
+    /// on is rejected as a contradiction — see the module docs.
     pub warm_start: bool,
+    /// Carry each node's whole canonical tableau into its children (tier
+    /// 3: append the branch bound as one row + dual-restore, O(1) pivots
+    /// per node; on by default). Requires [`MilpOptions::warm_start`].
+    /// Never affects results, only work.
+    pub tableau_carry: bool,
 }
 
 impl Default for MilpOptions {
@@ -101,7 +156,34 @@ impl Default for MilpOptions {
             best_effort: false,
             threads: 1,
             warm_start: true,
+            tableau_carry: true,
         }
+    }
+}
+
+/// Work counters of one branch & bound search — the honest-measurement
+/// side of the warm-start tiers. "Carried" nodes were answered from the
+/// parent's canonical tableau (tier 3); "rebuilt" nodes standardized and
+/// built a tableau from scratch (tiers 1/2, including the root, carry
+/// stalls, and periodic refreshes). Nodes pruned before any LP solve
+/// (inconsistent branch bounds) appear in neither.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes whose relaxation was solved on a carried tableau.
+    pub carried_nodes: u64,
+    /// Nodes whose relaxation rebuilt a tableau from scratch.
+    pub rebuilt_nodes: u64,
+    /// Simplex pivots spent in carried node solves.
+    pub carried_pivots: u64,
+    /// Simplex pivots spent in rebuilt node solves (crash + phase 1 +
+    /// dual restore + phase 2).
+    pub rebuilt_pivots: u64,
+}
+
+impl SearchStats {
+    /// Total simplex pivots across the search.
+    pub fn pivots(&self) -> u64 {
+        self.carried_pivots + self.rebuilt_pivots
     }
 }
 
@@ -117,6 +199,8 @@ pub struct MilpSolution {
     pub proven_optimal: bool,
     /// Number of branch & bound nodes explored.
     pub nodes: usize,
+    /// Per-node pivot/rebuild counters (see [`SearchStats`]).
+    pub search: SearchStats,
 }
 
 /// One node's accumulated bound overrides: `(var, lo, hi)` entries applied
@@ -128,17 +212,46 @@ pub fn solve_milp(
     problem: &MilpProblem,
     options: MilpOptions,
 ) -> Result<MilpSolution, SolverError> {
+    solve_milp_carried(problem, options, None).map(|(solution, _)| solution)
+}
+
+/// [`solve_milp`] with a carried *root* tableau: chains of MILPs whose
+/// LPs share constraint structure and differ only in the objective — the
+/// AVG binary search solves one such MILP per probe — hand each solve's
+/// root [`CanonicalTableau`] to the next, which re-prices it instead of
+/// rebuilding (a structural mismatch demotes to the basis tier inside
+/// [`solve_lp_tableau`], exactly like the LP chains). Returns the root
+/// tableau for the next solve in the chain when
+/// [`MilpOptions::tableau_carry`] is on and the search reached a root
+/// solve (`None` otherwise — e.g. `prior` arrived poisoned or carry is
+/// off); `prior` is ignored when carry is off.
+pub fn solve_milp_carried(
+    problem: &MilpProblem,
+    options: MilpOptions,
+    prior: Option<CanonicalTableau>,
+) -> Result<(MilpSolution, Option<CanonicalTableau>), SolverError> {
     if problem.integer.len() != problem.lp.num_vars() {
         return Err(SolverError::BadModel(
             "integrality flags length must equal variable count".into(),
         ));
     }
-    // Node warm starts pay when a cold node solve has a real phase 1 —
-    // i.e. some row standardizes with an artificial (Ge/Eq, or a Le whose
-    // negative rhs flips). An all-Le program starts feasible on its slack
-    // basis for free, so there the crash-and-restore machinery is pure
-    // per-node overhead; skip it. (Branching only tightens variable
-    // bounds, so the verdict holds for every node of the tree.)
+    if options.tableau_carry && !options.warm_start {
+        // Mirror of the CLI flag-rejection hardening: the carried tableau
+        // is the warm start's deeper tier, so "no warm starts, but carry
+        // tableaux" is a contradiction — error instead of silently
+        // picking one of the two readings.
+        return Err(SolverError::BadModel(
+            "MilpOptions::tableau_carry requires warm_start; disable both to run cold".into(),
+        ));
+    }
+    // Node *basis* warm starts pay when a cold node solve has a real
+    // phase 1 — i.e. some row standardizes with an artificial (Ge/Eq, or
+    // a Le whose negative rhs flips). An all-Le program starts feasible
+    // on its slack basis for free, so there the crash-and-restore
+    // machinery is pure per-node overhead; skip it. (Branching only
+    // tightens variable bounds, so the verdict holds for every node of
+    // the tree.) The tableau carry is *not* auto-disabled: the rebuild it
+    // eliminates exists regardless of phase-1 cost.
     let phase1_is_real = problem.lp.constraints.iter().any(|c| match c.op {
         crate::ConstraintOp::Ge | crate::ConstraintOp::Eq => true,
         crate::ConstraintOp::Le => c.rhs < 0.0,
@@ -148,12 +261,27 @@ pub fn solve_milp(
         ..options
     };
     let search = Search::new(problem, options);
+    if options.tableau_carry {
+        *search.root_prior.lock().unwrap() = prior;
+    }
     if options.threads == 1 {
-        search.run_stack(Vec::new(), None);
+        search.run_stack(Vec::new(), Warmth::Cold);
     } else {
-        search.run_parallel(Vec::new(), None, 0);
+        search.run_parallel(Vec::new(), Warmth::Cold, 0);
     }
     search.finish()
+}
+
+/// What a node inherits from its parent to warm its relaxation solve.
+#[derive(Clone)]
+enum Warmth {
+    /// Nothing (the root, or both warm tiers disabled).
+    Cold,
+    /// The parent's optimal basis (tier 2).
+    Basis(Arc<WarmStart>),
+    /// The parent's canonical tableau plus the number of consecutive
+    /// carries since the last rebuild (tier 3).
+    Carried(Arc<CanonicalTableau>, u32),
 }
 
 /// Shared state of one branch & bound search, readable from every worker.
@@ -168,9 +296,18 @@ struct Search<'a> {
     /// The full incumbent `(objective, x)`; tie-broken deterministically.
     incumbent: Mutex<Option<(f64, Vec<f64>)>>,
     nodes: AtomicUsize,
+    carried_nodes: AtomicU64,
+    rebuilt_nodes: AtomicU64,
+    carried_pivots: AtomicU64,
+    rebuilt_pivots: AtomicU64,
     limit_hit: AtomicBool,
     failed: AtomicBool,
     error: Mutex<Option<SolverError>>,
+    /// A carried tableau for the *root* relaxation (chained in by
+    /// [`solve_milp_carried`]; taken exactly once).
+    root_prior: Mutex<Option<CanonicalTableau>>,
+    /// The root's own canonical tableau, handed back to the chain.
+    root_out: Mutex<Option<Arc<CanonicalTableau>>>,
 }
 
 impl<'a> Search<'a> {
@@ -188,9 +325,15 @@ impl<'a> Search<'a> {
             best_bits: AtomicU64::new(identity.to_bits()),
             incumbent: Mutex::new(None),
             nodes: AtomicUsize::new(0),
+            carried_nodes: AtomicU64::new(0),
+            rebuilt_nodes: AtomicU64::new(0),
+            carried_pivots: AtomicU64::new(0),
+            rebuilt_pivots: AtomicU64::new(0),
             limit_hit: AtomicBool::new(false),
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
+            root_prior: Mutex::new(None),
+            root_out: Mutex::new(None),
         }
     }
 
@@ -218,6 +361,17 @@ impl<'a> Search<'a> {
             *slot = Some(e);
         }
         self.failed.store(true, Ordering::SeqCst);
+    }
+
+    fn record_carried(&self, pivots: u64) {
+        self.carried_nodes.fetch_add(1, Ordering::Relaxed);
+        self.carried_pivots.fetch_add(pivots, Ordering::Relaxed);
+    }
+
+    fn record_rebuilt(&self, stats: SolveStats) {
+        self.rebuilt_nodes.fetch_add(1, Ordering::Relaxed);
+        self.rebuilt_pivots
+            .fetch_add(stats.pivots, Ordering::Relaxed);
     }
 
     fn aborted(&self) -> bool {
@@ -259,32 +413,128 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Solve one (already claimed) node. Returns branch instructions —
-    /// `(variable, fractional value, this node's basis)` — or `None` when
-    /// the node was pruned, infeasible, integral, or errored.
-    fn process_node(
-        &self,
-        overrides: &Overrides,
-        warm: Option<&WarmStart>,
-    ) -> Option<(usize, f64, Option<WarmStart>)> {
+    /// Fold the node's bound overrides over the root bounds; `false`
+    /// means some variable's interval emptied (the node is trivially
+    /// infeasible, no LP needed).
+    fn consistent_bounds(&self, overrides: &Overrides) -> bool {
+        if overrides.is_empty() {
+            return true;
+        }
+        let mut acc: HashMap<usize, (f64, f64)> = HashMap::with_capacity(overrides.len());
+        for &(var, lo, hi) in overrides {
+            let e = acc
+                .entry(var)
+                .or_insert_with(|| self.problem.lp.bounds[var]);
+            e.0 = e.0.max(lo);
+            e.1 = e.1.min(hi);
+            if e.0 > e.1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The node's LP: the root relaxation with the accumulated bound
+    /// overrides applied. Only built when a node actually rebuilds (the
+    /// carried path never needs it).
+    fn node_lp(&self, overrides: &Overrides) -> crate::LinearProgram {
         let mut lp = self.problem.lp.clone();
         for &(var, lo, hi) in overrides {
             let (cur_lo, cur_hi) = lp.bounds[var];
-            let new_lo = cur_lo.max(lo);
-            let new_hi = cur_hi.min(hi);
-            if new_lo > new_hi {
-                return None;
-            }
-            lp.set_bounds(var, new_lo, new_hi);
+            lp.set_bounds(var, cur_lo.max(lo), cur_hi.min(hi));
+        }
+        lp
+    }
+
+    /// Solve one (already claimed) node. Returns branch instructions —
+    /// `(variable, fractional value, warmth for the children)` — or
+    /// `None` when the node was pruned, infeasible, integral, or errored.
+    fn process_node(&self, overrides: &Overrides, warmth: Warmth) -> Option<(usize, f64, Warmth)> {
+        if !self.consistent_bounds(overrides) {
+            return None;
         }
 
-        let warm = if self.options.warm_start { warm } else { None };
-        let (relax, basis) = match solve_lp_warm(&lp, warm) {
-            Ok(solved) => solved,
-            Err(SolverError::Infeasible) => return None,
-            Err(e) => {
-                self.record_error(e);
-                return None;
+        // Tier 3: answer the node from the carried parent tableau. The
+        // node's *last* override is its own branch bound; everything
+        // before it is already baked into the parent's tableau.
+        let mut solved: Option<(crate::LpSolution, Warmth)> = None;
+        if let Warmth::Carried(parent, carries) = &warmth {
+            if *carries < TABLEAU_REFRESH_DEPTH {
+                let &(var, lo, hi) = overrides.last().expect("carried node has a branch");
+                let bound = if lo.is_finite() {
+                    BranchBound::Lower(lo)
+                } else {
+                    BranchBound::Upper(hi)
+                };
+                match CanonicalTableau::solve_child(Arc::clone(parent), var, bound) {
+                    ChildSolve::Solved { solution, tableau } => {
+                        self.record_carried(tableau.stats().pivots);
+                        solved = Some((solution, Warmth::Carried(Arc::new(tableau), carries + 1)));
+                    }
+                    ChildSolve::Infeasible { pivots } => {
+                        self.record_carried(pivots);
+                        return None;
+                    }
+                    // Stall: fall through to a fresh rebuild below.
+                    ChildSolve::Stalled => {}
+                }
+            }
+        }
+
+        // Tiers 2/1 (and the root, carry stalls, periodic refreshes):
+        // rebuild the node LP from scratch, crashing the parent basis in
+        // when tier 2 is on.
+        let (relax, child_warmth) = match solved {
+            Some(pair) => pair,
+            None => {
+                let lp = self.node_lp(overrides);
+                // A carried parent still donates its *basis* when the
+                // carry itself didn't run (stall, periodic refresh): the
+                // rebuild then costs the basis-crash tier, not a full
+                // cold phase 1. A branched parent's shape may no longer
+                // match the fresh standardization — crash_basis detects
+                // that and degrades cold, so offering it is free.
+                let basis = match (&warmth, self.options.warm_start) {
+                    (Warmth::Basis(b), true) => Some((**b).clone()),
+                    (Warmth::Carried(p, _), true) => Some(p.warm_start()),
+                    _ => None,
+                };
+                // The root consults the *chain* prior (solve_milp_carried):
+                // an AVG probe's root differs from the previous probe's
+                // only in the objective, so the carried tableau re-prices
+                // with zero rebuild — counted as a carried solve below.
+                let is_root = overrides.is_empty();
+                let prior = if is_root {
+                    self.root_prior.lock().unwrap().take()
+                } else {
+                    None
+                };
+                match solve_lp_tableau(&lp, prior, basis.as_ref()) {
+                    Ok((solution, tableau)) => {
+                        if tableau.stats().rebuilt {
+                            self.record_rebuilt(tableau.stats());
+                        } else {
+                            self.record_carried(tableau.stats().pivots);
+                        }
+                        let next = if self.options.tableau_carry {
+                            let tableau = Arc::new(tableau);
+                            if is_root {
+                                *self.root_out.lock().unwrap() = Some(Arc::clone(&tableau));
+                            }
+                            Warmth::Carried(tableau, 0)
+                        } else if self.options.warm_start {
+                            Warmth::Basis(Arc::new(tableau.warm_start()))
+                        } else {
+                            Warmth::Cold
+                        };
+                        (solution, next)
+                    }
+                    Err(SolverError::Infeasible) => return None,
+                    Err(e) => {
+                        self.record_error(e);
+                        return None;
+                    }
+                }
             }
         };
 
@@ -330,7 +580,7 @@ impl<'a> Search<'a> {
                 }
                 None
             }
-            Some((var, v)) => Some((var, v, self.options.warm_start.then_some(basis))),
+            Some((var, v)) => Some((var, v, child_warmth)),
         }
     }
 
@@ -351,17 +601,16 @@ impl<'a> Search<'a> {
 
     /// Deterministic sequential DFS with an explicit stack (the near child
     /// is pushed last, so it pops first — the pre-parallel visit order).
-    fn run_stack(&self, overrides: Overrides, warm: Option<Arc<WarmStart>>) {
-        let mut stack: Vec<(Overrides, Option<Arc<WarmStart>>)> = vec![(overrides, warm)];
-        while let Some((overrides, warm)) = stack.pop() {
+    fn run_stack(&self, overrides: Overrides, warmth: Warmth) {
+        let mut stack: Vec<(Overrides, Warmth)> = vec![(overrides, warmth)];
+        while let Some((overrides, warmth)) = stack.pop() {
             if self.aborted() || !self.try_claim_node() {
                 return;
             }
-            if let Some((var, v, basis)) = self.process_node(&overrides, warm.as_deref()) {
-                let basis = basis.map(Arc::new);
+            if let Some((var, v, child_warmth)) = self.process_node(&overrides, warmth) {
                 let (near, far) = Self::children(overrides, var, v);
-                stack.push((far, basis.clone()));
-                stack.push((near, basis));
+                stack.push((far, child_warmth.clone()));
+                stack.push((near, child_warmth));
             }
         }
     }
@@ -369,51 +618,72 @@ impl<'a> Search<'a> {
     /// Parallel exploration: the near child runs hot on this worker, the
     /// far child becomes a stealable task. Deep chains fall back to the
     /// stack search to bound recursion.
-    fn run_parallel(&self, overrides: Overrides, warm: Option<Arc<WarmStart>>, depth: usize) {
+    fn run_parallel(&self, overrides: Overrides, warmth: Warmth, depth: usize) {
         if depth >= PAR_DEPTH_LIMIT {
-            return self.run_stack(overrides, warm);
+            return self.run_stack(overrides, warmth);
         }
         if self.aborted() || !self.try_claim_node() {
             return;
         }
-        let Some((var, v, basis)) = self.process_node(&overrides, warm.as_deref()) else {
+        let Some((var, v, child_warmth)) = self.process_node(&overrides, warmth) else {
             return;
         };
-        let basis = basis.map(Arc::new);
         let (near, far) = Self::children(overrides, var, v);
-        let far_basis = basis.clone();
+        let far_warmth = child_warmth.clone();
         rayon::join(
-            || self.run_parallel(near, basis, depth + 1),
-            || self.run_parallel(far, far_basis, depth + 1),
+            || self.run_parallel(near, child_warmth, depth + 1),
+            || self.run_parallel(far, far_warmth, depth + 1),
         );
     }
 
-    fn finish(self) -> Result<MilpSolution, SolverError> {
+    fn finish(self) -> Result<(MilpSolution, Option<CanonicalTableau>), SolverError> {
+        // The root tableau for the caller's chain: by now every node task
+        // has finished, so the Arc is usually unique and the unwrap is a
+        // move, not a copy.
+        let root = self
+            .root_out
+            .into_inner()
+            .unwrap()
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()));
         if let Some(e) = self.error.into_inner().unwrap() {
             return Err(e);
         }
         let nodes = self.nodes.into_inner();
+        let search = SearchStats {
+            carried_nodes: self.carried_nodes.into_inner(),
+            rebuilt_nodes: self.rebuilt_nodes.into_inner(),
+            carried_pivots: self.carried_pivots.into_inner(),
+            rebuilt_pivots: self.rebuilt_pivots.into_inner(),
+        };
         let incumbent = self.incumbent.into_inner().unwrap();
         if self.limit_hit.into_inner() {
             if self.options.best_effort {
                 if let Some((objective, x)) = incumbent {
-                    return Ok(MilpSolution {
-                        objective,
-                        x,
-                        proven_optimal: false,
-                        nodes,
-                    });
+                    return Ok((
+                        MilpSolution {
+                            objective,
+                            x,
+                            proven_optimal: false,
+                            nodes,
+                            search,
+                        },
+                        root,
+                    ));
                 }
             }
             return Err(SolverError::LimitExceeded(self.options.node_limit));
         }
         match incumbent {
-            Some((objective, x)) => Ok(MilpSolution {
-                objective,
-                x,
-                proven_optimal: true,
-                nodes,
-            }),
+            Some((objective, x)) => Ok((
+                MilpSolution {
+                    objective,
+                    x,
+                    proven_optimal: true,
+                    nodes,
+                    search,
+                },
+                root,
+            )),
             None => Err(SolverError::Infeasible),
         }
     }
@@ -442,31 +712,25 @@ mod tests {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
     }
 
-    /// Every (threads, warm_start) combination the engine supports.
-    fn all_modes() -> [MilpOptions; 4] {
+    /// Every valid (threads, warm_start, tableau_carry) combination the
+    /// engine supports.
+    fn all_modes() -> [MilpOptions; 6] {
         let base = MilpOptions::default();
-        [
-            MilpOptions {
-                threads: 1,
-                warm_start: false,
-                ..base
-            },
-            MilpOptions {
-                threads: 1,
-                warm_start: true,
-                ..base
-            },
-            MilpOptions {
-                threads: 0,
-                warm_start: false,
-                ..base
-            },
-            MilpOptions {
-                threads: 0,
-                warm_start: true,
-                ..base
-            },
-        ]
+        let tiers = [(false, false), (true, false), (true, true)];
+        let mut out = [base; 6];
+        let mut i = 0;
+        for threads in [1usize, 0] {
+            for (warm_start, tableau_carry) in tiers {
+                out[i] = MilpOptions {
+                    threads,
+                    warm_start,
+                    tableau_carry,
+                    ..base
+                };
+                i += 1;
+            }
+        }
+        out
     }
 
     #[test]
@@ -571,6 +835,52 @@ mod tests {
     }
 
     #[test]
+    fn carry_without_warm_start_is_rejected() {
+        // The silent-knob gap, closed: this combination used to be
+        // representable with one flag silently winning.
+        let lp = LinearProgram::maximize(vec![1.0]);
+        let r = solve_milp(
+            &MilpProblem::all_integer(lp),
+            MilpOptions {
+                warm_start: false,
+                tableau_carry: true,
+                ..MilpOptions::default()
+            },
+        );
+        assert!(
+            matches!(r, Err(SolverError::BadModel(_))),
+            "expected BadModel, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn all_le_program_still_carries_tableaux() {
+        // The all-Le auto-disable turns off the *basis* tier (phase 1 is
+        // free), not the carry tier: children must still be answered from
+        // carried tableaux, and the objective must match the cold oracle.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Le, 3.0);
+        let problem = MilpProblem::all_integer(lp);
+        let cold = solve_milp(
+            &problem,
+            MilpOptions {
+                warm_start: false,
+                tableau_carry: false,
+                ..MilpOptions::default()
+            },
+        )
+        .unwrap();
+        let carry = solve_milp(&problem, MilpOptions::default()).unwrap();
+        assert_close(cold.objective, carry.objective);
+        assert_eq!(cold.search.carried_nodes, 0);
+        assert!(
+            carry.search.carried_nodes > 0,
+            "all-Le trees must still carry: {:?}",
+            carry.search
+        );
+    }
+
+    #[test]
     fn node_limit_errors_without_best_effort() {
         let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
         lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Le, 3.0);
@@ -633,6 +943,7 @@ mod tests {
             &problem,
             MilpOptions {
                 warm_start: false,
+                tableau_carry: false,
                 ..MilpOptions::default()
             },
         )
@@ -641,11 +952,46 @@ mod tests {
             &problem,
             MilpOptions {
                 warm_start: true,
+                tableau_carry: false,
                 ..MilpOptions::default()
             },
         )
         .unwrap();
         assert_close(cold.objective, warm.objective);
         assert!(problem.lp.is_feasible(&warm.x, 1e-5));
+    }
+
+    #[test]
+    fn carried_nodes_pivot_less_than_rebuilt_on_ge_programs() {
+        // The measured O(m) → O(1): on a Ge-bearing allocation shape the
+        // average pivots per carried node must be strictly below the
+        // average per rebuilt node of the basis-only run.
+        let mut lp = LinearProgram::maximize(vec![5.9, 4.9, 3.9, 6.9, 2.9]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Ge, 2.0);
+        lp.add_constraint(vec![(2, 1.0), (3, 1.0), (4, 1.0)], Ge, 3.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0), (3, 2.0)], Le, 9.5);
+        lp.add_constraint(vec![(0, 4.0), (1, 1.0), (2, 2.0), (4, 1.0)], Le, 10.5);
+        lp.add_constraint(vec![(1, 1.0), (2, 4.0), (3, 3.0)], Le, 8.5);
+        for i in 0..5 {
+            lp.set_bounds(i, 0.0, 4.0);
+        }
+        let problem = MilpProblem::all_integer(lp);
+        let carry = solve_milp(&problem, MilpOptions::default()).unwrap();
+        let basis = solve_milp(
+            &problem,
+            MilpOptions {
+                tableau_carry: false,
+                ..MilpOptions::default()
+            },
+        )
+        .unwrap();
+        assert_close(carry.objective, basis.objective);
+        assert!(carry.search.carried_nodes > 0, "{:?}", carry.search);
+        let carried_avg = carry.search.carried_pivots as f64 / carry.search.carried_nodes as f64;
+        let rebuilt_avg = basis.search.rebuilt_pivots as f64 / basis.search.rebuilt_nodes as f64;
+        assert!(
+            carried_avg < rebuilt_avg,
+            "carried {carried_avg:.2} pivots/node vs rebuilt {rebuilt_avg:.2}"
+        );
     }
 }

@@ -1,4 +1,4 @@
-//! Dense two-phase primal simplex with warm starts.
+//! Dense two-phase primal simplex with three tiers of warm starting.
 //!
 //! The solver accepts the general [`LinearProgram`] model (arbitrary
 //! variable bounds, ≤ / ≥ / = rows, maximize or minimize) and reduces it to
@@ -9,19 +9,64 @@
 //! guarantees termination at the cost of some speed — the right trade-off
 //! for a bounding engine where correctness is the product.
 //!
-//! [`solve_lp_warm`] additionally accepts the final basis of a previous,
-//! structurally similar solve (a [`WarmStart`]). If that basis can be
-//! pivoted into the fresh tableau and is primal-feasible there, phase 1 is
-//! skipped entirely and phase 2 starts next to the old optimum — the
-//! payoff when a GROUP-BY loop solves a chain of LPs that differ only in
-//! a few coefficients. Any incompatibility (shape mismatch, singular
-//! pivot, infeasible basis) silently falls back to the cold two-phase
-//! path, so warm starting never affects the result, only the work.
+//! # The three warm-start tiers
+//!
+//! * **Cold crash** — [`solve_lp`]: standardize, build the tableau, run
+//!   phase 1 from the slack/artificial basis, then phase 2. This path is
+//!   the property-tested oracle every warmer tier must agree with.
+//! * **Basis restore** — [`solve_lp_warm`]: additionally accept the final
+//!   *basis* of a previous, structurally similar solve (a [`WarmStart`]).
+//!   The basis is pivoted into the fresh tableau (`crash_basis`, O(m)
+//!   pivots); if it lands primal-feasible — or a dual-simplex restore can
+//!   make it so — phase 1 is skipped. Any incompatibility silently falls
+//!   back to the cold path, so warm starting never affects the result,
+//!   only the work.
+//! * **Tableau carry** — [`solve_lp_tableau`] / [`CanonicalTableau`]: keep
+//!   the whole *canonical tableau*, not just the basis. The tableau is
+//!   split into an owned canonical core (the dense matrix in canonical
+//!   form with respect to the optimal basis, plus the standardization
+//!   metadata: variable maps, cost vector, a structural snapshot of the
+//!   constraints and bounds) and cheap child views built from it:
+//!
+//!   * [`CanonicalTableau::solve_child`] answers a branch & bound child —
+//!     the parent LP with one variable bound tightened — by appending the
+//!     branch bound as a single ≤-row whose slack enters the basis,
+//!     running **one elimination pass** against the parent-optimal basis
+//!     (a row operation, not a pivot), and dual-restoring primal
+//!     feasibility. Because the parent basis stays dual-feasible under a
+//!     bound cut, this costs O(1) pivots per node where the basis-restore
+//!     tier pays an O(m)-pivot rebuild + crash. Parents are shared with
+//!     both children via `Arc`; the first child to run clones the core
+//!     lazily, the second moves it.
+//!   * [`solve_lp_tableau`] with a prior whose constraints and bounds
+//!     match the new program exactly re-optimizes the carried tableau
+//!     under the **new objective** with zero rebuild work — the shape of
+//!     an AVG binary search, where ~80 probes differ only in objective
+//!     coefficients. A structural mismatch degrades to the basis-restore
+//!     tier (crashing the prior's basis), and from there to cold.
+//!
+//!   Carried solves count their work in [`SolveStats`] (`pivots`,
+//!   `rebuilt`), so the O(m) → O(1) claim is measured, not assumed.
+//!
+//! Correctness never depends on a warm tier succeeding: every fast path
+//! either proves its exit condition (optimality via phase-2 pricing,
+//! infeasibility via an all-nonnegative row with negative rhs) or reports
+//! [`ChildSolve::Stalled`] / falls back so the caller can arbitrate with a
+//! cold solve.
 
-use crate::{ConstraintOp, LinearProgram, Sense, SolverError};
+use crate::{Constraint, ConstraintOp, LinearProgram, Sense, SolverError};
+use std::sync::Arc;
 
 /// Numeric tolerance for pivoting and feasibility decisions.
 const TOL: f64 = 1e-9;
+
+/// Spare columns reserved at build time for the slack of branch-bound
+/// rows appended by [`CanonicalTableau::solve_child`]; when a descent
+/// exhausts them the core re-strides with [`COL_GROW`] more.
+const COL_HEADROOM: usize = 8;
+
+/// Column-capacity growth step once the headroom is exhausted.
+const COL_GROW: usize = 16;
 
 /// An optimal LP solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,9 +110,23 @@ pub struct WarmStart {
     real_cols: usize,
 }
 
+/// Work counters of one LP solve — the honest-measurement companion of
+/// the warm-start tiers. Exposed through [`CanonicalTableau::stats`] and
+/// aggregated into `MilpSolution::search` by branch & bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Simplex pivots performed by this solve (basis crash + phase 1 +
+    /// dual restore + phase 2 together).
+    pub pivots: u64,
+    /// `true` when the solve standardized the program and built a tableau
+    /// from scratch (cold or basis-crash tier); `false` when it reused a
+    /// carried canonical tableau (the O(1)-pivot carry tiers).
+    pub rebuilt: bool,
+}
+
 /// Solve a linear program with the two-phase simplex method.
 pub fn solve_lp(lp: &LinearProgram) -> Result<LpSolution, SolverError> {
-    solve_lp_warm(lp, None).map(|(solution, _)| solution)
+    solve_core(lp, None, None, false).map(|(solution, _)| solution)
 }
 
 /// Solve, optionally warm-starting from a previous solve's [`WarmStart`],
@@ -76,31 +135,256 @@ pub fn solve_lp_warm(
     lp: &LinearProgram,
     warm: Option<&WarmStart>,
 ) -> Result<(LpSolution, WarmStart), SolverError> {
-    lp.validate()?;
-    let n = lp.num_vars();
+    solve_core(lp, None, warm, false).map(|(solution, ct)| {
+        let warm = ct.warm_start();
+        (solution, warm)
+    })
+}
 
-    // --- 1. Map variables into non-negative standard-form columns. -------
-    let mut maps = Vec::with_capacity(n);
-    let mut ncols = 0usize;
-    for &(lo, hi) in &lp.bounds {
-        let m = if lo.is_finite() {
-            let col = ncols;
-            ncols += 1;
-            VarMap::Shifted { col, lo }
-        } else if hi.is_finite() {
-            let col = ncols;
-            ncols += 1;
-            VarMap::Mirrored { col, hi }
-        } else {
-            let pos = ncols;
-            let neg = ncols + 1;
-            ncols += 2;
-            VarMap::Split { pos, neg }
-        };
-        maps.push(m);
+/// Solve and keep the whole canonical tableau for carrying.
+///
+/// `prior` is a tableau from a previous solve: when its constraint rows
+/// and variable bounds match `lp` exactly, the tableau is **carried** —
+/// only the objective is re-priced and phase 2 re-runs from the old
+/// optimum (no standardization, no build, no crash; `stats().rebuilt`
+/// is `false`). Otherwise the prior degrades to its basis
+/// (`WarmStart`-tier crash) and from there to a cold solve. `basis` is a
+/// separate explicit basis candidate used when no prior tableau is
+/// available; an incompatible basis is ignored.
+///
+/// Every tier returns the same `LpSolution` (up to simplex tolerance) —
+/// the priors only ever change the work, never the result.
+pub fn solve_lp_tableau(
+    lp: &LinearProgram,
+    prior: Option<CanonicalTableau>,
+    basis: Option<&WarmStart>,
+) -> Result<(LpSolution, CanonicalTableau), SolverError> {
+    solve_core(lp, prior, basis, true)
+}
+
+/// One new bound a branch & bound child imposes on a single variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BranchBound {
+    /// `x_var ≤ value` (the down branch).
+    Upper(f64),
+    /// `x_var ≥ value` (the up branch).
+    Lower(f64),
+}
+
+/// Outcome of a carried child solve ([`CanonicalTableau::solve_child`]).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ChildSolve {
+    /// The child LP was solved to optimality on the carried tableau.
+    Solved {
+        /// The child's optimal relaxation.
+        solution: LpSolution,
+        /// The child's own canonical tableau, ready to carry further
+        /// down the tree (its [`CanonicalTableau::stats`] cover this
+        /// child solve only).
+        tableau: CanonicalTableau,
+    },
+    /// The child LP is infeasible: the appended bound row reached a
+    /// negative basic value with no negative entry to pivot on — a
+    /// certificate that no nonnegative solution satisfies it. `pivots`
+    /// records the dual pivots spent reaching the certificate.
+    Infeasible {
+        /// Dual-simplex pivots spent before the certificate.
+        pivots: u64,
+    },
+    /// The carry could not decide the child (dual-restore iteration cap,
+    /// or a numerically degenerate re-optimization). The caller must
+    /// arbitrate with a rebuild; correctness never rests on this variant
+    /// not occurring.
+    Stalled,
+}
+
+/// The owned canonical core of a solved LP: the dense simplex tableau in
+/// canonical form with respect to its optimal basis, together with the
+/// standardization metadata (variable maps, phase-2 cost vector, and a
+/// structural snapshot of the constraints and bounds) needed to answer
+/// descendants incrementally. See the module docs for the carry tiers
+/// built on top: [`CanonicalTableau::solve_child`] (branch & bound
+/// children in O(1) pivots) and [`solve_lp_tableau`] (same constraints,
+/// new objective — zero rebuild).
+#[derive(Debug, Clone)]
+pub struct CanonicalTableau {
+    tab: Tableau,
+    maps: Vec<VarMap>,
+    /// Phase-2 cost over the live columns (`len == tab.total`).
+    cost: Vec<f64>,
+    obj_const: f64,
+    sign: f64,
+    /// Original variable count.
+    n: usize,
+    /// Structural column count of the standardization.
+    ncols: usize,
+    /// Structural + slack column count of the *root* standardization —
+    /// what an exported [`WarmStart`] refers to.
+    real_cols: usize,
+    /// Whether the structural snapshot below was captured (only
+    /// [`solve_lp_tableau`] keeps it — basis-tier and one-shot solves
+    /// skip the clone, and a snapshot-less tableau never matches).
+    has_snapshot: bool,
+    /// Structural snapshot for [`solve_lp_tableau`] reuse: the carried
+    /// tableau is valid for a new program exactly when these match
+    /// (bounds are updated by [`CanonicalTableau::solve_child`], whose
+    /// appended rows enforce the tightening).
+    constraints: Vec<Constraint>,
+    bounds: Vec<(f64, f64)>,
+    stats: SolveStats,
+}
+
+impl CanonicalTableau {
+    /// Work counters of the solve that produced this tableau.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
     }
 
-    // Standard-form objective (always maximize internally).
+    /// Export the optimal basis for the [`solve_lp_warm`] tier.
+    pub fn warm_start(&self) -> WarmStart {
+        WarmStart {
+            basis: self.tab.basis.clone(),
+            real_cols: self.real_cols,
+        }
+    }
+
+    /// Whether a carried re-optimization of `lp` on this tableau is
+    /// valid: identical constraint rows and variable bounds (only the
+    /// objective may differ).
+    fn matches(&self, lp: &LinearProgram) -> bool {
+        self.has_snapshot && self.bounds == lp.bounds && self.constraints == lp.constraints
+    }
+
+    /// Recover the original-variable solution from the tableau's basic
+    /// values.
+    fn recover(&self, value: f64) -> LpSolution {
+        let mut y = vec![0.0; self.tab.total];
+        for r in 0..self.tab.m {
+            y[self.tab.basis[r]] = self.tab.rhs(r);
+        }
+        let mut x = vec![0.0; self.n];
+        for (i, map) in self.maps.iter().enumerate() {
+            x[i] = match *map {
+                VarMap::Shifted { col, lo } => y[col] + lo,
+                VarMap::Mirrored { col, hi } => hi - y[col],
+                VarMap::Split { pos, neg } => y[pos] - y[neg],
+            };
+        }
+        LpSolution {
+            objective: (value + self.obj_const) * self.sign,
+            x,
+        }
+    }
+
+    /// Solve the child LP obtained by tightening one variable bound — the
+    /// branch & bound hot path. The parent is shared via [`Arc`] so both
+    /// children can descend from one snapshot: the first to run clones
+    /// the core lazily, the last moves it (zero copies).
+    ///
+    /// The child appends its branch bound as one ≤-row (slack basic, rhs
+    /// possibly negative — this is the point: dual simplex repairs it),
+    /// eliminates the row against the parent-optimal basis in a single
+    /// pass, dual-restores, and re-verifies phase-2 optimality. Because
+    /// the parent basis stays dual-feasible under a bound cut, this is
+    /// O(1) pivots per node where a rebuild + basis crash pays O(m).
+    ///
+    /// Every exit is either proven ([`ChildSolve::Solved`] by phase-2
+    /// pricing, [`ChildSolve::Infeasible`] by an all-nonnegative row with
+    /// negative rhs — valid independent of the basis, since the row is a
+    /// linear combination of the original equations) or an explicit
+    /// [`ChildSolve::Stalled`] the caller must arbitrate cold.
+    pub fn solve_child(parent: Arc<Self>, var: usize, bound: BranchBound) -> ChildSolve {
+        if var >= parent.n || !parent.has_snapshot {
+            // No snapshot means no bounds bookkeeping to branch against —
+            // only solve_lp_tableau-produced parents can carry children.
+            return ChildSolve::Stalled;
+        }
+        let mut ct = Arc::try_unwrap(parent).unwrap_or_else(|arc| (*arc).clone());
+        let (cur_lo, cur_hi) = ct.bounds[var];
+        let (new_lo, new_hi, redundant) = match bound {
+            BranchBound::Upper(h) => (cur_lo, cur_hi.min(h), h >= cur_hi),
+            BranchBound::Lower(l) => (cur_lo.max(l), cur_hi, l <= cur_lo),
+        };
+        if new_lo > new_hi {
+            return ChildSolve::Infeasible { pivots: 0 };
+        }
+        let start = ct.tab.pivots;
+        if !redundant {
+            ct.bounds[var] = (new_lo, new_hi);
+            // Translate the bound into standard-form coordinates. All
+            // three shapes become a ≤-row with a fresh basic slack; the
+            // rhs is *not* sign-normalized (a negative basic value is
+            // exactly what the dual restore exists to repair).
+            let (terms, rhs): ([(usize, f64); 2], f64) = match (ct.maps[var], bound) {
+                (VarMap::Shifted { col, lo }, BranchBound::Upper(h)) => {
+                    ([(col, 1.0), (col, 0.0)], h - lo)
+                }
+                (VarMap::Shifted { col, lo }, BranchBound::Lower(l)) => {
+                    ([(col, -1.0), (col, 0.0)], lo - l)
+                }
+                (VarMap::Mirrored { col, hi }, BranchBound::Upper(h)) => {
+                    ([(col, -1.0), (col, 0.0)], h - hi)
+                }
+                (VarMap::Mirrored { col, hi }, BranchBound::Lower(l)) => {
+                    ([(col, 1.0), (col, 0.0)], hi - l)
+                }
+                (VarMap::Split { pos, neg }, BranchBound::Upper(h)) => {
+                    ([(pos, 1.0), (neg, -1.0)], h)
+                }
+                (VarMap::Split { pos, neg }, BranchBound::Lower(l)) => {
+                    ([(pos, -1.0), (neg, 1.0)], -l)
+                }
+            };
+            ct.tab.append_le_row(&terms, rhs);
+            ct.cost.push(0.0);
+            debug_assert_eq!(ct.cost.len(), ct.tab.total);
+            match ct.tab.dual_restore(&ct.cost) {
+                DualOutcome::Feasible => {}
+                DualOutcome::Infeasible => {
+                    return ChildSolve::Infeasible {
+                        pivots: ct.tab.pivots - start,
+                    }
+                }
+                DualOutcome::Stalled => return ChildSolve::Stalled,
+            }
+        }
+        match ct.tab.optimize(&ct.cost) {
+            Ok(value) => {
+                ct.stats = SolveStats {
+                    pivots: ct.tab.pivots - start,
+                    rebuilt: false,
+                };
+                let solution = ct.recover(value);
+                ChildSolve::Solved {
+                    solution,
+                    tableau: ct,
+                }
+            }
+            // A child of a bounded parent cannot be genuinely unbounded
+            // and a pivot-limit blowup means the carry went numerically
+            // sideways either way: hand the node back for a cold rebuild.
+            Err(_) => ChildSolve::Stalled,
+        }
+    }
+}
+
+/// Standard form of one [`LinearProgram`]: the variable mapping, the
+/// translated objective, and the translated rows — everything needed to
+/// build (or price) a tableau.
+struct StdForm {
+    maps: Vec<VarMap>,
+    c: Vec<f64>,
+    obj_const: f64,
+    sign: f64,
+    rows: Vec<StdRow>,
+    ncols: usize,
+    real_cols: usize,
+}
+
+/// Map `lp.objective` into structural costs under an existing variable
+/// mapping. Returns `(c, obj_const, sign)`.
+fn objective_under(maps: &[VarMap], ncols: usize, lp: &LinearProgram) -> (Vec<f64>, f64, f64) {
     let sign = match lp.sense {
         Sense::Maximize => 1.0,
         Sense::Minimize => -1.0,
@@ -124,75 +408,116 @@ pub fn solve_lp_warm(
             }
         }
     }
+    (c, obj_const, sign)
+}
 
-    // --- 2. Translate constraints (and finite upper bounds) to rows. -----
-    let mut rows: Vec<StdRow> = Vec::with_capacity(lp.constraints.len() + n);
-    for cons in &lp.constraints {
-        let mut coefs = vec![0.0; ncols];
-        let mut rhs = cons.rhs;
-        for &(var, coef) in &cons.terms {
-            match maps[var] {
-                VarMap::Shifted { col, lo } => {
-                    coefs[col] += coef;
-                    rhs -= coef * lo;
+impl StdForm {
+    /// Standardize a validated program (steps 1–2 of the classic
+    /// reduction: variable mapping, objective, constraint and bound rows).
+    fn new(lp: &LinearProgram) -> StdForm {
+        let n = lp.num_vars();
+
+        // --- 1. Map variables into non-negative standard-form columns. ---
+        let mut maps = Vec::with_capacity(n);
+        let mut ncols = 0usize;
+        for &(lo, hi) in &lp.bounds {
+            let m = if lo.is_finite() {
+                let col = ncols;
+                ncols += 1;
+                VarMap::Shifted { col, lo }
+            } else if hi.is_finite() {
+                let col = ncols;
+                ncols += 1;
+                VarMap::Mirrored { col, hi }
+            } else {
+                let pos = ncols;
+                let neg = ncols + 1;
+                ncols += 2;
+                VarMap::Split { pos, neg }
+            };
+            maps.push(m);
+        }
+
+        let (c, obj_const, sign) = objective_under(&maps, ncols, lp);
+
+        // --- 2. Translate constraints (and finite upper bounds) to rows. -
+        let mut rows: Vec<StdRow> = Vec::with_capacity(lp.constraints.len() + n);
+        for cons in &lp.constraints {
+            let mut coefs = vec![0.0; ncols];
+            let mut rhs = cons.rhs;
+            for &(var, coef) in &cons.terms {
+                match maps[var] {
+                    VarMap::Shifted { col, lo } => {
+                        coefs[col] += coef;
+                        rhs -= coef * lo;
+                    }
+                    VarMap::Mirrored { col, hi } => {
+                        coefs[col] -= coef;
+                        rhs -= coef * hi;
+                    }
+                    VarMap::Split { pos, neg } => {
+                        coefs[pos] += coef;
+                        coefs[neg] -= coef;
+                    }
                 }
-                VarMap::Mirrored { col, hi } => {
-                    coefs[col] -= coef;
-                    rhs -= coef * hi;
+            }
+            rows.push(StdRow {
+                coefs,
+                op: cons.op,
+                rhs,
+            });
+        }
+        // Bounds not absorbed by the shift become explicit rows.
+        for (i, &(lo, hi)) in lp.bounds.iter().enumerate() {
+            match maps[i] {
+                VarMap::Shifted { col, lo: shift } if hi.is_finite() => {
+                    let mut coefs = vec![0.0; ncols];
+                    coefs[col] = 1.0;
+                    rows.push(StdRow {
+                        coefs,
+                        op: ConstraintOp::Le,
+                        rhs: hi - shift,
+                    });
                 }
                 VarMap::Split { pos, neg } => {
-                    coefs[pos] += coef;
-                    coefs[neg] -= coef;
+                    // Free variable: both bounds infinite, nothing to add.
+                    debug_assert!(!lo.is_finite() && !hi.is_finite());
+                    let _ = (pos, neg);
                 }
+                _ => {}
             }
         }
-        rows.push(StdRow {
-            coefs,
-            op: cons.op,
-            rhs,
-        });
-    }
-    // Bounds not absorbed by the shift become explicit rows.
-    for (i, &(lo, hi)) in lp.bounds.iter().enumerate() {
-        match maps[i] {
-            VarMap::Shifted { col, lo: shift } if hi.is_finite() => {
-                let mut coefs = vec![0.0; ncols];
-                coefs[col] = 1.0;
-                rows.push(StdRow {
-                    coefs,
-                    op: ConstraintOp::Le,
-                    rhs: hi - shift,
-                });
-            }
-            VarMap::Split { pos, neg } => {
-                // Free variable: both bounds infinite, nothing to add.
-                debug_assert!(!lo.is_finite() && !hi.is_finite());
-                let _ = (pos, neg);
-            }
-            _ => {}
+
+        let n_slack = rows
+            .iter()
+            .filter(|r| !matches!(r.op, ConstraintOp::Eq))
+            .count();
+        StdForm {
+            maps,
+            c,
+            obj_const,
+            sign,
+            rows,
+            ncols,
+            real_cols: ncols + n_slack,
         }
     }
 
-    // --- 3. Build the simplex tableau with slacks and artificials. -------
-    let m = rows.len();
-    // Columns: structural | slack/surplus | artificial | rhs
-    let mut n_slack = 0;
-    for r in &rows {
-        if !matches!(r.op, ConstraintOp::Eq) {
-            n_slack += 1;
-        }
-    }
-    let real_cols = ncols + n_slack;
-    let total = real_cols + m; // upper bound on artificial count
-    let width = total + 1;
-    let build_tableau = || -> (Tableau, Vec<usize>) {
-        let mut a = vec![0.0; m * width];
+    /// Build the simplex tableau with slacks and artificials (plus column
+    /// headroom for carried branch rows). Returns the tableau and the
+    /// artificial column indices.
+    fn build_tableau(&self) -> (Tableau, Vec<usize>) {
+        let m = self.rows.len();
+        // Columns: structural | slack/surplus | artificial | headroom | rhs
+        let total = self.real_cols + m; // upper bound on artificial count
+        let stride = total + COL_HEADROOM + 1;
+        let mut a = vec![0.0; m * stride];
         let mut basis = vec![usize::MAX; m];
-        let mut slack_at = ncols;
-        let mut art_at = real_cols;
+        let mut slack_at = self.ncols;
+        let mut art_at = self.real_cols;
         let mut artificials = Vec::new();
 
-        for (r, row) in rows.iter().enumerate() {
+        for (r, row) in self.rows.iter().enumerate() {
             let (mut coefs, mut rhs) = (row.coefs.clone(), row.rhs);
             let mut op = row.op;
             if rhs < 0.0 {
@@ -207,25 +532,25 @@ pub fn solve_lp_warm(
                 };
             }
             for (j, &v) in coefs.iter().enumerate() {
-                a[r * width + j] = v;
+                a[r * stride + j] = v;
             }
-            a[r * width + total] = rhs;
+            a[r * stride + stride - 1] = rhs;
             match op {
                 ConstraintOp::Le => {
-                    a[r * width + slack_at] = 1.0;
+                    a[r * stride + slack_at] = 1.0;
                     basis[r] = slack_at;
                     slack_at += 1;
                 }
                 ConstraintOp::Ge => {
-                    a[r * width + slack_at] = -1.0;
+                    a[r * stride + slack_at] = -1.0;
                     slack_at += 1;
-                    a[r * width + art_at] = 1.0;
+                    a[r * stride + art_at] = 1.0;
                     basis[r] = art_at;
                     artificials.push(art_at);
                     art_at += 1;
                 }
                 ConstraintOp::Eq => {
-                    a[r * width + art_at] = 1.0;
+                    a[r * stride + art_at] = 1.0;
                     basis[r] = art_at;
                     artificials.push(art_at);
                     art_at += 1;
@@ -238,14 +563,74 @@ pub fn solve_lp_warm(
                 basis,
                 m,
                 total,
-                width,
+                stride,
                 blocked: Vec::new(),
+                pivots: 0,
             },
             artificials,
         )
-    };
+    }
+}
 
-    // --- 4a. Warm path: pivot the previous basis into a copy of the fresh
+/// The shared solver core behind every public entry point. `prior` is a
+/// carried tableau (reused outright on a structural match, demoted to its
+/// basis otherwise); `basis` is an explicit crash candidate consulted
+/// when no matching prior exists.
+fn solve_core(
+    lp: &LinearProgram,
+    prior: Option<CanonicalTableau>,
+    basis: Option<&WarmStart>,
+    keep_snapshot: bool,
+) -> Result<(LpSolution, CanonicalTableau), SolverError> {
+    lp.validate()?;
+
+    // --- Tier 3: carried tableau, new objective, zero rebuild. -----------
+    let (prior_ct, mut demoted) = match prior {
+        Some(ct) if ct.matches(lp) => (Some(ct), None),
+        Some(ct) => (None, Some(ct.warm_start())),
+        None => (None, None),
+    };
+    if let Some(mut ct) = prior_ct {
+        let (c, obj_const, sign) = objective_under(&ct.maps, ct.ncols, lp);
+        let mut cost = vec![0.0; ct.tab.total];
+        cost[..ct.ncols].copy_from_slice(&c);
+        let start = ct.tab.pivots;
+        // The basis is primal-feasible (the prior solve ended optimal on
+        // the same constraints), so phase 2 runs directly; only the
+        // pricing changed.
+        match ct.tab.optimize(&cost) {
+            Ok(value) => {
+                ct.cost = cost;
+                ct.obj_const = obj_const;
+                ct.sign = sign;
+                ct.stats = SolveStats {
+                    pivots: ct.tab.pivots - start,
+                    rebuilt: false,
+                };
+                let solution = ct.recover(value);
+                return Ok((solution, ct));
+            }
+            // A carried re-optimization that errors (iteration cap on a
+            // drifted tableau, or an apparent unbounded ray) must not
+            // decide the result — the prior only ever changes the work.
+            // Demote to the basis tier and let the rebuild arbitrate; a
+            // genuinely unbounded program re-derives its error cold.
+            Err(_) => demoted = Some(ct.warm_start()),
+        }
+    }
+    let warm = basis.or(demoted.as_ref());
+
+    // --- Tiers 2/1: standardize and build fresh. --------------------------
+    let std_form = StdForm::new(lp);
+    let (pristine, pristine_artificials) = std_form.build_tableau();
+    let total = pristine.total;
+    let real_cols = std_form.real_cols;
+    // Phase-2 cost vector, built early: the dual restore prices entering
+    // columns against it.
+    let mut cost = vec![0.0; total];
+    cost[..std_form.ncols].copy_from_slice(&std_form.c);
+
+    // Warm path: pivot the previous basis into a copy of the fresh
     // tableau and skip phase 1 if it can be made primal-feasible. The
     // pristine build is kept so a failed crash falls through to the cold
     // path without re-standardizing.
@@ -260,15 +645,10 @@ pub fn solve_lp_warm(
     // free, a cold start pays no phase 1, and both the crash and a
     // dual restore of a stale chain basis (whose dual feasibility a *new
     // objective* voids anyway) are pure overhead — so there the warm
-    // basis is only used when it crashes in primal-feasible as-is. ---------
-    let (pristine, pristine_artificials) = build_tableau();
-    // Phase-2 cost vector, built early: the dual restore prices entering
-    // columns against it.
-    let mut cost = vec![0.0; total];
-    cost[..ncols].copy_from_slice(&c);
+    // basis is only used when it crashes in primal-feasible as-is.
     let mut warmed: Option<Tableau> = None;
     if let Some(w) = warm {
-        if w.real_cols == real_cols && w.basis.len() == m {
+        if w.real_cols == real_cols && w.basis.len() == pristine.m {
             let phase1_is_costly = !pristine_artificials.is_empty();
             let mut tab = pristine.clone();
             let artificials = pristine_artificials.clone();
@@ -284,24 +664,27 @@ pub fn solve_lp_warm(
                     }
                 }
                 tab.blocked = artificials;
-                if tab.primal_feasible() || (phase1_is_costly && tab.dual_restore(&cost)) {
+                if tab.primal_feasible()
+                    || (phase1_is_costly
+                        && matches!(tab.dual_restore(&cost), DualOutcome::Feasible))
+                {
                     warmed = Some(tab);
                 }
             }
         }
     }
 
-    // --- 4b. Cold path: phase 1 drives artificials out. -------------------
+    // Cold path: phase 1 drives artificials out.
     let mut tab = match warmed {
         Some(tab) => tab,
         None => {
             let (mut tab, artificials) = (pristine, pristine_artificials);
             if !artificials.is_empty() {
-                let mut cost = vec![0.0; total];
+                let mut phase1_cost = vec![0.0; total];
                 for &j in &artificials {
-                    cost[j] = -1.0;
+                    phase1_cost[j] = -1.0;
                 }
-                let value = tab.optimize(&cost)?;
+                let value = tab.optimize(&phase1_cost)?;
                 if value < -1e-7 {
                     return Err(SolverError::Infeasible);
                 }
@@ -334,28 +717,37 @@ pub fn solve_lp_warm(
         }
     };
 
-    // --- 5. Phase 2: the real objective. ----------------------------------
+    // Phase 2: the real objective.
     let value = tab.optimize(&cost)?;
 
-    // --- 6. Recover the original variables. -------------------------------
-    let mut y = vec![0.0; total];
-    for r in 0..tab.m {
-        y[tab.basis[r]] = tab.rhs(r);
-    }
-    let mut x = vec![0.0; n];
-    for (i, map) in maps.iter().enumerate() {
-        x[i] = match *map {
-            VarMap::Shifted { col, lo } => y[col] + lo,
-            VarMap::Mirrored { col, hi } => hi - y[col],
-            VarMap::Split { pos, neg } => y[pos] - y[neg],
-        };
-    }
-    let objective = (value + obj_const) * sign;
-    let next_warm = WarmStart {
-        basis: tab.basis.clone(),
-        real_cols,
+    let pivots = tab.pivots;
+    let (constraints, bounds) = if keep_snapshot {
+        (lp.constraints.clone(), lp.bounds.clone())
+    } else {
+        // The caller will only ever extract the basis (solve_lp /
+        // solve_lp_warm / basis-tier node solves): skip the structural
+        // clone those paths would immediately drop.
+        (Vec::new(), Vec::new())
     };
-    Ok((LpSolution { objective, x }, next_warm))
+    let ct = CanonicalTableau {
+        tab,
+        maps: std_form.maps,
+        cost,
+        obj_const: std_form.obj_const,
+        sign: std_form.sign,
+        n: lp.num_vars(),
+        ncols: std_form.ncols,
+        real_cols,
+        has_snapshot: keep_snapshot,
+        constraints,
+        bounds,
+        stats: SolveStats {
+            pivots,
+            rebuilt: true,
+        },
+    };
+    let solution = ct.recover(value);
+    Ok((solution, ct))
 }
 
 /// Pivot `basis[r]` into row `r` for every row. Returns `true` only if
@@ -426,38 +818,125 @@ fn crash_basis(tab: &mut Tableau, basis: &[usize], real_cols: usize) -> bool {
     })
 }
 
+/// Exit state of a dual-simplex restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DualOutcome {
+    /// Primal feasibility restored.
+    Feasible,
+    /// A row with negative basic value has no negative entry over the
+    /// admissible columns: the canonical row `Σ aⱼ yⱼ = rhs < 0` with all
+    /// `aⱼ ≥ 0` is a linear combination of the original equations, so no
+    /// `y ≥ 0` can satisfy it — an infeasibility certificate that holds
+    /// regardless of the starting basis.
+    Infeasible,
+    /// Iteration cap: give up, let the caller rebuild cold.
+    Stalled,
+}
+
 /// Dense row-major simplex tableau in canonical form (basis columns are
-/// unit vectors).
-#[derive(Clone)]
+/// unit vectors). The backing rows are allocated with spare column
+/// capacity (`stride − 1 − total` zero columns between the live columns
+/// and the rhs, which sits at `stride − 1`), so a carried descent can
+/// append branch rows and their slack columns without re-laying the
+/// matrix out; `grow` re-strides when the headroom runs dry.
+#[derive(Debug, Clone)]
 struct Tableau {
     a: Vec<f64>,
     basis: Vec<usize>,
     m: usize,
+    /// Live column count (structural + slack + artificial + appended).
     total: usize,
-    width: usize,
+    /// Allocated row width; rhs at `stride - 1`.
+    stride: usize,
     /// Artificial columns frozen after phase 1; never re-enter the basis.
     blocked: Vec<usize>,
+    /// Lifetime pivot count (for [`SolveStats`]).
+    pivots: u64,
 }
 
 impl Tableau {
     #[inline]
     fn at(&self, r: usize, j: usize) -> f64 {
-        self.a[r * self.width + j]
+        self.a[r * self.stride + j]
     }
 
     #[inline]
     fn set(&mut self, r: usize, j: usize, v: f64) {
-        self.a[r * self.width + j] = v;
+        self.a[r * self.stride + j] = v;
     }
 
     #[inline]
     fn rhs(&self, r: usize) -> f64 {
-        self.a[r * self.width + self.total]
+        self.a[r * self.stride + self.stride - 1]
+    }
+
+    /// Re-stride every row with `extra` more spare columns (the rhs moves
+    /// to the new last column; live columns keep their indices).
+    fn grow(&mut self, extra: usize) {
+        let new_stride = self.stride + extra;
+        let mut a = vec![0.0; self.m * new_stride];
+        for r in 0..self.m {
+            let src = r * self.stride;
+            let dst = r * new_stride;
+            a[dst..dst + self.stride - 1].copy_from_slice(&self.a[src..src + self.stride - 1]);
+            a[dst + new_stride - 1] = self.a[src + self.stride - 1];
+        }
+        self.a = a;
+        self.stride = new_stride;
+    }
+
+    /// Claim the next spare column (growing if needed). Spare columns are
+    /// all-zero by construction and stay so under row operations, so the
+    /// claimed column is a valid fresh slack.
+    fn append_column(&mut self) -> usize {
+        if self.total + 1 >= self.stride {
+            self.grow(COL_GROW);
+        }
+        let col = self.total;
+        self.total += 1;
+        col
+    }
+
+    /// Append `terms · y ≤ rhs` as a canonical row: a fresh slack enters
+    /// the basis and the row is eliminated against the current basis in
+    /// **one pass** of row operations (no pivots — each basic column of a
+    /// canonical tableau is a unit vector, so subtracting
+    /// `new_row[basis[r]] · row_r` per row zeroes them all without
+    /// interaction). The rhs is left sign-as-is: a negative basic slack
+    /// is the dual restore's job.
+    fn append_le_row(&mut self, terms: &[(usize, f64)], rhs: f64) {
+        let slack = self.append_column();
+        let last = self.m;
+        self.a.extend(std::iter::repeat_n(0.0, self.stride));
+        self.m += 1;
+        self.basis.push(slack);
+        let base = last * self.stride;
+        for &(j, v) in terms {
+            self.a[base + j] += v;
+        }
+        self.a[base + slack] = 1.0;
+        self.a[base + self.stride - 1] = rhs;
+        for r in 0..last {
+            let bcol = self.basis[r];
+            let f = self.a[base + bcol];
+            if f == 0.0 {
+                continue;
+            }
+            let row = r * self.stride;
+            for j in 0..self.stride {
+                let v = self.a[row + j];
+                if v != 0.0 {
+                    self.a[base + j] -= f * v;
+                }
+            }
+            // Exact zero on the eliminated basic column kills roundoff.
+            self.a[base + bcol] = 0.0;
+        }
     }
 
     /// Gauss-pivot on `(row, col)` and update the basis.
     fn pivot(&mut self, row: usize, col: usize) {
-        let w = self.width;
+        let w = self.stride;
         let p = self.at(row, col);
         debug_assert!(p.abs() > TOL, "pivot on (near-)zero element");
         let inv = 1.0 / p;
@@ -478,6 +957,7 @@ impl Tableau {
             }
         }
         self.basis[row] = col;
+        self.pivots += 1;
     }
 
     /// All basic values non-negative (within the feasibility tolerance)?
@@ -493,13 +973,15 @@ impl Tableau {
     /// child tightens one variable bound, so feasibility comes back in a
     /// handful of pivots instead of a cold phase 1.
     ///
-    /// Returns `true` when primal feasibility was restored. `false` —
-    /// no entering column (the child LP is likely infeasible, but the
-    /// cold path is the arbiter of that) or the iteration cap — means
-    /// "give up, rebuild cold"; correctness never depends on this
-    /// succeeding, because the caller always follows with the primal
-    /// [`Tableau::optimize`] from a feasible basis or a cold rebuild.
-    fn dual_restore(&mut self, cost: &[f64]) -> bool {
+    /// Returns [`DualOutcome::Feasible`] when primal feasibility was
+    /// restored, [`DualOutcome::Infeasible`] when a leaving row had no
+    /// admissible entering column (a basis-independent infeasibility
+    /// certificate — see the variant docs), and [`DualOutcome::Stalled`]
+    /// at the iteration cap. Basis-restore callers treat the last two
+    /// identically ("give up, rebuild cold" — the cold path is the
+    /// arbiter); the tableau-carry tier trusts the certificate to prune
+    /// without a rebuild.
+    fn dual_restore(&mut self, cost: &[f64]) -> DualOutcome {
         let iter_limit = 100 + 10 * (self.m + self.total);
         for _ in 0..iter_limit {
             // Leaving row: most negative basic value.
@@ -511,7 +993,7 @@ impl Tableau {
                 }
             }
             let Some((row, _)) = leave else {
-                return true;
+                return DualOutcome::Feasible;
             };
             // Entering column: among negative entries of the leaving row,
             // the one whose reduced cost-to-entry ratio is smallest keeps
@@ -541,11 +1023,11 @@ impl Tableau {
                 }
             }
             let Some((col, _)) = enter else {
-                return false;
+                return DualOutcome::Infeasible;
             };
             self.pivot(row, col);
         }
-        false
+        DualOutcome::Stalled
     }
 
     /// Maximize `cost · y` from the current basic feasible solution.
@@ -839,5 +1321,210 @@ mod tests {
         lp.add_constraint(vec![(1, 1.0), (2, 1.0)], Ge, 1.0);
         let s = solve_lp(&lp).unwrap();
         assert_close(s.objective, 1.5);
+    }
+
+    // ------------------------------------------------------------------
+    // Tableau carry (tier 3)
+    // ------------------------------------------------------------------
+
+    /// A Ge-bearing allocation-shaped LP (floors force a real phase 1).
+    fn ge_lp() -> LinearProgram {
+        let mut lp = LinearProgram::maximize(vec![5.0, 4.0, 3.0, 6.0]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Ge, 2.0);
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0), (3, 2.0)], Le, 9.5);
+        lp.add_constraint(vec![(0, 4.0), (1, 1.0), (2, 2.0)], Le, 10.5);
+        lp.add_constraint(vec![(1, 1.0), (2, 4.0), (3, 3.0)], Le, 8.5);
+        for i in 0..4 {
+            lp.set_bounds(i, 0.0, 4.0);
+        }
+        lp
+    }
+
+    /// Cold-solve `lp` with `var`'s bounds tightened — the oracle a
+    /// carried child must match.
+    fn cold_child(lp: &LinearProgram, var: usize, bound: BranchBound) -> Result<f64, SolverError> {
+        let mut lp = lp.clone();
+        let (lo, hi) = lp.bounds[var];
+        match bound {
+            BranchBound::Upper(h) => lp.set_bounds(var, lo, hi.min(h)),
+            BranchBound::Lower(l) => lp.set_bounds(var, lo.max(l), hi),
+        }
+        solve_lp(&lp).map(|s| s.objective)
+    }
+
+    #[test]
+    fn child_carry_matches_cold() {
+        let lp = ge_lp();
+        let (root, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        assert!(ct.stats().rebuilt);
+        let parent = Arc::new(ct);
+        for (var, bound) in [
+            (0, BranchBound::Upper(1.0)),
+            (0, BranchBound::Lower(2.0)),
+            (1, BranchBound::Upper(0.0)),
+            (3, BranchBound::Lower(3.0)), // infeasible child (row 3 caps x3)
+        ] {
+            let want = cold_child(&lp, var, bound);
+            match (
+                CanonicalTableau::solve_child(Arc::clone(&parent), var, bound),
+                want,
+            ) {
+                (ChildSolve::Solved { solution, tableau }, Ok(want)) => {
+                    assert!(
+                        (solution.objective - want).abs() < 1e-6,
+                        "{var}/{bound:?}: carried {} vs cold {want}",
+                        solution.objective
+                    );
+                    assert!(!tableau.stats().rebuilt);
+                    // carried bound must be enforced on the recovered x
+                    match bound {
+                        BranchBound::Upper(h) => assert!(solution.x[var] <= h + 1e-6),
+                        BranchBound::Lower(l) => assert!(solution.x[var] >= l - 1e-6),
+                    }
+                    // a child optimum never beats its parent relaxation
+                    assert!(want <= root.objective + 1e-6);
+                }
+                (ChildSolve::Infeasible { .. }, Err(SolverError::Infeasible)) => {}
+                (got, want) => panic!("{var}/{bound:?}: carried {got:?} vs cold {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deep_child_chain_matches_cold_and_grows_headroom() {
+        // Branch the same program COL_HEADROOM + 4 times: exercises the
+        // spare-column headroom *and* the re-stride growth path.
+        let mut lp = LinearProgram::maximize(vec![3.0, 2.0, 1.0]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Ge, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0), (2, 3.0)], Le, 30.0);
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut parent = Arc::new(ct);
+        let mut oracle = lp.clone();
+        for step in 0..(COL_HEADROOM + 4) {
+            let var = step % 3;
+            // alternate shrinking upper bounds so every row is non-redundant
+            let (lo, hi) = oracle.bounds[var];
+            let h = if hi.is_finite() {
+                hi - 0.5
+            } else {
+                9.0 - step as f64 * 0.25
+            };
+            if h < lo {
+                break;
+            }
+            oracle.set_bounds(var, lo, h);
+            let want = solve_lp(&oracle).unwrap().objective;
+            match CanonicalTableau::solve_child(parent, var, BranchBound::Upper(h)) {
+                ChildSolve::Solved { solution, tableau } => {
+                    assert!(
+                        (solution.objective - want).abs() < 1e-6,
+                        "step {step}: carried {} vs cold {want}",
+                        solution.objective
+                    );
+                    parent = Arc::new(tableau);
+                }
+                other => panic!("step {step}: expected Solved, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn child_carry_detects_infeasibility() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 3.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Le, 5.0);
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        // x0 ≤ 1 then x1 ≤ 1 leaves Σ ≤ 2 < 3: infeasible
+        let parent = Arc::new(ct);
+        let ChildSolve::Solved { tableau, .. } =
+            CanonicalTableau::solve_child(parent, 0, BranchBound::Upper(1.0))
+        else {
+            panic!("first cut still feasible");
+        };
+        match CanonicalTableau::solve_child(Arc::new(tableau), 1, BranchBound::Upper(1.0)) {
+            ChildSolve::Infeasible { .. } => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+        // oracle agrees
+        let mut oracle = lp;
+        oracle.set_bounds(0, 0.0, 1.0);
+        oracle.set_bounds(1, 0.0, 1.0);
+        assert_eq!(solve_lp(&oracle), Err(SolverError::Infeasible));
+    }
+
+    #[test]
+    fn objective_carry_reuses_tableau_without_rebuild() {
+        // Same constraints, changing objective — the AVG-probe shape.
+        let lp = ge_lp();
+        let (_, mut ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        for step in 1..6 {
+            let r = f64::from(step) * 0.7;
+            let mut probe = lp.clone();
+            probe.objective = vec![5.0 - r, 4.0 - r, 3.0 - r, 6.0 - r];
+            let want = solve_lp(&probe).unwrap().objective;
+            let (got, next) = solve_lp_tableau(&probe, Some(ct), None).unwrap();
+            assert!(
+                (got.objective - want).abs() < 1e-6,
+                "step {step}: carried {} vs cold {want}",
+                got.objective
+            );
+            assert!(!next.stats().rebuilt, "step {step} must carry, not rebuild");
+            ct = next;
+        }
+    }
+
+    #[test]
+    fn objective_carry_handles_sense_flip() {
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut min = lp.clone();
+        min.sense = Sense::Minimize;
+        let want = solve_lp(&min).unwrap().objective;
+        let (got, next) = solve_lp_tableau(&min, Some(ct), None).unwrap();
+        assert!((got.objective - want).abs() < 1e-6);
+        assert!(!next.stats().rebuilt);
+    }
+
+    #[test]
+    fn mismatched_prior_demotes_to_basis_then_cold() {
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        // different rhs on one row: structural mismatch, must re-solve
+        // correctly (via the demoted basis crash or cold — either way the
+        // result is the oracle's)
+        let mut other = lp.clone();
+        other.constraints[1].rhs = 7.5;
+        let want = solve_lp(&other).unwrap().objective;
+        let (got, next) = solve_lp_tableau(&other, Some(ct), None).unwrap();
+        assert!((got.objective - want).abs() < 1e-6);
+        assert!(next.stats().rebuilt, "mismatch must rebuild");
+    }
+
+    #[test]
+    fn carried_tableau_counts_fewer_pivots_than_rebuild() {
+        // The O(m) → O(1) claim, measured: a carried child must pivot
+        // strictly less than the basis-restore path (rebuild + crash) on
+        // a Ge-bearing program.
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let basis = ct.warm_start();
+        let parent = Arc::new(ct);
+        let ChildSolve::Solved { tableau, .. } =
+            CanonicalTableau::solve_child(parent, 0, BranchBound::Upper(1.0))
+        else {
+            panic!("child solvable");
+        };
+        let carried_pivots = tableau.stats().pivots;
+
+        let mut child = lp.clone();
+        child.set_bounds(0, 0.0, 1.0);
+        let (_, rebuilt) = solve_lp_tableau(&child, None, Some(&basis)).unwrap();
+        assert!(rebuilt.stats().rebuilt);
+        assert!(
+            carried_pivots < rebuilt.stats().pivots,
+            "carried {} pivots vs rebuilt {}",
+            carried_pivots,
+            rebuilt.stats().pivots
+        );
     }
 }

@@ -108,8 +108,12 @@ proptest! {
     fn warm_bnb_matches_cold(p in arb_problem()) {
         pool4();
         let problem = MilpProblem::all_integer(build_lp(&p));
-        let cold = solve_milp(&problem, MilpOptions { warm_start: false, ..MilpOptions::default() });
-        let warm = solve_milp(&problem, MilpOptions { warm_start: true, ..MilpOptions::default() });
+        let cold = solve_milp(&problem, MilpOptions {
+            warm_start: false, tableau_carry: false, ..MilpOptions::default()
+        });
+        let warm = solve_milp(&problem, MilpOptions {
+            warm_start: true, tableau_carry: false, ..MilpOptions::default()
+        });
         assert_equivalent("cold vs warm", &cold, &warm, &problem.lp)?;
     }
 
@@ -118,10 +122,10 @@ proptest! {
         pool4();
         let problem = MilpProblem::all_integer(build_lp(&p));
         let base = solve_milp(&problem, MilpOptions {
-            threads: 1, warm_start: false, ..MilpOptions::default()
+            threads: 1, warm_start: false, tableau_carry: false, ..MilpOptions::default()
         });
         let fast = solve_milp(&problem, MilpOptions {
-            threads: 0, warm_start: true, ..MilpOptions::default()
+            threads: 0, warm_start: true, tableau_carry: false, ..MilpOptions::default()
         });
         assert_equivalent("baseline vs parallel+warm", &base, &fast, &problem.lp)?;
     }

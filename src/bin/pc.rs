@@ -40,7 +40,14 @@
 //!   runs cache-less — one query has nothing to amortize, and the
 //!   per-query pushdown decomposition is never larger than the domain's.
 //! * `--no-warm-start` — disable all simplex warm-start chaining
-//!   (within queries, across queries, and inside branch & bound).
+//!   (within queries, across queries, and inside branch & bound). Warm
+//!   starting is what the tableau carry rides on, so this flag demands
+//!   `--no-tableau-carry` too — the contradictory combination is
+//!   rejected, not silently resolved.
+//! * `--no-tableau-carry` — keep basis-level warm starts but disable the
+//!   deeper tableau-carry tier (carrying whole canonical tableaux into
+//!   branch & bound children, across AVG probes, and across a session's
+//!   queries). A/B knob for the O(1)-pivot carry; never changes results.
 
 use predicate_constraints::core::{dsl, BoundError, BoundOptions, PcSet, Session, SessionOptions};
 use predicate_constraints::predicate::{AttrType, Schema};
@@ -67,6 +74,7 @@ struct Args {
     per_key_groupby: bool,
     no_session_cache: bool,
     no_warm_start: bool,
+    no_tableau_carry: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -87,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         per_key_groupby: false,
         no_session_cache: false,
         no_warm_start: false,
+        no_tableau_carry: false,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -106,8 +115,20 @@ fn parse_args() -> Result<Args, String> {
             "--per-key-groupby" => args.per_key_groupby = true,
             "--no-session-cache" => args.no_session_cache = true,
             "--no-warm-start" => args.no_warm_start = true,
+            "--no-tableau-carry" => args.no_tableau_carry = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if args.no_warm_start && !args.no_tableau_carry {
+        // Mirror the batch-flag hardening: the tableau carry is the warm
+        // start's deeper tier, so "no warm starts, but keep carrying
+        // tableaux" has no honest reading — demand the explicit pair
+        // instead of silently disabling one side.
+        return Err(
+            "--no-warm-start also disables the tableau carry it rides on; \
+             pass --no-tableau-carry alongside it"
+                .into(),
+        );
     }
     Ok(args)
 }
@@ -119,6 +140,7 @@ fn session_options(args: &Args) -> SessionOptions {
             threads: args.threads,
             shared_group_by: !args.per_key_groupby,
             warm_start: !args.no_warm_start,
+            tableau_carry: !args.no_tableau_carry,
             ..BoundOptions::default()
         },
         cache_cells: !args.no_session_cache,
