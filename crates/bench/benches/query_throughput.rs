@@ -134,24 +134,25 @@ fn bench_query_throughput(c: &mut Criterion) {
         };
         let engine = BoundEngine::with_options(&set, opts);
         let session = Session::with_options(
-            &set,
+            set.clone(),
             SessionOptions {
                 bound: opts,
-                cache_cells: true,
+                ..SessionOptions::default()
             },
         );
         let session_basis = Session::with_options(
-            &set,
+            set.clone(),
             SessionOptions {
                 bound: basis_opts,
-                cache_cells: true,
+                ..SessionOptions::default()
             },
         );
         let chain_only = Session::with_options(
-            &set,
+            set.clone(),
             SessionOptions {
                 bound: opts,
                 cache_cells: false,
+                ..SessionOptions::default()
             },
         );
         let mut cold_work = LpWork::default();
@@ -208,10 +209,11 @@ fn bench_query_throughput(c: &mut Criterion) {
             |b, qs| {
                 b.iter(|| {
                     let session = Session::with_options(
-                        &set,
+                        set.clone(),
                         SessionOptions {
                             bound: opts,
                             cache_cells: false,
+                            ..SessionOptions::default()
                         },
                     );
                     for q in qs {
@@ -229,10 +231,10 @@ fn bench_query_throughput(c: &mut Criterion) {
             &queries,
             |b, qs| {
                 let session = Session::with_options(
-                    &set,
+                    set.clone(),
                     SessionOptions {
                         bound: opts,
-                        cache_cells: true,
+                        ..SessionOptions::default()
                     },
                 );
                 b.iter(|| {
@@ -248,10 +250,10 @@ fn bench_query_throughput(c: &mut Criterion) {
             &queries,
             |b, qs| {
                 let session = Session::with_options(
-                    &set,
+                    set.clone(),
                     SessionOptions {
                         bound: basis_opts,
-                        cache_cells: true,
+                        ..SessionOptions::default()
                     },
                 );
                 b.iter(|| {
@@ -265,5 +267,188 @@ fn bench_query_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_throughput);
+/// Extra constraints the churn script admits and retires: wide caps whose
+/// boxes cover the query windows whole, so existing cells are *contained*
+/// rather than cut — the allocation LPs then keep their variables and
+/// gain/lose exactly the churned constraint's row, which is the shape the
+/// carried-tableau delta adaptation absorbs (append/delete one row + dual
+/// restore instead of a cold rebuild).
+fn churn_pool() -> Vec<PredicateConstraint> {
+    (0..4)
+        .map(|k| {
+            PredicateConstraint::new(
+                Predicate::atom(Atom::between(0, 0.0, 40.0)),
+                ValueConstraint::none().with(1, Interval::closed(0.0, 95.0 - 5.0 * k as f64)),
+                FrequencyConstraint::at_most(180 - 10 * k as u64),
+            )
+        })
+        .collect()
+}
+
+/// One run of the churn script against a session: serve `queries` in
+/// rounds, admitting a pool constraint after each round and retiring the
+/// oldest live one every other round. Returns the served ranges plus the
+/// summed per-epoch derivation stats (`cell_set().stats()` is each
+/// epoch's own work) and the summed per-query solver work.
+fn run_churn(
+    session: &Session,
+    queries: &[AggQuery],
+) -> (Vec<(f64, f64)>, pc_core::DecomposeStats, LpWork) {
+    let pool = churn_pool();
+    let mut ranges = Vec::new();
+    let mut decompose_work = pc_core::DecomposeStats::default();
+    let mut solver_work = LpWork::default();
+    let absorb_epoch = |session: &Session, w: &mut pc_core::DecomposeStats| {
+        let stats = session.cell_set().expect("decomposable workload").stats();
+        w.absorb(&stats);
+    };
+    absorb_epoch(session, &mut decompose_work);
+    let mut live: Vec<pc_core::ConstraintId> = Vec::new();
+    for (round, chunk) in queries.chunks(3).enumerate() {
+        for q in chunk {
+            let r = session.bound(q).expect("bounded workload");
+            solver_work.pivots += r.solver.pivots;
+            solver_work.carried += r.solver.carried;
+            solver_work.rebuilt += r.solver.rebuilt;
+            solver_work.nodes += r.solver.nodes;
+            ranges.push((r.range.lo, r.range.hi));
+        }
+        if let Some(pc) = pool.get(round % pool.len()) {
+            live.push(session.add_constraint(pc.clone()));
+            absorb_epoch(session, &mut decompose_work);
+        }
+        if round % 2 == 1 {
+            if let Some(id) = (!live.is_empty()).then(|| live.remove(0)) {
+                session
+                    .retire_constraint(id)
+                    .expect("live id retires cleanly");
+                absorb_epoch(session, &mut decompose_work);
+            }
+        }
+    }
+    (ranges, decompose_work, solver_work)
+}
+
+/// The constraint-churn scenario: serve N queries while K constraints are
+/// added/retired in between — the versioned session's reason to exist.
+///
+/// * `incremental` — delta-derived epochs + tableau carry (the default
+///   serving configuration).
+/// * `rebuild` — `SessionOptions::incremental` off: every mutation pays a
+///   full re-decomposition (the pre-epoch architecture). Isolates the
+///   derivation's SAT-check savings (`churn_work/.../sat_checks`).
+/// * `basis` — incremental epochs but `tableau_carry` off: chained warm
+///   starts hand over bases only, so every cross-epoch LP falls back to
+///   a crash/cold start instead of a one-row adaptation. Isolates the
+///   carry's pivot savings (`churn_work/.../pivots`).
+///
+/// All three modes are asserted to produce identical ranges (and to match
+/// a fresh engine on the final catalog), so the timings compare equal
+/// answers; per-mode work profiles are emitted as `churn_work/...` JSON
+/// lines next to criterion's timing rows.
+fn bench_constraint_churn(c: &mut Criterion) {
+    let opts = BoundOptions::default();
+    let basis_opts = BoundOptions {
+        tableau_carry: false,
+        ..opts
+    };
+    let mut group = c.benchmark_group("constraint_churn");
+    group.sample_size(10);
+    for n_constraints in [10usize, 14] {
+        let set = serving_set(n_constraints);
+        let queries = query_stream(18);
+        let make = |bound: BoundOptions, incremental: bool| {
+            Session::with_options(
+                set.clone(),
+                SessionOptions {
+                    bound,
+                    incremental,
+                    ..SessionOptions::default()
+                },
+            )
+        };
+
+        // sanity + work profiles outside the timed region
+        let incremental = make(opts, true);
+        let rebuild = make(opts, false);
+        let basis = make(basis_opts, true);
+        let (inc_ranges, inc_cells, inc_lp) = run_churn(&incremental, &queries);
+        let (reb_ranges, reb_cells, reb_lp) = run_churn(&rebuild, &queries);
+        let (bas_ranges, bas_cells, bas_lp) = run_churn(&basis, &queries);
+        assert_eq!(inc_ranges.len(), reb_ranges.len());
+        for (i, (a, b)) in inc_ranges.iter().zip(&reb_ranges).enumerate() {
+            assert!(
+                close(a.0, b.0) && close(a.1, b.1),
+                "rebuild mismatch at {i}: {a:?} vs {b:?}"
+            );
+        }
+        for (i, (a, b)) in inc_ranges.iter().zip(&bas_ranges).enumerate() {
+            assert!(
+                close(a.0, b.0) && close(a.1, b.1),
+                "basis mismatch at {i}: {a:?} vs {b:?}"
+            );
+        }
+        // the final catalog answers like a fresh engine
+        {
+            let final_set = incremental.pc_set();
+            let fresh = BoundEngine::with_options(&final_set, opts);
+            let q = &queries[0];
+            let a = fresh.bound(q).expect("bounded workload").range;
+            let b = incremental.bound(q).expect("bounded workload").range;
+            assert!(close(a.lo, b.lo) && close(a.hi, b.hi));
+        }
+        let param = format!("{n_constraints}pc");
+        for (mode, cells, lp) in [
+            ("incremental", &inc_cells, &inc_lp),
+            ("rebuild", &reb_cells, &reb_lp),
+            ("basis", &bas_cells, &bas_lp),
+        ] {
+            emit_bench_json_line(&format!(
+                "{{\"id\": \"churn_work/{mode}/{param}\", \"sat_checks\": {}, \
+                 \"incremental_splits\": {}, \"pivots\": {}, \"carried\": {}, \
+                 \"rebuilt\": {}, \"nodes\": {}}}",
+                cells.sat_checks,
+                cells.incremental_splits,
+                lp.pivots,
+                lp.carried,
+                lp.rebuilt,
+                lp.nodes
+            ));
+        }
+
+        group.bench_with_input(
+            criterion::BenchmarkId::new("incremental", &param),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let session = make(opts, true);
+                    run_churn(&session, qs)
+                })
+            },
+        );
+        group.bench_with_input(
+            criterion::BenchmarkId::new("rebuild", &param),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let session = make(opts, false);
+                    run_churn(&session, qs)
+                })
+            },
+        );
+        group.bench_with_input(
+            criterion::BenchmarkId::new("basis", &param),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    let session = make(basis_opts, true);
+                    run_churn(&session, qs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput, bench_constraint_churn);
 criterion_main!(benches);

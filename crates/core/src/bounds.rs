@@ -210,10 +210,45 @@ pub struct BoundReport {
     pub solver: LpWork,
 }
 
-/// Simplex state kept across the LP solves of a GROUP-BY chain, keyed by
-/// tableau-shape-determining facts (probe kind and dimensions) so a basis
-/// is only offered to a structurally compatible successor.
+/// Simplex state kept across the LP solves of a chain, keyed by
+/// tableau-shape-determining facts (probe kind and dimensions) so a
+/// prior is only offered to a structurally compatible successor.
+/// Lookups additionally probe *neighboring* row counts through
+/// [`take_cached`]: a serving epoch's add/retire moves one constraint's
+/// rows while keeping the variables, and the solver's delta-adaptation
+/// tier (`pc_solver::solve_lp_tableau`) absorbs exactly that — while
+/// shapes farther apart than the adaptation ceiling keep their own
+/// slots, so interleaved query shapes never evict each other's chains.
 type WarmKey = (Sense, bool, usize, usize);
+
+/// Take the warm entry for `key`: the exact slot first, else the closest
+/// slot with the same probe kind and variable count whose row count is
+/// within the solver's [`pc_solver::ADAPT_MAX_DELTA`] **and whose carried
+/// tableau verifies as reusable for `lp`** (exact re-price or in-ceiling
+/// row delta — the cross-epoch churn case). The reuse check is what keeps
+/// neighbor probing from *evicting*: stealing a tableau the solver would
+/// only demote-and-discard would destroy another query shape's chain for
+/// nothing, so incompatible neighbors (and basis entries, whose shape
+/// cannot fit a different row count anyway) stay put.
+fn take_cached(cache: &WarmCache, key: WarmKey, lp: &LinearProgram) -> Option<CachedWarm> {
+    let mut map = cache.lock().unwrap();
+    if let Some(hit) = map.remove(&key) {
+        return Some(hit);
+    }
+    let (sense, extra, nvars, rows) = key;
+    let neighbor = map
+        .iter()
+        .filter(|(&(s, e, v, r), entry)| {
+            s == sense
+                && e == extra
+                && v == nvars
+                && r.abs_diff(rows) <= pc_solver::ADAPT_MAX_DELTA
+                && matches!(entry, CachedWarm::Tableau(t) if t.can_reuse(lp))
+        })
+        .map(|(&k, _)| k)
+        .min_by_key(|&(_, _, _, r)| r.abs_diff(rows));
+    neighbor.and_then(|k| map.remove(&k))
+}
 
 /// What a chain slot holds between solves: the whole canonical tableau
 /// when the engine carries ([`BoundOptions::tableau_carry`]), or just the
@@ -701,7 +736,7 @@ impl<'a> BoundEngine<'a> {
             .tableau_carry
             .then_some(&p.warm)
             .and_then(|w| w.as_ref());
-        let prior = chain.and_then(|cache| match cache.lock().unwrap().remove(&key) {
+        let prior = chain.and_then(|cache| match take_cached(cache, key, &lp) {
             Some(CachedWarm::Tableau(t)) => Some(*t),
             // a basis entry under a carry-enabled engine cannot occur
             // (carry-on chains always store tableaux); drop defensively
@@ -786,7 +821,7 @@ impl<'a> BoundEngine<'a> {
             return Ok(sol.objective);
         };
         let key: WarmKey = (sense, extra_min_total, lp.num_vars(), lp.constraints.len());
-        let (prior, basis) = match cache.lock().unwrap().remove(&key) {
+        let (prior, basis) = match take_cached(cache, key, lp) {
             Some(CachedWarm::Tableau(t)) => (Some(*t), None),
             Some(CachedWarm::Basis(b)) => (None, Some(b)),
             None => (None, None),

@@ -131,6 +131,12 @@ pub struct DecomposeStats {
     /// whole include/exclude DFS of one cell replayed from a structurally
     /// identical key, zero SAT calls).
     pub splice_memo_hits: u64,
+    /// Cells an incremental epoch derivation touched — split by an added
+    /// constraint's box, or merged/widened by a retired one (see
+    /// [`crate::CellSet`]'s derive paths). Cells outside the churned
+    /// box are shared untouched and not counted; a full decomposition
+    /// reports 0.
+    pub incremental_splits: u64,
 }
 
 impl DecomposeStats {
@@ -143,6 +149,7 @@ impl DecomposeStats {
         self.assumed_sat += other.assumed_sat;
         self.parallel_subtrees += other.parallel_subtrees;
         self.splice_memo_hits += other.splice_memo_hits;
+        self.incremental_splits += other.incremental_splits;
     }
 }
 

@@ -29,13 +29,20 @@
 //!    group-local constraints spliced into its specialized slice, groups
 //!    solved in parallel — instead of a from-scratch decomposition per
 //!    key.
-//! 5. A **session layer** ([`Session`]) for serving query traffic: the
-//!    set is decomposed once against its full domain into an `Arc`-shared
-//!    [`specialize::CellSet`], each query specializes the cached cells to
-//!    its region (re-SAT-checking only cells the region genuinely cuts),
-//!    and simplex warm starts chain *across* queries through per-worker
-//!    caches. [`Session::bound_many`] fans a batch out over the
-//!    work-stealing pool.
+//! 5. A **versioned session layer** ([`Session`]) for serving query
+//!    traffic under constraint churn: the session owns a catalog of
+//!    stable [`ConstraintId`]s, each mutation
+//!    ([`Session::add_constraint`] / [`Session::retire_constraint`] /
+//!    [`Session::replace_constraint`]) produces a new **epoch** whose
+//!    `Arc`-shared [`specialize::CellSet`] is *derived incrementally*
+//!    from the previous one (only cells the churned constraint's box
+//!    cuts are re-checked; a retire is SAT-free), queries pin the epoch
+//!    they start on (snapshot isolation), each query specializes the
+//!    pinned cells to its region, and simplex warm starts chain *across*
+//!    queries and epochs through per-worker caches (a churned LP adapts
+//!    the carried tableau by one appended/deleted row).
+//!    [`Session::bound_many`] fans a batch out over the work-stealing
+//!    pool against a single pinned epoch.
 //!
 //! Parallelism, fan-out depth, and the group-by fast paths are all knobs
 //! on [`BoundOptions`] (`threads`, `parallel_depth`, `shared_group_by`,
@@ -110,5 +117,5 @@ pub use dsl::{parse_constraint, parse_pcset};
 pub use error::BoundError;
 pub use groupby::GroupBound;
 pub use pcset::{PcSet, Violation};
-pub use session::{Session, SessionOptions};
+pub use session::{ConstraintId, Session, SessionOptions, UnknownConstraint};
 pub use specialize::CellSet;

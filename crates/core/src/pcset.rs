@@ -56,6 +56,15 @@ impl PcSet {
         self
     }
 
+    /// Remove and return the constraint at `index`, shifting the later
+    /// ones down — the serving layer's retire path (`crate::Session`
+    /// remaps cached cell signatures to the shifted indices). Panics when
+    /// out of range. Pairwise disjointness survives removal, so the hint
+    /// is kept.
+    pub fn remove_constraint(&mut self, index: usize) -> PredicateConstraint {
+        self.constraints.remove(index)
+    }
+
     /// Declare that the predicates are pairwise disjoint, enabling the
     /// paper's greedy fast path (§4.2) without the quadratic overlap scan.
     /// Generators that partition the space set this; [`PcSet::verify_disjoint`]

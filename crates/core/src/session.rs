@@ -1,70 +1,170 @@
-//! The session layer: serve many queries against one constraint set.
+//! The session layer: a long-lived, **versioned** serving handle over a
+//! mutable constraint catalog.
 //!
 //! [`BoundEngine::bound`] rebuilds the cell decomposition — the engine's
 //! exponential-worst-case step — on every call. That is the right shape
 //! for one-shot contingency questions and exactly the wrong shape for a
 //! serving system answering heavy query traffic against one PC set. A
-//! [`Session`] amortizes the expensive work across queries:
+//! [`Session`] amortizes the expensive work across queries *and* across
+//! constraint churn:
 //!
-//! * the constraint set is decomposed **once**, against its full domain,
-//!   into an [`Arc`]-shared [`CellSet`] (built lazily on first use and
-//!   reused by every subsequent query, including concurrent ones);
-//! * each query is answered by **specializing** the cached cells to the
-//!   query's region — interval intersections to drop and share cells,
-//!   plus an exact SAT re-check for only the cells the region genuinely
-//!   cuts (see [`crate::specialize`]);
-//! * the base-level **closure verdict is hoisted**: a sub-region of a
-//!   closed region is closed, so queries against a closed set skip the
-//!   all-negated SAT check entirely; for a non-closed set the
-//!   *counterexample point* is cached, so any query containing it is
-//!   proven non-closed without a SAT call either — only queries that
-//!   dodge the uncovered part pay an exact check;
-//! * simplex **warm starts chain across queries**, not just within one:
-//!   the session keeps per-worker [`WarmCaches`] alive for its whole
-//!   lifetime, so the 80-probe AVG binary search of query *n + 1* starts
-//!   from the state query *n* left behind. With
-//!   [`crate::BoundOptions::tableau_carry`] (the default) each chain slot
-//!   holds the whole **canonical tableau**, not just the basis: a
-//!   successor LP with identical constraint structure (every probe of an
-//!   AVG search; repeated traffic against the same specialization) is
-//!   answered by re-pricing the carried tableau under its new objective —
-//!   zero standardization, zero rebuild, zero crash pivots — and only a
-//!   structural mismatch demotes the slot to its basis. The same knob
-//!   carries parent tableaux into branch & bound children inside each
-//!   allocation MILP (O(1) pivots per node; see `pc_solver::milp`), and
-//!   [`crate::BoundReport::solver`] reports the carried/rebuilt/pivot
-//!   counters per query.
+//! # Catalog and epochs
 //!
-//! Specialization is exact (the module docs of [`crate::specialize`]
-//! carry the argument), so a session returns the same ranges as a fresh
-//! [`BoundEngine::bound`] of every query — property-tested in
-//! `tests/prop_session.rs`. Under the approximate
-//! [`crate::Strategy::EarlyStop`] the session may admit more unverified
-//! cells than a per-query decomposition and report wider (still sound)
-//! ranges.
+//! A session **owns** its constraints as a catalog of stable
+//! [`ConstraintId`]s. [`Session::add_constraint`],
+//! [`Session::retire_constraint`], and [`Session::replace_constraint`]
+//! mutate the catalog; each mutation produces a new **epoch** — an
+//! immutable snapshot (`Arc<PcSet>` + `Arc<CellSet>`) stamped with a
+//! monotonically increasing [`Session::epoch`] number. Queries **pin**
+//! the epoch current when they start and run entirely against it
+//! (snapshot isolation): a mutation never changes the answer of an
+//! in-flight [`Session::bound`] or [`Session::bound_many`], and a whole
+//! batch is answered against one epoch. Mutations serialize against each
+//! other and only briefly block *new* pins.
 //!
-//! [`Session::bound_many`] runs a batch as stealable pool tasks (results
-//! in input order); `pc batch` streams a query file through one session
-//! from the command line, and the `query_throughput` bench records the
-//! cold-vs-session speedup to `BENCH_serve.json`.
+//! # Incremental epoch derivation
+//!
+//! A new epoch's [`CellSet`] is not re-decomposed from scratch. PC
+//! decomposition is monotone in the constraint list (the same argument
+//! behind the two-level GROUP-BY splice), so the previous epoch's cells
+//! are **delta-derived**:
+//!
+//! * **add** — only the cells the new constraint's box cuts are split
+//!   (one include/exclude level, cached witnesses settling one branch
+//!   free, at most one SAT check for the other); untouched cells are
+//!   shared with the previous epoch by `Arc`, witnesses included, plus
+//!   one check for the new-constraint-only signature
+//!   ([`CellSet::derive_add`](CellSet));
+//! * **retire** — **zero** SAT checks: unchanged cells keep everything
+//!   (signature indices shift down), a retired cell folds into its
+//!   exclude-sibling or survives with its region re-widened to what a
+//!   fresh decomposition would give, witness carried;
+//! * the closure verdict/counterexample carries the same way: coverage
+//!   only moves inside the churned constraint's box, so a cached
+//!   counterexample (or the closed verdict) re-checks only when that box
+//!   overlaps it.
+//!
+//! Each epoch's [`CellSet::stats`] report the *derivation's own* work
+//! ([`crate::DecomposeStats::incremental_splits`] counts the touched
+//! cells), which is what the `constraint_churn` bench compares against
+//! the rebuild-per-epoch ablation ([`SessionOptions::incremental`] off).
+//! Derivation only happens when the previous epoch's cells were actually
+//! built — mutations before the first query stay free, and the first
+//! query then decomposes the current catalog directly.
+//!
+//! # Serving machinery (per epoch)
+//!
+//! * each query **specializes** the pinned epoch's cells to its region —
+//!   interval intersections to drop and share cells, plus an exact SAT
+//!   re-check for only the cells the region genuinely cuts (see
+//!   [`crate::specialize`]);
+//! * the epoch-level **closure verdict is hoisted**: a sub-region of a
+//!   closed region is closed; for a non-closed epoch the cached
+//!   *counterexample point* proves any query containing it non-closed
+//!   without a SAT call;
+//! * simplex **warm starts chain across queries and across epochs**: the
+//!   session keeps per-worker [`WarmCaches`] alive for its whole
+//!   lifetime. With [`crate::BoundOptions::tableau_carry`] (the default)
+//!   each chain slot holds the whole **canonical tableau**; a successor
+//!   LP with identical constraint structure re-prices it under its new
+//!   objective, and — new with the versioned API — a successor whose
+//!   rows differ by the *one constraint an epoch added or retired* is
+//!   **adapted in place**: the changed row is appended to / deleted from
+//!   the carried tableau with a dual restore (see
+//!   `pc_solver::solve_lp_tableau`), instead of falling all the way back
+//!   to a cold rebuild. A larger structural mismatch still demotes to
+//!   the basis tier and from there to cold, so churn can cost work but
+//!   never correctness.
+//!
+//! # What mutations invalidate (and what they don't)
+//!
+//! Shared, untouched cells keep their identity across epochs — including
+//! their cached witnesses. Split or re-widened cells may carry *new*
+//! witnesses (equally genuine points of the same cell), so witness
+//! identity is only stable for cells the churned box never touched —
+//! the same caveat as the parallel witness search
+//! ([`crate::decompose`]). A derived epoch's *cells* are exactly a fresh
+//! decomposition's, and its bounds equal a session freshly built on the
+//! mutated catalog up to solver tolerance (~1e-6 — the branch & bound
+//! pruning tolerance plus warm-start floating-point noise, the same
+//! caveat [`crate::BoundOptions::threads`] documents; a warm or adapted
+//! tableau can land on a different vertex of a degenerate optimum) —
+//! property-tested in `tests/prop_epoch.rs` over random add/retire
+//! sequences, sequentially and on the pinned multi-worker pool. Under the approximate [`crate::Strategy::EarlyStop`] derived
+//! epochs keep unverified cells admitted (bounds may stay wider than a
+//! fresh rebuild's, never unsoundly narrower).
+//!
+//! `pc batch` drives all of this from the command line: `+ <constraint>`
+//! and `- <id>` directive lines interleave catalog churn with the query
+//! stream, and the `query_throughput` bench records the
+//! incremental-vs-rebuild ablation to `BENCH_serve.json`.
 
 use crate::bounds::{pooled_map, WarmCache, WarmCaches};
 use crate::specialize::CellSet;
-use crate::{BoundEngine, BoundError, BoundOptions, BoundReport, GroupBound};
+use crate::{
+    BoundEngine, BoundError, BoundOptions, BoundReport, GroupBound, PcSet, PredicateConstraint,
+};
 use pc_storage::AggQuery;
-use std::sync::{Arc, OnceLock};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Stable handle of one catalog constraint, assigned by the session at
+/// admission and never reused. Renders as `c<N>` (`pc batch` retire
+/// directives parse either `c3` or `3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstraintId(u64);
+
+impl fmt::Display for ConstraintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl FromStr for ConstraintId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let digits = s.strip_prefix('c').unwrap_or(s);
+        digits
+            .parse::<u64>()
+            .map(ConstraintId)
+            .map_err(|_| format!("`{s}` is not a constraint id (expected cN or N)"))
+    }
+}
+
+/// A mutation named a [`ConstraintId`] the catalog does not hold (never
+/// admitted, or already retired).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownConstraint(pub ConstraintId);
+
+impl fmt::Display for UnknownConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no live constraint {} in the session catalog", self.0)
+    }
+}
+
+impl std::error::Error for UnknownConstraint {}
 
 /// Session configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SessionOptions {
     /// Engine knobs shared by every query of the session.
     pub bound: BoundOptions,
-    /// Decompose the full domain once and answer queries by specializing
-    /// the cached cells (the default). Disabled, every query decomposes
-    /// its own region from scratch — the cold baseline, kept as an honest
+    /// Decompose each epoch once and answer queries by specializing the
+    /// cached cells (the default). Disabled, every query decomposes its
+    /// own region from scratch — the cold baseline, kept as an honest
     /// A/B switch (`pc … --no-session-cache`); warm-start chaining across
     /// queries stays on either way unless `bound.warm_start` is off.
     pub cache_cells: bool,
+    /// Derive each mutation's epoch incrementally from the previous one
+    /// (the default): re-split only the cells the churned constraint's
+    /// box cuts, share the rest. Disabled, every mutation schedules a
+    /// full re-decomposition — the rebuild-per-epoch baseline the
+    /// `constraint_churn` bench ablates against. Never affects results,
+    /// only [`crate::DecomposeStats`] work.
+    pub incremental: bool,
 }
 
 impl Default for SessionOptions {
@@ -72,95 +172,357 @@ impl Default for SessionOptions {
         SessionOptions {
             bound: BoundOptions::default(),
             cache_cells: true,
+            incremental: true,
         }
     }
 }
 
-/// A long-lived query-serving handle over one [`crate::PcSet`]: decompose
-/// once, specialize per query, chain warm starts across queries. See the
-/// module docs.
-///
-/// All methods take `&self`; a session is safe to share across threads
-/// (the lazily built cell cache is a [`OnceLock`], the warm-start stores
-/// are per-worker).
-pub struct Session<'a> {
-    engine: BoundEngine<'a>,
-    cache_cells: bool,
+/// One immutable catalog snapshot: the materialized set, the live ids (in
+/// constraint-index order), and the lazily built / eagerly derived cells.
+struct Epoch {
+    number: u64,
+    set: Arc<PcSet>,
+    ids: Vec<ConstraintId>,
     cells: OnceLock<Result<Arc<CellSet>, BoundError>>,
+}
+
+/// A long-lived, mutable query-serving handle over a constraint catalog:
+/// decompose once, specialize per query, delta-derive per mutation, chain
+/// warm starts across queries and epochs. See the module docs.
+///
+/// All methods — including the catalog mutations — take `&self`; a
+/// session is safe to share across threads. Queries pin the epoch current
+/// when they start (snapshot isolation); mutations serialize.
+pub struct Session {
+    options: SessionOptions,
+    current: Mutex<Arc<Epoch>>,
+    /// Serializes catalog mutations *around* the expensive derivation so
+    /// `current` — which every query's pin takes — is only ever held for
+    /// an `Arc` read or swap. Lock order: `mutations` strictly before
+    /// `current`.
+    mutations: Mutex<()>,
+    next_id: AtomicU64,
     warm: WarmCaches,
 }
 
-impl<'a> Session<'a> {
-    /// A session with default options.
-    pub fn new(set: &'a crate::PcSet) -> Self {
+impl Session {
+    /// A session with default options. The seed constraints are admitted
+    /// in order as ids `c0..cN-1`, at epoch 0.
+    pub fn new(set: PcSet) -> Self {
         Session::with_options(set, SessionOptions::default())
     }
 
     /// A session with explicit options.
-    pub fn with_options(set: &'a crate::PcSet, options: SessionOptions) -> Self {
+    pub fn with_options(set: PcSet, options: SessionOptions) -> Self {
+        let seeded = set.len() as u64;
+        let ids: Vec<ConstraintId> = (0..seeded).map(ConstraintId).collect();
         Session {
-            engine: BoundEngine::with_options(set, options.bound),
-            cache_cells: options.cache_cells,
-            cells: OnceLock::new(),
+            options,
+            current: Mutex::new(Arc::new(Epoch {
+                number: 0,
+                set: Arc::new(set),
+                ids,
+                cells: OnceLock::new(),
+            })),
+            mutations: Mutex::new(()),
+            next_id: AtomicU64::new(seeded),
             warm: WarmCaches::new(options.bound.warm_start),
         }
     }
 
-    /// The underlying engine (for one-off calls that bypass the cache).
-    pub fn engine(&self) -> &BoundEngine<'a> {
-        &self.engine
+    /// The session's configuration.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
     }
 
-    /// The session's cached domain-wide decomposition, built on first
-    /// use. Fails with the decomposition's error (e.g. a
-    /// [`crate::Strategy::Naive`] overflow), which every later query then
-    /// reports too.
+    /// The current epoch number: 0 at construction, +1 per catalog
+    /// mutation.
+    pub fn epoch(&self) -> u64 {
+        self.pin().number
+    }
+
+    /// The live constraint ids, in the current epoch's constraint-index
+    /// order.
+    pub fn constraint_ids(&self) -> Vec<ConstraintId> {
+        self.pin().ids.clone()
+    }
+
+    /// A snapshot of the current epoch's materialized constraint set.
+    pub fn pc_set(&self) -> Arc<PcSet> {
+        Arc::clone(&self.pin().set)
+    }
+
+    /// The current epoch's domain-wide decomposition, built on first use.
+    /// Fails with the decomposition's error (e.g. a
+    /// [`crate::Strategy::Naive`] overflow), which every later query of
+    /// this epoch then reports too.
     pub fn cell_set(&self) -> Result<Arc<CellSet>, BoundError> {
-        self.cells
+        let epoch = self.pin();
+        self.cells_of(&epoch)
+    }
+
+    /// Whether wide SAT checks may fan out (mirrors
+    /// [`BoundEngine::par_witness`]).
+    fn par_witness(&self) -> bool {
+        self.options.bound.threads != 1
+    }
+
+    /// Pin the current epoch (the snapshot every query runs against).
+    fn pin(&self) -> Arc<Epoch> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// The pinned epoch's cells, building them on first use.
+    fn cells_of(&self, epoch: &Epoch) -> Result<Arc<CellSet>, BoundError> {
+        epoch
+            .cells
             .get_or_init(|| {
-                let set = self.engine.set;
-                let base = set.domain().clone();
-                let (cells, stats) = self.engine.cells_for_base(&base)?;
+                let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
+                let base = epoch.set.domain().clone();
+                let (cells, stats) = engine.cells_for_base(&base)?;
                 // Cache the closure *counterexample*, not just the
-                // verdict: a non-closed set would otherwise re-prove
+                // verdict: a non-closed epoch would otherwise re-prove
                 // non-closure with the widest SAT query on every bound.
-                let uncovered = if self.engine.options.check_closure {
-                    set.uncovered_witness_with(&base, self.engine.par_witness())
+                let uncovered = if self.options.bound.check_closure {
+                    epoch
+                        .set
+                        .uncovered_witness_with(&base, engine.par_witness())
                 } else {
                     None
                 };
-                Ok(Arc::new(CellSet::new(set, base, cells, stats, uncovered)))
+                Ok(Arc::new(CellSet::new(
+                    &epoch.set, base, cells, stats, uncovered,
+                )))
             })
             .clone()
     }
 
-    /// Compute the result range of one query, reusing the session's
-    /// cached decomposition and warm-start chains. Returns exactly what
-    /// [`BoundEngine::bound`] would (see the module docs).
-    pub fn bound(&self, query: &AggQuery) -> Result<BoundReport, BoundError> {
-        self.bound_with(query, self.warm.for_current_worker())
+    // ------------------------------------------------------------------
+    // Catalog mutations
+    // ------------------------------------------------------------------
+
+    /// Admit a constraint into the catalog, producing a new epoch. The
+    /// returned id is stable for the session's lifetime.
+    pub fn add_constraint(&self, pc: PredicateConstraint) -> ConstraintId {
+        let _mutation = self.mutations.lock().unwrap();
+        // `prev` cannot move under us: only mutations swap `current`, and
+        // they all serialize on the lock above — so the expensive
+        // derivation runs with `current` free for query pins.
+        let prev = self.pin();
+        let id = ConstraintId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        let mut ids = prev.ids.clone();
+        ids.push(id);
+        let mut set = (*prev.set).clone();
+        // a new constraint may overlap the existing ones arbitrarily; the
+        // disjointness fast path must not survive on a stale hint
+        set.set_disjoint_hint(false);
+        set.push(pc.clone());
+        let set = Arc::new(set);
+        let cells = OnceLock::new();
+        if let Some(prev_cells) = self.derivable(&prev) {
+            let derived = self.derived_add(&prev_cells, &pc, &set);
+            let _ = cells.set(Ok(Arc::new(derived)));
+        }
+        self.install(
+            &prev,
+            Epoch {
+                number: prev.number + 1,
+                set,
+                ids,
+                cells,
+            },
+        );
+        id
     }
 
-    fn bound_with(
+    /// Retire a constraint from the catalog, producing a new epoch.
+    pub fn retire_constraint(&self, id: ConstraintId) -> Result<(), UnknownConstraint> {
+        let _mutation = self.mutations.lock().unwrap();
+        let prev = self.pin();
+        let Some(index) = prev.ids.iter().position(|&i| i == id) else {
+            return Err(UnknownConstraint(id));
+        };
+        let mut ids = prev.ids.clone();
+        ids.remove(index);
+        let mut set = (*prev.set).clone();
+        let removed = set.remove_constraint(index);
+        let set = Arc::new(set);
+        let cells = OnceLock::new();
+        if let Some(prev_cells) = self.derivable(&prev) {
+            let uncovered = self.retired_uncovered(&prev_cells, &removed, &set);
+            let derived = prev_cells.derive_retire(&set, index, uncovered);
+            let _ = cells.set(Ok(Arc::new(derived)));
+        }
+        self.install(
+            &prev,
+            Epoch {
+                number: prev.number + 1,
+                set,
+                ids,
+                cells,
+            },
+        );
+        Ok(())
+    }
+
+    /// Swap one constraint for another in a **single** epoch (a retire
+    /// and an add fused, so no query can observe the half-churned
+    /// catalog). Returns the replacement's fresh id.
+    pub fn replace_constraint(
         &self,
+        id: ConstraintId,
+        pc: PredicateConstraint,
+    ) -> Result<ConstraintId, UnknownConstraint> {
+        let _mutation = self.mutations.lock().unwrap();
+        let prev = self.pin();
+        let Some(index) = prev.ids.iter().position(|&i| i == id) else {
+            return Err(UnknownConstraint(id));
+        };
+        let new_id = ConstraintId(self.next_id.fetch_add(1, Ordering::SeqCst));
+        let mut ids = prev.ids.clone();
+        ids.remove(index);
+        ids.push(new_id);
+        let mut mid_set = (*prev.set).clone();
+        let removed = mid_set.remove_constraint(index);
+        let mut set = mid_set.clone();
+        set.set_disjoint_hint(false);
+        set.push(pc.clone());
+        let (mid_set, set) = (Arc::new(mid_set), Arc::new(set));
+        let cells = OnceLock::new();
+        if let Some(prev_cells) = self.derivable(&prev) {
+            // chain the two deltas through the intermediate epoch-less set
+            let mid_uncovered = self.retired_uncovered(&prev_cells, &removed, &mid_set);
+            let mid = prev_cells.derive_retire(&mid_set, index, mid_uncovered);
+            let mut derived = self.derived_add(&mid, &pc, &set);
+            derived.absorb_stats(mid.stats());
+            let _ = cells.set(Ok(Arc::new(derived)));
+        }
+        self.install(
+            &prev,
+            Epoch {
+                number: prev.number + 1,
+                set,
+                ids,
+                cells,
+            },
+        );
+        Ok(new_id)
+    }
+
+    /// Swap the new epoch in — the only place `current` is written, held
+    /// just long enough for the `Arc` assignment.
+    fn install(&self, prev: &Arc<Epoch>, epoch: Epoch) {
+        let mut cur = self.current.lock().unwrap();
+        debug_assert!(
+            Arc::ptr_eq(&cur, prev),
+            "mutations serialize on the mutation lock"
+        );
+        *cur = Arc::new(epoch);
+    }
+
+    /// The add half of a derivation: closure counterexample carry (a
+    /// closed base stays closed; a dodging counterexample carries; a
+    /// swallowed one re-checks), then the incremental cell split. The
+    /// base's *known-closed* verdict is passed down so `derive_add` can
+    /// skip the new-constraint-only probe outright (no point of a closed
+    /// base avoids every old predicate).
+    fn derived_add(&self, prev_cells: &CellSet, pc: &PredicateConstraint, set: &PcSet) -> CellSet {
+        let parallel = self.par_witness();
+        let check_closure = self.options.bound.check_closure;
+        let base_known_closed = check_closure && prev_cells.uncovered().is_none();
+        let uncovered = if !check_closure {
+            None
+        } else {
+            match prev_cells.uncovered() {
+                // coverage grows: a closed epoch stays closed
+                None => None,
+                // the cached counterexample dodges the new predicate:
+                // still uncovered, no SAT call
+                Some(w) if !pc.predicate.eval(w) => Some(w.to_vec()),
+                // the new constraint swallowed the counterexample — one
+                // exact re-check decides
+                Some(_) => set.uncovered_witness_with(set.domain(), parallel),
+            }
+        };
+        prev_cells.derive_add(set, parallel, uncovered, base_known_closed)
+    }
+
+    /// The previous epoch's cells, when the new epoch should be derived
+    /// from them: incremental mode on, the cell cache on, and the cells
+    /// actually built (mutations before the first query stay free — the
+    /// first query then decomposes the new catalog directly). A previous
+    /// epoch whose build *errored* replays the error lazily instead.
+    fn derivable(&self, prev: &Epoch) -> Option<Arc<CellSet>> {
+        if !(self.options.incremental && self.options.cache_cells) {
+            return None;
+        }
+        match prev.cells.get() {
+            Some(Ok(cells)) => Some(Arc::clone(cells)),
+            _ => None,
+        }
+    }
+
+    /// Closure counterexample after retiring `removed`: an uncovered
+    /// point stays uncovered when coverage shrinks; a previously closed
+    /// epoch can only open a hole inside the retired constraint's box, so
+    /// the re-check is confined there.
+    fn retired_uncovered(
+        &self,
+        prev_cells: &CellSet,
+        removed: &PredicateConstraint,
+        new_set: &PcSet,
+    ) -> Option<Vec<f64>> {
+        if !self.options.bound.check_closure {
+            return None;
+        }
+        match prev_cells.uncovered() {
+            Some(w) => Some(w.to_vec()),
+            None => {
+                let mut within = prev_cells.base().clone();
+                for atom in removed.predicate.atoms() {
+                    within.intersect_atom(atom);
+                }
+                new_set.uncovered_witness_with(&within, self.par_witness())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Serving
+    // ------------------------------------------------------------------
+
+    /// Compute the result range of one query against the epoch current at
+    /// the call, reusing its cached decomposition and the session's
+    /// warm-start chains. Returns what [`BoundEngine::bound`] would
+    /// against the same catalog snapshot, up to solver tolerance (see
+    /// the module docs' invalidation section for the ~1e-6 caveat).
+    pub fn bound(&self, query: &AggQuery) -> Result<BoundReport, BoundError> {
+        let epoch = self.pin();
+        self.bound_on(&epoch, query, self.warm.for_current_worker())
+    }
+
+    fn bound_on(
+        &self,
+        epoch: &Epoch,
         query: &AggQuery,
         warm: Option<WarmCache>,
     ) -> Result<BoundReport, BoundError> {
-        if !self.cache_cells {
+        let set = &*epoch.set;
+        let engine = BoundEngine::with_options(set, self.options.bound);
+        if !self.options.cache_cells {
             // Cold cells, warm chains: the honest baseline for the cache
             // knob still benefits from cross-query basis reuse.
-            return self.engine.bound_with_warm(query, warm);
+            return engine.bound_with_warm(query, warm);
         }
-        let cell_set = self.cell_set()?;
-        let set = self.engine.set;
+        let cell_set = self.cells_of(epoch)?;
         let mut target = query.predicate.to_region(set.schema());
         target.intersect(set.domain());
 
         let mut stats = cell_set.stats();
-        let cells = cell_set.specialize(set, &target, &mut stats, self.engine.par_witness());
+        let cells = cell_set.specialize(set, &target, &mut stats, engine.par_witness());
         stats.cells = cells.len();
 
-        let closed = if !self.engine.options.check_closure || cell_set.closed() {
+        let closed = if !self.options.bound.check_closure || cell_set.closed() {
             // hoisted: a sub-region of a closed base is closed
             true
         } else if cell_set.uncovered().is_some_and(|w| target.contains_row(w)) {
@@ -168,42 +530,47 @@ impl<'a> Session<'a> {
             // not closed, no SAT call
             false
         } else {
-            // non-closed base, but the query region may dodge the
+            // non-closed epoch, but the query region may dodge the
             // uncovered part — one exact check decides
-            set.is_closed_within_with(&target, self.engine.par_witness())
+            set.is_closed_within_with(&target, engine.par_witness())
         };
-        let problem = self
-            .engine
-            .problem_from_cells(query.attr, &target, cells, stats, closed, warm)?;
-        self.engine.bound_problem(query.agg, &problem)
+        let problem = engine.problem_from_cells(query.attr, &target, cells, stats, closed, warm)?;
+        engine.bound_problem(query.agg, &problem)
     }
 
-    /// Bound a batch of queries through the session, each as its own
-    /// stealable pool task; results come back in input order. The cell
-    /// cache is primed once before the fan-out so the workers specialize
-    /// instead of racing to decompose.
+    /// Bound a batch of queries, each as its own stealable pool task;
+    /// results come back in input order. The **whole batch pins one
+    /// epoch** — a concurrent mutation affects either every result or
+    /// none (tested in `tests/prop_epoch.rs`). The cell cache is primed
+    /// once before the fan-out so the workers specialize instead of
+    /// racing to decompose.
     pub fn bound_many(&self, queries: &[AggQuery]) -> Vec<Result<BoundReport, BoundError>> {
-        if self.cache_cells && !queries.is_empty() {
+        let epoch = self.pin();
+        if self.options.cache_cells && !queries.is_empty() {
             // Prime the OnceLock up front; a per-query error replays below.
-            let _ = self.cell_set();
+            let _ = self.cells_of(&epoch);
         }
-        let threads = self.engine.task_threads(queries.len());
+        let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
+        let threads = engine.task_threads(queries.len());
         pooled_map(queries, threads, &|query| {
-            self.bound_with(query, self.warm.for_current_worker())
+            self.bound_on(&epoch, query, self.warm.for_current_worker())
         })
     }
 
-    /// Bound a GROUP-BY through the session's engine: the two-level
-    /// shared decomposition already amortizes level 1 across the keys of
-    /// one call (see [`BoundEngine::bound_group_by`]); the session adds
-    /// its configuration, not a second cache layer.
+    /// Bound a GROUP-BY against the epoch current at the call: the
+    /// two-level shared decomposition already amortizes level 1 across
+    /// the keys of one call (see [`BoundEngine::bound_group_by`]); the
+    /// session adds its configuration and snapshot isolation, not a
+    /// second cache layer.
     pub fn bound_group_by(
         &self,
         base: &AggQuery,
         group_attr: usize,
         keys: impl IntoIterator<Item = f64>,
     ) -> Vec<GroupBound> {
-        self.engine.bound_group_by(base, group_attr, keys)
+        let epoch = self.pin();
+        let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
+        engine.bound_group_by(base, group_attr, keys)
     }
 }
 
@@ -212,22 +579,32 @@ mod tests {
     use super::*;
     use crate::{FrequencyConstraint, PcSet, PredicateConstraint, Strategy, ValueConstraint};
     use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
-    use pc_storage::AggKind;
+    use pc_storage::{AggKind, AggQuery};
 
     fn schema() -> Schema {
         Schema::new(vec![("utc", AttrType::Int), ("price", AttrType::Float)])
     }
 
+    fn pc_utc(lo: f64, hi: f64, price_hi: f64, freq: FrequencyConstraint) -> PredicateConstraint {
+        PredicateConstraint::new(
+            Predicate::atom(Atom::bucket(0, lo, hi)),
+            ValueConstraint::none().with(1, Interval::closed(0.99, price_hi)),
+            freq,
+        )
+    }
+
     fn overlapping_set() -> PcSet {
         let mut set = PcSet::new(schema())
-            .with(PredicateConstraint::new(
-                Predicate::atom(Atom::bucket(0, 11.0, 12.0)),
-                ValueConstraint::none().with(1, Interval::closed(0.99, 129.99)),
+            .with(pc_utc(
+                11.0,
+                12.0,
+                129.99,
                 FrequencyConstraint::between(50, 100),
             ))
-            .with(PredicateConstraint::new(
-                Predicate::atom(Atom::bucket(0, 11.0, 13.0)),
-                ValueConstraint::none().with(1, Interval::closed(0.99, 149.99)),
+            .with(pc_utc(
+                11.0,
+                13.0,
+                149.99,
                 FrequencyConstraint::between(75, 125),
             ));
         let mut domain = Region::full(&schema());
@@ -251,23 +628,46 @@ mod tests {
         ]
     }
 
-    #[test]
-    fn session_matches_fresh_engine() {
-        let set = overlapping_set();
-        let session = Session::new(&set);
+    /// Fresh-engine oracle against the session's current catalog.
+    fn assert_matches_fresh(session: &Session, qs: &[AggQuery]) {
+        let set = session.pc_set();
         let engine = BoundEngine::new(&set);
-        for q in queries() {
-            let fresh = engine.bound(&q).unwrap();
-            let served = session.bound(&q).unwrap();
-            assert_eq!(fresh.range, served.range, "{q:?}");
-            assert_eq!(fresh.closed, served.closed, "{q:?}");
+        for q in qs {
+            let fresh = engine.bound(q);
+            let served = session.bound(q);
+            match (&fresh, &served) {
+                (Ok(a), Ok(b)) => {
+                    assert!(
+                        (a.range.lo - b.range.lo).abs() < 1e-5
+                            || (a.range.lo.is_infinite() && a.range.lo == b.range.lo),
+                        "{q:?}: fresh {:?} vs served {:?}",
+                        a.range,
+                        b.range
+                    );
+                    assert!(
+                        (a.range.hi - b.range.hi).abs() < 1e-5
+                            || (a.range.hi.is_infinite() && a.range.hi == b.range.hi),
+                        "{q:?}: fresh {:?} vs served {:?}",
+                        a.range,
+                        b.range
+                    );
+                    assert_eq!(a.closed, b.closed, "{q:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{q:?}"),
+                (a, b) => panic!("{q:?}: {a:?} vs {b:?}"),
+            }
         }
     }
 
     #[test]
+    fn session_matches_fresh_engine() {
+        let session = Session::new(overlapping_set());
+        assert_matches_fresh(&session, &queries());
+    }
+
+    #[test]
     fn repeated_queries_pay_no_new_sat_checks() {
-        let set = overlapping_set();
-        let session = Session::new(&set);
+        let session = Session::new(overlapping_set());
         let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
         let first = session.bound(&q).unwrap();
         let second = session.bound(&q).unwrap();
@@ -282,8 +682,7 @@ mod tests {
 
     #[test]
     fn bound_many_preserves_order_and_results() {
-        let set = overlapping_set();
-        let session = Session::new(&set);
+        let session = Session::new(overlapping_set());
         let qs = queries();
         let batch = session.bound_many(&qs);
         assert_eq!(batch.len(), qs.len());
@@ -302,50 +701,42 @@ mod tests {
 
     #[test]
     fn cache_disabled_still_matches() {
-        let set = overlapping_set();
         let session = Session::with_options(
-            &set,
+            overlapping_set(),
             SessionOptions {
                 cache_cells: false,
                 ..SessionOptions::default()
             },
         );
-        let engine = BoundEngine::new(&set);
-        for q in queries() {
-            let fresh = engine.bound(&q).unwrap();
-            let served = session.bound(&q).unwrap();
-            assert_eq!(fresh.range, served.range, "{q:?}");
-        }
+        assert_matches_fresh(&session, &queries());
     }
 
     #[test]
     fn non_closed_sets_reuse_the_cached_counterexample() {
         // constraints cover utc ∈ [11, 13) but the domain spans [11, 15):
-        // the base is not closed and the session caches a witness of the
+        // the epoch is not closed and the session caches a witness of the
         // uncovered part
         let mut set = overlapping_set();
         let mut domain = Region::full(&schema());
         domain.set_interval(0, Interval::half_open(11.0, 15.0));
         set.set_domain(domain);
-        let session = Session::new(&set);
-        let engine = BoundEngine::new(&set);
+        let session = Session::new(set);
 
-        let w = session.cell_set().unwrap();
-        let w = w.uncovered().expect("base is not closed").to_vec();
+        let cs = session.cell_set().unwrap();
+        let w = cs.uncovered().expect("epoch is not closed").to_vec();
 
         // a query containing the counterexample is non-closed for free; a
         // query dodging the uncovered part pays one exact check — both
         // must match the fresh engine
-        for q in [
-            AggQuery::count(Predicate::always()),
-            AggQuery::count(Predicate::atom(Atom::bucket(0, 11.0, 12.0))),
-        ] {
-            let fresh = engine.bound(&q).unwrap();
-            let served = session.bound(&q).unwrap();
-            assert_eq!(fresh.closed, served.closed, "{q:?}");
-            assert_eq!(fresh.range, served.range, "{q:?}");
-        }
+        assert_matches_fresh(
+            &session,
+            &[
+                AggQuery::count(Predicate::always()),
+                AggQuery::count(Predicate::atom(Atom::bucket(0, 11.0, 12.0))),
+            ],
+        );
         // sanity on the cached point itself
+        let set = session.pc_set();
         assert!(set.domain().contains_row(&w));
         for pc in set.constraints() {
             assert!(!pc.predicate.eval(&w));
@@ -363,7 +754,7 @@ mod tests {
             ));
         }
         let session = Session::with_options(
-            &set,
+            set,
             SessionOptions {
                 bound: BoundOptions {
                     strategy: Strategy::Naive,
@@ -376,5 +767,140 @@ mod tests {
         assert!(matches!(session.bound(&q), Err(BoundError::Decompose(_))));
         // and again — the cached error replays without re-decomposing
         assert!(session.bound(&q).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Catalog mutations
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ids_and_epochs_are_stable() {
+        let session = Session::new(overlapping_set());
+        assert_eq!(session.epoch(), 0);
+        assert_eq!(
+            session.constraint_ids(),
+            vec![ConstraintId(0), ConstraintId(1)]
+        );
+        let id = session.add_constraint(pc_utc(12.0, 13.0, 80.0, FrequencyConstraint::at_most(60)));
+        assert_eq!(id, ConstraintId(2));
+        assert_eq!(session.epoch(), 1);
+        session.retire_constraint(ConstraintId(0)).unwrap();
+        assert_eq!(session.epoch(), 2);
+        assert_eq!(
+            session.constraint_ids(),
+            vec![ConstraintId(1), ConstraintId(2)]
+        );
+        // retired ids are gone for good
+        assert_eq!(
+            session.retire_constraint(ConstraintId(0)),
+            Err(UnknownConstraint(ConstraintId(0)))
+        );
+        // display + parse round-trip
+        assert_eq!(id.to_string(), "c2");
+        assert_eq!("c2".parse::<ConstraintId>().unwrap(), id);
+        assert_eq!("2".parse::<ConstraintId>().unwrap(), id);
+        assert!("x2".parse::<ConstraintId>().is_err());
+    }
+
+    #[test]
+    fn add_and_retire_match_fresh_engine() {
+        let session = Session::new(overlapping_set());
+        let qs = queries();
+        // prime the epoch so mutations derive incrementally
+        session.cell_set().unwrap();
+        assert_matches_fresh(&session, &qs);
+
+        let id = session.add_constraint(pc_utc(11.5, 12.5, 90.0, FrequencyConstraint::at_most(40)));
+        assert_matches_fresh(&session, &qs);
+        // the derived epoch really was incremental, not a rebuild
+        let stats = session.cell_set().unwrap().stats();
+        assert!(stats.incremental_splits > 0, "{stats:?}");
+
+        session.retire_constraint(id).unwrap();
+        assert_matches_fresh(&session, &qs);
+        assert_eq!(session.cell_set().unwrap().stats().sat_checks, 0);
+
+        let replaced = session
+            .replace_constraint(
+                ConstraintId(0),
+                pc_utc(11.0, 12.0, 110.0, FrequencyConstraint::between(40, 90)),
+            )
+            .unwrap();
+        assert_eq!(session.constraint_ids(), vec![ConstraintId(1), replaced]);
+        assert_matches_fresh(&session, &qs);
+    }
+
+    #[test]
+    fn closure_verdict_tracks_churn() {
+        // start closed; retiring the wide cover opens a hole; adding it
+        // back closes it again — all against the fresh oracle
+        let session = Session::new(overlapping_set());
+        session.cell_set().unwrap();
+        assert!(session.cell_set().unwrap().closed());
+
+        session.retire_constraint(ConstraintId(1)).unwrap();
+        let cs = session.cell_set().unwrap();
+        assert!(!cs.closed(), "retiring the [11,13) cover must open a hole");
+        let w = cs.uncovered().unwrap();
+        assert!(session.pc_set().domain().contains_row(w));
+        assert_matches_fresh(&session, &[AggQuery::count(Predicate::always())]);
+
+        session.add_constraint(pc_utc(
+            11.0,
+            13.0,
+            149.99,
+            FrequencyConstraint::between(75, 125),
+        ));
+        assert!(session.cell_set().unwrap().closed());
+        assert_matches_fresh(&session, &queries());
+    }
+
+    #[test]
+    fn mutations_before_first_query_stay_lazy() {
+        let session = Session::new(overlapping_set());
+        let id = session.add_constraint(pc_utc(12.0, 13.0, 80.0, FrequencyConstraint::at_most(60)));
+        session.retire_constraint(id).unwrap();
+        assert_eq!(session.epoch(), 2);
+        // nothing was decomposed yet; the first query decomposes the
+        // current catalog directly (no derivation chain to pay)
+        assert_matches_fresh(&session, &queries());
+        assert_eq!(session.cell_set().unwrap().stats().incremental_splits, 0);
+    }
+
+    #[test]
+    fn rebuild_ablation_matches_incremental() {
+        let build = |incremental| {
+            Session::with_options(
+                overlapping_set(),
+                SessionOptions {
+                    incremental,
+                    ..SessionOptions::default()
+                },
+            )
+        };
+        let fast = build(true);
+        let slow = build(false);
+        let qs = queries();
+        for s in [&fast, &slow] {
+            s.cell_set().unwrap();
+            s.add_constraint(pc_utc(11.5, 12.5, 90.0, FrequencyConstraint::at_most(40)));
+        }
+        for q in &qs {
+            let a = fast.bound(q).unwrap();
+            let b = slow.bound(q).unwrap();
+            assert!(
+                (a.range.lo - b.range.lo).abs() < 1e-5 && (a.range.hi - b.range.hi).abs() < 1e-5,
+                "{q:?}: {:?} vs {:?}",
+                a.range,
+                b.range
+            );
+        }
+        // and the ablation really did rebuild: a fresh decomposition
+        // reports no incremental splits and more SAT checks
+        let inc = fast.cell_set().unwrap().stats();
+        let reb = slow.cell_set().unwrap().stats();
+        assert!(inc.incremental_splits > 0);
+        assert_eq!(reb.incremental_splits, 0);
+        assert!(inc.sat_checks < reb.sat_checks, "{inc:?} vs {reb:?}");
     }
 }

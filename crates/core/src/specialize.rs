@@ -32,10 +32,14 @@
 //! sub-region, so specialized bounds can be wider (never narrower) —
 //! both remain sound, as early stopping only ever widens.
 //!
-//! Two consumers build on the same machinery:
+//! Three consumers build on the same machinery:
 //!
 //! * [`crate::Session`] specializes one domain-wide [`CellSet`] to each
-//!   query's region (tentpole of the serve path);
+//!   query's region (tentpole of the serve path) — and, for the
+//!   versioned catalog, **delta-derives** each mutation's epoch from the
+//!   previous one (`derive_add` splits only the cells the new
+//!   constraint's box cuts; `derive_retire` merges/re-widens with zero
+//!   SAT checks — the same monotonicity argument as the splice below);
 //! * the two-level GROUP-BY ([`crate::BoundEngine::bound_group_by`])
 //!   specializes a *shared-constraint* decomposition to each group's
 //!   slice through [`SliceSpecializer`] — slices of the form
@@ -128,9 +132,17 @@ impl CellSet {
         &self.cells
     }
 
-    /// Work counters of the one-time decomposition.
+    /// Work counters of the one-time decomposition (for a delta-derived
+    /// set: the derivation's own work only).
     pub fn stats(&self) -> DecomposeStats {
         self.stats
+    }
+
+    /// Fold another derivation step's counters into this set's stats —
+    /// the fused retire+add of `Session::replace_constraint` reports both
+    /// deltas as one epoch (`cells` stays this set's own count).
+    pub(crate) fn absorb_stats(&mut self, other: DecomposeStats) {
+        self.stats.absorb(&other);
     }
 
     /// Whether the constraint set covers all of [`CellSet::base`].
@@ -193,6 +205,241 @@ impl CellSet {
             });
         }
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental epoch derivation (the versioned session's delta path)
+    // ------------------------------------------------------------------
+
+    /// Derive the cell set of `new_set` — this set's constraints plus one
+    /// more appended at index `new_set.len() - 1` — from the cached
+    /// decomposition, re-splitting **only the cells the new constraint's
+    /// box cuts**. PC decomposition is monotone in the constraint list
+    /// (the same argument behind the GROUP-BY two-level splice): deciding
+    /// the appended constraint last, every existing cell either misses
+    /// its box entirely (the exclude branch is the cell itself, shared
+    /// untouched, witness included) or splits into an include branch
+    /// (region tightened by the new box, constraint added to the
+    /// activity) and an exclude branch (region unchanged) — exactly one
+    /// level of the include/exclude DFS, with the cached witness settling
+    /// one branch for free and at most one exact SAT check deciding the
+    /// other. The one signature no existing cell can produce — the
+    /// new-constraint-only cell, where every *old* constraint is excluded
+    /// — is checked separately inside the new box (the cached closure
+    /// counterexample proves it satisfiable for free when the new
+    /// predicate covers it).
+    ///
+    /// `uncovered` is the new epoch's closure counterexample, computed by
+    /// the caller (coverage grows on add: a closed base stays closed, and
+    /// a counterexample avoiding the new predicate carries over — only a
+    /// counterexample the new constraint swallows forces a re-check).
+    /// `base_known_closed` is the caller's verified closure verdict for
+    /// the base: when true, the new-constraint-only cell is provably
+    /// empty (every base point satisfies some old predicate) and its
+    /// probe — the derivation's one potentially wide SAT check — is
+    /// skipped outright.
+    ///
+    /// Cells the base pass admitted unverified ([`crate::Strategy::EarlyStop`])
+    /// stay admitted on both surviving branches, preserving the
+    /// early-stop contract (bounds may widen, never narrow unsoundly).
+    /// Stats count only the derivation's own work;
+    /// [`DecomposeStats::incremental_splits`] is the number of cut cells.
+    pub(crate) fn derive_add(
+        &self,
+        new_set: &PcSet,
+        parallel: bool,
+        uncovered: Option<Vec<f64>>,
+        base_known_closed: bool,
+    ) -> CellSet {
+        let n = new_set.len() - 1;
+        let pc = &new_set.constraints()[n];
+        let mut stats = DecomposeStats::default();
+        let mut cells = Vec::with_capacity(self.cells.len() + 1);
+        for (i, cell) in self.cells.iter().enumerate() {
+            if !overlaps_region(pc, &cell.region) {
+                // the new box misses the cell: no point of it can satisfy
+                // the new predicate — the cell is its own exclude branch
+                cells.push(cell.clone());
+                continue;
+            }
+            stats.incremental_splits += 1;
+            let inc_region = match cell.region.tightened_by(pc.predicate.atoms()) {
+                Some(t) => Arc::new(t),
+                None => Arc::clone(&cell.region),
+            };
+            match &cell.witness {
+                // early-stop cell: geometric pruning only, both surviving
+                // branches stay admitted unverified
+                None => {
+                    stats.assumed_sat += 2;
+                    if !inc_region.is_empty() {
+                        let mut active = cell.active.clone();
+                        active.insert(n);
+                        cells.push(Cell {
+                            region: inc_region,
+                            active,
+                            witness: None,
+                        });
+                    }
+                    cells.push(cell.clone());
+                }
+                Some(w) => {
+                    // the cached witness proves one branch for free; the
+                    // other pays at most one exact check against the
+                    // cell's relevant exclusions
+                    let negs: Vec<&Predicate> = self.relevant_of[i]
+                        .iter()
+                        .map(|&j| &new_set.constraints()[j].predicate)
+                        .collect();
+                    let inc_witness = if inc_region.is_empty() {
+                        None
+                    } else if inc_region.contains_row(w) {
+                        Some(w.clone())
+                    } else {
+                        stats.sat_checks += 1;
+                        sat::find_witness_with(&inc_region, &negs, parallel)
+                    };
+                    let exc_witness = if !pc.predicate.eval(w) {
+                        Some(w.clone())
+                    } else {
+                        let mut probe = negs.clone();
+                        probe.push(&pc.predicate);
+                        stats.sat_checks += 1;
+                        sat::find_witness_with(&cell.region, &probe, parallel)
+                    };
+                    if let Some(iw) = inc_witness {
+                        let mut active = cell.active.clone();
+                        active.insert(n);
+                        cells.push(Cell {
+                            region: inc_region,
+                            active,
+                            witness: Some(iw),
+                        });
+                    }
+                    if let Some(ew) = exc_witness {
+                        cells.push(Cell {
+                            region: Arc::clone(&cell.region),
+                            active: cell.active.clone(),
+                            witness: Some(ew),
+                        });
+                    }
+                }
+            }
+        }
+        // The new-constraint-only cell: ψ_new ∧ ¬(every old constraint),
+        // inside the new box — the one signature the old decomposition
+        // could not have emitted. A verified-closed base cannot hold it
+        // (its points are exactly the base's uncovered points), so the
+        // probe is skipped entirely there.
+        let mut only = self.base.clone();
+        for atom in pc.predicate.atoms() {
+            only.intersect_atom(atom);
+        }
+        if !base_known_closed && !only.is_empty() {
+            let relevant: Vec<&Predicate> = new_set.constraints()[..n]
+                .iter()
+                .filter(|old| overlaps_region(old, &only))
+                .map(|old| &old.predicate)
+                .collect();
+            let witness = match &self.uncovered {
+                // the cached closure counterexample satisfies no old
+                // predicate; if the new box contains it, it *is* the cell
+                Some(w) if only.contains_row(w) => Some(w.clone()),
+                _ => {
+                    stats.sat_checks += 1;
+                    sat::find_witness_with(&only, &relevant, parallel)
+                }
+            };
+            if let Some(w) = witness {
+                cells.push(Cell {
+                    region: Arc::new(only),
+                    active: [n].into_iter().collect(),
+                    witness: Some(w),
+                });
+            }
+        }
+        stats.cells = cells.len();
+        CellSet::new(new_set, self.base.clone(), cells, stats, uncovered)
+    }
+
+    /// Derive the cell set of `new_set` — this set's constraints with the
+    /// one at `removed` taken out — from the cached decomposition, with
+    /// **zero SAT checks**:
+    ///
+    /// * a cell *excluding* the retired constraint is unchanged (its
+    ///   region was never tightened by the retired box, and its witness
+    ///   still satisfies exactly its activity) — only the signature
+    ///   indices shift down;
+    /// * a cell *including* it folds into its exclude-sibling when that
+    ///   sibling exists (the sibling already covers the merged signature
+    ///   with the right region and witness), and otherwise survives with
+    ///   its region **re-widened** to the base tightened by the remaining
+    ///   active boxes — the exact region a fresh decomposition of the
+    ///   reduced set would give it (keeping the retired tightening would
+    ///   understate the value ranges rows in the cell can take). Its
+    ///   witness carries: the point satisfies exactly the remaining
+    ///   activity, and the retired predicate no longer matters.
+    ///
+    /// `uncovered` is the caller's closure counterexample for the shrunken
+    /// set (an uncovered point stays uncovered when coverage shrinks; a
+    /// previously closed base only needs re-checking *inside the retired
+    /// box*, the only place a hole can open).
+    pub(crate) fn derive_retire(
+        &self,
+        new_set: &PcSet,
+        removed: usize,
+        uncovered: Option<Vec<f64>>,
+    ) -> CellSet {
+        let remap = |active: &ActiveSet| -> ActiveSet {
+            active
+                .iter()
+                .filter(|&i| i != removed)
+                .map(|i| if i > removed { i - 1 } else { i })
+                .collect()
+        };
+        // signatures that survive verbatim: cells not holding the retired
+        // constraint (a retired sibling folds into one of these)
+        let kept: std::collections::HashSet<&ActiveSet> = self
+            .cells
+            .iter()
+            .filter(|c| !c.active.contains(removed))
+            .map(|c| &c.active)
+            .collect();
+        let mut stats = DecomposeStats::default();
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            if !cell.active.contains(removed) {
+                cells.push(Cell {
+                    region: Arc::clone(&cell.region),
+                    active: remap(&cell.active),
+                    witness: cell.witness.clone(),
+                });
+                continue;
+            }
+            stats.incremental_splits += 1;
+            let reduced: ActiveSet = cell.active.iter().filter(|&i| i != removed).collect();
+            if reduced.is_empty() || kept.contains(&reduced) {
+                // all-excluded is the closure check's region, not a cell;
+                // otherwise the exclude-sibling already is the merged cell
+                continue;
+            }
+            // widen: the fresh region of the merged signature is the base
+            // tightened by the *remaining* active boxes only
+            let active = remap(&reduced);
+            let mut region = self.base.clone();
+            for i in active.iter() {
+                for atom in new_set.constraints()[i].predicate.atoms() {
+                    region.intersect_atom(atom);
+                }
+            }
+            cells.push(Cell {
+                region: Arc::new(region),
+                active,
+                witness: cell.witness.clone(),
+            });
+        }
+        stats.cells = cells.len();
+        CellSet::new(new_set, self.base.clone(), cells, stats, uncovered)
     }
 }
 
@@ -933,6 +1180,133 @@ mod tests {
                 .expect("spliced cells carry witnesses");
             assert!(cell.region.contains_row(w));
         }
+    }
+
+    /// Sorted (signature, region) pairs for structural comparison.
+    fn shape(cells: &[Cell]) -> Vec<(Vec<usize>, pc_predicate::Region)> {
+        let mut out: Vec<_> = cells
+            .iter()
+            .map(|c| (c.active.to_vec(), (*c.region).clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    fn assert_genuine_witnesses(cells: &[Cell], set: &PcSet) {
+        for cell in cells {
+            let w = cell.witness.as_ref().expect("exact mode carries witnesses");
+            assert!(cell.region.contains_row(w));
+            for (j, pc) in set.constraints().iter().enumerate() {
+                assert_eq!(pc.predicate.eval(w), cell.is_active(j), "{cell:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn derive_add_matches_fresh_decomposition() {
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        // an overlapping cap, a cap contained in existing boxes, and a
+        // cap reaching uncovered-by-existing-cells space
+        for extra in [
+            pc_box(3.0, 12.0, 65.0),
+            pc_box(6.0, 9.0, 45.0),
+            pc_box(12.0, 20.0, 90.0),
+        ] {
+            let mut bigger = set.clone();
+            bigger.push(extra);
+            let uncovered = bigger.uncovered_witness_with(bigger.domain(), false);
+            let derived = cs.derive_add(&bigger, false, uncovered, cs.uncovered().is_none());
+            let (fresh, fresh_stats) =
+                decompose(&bigger, bigger.domain(), Strategy::DfsRewrite).unwrap();
+            assert_eq!(shape(derived.cells()), shape(&fresh));
+            assert_genuine_witnesses(derived.cells(), &bigger);
+            assert!(
+                derived.stats().sat_checks < fresh_stats.sat_checks,
+                "incremental {} checks vs fresh {}",
+                derived.stats().sat_checks,
+                fresh_stats.sat_checks
+            );
+            assert!(derived.stats().incremental_splits > 0);
+        }
+    }
+
+    #[test]
+    fn derive_add_disjoint_box_shares_everything() {
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        let mut bigger = set.clone();
+        // box outside the domain: no cell is cut, no new-only cell exists
+        bigger.push(pc_box(25.0, 30.0, 10.0));
+        let derived = cs.derive_add(&bigger, false, None, cs.uncovered().is_none());
+        assert_eq!(derived.stats().sat_checks, 0);
+        assert_eq!(derived.stats().incremental_splits, 0);
+        assert_eq!(derived.cells().len(), cs.cells().len());
+    }
+
+    #[test]
+    fn derive_add_emits_the_new_only_cell_on_open_bases() {
+        // base not closed (x ∈ [20, 25) uncovered): an added constraint
+        // reaching the hole must produce the new-constraint-only cell —
+        // with the cached counterexample as a free witness when it lies
+        // in the new box
+        let mut set = overlapping_set();
+        let mut domain = set.domain().clone();
+        domain.set_interval(0, Interval::half_open(0.0, 25.0));
+        set.set_domain(domain);
+        let cs = cell_set(&set);
+        assert!(cs.uncovered().is_some(), "base must be open");
+        let mut bigger = set.clone();
+        bigger.push(pc_box(18.0, 24.0, 55.0));
+        let uncovered = bigger.uncovered_witness_with(bigger.domain(), false);
+        let derived = cs.derive_add(&bigger, false, uncovered, false);
+        let (fresh, _) = decompose(&bigger, bigger.domain(), Strategy::DfsRewrite).unwrap();
+        assert_eq!(shape(derived.cells()), shape(&fresh));
+        assert_genuine_witnesses(derived.cells(), &bigger);
+        let n = bigger.len() - 1;
+        assert!(
+            derived.cells().iter().any(|c| c.active.to_vec() == vec![n]),
+            "the new-only signature must appear"
+        );
+    }
+
+    #[test]
+    fn derive_retire_matches_fresh_without_sat() {
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        for removed in 0..set.len() {
+            let mut smaller = set.clone();
+            smaller.remove_constraint(removed);
+            let uncovered = smaller.uncovered_witness_with(smaller.domain(), false);
+            let derived = cs.derive_retire(&smaller, removed, uncovered);
+            assert_eq!(derived.stats().sat_checks, 0, "retire is SAT-free");
+            let (fresh, _) = decompose(&smaller, smaller.domain(), Strategy::DfsRewrite).unwrap();
+            assert_eq!(shape(derived.cells()), shape(&fresh), "removed {removed}");
+            assert_genuine_witnesses(derived.cells(), &smaller);
+        }
+    }
+
+    #[test]
+    fn derive_chain_survives_add_then_retire() {
+        // derive twice in a row (the epoch chain): add then retire the
+        // same constraint must land back on the original decomposition
+        let set = overlapping_set();
+        let cs = cell_set(&set);
+        let mut bigger = set.clone();
+        bigger.push(pc_box(3.0, 12.0, 65.0));
+        let added = cs.derive_add(
+            &bigger,
+            false,
+            bigger.uncovered_witness_with(bigger.domain(), false),
+            cs.uncovered().is_none(),
+        );
+        let back = added.derive_retire(
+            &set,
+            set.len(),
+            set.uncovered_witness_with(set.domain(), false),
+        );
+        assert_eq!(shape(back.cells()), shape(cs.cells()));
+        assert_genuine_witnesses(back.cells(), &set);
     }
 
     #[test]

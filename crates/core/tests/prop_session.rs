@@ -120,7 +120,7 @@ proptest! {
     ) {
         let set = build_set(pcs);
         let engine = BoundEngine::new(&set);
-        let session = Session::new(&set);
+        let session = Session::new(set.clone());
         for q in &qs {
             let fresh = engine.bound(q);
             let served = session.bound(q);
@@ -138,8 +138,8 @@ proptest! {
         qs in prop::collection::vec(arb_query(), 1..6),
     ) {
         let set = build_set(pcs);
-        let cached = Session::new(&set);
-        let uncached = Session::with_options(&set, SessionOptions {
+        let cached = Session::new(set.clone());
+        let uncached = Session::with_options(set, SessionOptions {
             cache_cells: false,
             ..SessionOptions::default()
         });
@@ -163,7 +163,7 @@ proptest! {
         threads in 1usize..5,
     ) {
         let set = build_set(pcs);
-        let session = Session::with_options(&set, SessionOptions {
+        let session = Session::with_options(set, SessionOptions {
             bound: BoundOptions { threads, ..BoundOptions::default() },
             ..SessionOptions::default()
         });

@@ -33,5 +33,5 @@ pub use milp::{
 };
 pub use simplex::{
     solve_lp, solve_lp_tableau, solve_lp_warm, BranchBound, CanonicalTableau, ChildSolve,
-    LpSolution, SolveStats, WarmStart,
+    LpSolution, SolveStats, WarmStart, ADAPT_MAX_DELTA,
 };

@@ -35,7 +35,13 @@
 //!    iteration cap, numerically degenerate re-optimization) falls back
 //!    to a fresh rebuild, and every
 //!    [`TABLEAU_REFRESH_DEPTH`] consecutive carries the node rebuilds
-//!    anyway, bounding floating-point drift down deep chains.
+//!    anyway, bounding floating-point drift down deep chains. Appended
+//!    branch rows are garbage-collected on the way down: a cut that
+//!    dominates an earlier cut on the same (variable, direction) retires
+//!    the superseded row at append time, so a deep descent carries
+//!    O(root m + variables) rows rather than one per level — and the
+//!    periodic refresh folds the survivors into the node's merged bounds
+//!    for free (the rebuild standardizes from bounds, not rows).
 //!
 //!    Requesting `tableau_carry` while disabling `warm_start` is a
 //!    contradiction — the carried tableau *is* the warm start's deeper

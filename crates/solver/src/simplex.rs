@@ -42,8 +42,22 @@
 //!     match the new program exactly re-optimizes the carried tableau
 //!     under the **new objective** with zero rebuild work — the shape of
 //!     an AVG binary search, where ~80 probes differ only in objective
-//!     coefficients. A structural mismatch degrades to the basis-restore
-//!     tier (crashing the prior's basis), and from there to cold.
+//!     coefficients. A prior whose rows differ by a *small delta* (up to
+//!     [`ADAPT_MAX_DELTA`] inserted and/or deleted ≤/≥ rows at one
+//!     position, bounds unchanged — the shape of a serving session's
+//!     constraint churn, where an epoch adds or retires one constraint)
+//!     is **adapted in place**: deleted rows leave through their slack
+//!     columns (`delete_row_of_slack`), new rows append exactly like
+//!     branch bounds, and one dual restore re-establishes feasibility. A
+//!     larger structural mismatch degrades to the basis-restore tier
+//!     (crashing the prior's basis), and from there to cold.
+//!
+//!   Branch-bound rows are garbage-collected as the descent deepens: a
+//!   non-redundant cut on a (variable, direction) pair strictly dominates
+//!   any earlier cut on the same pair (`x ≤ 2` after `x ≤ 3`), so
+//!   [`CanonicalTableau::solve_child`] retires the superseded row before
+//!   appending the new one — a deep chain branching the same variables
+//!   holds O(root m + variables) rows, not one row per level.
 //!
 //!   Carried solves count their work in [`SolveStats`] (`pivots`,
 //!   `rebuilt`), so the O(m) → O(1) claim is measured, not assumed.
@@ -67,6 +81,22 @@ const COL_HEADROOM: usize = 8;
 
 /// Column-capacity growth step once the headroom is exhausted.
 const COL_GROW: usize = 16;
+
+/// Ceiling on the number of inserted + deleted constraint rows a carried
+/// tableau absorbs in one adaptation ([`solve_lp_tableau`] with a prior
+/// whose rows differ); past it the prior demotes to its basis. One
+/// retired or added serving-session constraint is 1–2 rows (`≤ ku`, and
+/// `≥ kl` when a floor survives pushdown), so 4 covers a replace.
+pub const ADAPT_MAX_DELTA: usize = 4;
+
+/// Consecutive delta adaptations after which a prior demotes to its
+/// basis and rebuilds even though the delta would fit: every adaptation
+/// pivots a dead row out on an uncontrolled element and permanently
+/// blocks its column, so an endless serving churn chain would accumulate
+/// floating-point drift and dead tableau width without bound. The
+/// rebuild resets both — the adapt-path mirror of the branch & bound
+/// descent's `TABLEAU_REFRESH_DEPTH`.
+const ADAPT_REFRESH_LIMIT: u32 = 16;
 
 /// An optimal LP solution.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,16 +259,55 @@ pub struct CanonicalTableau {
     /// Structural snapshot for [`solve_lp_tableau`] reuse: the carried
     /// tableau is valid for a new program exactly when these match
     /// (bounds are updated by [`CanonicalTableau::solve_child`], whose
-    /// appended rows enforce the tightening).
+    /// appended rows enforce the tightening), and adaptable when the rows
+    /// differ by a small delta (see the module docs).
     constraints: Vec<Constraint>,
     bounds: Vec<(f64, f64)>,
+    /// Per snapshot constraint: the tableau column of its slack/surplus
+    /// (`usize::MAX` for Eq rows, which have none). A constraint's row is
+    /// identified across pivots by its slack *column*, not a row index —
+    /// row deletion (delta adaptation, branch-row GC) looks rows up by it.
+    con_slack: Vec<usize>,
+    /// Branch-bound rows appended by [`CanonicalTableau::solve_child`],
+    /// tracked so a later dominating cut on the same (variable,
+    /// direction) retires the row it supersedes.
+    branch_rows: Vec<BranchRow>,
+    /// Consecutive delta adaptations since the last rebuild; at
+    /// [`ADAPT_REFRESH_LIMIT`] the next delta demotes to a basis-crash
+    /// rebuild, bounding drift and dead-column growth on endless churn.
+    adapt_streak: u32,
     stats: SolveStats,
+}
+
+/// One appended branch-bound row of a carried descent: which original
+/// variable and direction it cuts, and the slack column that owns its
+/// tableau row (rows are found by slack column, never by position).
+#[derive(Debug, Clone, Copy)]
+struct BranchRow {
+    var: usize,
+    upper: bool,
+    slack: usize,
 }
 
 impl CanonicalTableau {
     /// Work counters of the solve that produced this tableau.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// Whether offering this tableau as a prior for `lp` can actually pay:
+    /// an exact structural match (re-price) or an in-ceiling row delta
+    /// with identical bounds (adapt, streak permitting). Chain caches use
+    /// this to decide whether to *take* a neighboring slot's tableau —
+    /// stealing an incompatible one would demote-and-discard it, evicting
+    /// another query shape's chain for nothing.
+    pub fn can_reuse(&self, lp: &LinearProgram) -> bool {
+        if !self.has_snapshot || self.bounds != lp.bounds {
+            return false;
+        }
+        self.constraints == lp.constraints
+            || (self.adapt_streak < ADAPT_REFRESH_LIMIT
+                && delta_plan(&self.constraints, &lp.constraints).is_some())
     }
 
     /// Export the optimal basis for the [`solve_lp_warm`] tier.
@@ -249,11 +318,71 @@ impl CanonicalTableau {
         }
     }
 
-    /// Whether a carried re-optimization of `lp` on this tableau is
-    /// valid: identical constraint rows and variable bounds (only the
-    /// objective may differ).
-    fn matches(&self, lp: &LinearProgram) -> bool {
-        self.has_snapshot && self.bounds == lp.bounds && self.constraints == lp.constraints
+    /// Translate an original-variable row `Σ terms · x ≤ rhs` (or the
+    /// negation of a ≥ row when `negate`) into standard-form columns
+    /// under this tableau's variable maps.
+    fn std_terms(
+        &self,
+        terms: &[(usize, f64)],
+        rhs: f64,
+        negate: bool,
+    ) -> (Vec<(usize, f64)>, f64) {
+        let sgn = if negate { -1.0 } else { 1.0 };
+        let mut out = Vec::with_capacity(terms.len() + 1);
+        let mut r = rhs * sgn;
+        for &(var, coef) in terms {
+            let coef = coef * sgn;
+            match self.maps[var] {
+                VarMap::Shifted { col, lo } => {
+                    out.push((col, coef));
+                    r -= coef * lo;
+                }
+                VarMap::Mirrored { col, hi } => {
+                    out.push((col, -coef));
+                    r -= coef * hi;
+                }
+                VarMap::Split { pos, neg } => {
+                    out.push((pos, coef));
+                    out.push((neg, -coef));
+                }
+            }
+        }
+        (out, r)
+    }
+
+    /// Mutate the carried tableau from its snapshot's rows to `lp`'s:
+    /// delete the `deleted` snapshot rows at `prefix` through their slack
+    /// columns, then append the `inserted` new rows (each entering on its
+    /// own basic slack). Dual restore and re-optimization are the
+    /// caller's job. `false` means a deletion hit a numerically unusable
+    /// pivot — the tableau is then untrustworthy and must be discarded.
+    fn apply_delta(
+        &mut self,
+        lp: &LinearProgram,
+        prefix: usize,
+        deleted: usize,
+        inserted: usize,
+    ) -> bool {
+        for k in (prefix..prefix + deleted).rev() {
+            let slack = self.con_slack[k];
+            debug_assert_ne!(slack, usize::MAX, "delta_plan rejects Eq rows");
+            if !self.tab.delete_row_of_slack(slack) {
+                return false;
+            }
+            self.con_slack.remove(k);
+        }
+        for k in 0..inserted {
+            let cons = &lp.constraints[prefix + k];
+            let negate = match cons.op {
+                ConstraintOp::Le => false,
+                ConstraintOp::Ge => true,
+                ConstraintOp::Eq => return false,
+            };
+            let (terms, rhs) = self.std_terms(&cons.terms, cons.rhs, negate);
+            let slack = self.tab.append_le_row(&terms, rhs);
+            self.con_slack.insert(prefix + k, slack);
+        }
+        true
     }
 
     /// Recover the original-variable solution from the tableau's basic
@@ -312,6 +441,26 @@ impl CanonicalTableau {
         let start = ct.tab.pivots;
         if !redundant {
             ct.bounds[var] = (new_lo, new_hi);
+            let upper = matches!(bound, BranchBound::Upper(_));
+            // Dominated-row GC: a non-redundant cut on the same (variable,
+            // direction) strictly tightens the earlier one (`x ≤ 2` after
+            // `x ≤ 3`), so the superseded row is implied by the new row —
+            // retire it before appending. A deep descent branching the
+            // same variables holds O(root m + variables) rows instead of
+            // one per level; at the periodic refresh the survivors fold
+            // into the node bounds for free (the rebuild standardizes from
+            // the merged bounds, not from rows).
+            if let Some(pos) = ct
+                .branch_rows
+                .iter()
+                .position(|b| b.var == var && b.upper == upper)
+            {
+                let dead = ct.branch_rows[pos].slack;
+                if !ct.tab.delete_row_of_slack(dead) {
+                    return ChildSolve::Stalled;
+                }
+                ct.branch_rows.remove(pos);
+            }
             // Translate the bound into standard-form coordinates. All
             // three shapes become a ≤-row with a fresh basic slack; the
             // rhs is *not* sign-normalized (a negative basic value is
@@ -336,7 +485,8 @@ impl CanonicalTableau {
                     ([(pos, -1.0), (neg, 1.0)], -l)
                 }
             };
-            ct.tab.append_le_row(&terms, rhs);
+            let slack = ct.tab.append_le_row(&terms, rhs);
+            ct.branch_rows.push(BranchRow { var, upper, slack });
             ct.cost.push(0.0);
             debug_assert_eq!(ct.cost.len(), ct.tab.total);
             match ct.tab.dual_restore(&ct.cost) {
@@ -572,10 +722,119 @@ impl StdForm {
     }
 }
 
+/// How a carried prior tableau was (or was not) usable for a new program.
+enum PriorOutcome {
+    /// The prior answered the program (exactly re-priced, or adapted by a
+    /// small row delta).
+    Solved(LpSolution, Box<CanonicalTableau>),
+    /// The prior's structure is too different — crash its basis instead.
+    Demote(WarmStart),
+    /// The prior was mutated mid-adaptation and can no longer vouch for
+    /// anything; rebuild cold with no warm candidate from it.
+    Discard,
+}
+
+/// Row delta between a carried snapshot and a new program: the longest
+/// common prefix and suffix bracket one block of `deleted` prior rows
+/// replaced by `inserted` new rows — the shape of a serving epoch's
+/// add/retire/replace. `None` when the delta exceeds [`ADAPT_MAX_DELTA`]
+/// or touches an Eq row (no slack column to delete by; an insert would
+/// need two rows).
+fn delta_plan(old: &[Constraint], new: &[Constraint]) -> Option<(usize, usize, usize)> {
+    let prefix = old.iter().zip(new).take_while(|(a, b)| a == b).count();
+    let max_suffix = old.len().min(new.len()) - prefix;
+    let suffix = (0..max_suffix)
+        .take_while(|&k| old[old.len() - 1 - k] == new[new.len() - 1 - k])
+        .count();
+    let deleted = old.len() - prefix - suffix;
+    let inserted = new.len() - prefix - suffix;
+    if deleted + inserted == 0 || deleted + inserted > ADAPT_MAX_DELTA {
+        return None;
+    }
+    let no_eq = |c: &Constraint| c.op != ConstraintOp::Eq;
+    if !old[prefix..prefix + deleted].iter().all(no_eq)
+        || !new[prefix..prefix + inserted].iter().all(no_eq)
+    {
+        return None;
+    }
+    Some((prefix, deleted, inserted))
+}
+
+/// Tier 3: answer `lp` on a carried prior. An exact structural match
+/// re-prices in place; a small row delta (same bounds) is absorbed by
+/// [`CanonicalTableau::apply_delta`] + dual restore. Every success is
+/// re-verified by phase-2 pricing, so a prior can cost work but never
+/// change a result.
+fn try_prior(mut ct: CanonicalTableau, lp: &LinearProgram) -> PriorOutcome {
+    if !ct.has_snapshot || ct.bounds != lp.bounds {
+        return PriorOutcome::Demote(ct.warm_start());
+    }
+    let exact = ct.constraints == lp.constraints;
+    let delta = if exact {
+        None
+    } else {
+        if ct.adapt_streak >= ADAPT_REFRESH_LIMIT {
+            // periodic refresh: rebuild from the basis instead of
+            // adapting forever (see ADAPT_REFRESH_LIMIT)
+            return PriorOutcome::Demote(ct.warm_start());
+        }
+        match delta_plan(&ct.constraints, &lp.constraints) {
+            Some(plan) => Some(plan),
+            None => return PriorOutcome::Demote(ct.warm_start()),
+        }
+    };
+    let start = ct.tab.pivots;
+    if let Some((prefix, deleted, inserted)) = delta {
+        if !ct.apply_delta(lp, prefix, deleted, inserted) {
+            return PriorOutcome::Discard;
+        }
+    }
+    let adapted = !exact;
+    let (c, obj_const, sign) = objective_under(&ct.maps, ct.ncols, lp);
+    let mut cost = vec![0.0; ct.tab.total];
+    cost[..ct.ncols].copy_from_slice(&c);
+    // On an exact match the basis is primal-feasible (the prior ended
+    // optimal on the same rows) and only the pricing changed; an adapted
+    // tableau first restores the feasibility its row churn may have
+    // broken. A restore that cannot finish — including an infeasibility
+    // certificate, which on a freshly mutated tableau we do not trust to
+    // decide the result — discards the prior and lets the cold oracle
+    // arbitrate.
+    if adapted && ct.tab.dual_restore(&cost) != DualOutcome::Feasible {
+        return PriorOutcome::Discard;
+    }
+    match ct.tab.optimize(&cost) {
+        Ok(value) => {
+            ct.cost = cost;
+            ct.obj_const = obj_const;
+            ct.sign = sign;
+            if adapted {
+                ct.constraints = lp.constraints.clone();
+                ct.adapt_streak += 1;
+            }
+            ct.stats = SolveStats {
+                pivots: ct.tab.pivots - start,
+                rebuilt: false,
+            };
+            let solution = ct.recover(value);
+            PriorOutcome::Solved(solution, Box::new(ct))
+        }
+        // A carried re-optimization that errors (iteration cap on a
+        // drifted tableau, or an apparent unbounded ray) must not decide
+        // the result — the prior only ever changes the work. Demote to
+        // the basis tier (or discard a mutated tableau, whose basis
+        // matches no fresh standardization) and let the rebuild
+        // arbitrate; a genuinely unbounded program re-derives its error
+        // cold.
+        Err(_) if adapted => PriorOutcome::Discard,
+        Err(_) => PriorOutcome::Demote(ct.warm_start()),
+    }
+}
+
 /// The shared solver core behind every public entry point. `prior` is a
-/// carried tableau (reused outright on a structural match, demoted to its
-/// basis otherwise); `basis` is an explicit crash candidate consulted
-/// when no matching prior exists.
+/// carried tableau (reused outright on a structural match, adapted on a
+/// small row delta, demoted to its basis otherwise); `basis` is an
+/// explicit crash candidate consulted when no matching prior exists.
 fn solve_core(
     lp: &LinearProgram,
     prior: Option<CanonicalTableau>,
@@ -584,38 +843,13 @@ fn solve_core(
 ) -> Result<(LpSolution, CanonicalTableau), SolverError> {
     lp.validate()?;
 
-    // --- Tier 3: carried tableau, new objective, zero rebuild. -----------
-    let (prior_ct, mut demoted) = match prior {
-        Some(ct) if ct.matches(lp) => (Some(ct), None),
-        Some(ct) => (None, Some(ct.warm_start())),
-        None => (None, None),
-    };
-    if let Some(mut ct) = prior_ct {
-        let (c, obj_const, sign) = objective_under(&ct.maps, ct.ncols, lp);
-        let mut cost = vec![0.0; ct.tab.total];
-        cost[..ct.ncols].copy_from_slice(&c);
-        let start = ct.tab.pivots;
-        // The basis is primal-feasible (the prior solve ended optimal on
-        // the same constraints), so phase 2 runs directly; only the
-        // pricing changed.
-        match ct.tab.optimize(&cost) {
-            Ok(value) => {
-                ct.cost = cost;
-                ct.obj_const = obj_const;
-                ct.sign = sign;
-                ct.stats = SolveStats {
-                    pivots: ct.tab.pivots - start,
-                    rebuilt: false,
-                };
-                let solution = ct.recover(value);
-                return Ok((solution, ct));
-            }
-            // A carried re-optimization that errors (iteration cap on a
-            // drifted tableau, or an apparent unbounded ray) must not
-            // decide the result — the prior only ever changes the work.
-            // Demote to the basis tier and let the rebuild arbitrate; a
-            // genuinely unbounded program re-derives its error cold.
-            Err(_) => demoted = Some(ct.warm_start()),
+    // --- Tier 3: carried tableau — re-price, or adapt a small row delta. -
+    let mut demoted: Option<WarmStart> = None;
+    if let Some(ct) = prior {
+        match try_prior(ct, lp) {
+            PriorOutcome::Solved(solution, ct) => return Ok((solution, *ct)),
+            PriorOutcome::Demote(w) => demoted = Some(w),
+            PriorOutcome::Discard => {}
         }
     }
     let warm = basis.or(demoted.as_ref());
@@ -721,13 +955,29 @@ fn solve_core(
     let value = tab.optimize(&cost)?;
 
     let pivots = tab.pivots;
-    let (constraints, bounds) = if keep_snapshot {
-        (lp.constraints.clone(), lp.bounds.clone())
+    let (constraints, bounds, con_slack) = if keep_snapshot {
+        // Slack columns are assigned one per non-Eq row in row order, and
+        // the constraint rows precede the bound rows (a build-time
+        // sign-flip swaps Le/Ge but never adds or removes the slack).
+        let mut slack_at = std_form.ncols;
+        let con_slack = lp
+            .constraints
+            .iter()
+            .map(|c| match c.op {
+                ConstraintOp::Eq => usize::MAX,
+                ConstraintOp::Le | ConstraintOp::Ge => {
+                    let s = slack_at;
+                    slack_at += 1;
+                    s
+                }
+            })
+            .collect();
+        (lp.constraints.clone(), lp.bounds.clone(), con_slack)
     } else {
         // The caller will only ever extract the basis (solve_lp /
         // solve_lp_warm / basis-tier node solves): skip the structural
         // clone those paths would immediately drop.
-        (Vec::new(), Vec::new())
+        (Vec::new(), Vec::new(), Vec::new())
     };
     let ct = CanonicalTableau {
         tab,
@@ -741,6 +991,9 @@ fn solve_core(
         has_snapshot: keep_snapshot,
         constraints,
         bounds,
+        con_slack,
+        branch_rows: Vec::new(),
+        adapt_streak: 0,
         stats: SolveStats {
             pivots,
             rebuilt: true,
@@ -903,8 +1156,9 @@ impl Tableau {
     /// canonical tableau is a unit vector, so subtracting
     /// `new_row[basis[r]] · row_r` per row zeroes them all without
     /// interaction). The rhs is left sign-as-is: a negative basic slack
-    /// is the dual restore's job.
-    fn append_le_row(&mut self, terms: &[(usize, f64)], rhs: f64) {
+    /// is the dual restore's job. Returns the new row's slack column (the
+    /// handle [`Tableau::delete_row_of_slack`] retires it by).
+    fn append_le_row(&mut self, terms: &[(usize, f64)], rhs: f64) -> usize {
         let slack = self.append_column();
         let last = self.m;
         self.a.extend(std::iter::repeat_n(0.0, self.stride));
@@ -932,6 +1186,47 @@ impl Tableau {
             // Exact zero on the eliminated basic column kills roundoff.
             self.a[base + bcol] = 0.0;
         }
+        slack
+    }
+
+    /// Remove the constraint row owned by slack/surplus column `s` from
+    /// the canonical tableau. The column `s` is (±) the `B⁻¹`-image of
+    /// that original row's unit vector, so once `s` is basic in some row,
+    /// every *other* tableau row carries zero weight of the original row
+    /// — dropping the basic row (and blocking the dead column) yields
+    /// exactly the canonical tableau of the system without it. A nonbasic
+    /// `s` is first pivoted in on its largest-magnitude entry; primal and
+    /// dual feasibility may break, which the caller's dual restore +
+    /// re-optimization repair. Returns `false` when no usable pivot
+    /// exists (degenerate numerics) — the tableau is then untrustworthy
+    /// and must be rebuilt.
+    fn delete_row_of_slack(&mut self, s: usize) -> bool {
+        let row = match (0..self.m).find(|&r| self.basis[r] == s) {
+            Some(r) => r,
+            None => {
+                let Some(r) = (0..self.m).max_by(|&a, &b| {
+                    self.at(a, s)
+                        .abs()
+                        .partial_cmp(&self.at(b, s).abs())
+                        .expect("no NaN in tableau")
+                }) else {
+                    return false;
+                };
+                if self.at(r, s).abs() <= TOL {
+                    return false;
+                }
+                self.pivot(r, s);
+                r
+            }
+        };
+        let start = row * self.stride;
+        self.a.drain(start..start + self.stride);
+        self.basis.remove(row);
+        self.m -= 1;
+        // The dead column is all-zero in the remaining rows (it was
+        // basic); block it so a deleted original row can never re-enter.
+        self.blocked.push(s);
+        true
     }
 
     /// Gauss-pivot on `(row, col)` and update the basis.
@@ -1488,16 +1783,188 @@ mod tests {
     #[test]
     fn mismatched_prior_demotes_to_basis_then_cold() {
         let lp = ge_lp();
+        // a different rhs on one row used to force a rebuild; it is now a
+        // one-row delta the adapt tier absorbs — still the oracle's result
         let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
-        // different rhs on one row: structural mismatch, must re-solve
-        // correctly (via the demoted basis crash or cold — either way the
-        // result is the oracle's)
         let mut other = lp.clone();
         other.constraints[1].rhs = 7.5;
         let want = solve_lp(&other).unwrap().objective;
         let (got, next) = solve_lp_tableau(&other, Some(ct), None).unwrap();
         assert!((got.objective - want).abs() < 1e-6);
-        assert!(next.stats().rebuilt, "mismatch must rebuild");
+        assert!(!next.stats().rebuilt, "a one-row rhs change now adapts");
+
+        // changed variable bounds remain a genuine mismatch: demote to
+        // the basis crash (or cold) and re-solve correctly
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut rebound = lp.clone();
+        rebound.set_bounds(2, 0.0, 2.0);
+        let want = solve_lp(&rebound).unwrap().objective;
+        let (got, next) = solve_lp_tableau(&rebound, Some(ct), None).unwrap();
+        assert!((got.objective - want).abs() < 1e-6);
+        assert!(next.stats().rebuilt, "a bounds mismatch must rebuild");
+    }
+
+    #[test]
+    fn prior_adapts_to_appended_row_without_rebuild() {
+        // One trailing Le row more — the serving epoch's add-constraint
+        // shape. The prior must absorb it (append + dual restore), match
+        // the cold oracle, and come back as a first-class prior.
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut grown = lp.clone();
+        grown.add_constraint(vec![(0, 1.0), (3, 1.0)], Le, 5.5);
+        let want = solve_lp(&grown).unwrap().objective;
+        let (got, next) = solve_lp_tableau(&grown, Some(ct), None).unwrap();
+        assert_close(got.objective, want);
+        assert!(!next.stats().rebuilt, "one appended row must adapt");
+
+        // the adapted tableau re-prices a follow-up objective exactly
+        let mut probe = grown.clone();
+        probe.objective = vec![1.0, 2.0, 3.0, 4.0];
+        let want2 = solve_lp(&probe).unwrap().objective;
+        let (got2, next2) = solve_lp_tableau(&probe, Some(next), None).unwrap();
+        assert_close(got2.objective, want2);
+        assert!(!next2.stats().rebuilt);
+    }
+
+    #[test]
+    fn prior_adapts_to_deleted_rows_without_rebuild() {
+        // Deleting a middle Le row and, separately, the Ge row (whose
+        // surplus column carries the −1 sign) — the retire-constraint
+        // shape. Both must adapt in place and match the cold oracle.
+        let lp = ge_lp();
+        for gone in [0usize, 2] {
+            let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+            let mut shrunk = lp.clone();
+            shrunk.constraints.remove(gone);
+            let want = solve_lp(&shrunk).unwrap().objective;
+            let (got, next) = solve_lp_tableau(&shrunk, Some(ct), None).unwrap();
+            assert_close(got.objective, want);
+            assert!(!next.stats().rebuilt, "deleting row {gone} must adapt");
+        }
+    }
+
+    #[test]
+    fn prior_adapts_to_replaced_row_without_rebuild() {
+        // delete + insert at one position — the replace_constraint shape
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut swapped = lp.clone();
+        swapped.constraints[1] = Constraint {
+            terms: vec![(0, 1.0), (1, 2.0), (3, 1.0)],
+            op: Le,
+            rhs: 7.0,
+        };
+        let want = solve_lp(&swapped).unwrap().objective;
+        let (got, next) = solve_lp_tableau(&swapped, Some(ct), None).unwrap();
+        assert_close(got.objective, want);
+        assert!(!next.stats().rebuilt, "a one-row swap must adapt");
+    }
+
+    #[test]
+    fn oversized_delta_demotes_to_rebuild() {
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut other = lp.clone();
+        for k in 0..(ADAPT_MAX_DELTA + 1) {
+            other.add_constraint(vec![(0, 1.0), (1, 1.0 + k as f64)], Le, 20.0 + k as f64);
+        }
+        let want = solve_lp(&other).unwrap().objective;
+        let (got, next) = solve_lp_tableau(&other, Some(ct), None).unwrap();
+        assert_close(got.objective, want);
+        assert!(next.stats().rebuilt, "a 5-row delta must rebuild");
+    }
+
+    #[test]
+    fn endless_churn_hits_the_adapt_refresh() {
+        // alternately appending and deleting one row keeps every step
+        // within the delta ceiling, but the streak limit must force a
+        // periodic rebuild so drift/dead columns cannot grow forever
+        let lp0 = ge_lp();
+        let (_, first) = solve_lp_tableau(&lp0, None, None).unwrap();
+        let mut ct = first;
+        let mut lp = lp0.clone();
+        let mut rebuilds = 0;
+        for step in 0..40 {
+            if step % 2 == 0 {
+                lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Le, 12.0 + step as f64);
+            } else {
+                lp.constraints.pop();
+            }
+            let want = solve_lp(&lp).unwrap().objective;
+            let (got, next) = solve_lp_tableau(&lp, Some(ct), None).unwrap();
+            assert_close(got.objective, want);
+            if next.stats().rebuilt {
+                rebuilds += 1;
+            }
+            ct = next;
+        }
+        assert!(
+            rebuilds >= 1,
+            "40 churn steps must cross ADAPT_REFRESH_LIMIT at least once"
+        );
+        assert!(
+            rebuilds <= 5,
+            "the refresh must stay periodic, not per-step ({rebuilds} rebuilds)"
+        );
+    }
+
+    #[test]
+    fn eq_row_delta_demotes_to_rebuild() {
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut other = lp.clone();
+        other.add_constraint(vec![(0, 1.0), (1, 1.0)], Eq, 2.5);
+        let want = solve_lp(&other).unwrap().objective;
+        let (got, next) = solve_lp_tableau(&other, Some(ct), None).unwrap();
+        assert_close(got.objective, want);
+        assert!(next.stats().rebuilt, "an Eq insert cannot adapt");
+    }
+
+    #[test]
+    fn adapted_infeasible_program_still_detected() {
+        // Appending a row that makes the program infeasible: the adapt
+        // path must not mask it (it discards the prior and lets the cold
+        // oracle decide).
+        let lp = ge_lp();
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let mut dead = lp.clone();
+        dead.add_constraint(vec![(0, 1.0), (1, 1.0), (2, 1.0)], Le, 1.0); // vs Ge 2.0
+        assert_eq!(solve_lp(&dead), Err(SolverError::Infeasible));
+        assert_eq!(
+            solve_lp_tableau(&dead, Some(ct), None).map(|(s, _)| s),
+            Err(SolverError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn branch_row_gc_keeps_row_count_flat() {
+        // Repeatedly tightening the same variable's upper bound must not
+        // grow the tableau: each new cut retires the row it dominates.
+        let mut lp = LinearProgram::maximize(vec![3.0, 2.0]);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Ge, 1.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 2.0)], Le, 20.0);
+        let (_, ct) = solve_lp_tableau(&lp, None, None).unwrap();
+        let root_rows = ct.tab.m;
+        let mut parent = Arc::new(ct);
+        let mut oracle = lp.clone();
+        for step in 0..6 {
+            let h = 8.0 - step as f64;
+            oracle.set_bounds(0, 0.0, h);
+            let want = solve_lp(&oracle).unwrap().objective;
+            match CanonicalTableau::solve_child(parent, 0, BranchBound::Upper(h)) {
+                ChildSolve::Solved { solution, tableau } => {
+                    assert_close(solution.objective, want);
+                    assert!(
+                        tableau.tab.m <= root_rows + 1,
+                        "step {step}: dominated rows must be retired, m = {}",
+                        tableau.tab.m
+                    );
+                    parent = Arc::new(tableau);
+                }
+                other => panic!("step {step}: {other:?}"),
+            }
+        }
     }
 
     #[test]

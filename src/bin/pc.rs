@@ -19,9 +19,25 @@
 //! * `--query` — a SQL aggregate query (see `pc_storage::sql`).
 //! * `--queries` — for `batch`: a file of SQL queries, one per line
 //!   (blank lines and `#` comments skipped; `-` reads stdin). The whole
-//!   batch is served through one `Session` — the constraint set is
+//!   stream is served through one `Session` — the constraint set is
 //!   decomposed once and every query specializes the cached cells, with
-//!   simplex warm starts chained across queries.
+//!   simplex warm starts chained across queries. Two **update
+//!   directives** may interleave with the queries and drive the
+//!   session's versioned catalog end-to-end:
+//!
+//!   ```text
+//!   + <constraint line in the pc_core::dsl notation>
+//!   - <constraint id, e.g. c2 (or just 2)>
+//!   ```
+//!
+//!   `+` admits a constraint (the assigned id and new epoch are
+//!   printed); `-` retires one. The constraints file seeds ids
+//!   `c0..cN-1` in file order. Each directive produces a new epoch whose
+//!   cell decomposition is *derived incrementally* from the previous one
+//!   (only cells the churned constraint's box cuts are re-checked);
+//!   queries between directives are batched against one pinned epoch.
+//!   Directives require the session cache and are rejected under
+//!   `--no-session-cache`.
 //! * `--combine` — add the certain partition's exact answer to the
 //!   missing-data range (SUM/COUNT only).
 //! * `--group-by COL` — bound the query once per distinct value of `COL`
@@ -49,7 +65,10 @@
 //!   branch & bound children, across AVG probes, and across a session's
 //!   queries). A/B knob for the O(1)-pivot carry; never changes results.
 
-use predicate_constraints::core::{dsl, BoundError, BoundOptions, PcSet, Session, SessionOptions};
+use predicate_constraints::core::{
+    dsl, BoundError, BoundOptions, ConstraintId, PcSet, PredicateConstraint, Session,
+    SessionOptions,
+};
 use predicate_constraints::predicate::{AttrType, Schema};
 use predicate_constraints::storage::{
     evaluate, parse_query, table_from_csv, AggKind, AggQuery, Table,
@@ -144,6 +163,7 @@ fn session_options(args: &Args) -> SessionOptions {
             ..BoundOptions::default()
         },
         cache_cells: !args.no_session_cache,
+        incremental: true,
     }
 }
 
@@ -263,43 +283,93 @@ fn main() -> ExitCode {
                     Err(e) => return fail(&format!("cannot read {path}: {e}")),
                 }
             };
-            let mut sqls: Vec<&str> = Vec::new();
-            let mut queries: Vec<AggQuery> = Vec::new();
+            // Parse the stream up front (queries and update directives),
+            // so a malformed line fails before any work runs.
+            enum Item {
+                Query(String, AggQuery),
+                Add(String, PredicateConstraint),
+                Retire(ConstraintId),
+            }
+            let mut items: Vec<Item> = Vec::new();
             for line in text.lines() {
                 let line = line.trim();
                 if line.is_empty() || line.starts_with('#') {
                     continue;
                 }
-                match parse_query(&table, line) {
-                    Ok(q) => {
-                        sqls.push(line);
-                        queries.push(q);
+                if let Some(rest) = line.strip_prefix("+ ") {
+                    match dsl::parse_constraint(&table, rest) {
+                        Ok(pc) => items.push(Item::Add(rest.to_string(), pc)),
+                        Err(e) => return fail(&format!("{line}: {e}")),
                     }
-                    Err(e) => return fail(&format!("{line}: {e}")),
+                } else if let Some(rest) = line.strip_prefix("- ") {
+                    match rest.trim().parse::<ConstraintId>() {
+                        Ok(id) => items.push(Item::Retire(id)),
+                        Err(e) => return fail(&format!("{line}: {e}")),
+                    }
+                } else {
+                    match parse_query(&table, line) {
+                        Ok(q) => items.push(Item::Query(line.to_string(), q)),
+                        Err(e) => return fail(&format!("{line}: {e}")),
+                    }
                 }
             }
-            if queries.is_empty() {
+            if items.is_empty() {
                 return fail("--queries: no queries found");
             }
+            let churning = items.iter().any(|i| !matches!(i, Item::Query(..)));
+            if churning && args.no_session_cache {
+                return fail(
+                    "update directives (+ / -) drive the session's incremental epochs \
+                     and need the cell cache; drop --no-session-cache",
+                );
+            }
             // One session serves the whole stream: decompose once,
-            // specialize per query, chain warm starts across queries.
-            let session = Session::with_options(&set, session_options(&args));
+            // specialize per query, delta-derive per directive, chain warm
+            // starts across queries and epochs. Consecutive queries are
+            // batched against one pinned epoch.
+            let session = Session::with_options(set, session_options(&args));
             let mut failed = false;
-            for (sql, report) in sqls.iter().zip(session.bound_many(&queries)) {
-                match report {
-                    Ok(r) => {
-                        let tag = if r.closed { "" } else { "  (not closed)" };
-                        println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
+            let mut pending: Vec<(String, AggQuery)> = Vec::new();
+            let flush = |pending: &mut Vec<(String, AggQuery)>, failed: &mut bool| {
+                if pending.is_empty() {
+                    return;
+                }
+                let queries: Vec<AggQuery> = pending.iter().map(|(_, q)| q.clone()).collect();
+                for ((sql, _), report) in pending.iter().zip(session.bound_many(&queries)) {
+                    match report {
+                        Ok(r) => {
+                            let tag = if r.closed { "" } else { "  (not closed)" };
+                            println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
+                        }
+                        Err(BoundError::EmptyAggregate) => {
+                            println!("{sql} -> empty (no missing row can match)");
+                        }
+                        Err(e) => {
+                            *failed = true;
+                            println!("{sql} -> error: {e}");
+                        }
                     }
-                    Err(BoundError::EmptyAggregate) => {
-                        println!("{sql} -> empty (no missing row can match)");
+                }
+                pending.clear();
+            };
+            for item in items {
+                match item {
+                    Item::Query(sql, q) => pending.push((sql, q)),
+                    Item::Add(text, pc) => {
+                        flush(&mut pending, &mut failed);
+                        let id = session.add_constraint(pc);
+                        println!("+ {text} -> {id} (epoch {})", session.epoch());
                     }
-                    Err(e) => {
-                        failed = true;
-                        println!("{sql} -> error: {e}");
+                    Item::Retire(id) => {
+                        flush(&mut pending, &mut failed);
+                        match session.retire_constraint(id) {
+                            Ok(()) => println!("- {id} retired (epoch {})", session.epoch()),
+                            Err(e) => return fail(&e.to_string()),
+                        }
                     }
                 }
             }
+            flush(&mut pending, &mut failed);
             if failed {
                 ExitCode::FAILURE
             } else {
@@ -332,7 +402,7 @@ fn main() -> ExitCode {
             // cache-less (per-query pushdown decomposition, as before the
             // session layer); `batch` is where the cache pays.
             let session = Session::with_options(
-                &set,
+                set,
                 SessionOptions {
                     cache_cells: false,
                     ..session_options(&args)

@@ -147,6 +147,101 @@ fn batch_command_streams_queries_through_one_session() {
 }
 
 #[test]
+fn batch_update_directives_drive_a_churning_session() {
+    let dir = std::env::temp_dir().join("pc-cli-test-batch-churn");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let queries = dir.join("churn.sql");
+    // serve, tighten the global cap (c2), serve, retire it, serve: the
+    // same COUNT query must see [0, 100] -> [0, 40] -> [0, 100]
+    std::fs::write(
+        &queries,
+        "SELECT COUNT(*)\n\
+         + TRUE => price BETWEEN 0 AND 149.99, (0, 40)\n\
+         - c1\n\
+         SELECT COUNT(*)\n\
+         - c2\n\
+         + TRUE => price BETWEEN 0 AND 149.99, (0, 100)\n\
+         SELECT COUNT(*)\n",
+    )
+    .unwrap();
+    let out = pc_bin()
+        .args([
+            "batch",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 7, "{stdout}");
+    assert!(lines[0].contains("[0, 100]"), "{stdout}");
+    assert!(
+        lines[1].starts_with("+ TRUE") && lines[1].contains("c2 (epoch 1)"),
+        "{stdout}"
+    );
+    assert!(lines[2].contains("c1 retired (epoch 2)"), "{stdout}");
+    assert!(lines[3].contains("[0, 40]"), "{stdout}");
+    assert!(lines[4].contains("c2 retired (epoch 3)"), "{stdout}");
+    assert!(lines[5].contains("c3 (epoch 4)"), "{stdout}");
+    assert!(lines[6].contains("[0, 100]"), "{stdout}");
+
+    // directives need the session cache: the combination is rejected
+    let out = pc_bin()
+        .args([
+            "batch",
+            "--no-session-cache",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "directives + --no-session-cache");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--no-session-cache"),
+        "error must name the flag"
+    );
+
+    // an unknown id fails loudly, not silently
+    let bad = dir.join("bad.sql");
+    std::fs::write(&bad, "- c9\nSELECT COUNT(*)\n").unwrap();
+    let out = pc_bin()
+        .args([
+            "batch",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--queries",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("c9"));
+}
+
+#[test]
 fn validate_flags_violations() {
     let dir = std::env::temp_dir().join("pc-cli-test-validate");
     std::fs::create_dir_all(&dir).unwrap();
