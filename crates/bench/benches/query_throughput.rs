@@ -31,11 +31,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pc_bench::emit_bench_json_line;
 use pc_core::{
-    BoundEngine, BoundOptions, FrequencyConstraint, LpWork, PcSet, PredicateConstraint, Session,
-    SessionOptions, ValueConstraint,
+    BoundEngine, BoundOptions, FrequencyConstraint, LpWork, PcSet, PredicateConstraint,
+    QueryBudget, Session, SessionOptions, ValueConstraint,
 };
 use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
 use pc_storage::{AggKind, AggQuery};
+use std::time::{Duration, Instant};
 
 /// The solver-work columns that ride next to criterion's timing rows.
 fn emit_work_profile(id: &str, w: &LpWork) {
@@ -450,5 +451,151 @@ fn bench_constraint_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_throughput, bench_constraint_churn);
+/// Latency percentile out of a sorted sample, in microseconds.
+fn percentile_us(sorted: &[Duration], pct: usize) -> u128 {
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted[idx].as_micros()
+}
+
+/// The deadline-stress scenario: the serving stream under per-query
+/// [`QueryBudget`]s — the robustness layer's "always answers by the
+/// deadline" promise, measured.
+///
+/// Two artifact families ride next to the timing rows:
+///
+/// * `deadline_stress/deadline_<t>` — the 24-query stream served under a
+///   per-query wall-clock deadline `t`, many rounds. Reports the
+///   **degraded hit-rate** (what fraction of answers had to fall back to
+///   a sound-but-wider range) and the latency percentiles. Every
+///   degraded answer is asserted to *contain* the exact range first —
+///   the stress never trades soundness.
+/// * `deadline_stress/cancel` — the same stream served on budgets that
+///   are **already cancelled** when the call starts: the measured
+///   latency is pure cancellation response (how fast the pipeline's
+///   cooperative checks notice and unwind through the degradation
+///   ladder), and its p99 is the "cancel latency" a serving tier would
+///   quote.
+fn bench_deadline_stress(c: &mut Criterion) {
+    let opts = BoundOptions::default();
+    let set = serving_set(14);
+    let queries = query_stream(24);
+    let session = Session::with_options(
+        set.clone(),
+        SessionOptions {
+            bound: opts,
+            ..SessionOptions::default()
+        },
+    );
+    // Exact oracle (and cache warm-up) outside any measured region.
+    let oracle: Vec<(f64, f64)> = queries
+        .iter()
+        .map(|q| {
+            let r = session.bound(q).expect("bounded workload").range;
+            (r.lo, r.hi)
+        })
+        .collect();
+
+    const ROUNDS: usize = 20;
+    for (label, timeout) in [
+        ("50us", Duration::from_micros(50)),
+        ("500us", Duration::from_micros(500)),
+        ("5ms", Duration::from_millis(5)),
+    ] {
+        let mut lat: Vec<Duration> = Vec::with_capacity(ROUNDS * queries.len());
+        let mut degraded = 0usize;
+        for _ in 0..ROUNDS {
+            for (q, &(lo, hi)) in queries.iter().zip(&oracle) {
+                let budget = QueryBudget::armed().with_timeout(timeout);
+                let t0 = Instant::now();
+                let r = session
+                    .bound_budgeted(q, &budget)
+                    .expect("a deadline degrades, never errors");
+                lat.push(t0.elapsed());
+                assert!(
+                    r.range.lo <= lo + 1e-6 && r.range.hi >= hi - 1e-6,
+                    "deadline {label}: degraded [{}, {}] must contain exact [{lo}, {hi}]",
+                    r.range.lo,
+                    r.range.hi
+                );
+                degraded += r.degraded as usize;
+            }
+        }
+        lat.sort();
+        emit_bench_json_line(&format!(
+            "{{\"id\": \"deadline_stress/deadline_{label}\", \"queries\": {}, \
+             \"degraded\": {degraded}, \"degraded_rate\": {:.4}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            lat.len(),
+            degraded as f64 / lat.len() as f64,
+            percentile_us(&lat, 50),
+            percentile_us(&lat, 99),
+            lat.last().unwrap().as_micros()
+        ));
+    }
+
+    // Cancellation response: the budget is tripped before the call, so
+    // the whole measured latency is "how long until the engine notices
+    // and answers degraded".
+    let mut lat: Vec<Duration> = Vec::with_capacity(ROUNDS * queries.len());
+    for _ in 0..ROUNDS {
+        for (q, &(lo, hi)) in queries.iter().zip(&oracle) {
+            let budget = QueryBudget::armed().with_sat_cap(u64::MAX);
+            budget.cancel_token().expect("armed budget").cancel();
+            let t0 = Instant::now();
+            let r = session
+                .bound_budgeted(q, &budget)
+                .expect("a cancel degrades, never errors");
+            lat.push(t0.elapsed());
+            assert!(r.degraded, "a cancelled query's answer must be marked");
+            assert!(r.range.lo <= lo + 1e-6 && r.range.hi >= hi - 1e-6);
+        }
+    }
+    lat.sort();
+    emit_bench_json_line(&format!(
+        "{{\"id\": \"deadline_stress/cancel\", \"queries\": {}, \
+         \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        lat.len(),
+        percentile_us(&lat, 50),
+        percentile_us(&lat, 99),
+        lat.last().unwrap().as_micros()
+    ));
+
+    // Timing rows: the budget layer's overhead on the un-tripped fast
+    // path (unlimited vs a deadline generous enough to never fire).
+    let mut group = c.benchmark_group("deadline_stress");
+    group.sample_size(10);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("unlimited", "14pc"),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    session.bound(q).expect("bounded workload");
+                }
+            })
+        },
+    );
+    group.bench_with_input(
+        criterion::BenchmarkId::new("deadline_1s", "14pc"),
+        &queries,
+        |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    let budget = QueryBudget::armed().with_timeout(Duration::from_secs(1));
+                    session
+                        .bound_budgeted(q, &budget)
+                        .expect("bounded workload");
+                }
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_throughput,
+    bench_constraint_churn,
+    bench_deadline_stress
+);
 criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Test-only fault injection (the `fault` cargo feature).
+//!
+//! Engine hot paths carry `fault::point("site")` calls compiled in only
+//! under the feature; tests [`arm`] a site with a [`Plan`] and the nth
+//! hit panics or stalls *inside* the engine — proving the recovery
+//! story (per-query isolation, warm-cache poison clearing, deadline
+//! trips against a stalled solver) against real unwinds rather than
+//! simulated errors.
+//!
+//! The registry is global, so tests that arm sites must serialize
+//! (`fault` tests in this workspace share a test-local mutex) and
+//! [`disarm_all`] in a drop guard to keep a panicking test from leaking
+//! its plan into the next.
+//!
+//! Armed sites count **hits across all threads**; `PanicAfter(n)` fires
+//! on the (n+1)th hit (0 = first). A fired plan disarms itself — one
+//! injected fault per arm.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed site does when its hit count is reached.
+#[derive(Debug, Clone, Copy)]
+pub enum Plan {
+    /// Panic (an `unwind`) on the nth hit (0-based).
+    PanicAfter(u64),
+    /// Sleep for the given duration on the nth hit (0-based) — models a
+    /// straggling solver call for deadline tests.
+    StallAfter(u64, Duration),
+}
+
+struct Armed {
+    plan: Plan,
+    hits: u64,
+}
+
+fn registry() -> &'static Mutex<HashMap<&'static str, Armed>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Armed>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Arm `site` with `plan`, replacing any previous plan (hit count
+/// resets).
+pub fn arm(site: &'static str, plan: Plan) {
+    registry()
+        .lock()
+        .unwrap()
+        .insert(site, Armed { plan, hits: 0 });
+}
+
+/// Disarm one site.
+pub fn disarm(site: &str) {
+    registry().lock().unwrap().remove(site);
+}
+
+/// Disarm every site (test teardown).
+pub fn disarm_all() {
+    registry().lock().unwrap().clear();
+}
+
+/// An injection site. No-op unless armed; see the module docs for the
+/// firing contract. Called by the engine, not by tests.
+pub fn point(site: &str) {
+    let fired = {
+        let mut reg = registry().lock().unwrap();
+        let Some(armed) = reg.get_mut(site) else {
+            return;
+        };
+        let hit = armed.hits;
+        armed.hits += 1;
+        let threshold = match armed.plan {
+            Plan::PanicAfter(n) | Plan::StallAfter(n, _) => n,
+        };
+        if hit < threshold {
+            return;
+        }
+        let plan = armed.plan;
+        reg.remove(site);
+        plan
+        // lock dropped before the panic/stall below
+    };
+    match fired {
+        Plan::PanicAfter(_) => panic!("injected fault: {site}"),
+        Plan::StallAfter(_, dur) => std::thread::sleep(dur),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_is_noop_and_panic_fires_once() {
+        point("fault::test-site"); // unarmed: no-op
+        arm("fault::test-site", Plan::PanicAfter(2));
+        point("fault::test-site");
+        point("fault::test-site");
+        let caught = std::panic::catch_unwind(|| point("fault::test-site"));
+        assert!(caught.is_err(), "third hit fires");
+        // fired plans disarm themselves
+        point("fault::test-site");
+        disarm_all();
+    }
+
+    #[test]
+    fn stall_sleeps_then_disarms() {
+        arm(
+            "fault::stall-site",
+            Plan::StallAfter(0, Duration::from_millis(20)),
+        );
+        let t0 = std::time::Instant::now();
+        point("fault::stall-site");
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        let t1 = std::time::Instant::now();
+        point("fault::stall-site");
+        assert!(t1.elapsed() < Duration::from_millis(20));
+        disarm_all();
+    }
+}

@@ -24,17 +24,19 @@
 //!   tightening the MILP exploits, and the source of `Infeasible` errors
 //!   when a frequency lower bound has nowhere to go).
 
-use crate::decompose::{decompose_with, Parallelism};
-use crate::{BoundError, Cell, DecomposeStats, PcSet, Strategy};
+use crate::decompose::{decompose_budgeted, Parallelism};
+use crate::{ActiveSet, BoundError, Cell, DecomposeStats, PcSet, Strategy};
+use pc_budget::QueryBudget;
 use pc_predicate::Region;
 use pc_solver::{
-    greedy, solve_lp_tableau, solve_milp_carried, CanonicalTableau, ConstraintOp, LinearProgram,
+    greedy, solve_lp_tableau, solve_milp_budgeted, CanonicalTableau, ConstraintOp, LinearProgram,
     MilpOptions, MilpProblem, SearchStats, Sense, WarmStart,
 };
 use pc_storage::{AggKind, AggQuery};
 use std::cell::Cell as StdCell;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Below this many constraints a decomposition never fans out across
 /// threads: the include/exclude tree is too small to be worth exposing to
@@ -208,6 +210,14 @@ pub struct BoundReport {
     /// LP/MILP work counters (pivots, carried vs rebuilt tableaux, branch
     /// & bound nodes) — the measured side of the warm-start tiers.
     pub solver: LpWork,
+    /// `true` when the query's [`QueryBudget`] tripped somewhere along the
+    /// pipeline and the engine degraded instead of erroring: the
+    /// decomposition stopped at frontier cells, a closure check was
+    /// skipped (assumed open), or a branch & bound search fell back to its
+    /// LP relaxation. The range is still a **sound** container of the
+    /// exact answer — only possibly looser than an unbudgeted run's.
+    /// Always `false` for unlimited-budget calls.
+    pub degraded: bool,
 }
 
 /// Simplex state kept across the LP solves of a chain, keyed by
@@ -230,8 +240,23 @@ type WarmKey = (Sense, bool, usize, usize);
 /// only demote-and-discard would destroy another query shape's chain for
 /// nothing, so incompatible neighbors (and basis entries, whose shape
 /// cannot fit a different row count anyway) stay put.
+/// Lock a warm-start cache, recovering from mutex poisoning. A panicked
+/// solve task can die between a cache `take` and the re-insert; whatever
+/// it left behind is suspect (a torn or half-repriced tableau would be
+/// *demoted* by the solver's reuse checks, but there is no reason to keep
+/// gambling on it), so recovery clears the slot map — the next solves
+/// rebuild their chains cold. Correctness is unaffected either way; this
+/// only removes the poisoned-mutex panic from every later query.
+pub(crate) fn lock_warm(cache: &WarmCache) -> MutexGuard<'_, HashMap<WarmKey, CachedWarm>> {
+    cache.lock().unwrap_or_else(|poisoned| {
+        let mut map = poisoned.into_inner();
+        map.clear();
+        map
+    })
+}
+
 fn take_cached(cache: &WarmCache, key: WarmKey, lp: &LinearProgram) -> Option<CachedWarm> {
-    let mut map = cache.lock().unwrap();
+    let mut map = lock_warm(cache);
     if let Some(hit) = map.remove(&key) {
         return Some(hit);
     }
@@ -303,30 +328,39 @@ impl WarmCaches {
 /// results in input order — the fan-out driver shared by the GROUP-BY
 /// paths and [`crate::Session::bound_many`]. No chunk barriers: a slow
 /// item delays only itself, and idle workers steal whatever remains.
-pub(crate) fn pooled_map<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<R>
+///
+/// **Panic isolation**: each task runs inside `catch_unwind`, so one
+/// poisoned item cannot take down its siblings or unwind through the
+/// pool. A panicked item's slot comes back as `None`; everything the
+/// dead task had *taken* from a warm cache is simply dropped (never
+/// re-inserted), so no torn solver state survives it.
+pub(crate) fn pooled_map_catch<T, R, F>(items: &[T], threads: usize, f: &F) -> Vec<Option<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .map(|item| catch_unwind(AssertUnwindSafe(|| f(item))).ok())
+            .collect();
     }
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     rayon::scope(|s| {
         for (slot, item) in slots.iter().zip(items) {
             s.spawn(move |_| {
-                *slot.lock().unwrap() = Some(f(item));
+                // Catch *before* touching the slot: the slot mutex is
+                // only ever locked around this store, so it cannot be
+                // poisoned by a task panic.
+                let result = catch_unwind(AssertUnwindSafe(|| f(item))).ok();
+                *slot.lock().unwrap() = result;
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("every pooled task ran to completion")
-        })
+        .map(|slot| slot.into_inner().unwrap())
         .collect()
 }
 
@@ -349,6 +383,14 @@ pub(crate) struct CellProblem {
     /// LP/MILP work counters accumulated while solving this problem
     /// (interior-mutable: the per-aggregate bounds take `&CellProblem`).
     work: StdCell<LpWork>,
+    /// The query's cooperative budget: charged per branch & bound node,
+    /// consulted between AVG binary-search probes.
+    budget: QueryBudget,
+    /// Whether any stage degraded under the budget (frontier cells in the
+    /// decomposition, a skipped closure check, or a budget-aborted MILP
+    /// falling back to its LP relaxation). Interior-mutable for the same
+    /// reason as `work`.
+    degraded: StdCell<bool>,
 }
 
 impl CellProblem {
@@ -392,6 +434,21 @@ impl<'a> BoundEngine<'a> {
 
     /// Compute the result range of `query` over the missing partition.
     pub fn bound(&self, query: &AggQuery) -> Result<BoundReport, BoundError> {
+        self.bound_budgeted(query, &QueryBudget::unlimited())
+    }
+
+    /// [`BoundEngine::bound`] under a [`QueryBudget`]: a deadline, SAT or
+    /// node cap, or explicit cancel interrupts the pipeline at its next
+    /// cooperative check (per decomposition split, per branch & bound
+    /// node, per AVG probe) and the call **degrades instead of erroring**
+    /// — the report's range still contains the exact answer, with
+    /// [`BoundReport::degraded`] set. See the [`crate::budget`] module
+    /// docs for the exact check sites and soundness argument.
+    pub fn bound_budgeted(
+        &self,
+        query: &AggQuery,
+        budget: &QueryBudget,
+    ) -> Result<BoundReport, BoundError> {
         // One bounding call can solve many structurally identical LPs (the
         // AVG binary search runs ~80 feasibility probes); give it its own
         // warm-start chain.
@@ -400,18 +457,19 @@ impl<'a> BoundEngine<'a> {
         } else {
             None
         };
-        self.bound_with_warm(query, warm)
+        self.bound_with_warm(query, warm, budget)
     }
 
-    /// [`BoundEngine::bound`] with an externally owned warm-start chain —
-    /// how a [`crate::Session`] threads one cache through many queries
-    /// instead of each call starting cold.
+    /// [`BoundEngine::bound_budgeted`] with an externally owned warm-start
+    /// chain — how a [`crate::Session`] threads one cache through many
+    /// queries instead of each call starting cold.
     pub(crate) fn bound_with_warm(
         &self,
         query: &AggQuery,
         warm: Option<WarmCache>,
+        budget: &QueryBudget,
     ) -> Result<BoundReport, BoundError> {
-        let problem = self.build_problem(query, warm)?;
+        let problem = self.build_problem(query, warm, budget)?;
         self.bound_problem(query.agg, &problem)
     }
 
@@ -466,21 +524,26 @@ impl<'a> BoundEngine<'a> {
         }
     }
 
-    /// Satisfiable cells inside `base`: the disjoint fast path or a (possibly
-    /// parallel) decomposition. Shared by [`BoundEngine::bound`] and the
-    /// shared-decomposition GROUP-BY.
-    pub(crate) fn cells_for_base(
+    /// Satisfiable cells inside `base`: the disjoint fast path or a
+    /// (possibly parallel) decomposition, shared by
+    /// [`BoundEngine::bound`] and the shared-decomposition GROUP-BY. A
+    /// budget trip leaves the unexplored subtrees as frontier cells
+    /// ([`DecomposeStats::frontier_cells`]). The disjoint fast path does
+    /// no search and never trips.
+    pub(crate) fn cells_for_base_budgeted(
         &self,
         base: &Region,
+        budget: &QueryBudget,
     ) -> Result<(Vec<Cell>, DecomposeStats), BoundError> {
         if self.set.disjoint_hint() {
             Ok(self.disjoint_cells(base))
         } else {
-            decompose_with(
+            decompose_budgeted(
                 self.set,
                 base,
                 self.options.strategy,
                 self.decompose_policy(self.set.len()),
+                budget,
             )
             .map_err(BoundError::from)
         }
@@ -490,26 +553,41 @@ impl<'a> BoundEngine<'a> {
         &self,
         query: &AggQuery,
         warm: Option<WarmCache>,
+        budget: &QueryBudget,
     ) -> Result<CellProblem, BoundError> {
         let schema = self.set.schema();
         // Optimization 1: push the query predicate into decomposition.
         let mut base = query.predicate.to_region(schema);
         base.intersect(self.set.domain());
 
-        let closed = if self.options.check_closure {
-            self.set.is_closed_within_with(&base, self.par_witness())
-        } else {
+        // A tripped budget skips the closure probe and assumes *open* —
+        // the sound direction (affected range ends widen to ±∞).
+        let mut skipped_closure = false;
+        let closed = if !self.options.check_closure {
             true
+        } else if !budget.proceed() {
+            skipped_closure = true;
+            false
+        } else {
+            self.set.is_closed_within_with(&base, self.par_witness())
         };
 
-        let (cells, stats) = self.cells_for_base(&base)?;
-        self.problem_from_cells(query.attr, &base, cells, stats, closed, warm)
+        let (cells, stats) = self.cells_for_base_budgeted(&base, budget)?;
+        let problem =
+            self.problem_from_cells_budgeted(query.attr, &base, cells, stats, closed, warm, budget);
+        if skipped_closure {
+            if let Ok(p) = &problem {
+                p.degraded.set(true);
+            }
+        }
+        problem
     }
 
     /// Assemble the allocation problem from an explicit cell list (either
     /// freshly decomposed or specialized from a shared GROUP-BY
     /// decomposition). `base` is the effective query region the cells live
     /// in — it decides which frequency lower bounds survive pushdown.
+    #[cfg(test)]
     pub(crate) fn problem_from_cells(
         &self,
         attr: usize,
@@ -519,11 +597,41 @@ impl<'a> BoundEngine<'a> {
         closed: bool,
         warm: Option<WarmCache>,
     ) -> Result<CellProblem, BoundError> {
+        self.problem_from_cells_budgeted(
+            attr,
+            base,
+            cells,
+            stats,
+            closed,
+            warm,
+            &QueryBudget::unlimited(),
+        )
+    }
+
+    /// `problem_from_cells` carrying the query's budget. Frontier cells
+    /// (budget-tripped decompositions) get conservative treatment — see
+    /// the inline comments for the soundness argument of each rule.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn problem_from_cells_budgeted(
+        &self,
+        attr: usize,
+        base: &Region,
+        cells: Vec<Cell>,
+        stats: DecomposeStats,
+        closed: bool,
+        warm: Option<WarmCache>,
+        budget: &QueryBudget,
+    ) -> Result<CellProblem, BoundError> {
         let schema = self.set.schema();
         let mut u = Vec::with_capacity(cells.len());
         let mut l = Vec::with_capacity(cells.len());
         let mut cap = Vec::with_capacity(cells.len());
         for cell in &cells {
+            // Only *active* constraints narrow a cell's value interval and
+            // cap — an undecided (frontier) constraint may be violated by
+            // the cell's rows, so using its value ranges or `ku` as a
+            // per-row restriction would be unsound. Skipping them only
+            // loosens u/l/cap.
             let mut hi = cell.region.interval(attr).sup();
             let mut lo = cell.region.interval(attr).inf();
             let mut k = f64::INFINITY;
@@ -542,6 +650,23 @@ impl<'a> BoundEngine<'a> {
                     }
                 }
             }
+            if cell.active.is_empty() && cell.is_frontier() {
+                // Active-empty frontier cell: every row of it satisfies at
+                // least one undecided constraint (rows covered by *no*
+                // predicate belong to the closure question, not a cell),
+                // and constraint `j` admits at most `ku_j` rows anywhere —
+                // so Σ ku over the geometrically reachable undecided
+                // constraints caps the cell. Unreachable ones contribute
+                // nothing (cap 0 when none overlap: the cell is empty).
+                k = cell
+                    .undecided
+                    .iter()
+                    .filter(|&j| {
+                        crate::specialize::overlaps_region(&self.set.constraints()[j], &cell.region)
+                    })
+                    .map(|j| self.set.constraints()[j].frequency.hi as f64)
+                    .sum();
+            }
             if hi < lo {
                 feasible = false;
             }
@@ -553,6 +678,14 @@ impl<'a> BoundEngine<'a> {
         // Per-constraint frequency rows with pushdown-safe lower bounds.
         let mut pc_rows = Vec::with_capacity(self.set.len());
         for (j, pc) in self.set.constraints().iter().enumerate() {
+            // Frontier membership is conservative: a cell belongs to row
+            // `j` only when `j` is *active* in it. Rows hiding in a
+            // frontier cell that would satisfy `j` are then missing from
+            // the `≤ ku` row — which only relaxes it (sound) — but they
+            // could also be the rows meant to satisfy a `≥ kl`, so any
+            // constraint undecided somewhere must have its lower bound
+            // relaxed to 0 or the LP could overstate the minimum.
+            let undecided_somewhere = cells.iter().any(|c| c.undecided.contains(j));
             let members: Vec<usize> = cells
                 .iter()
                 .enumerate()
@@ -561,7 +694,7 @@ impl<'a> BoundEngine<'a> {
             let mut allowed = pc.allowed_region(schema);
             allowed.intersect(self.set.domain());
             let fully_inside = base.contains_region(&allowed);
-            let kl_eff = if fully_inside {
+            let kl_eff = if fully_inside && !undecided_somewhere {
                 pc.frequency.lo as f64
             } else {
                 0.0
@@ -576,6 +709,7 @@ impl<'a> BoundEngine<'a> {
         }
 
         Ok(CellProblem {
+            degraded: StdCell::new(stats.frontier_cells > 0 || budget.is_tripped()),
             cells,
             u,
             l,
@@ -585,6 +719,7 @@ impl<'a> BoundEngine<'a> {
             stats,
             warm,
             work: StdCell::new(LpWork::default()),
+            budget: budget.clone(),
         })
     }
 
@@ -604,6 +739,7 @@ impl<'a> BoundEngine<'a> {
                 region: Arc::new(region),
                 active: [j].into_iter().collect(),
                 witness,
+                undecided: ActiveSet::new(),
             });
         }
         let stats = DecomposeStats {
@@ -637,7 +773,10 @@ impl<'a> BoundEngine<'a> {
         // problem is separable per variable. The AVG probe's extra
         // `Σ xᵢ ≥ 1` coupling row stays greedy too: if the separable
         // optimum allocates nothing, force one row into the best cell.
-        let diagonal = p.cells.iter().all(|c| c.active.len() == 1)
+        let diagonal = p
+            .cells
+            .iter()
+            .all(|c| c.active.len() == 1 && c.undecided.is_empty())
             && p.pc_rows.iter().all(|(_, _, m)| m.len() <= 1);
         if diagonal {
             let mut freq = Vec::with_capacity(p.cells.len());
@@ -701,6 +840,7 @@ impl<'a> BoundEngine<'a> {
             Sense::Maximize => LinearProgram::maximize(live_coef),
             Sense::Minimize => LinearProgram::minimize(live_coef),
         };
+        let mut in_row = vec![false; live.len()];
         for (kl, ku, members) in &p.pc_rows {
             let terms: Vec<(usize, f64)> = members
                 .iter()
@@ -710,9 +850,20 @@ impl<'a> BoundEngine<'a> {
             if terms.is_empty() {
                 continue;
             }
+            for &(v, _) in &terms {
+                in_row[v] = true;
+            }
             lp.add_constraint(terms.clone(), ConstraintOp::Le, *ku);
             if *kl > 0.0 {
                 lp.add_constraint(terms, ConstraintOp::Ge, *kl);
+            }
+        }
+        // An active-empty frontier cell sits in no `≤ ku` row (membership
+        // needs an *active* constraint), so its variable must carry its
+        // cap as an explicit bound or the program is unbounded.
+        for (v, &i) in live.iter().enumerate() {
+            if !in_row[v] {
+                lp.set_bounds(v, 0.0, p.cap[i]);
             }
         }
         if extra_min_total {
@@ -742,14 +893,16 @@ impl<'a> BoundEngine<'a> {
             // (carry-on chains always store tableaux); drop defensively
             Some(CachedWarm::Basis(_)) | None => None,
         });
-        match solve_milp_carried(&MilpProblem::all_integer(lp.clone()), milp_options, prior) {
+        match solve_milp_budgeted(
+            &MilpProblem::all_integer(lp.clone()),
+            milp_options,
+            prior,
+            &p.budget,
+        ) {
             Ok((sol, root)) => {
                 p.record_search(sol.nodes, sol.search);
                 if let (Some(cache), Some(root)) = (chain, root) {
-                    cache
-                        .lock()
-                        .unwrap()
-                        .insert(key, CachedWarm::Tableau(Box::new(root)));
+                    lock_warm(cache).insert(key, CachedWarm::Tableau(Box::new(root)));
                 }
                 Ok(sol.objective)
             }
@@ -757,6 +910,13 @@ impl<'a> BoundEngine<'a> {
             // *bounding* call: the LP relaxation dominates the integer
             // optimum in the optimization direction, so it is still sound.
             Err(pc_solver::SolverError::LimitExceeded(_)) => {
+                Ok(self.solve_lp_maybe_warm(p, &lp, sense, extra_min_total)?)
+            }
+            // Budget trip mid-search: same LP-relaxation degradation, but
+            // *reported* — the caller promised an answer by the deadline
+            // and gets the sound, wider one.
+            Err(pc_solver::SolverError::BudgetExhausted(_)) => {
+                p.degraded.set(true);
                 Ok(self.solve_lp_maybe_warm(p, &lp, sense, extra_min_total)?)
             }
             Err(e) => Err(e.into()),
@@ -833,7 +993,7 @@ impl<'a> BoundEngine<'a> {
         } else {
             CachedWarm::Basis(ct.warm_start())
         };
-        cache.lock().unwrap().insert(key, entry);
+        lock_warm(cache).insert(key, entry);
         Ok(sol.objective)
     }
 
@@ -1068,6 +1228,13 @@ impl<'a> BoundEngine<'a> {
             if (bad - good).abs() <= tol {
                 break;
             }
+            // Out of budget: stop refining the bracket. `bad` always
+            // over-covers the optimum, so an early return is just a wider
+            // (still sound) endpoint.
+            if p.budget.is_tripped() {
+                p.degraded.set(true);
+                break;
+            }
             let r = good + (bad - good) / 2.0;
             if feasible(r)? {
                 good = r;
@@ -1086,6 +1253,7 @@ fn report(lo: f64, hi: f64, p: &CellProblem) -> BoundReport {
         closed: p.closed,
         stats: p.stats,
         solver: p.work.get(),
+        degraded: p.degraded.get(),
     }
 }
 
@@ -1460,5 +1628,94 @@ mod tests {
         // 40 on Nov-11 would violate t1's lower bound — outside the range
         // is not required, but 130 total violates t2 and must be outside
         assert!(!r.contains(130.0));
+    }
+
+    // ------------------------------------------------------------------
+    // Budgets and graceful degradation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn unlimited_budget_never_reports_degraded() {
+        let set = overlapping_set();
+        let engine = BoundEngine::new(&set);
+        for q in [sum_query(), AggQuery::count(Predicate::always())] {
+            let r = engine.bound(&q).unwrap();
+            assert!(!r.degraded, "{q:?} must not degrade without a budget");
+        }
+    }
+
+    /// For every SAT-check cap from 0 up to the exact run's own usage, a
+    /// budgeted bound must contain the exact range and must flag itself
+    /// degraded whenever the budget actually tripped.
+    #[test]
+    fn sat_cap_degradation_is_sound_at_every_cap() {
+        let set = overlapping_set();
+        let engine = BoundEngine::new(&set);
+        for agg in [AggKind::Sum, AggKind::Count, AggKind::Max, AggKind::Min] {
+            let q = AggQuery::new(agg, 1, Predicate::always());
+            let exact = engine.bound(&q).unwrap();
+            let full_checks = exact.stats.sat_checks.max(1);
+            for cap in 0..=full_checks {
+                let budget = QueryBudget::armed().with_sat_cap(cap);
+                let r = engine.bound_budgeted(&q, &budget).unwrap();
+                assert!(
+                    r.range.lo <= exact.range.lo + 1e-9 && r.range.hi >= exact.range.hi - 1e-9,
+                    "{agg:?} cap {cap}: degraded [{}, {}] must contain exact [{}, {}]",
+                    r.range.lo,
+                    r.range.hi,
+                    exact.range.lo,
+                    exact.range.hi
+                );
+                assert_eq!(
+                    r.degraded,
+                    budget.is_tripped(),
+                    "{agg:?} cap {cap}: degraded flag must track the trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_cap_falls_back_to_lp_relaxation() {
+        let set = overlapping_set();
+        let engine = BoundEngine::new(&set);
+        let q = AggQuery::count(Predicate::always());
+        let exact = engine.bound(&q).unwrap();
+        // Zero B&B nodes: every allocation MILP trips immediately and the
+        // engine answers from the LP relaxation instead.
+        let budget = QueryBudget::armed().with_node_cap(0);
+        let r = engine.bound_budgeted(&q, &budget).unwrap();
+        assert!(r.degraded, "node-cap trip must be reported");
+        assert!(r.range.lo <= exact.range.lo && r.range.hi >= exact.range.hi);
+        assert!(r.range.lo.is_finite() && r.range.hi.is_finite());
+    }
+
+    #[test]
+    fn cancelled_query_still_answers_soundly() {
+        let set = overlapping_set();
+        let engine = BoundEngine::new(&set);
+        let q = sum_query();
+        let exact = engine.bound(&q).unwrap();
+        let budget = QueryBudget::armed().with_sat_cap(u64::MAX);
+        budget.cancel_token().unwrap().cancel();
+        let r = engine.bound_budgeted(&q, &budget).unwrap();
+        assert!(r.degraded);
+        assert_eq!(budget.trip_reason(), Some(pc_budget::TripReason::Cancelled));
+        assert!(r.range.lo <= exact.range.lo && r.range.hi >= exact.range.hi);
+    }
+
+    /// An unclosed closure check skipped under a tripped budget must
+    /// answer "not closed" (hi = ∞ for COUNT), never "closed".
+    #[test]
+    fn skipped_closure_check_assumes_open() {
+        let mut set = disjoint_set();
+        set.set_domain(Region::full(&schema()));
+        let engine = BoundEngine::new(&set);
+        let q = AggQuery::count(Predicate::always());
+        let budget = QueryBudget::armed().with_sat_cap(0);
+        let r = engine.bound_budgeted(&q, &budget).unwrap();
+        assert!(r.degraded);
+        assert!(!r.closed);
+        assert_eq!(r.range.hi, f64::INFINITY);
     }
 }

@@ -139,12 +139,28 @@ pub struct Cell {
     /// early stopping (Optimization 4) — possible false positives that
     /// only ever widen bounds.
     pub witness: Option<Vec<f64>>,
+    /// Constraints whose include/exclude decision was *never made* for
+    /// this cell. Empty for every cell of a completed decomposition. A
+    /// budget-tripped decomposition emits its cut-off subtrees as
+    /// *frontier cells*: rows matching such a cell satisfy everything in
+    /// `active`, nothing the prefix excluded, and **any subset** of
+    /// `undecided`. The bounding engine treats membership in an undecided
+    /// constraint conservatively (counts toward no `≥ kl`, capped by no
+    /// single `≤ ku`), so the bound stays sound and only gets looser —
+    /// the same argument as early stopping's unverified admission.
+    pub undecided: ActiveSet,
 }
 
 impl Cell {
     /// True if constraint `pc` is active in this cell.
     pub fn is_active(&self, pc: usize) -> bool {
         self.active.contains(pc)
+    }
+
+    /// True if this is a frontier cell of an interrupted decomposition
+    /// (some constraints never got an include/exclude decision).
+    pub fn is_frontier(&self) -> bool {
+        !self.undecided.is_empty()
     }
 }
 
@@ -160,10 +176,12 @@ mod tests {
             region: Arc::new(Region::full(&schema)),
             active: [0usize, 2].into_iter().collect(),
             witness: None,
+            undecided: ActiveSet::new(),
         };
         assert!(cell.is_active(0));
         assert!(!cell.is_active(1));
         assert!(cell.is_active(2));
+        assert!(!cell.is_frontier());
     }
 
     #[test]

@@ -55,6 +55,8 @@
 //! vectors.
 
 use crate::{ActiveSet, Cell, PcSet};
+use pc_budget::QueryBudget;
+use pc_predicate::sat::SatOutcome;
 use pc_predicate::{sat, Predicate, Region};
 use std::fmt;
 use std::sync::Arc;
@@ -137,6 +139,12 @@ pub struct DecomposeStats {
     /// box are shared untouched and not counted; a full decomposition
     /// reports 0.
     pub incremental_splits: u64,
+    /// Frontier cells emitted because the [`QueryBudget`] tripped before
+    /// the subtree below them was explored ([`Cell::undecided`]
+    /// non-empty). `0` means the decomposition ran to completion; any
+    /// other value marks the cell set as *degraded* — sound, but with
+    /// bounds possibly looser than the exact decomposition's.
+    pub frontier_cells: u64,
 }
 
 impl DecomposeStats {
@@ -150,6 +158,7 @@ impl DecomposeStats {
         self.parallel_subtrees += other.parallel_subtrees;
         self.splice_memo_hits += other.splice_memo_hits;
         self.incremental_splits += other.incremental_splits;
+        self.frontier_cells += other.frontier_cells;
     }
 }
 
@@ -243,6 +252,30 @@ pub fn decompose_with(
     strategy: Strategy,
     par: Parallelism,
 ) -> Result<(Vec<Cell>, DecomposeStats), DecomposeError> {
+    decompose_budgeted(set, base, strategy, par, &QueryBudget::unlimited())
+}
+
+/// Decompose under a [`QueryBudget`]: the cooperative-cancellation entry
+/// point. The budget is checked at every DFS node (so a deadline or
+/// cancel returns within one include/exclude split) and each
+/// satisfiability probe charges one unit against the SAT-check cap.
+///
+/// When the budget trips the search does **not** discard partial work or
+/// return an error: every subtree it never descended into is emitted as a
+/// single *frontier cell* — region and `active` from the node's prefix,
+/// [`Cell::undecided`] listing the constraints `[idx..n)` that were never
+/// split on. The result is a sound over-approximation of the exact cell
+/// set (rows of a frontier cell may belong to any subset of its undecided
+/// constraints; the bounding engine accounts for that conservatively), so
+/// budget-tripped bounds still contain the exact answer — they are just
+/// looser. [`DecomposeStats::frontier_cells`] > 0 flags the degradation.
+pub fn decompose_budgeted(
+    set: &PcSet,
+    base: &Region,
+    strategy: Strategy,
+    par: Parallelism,
+    budget: &QueryBudget,
+) -> Result<(Vec<Cell>, DecomposeStats), DecomposeError> {
     let mut stats = DecomposeStats::default();
     let mut cells = Vec::new();
     let n = set.len();
@@ -258,6 +291,21 @@ pub fn decompose_with(
                 });
             }
             for mask in 0u64..(1 << n) {
+                if !budget.proceed() {
+                    // Naive has no prefix structure to cut at: cover every
+                    // unenumerated mask with one all-undecided frontier
+                    // cell over the whole base. Overlap with the cells
+                    // already emitted only loosens the bound.
+                    push_frontier(
+                        Arc::new(base.clone()),
+                        ActiveSet::new(),
+                        0,
+                        n,
+                        &mut cells,
+                        &mut stats,
+                    );
+                    break;
+                }
                 let mut region = base.clone();
                 let mut active = ActiveSet::new();
                 let mut negs: Vec<&Predicate> = Vec::new();
@@ -271,14 +319,29 @@ pub fn decompose_with(
                         negs.push(&pc.predicate);
                     }
                 }
-                stats.sat_checks += 1;
-                if let Some(witness) = sat::find_witness(&region, &negs) {
-                    if !active.is_empty() {
-                        cells.push(Cell {
-                            region: Arc::new(region),
-                            active,
-                            witness: Some(witness),
-                        });
+                match sat::find_witness_budgeted(&region, &negs, false, budget) {
+                    SatOutcome::Sat(witness) => {
+                        stats.sat_checks += 1;
+                        if !active.is_empty() {
+                            cells.push(Cell {
+                                region: Arc::new(region),
+                                active,
+                                witness: Some(witness),
+                                undecided: ActiveSet::new(),
+                            });
+                        }
+                    }
+                    SatOutcome::Unsat => stats.sat_checks += 1,
+                    SatOutcome::Tripped => {
+                        push_frontier(
+                            Arc::new(base.clone()),
+                            ActiveSet::new(),
+                            0,
+                            n,
+                            &mut cells,
+                            &mut stats,
+                        );
+                        break;
                     }
                 }
             }
@@ -302,6 +365,7 @@ pub fn decompose_with(
                     // (sat::find_witness_with) — the checks stay inline
                     // below the solver's own width cutoff.
                     par_witness: fork_levels > 0,
+                    budget,
                 },
                 Arc::new(base.clone()),
                 Vec::new(),
@@ -316,6 +380,30 @@ pub fn decompose_with(
     Ok((cells, stats))
 }
 
+/// Emit the frontier cell covering the unexplored subtree rooted at the
+/// node `(region, active, idx)`: all of `[idx..n)` stays undecided.
+fn push_frontier(
+    region: Arc<Region>,
+    active: ActiveSet,
+    idx: usize,
+    n: usize,
+    cells: &mut Vec<Cell>,
+    stats: &mut DecomposeStats,
+) {
+    let undecided: ActiveSet = (idx..n).collect();
+    debug_assert!(!undecided.is_empty(), "a frontier must have open splits");
+    // Unlike ordinary cells, an active-empty frontier cell IS emitted: its
+    // rows may satisfy any subset of the undecided constraints, so it is
+    // not the all-negated region the closure check accounts for.
+    cells.push(Cell {
+        region,
+        active,
+        witness: None,
+        undecided,
+    });
+    stats.frontier_cells += 1;
+}
+
 /// Invariant parameters of one decomposition, threaded through the DFS by
 /// reference instead of as six separate arguments.
 struct Frame<'a> {
@@ -327,6 +415,10 @@ struct Frame<'a> {
     fork_levels: usize,
     /// Whether SAT checks may use the parallel witness search.
     par_witness: bool,
+    /// Cooperative budget, checked once per DFS node and charged once per
+    /// satisfiability probe. [`QueryBudget::unlimited`] in the classic
+    /// entry points.
+    budget: &'a QueryBudget,
 }
 
 impl Frame<'_> {
@@ -335,6 +427,17 @@ impl Frame<'_> {
     /// amortize a stealable task.
     fn should_fork(&self, idx: usize) -> bool {
         idx < self.fork_levels && self.set.len() - idx > PAR_SEQ_CUTOFF
+    }
+
+    /// Budget-aware satisfiability probe: `Some(sat?)` when the check ran,
+    /// `None` when the budget tripped (before or during the search — a
+    /// tripped probe must never be read as "unsatisfiable").
+    fn probe(&self, region: &Region, negs: &[&Predicate]) -> Option<bool> {
+        match sat::find_witness_budgeted(region, negs, self.par_witness, self.budget) {
+            SatOutcome::Sat(_) => Some(true),
+            SatOutcome::Unsat => Some(false),
+            SatOutcome::Tripped => None,
+        }
     }
 }
 
@@ -360,7 +463,18 @@ fn dfs<'a>(
                 // exact mode: prefix satisfiability was verified; reproduce
                 // the witness for downstream consumers (cheap relative to
                 // the checks already done)
-                sat::find_witness_with(&region, &excluded, frame.par_witness)
+                match sat::find_witness_budgeted(
+                    &region,
+                    &excluded,
+                    frame.par_witness,
+                    frame.budget,
+                ) {
+                    SatOutcome::Sat(w) => Some(w),
+                    // Unsat cannot happen (the prefix was verified);
+                    // a trip here only loses the stored witness — the
+                    // cell itself is fully decided.
+                    SatOutcome::Unsat | SatOutcome::Tripped => None,
+                }
             } else {
                 None
             };
@@ -368,8 +482,15 @@ fn dfs<'a>(
                 region,
                 active,
                 witness,
+                undecided: ActiveSet::new(),
             });
         }
+        return;
+    }
+    // One budget check per node: a trip cuts the whole subtree below this
+    // split and records it as a single frontier cell.
+    if !frame.budget.proceed() {
+        push_frontier(region, active, idx, set.len(), cells, stats);
         return;
     }
     let pc = &set.constraints()[idx];
@@ -390,8 +511,16 @@ fn dfs<'a>(
         exclude_sat = true;
     } else {
         // Include: X ∧ ψ.
-        stats.sat_checks += 1;
-        include_sat = sat::is_sat_with(&inc_region, &excluded, frame.par_witness);
+        include_sat = match frame.probe(&inc_region, &excluded) {
+            Some(s) => {
+                stats.sat_checks += 1;
+                s
+            }
+            None => {
+                push_frontier(region, active, idx, set.len(), cells, stats);
+                return;
+            }
+        };
         // Exclude: X ∧ ¬ψ.
         exclude_sat = if frame.rewrite && !include_sat {
             // Rewrite rule: X is satisfiable (DFS invariant) and X ∧ ψ is
@@ -400,10 +529,18 @@ fn dfs<'a>(
             stats.rewrite_skips += 1;
             true
         } else {
-            let mut probe = excluded.clone();
-            probe.push(&pc.predicate);
-            stats.sat_checks += 1;
-            sat::is_sat_with(&region, &probe, frame.par_witness)
+            let mut probe_negs = excluded.clone();
+            probe_negs.push(&pc.predicate);
+            match frame.probe(&region, &probe_negs) {
+                Some(s) => {
+                    stats.sat_checks += 1;
+                    s
+                }
+                None => {
+                    push_frontier(region, active, idx, set.len(), cells, stats);
+                    return;
+                }
+            }
         };
         if !include_sat {
             stats.pruned_subtrees += 1;
@@ -631,6 +768,7 @@ mod tests {
             stop_depth: usize::MAX,
             fork_levels: n,
             par_witness: false,
+            budget: Box::leak(Box::new(QueryBudget::unlimited())),
         };
         let f = frame(PAR_SEQ_CUTOFF);
         assert!(!f.should_fork(0), "tiny tree stays sequential");
@@ -727,5 +865,153 @@ mod tests {
         let base = Region::full(set.schema());
         let (cells, _) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
         assert!(cells.is_empty());
+    }
+
+    /// Every exact cell must be *covered* by some budgeted cell: the
+    /// witness lies in the budgeted cell's region, every budgeted-active
+    /// constraint holds at it, and any disagreement is confined to the
+    /// budgeted cell's undecided set.
+    fn assert_covers_exact(set: &PcSet, exact: &[Cell], budgeted: &[Cell]) {
+        for e in exact {
+            let w = e.witness.as_ref().expect("exact mode carries witnesses");
+            let covered = budgeted.iter().any(|b| {
+                b.region.contains_row(w)
+                    && set.constraints().iter().enumerate().all(|(j, pc)| {
+                        let holds = pc.predicate.eval(w);
+                        if b.active.contains(j) {
+                            holds
+                        } else {
+                            b.undecided.contains(j) || !holds
+                        }
+                    })
+            });
+            assert!(
+                covered,
+                "exact cell {:?} lost by the budgeted run",
+                e.active
+            );
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_is_the_plain_decomposition() {
+        let set = paper_444_set();
+        let base = Region::full(set.schema());
+        for strategy in [Strategy::Naive, Strategy::DfsRewrite] {
+            let (plain, plain_stats) = decompose(&set, &base, strategy).unwrap();
+            let (budgeted, stats) = decompose_budgeted(
+                &set,
+                &base,
+                strategy,
+                Parallelism::SEQUENTIAL,
+                &QueryBudget::unlimited(),
+            )
+            .unwrap();
+            assert_eq!(cell_signatures(&plain), cell_signatures(&budgeted));
+            assert_eq!(plain_stats.sat_checks, stats.sat_checks);
+            assert_eq!(stats.frontier_cells, 0);
+            assert!(budgeted.iter().all(|c| !c.is_frontier()));
+        }
+    }
+
+    #[test]
+    fn sat_cap_trip_degrades_to_a_sound_frontier() {
+        let set = PcSet::new(schema())
+            .with(pc_on_utc(0.0, 10.0))
+            .with(pc_on_utc(5.0, 15.0))
+            .with(pc_on_utc(8.0, 20.0))
+            .with(pc_on_utc(0.0, 20.0));
+        let base = Region::full(set.schema());
+        let (exact, exact_stats) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
+        // trip at every cap below the exact run's check count: the result
+        // must always remain a sound over-approximation
+        let mut tripped_at_least_once = false;
+        for cap in 0..exact_stats.sat_checks {
+            let budget = QueryBudget::armed().with_sat_cap(cap);
+            let (cells, stats) = decompose_budgeted(
+                &set,
+                &base,
+                Strategy::DfsRewrite,
+                Parallelism::SEQUENTIAL,
+                &budget,
+            )
+            .unwrap();
+            if stats.frontier_cells > 0 {
+                tripped_at_least_once = true;
+                assert!(budget.is_tripped());
+                assert!(cells.iter().any(|c| c.is_frontier()));
+            }
+            assert_covers_exact(&set, &exact, &cells);
+        }
+        assert!(tripped_at_least_once, "caps below exhaustive must trip");
+    }
+
+    #[test]
+    fn cancel_cuts_the_search_to_one_frontier_cell() {
+        let set = PcSet::new(schema())
+            .with(pc_on_utc(0.0, 10.0))
+            .with(pc_on_utc(5.0, 15.0))
+            .with(pc_on_utc(8.0, 20.0));
+        let base = Region::full(set.schema());
+        let budget = QueryBudget::armed();
+        budget.cancel_token().expect("armed budget").cancel();
+        let (cells, stats) = decompose_budgeted(
+            &set,
+            &base,
+            Strategy::DfsRewrite,
+            Parallelism::SEQUENTIAL,
+            &budget,
+        )
+        .unwrap();
+        // cancelled before the first split: everything is one frontier
+        assert_eq!(stats.frontier_cells, 1);
+        assert_eq!(stats.sat_checks, 0);
+        assert_eq!(cells.len(), 1);
+        assert!(cells[0].active.is_empty());
+        assert_eq!(cells[0].undecided.to_vec(), vec![0, 1, 2]);
+        let (exact, _) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
+        assert_covers_exact(&set, &exact, &cells);
+    }
+
+    #[test]
+    fn naive_trip_covers_unenumerated_masks() {
+        let set = paper_444_set();
+        let base = Region::full(set.schema());
+        let (exact, _) = decompose(&set, &base, Strategy::Naive).unwrap();
+        for cap in 0..4 {
+            let budget = QueryBudget::armed().with_sat_cap(cap);
+            let (cells, stats) = decompose_budgeted(
+                &set,
+                &base,
+                Strategy::Naive,
+                Parallelism::SEQUENTIAL,
+                &budget,
+            )
+            .unwrap();
+            assert_eq!(stats.frontier_cells, 1, "cap {cap}");
+            assert_covers_exact(&set, &exact, &cells);
+        }
+    }
+
+    #[test]
+    fn parallel_budgeted_run_stays_sound() {
+        let set = PcSet::new(schema())
+            .with(pc_on_utc(0.0, 10.0))
+            .with(pc_on_utc(5.0, 15.0))
+            .with(pc_on_utc(8.0, 20.0))
+            .with(pc_on_utc(0.0, 20.0))
+            .with(pc_on_utc(12.0, 30.0));
+        let base = Region::full(set.schema());
+        let (exact, _) = decompose(&set, &base, Strategy::DfsRewrite).unwrap();
+        let par = Parallelism {
+            threads: 4,
+            depth: None,
+        };
+        for cap in [0u64, 2, 5, 9] {
+            let budget = QueryBudget::armed().with_sat_cap(cap);
+            let (cells, _) =
+                decompose_budgeted(&set, &base, Strategy::DfsRewrite, par, &budget).unwrap();
+            assert_covers_exact(&set, &exact, &cells);
+        }
     }
 }

@@ -17,6 +17,13 @@ pub enum BoundError {
     /// Cell decomposition refused to run (e.g. the naive strategy past its
     /// constraint ceiling).
     Decompose(DecomposeError),
+    /// The query's solve task panicked. The panic was caught at the
+    /// per-query task boundary ([`crate::Session::bound_many`] and the
+    /// GROUP-BY fan-out): the poisoned query fails with this error while
+    /// its siblings, the session, and the epoch catalog stay usable. The
+    /// worker's warm-cache entry involved in the solve was dropped, never
+    /// re-published, so no torn solver state survives.
+    Panicked,
 }
 
 impl fmt::Display for BoundError {
@@ -36,6 +43,9 @@ impl fmt::Display for BoundError {
             }
             BoundError::Solver(e) => write!(f, "solver failure: {e}"),
             BoundError::Decompose(e) => write!(f, "decomposition failure: {e}"),
+            BoundError::Panicked => {
+                write!(f, "query task panicked; the query failed in isolation")
+            }
         }
     }
 }

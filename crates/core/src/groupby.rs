@@ -59,12 +59,13 @@
 //! be wider (never narrower) than per-key bounds there — both remain
 //! sound, as early stopping only ever widens.
 
-use crate::bounds::{pooled_map, WarmCache, WarmCaches};
-use crate::specialize::{splice_locals, SliceSpecializer, VIRTUAL_CELL};
+use crate::bounds::{pooled_map_catch, WarmCache, WarmCaches};
+use crate::specialize::{overlaps_region, splice_locals, SliceSpecializer, VIRTUAL_CELL};
 use crate::{
     ActiveSet, BoundEngine, BoundError, BoundReport, Cell, DecomposeStats, PcSet,
     PredicateConstraint,
 };
+use pc_budget::QueryBudget;
 use pc_predicate::{Atom, Interval, Region};
 use pc_storage::AggQuery;
 use std::collections::HashMap;
@@ -119,19 +120,38 @@ impl BoundEngine<'_> {
         group_attr: usize,
         keys: impl IntoIterator<Item = f64>,
     ) -> Vec<GroupBound> {
+        self.bound_group_by_budgeted(base, group_attr, keys, &QueryBudget::unlimited())
+    }
+
+    /// [`BoundEngine::bound_group_by`] under a [`QueryBudget`] shared by
+    /// the whole call: the shared level-1 decomposition, every key's
+    /// splice, and every group's MILP all charge the same meter. On a
+    /// trip, groups not yet spliced degrade to a single *frontier* slice
+    /// cell (every overlapping constraint undecided — sound, wider; see
+    /// [`crate::decompose::decompose_budgeted`]) and finished machinery
+    /// is kept, so every key still gets an answer, each flagged
+    /// [`BoundReport::degraded`]. A group whose solve task panics comes
+    /// back as [`BoundError::Panicked`] without touching its siblings.
+    pub fn bound_group_by_budgeted(
+        &self,
+        base: &AggQuery,
+        group_attr: usize,
+        keys: impl IntoIterator<Item = f64>,
+        budget: &QueryBudget,
+    ) -> Vec<GroupBound> {
         let keys: Vec<f64> = keys.into_iter().collect();
         if keys.is_empty() {
             return Vec::new();
         }
         if !self.options.shared_group_by {
-            return self.bound_group_by_per_key(base, group_attr, &keys);
+            return self.bound_group_by_per_key(base, group_attr, &keys, budget);
         }
 
         // 1. Partition into shared / key-local and decompose the shared
         //    part once for the union of all groups.
         let mut base_region = base.predicate.to_region(self.set.schema());
         base_region.intersect(self.set.domain());
-        let two = match self.two_level_decompose(group_attr, &base_region) {
+        let two = match self.two_level_decompose(group_attr, &base_region, budget) {
             Ok(two) => two,
             Err(e) => {
                 return keys
@@ -147,8 +167,10 @@ impl BoundEngine<'_> {
         // Closure hoisting: a slice of a closed region is closed (it is a
         // subset), so one base-level check answers every group. Only a
         // non-closed base needs per-slice re-checks (a slice can dodge the
-        // uncovered part).
+        // uncovered part). Out of budget the check is skipped and the base
+        // treated as open — sound (widens), reported as degraded.
         let base_closed = self.options.check_closure
+            && budget.proceed()
             && self
                 .set
                 .is_closed_within_with(&base_region, self.par_witness());
@@ -174,9 +196,19 @@ impl BoundEngine<'_> {
                 &base_region,
                 base_closed,
                 caches.for_current_worker(),
+                budget,
             ),
         };
-        pooled_map(&keys, threads, &solve)
+        pooled_map_catch(&keys, threads, &solve)
+            .into_iter()
+            .zip(&keys)
+            .map(|(result, &key)| {
+                result.unwrap_or(GroupBound {
+                    key,
+                    report: Err(BoundError::Panicked),
+                })
+            })
+            .collect()
     }
 
     /// Partition the constraints by group-attribute pinning and run the
@@ -186,6 +218,7 @@ impl BoundEngine<'_> {
         &self,
         group_attr: usize,
         base_region: &Region,
+        budget: &QueryBudget,
     ) -> Result<TwoLevel, BoundError> {
         let constraints = self.set.constraints();
         let mut shared_ids = Vec::with_capacity(constraints.len());
@@ -203,7 +236,7 @@ impl BoundEngine<'_> {
 
         let (cells, stats) = if shared_ids.len() == constraints.len() {
             // nothing is key-local: the shared set is the whole set
-            self.cells_for_base(base_region)?
+            self.cells_for_base_budgeted(base_region, budget)?
         } else {
             // decompose the shared subset through a scratch engine, then
             // remap the sub-indices its cells carry to global ones
@@ -214,8 +247,8 @@ impl BoundEngine<'_> {
             for &j in &shared_ids {
                 sub.push(constraints[j].clone());
             }
-            let (mut cells, stats) =
-                BoundEngine::with_options(&sub, self.options).cells_for_base(base_region)?;
+            let (mut cells, stats) = BoundEngine::with_options(&sub, self.options)
+                .cells_for_base_budgeted(base_region, budget)?;
             for cell in &mut cells {
                 cell.active = cell.active.iter().map(|i| shared_ids[i]).collect();
             }
@@ -240,6 +273,7 @@ impl BoundEngine<'_> {
         base: &AggQuery,
         group_attr: usize,
         keys: &[f64],
+        budget: &QueryBudget,
     ) -> Vec<GroupBound> {
         let threads = self.task_threads(keys.len());
         let solve = |key: &f64| {
@@ -250,10 +284,19 @@ impl BoundEngine<'_> {
             let query = AggQuery::new(base.agg, base.attr, predicate);
             GroupBound {
                 key: *key,
-                report: self.bound(&query),
+                report: self.bound_budgeted(&query, budget),
             }
         };
-        pooled_map(keys, threads, &solve)
+        pooled_map_catch(keys, threads, &solve)
+            .into_iter()
+            .zip(keys)
+            .map(|(result, &key)| {
+                result.unwrap_or(GroupBound {
+                    key,
+                    report: Err(BoundError::Panicked),
+                })
+            })
+            .collect()
     }
 
     /// Bound one group: specialize the level-1 cells to the key's slice,
@@ -269,6 +312,7 @@ impl BoundEngine<'_> {
         base_region: &Region,
         base_closed: bool,
         warm: Option<WarmCache>,
+        budget: &QueryBudget,
     ) -> Result<BoundReport, BoundError> {
         let mut slice = base_region.clone();
         slice.set_interval(
@@ -277,6 +321,38 @@ impl BoundEngine<'_> {
         );
 
         let mut stats = two.stats;
+        if !budget.proceed() {
+            // Budget gone before this key's turn: skip the specialize +
+            // splice SAT work entirely and degrade the whole slice to one
+            // frontier cell — every constraint whose box reaches the
+            // slice undecided. Rows of the slice satisfy *some* subset of
+            // those constraints, which is exactly the frontier-cell
+            // contract, so the bound stays sound (just wider).
+            let mut cells = Vec::new();
+            if !slice.is_empty() {
+                let undecided: ActiveSet = self
+                    .set
+                    .constraints()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pc)| overlaps_region(pc, &slice))
+                    .map(|(j, _)| j)
+                    .collect();
+                cells.push(Cell {
+                    region: Arc::new(slice.clone()),
+                    active: ActiveSet::new(),
+                    witness: None,
+                    undecided,
+                });
+                stats.frontier_cells += 1;
+            }
+            stats.cells = cells.len();
+            let closed = !self.options.check_closure || base_closed;
+            let problem = self.problem_from_cells_budgeted(
+                base.attr, &slice, cells, stats, closed, warm, budget,
+            )?;
+            return self.bound_problem(base.agg, &problem);
+        }
         let specialized = spec.specialize_slice(key, base_region, &mut stats);
 
         let cells = match two.locals_by_key.get(&key_bits(key)) {
@@ -314,6 +390,7 @@ impl BoundEngine<'_> {
                     splice_locals(
                         Arc::clone(&cell.region),
                         &cell.active,
+                        &cell.undecided,
                         cell.witness,
                         negs,
                         &locals,
@@ -342,6 +419,7 @@ impl BoundEngine<'_> {
                             splice_locals(
                                 virtual_region,
                                 &ActiveSet::new(),
+                                &ActiveSet::new(),
                                 Some(w),
                                 spec.virtual_negs(key),
                                 &locals,
@@ -367,10 +445,14 @@ impl BoundEngine<'_> {
         let closed = if !self.options.check_closure || base_closed {
             // disabled, or hoisted: every slice of a closed base is closed
             true
+        } else if !budget.proceed() {
+            // skipped check answers "open" — sound, degraded
+            false
         } else {
             self.set.is_closed_within_with(&slice, self.par_witness())
         };
-        let problem = self.problem_from_cells(base.attr, &slice, cells, stats, closed, warm)?;
+        let problem = self
+            .problem_from_cells_budgeted(base.attr, &slice, cells, stats, closed, warm, budget)?;
         self.bound_problem(base.agg, &problem)
     }
 }
@@ -685,6 +767,40 @@ mod tests {
         )
         .bound_group_by(&base, 0, keys);
         assert_reports_match(&warm, &cold);
+    }
+
+    #[test]
+    fn budgeted_group_by_answers_every_key_soundly() {
+        let set = overlapping_branch_set();
+        let base = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let keys = [0.0, 1.0, 2.0, 3.0];
+        let engine = BoundEngine::new(&set);
+        let exact = engine.bound_group_by(&base, 0, keys);
+        // Starved from the first SAT check: the shared decomposition
+        // degrades to frontier cells and every key's splice is skipped —
+        // yet every key still answers, each containing its exact range.
+        let budget = QueryBudget::armed().with_sat_cap(0);
+        let degraded = engine.bound_group_by_budgeted(&base, 0, keys, &budget);
+        assert_eq!(degraded.len(), exact.len());
+        for (e, d) in exact.iter().zip(&degraded) {
+            assert_eq!(e.key, d.key);
+            match (&e.report, &d.report) {
+                (Ok(e), Ok(d)) => {
+                    assert!(d.degraded, "budget tripped, the report must say so");
+                    assert!(
+                        d.range.lo <= e.range.lo + 1e-9 && d.range.hi >= e.range.hi - 1e-9,
+                        "degraded {:?} must contain exact {:?}",
+                        d.range,
+                        e.range
+                    );
+                }
+                // a starved key may answer wide where the exact run
+                // proved emptiness — never the reverse
+                (Err(_), Ok(_)) => {}
+                (Ok(e), Err(d)) => panic!("exact {e:?} but degraded errored {d:?}"),
+                (Err(_), Err(_)) => {}
+            }
+        }
     }
 
     #[test]

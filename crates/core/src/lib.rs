@@ -43,6 +43,19 @@
 //!    the carried tableau by one appended/deleted row).
 //!    [`Session::bound_many`] fans a batch out over the work-stealing
 //!    pool against a single pinned epoch.
+//! 6. **Budgets and graceful degradation** ([`QueryBudget`], re-exported
+//!    from [`budget`]): every engine entry point has a `_budgeted`
+//!    variant accepting a deadline / SAT-check cap / branch & bound node
+//!    cap / [`CancelToken`], checked cooperatively at task-granule
+//!    boundaries through the whole stack. A tripped budget never errors
+//!    and never hangs: the decomposition emits its frontier un-split,
+//!    SAT probes are admitted unverified (the EarlyStop argument), the
+//!    MILP falls back to its LP relaxation, and the answer comes back
+//!    sound-but-wider with [`BoundReport::degraded`] set. A batch panics
+//!    one query at a time ([`BoundError::Panicked`]) behind per-task
+//!    unwind boundaries, and a degraded or interrupted epoch build is
+//!    never published to the session's cell cache. See [`budget`] for
+//!    the granularity guarantee and the degradation ladder.
 //!
 //! Parallelism, fan-out depth, and the group-by fast paths are all knobs
 //! on [`BoundOptions`] (`threads`, `parallel_depth`, `shared_group_by`,
@@ -116,6 +129,8 @@ pub use decompose::{
 pub use dsl::{parse_constraint, parse_pcset};
 pub use error::BoundError;
 pub use groupby::GroupBound;
+pub use pc_budget as budget;
+pub use pc_budget::{CancelToken, QueryBudget, TripReason};
 pub use pcset::{PcSet, Violation};
 pub use session::{ConstraintId, Session, SessionOptions, UnknownConstraint};
 pub use specialize::CellSet;

@@ -99,11 +99,12 @@
 //! stream, and the `query_throughput` bench records the
 //! incremental-vs-rebuild ablation to `BENCH_serve.json`.
 
-use crate::bounds::{pooled_map, WarmCache, WarmCaches};
+use crate::bounds::{pooled_map_catch, WarmCache, WarmCaches};
 use crate::specialize::CellSet;
 use crate::{
     BoundEngine, BoundError, BoundOptions, BoundReport, GroupBound, PcSet, PredicateConstraint,
 };
+use pc_budget::QueryBudget;
 use pc_storage::AggQuery;
 use std::fmt;
 use std::str::FromStr;
@@ -276,25 +277,66 @@ impl Session {
     fn cells_of(&self, epoch: &Epoch) -> Result<Arc<CellSet>, BoundError> {
         epoch
             .cells
-            .get_or_init(|| {
-                let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
-                let base = epoch.set.domain().clone();
-                let (cells, stats) = engine.cells_for_base(&base)?;
-                // Cache the closure *counterexample*, not just the
-                // verdict: a non-closed epoch would otherwise re-prove
-                // non-closure with the widest SAT query on every bound.
-                let uncovered = if self.options.bound.check_closure {
-                    epoch
-                        .set
-                        .uncovered_witness_with(&base, engine.par_witness())
-                } else {
-                    None
-                };
-                Ok(Arc::new(CellSet::new(
-                    &epoch.set, base, cells, stats, uncovered,
-                )))
-            })
+            .get_or_init(|| self.build_cells(epoch, &QueryBudget::unlimited()))
             .clone()
+    }
+
+    /// The pinned epoch's cells under a query budget. An already-built
+    /// epoch is served as-is (zero extra work). A cold epoch is built
+    /// under the budget — and **published only when the build finished
+    /// clean**: a degraded decomposition (frontier cells, skipped closure
+    /// probe) answers the triggering query and is then thrown away, so
+    /// one starved query can never poison the epoch cache every later
+    /// query reads.
+    fn cells_of_budgeted(
+        &self,
+        epoch: &Epoch,
+        budget: &QueryBudget,
+    ) -> Result<Arc<CellSet>, BoundError> {
+        if budget.is_unlimited() {
+            return self.cells_of(epoch);
+        }
+        if let Some(built) = epoch.cells.get() {
+            return built.clone();
+        }
+        let built = self.build_cells(epoch, budget);
+        if budget.is_tripped() {
+            return built;
+        }
+        // Clean build: publish (first writer wins; a concurrent clean
+        // build of the same epoch is identical up to witness choice).
+        let _ = epoch.cells.set(built);
+        epoch.cells.get().expect("just published").clone()
+    }
+
+    /// One domain-wide decomposition of `epoch`'s catalog, plus the
+    /// closure counterexample cache. Under an armed budget the closure
+    /// probe — potentially the widest SAT query of all — is skipped once
+    /// the budget trips, and the cell set marked so
+    /// [`CellSet::closed`] answers "open" (sound) instead of lying.
+    fn build_cells(&self, epoch: &Epoch, budget: &QueryBudget) -> Result<Arc<CellSet>, BoundError> {
+        let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
+        let base = epoch.set.domain().clone();
+        let (cells, stats) = engine.cells_for_base_budgeted(&base, budget)?;
+        // Cache the closure *counterexample*, not just the verdict: a
+        // non-closed epoch would otherwise re-prove non-closure with the
+        // widest SAT query on every bound.
+        let mut closure_skipped = false;
+        let uncovered = if !self.options.bound.check_closure {
+            None
+        } else if !budget.proceed() {
+            closure_skipped = true;
+            None
+        } else {
+            epoch
+                .set
+                .uncovered_witness_with(&base, engine.par_witness())
+        };
+        let mut cell_set = CellSet::new(&epoch.set, base, cells, stats, uncovered);
+        if closure_skipped {
+            cell_set.mark_closure_skipped();
+        }
+        Ok(Arc::new(cell_set))
     }
 
     // ------------------------------------------------------------------
@@ -304,6 +346,22 @@ impl Session {
     /// Admit a constraint into the catalog, producing a new epoch. The
     /// returned id is stable for the session's lifetime.
     pub fn add_constraint(&self, pc: PredicateConstraint) -> ConstraintId {
+        self.add_constraint_budgeted(pc, &QueryBudget::unlimited())
+    }
+
+    /// [`Session::add_constraint`] with the incremental derivation
+    /// metered by `budget`. The mutation itself **always succeeds** — the
+    /// new epoch's catalog is installed regardless. What the budget
+    /// governs is the eager cell derivation: if it trips mid-derivation,
+    /// the partially-derived cells are **discarded** (never published as
+    /// the epoch's cache) and the epoch's cells stay lazy, rebuilt by the
+    /// first query that needs them. The catalog never serves a half-built
+    /// [`CellSet`].
+    pub fn add_constraint_budgeted(
+        &self,
+        pc: PredicateConstraint,
+        budget: &QueryBudget,
+    ) -> ConstraintId {
         let _mutation = self.mutations.lock().unwrap();
         // `prev` cannot move under us: only mutations swap `current`, and
         // they all serialize on the lock above — so the expensive
@@ -320,8 +378,10 @@ impl Session {
         let set = Arc::new(set);
         let cells = OnceLock::new();
         if let Some(prev_cells) = self.derivable(&prev) {
-            let derived = self.derived_add(&prev_cells, &pc, &set);
-            let _ = cells.set(Ok(Arc::new(derived)));
+            let derived = self.derived_add(&prev_cells, &pc, &set, budget);
+            if !budget.is_tripped() {
+                let _ = cells.set(Ok(Arc::new(derived)));
+            }
         }
         self.install(
             &prev,
@@ -373,6 +433,19 @@ impl Session {
         id: ConstraintId,
         pc: PredicateConstraint,
     ) -> Result<ConstraintId, UnknownConstraint> {
+        self.replace_constraint_budgeted(id, pc, &QueryBudget::unlimited())
+    }
+
+    /// [`Session::replace_constraint`] with the derivation metered by
+    /// `budget` — same contract as [`Session::add_constraint_budgeted`]:
+    /// the swap always lands; a tripped derivation is discarded and the
+    /// new epoch's cells rebuild lazily.
+    pub fn replace_constraint_budgeted(
+        &self,
+        id: ConstraintId,
+        pc: PredicateConstraint,
+        budget: &QueryBudget,
+    ) -> Result<ConstraintId, UnknownConstraint> {
         let _mutation = self.mutations.lock().unwrap();
         let prev = self.pin();
         let Some(index) = prev.ids.iter().position(|&i| i == id) else {
@@ -393,9 +466,11 @@ impl Session {
             // chain the two deltas through the intermediate epoch-less set
             let mid_uncovered = self.retired_uncovered(&prev_cells, &removed, &mid_set);
             let mid = prev_cells.derive_retire(&mid_set, index, mid_uncovered);
-            let mut derived = self.derived_add(&mid, &pc, &set);
+            let mut derived = self.derived_add(&mid, &pc, &set, budget);
             derived.absorb_stats(mid.stats());
-            let _ = cells.set(Ok(Arc::new(derived)));
+            if !budget.is_tripped() {
+                let _ = cells.set(Ok(Arc::new(derived)));
+            }
         }
         self.install(
             &prev,
@@ -426,10 +501,16 @@ impl Session {
     /// base's *known-closed* verdict is passed down so `derive_add` can
     /// skip the new-constraint-only probe outright (no point of a closed
     /// base avoids every old predicate).
-    fn derived_add(&self, prev_cells: &CellSet, pc: &PredicateConstraint, set: &PcSet) -> CellSet {
+    fn derived_add(
+        &self,
+        prev_cells: &CellSet,
+        pc: &PredicateConstraint,
+        set: &PcSet,
+        budget: &QueryBudget,
+    ) -> CellSet {
         let parallel = self.par_witness();
         let check_closure = self.options.bound.check_closure;
-        let base_known_closed = check_closure && prev_cells.uncovered().is_none();
+        let base_known_closed = check_closure && prev_cells.closed();
         let uncovered = if !check_closure {
             None
         } else {
@@ -440,11 +521,19 @@ impl Session {
                 // still uncovered, no SAT call
                 Some(w) if !pc.predicate.eval(w) => Some(w.to_vec()),
                 // the new constraint swallowed the counterexample — one
-                // exact re-check decides
-                Some(_) => set.uncovered_witness_with(set.domain(), parallel),
+                // exact re-check decides (skipped once the budget trips:
+                // the tripped derivation is discarded by the caller, so
+                // the placeholder value is never served)
+                Some(_) => {
+                    if budget.proceed() {
+                        set.uncovered_witness_with(set.domain(), parallel)
+                    } else {
+                        None
+                    }
+                }
             }
         };
-        prev_cells.derive_add(set, parallel, uncovered, base_known_closed)
+        prev_cells.derive_add_budgeted(set, parallel, uncovered, base_known_closed, budget)
     }
 
     /// The previous epoch's cells, when the new epoch should be derived
@@ -497,8 +586,23 @@ impl Session {
     /// against the same catalog snapshot, up to solver tolerance (see
     /// the module docs' invalidation section for the ~1e-6 caveat).
     pub fn bound(&self, query: &AggQuery) -> Result<BoundReport, BoundError> {
+        self.bound_budgeted(query, &QueryBudget::unlimited())
+    }
+
+    /// [`Session::bound`] under a [`QueryBudget`]. The budget meters the
+    /// whole serve path — epoch build (cold epochs only), per-query
+    /// specialization, closure checks, and the allocation MILPs. On a
+    /// trip the query still answers, sound but wider, with
+    /// [`BoundReport::degraded`] set; a degraded epoch build serves only
+    /// this query and is never published to the epoch cache (see
+    /// [`crate::budget`] for the degradation ladder).
+    pub fn bound_budgeted(
+        &self,
+        query: &AggQuery,
+        budget: &QueryBudget,
+    ) -> Result<BoundReport, BoundError> {
         let epoch = self.pin();
-        self.bound_on(&epoch, query, self.warm.for_current_worker())
+        self.bound_on(&epoch, query, self.warm.for_current_worker(), budget)
     }
 
     fn bound_on(
@@ -506,20 +610,22 @@ impl Session {
         epoch: &Epoch,
         query: &AggQuery,
         warm: Option<WarmCache>,
+        budget: &QueryBudget,
     ) -> Result<BoundReport, BoundError> {
         let set = &*epoch.set;
         let engine = BoundEngine::with_options(set, self.options.bound);
         if !self.options.cache_cells {
             // Cold cells, warm chains: the honest baseline for the cache
             // knob still benefits from cross-query basis reuse.
-            return engine.bound_with_warm(query, warm);
+            return engine.bound_with_warm(query, warm, budget);
         }
-        let cell_set = self.cells_of(epoch)?;
+        let cell_set = self.cells_of_budgeted(epoch, budget)?;
         let mut target = query.predicate.to_region(set.schema());
         target.intersect(set.domain());
 
         let mut stats = cell_set.stats();
-        let cells = cell_set.specialize(set, &target, &mut stats, engine.par_witness());
+        let cells =
+            cell_set.specialize_budgeted(set, &target, &mut stats, engine.par_witness(), budget);
         stats.cells = cells.len();
 
         let closed = if !self.options.bound.check_closure || cell_set.closed() {
@@ -529,12 +635,16 @@ impl Session {
             // the cached counterexample lies inside the query: provably
             // not closed, no SAT call
             false
+        } else if !budget.proceed() {
+            // out of budget: the skipped check answers "open" — sound
+            false
         } else {
             // non-closed epoch, but the query region may dodge the
             // uncovered part — one exact check decides
             set.is_closed_within_with(&target, engine.par_witness())
         };
-        let problem = engine.problem_from_cells(query.attr, &target, cells, stats, closed, warm)?;
+        let problem = engine
+            .problem_from_cells_budgeted(query.attr, &target, cells, stats, closed, warm, budget)?;
         engine.bound_problem(query.agg, &problem)
     }
 
@@ -545,16 +655,41 @@ impl Session {
     /// once before the fan-out so the workers specialize instead of
     /// racing to decompose.
     pub fn bound_many(&self, queries: &[AggQuery]) -> Vec<Result<BoundReport, BoundError>> {
+        self.bound_many_budgeted(queries, &QueryBudget::unlimited())
+    }
+
+    /// [`Session::bound_many`] under one [`QueryBudget`] shared by the
+    /// whole batch: every query's SAT checks and branch-and-bound nodes
+    /// charge the same meter, and a deadline cuts the *batch*, not each
+    /// query separately. Tripped queries degrade individually (sound,
+    /// wider, [`BoundReport::degraded`] set) — the batch always returns
+    /// one result per query, in input order.
+    ///
+    /// Each query runs behind a panic boundary: a query whose solve
+    /// panics comes back as [`BoundError::Panicked`] while its siblings,
+    /// the session, and the epoch cache stay intact (the panicking
+    /// worker's warm-cache slot is cleared on next use, so no torn
+    /// solver state survives).
+    pub fn bound_many_budgeted(
+        &self,
+        queries: &[AggQuery],
+        budget: &QueryBudget,
+    ) -> Vec<Result<BoundReport, BoundError>> {
         let epoch = self.pin();
         if self.options.cache_cells && !queries.is_empty() {
-            // Prime the OnceLock up front; a per-query error replays below.
-            let _ = self.cells_of(&epoch);
+            // Prime the OnceLock up front; a per-query error replays
+            // below. (Budgeted: a degraded build stays unpublished and
+            // each worker rebuilds-or-degrades for itself.)
+            let _ = self.cells_of_budgeted(&epoch, budget);
         }
         let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
         let threads = engine.task_threads(queries.len());
-        pooled_map(queries, threads, &|query| {
-            self.bound_on(&epoch, query, self.warm.for_current_worker())
+        pooled_map_catch(queries, threads, &|query| {
+            self.bound_on(&epoch, query, self.warm.for_current_worker(), budget)
         })
+        .into_iter()
+        .map(|result| result.unwrap_or(Err(BoundError::Panicked)))
+        .collect()
     }
 
     /// Bound a GROUP-BY against the epoch current at the call: the
@@ -568,9 +703,23 @@ impl Session {
         group_attr: usize,
         keys: impl IntoIterator<Item = f64>,
     ) -> Vec<GroupBound> {
+        self.bound_group_by_budgeted(base, group_attr, keys, &QueryBudget::unlimited())
+    }
+
+    /// [`Session::bound_group_by`] under one [`QueryBudget`] shared by
+    /// the shared decomposition and every group's splice and solve — see
+    /// [`BoundEngine::bound_group_by_budgeted`] for the per-group
+    /// degradation ladder.
+    pub fn bound_group_by_budgeted(
+        &self,
+        base: &AggQuery,
+        group_attr: usize,
+        keys: impl IntoIterator<Item = f64>,
+        budget: &QueryBudget,
+    ) -> Vec<GroupBound> {
         let epoch = self.pin();
         let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
-        engine.bound_group_by(base, group_attr, keys)
+        engine.bound_group_by_budgeted(base, group_attr, keys, budget)
     }
 }
 
@@ -865,6 +1014,96 @@ mod tests {
         // current catalog directly (no derivation chain to pay)
         assert_matches_fresh(&session, &queries());
         assert_eq!(session.cell_set().unwrap().stats().incremental_splits, 0);
+    }
+
+    #[test]
+    fn degraded_epoch_build_is_never_published() {
+        let session = Session::new(overlapping_set());
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let exact = BoundEngine::new(&session.pc_set()).bound(&q).unwrap();
+
+        // Cold epoch + starved budget: the build degrades to frontier
+        // cells, the query still answers a sound (wider) range…
+        let budget = QueryBudget::armed().with_sat_cap(0);
+        let r = session.bound_budgeted(&q, &budget).unwrap();
+        assert!(budget.is_tripped());
+        assert!(r.degraded);
+        assert!(
+            r.range.lo <= exact.range.lo + 1e-9 && r.range.hi >= exact.range.hi - 1e-9,
+            "degraded {:?} must contain exact {:?}",
+            r.range,
+            exact.range
+        );
+
+        // …and the degraded cell set was thrown away: the next unbudgeted
+        // query builds (and publishes) a clean epoch.
+        let clean = session.bound(&q).unwrap();
+        assert!(!clean.degraded);
+        assert!((clean.range.lo - exact.range.lo).abs() < 1e-5);
+        assert!((clean.range.hi - exact.range.hi).abs() < 1e-5);
+        assert_eq!(session.cell_set().unwrap().stats().frontier_cells, 0);
+    }
+
+    #[test]
+    fn warm_epoch_serves_budgeted_queries_from_the_cache() {
+        let session = Session::new(overlapping_set());
+        session.cell_set().unwrap(); // publish a clean epoch
+        let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+        let exact = session.bound(&q).unwrap();
+        // A warm epoch costs no decomposition, so a generous budget rides
+        // the cache and stays exact.
+        let budget = QueryBudget::armed()
+            .with_sat_cap(10_000)
+            .with_node_cap(1_000_000);
+        let r = session.bound_budgeted(&q, &budget).unwrap();
+        assert!(!r.degraded);
+        assert_eq!(r.range, exact.range);
+    }
+
+    #[test]
+    fn tripped_derivation_is_discarded_for_lazy_rebuild() {
+        let session = Session::new(overlapping_set());
+        session.cell_set().unwrap(); // prime so mutations derive
+        let budget = QueryBudget::armed().with_sat_cap(1_000);
+        budget.cancel_token().unwrap().cancel(); // trip before any work
+        session.add_constraint_budgeted(
+            pc_utc(11.5, 12.5, 90.0, FrequencyConstraint::at_most(40)),
+            &budget,
+        );
+        assert_eq!(session.epoch(), 1, "the mutation itself always lands");
+        // the discarded derivation forces a from-scratch (clean) rebuild
+        let cells = session.cell_set().unwrap();
+        assert_eq!(cells.stats().incremental_splits, 0);
+        assert_eq!(cells.stats().frontier_cells, 0);
+        assert_matches_fresh(&session, &queries());
+    }
+
+    #[test]
+    fn budgeted_batch_degrades_but_answers_every_query() {
+        let session = Session::new(overlapping_set());
+        let qs = queries();
+        let exact = session.bound_many(&qs);
+        let budget = QueryBudget::armed().with_sat_cap(0);
+        let degraded = session.bound_many_budgeted(&qs, &budget);
+        assert_eq!(degraded.len(), qs.len());
+        for (q, (e, d)) in qs.iter().zip(exact.iter().zip(&degraded)) {
+            match (e, d) {
+                (Ok(e), Ok(d)) => {
+                    assert!(
+                        d.range.lo <= e.range.lo + 1e-9 && d.range.hi >= e.range.hi - 1e-9,
+                        "{q:?}: degraded {:?} must contain exact {:?}",
+                        d.range,
+                        e.range
+                    );
+                }
+                // a starved query may degrade where the exact run errored
+                // (EmptyAggregate proofs need SAT work) — but never the
+                // other way around
+                (Err(_), Ok(_)) => {}
+                (Ok(e), Err(d)) => panic!("{q:?}: exact {e:?} but degraded errored {d:?}"),
+                (Err(_), Err(_)) => {}
+            }
+        }
     }
 
     #[test]

@@ -51,6 +51,8 @@
 
 use crate::decompose::DecomposeStats;
 use crate::{ActiveSet, Cell, PcSet, PredicateConstraint};
+use pc_budget::QueryBudget;
+use pc_predicate::sat::SatOutcome;
 use pc_predicate::{sat, Interval, Predicate, Region};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -60,7 +62,7 @@ use std::sync::{Arc, Mutex};
 /// point of the region (atoms repeated on one attribute are checked
 /// individually; a self-contradictory predicate passes the filter and is
 /// then discarded inside the SAT solver, which folds them cumulatively).
-fn overlaps_region(pc: &PredicateConstraint, region: &Region) -> bool {
+pub(crate) fn overlaps_region(pc: &PredicateConstraint, region: &Region) -> bool {
     pc.predicate.atoms().iter().all(|a| {
         !region
             .interval(a.attr)
@@ -83,6 +85,10 @@ pub struct CellSet {
     /// A point of `base` covered by no predicate — the closure
     /// counterexample (`None` = closed, or closure checking disabled).
     uncovered: Option<Vec<f64>>,
+    /// The closure probe was skipped because the building query's budget
+    /// tripped: `uncovered: None` then means *unknown*, not closed.
+    /// Only ever set on degraded, never-published cell sets.
+    closure_skipped: bool,
     /// Per cell: indices (into the owning [`PcSet`]) of non-active
     /// constraints whose box overlaps the cell box at all.
     relevant_of: Vec<Vec<usize>>,
@@ -107,7 +113,12 @@ impl CellSet {
                     .iter()
                     .enumerate()
                     .filter(|(j, pc)| {
-                        !cell.active.contains(*j) && overlaps_region(pc, &cell.region)
+                        // An *undecided* constraint (frontier cell of a
+                        // budget-tripped decomposition) is not an
+                        // exclusion: the cell's rows may satisfy it.
+                        !cell.active.contains(*j)
+                            && !cell.undecided.contains(*j)
+                            && overlaps_region(pc, &cell.region)
                     })
                     .map(|(j, _)| j)
                     .collect()
@@ -118,8 +129,16 @@ impl CellSet {
             cells,
             stats,
             uncovered,
+            closure_skipped: false,
             relevant_of,
         }
+    }
+
+    /// Mark that the builder skipped the closure probe (budget trip):
+    /// [`CellSet::closed`] must answer "not closed" even though no
+    /// counterexample exists. Sound — an unknown verdict only widens.
+    pub(crate) fn mark_closure_skipped(&mut self) {
+        self.closure_skipped = true;
     }
 
     /// The region the cells were decomposed against.
@@ -146,8 +165,10 @@ impl CellSet {
     }
 
     /// Whether the constraint set covers all of [`CellSet::base`].
+    /// `false` when the building budget tripped before the closure probe
+    /// could run — unknown is treated as open.
     pub fn closed(&self) -> bool {
-        self.uncovered.is_none()
+        self.uncovered.is_none() && !self.closure_skipped
     }
 
     /// The cached point of [`CellSet::base`] no predicate covers, when
@@ -161,12 +182,29 @@ impl CellSet {
     /// decomposition of `target` would produce, at the cost of interval
     /// intersections plus a SAT re-check for only the cells `target`
     /// genuinely cuts. `stats.sat_checks` counts the re-checks.
+    #[cfg(test)]
     pub(crate) fn specialize(
         &self,
         set: &PcSet,
         target: &Region,
         stats: &mut DecomposeStats,
         parallel: bool,
+    ) -> Vec<Cell> {
+        self.specialize_budgeted(set, target, stats, parallel, &QueryBudget::unlimited())
+    }
+
+    /// [`CellSet::specialize`] under a [`QueryBudget`]: the per-cell SAT
+    /// re-checks charge the budget; once it trips, cut cells are admitted
+    /// *unverified* (witness `None` — the early-stop contract: a cell
+    /// that is actually unsatisfiable only widens the bounds) instead of
+    /// paying for more checks. The caller reads the trip off the budget.
+    pub(crate) fn specialize_budgeted(
+        &self,
+        set: &PcSet,
+        target: &Region,
+        stats: &mut DecomposeStats,
+        parallel: bool,
+        budget: &QueryBudget,
     ) -> Vec<Cell> {
         let mut out = Vec::with_capacity(self.cells.len());
         for (i, cell) in self.cells.iter().enumerate() {
@@ -188,10 +226,20 @@ impl CellSet {
                         .iter()
                         .map(|&j| &set.constraints()[j].predicate)
                         .collect();
-                    stats.sat_checks += 1;
-                    match sat::find_witness_with(&narrowed, &negs, parallel) {
-                        Some(w) => Some(w),
-                        None => continue,
+                    match sat::find_witness_budgeted(&narrowed, &negs, parallel, budget) {
+                        SatOutcome::Sat(w) => {
+                            stats.sat_checks += 1;
+                            Some(w)
+                        }
+                        SatOutcome::Unsat => {
+                            stats.sat_checks += 1;
+                            continue;
+                        }
+                        // budget tripped: admit unverified, stay sound
+                        SatOutcome::Tripped => {
+                            stats.assumed_sat += 1;
+                            None
+                        }
                     }
                 }
                 // Early-stop cell admitted unverified in the base pass:
@@ -202,6 +250,7 @@ impl CellSet {
                 region: Arc::new(narrowed),
                 active: cell.active.clone(),
                 witness,
+                undecided: cell.undecided.clone(),
             });
         }
         out
@@ -244,12 +293,37 @@ impl CellSet {
     /// early-stop contract (bounds may widen, never narrow unsoundly).
     /// Stats count only the derivation's own work;
     /// [`DecomposeStats::incremental_splits`] is the number of cut cells.
+    #[cfg(test)]
     pub(crate) fn derive_add(
         &self,
         new_set: &PcSet,
         parallel: bool,
         uncovered: Option<Vec<f64>>,
         base_known_closed: bool,
+    ) -> CellSet {
+        self.derive_add_budgeted(
+            new_set,
+            parallel,
+            uncovered,
+            base_known_closed,
+            &QueryBudget::unlimited(),
+        )
+    }
+
+    /// [`CellSet::derive_add`] under a [`QueryBudget`]: each branch-check
+    /// charges the budget; after a trip the remaining cut branches are
+    /// admitted *unverified* (the early-stop contract — an unsatisfiable
+    /// branch only ever widens bounds), so the derivation still finishes
+    /// within one cell's granule. The caller decides what to do with a
+    /// degraded derivation — [`crate::Session`] discards it rather than
+    /// publishing it as the epoch's cells.
+    pub(crate) fn derive_add_budgeted(
+        &self,
+        new_set: &PcSet,
+        parallel: bool,
+        uncovered: Option<Vec<f64>>,
+        base_known_closed: bool,
+        budget: &QueryBudget,
     ) -> CellSet {
         let n = new_set.len() - 1;
         let pc = &new_set.constraints()[n];
@@ -279,6 +353,7 @@ impl CellSet {
                             region: inc_region,
                             active,
                             witness: None,
+                            undecided: cell.undecided.clone(),
                         });
                     }
                     cells.push(cell.clone());
@@ -286,26 +361,51 @@ impl CellSet {
                 Some(w) => {
                     // the cached witness proves one branch for free; the
                     // other pays at most one exact check against the
-                    // cell's relevant exclusions
+                    // cell's relevant exclusions. `None` = branch dropped,
+                    // `Some(None)` = branch admitted unverified (trip).
                     let negs: Vec<&Predicate> = self.relevant_of[i]
                         .iter()
                         .map(|&j| &new_set.constraints()[j].predicate)
                         .collect();
-                    let inc_witness = if inc_region.is_empty() {
+                    let inc_witness: Option<Option<Vec<f64>>> = if inc_region.is_empty() {
                         None
                     } else if inc_region.contains_row(w) {
-                        Some(w.clone())
+                        Some(Some(w.clone()))
                     } else {
-                        stats.sat_checks += 1;
-                        sat::find_witness_with(&inc_region, &negs, parallel)
+                        match sat::find_witness_budgeted(&inc_region, &negs, parallel, budget) {
+                            SatOutcome::Sat(iw) => {
+                                stats.sat_checks += 1;
+                                Some(Some(iw))
+                            }
+                            SatOutcome::Unsat => {
+                                stats.sat_checks += 1;
+                                None
+                            }
+                            SatOutcome::Tripped => {
+                                stats.assumed_sat += 1;
+                                Some(None)
+                            }
+                        }
                     };
-                    let exc_witness = if !pc.predicate.eval(w) {
-                        Some(w.clone())
+                    let exc_witness: Option<Option<Vec<f64>>> = if !pc.predicate.eval(w) {
+                        Some(Some(w.clone()))
                     } else {
                         let mut probe = negs.clone();
                         probe.push(&pc.predicate);
-                        stats.sat_checks += 1;
-                        sat::find_witness_with(&cell.region, &probe, parallel)
+                        match sat::find_witness_budgeted(&cell.region, &probe, parallel, budget) {
+                            SatOutcome::Sat(ew) => {
+                                stats.sat_checks += 1;
+                                Some(Some(ew))
+                            }
+                            SatOutcome::Unsat => {
+                                stats.sat_checks += 1;
+                                None
+                            }
+                            SatOutcome::Tripped => {
+                                stats.assumed_sat += 1;
+                                Some(None)
+                            }
+                        }
                     };
                     if let Some(iw) = inc_witness {
                         let mut active = cell.active.clone();
@@ -313,14 +413,16 @@ impl CellSet {
                         cells.push(Cell {
                             region: inc_region,
                             active,
-                            witness: Some(iw),
+                            witness: iw,
+                            undecided: cell.undecided.clone(),
                         });
                     }
                     if let Some(ew) = exc_witness {
                         cells.push(Cell {
                             region: Arc::clone(&cell.region),
                             active: cell.active.clone(),
-                            witness: Some(ew),
+                            witness: ew,
+                            undecided: cell.undecided.clone(),
                         });
                     }
                 }
@@ -341,20 +443,31 @@ impl CellSet {
                 .filter(|old| overlaps_region(old, &only))
                 .map(|old| &old.predicate)
                 .collect();
-            let witness = match &self.uncovered {
+            let witness: Option<Option<Vec<f64>>> = match &self.uncovered {
                 // the cached closure counterexample satisfies no old
                 // predicate; if the new box contains it, it *is* the cell
-                Some(w) if only.contains_row(w) => Some(w.clone()),
-                _ => {
-                    stats.sat_checks += 1;
-                    sat::find_witness_with(&only, &relevant, parallel)
-                }
+                Some(w) if only.contains_row(w) => Some(Some(w.clone())),
+                _ => match sat::find_witness_budgeted(&only, &relevant, parallel, budget) {
+                    SatOutcome::Sat(w) => {
+                        stats.sat_checks += 1;
+                        Some(Some(w))
+                    }
+                    SatOutcome::Unsat => {
+                        stats.sat_checks += 1;
+                        None
+                    }
+                    SatOutcome::Tripped => {
+                        stats.assumed_sat += 1;
+                        Some(None)
+                    }
+                },
             };
             if let Some(w) = witness {
                 cells.push(Cell {
                     region: Arc::new(only),
                     active: [n].into_iter().collect(),
-                    witness: Some(w),
+                    witness: w,
+                    undecided: ActiveSet::new(),
                 });
             }
         }
@@ -413,6 +526,7 @@ impl CellSet {
                     region: Arc::clone(&cell.region),
                     active: remap(&cell.active),
                     witness: cell.witness.clone(),
+                    undecided: remap(&cell.undecided),
                 });
                 continue;
             }
@@ -436,6 +550,7 @@ impl CellSet {
                 region: Arc::new(region),
                 active,
                 witness: cell.witness.clone(),
+                undecided: remap(&cell.undecided),
             });
         }
         stats.cells = cells.len();
@@ -638,6 +753,14 @@ impl<'a> SliceSpecializer<'a> {
             Some(leaves) => Arc::clone(leaves),
             None => return false,
         };
+        // Frontier (budget-degraded) source cells keep their undecided
+        // set on every replayed leaf — the transfer argument is identical
+        // (undecidedness is a property of the shared prefix, not the key).
+        let src_undecided = if src == VIRTUAL_CELL {
+            ActiveSet::new()
+        } else {
+            self.cells[src].undecided.clone()
+        };
         for leaf in leaves.iter() {
             let mut region = Arc::clone(base_region);
             let mut active = base_active.clone();
@@ -665,6 +788,7 @@ impl<'a> SliceSpecializer<'a> {
                 region,
                 active,
                 witness,
+                undecided: src_undecided.clone(),
             });
         }
         stats.splice_memo_hits += 1;
@@ -756,6 +880,7 @@ impl<'a> SliceSpecializer<'a> {
                     region,
                     active: cell.active.clone(),
                     witness,
+                    undecided: cell.undecided.clone(),
                 },
             ));
         }
@@ -881,6 +1006,7 @@ impl<'a> SliceSpecializer<'a> {
 pub(crate) fn splice_locals<'a>(
     region: Arc<Region>,
     active: &ActiveSet,
+    undecided: &ActiveSet,
     witness: Option<Vec<f64>>,
     shared_negs: Vec<&'a Predicate>,
     locals: &[(usize, &'a PredicateConstraint)],
@@ -894,6 +1020,7 @@ pub(crate) fn splice_locals<'a>(
         0,
         region,
         active.clone(),
+        undecided,
         shared_negs,
         witness,
         verified,
@@ -909,6 +1036,7 @@ fn splice_dfs<'a>(
     idx: usize,
     region: Arc<Region>,
     active: ActiveSet,
+    undecided: &ActiveSet,
     excluded: Vec<&'a Predicate>,
     witness: Option<Vec<f64>>,
     verified: bool,
@@ -919,12 +1047,15 @@ fn splice_dfs<'a>(
     if idx == locals.len() {
         // The ∅-shared virtual cell with every local excluded is not a
         // cell (no active constraint): the closure check owns that
-        // region.
-        if !active.is_empty() {
+        // region. A frontier source cell (undecided non-empty) IS
+        // emitted even with an empty activity — its rows may satisfy
+        // undecided shared constraints.
+        if !active.is_empty() || !undecided.is_empty() {
             out.push(Cell {
                 region,
                 active,
                 witness,
+                undecided: undecided.clone(),
             });
         }
         return;
@@ -947,6 +1078,7 @@ fn splice_dfs<'a>(
                 idx + 1,
                 inc_region,
                 inc_active,
+                undecided,
                 excluded.clone(),
                 None,
                 false,
@@ -962,6 +1094,7 @@ fn splice_dfs<'a>(
             idx + 1,
             region,
             active,
+            undecided,
             exc,
             None,
             false,
@@ -1001,6 +1134,7 @@ fn splice_dfs<'a>(
             idx + 1,
             inc_region,
             inc_active,
+            undecided,
             excluded.clone(),
             Some(iw),
             true,
@@ -1017,6 +1151,7 @@ fn splice_dfs<'a>(
             idx + 1,
             region,
             active,
+            undecided,
             exc,
             Some(ew),
             true,
@@ -1160,6 +1295,7 @@ mod tests {
             splice_locals(
                 cell.region,
                 &cell.active,
+                &cell.undecided,
                 cell.witness,
                 Vec::new(),
                 &[(1, &local)],

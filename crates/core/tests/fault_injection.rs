@@ -1,0 +1,228 @@
+//! Recovery from *real* unwinds and stalls, injected inside the engine
+//! (`--features fault`; see `pc_budget::fault`).
+//!
+//! These tests prove the serving layer's three recovery stories against
+//! genuine panics rather than simulated `Err`s:
+//!
+//! 1. **Per-query isolation** — a panic in one of a batch's queries
+//!    fails that query alone ([`BoundError::Panicked`]); its 15 siblings
+//!    return the same ranges they do without the fault.
+//! 2. **No lasting poison** — after a panicked solve (mid-simplex-pivot,
+//!    the worst spot), the very next query on the same session answers
+//!    exactly; torn warm-start state is dropped, never replayed.
+//! 3. **Deadline over straggler** — a solver stall does not hang a
+//!    budgeted call; the deadline trips at the next cooperative check
+//!    and the call returns degraded-but-sound.
+//!
+//! The fault registry is process-global, so every test serializes on one
+//! mutex and disarms in a drop guard (a failing test must not leak its
+//! plan into the next).
+
+#![cfg(feature = "fault")]
+
+use pc_core::budget::fault::{self, Plan};
+use pc_core::{
+    BoundError, BoundOptions, FrequencyConstraint, PcSet, PredicateConstraint, QueryBudget,
+    Session, SessionOptions, TripReason, ValueConstraint,
+};
+use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
+use pc_storage::{AggKind, AggQuery};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize on the global registry and guarantee a clean slate on both
+/// ends, even when the test body panics.
+fn armed_section() -> (MutexGuard<'static, ()>, DisarmOnDrop) {
+    let guard = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    fault::disarm_all();
+    (guard, DisarmOnDrop)
+}
+
+struct DisarmOnDrop;
+impl Drop for DisarmOnDrop {
+    fn drop(&mut self) {
+        fault::disarm_all();
+    }
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![("g", AttrType::Int), ("v", AttrType::Int)])
+}
+
+/// Overlapping buckets on `g`: the decomposition must split and
+/// SAT-probe, which is where `sat::probe` lives, and the resulting cells
+/// overlap enough that the allocation LPs pivot, which is where
+/// `simplex::pivot` lives.
+fn overlapping_set() -> PcSet {
+    let mut set = PcSet::new(schema());
+    let mut d = Region::full(&schema());
+    d.set_interval(0, Interval::closed(0.0, 8.0));
+    d.set_interval(1, Interval::closed(0.0, 20.0));
+    set.set_domain(d);
+    for i in 0..6 {
+        let lo = i as f64;
+        set.push(PredicateConstraint::new(
+            Predicate::atom(Atom::between(0, lo, lo + 3.0)),
+            ValueConstraint::none().with(1, Interval::closed(0.0, 10.0 + lo)),
+            FrequencyConstraint::between(1, 5 + i as u64),
+        ));
+    }
+    // catch-all so the set is closed over the domain — without it every
+    // range is [-inf, inf] and no allocation LP ever runs (nothing for
+    // `simplex::pivot` to interrupt)
+    set.push(PredicateConstraint::new(
+        Predicate::always(),
+        ValueConstraint::none().with(1, Interval::closed(0.0, 20.0)),
+        FrequencyConstraint::at_most(32),
+    ));
+    set
+}
+
+fn session(threads: usize, cache_cells: bool) -> Session {
+    Session::with_options(
+        overlapping_set(),
+        SessionOptions {
+            bound: BoundOptions {
+                threads,
+                ..BoundOptions::default()
+            },
+            cache_cells,
+            incremental: true,
+        },
+    )
+}
+
+/// Sixteen window queries, each cutting the overlap differently.
+fn sixteen_queries() -> Vec<AggQuery> {
+    (0..16)
+        .map(|i| {
+            let lo = (i % 8) as f64 * 0.75;
+            let agg = if i % 2 == 0 {
+                AggKind::Count
+            } else {
+                AggKind::Sum
+            };
+            AggQuery::new(agg, 1, Predicate::atom(Atom::between(0, lo, lo + 2.5)))
+        })
+        .collect()
+}
+
+#[test]
+fn injected_panic_fails_exactly_one_of_sixteen_batch_queries() {
+    let (_guard, _disarm) = armed_section();
+    // cache_cells off: every query decomposes inside its own pool task,
+    // so the injected probe panic unwinds inside exactly one task's
+    // catch boundary — nothing shared is mid-flight when it fires.
+    let s = session(4, false);
+    let queries = sixteen_queries();
+    let oracle = s.bound_many(&queries);
+    assert!(oracle.iter().all(|r| r.is_ok()), "fixture must be clean");
+
+    fault::arm("sat::probe", Plan::PanicAfter(0));
+    let faulted = s.bound_many(&queries);
+
+    let panicked: Vec<usize> = faulted
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, Err(BoundError::Panicked)))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        panicked.len(),
+        1,
+        "one armed fault fires once and takes down exactly one query (got {panicked:?})"
+    );
+    for (i, (exact, got)) in oracle.iter().zip(&faulted).enumerate() {
+        if i == panicked[0] {
+            continue;
+        }
+        let (exact, got) = (exact.as_ref().unwrap(), got.as_ref().unwrap());
+        assert_eq!(
+            (exact.range.lo, exact.range.hi),
+            (got.range.lo, got.range.hi),
+            "query {i}: siblings of the panicked query must be untouched"
+        );
+        assert!(
+            !got.degraded,
+            "a sibling is not degraded, it is simply fine"
+        );
+    }
+
+    // The session survives: re-running the dead query alone answers
+    // exactly (the fired plan disarmed itself).
+    let replay = s
+        .bound(&queries[panicked[0]])
+        .expect("session must recover");
+    let exact = oracle[panicked[0]].as_ref().unwrap();
+    assert_eq!(
+        (replay.range.lo, replay.range.hi),
+        (exact.range.lo, exact.range.hi)
+    );
+}
+
+#[test]
+fn panicked_pivot_leaves_no_torn_warm_state_behind() {
+    let (_guard, _disarm) = armed_section();
+    let s = session(1, true);
+    let q = AggQuery::new(AggKind::Sum, 1, Predicate::always());
+
+    // Panic deep inside the very first solve's simplex — mid-pivot, with
+    // the tableau torn and half-built warm/cell state in flight.
+    fault::arm("simplex::pivot", Plan::PanicAfter(0));
+    let unwound = catch_unwind(AssertUnwindSafe(|| s.bound(&q)));
+    assert!(unwound.is_err(), "the injected pivot panic must surface");
+
+    // Next query on the same session: the torn state was dropped, the
+    // chain rebuilds cold, the answer matches a never-faulted session's.
+    let after = s
+        .bound(&q)
+        .expect("session must answer after a panicked solve");
+    let exact = session(1, true).bound(&q).expect("clean fixture");
+    assert_eq!(
+        (after.range.lo, after.range.hi),
+        (exact.range.lo, exact.range.hi)
+    );
+    assert!(!after.degraded);
+}
+
+#[test]
+fn stalled_sat_probe_is_cut_by_the_deadline_not_waited_out() {
+    let (_guard, _disarm) = armed_section();
+    let s = session(1, false);
+    let q = AggQuery::new(AggKind::Count, 1, Predicate::always());
+    let exact = s.bound(&q).expect("fixture must be clean");
+
+    // One probe stalls for 300ms against a 20ms deadline. The stall
+    // itself is not interruptible (cooperative cancellation), but the
+    // very next check after it must trip — the call returns degraded in
+    // roughly one stall, instead of probing the remaining cells at
+    // 300ms each.
+    fault::arm(
+        "sat::probe",
+        Plan::StallAfter(0, Duration::from_millis(300)),
+    );
+    let budget = QueryBudget::armed().with_timeout(Duration::from_millis(20));
+    let t0 = Instant::now();
+    let r = s
+        .bound_budgeted(&q, &budget)
+        .expect("a deadline degrades, never errors");
+    let elapsed = t0.elapsed();
+
+    assert_eq!(budget.trip_reason(), Some(TripReason::Deadline));
+    assert!(r.degraded, "a deadline trip must be reported");
+    assert!(
+        r.range.lo <= exact.range.lo && r.range.hi >= exact.range.hi,
+        "degraded [{}, {}] must contain exact [{}, {}]",
+        r.range.lo,
+        r.range.hi,
+        exact.range.lo,
+        exact.range.hi
+    );
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "stall must not be paid once per remaining probe (took {elapsed:?})"
+    );
+}

@@ -26,10 +26,45 @@
 //! valid* witness. Satisfiability verdicts are identical to the
 //! sequential search; the witness row itself may differ between runs
 //! (both are genuine points of the cell).
+//!
+//! # Budgets
+//!
+//! [`find_witness_budgeted`] is the cooperative-cancellation entry: it
+//! charges the probe against a [`QueryBudget`] and re-checks the
+//! budget's passive limits (deadline / cancel) at every recursion and
+//! after every sequential branch — the same places the first-hit-wins
+//! stop flag is consulted — so a tripped search unwinds within one
+//! branch granule. A tripped probe reports [`SatOutcome::Tripped`],
+//! **never** `Unsat`: the search was abandoned, not refuted, and
+//! callers must treat the cell as possibly satisfiable (the
+//! EarlyStop-style sound widening).
 
 use crate::{Predicate, Region};
+use pc_budget::QueryBudget;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+/// Tri-state verdict of a budgeted satisfiability probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SatOutcome {
+    /// A genuine witness row of the cell.
+    Sat(Vec<f64>),
+    /// Exactly refuted: no point of the cell exists.
+    Unsat,
+    /// The budget tripped before the search finished. The cell **may**
+    /// be satisfiable — treating it as empty would be unsound.
+    Tripped,
+}
+
+impl SatOutcome {
+    /// The witness, if the probe proved satisfiability.
+    pub fn witness(self) -> Option<Vec<f64>> {
+        match self {
+            SatOutcome::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+}
 
 /// Minimum number of live (overlapping, non-covering) exclusions for the
 /// branch disjuncts to fork as pool tasks. The remaining subtree is at
@@ -48,7 +83,9 @@ pub const PAR_WITNESS_CUTOFF: usize = 6;
 /// Strictly sequential; see [`find_witness_with`] for the parallel
 /// driver.
 pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
-    search(base, negs, false, None)
+    #[cfg(feature = "fault")]
+    pc_budget::fault::point("sat::probe");
+    search(base, negs, false, None, &QueryBudget::unlimited())
 }
 
 /// [`find_witness`] with an explicit parallelism opt-in: when `parallel`
@@ -57,10 +94,37 @@ pub fn find_witness(base: &Region, negs: &[&Predicate]) -> Option<Vec<f64>> {
 /// docs). The satisfiability verdict is identical either way; only the
 /// identity of the returned witness may vary.
 pub fn find_witness_with(base: &Region, negs: &[&Predicate], parallel: bool) -> Option<Vec<f64>> {
-    if parallel && rayon::current_num_threads() > 1 {
-        search(base, negs, true, None)
-    } else {
-        search(base, negs, false, None)
+    #[cfg(feature = "fault")]
+    pc_budget::fault::point("sat::probe");
+    let parallel = parallel && rayon::current_num_threads() > 1;
+    search(base, negs, parallel, None, &QueryBudget::unlimited())
+}
+
+/// [`find_witness_with`] under a [`QueryBudget`]: charges one SAT probe,
+/// re-checks the passive limits at every recursion, and reports the
+/// tri-state [`SatOutcome`] — `Tripped` when the budget ran out before
+/// the search could conclude (see the module docs; never read `Tripped`
+/// as `Unsat`).
+pub fn find_witness_budgeted(
+    base: &Region,
+    negs: &[&Predicate],
+    parallel: bool,
+    budget: &QueryBudget,
+) -> SatOutcome {
+    #[cfg(feature = "fault")]
+    pc_budget::fault::point("sat::probe");
+    if !budget.charge_sat() {
+        return SatOutcome::Tripped;
+    }
+    let parallel = parallel && rayon::current_num_threads() > 1;
+    match search(base, negs, parallel, None, budget) {
+        Some(w) => SatOutcome::Sat(w),
+        // A `None` under a tripped budget is an abandoned search, not a
+        // refutation (the trip may have landed after a genuine UNSAT
+        // concluded — reporting `Tripped` for it is sound, merely
+        // looser).
+        None if budget.is_tripped() => SatOutcome::Tripped,
+        None => SatOutcome::Unsat,
     }
 }
 
@@ -68,14 +132,20 @@ pub fn find_witness_with(base: &Region, negs: &[&Predicate], parallel: bool) -> 
 /// cancellation flag of an enclosing parallel fan-out: once set, every
 /// search under that fan-out may return `None` *as a cancellation* — the
 /// fan-out that set it has already recorded a genuine witness, and
-/// cancelled results are discarded, never interpreted as UNSAT.
+/// cancelled results are discarded, never interpreted as UNSAT. A
+/// tripped `budget` aborts the same way; the budgeted public entry
+/// re-reads the budget to tell the two `None`s apart.
 fn search(
     base: &Region,
     negs: &[&Predicate],
     parallel: bool,
     stop: Option<&AtomicBool>,
+    budget: &QueryBudget,
 ) -> Option<Vec<f64>> {
     if stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+        return None;
+    }
+    if !budget.proceed() {
         return None;
     }
     if base.is_empty() {
@@ -165,12 +235,12 @@ fn search(
             }
         }
         if branches.len() > 1 {
-            return fan_out(base, &rest, branches, stop);
+            return fan_out(base, &rest, branches, stop, budget);
         }
         for branch in branches {
             let found = match &branch {
-                Some(shrunk) => search(shrunk, &rest, parallel, stop),
-                None => search(base, &rest, parallel, stop),
+                Some(shrunk) => search(shrunk, &rest, parallel, stop, budget),
+                None => search(base, &rest, parallel, stop, budget),
             };
             if found.is_some() {
                 return found;
@@ -198,17 +268,17 @@ fn search(
                     continue;
                 }
                 unchanged_tried = true;
-                if let Some(w) = search(base, &rest, parallel, stop) {
+                if let Some(w) = search(base, &rest, parallel, stop, budget) {
                     return Some(w);
                 }
             } else {
                 let mut shrunk = base.clone();
                 shrunk.set_interval(neg_atom.attr, narrowed);
-                if let Some(w) = search(&shrunk, &rest, parallel, stop) {
+                if let Some(w) = search(&shrunk, &rest, parallel, stop, budget) {
                     return Some(w);
                 }
             }
-            if stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+            if stop.is_some_and(|f| f.load(Ordering::Relaxed)) || !budget.proceed() {
                 return None;
             }
         }
@@ -228,6 +298,7 @@ fn fan_out(
     rest: &[&Predicate],
     branches: Vec<Option<Region>>,
     stop: Option<&AtomicBool>,
+    budget: &QueryBudget,
 ) -> Option<Vec<f64>> {
     let local_stop = AtomicBool::new(false);
     let stop = stop.unwrap_or(&local_stop);
@@ -236,12 +307,12 @@ fn fan_out(
         for branch in branches {
             let result = &result;
             s.spawn(move |_| {
-                if stop.load(Ordering::Relaxed) {
+                if stop.load(Ordering::Relaxed) || !budget.proceed() {
                     return;
                 }
                 let found = match &branch {
-                    Some(shrunk) => search(shrunk, rest, true, Some(stop)),
-                    None => search(base, rest, true, Some(stop)),
+                    Some(shrunk) => search(shrunk, rest, true, Some(stop), budget),
+                    None => search(base, rest, true, Some(stop), budget),
                 };
                 if let Some(w) = found {
                     stop.store(true, Ordering::Relaxed);
@@ -403,6 +474,54 @@ mod tests {
         assert!(is_sat(&base, &[&e0, &e2]));
         let w = find_witness(&base, &[&e0, &e2]).unwrap();
         assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn budgeted_probe_matches_exact_when_unlimited() {
+        let s = schema();
+        let base = boxp(0.0, 10.0, 0.0, 10.0).to_region(&s);
+        let left = boxp(-1.0, 5.0, -1.0, 11.0);
+        let right = boxp(5.0, 11.0, -1.0, 11.0);
+        let gap_right = boxp(6.0, 11.0, -1.0, 11.0);
+        let b = QueryBudget::unlimited();
+        assert_eq!(
+            find_witness_budgeted(&base, &[&left, &right], false, &b),
+            SatOutcome::Unsat
+        );
+        match find_witness_budgeted(&base, &[&left, &gap_right], false, &b) {
+            SatOutcome::Sat(w) => assert!(base.contains_row(&w)),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_reports_tripped_not_unsat() {
+        let s = schema();
+        let base = boxp(0.0, 10.0, 0.0, 10.0).to_region(&s);
+        let left = boxp(-1.0, 5.0, -1.0, 11.0);
+        let right = boxp(5.0, 11.0, -1.0, 11.0);
+        // cap 0: the very first charge trips — even though the cell is
+        // genuinely UNSAT, the abandoned probe must not claim so
+        let b = QueryBudget::unlimited().with_sat_cap(0);
+        assert_eq!(
+            find_witness_budgeted(&base, &[&left, &right], false, &b),
+            SatOutcome::Tripped
+        );
+        assert!(b.is_tripped());
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_mid_search() {
+        let s = schema();
+        let base = boxp(0.0, 10.0, 0.0, 10.0).to_region(&s);
+        let left = boxp(-1.0, 5.0, -1.0, 11.0);
+        let right = boxp(5.0, 11.0, -1.0, 11.0);
+        let b = QueryBudget::armed();
+        b.cancel_token().expect("armed").cancel();
+        assert_eq!(
+            find_witness_budgeted(&base, &[&left, &right], false, &b),
+            SatOutcome::Tripped
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use pc_budget::TripReason;
 use std::fmt;
 
 /// Errors produced by the LP and MILP solvers.
@@ -10,6 +11,14 @@ pub enum SolverError {
     /// The iteration or node limit was exhausted before convergence.
     /// Carries the limit that was hit, for diagnostics.
     LimitExceeded(usize),
+    /// The query budget tripped mid-search (deadline, node cap, or
+    /// cancel — see [`TripReason`]). Unlike [`LimitExceeded`] this is a
+    /// *cooperative* abort requested by the caller's budget; the PC
+    /// engine reacts by degrading to the LP relaxation bound rather
+    /// than surfacing the error.
+    ///
+    /// [`LimitExceeded`]: SolverError::LimitExceeded
+    BudgetExhausted(TripReason),
     /// The problem is malformed (mismatched dimensions, NaN coefficients,
     /// inverted bounds, …).
     BadModel(String),
@@ -22,6 +31,9 @@ impl fmt::Display for SolverError {
             SolverError::Unbounded => write!(f, "problem is unbounded"),
             SolverError::LimitExceeded(n) => {
                 write!(f, "solver limit of {n} iterations/nodes exceeded")
+            }
+            SolverError::BudgetExhausted(reason) => {
+                write!(f, "query budget exhausted mid-search ({reason})")
             }
             SolverError::BadModel(msg) => write!(f, "malformed model: {msg}"),
         }
@@ -39,6 +51,9 @@ mod tests {
         assert!(SolverError::Infeasible.to_string().contains("infeasible"));
         assert!(SolverError::Unbounded.to_string().contains("unbounded"));
         assert!(SolverError::LimitExceeded(10).to_string().contains("10"));
+        assert!(SolverError::BudgetExhausted(TripReason::Deadline)
+            .to_string()
+            .contains("deadline"));
         assert!(SolverError::BadModel("x".into()).to_string().contains("x"));
     }
 }

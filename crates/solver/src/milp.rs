@@ -84,6 +84,7 @@ use crate::simplex::{
     solve_lp_tableau, BranchBound, CanonicalTableau, ChildSolve, SolveStats, WarmStart,
 };
 use crate::{Sense, SolverError};
+use pc_budget::{QueryBudget, TripReason};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -236,6 +237,22 @@ pub fn solve_milp_carried(
     options: MilpOptions,
     prior: Option<CanonicalTableau>,
 ) -> Result<(MilpSolution, Option<CanonicalTableau>), SolverError> {
+    solve_milp_budgeted(problem, options, prior, &QueryBudget::unlimited())
+}
+
+/// [`solve_milp_carried`] under a [`QueryBudget`]: every claimed node
+/// charges the budget, and a trip (deadline, node cap, explicit cancel)
+/// drains the search within one node granule — in-flight node tasks
+/// finish their single LP solve, no new nodes start. A tripped search
+/// reports [`SolverError::BudgetExhausted`]; callers that can degrade
+/// (the PC bounding engine) fall back to the root LP relaxation, an
+/// outer bound of the MILP optimum.
+pub fn solve_milp_budgeted(
+    problem: &MilpProblem,
+    options: MilpOptions,
+    prior: Option<CanonicalTableau>,
+    budget: &QueryBudget,
+) -> Result<(MilpSolution, Option<CanonicalTableau>), SolverError> {
     if problem.integer.len() != problem.lp.num_vars() {
         return Err(SolverError::BadModel(
             "integrality flags length must equal variable count".into(),
@@ -266,7 +283,7 @@ pub fn solve_milp_carried(
         warm_start: options.warm_start && phase1_is_real,
         ..options
     };
-    let search = Search::new(problem, options);
+    let search = Search::new(problem, options, budget);
     if options.tableau_carry {
         *search.root_prior.lock().unwrap() = prior;
     }
@@ -294,6 +311,8 @@ enum Warmth {
 struct Search<'a> {
     problem: &'a MilpProblem,
     options: MilpOptions,
+    /// The caller's cooperative budget, charged once per claimed node.
+    budget: &'a QueryBudget,
     maximizing: bool,
     /// Best incumbent objective, bit-cast, for lock-free prune tests.
     /// Initialized to the sense's identity (−∞ / +∞) so "no incumbent"
@@ -307,6 +326,9 @@ struct Search<'a> {
     carried_pivots: AtomicU64,
     rebuilt_pivots: AtomicU64,
     limit_hit: AtomicBool,
+    /// Set when the budget tripped *during this search* (distinct from
+    /// [`Search::limit_hit`], which is the solver's own node cap).
+    budget_hit: AtomicBool,
     failed: AtomicBool,
     error: Mutex<Option<SolverError>>,
     /// A carried tableau for the *root* relaxation (chained in by
@@ -317,7 +339,7 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
-    fn new(problem: &'a MilpProblem, options: MilpOptions) -> Self {
+    fn new(problem: &'a MilpProblem, options: MilpOptions, budget: &'a QueryBudget) -> Self {
         let maximizing = problem.lp.sense == Sense::Maximize;
         let identity = if maximizing {
             f64::NEG_INFINITY
@@ -327,6 +349,7 @@ impl<'a> Search<'a> {
         Search {
             problem,
             options,
+            budget,
             maximizing,
             best_bits: AtomicU64::new(identity.to_bits()),
             incumbent: Mutex::new(None),
@@ -336,6 +359,7 @@ impl<'a> Search<'a> {
             carried_pivots: AtomicU64::new(0),
             rebuilt_pivots: AtomicU64::new(0),
             limit_hit: AtomicBool::new(false),
+            budget_hit: AtomicBool::new(false),
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
             root_prior: Mutex::new(None),
@@ -343,8 +367,15 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// Claim the right to process one node, or flag the limit.
+    /// Claim the right to process one node, or flag the limit. Charges
+    /// the query budget first: a tripped budget refuses the claim — the
+    /// per-node granule at which a deadline/cancel drains the whole
+    /// search (all workers' claims fail from here on).
     fn try_claim_node(&self) -> bool {
+        if !self.budget.charge_node() {
+            self.budget_hit.store(true, Ordering::SeqCst);
+            return false;
+        }
         loop {
             let n = self.nodes.load(Ordering::SeqCst);
             if n >= self.options.node_limit {
@@ -662,6 +693,15 @@ impl<'a> Search<'a> {
             rebuilt_pivots: self.rebuilt_pivots.into_inner(),
         };
         let incumbent = self.incumbent.into_inner().unwrap();
+        if self.budget_hit.into_inner() {
+            // A cooperative abort, surfaced explicitly so the caller can
+            // degrade (the engine falls back to the LP relaxation — a
+            // sound outer bound — and marks the report degraded). The
+            // incumbent, if any, is an *inner* bound and deliberately not
+            // returned as if it were the answer.
+            let reason = self.budget.trip_reason().unwrap_or(TripReason::NodeCap);
+            return Err(SolverError::BudgetExhausted(reason));
+        }
         if self.limit_hit.into_inner() {
             if self.options.best_effort {
                 if let Some((objective, x)) = incumbent {
@@ -884,6 +924,54 @@ mod tests {
             "all-Le trees must still carry: {:?}",
             carry.search
         );
+    }
+
+    #[test]
+    fn budget_node_cap_trips_with_explicit_error() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Le, 3.0);
+        let problem = MilpProblem::all_integer(lp);
+        let budget = QueryBudget::unlimited().with_node_cap(1);
+        let r = solve_milp_budgeted(&problem, MilpOptions::default(), None, &budget);
+        assert!(
+            matches!(r, Err(SolverError::BudgetExhausted(TripReason::NodeCap))),
+            "expected BudgetExhausted, got {r:?}"
+        );
+        assert!(budget.is_tripped());
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_search() {
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        lp.add_constraint(vec![(0, 2.0), (1, 2.0)], Le, 3.0);
+        let problem = MilpProblem::all_integer(lp);
+        let budget = QueryBudget::armed();
+        budget.cancel_token().expect("armed").cancel();
+        let r = solve_milp_budgeted(&problem, MilpOptions::default(), None, &budget);
+        assert!(
+            matches!(r, Err(SolverError::BudgetExhausted(TripReason::Cancelled))),
+            "expected cancelled abort, got {r:?}"
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let mut lp = LinearProgram::maximize(vec![8.0, 11.0, 6.0, 4.0]);
+        lp.add_constraint(vec![(0, 5.0), (1, 7.0), (2, 4.0), (3, 3.0)], Le, 14.0);
+        for i in 0..4 {
+            lp.set_bounds(i, 0.0, 1.0);
+        }
+        let problem = MilpProblem::all_integer(lp);
+        let plain = solve_milp(&problem, MilpOptions::default()).unwrap();
+        let (budgeted, _) = solve_milp_budgeted(
+            &problem,
+            MilpOptions::default(),
+            None,
+            &QueryBudget::unlimited(),
+        )
+        .unwrap();
+        assert_close(plain.objective, budgeted.objective);
+        assert!(budgeted.proven_optimal);
     }
 
     #[test]

@@ -1231,6 +1231,8 @@ impl Tableau {
 
     /// Gauss-pivot on `(row, col)` and update the basis.
     fn pivot(&mut self, row: usize, col: usize) {
+        #[cfg(feature = "fault")]
+        pc_budget::fault::point("simplex::pivot");
         let w = self.stride;
         let p = self.at(row, col);
         debug_assert!(p.abs() > TOL, "pivot on (near-)zero element");

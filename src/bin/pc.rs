@@ -64,10 +64,25 @@
 //!   deeper tableau-carry tier (carrying whole canonical tableaux into
 //!   branch & bound children, across AVG probes, and across a session's
 //!   queries). A/B knob for the O(1)-pivot carry; never changes results.
+//! * `--timeout-ms N` / `--sat-cap N` / `--node-cap N` — arm a
+//!   [`QueryBudget`] (wall-clock deadline, SAT-probe cap, branch & bound
+//!   node cap). A tripped budget never errors: the engine degrades
+//!   gracefully and still answers, with the result marked `(degraded)` —
+//!   the printed range is sound but possibly looser than the exact one.
+//!   The budget is re-armed per engine call: for `bound` it covers the
+//!   one query (or the whole GROUP BY fan-out); for `batch` it covers
+//!   each run of consecutive queries (answered as one pinned-epoch
+//!   batch) or each update directive's incremental derivation. A
+//!   directive whose derivation trips still lands — its epoch's cells
+//!   are simply rebuilt lazily by the next query.
+//!
+//! `batch` serves its stream **incrementally**: queries are answered
+//! batch-by-batch as directives cut the stream, and a malformed line
+//! aborts with `line N: …` *after* flushing every result already
+//! produced — partial output is never lost to a late typo.
 
 use predicate_constraints::core::{
-    dsl, BoundError, BoundOptions, ConstraintId, PcSet, PredicateConstraint, Session,
-    SessionOptions,
+    dsl, BoundError, BoundOptions, ConstraintId, PcSet, QueryBudget, Session, SessionOptions,
 };
 use predicate_constraints::predicate::{AttrType, Schema};
 use predicate_constraints::storage::{
@@ -94,6 +109,9 @@ struct Args {
     no_session_cache: bool,
     no_warm_start: bool,
     no_tableau_carry: bool,
+    timeout_ms: Option<u64>,
+    sat_cap: Option<u64>,
+    node_cap: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -115,6 +133,14 @@ fn parse_args() -> Result<Args, String> {
         no_session_cache: false,
         no_warm_start: false,
         no_tableau_carry: false,
+        timeout_ms: None,
+        sat_cap: None,
+        node_cap: None,
+    };
+    let parse_u64 = |flag: &str, v: Option<String>| -> Result<u64, String> {
+        let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse()
+            .map_err(|_| format!("{flag}: `{v}` is not a number"))
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -132,6 +158,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--threads: `{v}` is not a number"))?;
             }
             "--per-key-groupby" => args.per_key_groupby = true,
+            "--timeout-ms" => args.timeout_ms = Some(parse_u64("--timeout-ms", argv.next())?),
+            "--sat-cap" => args.sat_cap = Some(parse_u64("--sat-cap", argv.next())?),
+            "--node-cap" => args.node_cap = Some(parse_u64("--node-cap", argv.next())?),
             "--no-session-cache" => args.no_session_cache = true,
             "--no-warm-start" => args.no_warm_start = true,
             "--no-tableau-carry" => args.no_tableau_carry = true,
@@ -165,6 +194,37 @@ fn session_options(args: &Args) -> SessionOptions {
         cache_cells: !args.no_session_cache,
         incremental: true,
     }
+}
+
+/// A fresh budget from the CLI caps. Fresh per engine call on purpose:
+/// `--timeout-ms` is a *deadline*, measured from arming, so one budget
+/// built at startup would silently charge file loading and every earlier
+/// batch against later queries.
+fn query_budget(args: &Args) -> QueryBudget {
+    let mut budget = QueryBudget::unlimited();
+    if let Some(ms) = args.timeout_ms {
+        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(cap) = args.sat_cap {
+        budget = budget.with_sat_cap(cap);
+    }
+    if let Some(cap) = args.node_cap {
+        budget = budget.with_node_cap(cap);
+    }
+    budget
+}
+
+/// Suffix tags for a report line: degraded first (budget story), then
+/// closure (coverage story).
+fn report_tags(degraded: bool, closed: bool) -> String {
+    let mut tag = String::new();
+    if degraded {
+        tag.push_str("  (degraded)");
+    }
+    if !closed {
+        tag.push_str("  (not closed)");
+    }
+    tag
 }
 
 fn parse_schema(spec: &str) -> Result<Schema, String> {
@@ -283,62 +343,27 @@ fn main() -> ExitCode {
                     Err(e) => return fail(&format!("cannot read {path}: {e}")),
                 }
             };
-            // Parse the stream up front (queries and update directives),
-            // so a malformed line fails before any work runs.
-            enum Item {
-                Query(String, AggQuery),
-                Add(String, PredicateConstraint),
-                Retire(ConstraintId),
-            }
-            let mut items: Vec<Item> = Vec::new();
-            for line in text.lines() {
-                let line = line.trim();
-                if line.is_empty() || line.starts_with('#') {
-                    continue;
-                }
-                if let Some(rest) = line.strip_prefix("+ ") {
-                    match dsl::parse_constraint(&table, rest) {
-                        Ok(pc) => items.push(Item::Add(rest.to_string(), pc)),
-                        Err(e) => return fail(&format!("{line}: {e}")),
-                    }
-                } else if let Some(rest) = line.strip_prefix("- ") {
-                    match rest.trim().parse::<ConstraintId>() {
-                        Ok(id) => items.push(Item::Retire(id)),
-                        Err(e) => return fail(&format!("{line}: {e}")),
-                    }
-                } else {
-                    match parse_query(&table, line) {
-                        Ok(q) => items.push(Item::Query(line.to_string(), q)),
-                        Err(e) => return fail(&format!("{line}: {e}")),
-                    }
-                }
-            }
-            if items.is_empty() {
-                return fail("--queries: no queries found");
-            }
-            let churning = items.iter().any(|i| !matches!(i, Item::Query(..)));
-            if churning && args.no_session_cache {
-                return fail(
-                    "update directives (+ / -) drive the session's incremental epochs \
-                     and need the cell cache; drop --no-session-cache",
-                );
-            }
             // One session serves the whole stream: decompose once,
             // specialize per query, delta-derive per directive, chain warm
-            // starts across queries and epochs. Consecutive queries are
-            // batched against one pinned epoch.
+            // starts across queries and epochs. The stream is processed
+            // line by line — consecutive queries batch against one pinned
+            // epoch, directives cut the batch, and a malformed line fails
+            // *after* the batches before it have printed their results.
             let session = Session::with_options(set, session_options(&args));
             let mut failed = false;
+            let mut saw_item = false;
             let mut pending: Vec<(String, AggQuery)> = Vec::new();
             let flush = |pending: &mut Vec<(String, AggQuery)>, failed: &mut bool| {
                 if pending.is_empty() {
                     return;
                 }
                 let queries: Vec<AggQuery> = pending.iter().map(|(_, q)| q.clone()).collect();
-                for ((sql, _), report) in pending.iter().zip(session.bound_many(&queries)) {
+                let budget = query_budget(&args);
+                let reports = session.bound_many_budgeted(&queries, &budget);
+                for ((sql, _), report) in pending.iter().zip(reports) {
                     match report {
                         Ok(r) => {
-                            let tag = if r.closed { "" } else { "  (not closed)" };
+                            let tag = report_tags(r.degraded, r.closed);
                             println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
                         }
                         Err(BoundError::EmptyAggregate) => {
@@ -352,22 +377,65 @@ fn main() -> ExitCode {
                 }
                 pending.clear();
             };
-            for item in items {
-                match item {
-                    Item::Query(sql, q) => pending.push((sql, q)),
-                    Item::Add(text, pc) => {
+            for (idx, raw) in text.lines().enumerate() {
+                let lineno = idx + 1;
+                let line = raw.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                saw_item = true;
+                if let Some(rest) = line.strip_prefix("+ ") {
+                    if args.no_session_cache {
                         flush(&mut pending, &mut failed);
-                        let id = session.add_constraint(pc);
-                        println!("+ {text} -> {id} (epoch {})", session.epoch());
+                        return fail(&format!(
+                            "line {lineno}: update directives (+ / -) drive the session's \
+                             incremental epochs and need the cell cache; drop --no-session-cache"
+                        ));
                     }
-                    Item::Retire(id) => {
+                    match dsl::parse_constraint(&table, rest) {
+                        Ok(pc) => {
+                            flush(&mut pending, &mut failed);
+                            let id = session.add_constraint_budgeted(pc, &query_budget(&args));
+                            println!("+ {rest} -> {id} (epoch {})", session.epoch());
+                        }
+                        Err(e) => {
+                            flush(&mut pending, &mut failed);
+                            return fail(&format!("line {lineno}: {line}: {e}"));
+                        }
+                    }
+                } else if let Some(rest) = line.strip_prefix("- ") {
+                    if args.no_session_cache {
                         flush(&mut pending, &mut failed);
-                        match session.retire_constraint(id) {
-                            Ok(()) => println!("- {id} retired (epoch {})", session.epoch()),
-                            Err(e) => return fail(&e.to_string()),
+                        return fail(&format!(
+                            "line {lineno}: update directives (+ / -) drive the session's \
+                             incremental epochs and need the cell cache; drop --no-session-cache"
+                        ));
+                    }
+                    match rest.trim().parse::<ConstraintId>() {
+                        Ok(id) => {
+                            flush(&mut pending, &mut failed);
+                            match session.retire_constraint(id) {
+                                Ok(()) => println!("- {id} retired (epoch {})", session.epoch()),
+                                Err(e) => return fail(&format!("line {lineno}: {e}")),
+                            }
+                        }
+                        Err(e) => {
+                            flush(&mut pending, &mut failed);
+                            return fail(&format!("line {lineno}: {line}: {e}"));
+                        }
+                    }
+                } else {
+                    match parse_query(&table, line) {
+                        Ok(q) => pending.push((line.to_string(), q)),
+                        Err(e) => {
+                            flush(&mut pending, &mut failed);
+                            return fail(&format!("line {lineno}: {line}: {e}"));
                         }
                     }
                 }
+            }
+            if !saw_item {
+                return fail("--queries: no queries found");
             }
             flush(&mut pending, &mut failed);
             if failed {
@@ -440,7 +508,8 @@ fn main() -> ExitCode {
                     return fail("--group-by: no group keys found in the data");
                 }
                 println!("{sql} GROUP BY {group_col}");
-                for group in session.bound_group_by(&query, attr, keys) {
+                let budget = query_budget(&args);
+                for group in session.bound_group_by_budgeted(&query, attr, keys, &budget) {
                     let label = table
                         .dictionary(attr)
                         .and_then(|d| d.label(group.key as u32))
@@ -448,7 +517,7 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| group.key.to_string());
                     match group.report {
                         Ok(r) => {
-                            let tag = if r.closed { "" } else { "  (not closed)" };
+                            let tag = report_tags(r.degraded, r.closed);
                             println!("{label}: [{}, {}]{tag}", r.range.lo, r.range.hi);
                         }
                         Err(BoundError::EmptyAggregate) => {
@@ -460,7 +529,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
 
-            let report = match session.bound(&query) {
+            let report = match session.bound_budgeted(&query, &query_budget(&args)) {
                 Ok(r) => r,
                 Err(BoundError::EmptyAggregate) => {
                     println!("EMPTY: no missing row can match this query");
@@ -470,6 +539,11 @@ fn main() -> ExitCode {
             };
             if !report.closed {
                 eprintln!("warning: constraint set does not cover the query region");
+            }
+            if report.degraded {
+                eprintln!(
+                    "warning: budget exhausted — the range is sound but may be looser than exact"
+                );
             }
             let range = if args.combine {
                 if !matches!(query.agg, AggKind::Sum | AggKind::Count) {
