@@ -7,6 +7,11 @@
 //!   overlapping set at several thread counts.
 //! * `group_by` — a 100-key GROUP-BY: per-key full decomposition baseline
 //!   vs the shared-decomposition path, cold and warm-started.
+//! * `shard_scaling` — 10×/30× replicas of the 14-pc overlapping set on
+//!   disjoint attribute tiles: one `COUNT` bound end to end, sharded
+//!   (per-component decomposition) vs flat (whole-catalog decomposition),
+//!   plus the one-mutation epoch-derivation latency of a session on the
+//!   30-tile catalog, shard-local vs flat-incremental.
 //!
 //! Set `PC_BENCH_JSON=/path/file.json` to append machine-readable results
 //! (the repo's `BENCH_decompose.json` is produced this way).
@@ -16,7 +21,7 @@ use pc_bench::experiments::fig7::overlapping_set;
 use pc_bench::Scale;
 use pc_core::{
     decompose, decompose_with, BoundEngine, BoundOptions, FrequencyConstraint, Parallelism, PcSet,
-    PredicateConstraint, Strategy, ValueConstraint,
+    PredicateConstraint, Session, SessionOptions, Strategy, ValueConstraint,
 };
 use pc_datagen::intel::{self, IntelConfig};
 use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
@@ -174,10 +179,80 @@ fn bench_group_by(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replicas of the 14-pc heavily overlapping set on disjoint attribute
+/// tiles (one interaction component per tile). The sharded engine
+/// decomposes per component, so its cost grows ~linearly with the tile
+/// count; the flat engine decomposes the whole catalog at once, where
+/// every emitted cell pays exclusion work against every other tile's
+/// constraints — superlinear in the tile count. Also measures the
+/// one-mutation epoch-derivation latency on the largest catalog:
+/// shard-local derivation re-derives one 14-constraint tile, the flat
+/// baseline re-derives through the whole cell set.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let table = intel::generate(IntelConfig {
+        rows: 2_000,
+        ..IntelConfig::default()
+    });
+    let query = AggQuery::count(Predicate::always());
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for tiles in [10usize, 30] {
+        let set = pc_bench::pcgen::tiled_replica_set(&table, 14, tiles, 7);
+        // tiles never merge; a tile may fracture into finer components
+        assert!(pc_core::interaction_components(&set).len() >= tiles);
+        let sharded = BoundEngine::new(&set);
+        let flat = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                shard: false,
+                ..BoundOptions::default()
+            },
+        );
+        // same answer before we time anything
+        let (a, b) = (sharded.bound(&query).unwrap(), flat.bound(&query).unwrap());
+        assert_eq!((a.range.lo, a.range.hi), (b.range.lo, b.range.hi));
+        group.bench_function(BenchmarkId::new("sharded", tiles), |b| {
+            b.iter(|| sharded.bound(&query).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("flat", tiles), |b| {
+            b.iter(|| flat.bound(&query).unwrap())
+        });
+    }
+
+    // One-mutation epoch derivation on the 30-tile catalog: add a
+    // constraint overlapping tile 0, then retire it (leaves the session
+    // where it started, so every iteration derives from the same shape).
+    let set = pc_bench::pcgen::tiled_replica_set(&table, 14, 30, 7);
+    let extra = set.constraints()[0].clone();
+    for (name, shard) in [("epoch_derive_sharded", true), ("epoch_derive_flat", false)] {
+        let session = Session::with_options(
+            set.clone(),
+            SessionOptions {
+                bound: BoundOptions {
+                    shard,
+                    ..BoundOptions::default()
+                },
+                ..SessionOptions::default()
+            },
+        );
+        session.cell_set().unwrap(); // warm epoch 0
+        group.bench_function(BenchmarkId::new(name, 30), |b| {
+            b.iter(|| {
+                let id = session.add_constraint(extra.clone());
+                session.cell_set().unwrap();
+                session.retire_constraint(id).unwrap();
+                session.cell_set().unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decompose,
     bench_parallel_decompose,
-    bench_group_by
+    bench_group_by,
+    bench_shard_scaling
 );
 criterion_main!(benches);

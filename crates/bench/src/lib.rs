@@ -39,6 +39,7 @@ pub fn emit_bench_json_line(line: &str) {
     }
 }
 pub mod harness;
+pub mod pcgen;
 
 pub use harness::{MethodSummary, Scale};
 

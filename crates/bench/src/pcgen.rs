@@ -1,0 +1,68 @@
+//! Workload generators for the sharding benchmarks: replicas of the
+//! Fig-7 heavily-overlapping PC set placed on disjoint attribute tiles,
+//! so the constraint-interaction graph factors into one component per
+//! tile. The flat engine pays one decomposition over the whole catalog;
+//! the sharded engine pays `tiles` independent small ones.
+
+use pc_core::{FrequencyConstraint, PcSet, PredicateConstraint, ValueConstraint};
+use pc_datagen::intel::cols;
+use pc_predicate::{Atom, Predicate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `tiles` replicas of an `n_per_tile`-constraint heavily overlapping
+/// box set (the Fig-7 style: each box spans 35–75% of its range), every
+/// replica confined to its own slice of the device axis with a 2% inner
+/// margin, so boxes in different tiles never intersect. Within a tile
+/// the boxes overlap heavily — each tile is one hard interaction
+/// component of `n_per_tile` constraints.
+pub fn tiled_replica_set(
+    missing_like: &pc_storage::Table,
+    n_per_tile: usize,
+    tiles: usize,
+    seed: u64,
+) -> PcSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = PcSet::new(missing_like.schema().clone());
+    let (dlo, dhi) = missing_like.attr_range(cols::DEVICE).unwrap_or((0.0, 1.0));
+    let (elo, ehi) = missing_like.attr_range(cols::EPOCH).unwrap_or((0.0, 1.0));
+    let tile_w = (dhi - dlo) / tiles as f64;
+    let espan = ehi - elo;
+    for t in 0..tiles {
+        let lo = dlo + t as f64 * tile_w + 0.01 * tile_w;
+        let span = 0.98 * tile_w;
+        for _ in 0..n_per_tile {
+            let dw = span * rng.gen_range(0.35..0.75);
+            let dstart = lo + rng.gen_range(0.0..(span - dw).max(f64::MIN_POSITIVE));
+            let ew = espan * rng.gen_range(0.35..0.75);
+            let estart = elo + rng.gen_range(0.0..(espan - ew).max(f64::MIN_POSITIVE));
+            set.push(PredicateConstraint::new(
+                Predicate::always()
+                    .and(Atom::between(cols::DEVICE, dstart, dstart + dw))
+                    .and(Atom::between(cols::EPOCH, estart, estart + ew)),
+                ValueConstraint::none(),
+                FrequencyConstraint::at_most(100),
+            ));
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_datagen::intel::{self, IntelConfig};
+
+    #[test]
+    fn tiles_factor_into_one_component_each() {
+        let table = intel::generate(IntelConfig {
+            rows: 500,
+            ..IntelConfig::default()
+        });
+        let set = tiled_replica_set(&table, 5, 6, 7);
+        assert_eq!(set.len(), 30);
+        let components = pc_core::interaction_components(&set);
+        assert_eq!(components.len(), 6, "one component per tile");
+        assert!(components.iter().all(|c| c.len() == 5));
+    }
+}

@@ -112,6 +112,17 @@ pub struct BoundOptions {
     /// (`pc … --no-tableau-carry`): never affects results, only work —
     /// see [`BoundReport::solver`] for the counters.
     pub tableau_carry: bool,
+    /// Factor the cell set over the constraint-interaction graph (on by
+    /// default): connected components of the pairwise attribute-box
+    /// overlap graph decompose independently as parallel shards and their
+    /// bounds recombine exactly (see [`crate::shard`]). Sets that are one
+    /// component (every constraint transitively overlapping) take the
+    /// flat path unchanged; disjoint-hinted sets keep their own fast
+    /// path. Under the exact strategies the sharded and flat answers are
+    /// identical (property-tested); under [`Strategy::EarlyStop`] both
+    /// are sound but may admit different unverified cells. Disable to A/B
+    /// the factoring against the flat product.
+    pub shard: bool,
 }
 
 impl Default for BoundOptions {
@@ -126,6 +137,7 @@ impl Default for BoundOptions {
             shared_group_by: true,
             warm_start: true,
             tableau_carry: true,
+            shard: true,
         }
     }
 }
@@ -218,6 +230,11 @@ pub struct BoundReport {
     /// exact answer — only possibly looser than an unbudgeted run's.
     /// Always `false` for unlimited-budget calls.
     pub degraded: bool,
+    /// Per-shard SAT-check counts when the call routed through the
+    /// sharded path ([`BoundOptions::shard`], [`crate::shard`]), in shard
+    /// order — the skew profile of the factored decomposition. Empty on
+    /// the flat paths.
+    pub shard_sat_checks: Vec<u64>,
 }
 
 /// Simplex state kept across the LP solves of a chain, keyed by
@@ -393,6 +410,20 @@ pub(crate) struct CellProblem {
     degraded: StdCell<bool>,
 }
 
+/// One shard's contribution to a sharded bounding call (see
+/// [`BoundEngine::bound_sharded`]): the shard's constraints as their own
+/// set (local indices), the member table back into the global set, the
+/// cells relevant to this query, and the work newly charged producing
+/// them. `cache` is `Some` exactly when the query region contains the
+/// whole shard, making the shard's domain-wide summaries exact for it.
+pub(crate) struct ShardSlice {
+    pub(crate) sub: Arc<PcSet>,
+    pub(crate) members: Vec<usize>,
+    pub(crate) cells: Vec<Cell>,
+    pub(crate) stats: DecomposeStats,
+    pub(crate) cache: Option<Arc<crate::shard::Shard>>,
+}
+
 impl CellProblem {
     fn record_search(&self, nodes: usize, s: SearchStats) {
         let mut w = self.work.get();
@@ -469,8 +500,292 @@ impl<'a> BoundEngine<'a> {
         warm: Option<WarmCache>,
         budget: &QueryBudget,
     ) -> Result<BoundReport, BoundError> {
+        // Factor over the constraint-interaction graph when it actually
+        // factors (≥ 2 components); single-component and disjoint-hinted
+        // sets take the flat paths unchanged.
+        if self.options.shard && !self.set.disjoint_hint() && self.set.len() >= 2 {
+            let components = crate::shard::interaction_components(self.set);
+            if components.len() > 1 {
+                return self.bound_sharded_oneshot(query, components, warm, budget);
+            }
+        }
         let problem = self.build_problem(query, warm, budget)?;
         self.bound_problem(query.agg, &problem)
+    }
+
+    /// One-shot sharded bound: decompose each interaction-graph component
+    /// independently (parallel pool tasks, shared budget) against the
+    /// query region, then recombine. Components the region doesn't touch
+    /// skip decomposition entirely — their constraints' frequency rows
+    /// behave identically over zero member cells.
+    fn bound_sharded_oneshot(
+        &self,
+        query: &AggQuery,
+        components: Vec<Vec<usize>>,
+        warm: Option<WarmCache>,
+        budget: &QueryBudget,
+    ) -> Result<BoundReport, BoundError> {
+        let schema = self.set.schema();
+        let mut base = query.predicate.to_region(schema);
+        base.intersect(self.set.domain());
+
+        // Closure is a global question — one probe over the full set, not
+        // per shard (mirrors `build_problem`'s ladder).
+        let mut skipped_closure = false;
+        let closed = if !self.options.check_closure {
+            true
+        } else if !budget.proceed() {
+            skipped_closure = true;
+            false
+        } else {
+            self.set.is_closed_within_with(&base, self.par_witness())
+        };
+
+        let boxes = crate::shard::constraint_boxes(self.set);
+        let inputs: Vec<(Arc<PcSet>, Vec<usize>, bool)> = components
+            .into_iter()
+            .map(|members| {
+                let touched = members.iter().any(|&m| boxes[m].overlaps(&base));
+                let sub = Arc::new(crate::shard::sub_set(self.set, &members));
+                (sub, members, touched)
+            })
+            .collect();
+        let threads = self.task_threads(inputs.len());
+        let options = self.options;
+        let built = pooled_map_catch(&inputs, threads, &|(sub, members, touched): &(
+            Arc<PcSet>,
+            Vec<usize>,
+            bool,
+        )| {
+            let (cells, stats) = if *touched {
+                let engine = BoundEngine::with_options(sub, options);
+                engine.cells_for_base_budgeted(&base, budget)?
+            } else {
+                (Vec::new(), DecomposeStats::default())
+            };
+            Ok::<ShardSlice, BoundError>(ShardSlice {
+                sub: Arc::clone(sub),
+                members: members.clone(),
+                cells,
+                stats,
+                cache: None,
+            })
+        });
+        let mut slices = Vec::with_capacity(built.len());
+        for result in built {
+            slices.push(result.ok_or(BoundError::Panicked)??);
+        }
+        self.bound_sharded(
+            query,
+            &base,
+            closed,
+            skipped_closure,
+            slices,
+            DecomposeStats::default(),
+            warm,
+            budget,
+        )
+    }
+
+    /// Recombine per-shard cells into the query's bound. `COUNT`/`SUM`
+    /// solve one block of the block-diagonal allocation MILP per shard
+    /// and add the intervals (with per-shard domain-wide caching);
+    /// `MIN`/`MAX`/`AVG` concatenate the shard cells — by the factoring
+    /// theorem exactly the flat cell set — and reuse the flat per-cell
+    /// summaries (the AVG probe's `Σxᵢ ≥ 1` row couples every shard, so
+    /// its binary search runs joint). `base_stats` carries the
+    /// container's counters when the cells came from a session cache.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn bound_sharded(
+        &self,
+        query: &AggQuery,
+        base: &Region,
+        closed: bool,
+        skipped_closure: bool,
+        slices: Vec<ShardSlice>,
+        base_stats: DecomposeStats,
+        warm: Option<WarmCache>,
+        budget: &QueryBudget,
+    ) -> Result<BoundReport, BoundError> {
+        let mut stats = base_stats;
+        let shard_sat_checks: Vec<u64> = slices.iter().map(|s| s.stats.sat_checks).collect();
+        for slice in &slices {
+            stats.absorb(&slice.stats);
+        }
+        stats.cells = slices.iter().map(|s| s.cells.len()).sum();
+        stats.shards = slices.len();
+        stats.max_shard_constraints = slices.iter().map(|s| s.sub.len()).max().unwrap_or(0);
+
+        match query.agg {
+            AggKind::Count | AggKind::Sum => self.combine_additive(
+                query,
+                base,
+                closed,
+                skipped_closure,
+                slices,
+                stats,
+                shard_sat_checks,
+                warm,
+                budget,
+            ),
+            AggKind::Min | AggKind::Max | AggKind::Avg => {
+                let mut cells = Vec::with_capacity(stats.cells);
+                for slice in &slices {
+                    for cell in &slice.cells {
+                        cells.push(Cell {
+                            region: Arc::clone(&cell.region),
+                            active: cell.active.iter().map(|i| slice.members[i]).collect(),
+                            witness: cell.witness.clone(),
+                            undecided: cell.undecided.iter().map(|i| slice.members[i]).collect(),
+                        });
+                    }
+                }
+                let p = self.problem_from_cells_budgeted(
+                    query.attr, base, cells, stats, closed, warm, budget,
+                )?;
+                if skipped_closure {
+                    p.degraded.set(true);
+                }
+                let mut report = self.bound_problem(query.agg, &p)?;
+                report.shard_sat_checks = shard_sat_checks;
+                Ok(report)
+            }
+        }
+    }
+
+    /// The `COUNT`/`SUM` side of [`BoundEngine::bound_sharded`]: no
+    /// frequency row spans two shards, so the allocation MILP is
+    /// block-diagonal and the global optimum is the sum of per-shard
+    /// optima. A shard whose slice carries its cache handle (query region
+    /// ⊇ every member box) serves or refills the query-independent
+    /// domain-wide interval.
+    #[allow(clippy::too_many_arguments)]
+    fn combine_additive(
+        &self,
+        query: &AggQuery,
+        base: &Region,
+        closed: bool,
+        skipped_closure: bool,
+        slices: Vec<ShardSlice>,
+        stats: DecomposeStats,
+        shard_sat_checks: Vec<u64>,
+        warm: Option<WarmCache>,
+        budget: &QueryBudget,
+    ) -> Result<BoundReport, BoundError> {
+        let base_degraded = skipped_closure || stats.frontier_cells > 0 || budget.is_tripped();
+        let tag = if query.agg == AggKind::Count {
+            0u8
+        } else {
+            1u8
+        };
+        if query.agg == AggKind::Sum && !closed {
+            return Ok(BoundReport {
+                range: ResultRange {
+                    lo: f64::NEG_INFINITY,
+                    hi: f64::INFINITY,
+                },
+                closed,
+                stats,
+                solver: LpWork::default(),
+                degraded: base_degraded,
+                shard_sat_checks,
+            });
+        }
+
+        let mut lo = 0.0;
+        let mut hi = 0.0;
+        let mut work = LpWork::default();
+        let mut degraded = base_degraded;
+        for slice in slices {
+            if let Some(shard) = &slice.cache {
+                if let Some((slo, shi)) = shard.cached_summary(tag, query.attr) {
+                    lo += slo;
+                    hi += shi;
+                    continue;
+                }
+            }
+            let sub_engine = BoundEngine::with_options(&slice.sub, self.options);
+            // Per-shard problems are built closure-free (`closed: true`);
+            // the global closure verdict is applied once at the combine.
+            let p = sub_engine.problem_from_cells_budgeted(
+                query.attr,
+                base,
+                slice.cells,
+                slice.stats,
+                true,
+                warm.clone(),
+                budget,
+            )?;
+            let (slo, shi) = if p.cells.is_empty() {
+                (0.0, 0.0)
+            } else if query.agg == AggKind::Count {
+                let ones = vec![1.0; p.cells.len()];
+                let slo = sub_engine.allocate(&p, &ones, Sense::Minimize, false)?;
+                let shi = if closed {
+                    sub_engine.allocate(&p, &ones, Sense::Maximize, false)?
+                } else {
+                    0.0 // Unused: the combined upper end is forced to ∞.
+                };
+                (slo, shi)
+            } else {
+                let hi_unbounded =
+                    p.u.iter()
+                        .zip(&p.cap)
+                        .any(|(&ui, &cap)| ui == f64::INFINITY && cap > 0.0);
+                let lo_unbounded =
+                    p.l.iter()
+                        .zip(&p.cap)
+                        .any(|(&li, &cap)| li == f64::NEG_INFINITY && cap > 0.0);
+                let shi = if hi_unbounded {
+                    f64::INFINITY
+                } else {
+                    let coef: Vec<f64> =
+                        p.u.iter()
+                            .zip(&p.cap)
+                            .map(|(&ui, &cap)| if cap > 0.0 { ui } else { 0.0 })
+                            .collect();
+                    sub_engine.allocate(&p, &coef, Sense::Maximize, false)?
+                };
+                let slo = if lo_unbounded {
+                    f64::NEG_INFINITY
+                } else {
+                    let coef: Vec<f64> =
+                        p.l.iter()
+                            .zip(&p.cap)
+                            .map(|(&li, &cap)| if cap > 0.0 { li } else { 0.0 })
+                            .collect();
+                    sub_engine.allocate(&p, &coef, Sense::Minimize, false)?
+                };
+                (slo, shi)
+            };
+            let p_degraded = p.degraded.get();
+            degraded |= p_degraded;
+            work = {
+                let mut w = work;
+                let pw = p.work.get();
+                w.pivots += pw.pivots;
+                w.carried += pw.carried;
+                w.rebuilt += pw.rebuilt;
+                w.nodes += pw.nodes;
+                w
+            };
+            if let Some(shard) = &slice.cache {
+                if closed && !p_degraded && !budget.is_tripped() {
+                    shard.store_summary(tag, query.attr, slo, shi);
+                }
+            }
+            lo += slo;
+            hi += shi;
+        }
+        let hi = if closed { hi } else { f64::INFINITY };
+        Ok(BoundReport {
+            range: ResultRange { lo, hi },
+            closed,
+            stats,
+            solver: work,
+            degraded,
+            shard_sat_checks,
+        })
     }
 
     /// Whether wide satisfiability checks (closure, specialization
@@ -1254,6 +1569,7 @@ fn report(lo: f64, hi: f64, p: &CellProblem) -> BoundReport {
         stats: p.stats,
         solver: p.work.get(),
         degraded: p.degraded.get(),
+        shard_sat_checks: Vec::new(),
     }
 }
 

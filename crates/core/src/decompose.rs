@@ -53,6 +53,25 @@
 //! ([`Region::tightened_by`]); otherwise the child shares the parent's
 //! allocation. Cell signatures are [`ActiveSet`] bitsets, not index
 //! vectors.
+//!
+//! # Sharding: factoring over the constraint-interaction graph
+//!
+//! The `2ⁿ` worst case counts *interacting* constraints. Two constraints
+//! whose attribute boxes (predicate region ∩ domain) are geometrically
+//! disjoint can never both be active in a satisfiable cell, so the cell
+//! set of the whole catalog *factors*: build the **constraint-interaction
+//! graph** (vertices = constraints, edges = pairwise box overlap), take
+//! its connected components, and decompose each component — a **shard** —
+//! independently. Every satisfiable flat cell's active set lies inside
+//! exactly one component (active constraints pairwise overlap, so they
+//! form a clique), and excluding another shard's predicate is vacuous on
+//! the cell's region; hence the flat cell set is precisely the disjoint
+//! union of the shard-local cell sets, and a 1000-constraint catalog of
+//! 14-constraint components costs the *sum* of its shards, not their
+//! product. The shard layer lives in [`crate::shard`]; the engine routes
+//! through it automatically ([`crate::BoundOptions::shard`]), and
+//! [`DecomposeStats::shards`] / [`DecomposeStats::max_shard_constraints`]
+//! report the factoring.
 
 use crate::{ActiveSet, Cell, PcSet};
 use pc_budget::QueryBudget;
@@ -145,6 +164,15 @@ pub struct DecomposeStats {
     /// other value marks the cell set as *degraded* — sound, but with
     /// bounds possibly looser than the exact decomposition's.
     pub frontier_cells: u64,
+    /// Connected components of the constraint-interaction graph the cell
+    /// set was factored over ([`crate::shard::ShardedCellSet`]). `0` on
+    /// the flat (unsharded) paths; `1` means the set was sharded but is a
+    /// single component.
+    pub shards: usize,
+    /// The largest shard's constraint count — the quantity that actually
+    /// drives the exponential worst case once the set is factored. `0` on
+    /// the flat paths.
+    pub max_shard_constraints: usize,
 }
 
 impl DecomposeStats {
@@ -159,6 +187,10 @@ impl DecomposeStats {
         self.splice_memo_hits += other.splice_memo_hits;
         self.incremental_splits += other.incremental_splits;
         self.frontier_cells += other.frontier_cells;
+        // Shard topology is a property of the whole set, not additive
+        // work: folding two views keeps the widest one.
+        self.shards = self.shards.max(other.shards);
+        self.max_shard_constraints = self.max_shard_constraints.max(other.max_shard_constraints);
     }
 }
 

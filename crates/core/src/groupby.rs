@@ -43,6 +43,14 @@
 //!    work-stealing pool, preserving output order, with per-worker
 //!    simplex warm-start chains ([`pc_solver::solve_lp_warm`]).
 //!
+//! One catalog shape opts out of the shared scheme: a set whose
+//! constraint-interaction graph has several connected components
+//! ([`crate::shard`]). There the shared level-1 decomposition would pay
+//! the whole flat cost up front while each key's slice touches only its
+//! own shard(s), so the engine routes per key and lets each key's bound
+//! factor over the interaction graph instead — decomposing just the
+//! shards that key reaches.
+//!
 //! The scheme is exact, not heuristic: inside the `group = key` slice,
 //! every key-local constraint of *another* key is automatically excluded
 //! and automatically satisfied, so the satisfiable activity patterns are
@@ -144,6 +152,19 @@ impl BoundEngine<'_> {
             return Vec::new();
         }
         if !self.options.shared_group_by {
+            return self.bound_group_by_per_key(base, group_attr, &keys, budget);
+        }
+        if self.options.shard
+            && !self.set.disjoint_hint()
+            && self.set.len() >= 2
+            && crate::shard::interaction_components(self.set).len() > 1
+        {
+            // Multi-shard catalog: the shared level-1 decomposition would
+            // pay the whole superlinear flat cost up front, while each
+            // key's slice geometrically touches only its own shard(s).
+            // Route per key — every key's bound then factors over the
+            // interaction graph (the engine's sharded path), decomposing
+            // just the shards its slice reaches.
             return self.bound_group_by_per_key(base, group_attr, &keys, budget);
         }
 

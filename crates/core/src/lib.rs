@@ -29,7 +29,18 @@
 //!    group-local constraints spliced into its specialized slice, groups
 //!    solved in parallel — instead of a from-scratch decomposition per
 //!    key.
-//! 5. A **versioned session layer** ([`Session`]) for serving query
+//! 5. **Sharded decomposition** ([`shard`]): the cell set is factored
+//!    over the connected components of the **constraint-interaction
+//!    graph** (union-find over pairwise attribute-box overlap). Each
+//!    component ("shard") decomposes independently as a parallel pool
+//!    task, so the exponential decomposition cost is paid per shard,
+//!    not for the whole catalog; `COUNT`/`SUM` bounds combine as sums
+//!    of per-shard block-diagonal allocations, a query region only
+//!    specializes the shards it geometrically touches, and a shard
+//!    fully inside the region answers from its cached domain-wide
+//!    interval. Heavy shards re-order their constraints along quantile
+//!    boundaries before decomposing (skew-aware re-splitting).
+//! 6. A **versioned session layer** ([`Session`]) for serving query
 //!    traffic under constraint churn: the session owns a catalog of
 //!    stable [`ConstraintId`]s, each mutation
 //!    ([`Session::add_constraint`] / [`Session::retire_constraint`] /
@@ -43,7 +54,9 @@
 //!    the carried tableau by one appended/deleted row).
 //!    [`Session::bound_many`] fans a batch out over the work-stealing
 //!    pool against a single pinned epoch.
-//! 6. **Budgets and graceful degradation** ([`QueryBudget`], re-exported
+//!    Epoch derivation is **shard-local**: a mutation re-derives only
+//!    the shard(s) its box overlaps, the rest carry by `Arc`.
+//! 7. **Budgets and graceful degradation** ([`QueryBudget`], re-exported
 //!    from [`budget`]): every engine entry point has a `_budgeted`
 //!    variant accepting a deadline / SAT-check cap / branch & bound node
 //!    cap / [`CancelToken`], checked cooperatively at task-granule
@@ -115,6 +128,7 @@ mod groupby;
 pub mod join;
 mod pcset;
 mod session;
+pub mod shard;
 pub mod specialize;
 
 pub use bounds::{
@@ -133,4 +147,5 @@ pub use pc_budget as budget;
 pub use pc_budget::{CancelToken, QueryBudget, TripReason};
 pub use pcset::{PcSet, Violation};
 pub use session::{ConstraintId, Session, SessionOptions, UnknownConstraint};
+pub use shard::{interaction_components, Shard, ShardedCellSet, SHARD_RESPLIT_THRESHOLD};
 pub use specialize::CellSet;

@@ -14,7 +14,7 @@
 //! [`ConstraintId`]s. [`Session::add_constraint`],
 //! [`Session::retire_constraint`], and [`Session::replace_constraint`]
 //! mutate the catalog; each mutation produces a new **epoch** — an
-//! immutable snapshot (`Arc<PcSet>` + `Arc<CellSet>`) stamped with a
+//! immutable snapshot (`Arc<PcSet>` + `Arc<ShardedCellSet>`) stamped with a
 //! monotonically increasing [`Session::epoch`] number. Queries **pin**
 //! the epoch current when they start and run entirely against it
 //! (snapshot isolation): a mutation never changes the answer of an
@@ -22,12 +22,29 @@
 //! batch is answered against one epoch. Mutations serialize against each
 //! other and only briefly block *new* pins.
 //!
-//! # Incremental epoch derivation
+//! # Shard-local incremental epoch derivation
 //!
-//! A new epoch's [`CellSet`] is not re-decomposed from scratch. PC
-//! decomposition is monotone in the constraint list (the same argument
-//! behind the two-level GROUP-BY splice), so the previous epoch's cells
-//! are **delta-derived**:
+//! A new epoch's cells are not re-decomposed from scratch. The epoch
+//! holds a [`ShardedCellSet`] — the decomposition factored over the
+//! connected components of the constraint-interaction graph
+//! ([`crate::shard`]) — so the first question a mutation asks is
+//! *which shards does the churned constraint's box overlap?* Every
+//! shard it misses carries to the new epoch untouched by `Arc`: cells,
+//! witnesses, and cached domain-wide summary bounds all survive
+//! verbatim. Only the owning shard(s) pay:
+//!
+//! * an **add** overlapping *no* shard appends a fresh singleton shard
+//!   (one cell, zero SAT checks); overlapping *one* shard delta-derives
+//!   just that shard; overlapping *several* merges them into one
+//!   component and re-decomposes only the merged members;
+//! * a **retire** is resolved inside the owning shard, which may split
+//!   back into several components (each derived cell lands in the
+//!   fragment its active clique lives in — no SAT checks either way);
+//!   the other shards just shift their member indices.
+//!
+//! Within the owning shard, PC decomposition is monotone in the
+//! constraint list (the same argument behind the two-level GROUP-BY
+//! splice), so its cells are **delta-derived**:
 //!
 //! * **add** — only the cells the new constraint's box cuts are split
 //!   (one include/exclude level, cached witnesses settling one branch
@@ -99,7 +116,9 @@
 //! stream, and the `query_throughput` bench records the
 //! incremental-vs-rebuild ablation to `BENCH_serve.json`.
 
-use crate::bounds::{pooled_map_catch, WarmCache, WarmCaches};
+use crate::bounds::{pooled_map_catch, ShardSlice, WarmCache, WarmCaches};
+use crate::decompose::DecomposeStats;
+use crate::shard::ShardedCellSet;
 use crate::specialize::CellSet;
 use crate::{
     BoundEngine, BoundError, BoundOptions, BoundReport, GroupBound, PcSet, PredicateConstraint,
@@ -184,7 +203,7 @@ struct Epoch {
     number: u64,
     set: Arc<PcSet>,
     ids: Vec<ConstraintId>,
-    cells: OnceLock<Result<Arc<CellSet>, BoundError>>,
+    cells: OnceLock<Result<Arc<ShardedCellSet>, BoundError>>,
 }
 
 /// A long-lived, mutable query-serving handle over a constraint catalog:
@@ -253,11 +272,21 @@ impl Session {
         Arc::clone(&self.pin().set)
     }
 
-    /// The current epoch's domain-wide decomposition, built on first use.
-    /// Fails with the decomposition's error (e.g. a
-    /// [`crate::Strategy::Naive`] overflow), which every later query of
-    /// this epoch then reports too.
+    /// The current epoch's domain-wide decomposition as one flat
+    /// (global-index) [`CellSet`], built on first use. Internally the
+    /// epoch holds a [`ShardedCellSet`] — see [`Session::sharded_cell_set`]
+    /// — whose flattening this lazily materializes. Fails with the
+    /// decomposition's error (e.g. a [`crate::Strategy::Naive`]
+    /// overflow), which every later query of this epoch then reports too.
     pub fn cell_set(&self) -> Result<Arc<CellSet>, BoundError> {
+        let epoch = self.pin();
+        Ok(self.cells_of(&epoch)?.flatten(&epoch.set))
+    }
+
+    /// The current epoch's decomposition factored over the
+    /// constraint-interaction graph (one [`crate::shard::Shard`] per
+    /// connected component), built on first use.
+    pub fn sharded_cell_set(&self) -> Result<Arc<ShardedCellSet>, BoundError> {
         let epoch = self.pin();
         self.cells_of(&epoch)
     }
@@ -274,7 +303,7 @@ impl Session {
     }
 
     /// The pinned epoch's cells, building them on first use.
-    fn cells_of(&self, epoch: &Epoch) -> Result<Arc<CellSet>, BoundError> {
+    fn cells_of(&self, epoch: &Epoch) -> Result<Arc<ShardedCellSet>, BoundError> {
         epoch
             .cells
             .get_or_init(|| self.build_cells(epoch, &QueryBudget::unlimited()))
@@ -292,7 +321,7 @@ impl Session {
         &self,
         epoch: &Epoch,
         budget: &QueryBudget,
-    ) -> Result<Arc<CellSet>, BoundError> {
+    ) -> Result<Arc<ShardedCellSet>, BoundError> {
         if budget.is_unlimited() {
             return self.cells_of(epoch);
         }
@@ -309,18 +338,31 @@ impl Session {
         epoch.cells.get().expect("just published").clone()
     }
 
-    /// One domain-wide decomposition of `epoch`'s catalog, plus the
-    /// closure counterexample cache. Under an armed budget the closure
-    /// probe — potentially the widest SAT query of all — is skipped once
-    /// the budget trips, and the cell set marked so
-    /// [`CellSet::closed`] answers "open" (sound) instead of lying.
-    fn build_cells(&self, epoch: &Epoch, budget: &QueryBudget) -> Result<Arc<CellSet>, BoundError> {
-        let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
+    /// One domain-wide decomposition of `epoch`'s catalog — one pool task
+    /// per interaction-graph component ([`ShardedCellSet::build`]) — plus
+    /// the closure counterexample cache. Under an armed budget the
+    /// closure probe — potentially the widest SAT query of all — is
+    /// skipped once the budget trips, and the container marked so
+    /// [`ShardedCellSet::closed`] answers "open" (sound) instead of
+    /// lying.
+    fn build_cells(
+        &self,
+        epoch: &Epoch,
+        budget: &QueryBudget,
+    ) -> Result<Arc<ShardedCellSet>, BoundError> {
         let base = epoch.set.domain().clone();
-        let (cells, stats) = engine.cells_for_base_budgeted(&base, budget)?;
+        let mut sharded = ShardedCellSet::build(
+            &epoch.set,
+            &self.options.bound,
+            base.clone(),
+            None,
+            false,
+            budget,
+        )?;
         // Cache the closure *counterexample*, not just the verdict: a
         // non-closed epoch would otherwise re-prove non-closure with the
-        // widest SAT query on every bound.
+        // widest SAT query on every bound. Closure is a global question,
+        // probed once across all shards.
         let mut closure_skipped = false;
         let uncovered = if !self.options.bound.check_closure {
             None
@@ -328,15 +370,10 @@ impl Session {
             closure_skipped = true;
             None
         } else {
-            epoch
-                .set
-                .uncovered_witness_with(&base, engine.par_witness())
+            epoch.set.uncovered_witness_with(&base, self.par_witness())
         };
-        let mut cell_set = CellSet::new(&epoch.set, base, cells, stats, uncovered);
-        if closure_skipped {
-            cell_set.mark_closure_skipped();
-        }
-        Ok(Arc::new(cell_set))
+        sharded.set_closure(uncovered, closure_skipped);
+        Ok(Arc::new(sharded))
     }
 
     // ------------------------------------------------------------------
@@ -378,9 +415,13 @@ impl Session {
         let set = Arc::new(set);
         let cells = OnceLock::new();
         if let Some(prev_cells) = self.derivable(&prev) {
-            let derived = self.derived_add(&prev_cells, &pc, &set, budget);
-            if !budget.is_tripped() {
-                let _ = cells.set(Ok(Arc::new(derived)));
+            // A failed shard re-decomposition (e.g. a merge overflowing
+            // the naive strategy) stays unpublished; the error replays
+            // from the lazy rebuild instead.
+            if let Ok(derived) = self.derived_add(&prev_cells, &pc, &set, budget) {
+                if !budget.is_tripped() {
+                    let _ = cells.set(Ok(Arc::new(derived)));
+                }
             }
         }
         self.install(
@@ -410,7 +451,7 @@ impl Session {
         let cells = OnceLock::new();
         if let Some(prev_cells) = self.derivable(&prev) {
             let uncovered = self.retired_uncovered(&prev_cells, &removed, &set);
-            let derived = prev_cells.derive_retire(&set, index, uncovered);
+            let derived = prev_cells.derive_retire(&set, index, &self.options.bound, uncovered);
             let _ = cells.set(Ok(Arc::new(derived)));
         }
         self.install(
@@ -465,11 +506,12 @@ impl Session {
         if let Some(prev_cells) = self.derivable(&prev) {
             // chain the two deltas through the intermediate epoch-less set
             let mid_uncovered = self.retired_uncovered(&prev_cells, &removed, &mid_set);
-            let mid = prev_cells.derive_retire(&mid_set, index, mid_uncovered);
-            let mut derived = self.derived_add(&mid, &pc, &set, budget);
-            derived.absorb_stats(mid.stats());
-            if !budget.is_tripped() {
-                let _ = cells.set(Ok(Arc::new(derived)));
+            let mid = prev_cells.derive_retire(&mid_set, index, &self.options.bound, mid_uncovered);
+            if let Ok(mut derived) = self.derived_add(&mid, &pc, &set, budget) {
+                derived.absorb_stats(mid.stats());
+                if !budget.is_tripped() {
+                    let _ = cells.set(Ok(Arc::new(derived)));
+                }
             }
         }
         self.install(
@@ -497,17 +539,19 @@ impl Session {
 
     /// The add half of a derivation: closure counterexample carry (a
     /// closed base stays closed; a dodging counterexample carries; a
-    /// swallowed one re-checks), then the incremental cell split. The
-    /// base's *known-closed* verdict is passed down so `derive_add` can
-    /// skip the new-constraint-only probe outright (no point of a closed
-    /// base avoids every old predicate).
+    /// swallowed one re-checks), then the **shard-local** incremental
+    /// cell split ([`ShardedCellSet::derive_add`]): only the shard(s)
+    /// whose boxes the new constraint overlaps re-derive, the rest carry
+    /// by `Arc`. The base's *known-closed* verdict is passed down so the
+    /// owning shard can skip the new-constraint-only probe outright (no
+    /// point of a closed base avoids every old predicate).
     fn derived_add(
         &self,
-        prev_cells: &CellSet,
+        prev_cells: &ShardedCellSet,
         pc: &PredicateConstraint,
         set: &PcSet,
         budget: &QueryBudget,
-    ) -> CellSet {
+    ) -> Result<ShardedCellSet, BoundError> {
         let parallel = self.par_witness();
         let check_closure = self.options.bound.check_closure;
         let base_known_closed = check_closure && prev_cells.closed();
@@ -533,7 +577,13 @@ impl Session {
                 }
             }
         };
-        prev_cells.derive_add_budgeted(set, parallel, uncovered, base_known_closed, budget)
+        prev_cells.derive_add(
+            set,
+            &self.options.bound,
+            uncovered,
+            base_known_closed,
+            budget,
+        )
     }
 
     /// The previous epoch's cells, when the new epoch should be derived
@@ -541,7 +591,7 @@ impl Session {
     /// actually built (mutations before the first query stay free — the
     /// first query then decomposes the new catalog directly). A previous
     /// epoch whose build *errored* replays the error lazily instead.
-    fn derivable(&self, prev: &Epoch) -> Option<Arc<CellSet>> {
+    fn derivable(&self, prev: &Epoch) -> Option<Arc<ShardedCellSet>> {
         if !(self.options.incremental && self.options.cache_cells) {
             return None;
         }
@@ -557,7 +607,7 @@ impl Session {
     /// the re-check is confined there.
     fn retired_uncovered(
         &self,
-        prev_cells: &CellSet,
+        prev_cells: &ShardedCellSet,
         removed: &PredicateConstraint,
         new_set: &PcSet,
     ) -> Option<Vec<f64>> {
@@ -619,19 +669,98 @@ impl Session {
             // knob still benefits from cross-query basis reuse.
             return engine.bound_with_warm(query, warm, budget);
         }
-        let cell_set = self.cells_of_budgeted(epoch, budget)?;
+        let sharded = self.cells_of_budgeted(epoch, budget)?;
         let mut target = query.predicate.to_region(set.schema());
         target.intersect(set.domain());
 
-        let mut stats = cell_set.stats();
-        let cells =
-            cell_set.specialize_budgeted(set, &target, &mut stats, engine.par_witness(), budget);
-        stats.cells = cells.len();
+        if sharded.shards().len() <= 1 {
+            // One interaction component (or sharding off): serve from the
+            // flat cell set exactly as an unsharded session would.
+            let cell_set = sharded.flatten(set);
+            let mut stats = cell_set.stats();
+            let cells = cell_set.specialize_budgeted(
+                set,
+                &target,
+                &mut stats,
+                engine.par_witness(),
+                budget,
+            );
+            stats.cells = cells.len();
 
-        let closed = if !self.options.bound.check_closure || cell_set.closed() {
+            let closed = self.closed_within(&sharded, set, &target, &engine, budget);
+            let problem = engine.problem_from_cells_budgeted(
+                query.attr, &target, cells, stats, closed, warm, budget,
+            )?;
+            return engine.bound_problem(query.agg, &problem);
+        }
+
+        // Compositional serve: only shards whose boxes the query region
+        // touches pay specialization; an untouched shard contributes an
+        // empty slice (no satisfiable cell of it meets the region), and a
+        // shard wholly *inside* the region shares its domain-wide cells
+        // verbatim — offering its cached per-aggregate summary too.
+        let mut slices = Vec::with_capacity(sharded.shards().len());
+        for shard in sharded.shards() {
+            if !shard.touches(&target) {
+                slices.push(ShardSlice {
+                    sub: Arc::clone(shard.set()),
+                    members: shard.members().to_vec(),
+                    cells: Vec::new(),
+                    stats: DecomposeStats::default(),
+                    cache: None,
+                });
+                continue;
+            }
+            let contained = shard.contained_in(&target);
+            let mut slice_stats = DecomposeStats::default();
+            let cells = if contained {
+                // every member box ⊆ target ⇒ every cell region ⊆ target:
+                // specialization is the identity, share without the scan
+                shard.cells().cells().to_vec()
+            } else {
+                shard.cells().specialize_budgeted(
+                    shard.set(),
+                    &target,
+                    &mut slice_stats,
+                    engine.par_witness(),
+                    budget,
+                )
+            };
+            slices.push(ShardSlice {
+                sub: Arc::clone(shard.set()),
+                members: shard.members().to_vec(),
+                cells,
+                stats: slice_stats,
+                cache: contained.then(|| Arc::clone(shard)),
+            });
+        }
+        let closed = self.closed_within(&sharded, set, &target, &engine, budget);
+        engine.bound_sharded(
+            query,
+            &target,
+            closed,
+            false,
+            slices,
+            sharded.stats(),
+            warm,
+            budget,
+        )
+    }
+
+    /// The hoisted per-query closure verdict — identical ladder for the
+    /// flat and sharded serve paths (closure is a global question).
+    fn closed_within(
+        &self,
+        sharded: &ShardedCellSet,
+        set: &PcSet,
+        target: &pc_predicate::Region,
+        engine: &BoundEngine<'_>,
+        budget: &QueryBudget,
+    ) -> bool {
+        if !self.options.bound.check_closure || sharded.closed() {
             // hoisted: a sub-region of a closed base is closed
             true
-        } else if cell_set.uncovered().is_some_and(|w| target.contains_row(w)) {
+        } else if sharded.uncovered().is_some_and(|w| target.contains_row(w)) {
             // the cached counterexample lies inside the query: provably
             // not closed, no SAT call
             false
@@ -641,11 +770,8 @@ impl Session {
         } else {
             // non-closed epoch, but the query region may dodge the
             // uncovered part — one exact check decides
-            set.is_closed_within_with(&target, engine.par_witness())
-        };
-        let problem = engine
-            .problem_from_cells_budgeted(query.attr, &target, cells, stats, closed, warm, budget)?;
-        engine.bound_problem(query.agg, &problem)
+            set.is_closed_within_with(target, engine.par_witness())
+        }
     }
 
     /// Bound a batch of queries, each as its own stealable pool task;

@@ -157,13 +157,6 @@ impl CellSet {
         self.stats
     }
 
-    /// Fold another derivation step's counters into this set's stats —
-    /// the fused retire+add of `Session::replace_constraint` reports both
-    /// deltas as one epoch (`cells` stays this set's own count).
-    pub(crate) fn absorb_stats(&mut self, other: DecomposeStats) {
-        self.stats.absorb(&other);
-    }
-
     /// Whether the constraint set covers all of [`CellSet::base`].
     /// `false` when the building budget tripped before the closure probe
     /// could run — unknown is treated as open.

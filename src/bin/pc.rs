@@ -38,6 +38,19 @@
 //!   queries between directives are batched against one pinned epoch.
 //!   Directives require the session cache and are rejected under
 //!   `--no-session-cache`.
+//!
+//!   A query line may also carry **per-query budget directives** — one
+//!   or more `@timeout-ms=N` / `@sat-cap=N` / `@node-cap=N` tokens
+//!   prefixed to the SQL:
+//!
+//!   ```text
+//!   @timeout-ms=50 @sat-cap=200 SELECT SUM(price) WHERE utc >= 12
+//!   ```
+//!
+//!   Each overrides the same-named stream-wide flag for that query
+//!   only (unnamed caps inherit the flags). Such a query gets its own
+//!   budget meter, so it is answered alone, in stream order, instead of
+//!   sharing the surrounding batch's budget.
 //! * `--combine` — add the certain partition's exact answer to the
 //!   missing-data range (SUM/COUNT only).
 //! * `--group-by COL` — bound the query once per distinct value of `COL`
@@ -50,6 +63,11 @@
 //!   bound pruning tolerance, ~1e-6).
 //! * `--per-key-groupby` — disable the shared-decomposition group-by
 //!   (A/B baseline: one full decomposition per group).
+//! * `--stats` — for `bound` (single query): after the range, print the
+//!   work counters — cells, SAT checks, branch & bound nodes — and, when
+//!   the engine factored the catalog over its constraint-interaction
+//!   graph (see `pc_core::shard`), the shard count, the largest shard's
+//!   constraint count, and the per-shard SAT-check profile.
 //! * `--no-session-cache` — for `batch`: decompose each query's region
 //!   from scratch instead of specializing the session's cached domain
 //!   decomposition (A/B baseline for the session layer). `bound` always
@@ -82,7 +100,8 @@
 //! produced — partial output is never lost to a late typo.
 
 use predicate_constraints::core::{
-    dsl, BoundError, BoundOptions, ConstraintId, PcSet, QueryBudget, Session, SessionOptions,
+    dsl, BoundError, BoundOptions, BoundReport, ConstraintId, PcSet, QueryBudget, Session,
+    SessionOptions,
 };
 use predicate_constraints::predicate::{AttrType, Schema};
 use predicate_constraints::storage::{
@@ -109,9 +128,81 @@ struct Args {
     no_session_cache: bool,
     no_warm_start: bool,
     no_tableau_carry: bool,
+    stats: bool,
+    caps: BudgetCaps,
+}
+
+/// The three budget caps, as a value: the stream-wide flags and a batch
+/// line's `@` directives share this shape so a per-query override is just
+/// a field-wise merge.
+#[derive(Debug, Clone, Copy, Default)]
+struct BudgetCaps {
     timeout_ms: Option<u64>,
     sat_cap: Option<u64>,
     node_cap: Option<u64>,
+}
+
+impl BudgetCaps {
+    /// A fresh budget from the caps. Fresh per engine call on purpose:
+    /// `--timeout-ms` is a *deadline*, measured from arming, so one
+    /// budget built at startup would silently charge file loading and
+    /// every earlier batch against later queries.
+    fn budget(&self) -> QueryBudget {
+        let mut budget = QueryBudget::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.with_timeout(std::time::Duration::from_millis(ms));
+        }
+        if let Some(cap) = self.sat_cap {
+            budget = budget.with_sat_cap(cap);
+        }
+        if let Some(cap) = self.node_cap {
+            budget = budget.with_node_cap(cap);
+        }
+        budget
+    }
+
+    /// These caps with another set's explicit fields taking precedence.
+    fn overridden_by(&self, over: BudgetCaps) -> BudgetCaps {
+        BudgetCaps {
+            timeout_ms: over.timeout_ms.or(self.timeout_ms),
+            sat_cap: over.sat_cap.or(self.sat_cap),
+            node_cap: over.node_cap.or(self.node_cap),
+        }
+    }
+}
+
+/// Strip leading `@timeout-ms=N` / `@sat-cap=N` / `@node-cap=N` directives
+/// off a batch query line, returning the overrides and the SQL remainder.
+fn parse_line_caps(line: &str) -> Result<(BudgetCaps, &str), String> {
+    let mut caps = BudgetCaps::default();
+    let mut rest = line;
+    while let Some(tail) = rest.strip_prefix('@') {
+        let (token, after) = match tail.split_once(char::is_whitespace) {
+            Some((token, after)) => (token, after.trim_start()),
+            None => (tail, ""),
+        };
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("@{token}: expected @name=value"))?;
+        let value: u64 = value
+            .parse()
+            .map_err(|_| format!("@{key}: `{value}` is not a number"))?;
+        match key {
+            "timeout-ms" => caps.timeout_ms = Some(value),
+            "sat-cap" => caps.sat_cap = Some(value),
+            "node-cap" => caps.node_cap = Some(value),
+            other => {
+                return Err(format!(
+                    "unknown directive @{other} (timeout-ms/sat-cap/node-cap)"
+                ))
+            }
+        }
+        rest = after;
+    }
+    if rest.is_empty() {
+        return Err("budget directives must prefix a query on the same line".into());
+    }
+    Ok((caps, rest))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -133,9 +224,8 @@ fn parse_args() -> Result<Args, String> {
         no_session_cache: false,
         no_warm_start: false,
         no_tableau_carry: false,
-        timeout_ms: None,
-        sat_cap: None,
-        node_cap: None,
+        stats: false,
+        caps: BudgetCaps::default(),
     };
     let parse_u64 = |flag: &str, v: Option<String>| -> Result<u64, String> {
         let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
@@ -158,9 +248,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--threads: `{v}` is not a number"))?;
             }
             "--per-key-groupby" => args.per_key_groupby = true,
-            "--timeout-ms" => args.timeout_ms = Some(parse_u64("--timeout-ms", argv.next())?),
-            "--sat-cap" => args.sat_cap = Some(parse_u64("--sat-cap", argv.next())?),
-            "--node-cap" => args.node_cap = Some(parse_u64("--node-cap", argv.next())?),
+            "--stats" => args.stats = true,
+            "--timeout-ms" => args.caps.timeout_ms = Some(parse_u64("--timeout-ms", argv.next())?),
+            "--sat-cap" => args.caps.sat_cap = Some(parse_u64("--sat-cap", argv.next())?),
+            "--node-cap" => args.caps.node_cap = Some(parse_u64("--node-cap", argv.next())?),
             "--no-session-cache" => args.no_session_cache = true,
             "--no-warm-start" => args.no_warm_start = true,
             "--no-tableau-carry" => args.no_tableau_carry = true,
@@ -196,22 +287,9 @@ fn session_options(args: &Args) -> SessionOptions {
     }
 }
 
-/// A fresh budget from the CLI caps. Fresh per engine call on purpose:
-/// `--timeout-ms` is a *deadline*, measured from arming, so one budget
-/// built at startup would silently charge file loading and every earlier
-/// batch against later queries.
+/// A fresh budget from the stream-wide CLI caps.
 fn query_budget(args: &Args) -> QueryBudget {
-    let mut budget = QueryBudget::unlimited();
-    if let Some(ms) = args.timeout_ms {
-        budget = budget.with_timeout(std::time::Duration::from_millis(ms));
-    }
-    if let Some(cap) = args.sat_cap {
-        budget = budget.with_sat_cap(cap);
-    }
-    if let Some(cap) = args.node_cap {
-        budget = budget.with_node_cap(cap);
-    }
-    budget
+    args.caps.budget()
 }
 
 /// Suffix tags for a report line: degraded first (budget story), then
@@ -320,6 +398,9 @@ fn main() -> ExitCode {
             if args.per_key_groupby {
                 return fail("--per-key-groupby is not supported by `batch` (no GROUP BY queries here); its A/B knobs are --no-session-cache / --no-warm-start");
             }
+            if args.stats {
+                return fail("--stats is only supported by `bound`");
+            }
             let set = match load_constraints(&args, &table) {
                 Ok(s) => s,
                 Err(e) => return fail(&e),
@@ -353,6 +434,21 @@ fn main() -> ExitCode {
             let mut failed = false;
             let mut saw_item = false;
             let mut pending: Vec<(String, AggQuery)> = Vec::new();
+            let emit = |sql: &str, report: Result<BoundReport, BoundError>, failed: &mut bool| {
+                match report {
+                    Ok(r) => {
+                        let tag = report_tags(r.degraded, r.closed);
+                        println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
+                    }
+                    Err(BoundError::EmptyAggregate) => {
+                        println!("{sql} -> empty (no missing row can match)");
+                    }
+                    Err(e) => {
+                        *failed = true;
+                        println!("{sql} -> error: {e}");
+                    }
+                }
+            };
             let flush = |pending: &mut Vec<(String, AggQuery)>, failed: &mut bool| {
                 if pending.is_empty() {
                     return;
@@ -361,19 +457,7 @@ fn main() -> ExitCode {
                 let budget = query_budget(&args);
                 let reports = session.bound_many_budgeted(&queries, &budget);
                 for ((sql, _), report) in pending.iter().zip(reports) {
-                    match report {
-                        Ok(r) => {
-                            let tag = report_tags(r.degraded, r.closed);
-                            println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
-                        }
-                        Err(BoundError::EmptyAggregate) => {
-                            println!("{sql} -> empty (no missing row can match)");
-                        }
-                        Err(e) => {
-                            *failed = true;
-                            println!("{sql} -> error: {e}");
-                        }
-                    }
+                    emit(sql, report, failed);
                 }
                 pending.clear();
             };
@@ -418,6 +502,29 @@ fn main() -> ExitCode {
                                 Ok(()) => println!("- {id} retired (epoch {})", session.epoch()),
                                 Err(e) => return fail(&format!("line {lineno}: {e}")),
                             }
+                        }
+                        Err(e) => {
+                            flush(&mut pending, &mut failed);
+                            return fail(&format!("line {lineno}: {line}: {e}"));
+                        }
+                    }
+                } else if line.starts_with('@') {
+                    // Per-query budget directives: this query gets its own
+                    // meter (stream caps overridden field-wise), so it
+                    // cannot share the surrounding batch's budget — answer
+                    // it alone, in stream order.
+                    let (line_caps, sql) = match parse_line_caps(line) {
+                        Ok(parsed) => parsed,
+                        Err(e) => {
+                            flush(&mut pending, &mut failed);
+                            return fail(&format!("line {lineno}: {line}: {e}"));
+                        }
+                    };
+                    match parse_query(&table, sql) {
+                        Ok(q) => {
+                            flush(&mut pending, &mut failed);
+                            let budget = args.caps.overridden_by(line_caps).budget();
+                            emit(sql, session.bound_budgeted(&q, &budget), &mut failed);
                         }
                         Err(e) => {
                             flush(&mut pending, &mut failed);
@@ -478,6 +585,9 @@ fn main() -> ExitCode {
             );
 
             if let Some(group_col) = &args.group_by {
+                if args.stats {
+                    return fail("--stats is not supported with --group-by yet");
+                }
                 if args.combine {
                     return fail(
                         "--combine cannot be used with --group-by \
@@ -557,6 +667,22 @@ fn main() -> ExitCode {
             };
             println!("{sql}");
             println!("result range: [{}, {}]", range.lo, range.hi);
+            if args.stats {
+                let s = report.stats;
+                println!(
+                    "stats: {} cells, {} sat checks, {} branch&bound nodes",
+                    s.cells, s.sat_checks, report.solver.nodes
+                );
+                if s.shards > 0 {
+                    println!(
+                        "shards: {} (largest {} constraints)",
+                        s.shards, s.max_shard_constraints
+                    );
+                    let per_shard: Vec<String> =
+                        report.shard_sat_checks.iter().map(u64::to_string).collect();
+                    println!("per-shard sat checks: [{}]", per_shard.join(", "));
+                }
+            }
             ExitCode::SUCCESS
         }
         other => fail(&format!(

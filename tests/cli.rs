@@ -242,6 +242,145 @@ fn batch_update_directives_drive_a_churning_session() {
 }
 
 #[test]
+fn batch_per_query_budget_directives() {
+    let dir = std::env::temp_dir().join("pc-cli-test-batch-at");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let queries = dir.join("at.sql");
+    // the middle query carries its own (generous) caps: it must still be
+    // answered in stream order, exactly, without degrading
+    std::fs::write(
+        &queries,
+        "SELECT COUNT(*)\n\
+         @timeout-ms=10000 @sat-cap=100000 @node-cap=1000000 SELECT COUNT(*) WHERE branch = 'Chicago'\n\
+         SELECT SUM(price)\n",
+    )
+    .unwrap();
+    let out = pc_bin()
+        .args([
+            "batch",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    assert!(lines[0].contains("[0, 100]"), "{stdout}");
+    // the directive tokens are stripped from the echoed SQL
+    assert!(
+        lines[1].starts_with("SELECT COUNT(*) WHERE branch = 'Chicago' ->")
+            && lines[1].contains("[0, 5]")
+            && !lines[1].contains("degraded"),
+        "{stdout}"
+    );
+    assert!(lines[2].starts_with("SELECT SUM(price) ->"), "{stdout}");
+
+    // malformed directives fail loudly, naming the line
+    for bad in [
+        "@sat-cap=abc SELECT COUNT(*)",
+        "@sat-cap=5",
+        "@wat=1 SELECT COUNT(*)",
+    ] {
+        let bad_file = dir.join("bad-at.sql");
+        std::fs::write(&bad_file, format!("{bad}\n")).unwrap();
+        let out = pc_bin()
+            .args([
+                "batch",
+                "--data",
+                &data,
+                "--schema",
+                SCHEMA,
+                "--constraints",
+                &constraints,
+                "--queries",
+                bad_file.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "must reject {bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("line 1"),
+            "{bad:?} error must name the line"
+        );
+    }
+}
+
+#[test]
+fn bound_stats_reports_shards() {
+    let dir = std::env::temp_dir().join("pc-cli-test-stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, _) = write_fixtures(&dir);
+    // two constraints on disjoint utc ranges: two interaction components
+    let constraints = dir.join("tiles.pc");
+    std::fs::write(
+        &constraints,
+        "utc BETWEEN 1 AND 2 => price BETWEEN 0 AND 10, (0, 5)\n\
+         utc BETWEEN 10 AND 12 => price BETWEEN 0 AND 20, (0, 7)\n",
+    )
+    .unwrap();
+    let out = pc_bin()
+        .args([
+            "bound",
+            "--stats",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            constraints.to_str().unwrap(),
+            "--query",
+            "SELECT COUNT(*)",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("stats: "), "{stdout}");
+    assert!(
+        stdout.contains("shards: 2 (largest 1 constraints)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("per-shard sat checks: ["), "{stdout}");
+
+    // --stats stays a bound-only flag
+    let queries = dir.join("q.sql");
+    std::fs::write(&queries, "SELECT COUNT(*)\n").unwrap();
+    let out = pc_bin()
+        .args([
+            "batch",
+            "--stats",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            constraints.to_str().unwrap(),
+            "--queries",
+            queries.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "batch must reject --stats");
+}
+
+#[test]
 fn validate_flags_violations() {
     let dir = std::env::temp_dir().join("pc-cli-test-validate");
     std::fs::create_dir_all(&dir).unwrap();
