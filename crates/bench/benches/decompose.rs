@@ -248,11 +248,64 @@ fn bench_shard_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Estimate-guided split ordering on the adversarial skewed catalog
+/// (selective constraints declared last) vs a uniform control: ordering
+/// on (the default) against the declaration-order oracle. The emitted
+/// cell set and every bound are identical; the SAT-check and ordered-split
+/// counters ride next to the timing rows as `ordering_pivots/...` lines.
+fn bench_ordering(c: &mut Criterion) {
+    let query = AggQuery::new(AggKind::Sum, 2, Predicate::always());
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(10);
+    for (workload, set) in [
+        ("skewed", pc_bench::pcgen::skewed_ordering_set()),
+        ("uniform", pc_bench::pcgen::uniform_ordering_set(7)),
+    ] {
+        let on = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                threads: 1,
+                ..BoundOptions::default()
+            },
+        );
+        let off = BoundEngine::with_options(
+            &set,
+            BoundOptions {
+                threads: 1,
+                ordering: false,
+                ..BoundOptions::default()
+            },
+        );
+        // same answer before we time anything — and the work profile
+        // becomes the pivot columns of the artifact
+        let (a, b) = (on.bound(&query).unwrap(), off.bound(&query).unwrap());
+        assert_eq!((a.range.lo, a.range.hi), (b.range.lo, b.range.hi));
+        for (mode, r) in [("on", &a), ("off", &b)] {
+            pc_bench::emit_bench_json_line(&format!(
+                "{{\"id\": \"ordering_pivots/{workload}_{mode}\", \"sat_checks\": {}, \
+                 \"ordered_splits\": {}, \"nodes\": {}, \"incumbent_first\": {}}}",
+                r.stats.sat_checks,
+                r.stats.ordered_splits,
+                r.solver.nodes,
+                r.solver.incumbent_first
+            ));
+        }
+        for (mode, engine) in [("on", &on), ("off", &off)] {
+            group.bench_function(
+                BenchmarkId::new(format!("{workload}_{mode}"), set.len()),
+                |b| b.iter(|| engine.bound(&query).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decompose,
     bench_parallel_decompose,
     bench_group_by,
-    bench_shard_scaling
+    bench_shard_scaling,
+    bench_ordering
 );
 criterion_main!(benches);

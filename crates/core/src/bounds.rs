@@ -24,7 +24,8 @@
 //!   tightening the MILP exploits, and the source of `Infeasible` errors
 //!   when a frequency lower bound has nowhere to go).
 
-use crate::decompose::{decompose_budgeted, Parallelism};
+use crate::decompose::{decompose_ordered_budgeted, Parallelism};
+use crate::estimate::{Estimates, SplitOrdering};
 use crate::{ActiveSet, BoundError, Cell, DecomposeStats, PcSet, Strategy};
 use pc_budget::QueryBudget;
 use pc_predicate::Region;
@@ -36,7 +37,7 @@ use pc_storage::{AggKind, AggQuery};
 use std::cell::Cell as StdCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// Below this many constraints a decomposition never fans out across
 /// threads: the include/exclude tree is too small to be worth exposing to
@@ -123,6 +124,19 @@ pub struct BoundOptions {
     /// are sound but may admit different unverified cells. Disable to A/B
     /// the factoring against the flat product.
     pub shard: bool,
+    /// Estimate-guided search ordering (on by default; see
+    /// [`crate::estimate`]): the decomposition decides include/exclude
+    /// splits most-selective-constraint-first (smallest box-volume ×
+    /// split-survival score next, so unsatisfiable branches die early and
+    /// budget-tripped frontiers cover the least-determined constraints),
+    /// and the allocation MILP branches on estimate-weighted
+    /// fractionality instead of raw most-fractional. Semantics-free:
+    /// the produced cell *set*, every verdict, and every bound are
+    /// identical with the knob off (property-tested) — only the visit
+    /// order, the SAT-check/node counts, and witness identity change.
+    /// Disable to A/B declaration-order search, or to pin the historical
+    /// cell order exactly.
+    pub ordering: bool,
 }
 
 impl Default for BoundOptions {
@@ -138,6 +152,7 @@ impl Default for BoundOptions {
             warm_start: true,
             tableau_carry: true,
             shard: true,
+            ordering: true,
         }
     }
 }
@@ -189,6 +204,10 @@ pub struct LpWork {
     pub rebuilt: u64,
     /// Branch & bound nodes explored by the call's allocation MILPs.
     pub nodes: u64,
+    /// Incumbent installs made by a first-explored ("near") branch child
+    /// across the call's searches — how often the best-first child order
+    /// paid off (see [`SearchStats::incumbent_first_hits`]).
+    pub incumbent_first: u64,
 }
 
 impl LpWork {
@@ -197,6 +216,7 @@ impl LpWork {
         self.carried += s.carried_nodes;
         self.rebuilt += s.rebuilt_nodes;
         self.nodes += nodes as u64;
+        self.incumbent_first += s.incumbent_first_hits;
     }
 
     fn absorb_lp(&mut self, s: pc_solver::SolveStats) {
@@ -392,6 +412,14 @@ pub(crate) struct CellProblem {
     cap: Vec<f64>,
     /// Per constraint: `(kl_eff, ku, member cell indices)`.
     pc_rows: Vec<(f64, f64, Vec<usize>)>,
+    /// Per-cell branch weights for the allocation MILP's
+    /// estimate-guided branching ([`BoundOptions::ordering`]), in
+    /// `[1, 2]`: a *selective* cell (small product of its active
+    /// constraints' volume × survival scores) weighs ~2 and gets its
+    /// fractional variable decided first — its allocation is the most
+    /// constrained, so fixing it prunes fastest. `None` when ordering
+    /// is off (the classic most-fractional rule).
+    branch_weights: Option<Vec<f64>>,
     closed: bool,
     stats: DecomposeStats,
     /// Warm-start store threaded in by a GROUP-BY chain; `None` for
@@ -442,20 +470,41 @@ impl CellProblem {
 pub struct BoundEngine<'a> {
     pub(crate) set: &'a PcSet,
     pub(crate) options: BoundOptions,
+    /// Per-constraint selectivity estimates driving the search ordering
+    /// ([`BoundOptions::ordering`]). Injected by the owning
+    /// [`crate::Session`] (whose epochs maintain them incrementally per
+    /// delta) or by the sharded path (restricted to the shard's members,
+    /// sharing the catalog-wide survival counters); a standalone engine
+    /// computes them lazily on first use.
+    estimates: OnceLock<Arc<Estimates>>,
 }
 
 impl<'a> BoundEngine<'a> {
     /// Engine with default options.
     pub fn new(set: &'a PcSet) -> Self {
-        BoundEngine {
-            set,
-            options: BoundOptions::default(),
-        }
+        Self::with_options(set, BoundOptions::default())
     }
 
     /// Engine with explicit options.
     pub fn with_options(set: &'a PcSet, options: BoundOptions) -> Self {
-        BoundEngine { set, options }
+        BoundEngine {
+            set,
+            options,
+            estimates: OnceLock::new(),
+        }
+    }
+
+    /// Inject externally maintained estimates (session epochs, shard
+    /// restrictions). No-op if the engine already resolved its own.
+    pub(crate) fn set_estimates(&self, estimates: Arc<Estimates>) {
+        let _ = self.estimates.set(estimates);
+    }
+
+    /// The engine's estimate table, computing it from the set on first
+    /// use when nothing was injected.
+    pub(crate) fn estimates(&self) -> &Arc<Estimates> {
+        self.estimates
+            .get_or_init(|| Arc::new(Estimates::for_set(self.set)))
     }
 
     /// The engine's configuration.
@@ -552,6 +601,10 @@ impl<'a> BoundEngine<'a> {
             .collect();
         let threads = self.task_threads(inputs.len());
         let options = self.options;
+        // Restrict the catalog-wide estimates to each shard's members so
+        // per-shard split ordering works from (and feeds back into) the
+        // shared survival counters.
+        let estimates = self.options.ordering.then(|| Arc::clone(self.estimates()));
         let built = pooled_map_catch(&inputs, threads, &|(sub, members, touched): &(
             Arc<PcSet>,
             Vec<usize>,
@@ -559,6 +612,9 @@ impl<'a> BoundEngine<'a> {
         )| {
             let (cells, stats) = if *touched {
                 let engine = BoundEngine::with_options(sub, options);
+                if let Some(est) = &estimates {
+                    engine.set_estimates(Arc::new(est.restrict(members)));
+                }
                 engine.cells_for_base_budgeted(&base, budget)?
             } else {
                 (Vec::new(), DecomposeStats::default())
@@ -705,6 +761,11 @@ impl<'a> BoundEngine<'a> {
                 }
             }
             let sub_engine = BoundEngine::with_options(&slice.sub, self.options);
+            if self.options.ordering {
+                // share the catalog-wide survival counters (members may be
+                // skew-reordered; the slice's sub-set uses the same order)
+                sub_engine.set_estimates(Arc::new(self.estimates().restrict(&slice.members)));
+            }
             // Per-shard problems are built closure-free (`closed: true`);
             // the global closure verdict is applied once at the combine.
             let p = sub_engine.problem_from_cells_budgeted(
@@ -851,17 +912,31 @@ impl<'a> BoundEngine<'a> {
         budget: &QueryBudget,
     ) -> Result<(Vec<Cell>, DecomposeStats), BoundError> {
         if self.set.disjoint_hint() {
-            Ok(self.disjoint_cells(base))
-        } else {
-            decompose_budgeted(
-                self.set,
-                base,
-                self.options.strategy,
-                self.decompose_policy(self.set.len()),
-                budget,
-            )
-            .map_err(BoundError::from)
+            return Ok(self.disjoint_cells(base));
         }
+        // Estimate-guided split order: freeze a permutation from the
+        // current estimate snapshot (so sequential and parallel runs stay
+        // bit-identical), stage this run's split survivals on it, and
+        // publish them back into the live counters only when the run
+        // finished untripped — a budget-tripped decomposition observed a
+        // biased prefix of its splits and must not poison the history
+        // (the unpublished-epoch rule, applied to estimates).
+        let ordering = (self.options.ordering && self.set.len() > 1)
+            .then(|| SplitOrdering::from_estimates(self.estimates()));
+        let result = decompose_ordered_budgeted(
+            self.set,
+            base,
+            self.options.strategy,
+            self.decompose_policy(self.set.len()),
+            budget,
+            ordering.as_ref(),
+        );
+        if let (Some(ord), Ok(_)) = (&ordering, &result) {
+            if !budget.is_tripped() {
+                self.estimates().publish(ord);
+            }
+        }
+        result.map_err(BoundError::from)
     }
 
     fn build_problem(
@@ -938,10 +1013,22 @@ impl<'a> BoundEngine<'a> {
         budget: &QueryBudget,
     ) -> Result<CellProblem, BoundError> {
         let schema = self.set.schema();
+        let estimates = self.options.ordering.then(|| self.estimates());
         let mut u = Vec::with_capacity(cells.len());
         let mut l = Vec::with_capacity(cells.len());
         let mut cap = Vec::with_capacity(cells.len());
+        let mut weights = estimates.map(|_| Vec::with_capacity(cells.len()));
         for cell in &cells {
+            if let (Some(w), Some(est)) = (&mut weights, estimates) {
+                // Selectivity of the cell = product of its active
+                // constraints' scores (each in [0, 1]); mapped to a
+                // bounded weight so fractionality still matters.
+                let mut vol = 1.0f64;
+                for j in cell.active.iter() {
+                    vol *= est.score(j).clamp(0.0, 1.0);
+                }
+                w.push(2.0 - vol);
+            }
             // Only *active* constraints narrow a cell's value interval and
             // cap — an undecided (frontier) constraint may be violated by
             // the cell's rows, so using its value ranges or `ku` as a
@@ -1030,6 +1117,7 @@ impl<'a> BoundEngine<'a> {
             l,
             cap,
             pc_rows,
+            branch_weights: weights,
             closed,
             stats,
             warm,
@@ -1208,12 +1296,14 @@ impl<'a> BoundEngine<'a> {
             // (carry-on chains always store tableaux); drop defensively
             Some(CachedWarm::Basis(_)) | None => None,
         });
-        match solve_milp_budgeted(
-            &MilpProblem::all_integer(lp.clone()),
-            milp_options,
-            prior,
-            &p.budget,
-        ) {
+        let mut milp_problem = MilpProblem::all_integer(lp.clone());
+        if let Some(w) = &p.branch_weights {
+            // Estimate-guided branching: the solver decides the most
+            // selective cells' variables first (weights ride the live
+            // variable mapping).
+            milp_problem = milp_problem.with_branch_scores(live.iter().map(|&i| w[i]).collect());
+        }
+        match solve_milp_budgeted(&milp_problem, milp_options, prior, &p.budget) {
             Ok((sol, root)) => {
                 p.record_search(sol.nodes, sol.search);
                 if let (Some(cache), Some(root)) = (chain, root) {
@@ -2018,6 +2108,44 @@ mod tests {
         assert!(r.degraded);
         assert_eq!(budget.trip_reason(), Some(pc_budget::TripReason::Cancelled));
         assert!(r.range.lo <= exact.range.lo && r.range.hi >= exact.range.hi);
+    }
+
+    /// A budget-tripped decomposition observed a biased prefix of its
+    /// splits, so it must not publish survival counters — the
+    /// unpublished-epoch rule applied to estimates. An untripped run on
+    /// the same engine must publish (the counters exist to learn).
+    #[test]
+    fn tripped_decomposition_publishes_no_survival_counters() {
+        let set = overlapping_set();
+        let engine = BoundEngine::new(&set);
+        let snapshot = |e: &BoundEngine| -> Vec<(u64, u64)> {
+            e.estimates()
+                .entries()
+                .iter()
+                .map(|c| (c.survival.splits(), c.survival.survivals()))
+                .collect()
+        };
+        let before = snapshot(&engine);
+        let base = set.domain().clone();
+        let budget = QueryBudget::armed().with_sat_cap(1);
+        engine
+            .cells_for_base_budgeted(&base, &budget)
+            .expect("tripped decomposition still yields frontier cells");
+        assert!(budget.is_tripped(), "cap 1 must trip on this catalog");
+        assert_eq!(
+            snapshot(&engine),
+            before,
+            "tripped run must not move survival history"
+        );
+        engine
+            .cells_for_base_budgeted(&base, &QueryBudget::unlimited())
+            .expect("untripped decomposition");
+        let after = snapshot(&engine);
+        assert!(
+            after.iter().map(|&(s, _)| s).sum::<u64>()
+                > before.iter().map(|&(s, _)| s).sum::<u64>(),
+            "untripped run must publish split history: {after:?}"
+        );
     }
 
     /// An unclosed closure check skipped under a tripped budget must

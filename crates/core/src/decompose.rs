@@ -73,6 +73,7 @@
 //! [`DecomposeStats::shards`] / [`DecomposeStats::max_shard_constraints`]
 //! report the factoring.
 
+use crate::estimate::SplitOrdering;
 use crate::{ActiveSet, Cell, PcSet};
 use pc_budget::QueryBudget;
 use pc_predicate::sat::SatOutcome;
@@ -164,6 +165,10 @@ pub struct DecomposeStats {
     /// other value marks the cell set as *degraded* — sound, but with
     /// bounds possibly looser than the exact decomposition's.
     pub frontier_cells: u64,
+    /// Include/exclude splits decided under an estimate-guided order
+    /// ([`crate::estimate`]) instead of declaration order. `0` when
+    /// ordering was off (or the search never split).
+    pub ordered_splits: u64,
     /// Connected components of the constraint-interaction graph the cell
     /// set was factored over ([`crate::shard::ShardedCellSet`]). `0` on
     /// the flat (unsharded) paths; `1` means the set was sharded but is a
@@ -187,6 +192,7 @@ impl DecomposeStats {
         self.splice_memo_hits += other.splice_memo_hits;
         self.incremental_splits += other.incremental_splits;
         self.frontier_cells += other.frontier_cells;
+        self.ordered_splits += other.ordered_splits;
         // Shard topology is a property of the whole set, not additive
         // work: folding two views keeps the widest one.
         self.shards = self.shards.max(other.shards);
@@ -308,9 +314,36 @@ pub fn decompose_budgeted(
     par: Parallelism,
     budget: &QueryBudget,
 ) -> Result<(Vec<Cell>, DecomposeStats), DecomposeError> {
+    decompose_ordered_budgeted(set, base, strategy, par, budget, None)
+}
+
+/// [`decompose_budgeted`] with an optional estimate-guided decision order
+/// ([`crate::estimate::SplitOrdering`]): the DFS decides constraint
+/// `ordering.constraint_at(depth)` at depth `depth` instead of constraint
+/// `depth` — most-selective-first, so unsatisfiable branches die near the
+/// root and frontier cells left by a budget trip are the least-determined
+/// ones. Cell signatures still use catalog indices, so the emitted cell
+/// *set* (signatures, regions, satisfiability) is identical to the
+/// declaration-order run — only the DFS visit order, the per-cell witness
+/// identity, and the work counters change (see [`crate::estimate`] for
+/// the argument). Split survival is staged on `ordering` for the caller
+/// to publish after an untripped run. [`Strategy::Naive`] ignores the
+/// order (mask enumeration has no prefix structure to help).
+pub fn decompose_ordered_budgeted(
+    set: &PcSet,
+    base: &Region,
+    strategy: Strategy,
+    par: Parallelism,
+    budget: &QueryBudget,
+    ordering: Option<&SplitOrdering>,
+) -> Result<(Vec<Cell>, DecomposeStats), DecomposeError> {
     let mut stats = DecomposeStats::default();
     let mut cells = Vec::new();
     let n = set.len();
+    debug_assert!(
+        ordering.is_none_or(|o| o.order().len() == n),
+        "ordering must cover the whole set"
+    );
     if base.is_empty() {
         return Ok((cells, stats));
     }
@@ -331,8 +364,7 @@ pub fn decompose_budgeted(
                     push_frontier(
                         Arc::new(base.clone()),
                         ActiveSet::new(),
-                        0,
-                        n,
+                        (0..n).collect(),
                         &mut cells,
                         &mut stats,
                     );
@@ -368,8 +400,7 @@ pub fn decompose_budgeted(
                         push_frontier(
                             Arc::new(base.clone()),
                             ActiveSet::new(),
-                            0,
-                            n,
+                            (0..n).collect(),
                             &mut cells,
                             &mut stats,
                         );
@@ -398,6 +429,7 @@ pub fn decompose_budgeted(
                     // below the solver's own width cutoff.
                     par_witness: fork_levels > 0,
                     budget,
+                    ordering,
                 },
                 Arc::new(base.clone()),
                 Vec::new(),
@@ -412,17 +444,17 @@ pub fn decompose_budgeted(
     Ok((cells, stats))
 }
 
-/// Emit the frontier cell covering the unexplored subtree rooted at the
-/// node `(region, active, idx)`: all of `[idx..n)` stays undecided.
+/// Emit the frontier cell covering the unexplored subtree rooted at a
+/// node: `undecided` lists every constraint the prefix never split on
+/// (under an estimate-guided order, the *remaining order entries* — not a
+/// contiguous index range).
 fn push_frontier(
     region: Arc<Region>,
     active: ActiveSet,
-    idx: usize,
-    n: usize,
+    undecided: ActiveSet,
     cells: &mut Vec<Cell>,
     stats: &mut DecomposeStats,
 ) {
-    let undecided: ActiveSet = (idx..n).collect();
     debug_assert!(!undecided.is_empty(), "a frontier must have open splits");
     // Unlike ordinary cells, an active-empty frontier cell IS emitted: its
     // rows may satisfy any subset of the undecided constraints, so it is
@@ -451,6 +483,10 @@ struct Frame<'a> {
     /// satisfiability probe. [`QueryBudget::unlimited`] in the classic
     /// entry points.
     budget: &'a QueryBudget,
+    /// Estimate-guided decision order: depth `d` decides constraint
+    /// `ordering.constraint_at(d)` instead of constraint `d`. `None` =
+    /// declaration order. Also the staging area for survival updates.
+    ordering: Option<&'a SplitOrdering>,
 }
 
 impl Frame<'_> {
@@ -459,6 +495,21 @@ impl Frame<'_> {
     /// amortize a stealable task.
     fn should_fork(&self, idx: usize) -> bool {
         idx < self.fork_levels && self.set.len() - idx > PAR_SEQ_CUTOFF
+    }
+
+    /// The catalog index of the constraint decided at DFS depth `idx`.
+    fn constraint_at(&self, idx: usize) -> usize {
+        self.ordering.map_or(idx, |o| o.constraint_at(idx))
+    }
+
+    /// The undecided set of a frontier cut at depth `idx`: every
+    /// constraint the prefix has not yet split on, in whatever order the
+    /// run decides them.
+    fn frontier_undecided(&self, idx: usize) -> ActiveSet {
+        match self.ordering {
+            Some(o) => o.order()[idx..].iter().copied().collect(),
+            None => (idx..self.set.len()).collect(),
+        }
     }
 
     /// Budget-aware satisfiability probe: `Some(sat?)` when the check ran,
@@ -522,10 +573,13 @@ fn dfs<'a>(
     // One budget check per node: a trip cuts the whole subtree below this
     // split and records it as a single frontier cell.
     if !frame.budget.proceed() {
-        push_frontier(region, active, idx, set.len(), cells, stats);
+        push_frontier(region, active, frame.frontier_undecided(idx), cells, stats);
         return;
     }
-    let pc = &set.constraints()[idx];
+    // Under an estimate-guided order, depth `idx` decides the idx-th most
+    // selective constraint; signatures always use the catalog index.
+    let ci = frame.constraint_at(idx);
+    let pc = &set.constraints()[ci];
 
     // Include branch box: clone-on-tighten — most constraints repeat
     // intervals the prefix already fixed, and those branches share the
@@ -549,7 +603,7 @@ fn dfs<'a>(
                 s
             }
             None => {
-                push_frontier(region, active, idx, set.len(), cells, stats);
+                push_frontier(region, active, frame.frontier_undecided(idx), cells, stats);
                 return;
             }
         };
@@ -569,7 +623,7 @@ fn dfs<'a>(
                     s
                 }
                 None => {
-                    push_frontier(region, active, idx, set.len(), cells, stats);
+                    push_frontier(region, active, frame.frontier_undecided(idx), cells, stats);
                     return;
                 }
             }
@@ -580,6 +634,12 @@ fn dfs<'a>(
         if !exclude_sat {
             stats.pruned_subtrees += 1;
         }
+        // Stage the split's survival for the estimate layer (published by
+        // the caller only if the whole run finishes untripped).
+        if let Some(ordering) = frame.ordering {
+            ordering.record_split(ci, include_sat as u64 + exclude_sat as u64);
+            stats.ordered_splits += 1;
+        }
     }
 
     match (include_sat, exclude_sat) {
@@ -587,7 +647,7 @@ fn dfs<'a>(
             // Fork: each subtree gets its own accumulator; merge
             // include-first so the output order matches sequential.
             let mut inc_active = active.clone();
-            inc_active.insert(idx);
+            inc_active.insert(ci);
             let inc_excluded = excluded.clone();
             let mut exc = excluded;
             exc.push(&pc.predicate);
@@ -627,7 +687,7 @@ fn dfs<'a>(
         }
         (true, true) => {
             let mut inc_active = active.clone();
-            inc_active.insert(idx);
+            inc_active.insert(ci);
             dfs(
                 frame,
                 inc_region,
@@ -643,7 +703,7 @@ fn dfs<'a>(
         }
         (true, false) => {
             let mut inc_active = active;
-            inc_active.insert(idx);
+            inc_active.insert(ci);
             dfs(
                 frame,
                 inc_region,
@@ -801,6 +861,7 @@ mod tests {
             fork_levels: n,
             par_witness: false,
             budget: Box::leak(Box::new(QueryBudget::unlimited())),
+            ordering: None,
         };
         let f = frame(PAR_SEQ_CUTOFF);
         assert!(!f.should_fork(0), "tiny tree stays sequential");

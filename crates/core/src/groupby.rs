@@ -68,7 +68,7 @@
 //! sound, as early stopping only ever widens.
 
 use crate::bounds::{pooled_map_catch, WarmCache, WarmCaches};
-use crate::specialize::{overlaps_region, splice_locals, SliceSpecializer, VIRTUAL_CELL};
+use crate::specialize::{overlaps_region, splice_locals, CellSet, SliceSpecializer, VIRTUAL_CELL};
 use crate::{
     ActiveSet, BoundEngine, BoundError, BoundReport, Cell, DecomposeStats, PcSet,
     PredicateConstraint,
@@ -147,6 +147,25 @@ impl BoundEngine<'_> {
         keys: impl IntoIterator<Item = f64>,
         budget: &QueryBudget,
     ) -> Vec<GroupBound> {
+        self.bound_group_by_cached(base, group_attr, keys, None, budget)
+    }
+
+    /// [`BoundEngine::bound_group_by_budgeted`] with an optional
+    /// already-built domain-wide decomposition of the full set — how a
+    /// [`crate::Session`] serves GROUP-BY from its epoch cache. When
+    /// `cached` is given, the level-1 shared cells are *derived* from it
+    /// (the key-local constraints retire in one zero-SAT pass,
+    /// [`CellSet::derive_retire_subset`]) instead of re-decomposed per
+    /// call, and a multi-component catalog no longer routes per key — the
+    /// flat cost the per-key routing avoids is already paid.
+    pub(crate) fn bound_group_by_cached(
+        &self,
+        base: &AggQuery,
+        group_attr: usize,
+        keys: impl IntoIterator<Item = f64>,
+        cached: Option<&CellSet>,
+        budget: &QueryBudget,
+    ) -> Vec<GroupBound> {
         let keys: Vec<f64> = keys.into_iter().collect();
         if keys.is_empty() {
             return Vec::new();
@@ -154,7 +173,8 @@ impl BoundEngine<'_> {
         if !self.options.shared_group_by {
             return self.bound_group_by_per_key(base, group_attr, &keys, budget);
         }
-        if self.options.shard
+        if cached.is_none()
+            && self.options.shard
             && !self.set.disjoint_hint()
             && self.set.len() >= 2
             && crate::shard::interaction_components(self.set).len() > 1
@@ -172,7 +192,7 @@ impl BoundEngine<'_> {
         //    part once for the union of all groups.
         let mut base_region = base.predicate.to_region(self.set.schema());
         base_region.intersect(self.set.domain());
-        let two = match self.two_level_decompose(group_attr, &base_region, budget) {
+        let two = match self.two_level_decompose(group_attr, &base_region, cached, budget) {
             Ok(two) => two,
             Err(e) => {
                 return keys
@@ -232,13 +252,16 @@ impl BoundEngine<'_> {
             .collect()
     }
 
-    /// Partition the constraints by group-attribute pinning and run the
-    /// level-1 decomposition of the shared subset, remapping cell
-    /// signatures back to global constraint indices.
+    /// Partition the constraints by group-attribute pinning and produce
+    /// the level-1 cells of the shared subset (signatures in global
+    /// constraint indices) — decomposed fresh, or derived zero-SAT from a
+    /// caller-supplied domain-wide decomposition (the session epoch
+    /// cache) by retiring the key-local constraints in one pass.
     fn two_level_decompose(
         &self,
         group_attr: usize,
         base_region: &Region,
+        cached: Option<&CellSet>,
         budget: &QueryBudget,
     ) -> Result<TwoLevel, BoundError> {
         let constraints = self.set.constraints();
@@ -253,6 +276,16 @@ impl BoundEngine<'_> {
             } else {
                 shared_ids.push(j);
             }
+        }
+
+        if let Some(cache) = cached {
+            let (cells, stats) = self.level1_from_cache(cache, &shared_ids, base_region, budget)?;
+            return Ok(TwoLevel {
+                shared_ids,
+                locals_by_key,
+                cells,
+                stats,
+            });
         }
 
         let (cells, stats) = if shared_ids.len() == constraints.len() {
@@ -281,6 +314,56 @@ impl BoundEngine<'_> {
             cells,
             stats,
         })
+    }
+
+    /// Level-1 cells from an already-built domain-wide decomposition of
+    /// the full set: retire every key-local constraint in one zero-SAT
+    /// pass ([`CellSet::derive_retire_subset`]), then — only when the
+    /// query predicate actually narrows the domain — specialize the
+    /// derived cells to `base_region` (interval cuts plus a SAT re-check
+    /// for just the genuinely cut cells). Either way no level-1
+    /// include/exclude decomposition runs. The returned stats carry the
+    /// cache's own counters (the session convention for served cells)
+    /// plus the derivation work; signatures come back in global indices.
+    fn level1_from_cache(
+        &self,
+        cache: &CellSet,
+        shared_ids: &[usize],
+        base_region: &Region,
+        budget: &QueryBudget,
+    ) -> Result<(Vec<Cell>, DecomposeStats), BoundError> {
+        let constraints = self.set.constraints();
+        let narrowed = base_region != cache.base();
+        if shared_ids.len() == constraints.len() && !narrowed {
+            // nothing key-local, whole-domain query: the cache verbatim
+            return Ok((cache.cells().to_vec(), cache.stats()));
+        }
+        let mut sub = PcSet::new(self.set.schema().clone());
+        sub.set_domain(self.set.domain().clone());
+        sub.set_disjoint_hint(self.set.disjoint_hint());
+        for &j in shared_ids {
+            sub.push(constraints[j].clone());
+        }
+        let mut stats = cache.stats();
+        let derived;
+        let shared: &CellSet = if shared_ids.len() == constraints.len() {
+            cache
+        } else {
+            derived = cache.derive_retire_subset(&sub, shared_ids, None);
+            stats.absorb(&derived.stats());
+            &derived
+        };
+        let mut cells = if narrowed {
+            shared.specialize_budgeted(&sub, base_region, &mut stats, self.par_witness(), budget)
+        } else {
+            shared.cells().to_vec()
+        };
+        if shared_ids.len() != constraints.len() {
+            for cell in &mut cells {
+                cell.active = cell.active.iter().map(|i| shared_ids[i]).collect();
+            }
+        }
+        Ok((cells, stats))
     }
 
     /// The pre-tentpole baseline: one full `bound()` per key. Used for A/B

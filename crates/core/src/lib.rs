@@ -56,7 +56,24 @@
 //!    pool against a single pinned epoch.
 //!    Epoch derivation is **shard-local**: a mutation re-derives only
 //!    the shard(s) its box overlaps, the rest carry by `Arc`.
-//! 7. **Budgets and graceful degradation** ([`QueryBudget`], re-exported
+//! 7. **Estimate-guided search ordering** ([`estimate`]): per-constraint
+//!    selectivity estimates on the catalog — normalized box volume,
+//!    per-attribute width ratios, and a live split-survival counter —
+//!    maintained incrementally with the session's epoch deltas and
+//!    recombined per shard. All three searches consume them: the
+//!    decomposition decides the most selective constraint first (DFS
+//!    prefix pruning kills subtrees before the uninformative splits
+//!    multiply them), the allocation MILP branches on the most selective
+//!    cells' variables (fractionality × weight), and the witness search
+//!    tries the most satisfiable-looking disjunct first. Ordering is a
+//!    visit-order permutation only — cells, verdicts, bounds, and
+//!    closure flags are bit-identical with it on or off
+//!    ([`BoundOptions::ordering`]); the win is counted in SAT checks
+//!    and branch & bound nodes ([`DecomposeStats::ordered_splits`],
+//!    [`LpWork::incumbent_first`]). A budget-tripped run stages
+//!    but never publishes its survival history — the unpublished-epoch
+//!    rule applied to estimates.
+//! 8. **Budgets and graceful degradation** ([`QueryBudget`], re-exported
 //!    from [`budget`]): every engine entry point has a `_budgeted`
 //!    variant accepting a deadline / SAT-check cap / branch & bound node
 //!    cap / [`CancelToken`], checked cooperatively at task-granule
@@ -124,6 +141,7 @@ mod constraint;
 pub mod decompose;
 pub mod dsl;
 mod error;
+pub mod estimate;
 mod groupby;
 pub mod join;
 mod pcset;
@@ -142,6 +160,7 @@ pub use decompose::{
 };
 pub use dsl::{parse_constraint, parse_pcset};
 pub use error::BoundError;
+pub use estimate::{ConstraintEstimate, Estimates, SplitOrdering, SurvivalCounter};
 pub use groupby::GroupBound;
 pub use pc_budget as budget;
 pub use pc_budget::{CancelToken, QueryBudget, TripReason};

@@ -118,6 +118,7 @@
 
 use crate::bounds::{pooled_map_catch, ShardSlice, WarmCache, WarmCaches};
 use crate::decompose::DecomposeStats;
+use crate::estimate::Estimates;
 use crate::shard::ShardedCellSet;
 use crate::specialize::CellSet;
 use crate::{
@@ -204,6 +205,12 @@ struct Epoch {
     set: Arc<PcSet>,
     ids: Vec<ConstraintId>,
     cells: OnceLock<Result<Arc<ShardedCellSet>, BoundError>>,
+    /// Per-constraint selectivity estimates, maintained **per delta**: an
+    /// add appends one entry, a retire drops one, a replace chains the
+    /// two — every carried entry shares its live split-survival counter
+    /// with the previous epoch by `Arc`, so ordering history accumulates
+    /// across the session instead of restarting per epoch.
+    estimates: Arc<Estimates>,
 }
 
 /// A long-lived, mutable query-serving handle over a constraint catalog:
@@ -236,6 +243,7 @@ impl Session {
     pub fn with_options(set: PcSet, options: SessionOptions) -> Self {
         let seeded = set.len() as u64;
         let ids: Vec<ConstraintId> = (0..seeded).map(ConstraintId).collect();
+        let estimates = Arc::new(Estimates::for_set(&set));
         Session {
             options,
             current: Mutex::new(Arc::new(Epoch {
@@ -243,6 +251,7 @@ impl Session {
                 set: Arc::new(set),
                 ids,
                 cells: OnceLock::new(),
+                estimates,
             })),
             mutations: Mutex::new(()),
             next_id: AtomicU64::new(seeded),
@@ -357,6 +366,7 @@ impl Session {
             base.clone(),
             None,
             false,
+            self.options.bound.ordering.then_some(&*epoch.estimates),
             budget,
         )?;
         // Cache the closure *counterexample*, not just the verdict: a
@@ -413,12 +423,13 @@ impl Session {
         set.set_disjoint_hint(false);
         set.push(pc.clone());
         let set = Arc::new(set);
+        let estimates = Arc::new(prev.estimates.derive_add(&set));
         let cells = OnceLock::new();
         if let Some(prev_cells) = self.derivable(&prev) {
             // A failed shard re-decomposition (e.g. a merge overflowing
             // the naive strategy) stays unpublished; the error replays
             // from the lazy rebuild instead.
-            if let Ok(derived) = self.derived_add(&prev_cells, &pc, &set, budget) {
+            if let Ok(derived) = self.derived_add(&prev_cells, &pc, &set, &estimates, budget) {
                 if !budget.is_tripped() {
                     let _ = cells.set(Ok(Arc::new(derived)));
                 }
@@ -431,6 +442,7 @@ impl Session {
                 set,
                 ids,
                 cells,
+                estimates,
             },
         );
         id
@@ -448,6 +460,7 @@ impl Session {
         let mut set = (*prev.set).clone();
         let removed = set.remove_constraint(index);
         let set = Arc::new(set);
+        let estimates = Arc::new(prev.estimates.derive_retire(index));
         let cells = OnceLock::new();
         if let Some(prev_cells) = self.derivable(&prev) {
             let uncovered = self.retired_uncovered(&prev_cells, &removed, &set);
@@ -461,6 +474,7 @@ impl Session {
                 set,
                 ids,
                 cells,
+                estimates,
             },
         );
         Ok(())
@@ -502,12 +516,14 @@ impl Session {
         set.set_disjoint_hint(false);
         set.push(pc.clone());
         let (mid_set, set) = (Arc::new(mid_set), Arc::new(set));
+        // chain the two estimate deltas exactly as the cells chain below
+        let estimates = Arc::new(prev.estimates.derive_retire(index).derive_add(&set));
         let cells = OnceLock::new();
         if let Some(prev_cells) = self.derivable(&prev) {
             // chain the two deltas through the intermediate epoch-less set
             let mid_uncovered = self.retired_uncovered(&prev_cells, &removed, &mid_set);
             let mid = prev_cells.derive_retire(&mid_set, index, &self.options.bound, mid_uncovered);
-            if let Ok(mut derived) = self.derived_add(&mid, &pc, &set, budget) {
+            if let Ok(mut derived) = self.derived_add(&mid, &pc, &set, &estimates, budget) {
                 derived.absorb_stats(mid.stats());
                 if !budget.is_tripped() {
                     let _ = cells.set(Ok(Arc::new(derived)));
@@ -521,6 +537,7 @@ impl Session {
                 set,
                 ids,
                 cells,
+                estimates,
             },
         );
         Ok(new_id)
@@ -550,6 +567,7 @@ impl Session {
         prev_cells: &ShardedCellSet,
         pc: &PredicateConstraint,
         set: &PcSet,
+        estimates: &Arc<Estimates>,
         budget: &QueryBudget,
     ) -> Result<ShardedCellSet, BoundError> {
         let parallel = self.par_witness();
@@ -582,6 +600,7 @@ impl Session {
             &self.options.bound,
             uncovered,
             base_known_closed,
+            self.options.bound.ordering.then_some(&**estimates),
             budget,
         )
     }
@@ -664,6 +683,7 @@ impl Session {
     ) -> Result<BoundReport, BoundError> {
         let set = &*epoch.set;
         let engine = BoundEngine::with_options(set, self.options.bound);
+        engine.set_estimates(Arc::clone(&epoch.estimates));
         if !self.options.cache_cells {
             // Cold cells, warm chains: the honest baseline for the cache
             // knob still benefits from cross-query basis reuse.
@@ -818,11 +838,13 @@ impl Session {
         .collect()
     }
 
-    /// Bound a GROUP-BY against the epoch current at the call: the
-    /// two-level shared decomposition already amortizes level 1 across
-    /// the keys of one call (see [`BoundEngine::bound_group_by`]); the
-    /// session adds its configuration and snapshot isolation, not a
-    /// second cache layer.
+    /// Bound a GROUP-BY against the epoch current at the call. The
+    /// two-level shared decomposition amortizes level 1 across the keys
+    /// of one call (see [`BoundEngine::bound_group_by`]); the session
+    /// goes further and derives the level-1 shared cells **from the
+    /// epoch's domain-wide cell cache** — the key-local constraints
+    /// retire in one zero-SAT pass — so repeated GROUP-BY calls against
+    /// one epoch never re-run the level-1 decomposition at all.
     pub fn bound_group_by(
         &self,
         base: &AggQuery,
@@ -845,7 +867,19 @@ impl Session {
     ) -> Vec<GroupBound> {
         let epoch = self.pin();
         let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
-        engine.bound_group_by_budgeted(base, group_attr, keys, budget)
+        engine.set_estimates(Arc::clone(&epoch.estimates));
+        // Serve level 1 from the epoch cache when it is (or can be) built
+        // clean; a degraded build stays unpublished and this call falls
+        // back to the engine's own level-1 decomposition.
+        let cached = if self.options.cache_cells && self.options.bound.shared_group_by {
+            self.cells_of_budgeted(&epoch, budget)
+                .ok()
+                .filter(|_| !budget.is_tripped())
+                .map(|sharded| sharded.flatten(&epoch.set))
+        } else {
+            None
+        };
+        engine.bound_group_by_cached(base, group_attr, keys, cached.as_deref(), budget)
     }
 }
 

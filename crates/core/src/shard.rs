@@ -56,6 +56,7 @@
 use crate::bounds::{pooled_map_catch, BoundEngine, BoundOptions};
 use crate::decompose::DecomposeStats;
 use crate::error::BoundError;
+use crate::estimate::Estimates;
 use crate::specialize::CellSet;
 use crate::{ActiveSet, Cell, PcSet};
 use pc_budget::QueryBudget;
@@ -363,6 +364,7 @@ impl ShardedCellSet {
         base: Region,
         uncovered: Option<Vec<f64>>,
         closure_skipped: bool,
+        estimates: Option<&Estimates>,
         budget: &QueryBudget,
     ) -> Result<ShardedCellSet, BoundError> {
         let components: Vec<Vec<usize>> = if !options.shard || set.disjoint_hint() || set.len() < 2
@@ -378,7 +380,15 @@ impl ShardedCellSet {
         let boxes = constraint_boxes(set);
         let threads = BoundEngine::with_options(set, *options).task_threads(components.len());
         let built = pooled_map_catch(&components, threads, &|members: &Vec<usize>| {
-            build_shard(set, options, &base, members.clone(), &boxes, budget)
+            build_shard(
+                set,
+                options,
+                &base,
+                members.clone(),
+                &boxes,
+                estimates,
+                budget,
+            )
         });
         let mut shards = Vec::with_capacity(components.len());
         for result in built {
@@ -522,6 +532,7 @@ impl ShardedCellSet {
         options: &BoundOptions,
         uncovered: Option<Vec<f64>>,
         base_known_closed: bool,
+        estimates: Option<&Estimates>,
         budget: &QueryBudget,
     ) -> Result<ShardedCellSet, BoundError> {
         let n = new_set.len() - 1;
@@ -619,6 +630,7 @@ impl ShardedCellSet {
                     &self.base,
                     members,
                     &constraint_boxes(new_set),
+                    estimates,
                     budget,
                 )?;
                 stats = merged.cells.stats();
@@ -764,19 +776,26 @@ fn remap_up(local: &ActiveSet, members: &[usize]) -> ActiveSet {
 }
 
 /// Decompose one component into a [`Shard`] (skew re-ordering heavy ones
-/// first). `all_boxes` is indexed by *global* constraint index.
+/// first). `all_boxes` is indexed by *global* constraint index. When the
+/// caller holds catalog-wide [`Estimates`], the shard engine works from
+/// their restriction to the (re-ordered) member list, so split-survival
+/// history flows through the shared counters instead of restarting cold.
 fn build_shard(
     set: &PcSet,
     options: &BoundOptions,
     base: &Region,
     mut members: Vec<usize>,
     all_boxes: &[Region],
+    estimates: Option<&Estimates>,
     budget: &QueryBudget,
 ) -> Result<Arc<Shard>, BoundError> {
     skew_reorder(&mut members, all_boxes);
     let sub = Arc::new(sub_set(set, &members));
     let boxes: Vec<Region> = members.iter().map(|&m| all_boxes[m].clone()).collect();
     let engine = BoundEngine::with_options(&sub, *options);
+    if let Some(est) = estimates {
+        engine.set_estimates(Arc::new(est.restrict(&members)));
+    }
     let (cells, stats) = engine.cells_for_base_budgeted(base, budget)?;
     let mut stats = stats;
     stats.cells = cells.len();

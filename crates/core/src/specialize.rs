@@ -549,6 +549,77 @@ impl CellSet {
         stats.cells = cells.len();
         CellSet::new(new_set, self.base.clone(), cells, stats, uncovered)
     }
+
+    /// [`CellSet::derive_retire`] generalized to retiring every
+    /// constraint *not* in `kept` at once, still with **zero SAT checks**.
+    /// `kept` is the sorted (ascending, this set's indices) list of
+    /// surviving constraints and `new_set` the sub-set holding exactly
+    /// those, in order — the cells come back in `new_set`'s (sub-)indices.
+    ///
+    /// The cell-merge argument is the single-retire one applied to the
+    /// whole batch: a cell whose activity already lies inside `kept`
+    /// survives verbatim; a cell holding retired constraints folds into
+    /// the surviving cell of its reduced signature when one exists, and
+    /// otherwise the *first* such cell survives with its region re-widened
+    /// to the base tightened by the remaining active boxes (later cells of
+    /// the same reduced signature fold into it). This is how the GROUP-BY
+    /// level-1 cells derive from a session epoch's domain-wide cache: the
+    /// key-local constraints retire in one pass instead of the shared
+    /// subset re-decomposing per call.
+    pub(crate) fn derive_retire_subset(
+        &self,
+        new_set: &PcSet,
+        kept: &[usize],
+        uncovered: Option<Vec<f64>>,
+    ) -> CellSet {
+        let pos: HashMap<usize, usize> = kept.iter().enumerate().map(|(s, &g)| (g, s)).collect();
+        let remap = |active: &ActiveSet| -> ActiveSet {
+            active.iter().filter_map(|i| pos.get(&i).copied()).collect()
+        };
+        // reduced signatures that survive verbatim (no retired member)
+        let survivors: std::collections::HashSet<ActiveSet> = self
+            .cells
+            .iter()
+            .filter(|c| c.active.iter().all(|i| pos.contains_key(&i)))
+            .map(|c| remap(&c.active))
+            .collect();
+        let mut emitted = std::collections::HashSet::new();
+        let mut stats = DecomposeStats::default();
+        let mut cells = Vec::with_capacity(self.cells.len());
+        for cell in &self.cells {
+            let untouched = cell.active.iter().all(|i| pos.contains_key(&i));
+            let active = remap(&cell.active);
+            if untouched {
+                cells.push(Cell {
+                    region: Arc::clone(&cell.region),
+                    active,
+                    witness: cell.witness.clone(),
+                    undecided: remap(&cell.undecided),
+                });
+                continue;
+            }
+            stats.incremental_splits += 1;
+            if active.is_empty() || survivors.contains(&active) || !emitted.insert(active.clone()) {
+                // all-excluded is not a cell; otherwise the surviving
+                // sibling (or the first merged cell) already covers it
+                continue;
+            }
+            let mut region = self.base.clone();
+            for i in active.iter() {
+                for atom in new_set.constraints()[i].predicate.atoms() {
+                    region.intersect_atom(atom);
+                }
+            }
+            cells.push(Cell {
+                region: Arc::new(region),
+                active,
+                witness: cell.witness.clone(),
+                undecided: remap(&cell.undecided),
+            });
+        }
+        stats.cells = cells.len();
+        CellSet::new(new_set, self.base.clone(), cells, stats, uncovered)
+    }
 }
 
 /// Memo of slice cross-section verdicts: (cell index, group-active

@@ -27,6 +27,17 @@
 //! sequential search; the witness row itself may differ between runs
 //! (both are genuine points of the cell).
 //!
+//! # Branch ordering
+//!
+//! The branch disjuncts are tried **largest surviving volume first**: a
+//! complement atom that keeps most of `base`'s width on its attribute is
+//! the likeliest to still hold a witness, so trying it first ends a SAT
+//! search sooner (the Atreides-style most-promising-first rule, applied
+//! with pure interval arithmetic — no catalog statistics needed at this
+//! level). The verdict is order-independent — on failure every branch is
+//! still tried — so only the identity of the returned witness can shift,
+//! which the parallel-search contract above already allows.
+//!
 //! # Budgets
 //!
 //! [`find_witness_budgeted`] is the cooperative-cancellation entry: it
@@ -39,7 +50,7 @@
 //! callers must treat the cell as possibly satisfiable (the
 //! EarlyStop-style sound widening).
 
-use crate::{Predicate, Region};
+use crate::{Interval, Predicate, Region};
 use pc_budget::QueryBudget;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -207,54 +218,57 @@ fn search(
         .collect();
 
     // A witness avoiding ψ must violate at least one of its atoms — the
-    // branch disjunction. Wide parallel searches materialize the branch
-    // boxes up front and fan them out as tasks.
-    if parallel && live.len() > PAR_WITNESS_CUTOFF {
-        let mut branches: Vec<Option<Region>> = Vec::new();
-        // Non-narrowing complement atoms all reduce to the identical
-        // subproblem `search(base, rest)`: fan out at most one (`None`).
-        let mut unchanged_pushed = false;
-        for atom in pick.atoms() {
-            let ty = base.attr_type(atom.attr);
-            for neg_atom in atom.negate(ty) {
-                let cur = base.interval(neg_atom.attr);
-                let narrowed = cur.intersect(&neg_atom.interval);
-                if narrowed.is_empty(ty) {
-                    continue;
-                }
-                if narrowed == *cur {
-                    if !unchanged_pushed {
-                        unchanged_pushed = true;
-                        branches.push(None);
-                    }
-                } else {
+    // branch disjunction, tried largest-surviving-volume first (module
+    // docs, "Branch ordering"). Wide parallel searches materialize the
+    // branch boxes up front and fan them out as tasks.
+    let branches = ordered_branches(base, pick);
+    if parallel && live.len() > PAR_WITNESS_CUTOFF && branches.len() > 1 {
+        let branches = branches
+            .into_iter()
+            .map(|b| {
+                b.map(|(attr, narrowed)| {
                     let mut shrunk = base.clone();
-                    shrunk.set_interval(neg_atom.attr, narrowed);
-                    branches.push(Some(shrunk));
-                }
-            }
-        }
-        if branches.len() > 1 {
-            return fan_out(base, &rest, branches, stop, budget);
-        }
-        for branch in branches {
-            let found = match &branch {
-                Some(shrunk) => search(shrunk, &rest, parallel, stop, budget),
-                None => search(base, &rest, parallel, stop, budget),
-            };
-            if found.is_some() {
-                return found;
-            }
-        }
-        return None;
+                    shrunk.set_interval(attr, narrowed);
+                    shrunk
+                })
+            })
+            .collect();
+        return fan_out(base, &rest, branches, stop, budget);
     }
 
-    // Sequential branch loop: clone the base box lazily, only for
-    // branches that genuinely narrow it and stay non-empty — the first
-    // witness stops the scan. A non-narrowing complement atom recurses on
-    // `base` as-is, and only once: every such branch is the identical
-    // subproblem.
-    let mut unchanged_tried = false;
+    // Sequential branch loop: clone the base box lazily, only for the
+    // branches actually reached — the first witness stops the scan.
+    for branch in branches {
+        let found = match branch {
+            Some((attr, narrowed)) => {
+                let mut shrunk = base.clone();
+                shrunk.set_interval(attr, narrowed);
+                search(&shrunk, &rest, parallel, stop, budget)
+            }
+            None => search(base, &rest, parallel, stop, budget),
+        };
+        if found.is_some() {
+            return found;
+        }
+        if stop.is_some_and(|f| f.load(Ordering::Relaxed)) || !budget.proceed() {
+            return None;
+        }
+    }
+    None
+}
+
+/// Enumerate the branch disjuncts of the picked exclusion against `base`,
+/// **largest surviving-width fraction first**. Each entry is
+/// `Some((attr, narrowed))` — recurse with `attr` shrunk to `narrowed` —
+/// or `None`, the single deduplicated non-narrowing branch that recurses
+/// on `base` unchanged (every such complement atom reduces to the
+/// identical subproblem, so it appears at most once, with fraction 1.0).
+/// Complement atoms whose intersection with `base` is empty are dropped
+/// here. Only `Interval` copies are staged — region clones stay
+/// one-per-branch-taken in the callers.
+fn ordered_branches(base: &Region, pick: &Predicate) -> Vec<Option<(usize, Interval)>> {
+    let mut scored: Vec<(f64, Option<(usize, Interval)>)> = Vec::new();
+    let mut unchanged_pushed = false;
     for atom in pick.atoms() {
         let ty = base.attr_type(atom.attr);
         for neg_atom in atom.negate(ty) {
@@ -264,26 +278,34 @@ fn search(
                 continue;
             }
             if narrowed == *cur {
-                if unchanged_tried {
-                    continue;
-                }
-                unchanged_tried = true;
-                if let Some(w) = search(base, &rest, parallel, stop, budget) {
-                    return Some(w);
+                if !unchanged_pushed {
+                    unchanged_pushed = true;
+                    scored.push((1.0, None));
                 }
             } else {
-                let mut shrunk = base.clone();
-                shrunk.set_interval(neg_atom.attr, narrowed);
-                if let Some(w) = search(&shrunk, &rest, parallel, stop, budget) {
-                    return Some(w);
-                }
-            }
-            if stop.is_some_and(|f| f.load(Ordering::Relaxed)) || !budget.proceed() {
-                return None;
+                let frac = surviving_fraction(&narrowed, cur);
+                scored.push((frac, Some((neg_atom.attr, narrowed))));
             }
         }
     }
-    None
+    // Stable sort: equal fractions keep declaration order, so the
+    // ordering is deterministic and degenerates to the historical order
+    // on unscorable (unbounded) axes.
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().map(|(_, b)| b).collect()
+}
+
+/// Fraction of `cur`'s width that `narrowed` keeps, in `[0, 1]`. An
+/// unbounded `cur` gives no scale: an unbounded survivor keeps
+/// "everything" (1.0), a finite one is pessimistically half (0.5) — the
+/// same convention as pc-core's estimate layer.
+fn surviving_fraction(narrowed: &Interval, cur: &Interval) -> f64 {
+    let cur_w = cur.hi - cur.lo;
+    if !cur_w.is_finite() || cur_w <= 0.0 {
+        let nw = narrowed.hi - narrowed.lo;
+        return if nw.is_finite() { 0.5 } else { 1.0 };
+    }
+    ((narrowed.hi - narrowed.lo) / cur_w).clamp(0.0, 1.0)
 }
 
 /// Run the branch disjuncts as first-hit-wins stealable tasks. Any task

@@ -116,6 +116,17 @@ pub struct MilpProblem {
     pub lp: crate::LinearProgram,
     /// `integer[i]` marks variable `i` as integral.
     pub integer: Vec<bool>,
+    /// Optional per-variable branch weights (estimate-guided search
+    /// ordering). At a fractional node the search branches on the
+    /// variable maximizing `fractionality × weight` instead of raw
+    /// fractionality, so callers that know which variables are the most
+    /// *selective* (the PC engine scores each cell's allocation variable
+    /// by its constraints' box-volume estimates) get those decided first
+    /// and prune earlier. `None` — or any all-equal weights — reproduces
+    /// the classic most-fractional rule exactly. Weights never affect
+    /// the optimum, only the node order; must be finite, positive, and
+    /// one per variable.
+    pub branch_scores: Option<Vec<f64>>,
 }
 
 impl MilpProblem {
@@ -126,7 +137,15 @@ impl MilpProblem {
         MilpProblem {
             lp,
             integer: vec![true; n],
+            branch_scores: None,
         }
+    }
+
+    /// Attach per-variable branch weights (see
+    /// [`MilpProblem::branch_scores`]).
+    pub fn with_branch_scores(mut self, scores: Vec<f64>) -> Self {
+        self.branch_scores = Some(scores);
+        self
     }
 }
 
@@ -185,6 +204,12 @@ pub struct SearchStats {
     /// Simplex pivots spent in rebuilt node solves (crash + phase 1 +
     /// dual restore + phase 2).
     pub rebuilt_pivots: u64,
+    /// Incumbent installs (improvements or tie-break replacements) made
+    /// by a **near** child — the branch direction the best-first child
+    /// order explores first. A high ratio of hits to installs means the
+    /// child order is doing its job: incumbents arrive on the first
+    /// descent, and the far siblings are pruned instead of searched.
+    pub incumbent_first_hits: u64,
 }
 
 impl SearchStats {
@@ -258,6 +283,18 @@ pub fn solve_milp_budgeted(
             "integrality flags length must equal variable count".into(),
         ));
     }
+    if let Some(scores) = &problem.branch_scores {
+        if scores.len() != problem.lp.num_vars() {
+            return Err(SolverError::BadModel(
+                "branch_scores length must equal variable count".into(),
+            ));
+        }
+        if scores.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return Err(SolverError::BadModel(
+                "branch_scores must be finite and positive".into(),
+            ));
+        }
+    }
     if options.tableau_carry && !options.warm_start {
         // Mirror of the CLI flag-rejection hardening: the carried tableau
         // is the warm start's deeper tier, so "no warm starts, but carry
@@ -290,7 +327,7 @@ pub fn solve_milp_budgeted(
     if options.threads == 1 {
         search.run_stack(Vec::new(), Warmth::Cold);
     } else {
-        search.run_parallel(Vec::new(), Warmth::Cold, 0);
+        search.run_parallel(Vec::new(), Warmth::Cold, 0, false);
     }
     search.finish()
 }
@@ -325,6 +362,7 @@ struct Search<'a> {
     rebuilt_nodes: AtomicU64,
     carried_pivots: AtomicU64,
     rebuilt_pivots: AtomicU64,
+    incumbent_first: AtomicU64,
     limit_hit: AtomicBool,
     /// Set when the budget tripped *during this search* (distinct from
     /// [`Search::limit_hit`], which is the solver's own node cap).
@@ -358,6 +396,7 @@ impl<'a> Search<'a> {
             rebuilt_nodes: AtomicU64::new(0),
             carried_pivots: AtomicU64::new(0),
             rebuilt_pivots: AtomicU64::new(0),
+            incumbent_first: AtomicU64::new(0),
             limit_hit: AtomicBool::new(false),
             budget_hit: AtomicBool::new(false),
             failed: AtomicBool::new(false),
@@ -432,7 +471,7 @@ impl<'a> Search<'a> {
     /// or ties it with a lexicographically smaller `x` (the deterministic
     /// tie-break that makes the reported solution independent of worker
     /// scheduling).
-    fn offer_incumbent(&self, obj: f64, x: Vec<f64>) {
+    fn offer_incumbent(&self, obj: f64, x: Vec<f64>, is_near: bool) {
         let mut slot = self.incumbent.lock().unwrap();
         let replace = match &*slot {
             None => true,
@@ -447,6 +486,9 @@ impl<'a> Search<'a> {
         if replace {
             self.best_bits.store(obj.to_bits(), Ordering::Release);
             *slot = Some((obj, x));
+            if is_near {
+                self.incumbent_first.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -483,10 +525,18 @@ impl<'a> Search<'a> {
         lp
     }
 
-    /// Solve one (already claimed) node. Returns branch instructions —
-    /// `(variable, fractional value, warmth for the children)` — or
-    /// `None` when the node was pruned, infeasible, integral, or errored.
-    fn process_node(&self, overrides: &Overrides, warmth: Warmth) -> Option<(usize, f64, Warmth)> {
+    /// Solve one (already claimed) node. `is_near` says whether this node
+    /// is the first-explored ("near") child of its parent's branch — it
+    /// only feeds the [`SearchStats::incumbent_first_hits`] counter.
+    /// Returns branch instructions — `(variable, fractional value, warmth
+    /// for the children)` — or `None` when the node was pruned,
+    /// infeasible, integral, or errored.
+    fn process_node(
+        &self,
+        overrides: &Overrides,
+        warmth: Warmth,
+        is_near: bool,
+    ) -> Option<(usize, f64, Warmth)> {
         if !self.consistent_bounds(overrides) {
             return None;
         }
@@ -588,16 +638,25 @@ impl<'a> Search<'a> {
             return None;
         }
 
-        // Find the most fractional integral variable.
+        // Find the branch variable: among the fractional integral
+        // variables, maximize fractionality × branch weight (estimate
+        // score). Without scores every weight is 1.0 and this is exactly
+        // the classic most-fractional rule; ties keep the lowest index
+        // either way.
         let mut branch_var = None;
-        let mut worst_frac = INT_TOL;
+        let mut best_score = 0.0;
         for (i, (&is_int, &v)) in self.problem.integer.iter().zip(&relax.x).enumerate() {
             if !is_int {
                 continue;
             }
             let frac = (v - v.round()).abs();
-            if frac > worst_frac {
-                worst_frac = frac;
+            if frac <= INT_TOL {
+                continue;
+            }
+            let weight = self.problem.branch_scores.as_ref().map_or(1.0, |s| s[i]);
+            let score = frac * weight;
+            if score > best_score {
+                best_score = score;
                 branch_var = Some((i, v));
             }
         }
@@ -613,7 +672,7 @@ impl<'a> Search<'a> {
                 }
                 let obj = self.problem.lp.objective_at(&x);
                 if self.problem.lp.is_feasible(&x, 1e-5) {
-                    self.offer_incumbent(obj, x);
+                    self.offer_incumbent(obj, x, is_near);
                 }
                 None
             }
@@ -639,15 +698,15 @@ impl<'a> Search<'a> {
     /// Deterministic sequential DFS with an explicit stack (the near child
     /// is pushed last, so it pops first — the pre-parallel visit order).
     fn run_stack(&self, overrides: Overrides, warmth: Warmth) {
-        let mut stack: Vec<(Overrides, Warmth)> = vec![(overrides, warmth)];
-        while let Some((overrides, warmth)) = stack.pop() {
+        let mut stack: Vec<(Overrides, Warmth, bool)> = vec![(overrides, warmth, false)];
+        while let Some((overrides, warmth, is_near)) = stack.pop() {
             if self.aborted() || !self.try_claim_node() {
                 return;
             }
-            if let Some((var, v, child_warmth)) = self.process_node(&overrides, warmth) {
+            if let Some((var, v, child_warmth)) = self.process_node(&overrides, warmth, is_near) {
                 let (near, far) = Self::children(overrides, var, v);
-                stack.push((far, child_warmth.clone()));
-                stack.push((near, child_warmth));
+                stack.push((far, child_warmth.clone(), false));
+                stack.push((near, child_warmth, true));
             }
         }
     }
@@ -655,21 +714,21 @@ impl<'a> Search<'a> {
     /// Parallel exploration: the near child runs hot on this worker, the
     /// far child becomes a stealable task. Deep chains fall back to the
     /// stack search to bound recursion.
-    fn run_parallel(&self, overrides: Overrides, warmth: Warmth, depth: usize) {
+    fn run_parallel(&self, overrides: Overrides, warmth: Warmth, depth: usize, is_near: bool) {
         if depth >= PAR_DEPTH_LIMIT {
             return self.run_stack(overrides, warmth);
         }
         if self.aborted() || !self.try_claim_node() {
             return;
         }
-        let Some((var, v, child_warmth)) = self.process_node(&overrides, warmth) else {
+        let Some((var, v, child_warmth)) = self.process_node(&overrides, warmth, is_near) else {
             return;
         };
         let (near, far) = Self::children(overrides, var, v);
         let far_warmth = child_warmth.clone();
         rayon::join(
-            || self.run_parallel(near, child_warmth, depth + 1),
-            || self.run_parallel(far, far_warmth, depth + 1),
+            || self.run_parallel(near, child_warmth, depth + 1, true),
+            || self.run_parallel(far, far_warmth, depth + 1, false),
         );
     }
 
@@ -691,6 +750,7 @@ impl<'a> Search<'a> {
             rebuilt_nodes: self.rebuilt_nodes.into_inner(),
             carried_pivots: self.carried_pivots.into_inner(),
             rebuilt_pivots: self.rebuilt_pivots.into_inner(),
+            incumbent_first_hits: self.incumbent_first.into_inner(),
         };
         let incumbent = self.incumbent.into_inner().unwrap();
         if self.budget_hit.into_inner() {
@@ -862,6 +922,7 @@ mod tests {
         let problem = MilpProblem {
             lp,
             integer: vec![true, false],
+            branch_scores: None,
         };
         let sol = solve_milp(&problem, MilpOptions::default()).unwrap();
         assert_close(sol.objective, 3.5);
@@ -1053,6 +1114,47 @@ mod tests {
         .unwrap();
         assert_close(cold.objective, warm.objective);
         assert!(problem.lp.is_feasible(&warm.x, 1e-5));
+    }
+
+    #[test]
+    fn branch_scores_never_change_the_optimum() {
+        // Weighted branching reorders the tree, not the answer: every
+        // mode, with deliberately skewed weights, must match the unscored
+        // solve exactly (same proven optimum; x may legitimately differ
+        // between distinct optima, so only the objective is pinned).
+        let mut lp = LinearProgram::maximize(vec![5.0, 4.0, 3.0, 6.0]);
+        lp.add_constraint(vec![(0, 2.0), (1, 3.0), (2, 1.0), (3, 2.0)], Le, 9.5);
+        lp.add_constraint(vec![(0, 4.0), (1, 1.0), (2, 2.0)], Le, 10.5);
+        lp.add_constraint(vec![(1, 1.0), (2, 4.0), (3, 3.0)], Le, 8.5);
+        for i in 0..4 {
+            lp.set_bounds(i, 0.0, 4.0);
+        }
+        let plain = MilpProblem::all_integer(lp);
+        let scored = plain.clone().with_branch_scores(vec![16.0, 0.25, 4.0, 1.0]);
+        let reference = solve_milp(&plain, MilpOptions::default()).unwrap();
+        for options in all_modes() {
+            let sol = solve_milp(&scored, options).unwrap();
+            assert_close(sol.objective, reference.objective);
+            assert!(sol.proven_optimal, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_branch_scores_are_rejected() {
+        let lp = LinearProgram::maximize(vec![1.0, 1.0]);
+        for bad in [
+            vec![1.0],
+            vec![1.0, f64::NAN],
+            vec![1.0, 0.0],
+            vec![1.0, -2.0],
+        ] {
+            let p = MilpProblem::all_integer(lp.clone()).with_branch_scores(bad.clone());
+            let r = solve_milp(&p, MilpOptions::default());
+            assert!(
+                matches!(r, Err(SolverError::BadModel(_))),
+                "scores {bad:?} must be rejected, got {r:?}"
+            );
+        }
     }
 
     #[test]

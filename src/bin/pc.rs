@@ -63,11 +63,15 @@
 //!   bound pruning tolerance, ~1e-6).
 //! * `--per-key-groupby` — disable the shared-decomposition group-by
 //!   (A/B baseline: one full decomposition per group).
-//! * `--stats` — for `bound` (single query): after the range, print the
-//!   work counters — cells, SAT checks, branch & bound nodes — and, when
-//!   the engine factored the catalog over its constraint-interaction
-//!   graph (see `pc_core::shard`), the shard count, the largest shard's
-//!   constraint count, and the per-shard SAT-check profile.
+//! * `--stats` — print the work counters alongside each result. For
+//!   `bound` (single query): after the range, the cells, SAT checks, and
+//!   branch & bound nodes, the estimate-guided ordering counters
+//!   (splits taken in estimate order, incumbents installed by the
+//!   branch-ordered near child — see `pc_core::estimate`), and, when the
+//!   engine factored the catalog over its constraint-interaction graph
+//!   (see `pc_core::shard`), the shard count, the largest shard's
+//!   constraint count, and the per-shard SAT-check profile. For `batch`:
+//!   one indented counter line under each query's result.
 //! * `--no-session-cache` — for `batch`: decompose each query's region
 //!   from scratch instead of specializing the session's cached domain
 //!   decomposition (A/B baseline for the session layer). `bound` always
@@ -398,9 +402,6 @@ fn main() -> ExitCode {
             if args.per_key_groupby {
                 return fail("--per-key-groupby is not supported by `batch` (no GROUP BY queries here); its A/B knobs are --no-session-cache / --no-warm-start");
             }
-            if args.stats {
-                return fail("--stats is only supported by `bound`");
-            }
             let set = match load_constraints(&args, &table) {
                 Ok(s) => s,
                 Err(e) => return fail(&e),
@@ -439,6 +440,17 @@ fn main() -> ExitCode {
                     Ok(r) => {
                         let tag = report_tags(r.degraded, r.closed);
                         println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
+                        if args.stats {
+                            println!(
+                                "  stats: {} cells, {} sat checks, {} branch&bound nodes, \
+                                 {} ordered splits, {} incumbent-first",
+                                r.stats.cells,
+                                r.stats.sat_checks,
+                                r.solver.nodes,
+                                r.stats.ordered_splits,
+                                r.solver.incumbent_first
+                            );
+                        }
                     }
                     Err(BoundError::EmptyAggregate) => {
                         println!("{sql} -> empty (no missing row can match)");
@@ -672,6 +684,10 @@ fn main() -> ExitCode {
                 println!(
                     "stats: {} cells, {} sat checks, {} branch&bound nodes",
                     s.cells, s.sat_checks, report.solver.nodes
+                );
+                println!(
+                    "ordering: {} estimate-guided splits, {} incumbent-first installs",
+                    s.ordered_splits, report.solver.incumbent_first
                 );
                 if s.shards > 0 {
                     println!(

@@ -354,12 +354,16 @@ fn bound_stats_reports_shards() {
     );
     assert!(stdout.contains("stats: "), "{stdout}");
     assert!(
+        stdout.contains("ordering: ") && stdout.contains("estimate-guided splits"),
+        "{stdout}"
+    );
+    assert!(
         stdout.contains("shards: 2 (largest 1 constraints)"),
         "{stdout}"
     );
     assert!(stdout.contains("per-shard sat checks: ["), "{stdout}");
 
-    // --stats stays a bound-only flag
+    // batch prints one indented counter line under each query's result
     let queries = dir.join("q.sql");
     std::fs::write(&queries, "SELECT COUNT(*)\n").unwrap();
     let out = pc_bin()
@@ -377,7 +381,18 @@ fn bound_stats_reports_shards() {
         ])
         .output()
         .unwrap();
-    assert!(!out.status.success(), "batch must reject --stats");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("  stats: ")
+            && stdout.contains("ordered splits")
+            && stdout.contains("incumbent-first"),
+        "{stdout}"
+    );
 }
 
 #[test]
