@@ -59,6 +59,8 @@ use std::time::{Duration, Instant};
 #[cfg(feature = "fault")]
 pub mod fault;
 
+pub mod pressure;
+
 /// Why a budget tripped: the first limit crossed, sticky for the
 /// budget's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +117,13 @@ struct Inner {
     cancelled: AtomicBool,
     /// Sticky first-trip record; see [`encode`].
     tripped: AtomicU8,
+    /// When the budget was armed — the admission layer measures queue
+    /// wait as "armed → admitted".
+    armed_at: Instant,
+    /// Parent budget for [`QueryBudget::restricted`] children: a child
+    /// also trips (with the parent's reason) whenever the parent does,
+    /// so a cancel or deadline on the original handle still lands.
+    parent: Option<Arc<Inner>>,
 }
 
 impl Inner {
@@ -127,6 +136,8 @@ impl Inner {
             nodes_used: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
             tripped: AtomicU8::new(0),
+            armed_at: Instant::now(),
+            parent: None,
         }
     }
 
@@ -142,6 +153,14 @@ impl Inner {
     fn proceed(&self) -> bool {
         if self.tripped.load(Ordering::Acquire) != 0 {
             return false;
+        }
+        if let Some(parent) = &self.parent {
+            if !parent.proceed() {
+                if let Some(reason) = decode(parent.tripped.load(Ordering::Acquire)) {
+                    self.trip(reason);
+                }
+                return false;
+            }
         }
         if self.cancelled.load(Ordering::Acquire) {
             self.trip(TripReason::Cancelled);
@@ -192,8 +211,21 @@ impl QueryBudget {
     }
 
     /// Add a wall-clock deadline `timeout` from now.
-    pub fn with_timeout(self, timeout: Duration) -> QueryBudget {
-        self.with_deadline(Instant::now() + timeout)
+    ///
+    /// Saturates: a timeout too large to represent as an [`Instant`]
+    /// (e.g. `Duration::MAX`) arms the budget with **no** deadline
+    /// instead of panicking — "longer than the process can live" and
+    /// "never" are the same limit.
+    pub fn with_timeout(mut self, timeout: Duration) -> QueryBudget {
+        match Instant::now().checked_add(timeout) {
+            Some(deadline) => self.with_deadline(deadline),
+            None => {
+                // Still arm the handle (so cancel tokens work and the
+                // builder's contract "returns an armed budget" holds).
+                self.arm();
+                self
+            }
+        }
     }
 
     /// Add an absolute wall-clock deadline.
@@ -227,6 +259,52 @@ impl QueryBudget {
     /// True for the no-op handle (no checks will ever trip).
     pub fn is_unlimited(&self) -> bool {
         self.inner.is_none()
+    }
+
+    /// The armed wall-clock deadline, if any — the scheduler reads this
+    /// to stamp the query's pool tasks and to judge admission.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|i| i.deadline)
+    }
+
+    /// How long ago this budget was armed. The admission layer reports
+    /// this as the query's queue wait (armed at arrival → admitted when
+    /// a worker picks it up). `None` for the unlimited handle.
+    pub fn armed_for(&self) -> Option<Duration> {
+        self.inner.as_ref().map(|i| i.armed_at.elapsed())
+    }
+
+    /// A budget born tripped with `reason`: every check answers `false`
+    /// from the first granule. The load-shedding path runs rejected
+    /// queries under one of these — each pipeline stage degrades
+    /// immediately (frontier cells un-split, SAT admits unverified, LP
+    /// relaxation), producing the cheapest sound answer the engine has.
+    pub fn pre_tripped(reason: TripReason) -> QueryBudget {
+        let inner = Inner::fresh();
+        inner.tripped.store(encode(reason), Ordering::Release);
+        QueryBudget {
+            inner: Some(Arc::new(inner)),
+        }
+    }
+
+    /// A child budget with tighter work caps that still answers to this
+    /// one: the child trips whenever the parent trips (cancel, deadline —
+    /// with the parent's reason), carries the parent's deadline, but
+    /// spends its **own** sat/node allowance. The admission layer runs
+    /// early-degraded and shed queries under such children, so skipping
+    /// down the degradation ladder never consumes the caller's budget.
+    pub fn restricted(&self, sat_cap: u64, node_cap: u64) -> QueryBudget {
+        let mut inner = Inner::fresh();
+        inner.sat_cap = sat_cap;
+        inner.node_cap = node_cap;
+        if let Some(parent) = &self.inner {
+            inner.deadline = parent.deadline;
+            inner.armed_at = parent.armed_at;
+            inner.parent = Some(Arc::clone(parent));
+        }
+        QueryBudget {
+            inner: Some(Arc::new(inner)),
+        }
     }
 
     /// Charge one SAT probe. `true` = proceed; `false` = the budget is
@@ -392,6 +470,52 @@ mod tests {
         assert!(!b.is_unlimited());
         assert!(b.proceed());
         assert!(b.charge_sat() && b.charge_node());
+    }
+
+    #[test]
+    fn huge_timeout_saturates_instead_of_panicking() {
+        let b = QueryBudget::unlimited().with_timeout(Duration::MAX);
+        assert!(!b.is_unlimited(), "saturated timeout still arms the handle");
+        assert_eq!(b.deadline(), None, "unrepresentable deadline = no deadline");
+        assert!(b.proceed());
+        assert!(b.cancel_token().is_some());
+        // a merely-large (but representable) timeout keeps its deadline
+        let b = QueryBudget::unlimited().with_timeout(Duration::from_secs(86_400 * 365));
+        assert!(b.deadline().is_some());
+    }
+
+    #[test]
+    fn restricted_child_spends_its_own_caps() {
+        let parent = QueryBudget::unlimited().with_sat_cap(1000);
+        let child = parent.restricted(2, u64::MAX);
+        assert!(child.charge_sat());
+        assert!(child.charge_sat());
+        assert!(!child.charge_sat());
+        assert_eq!(child.trip_reason(), Some(TripReason::SatCap));
+        // the parent is untouched: its allowance was never spent
+        assert!(parent.proceed());
+        assert_eq!(parent.sat_used(), 0);
+    }
+
+    #[test]
+    fn restricted_child_follows_parent_cancel() {
+        let parent = QueryBudget::armed();
+        let child = parent.restricted(u64::MAX, u64::MAX);
+        assert!(child.proceed());
+        parent.cancel_token().unwrap().cancel();
+        assert!(!child.proceed());
+        assert_eq!(child.trip_reason(), Some(TripReason::Cancelled));
+    }
+
+    #[test]
+    fn restricted_child_inherits_deadline_and_age() {
+        let deadline = Instant::now() - Duration::from_millis(1);
+        let parent = QueryBudget::unlimited().with_deadline(deadline);
+        let child = parent.restricted(u64::MAX, u64::MAX);
+        assert_eq!(child.deadline(), Some(deadline));
+        assert!(!child.proceed());
+        assert_eq!(child.trip_reason(), Some(TripReason::Deadline));
+        assert!(child.armed_for().is_some());
     }
 
     #[test]

@@ -1,0 +1,589 @@
+//! Admission control under deadline pressure: decide a query's fate
+//! *before* it consumes resources.
+//!
+//! # The pressure model
+//!
+//! A [`PressureGauge`] tracks the engine's **aggregate queued deadline
+//! pressure**: the estimated service times of every admitted,
+//! not-yet-finished query, keyed by that query's deadline. The expected
+//! wait a new arrival sees is the sum of charges *at least as urgent as
+//! its own deadline* — under EDF scheduling, work with a later deadline
+//! will yield to this arrival, so only more-urgent work queues ahead of
+//! it, and each queued query's fan-out gets the whole pool in turn, so
+//! their wall times add serially. A scalar backlog would charge an
+//! urgent arrival for every lax query parked behind it and shed exactly
+//! the queries the deadline lane exists to save. Per-query service time
+//! is learned online — an EWMA of observed run times, calibrated
+//! separately for exact and degraded executions — and scaled by a
+//! per-query **cost factor** the caller derives from the estimate layer
+//! (a query touching most of the constraint set costs more than one
+//! touching a corner).
+//!
+//! Admission can judge at two points. The closed-loop form
+//! ([`PressureGauge::admit`]) judges when a worker *starts* the query —
+//! right for serve loops where arrival and start coincide. The open-loop
+//! form ([`PressureGauge::admit_ticket`]) judges at *arrival*, before
+//! the query is enqueued, and returns a detached [`SchedTicket`] the
+//! eventual runner settles: under sustained overload the queue itself is
+//! where deadlines die, so the verdict must come before the wait, not
+//! after it.
+//!
+//! # The admission ladder
+//!
+//! [`PressureGauge::admit`] compares the arrival's deadline slack
+//! against `expected wait + estimated cost` and returns the first rung
+//! that fits:
+//!
+//! 1. **Exact** — the full pipeline fits in the slack; run untouched.
+//! 2. **Degraded** — the exact path cannot finish, but the degraded
+//!    ladder (LP relaxation, capped SAT re-checks) can: skip straight
+//!    down at admission instead of burning the budget to discover the
+//!    trip mid-flight.
+//! 3. **Shed** — even the degraded path cannot meet the deadline:
+//!    answer immediately from the cheapest sound path (a pre-tripped
+//!    run: frontier cells un-split, SAT admits unverified, pure
+//!    relaxation). The answer is wide but still *contains* the exact
+//!    range — reject-with-degraded-answer, never an error.
+//!
+//! An uncalibrated gauge (no completed queries yet) estimates zero cost
+//! and admits everything exactly — the first queries through are the
+//! calibration set, and misjudging them costs at most their own budget
+//! trip, which is the pre-admission status quo.
+//!
+//! # Soundness
+//!
+//! Admission only ever *re-routes* a query to a rung of the existing
+//! degradation ladder; every rung returns a superset of the exact range
+//! (property-tested in `pc-core`). The gauge can misestimate freely
+//! without ever producing a wrong answer — only a wider one, or a
+//! missed optimization.
+
+use crate::QueryBudget;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What the admission layer decided for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Run the full exact pipeline.
+    Exact,
+    /// Skip down the degradation ladder at admission (LP relaxation,
+    /// capped SAT re-checks): the exact path cannot meet the deadline.
+    Degraded,
+    /// Even the degraded path cannot meet the deadline: answer from the
+    /// cheapest sound path immediately.
+    Shed,
+}
+
+impl std::fmt::Display for AdmissionVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionVerdict::Exact => write!(f, "exact"),
+            AdmissionVerdict::Degraded => write!(f, "degraded"),
+            AdmissionVerdict::Shed => write!(f, "shed"),
+        }
+    }
+}
+
+/// Per-query scheduling observability: what admission saw and decided.
+/// Attached to `BoundReport` and surfaced through `pc batch --stats`.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedReport {
+    /// Armed-to-admitted wall time: how long the query sat queued before
+    /// a worker picked it up.
+    pub queue_wait: Duration,
+    /// The admission decision.
+    pub verdict: AdmissionVerdict,
+    /// Expected wait (serial drain of the at-least-as-urgent queued
+    /// charges) at the moment of admission.
+    pub backlog: Duration,
+    /// The service-time estimate this query was charged against the
+    /// gauge (zero while uncalibrated).
+    pub estimated_cost: Duration,
+}
+
+impl SchedReport {
+    /// A report for paths that bypass admission (no deadline armed, or
+    /// admission disabled): exact verdict, whatever queue wait the
+    /// budget observed.
+    pub fn bypass(budget: &QueryBudget) -> SchedReport {
+        SchedReport {
+            queue_wait: budget.armed_for().unwrap_or(Duration::ZERO),
+            verdict: AdmissionVerdict::Exact,
+            backlog: Duration::ZERO,
+            estimated_cost: Duration::ZERO,
+        }
+    }
+}
+
+/// Cumulative gauge counters (tests and diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PressureStats {
+    pub admitted_exact: u64,
+    pub admitted_degraded: u64,
+    pub shed: u64,
+    /// Calibrated EWMA of exact service time (zero = uncalibrated).
+    pub ewma_exact: Duration,
+    /// Calibrated EWMA of degraded service time (zero = uncalibrated).
+    pub ewma_degraded: Duration,
+    /// Learned drain-rate multiplier (milli-units, 1000 = 1.0).
+    pub drain_mult_milli: u64,
+}
+
+/// Nominal charge for a shed query: one task granule of work (decompose
+/// nothing, admit everything unverified, one interval sweep).
+const SHED_COST_US: u64 = 50;
+
+/// Cost factors outside this range are clamped — a bad estimate must
+/// not be able to wedge the gauge open or shut.
+const FACTOR_MIN: f64 = 0.05;
+const FACTOR_MAX: f64 = 20.0;
+
+/// Aggregate queued-deadline-pressure tracker; see the module docs.
+/// One gauge per serving `Session`, shared by every concurrent query.
+/// Calibration state is atomic; the deadline-keyed charge profile takes
+/// one short mutex hold per admit/settle (admissions are per-query, not
+/// per-task — contention is bounded by query arrival rate).
+#[derive(Debug)]
+pub struct PressureGauge {
+    /// Reference instant deadlines are keyed against.
+    epoch: Instant,
+    /// Outstanding charges (µs) keyed by deadline (µs since `epoch`;
+    /// `u64::MAX` = no deadline). An arrival's expected wait sums the
+    /// keys at or before its own deadline.
+    queued: Mutex<BTreeMap<u64, u64>>,
+    /// Sum of charged service-time estimates of in-flight queries (µs).
+    backlog_us: AtomicU64,
+    /// EWMA of observed exact service times (µs); 0 = no observation.
+    ewma_exact_us: AtomicU64,
+    /// EWMA of observed degraded service times (µs); 0 = no observation.
+    ewma_degraded_us: AtomicU64,
+    /// Feedback multiplier (milli-units, 1000 = 1.0) applied to the
+    /// serial-drain wait prediction. The pool's *effective* drain rate
+    /// swings with contention, thermal state, and co-tenancy — no fixed
+    /// charging constant survives that — so the gauge learns the ratio
+    /// of observed queue waits to its own predictions and scales future
+    /// predictions by it. Over-admission raises observed waits, which
+    /// raises the multiplier, which sheds more; over-shedding empties
+    /// the queue and lets it fall back. Clamped to [1/4, 3]: the ceiling
+    /// matters, because long waits are observed mostly by *loose*
+    /// queries (urgent ones drain first by construction), and an
+    /// unbounded multiplier learned from the loose majority would shed
+    /// tight arrivals whose own expected wait is a fraction of theirs.
+    drain_mult_milli: AtomicU64,
+    admitted_exact: AtomicU64,
+    admitted_degraded: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl PressureGauge {
+    /// A fresh, uncalibrated gauge. `_workers` is accepted for call-site
+    /// context but unused: queued queries drain serially under the
+    /// deadline lane (each fan-out gets the whole pool), so the expected
+    /// wait does not divide by the worker count.
+    pub fn new(_workers: usize) -> PressureGauge {
+        PressureGauge {
+            epoch: Instant::now(),
+            queued: Mutex::new(BTreeMap::new()),
+            backlog_us: AtomicU64::new(0),
+            ewma_exact_us: AtomicU64::new(0),
+            ewma_degraded_us: AtomicU64::new(0),
+            drain_mult_milli: AtomicU64::new(1000),
+            admitted_exact: AtomicU64::new(0),
+            admitted_degraded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Judge one arrival and charge it against the gauge. `cost_factor`
+    /// scales the learned service-time EWMAs to this query's estimated
+    /// size (1.0 = average; from the estimate layer). A query with no
+    /// deadline is always admitted exactly (but still charged, so timed
+    /// arrivals see it in the backlog).
+    ///
+    /// The returned permit must be kept alive for the query's duration
+    /// and [`AdmissionPermit::complete`]d on success — dropping it
+    /// un-charges the backlog without calibrating.
+    pub fn admit(&self, cost_factor: f64, deadline: Option<Instant>) -> AdmissionPermit<'_> {
+        AdmissionPermit {
+            ticket: Some(self.admit_ticket(cost_factor, deadline)),
+            gauge: self,
+            started: Instant::now(),
+        }
+    }
+
+    /// Arrival-time admission: judge and charge the gauge *now*, before
+    /// the query is enqueued, and return a detached ticket. The runner
+    /// must eventually [`settle`](Self::settle) the ticket (with its run
+    /// time on success, `None` on failure) or the charge leaks.
+    pub fn admit_ticket(&self, cost_factor: f64, deadline: Option<Instant>) -> SchedTicket {
+        let factor = if cost_factor.is_finite() {
+            cost_factor.clamp(FACTOR_MIN, FACTOR_MAX)
+        } else {
+            1.0
+        };
+        let scale = |ewma_us: u64| -> u64 { (ewma_us as f64 * factor).round() as u64 };
+        let est_exact_us = scale(self.ewma_exact_us.load(Ordering::Relaxed));
+        let est_degraded_us = scale(self.ewma_degraded_us.load(Ordering::Relaxed))
+            .min(est_exact_us.max(SHED_COST_US));
+        let key = self.deadline_key(deadline);
+
+        let slack_us = match deadline {
+            None => u64::MAX,
+            Some(d) => d
+                .saturating_duration_since(Instant::now())
+                .as_micros()
+                .min(u64::MAX as u128) as u64,
+        };
+
+        // Expected wait: only charges at least as urgent as this arrival
+        // queue ahead of it under the deadline lane — and they drain
+        // *serially*: the lane hands the earliest-deadline query's whole
+        // fan-out to the pool, so queued queries run one after another,
+        // each at full parallelism. Summing wall estimates (no division
+        // by workers) is the drain time of everything ahead. Charge the
+        // arrival inside the same lock hold so concurrent admits see
+        // each other.
+        let (verdict, charge_us, wait_us);
+        {
+            // Charges whose deadline has already passed don't count as
+            // wait: the runner demotes expired queries to the one-granule
+            // shed path at pop, so they drain in negligible time even
+            // though their full charge is still outstanding.
+            let now_key = self.deadline_key(Some(Instant::now()));
+            let mut queued = self.queued.lock().unwrap();
+            let urgent_us: u64 = if key < now_key {
+                0
+            } else {
+                queued.range(now_key..=key).map(|(_, c)| c).sum()
+            };
+            // Serial drain, feedback-corrected: each queued query's own
+            // fan-out saturates the pool in turn, so the urgent charges
+            // ahead add up as wall time; the learned multiplier then
+            // scales that by how fast the pool has actually been
+            // draining relative to the estimates.
+            let mult = self.drain_mult_milli.load(Ordering::Relaxed);
+            wait_us = urgent_us.saturating_mul(mult) / 1000;
+            (verdict, charge_us) = if wait_us.saturating_add(est_exact_us) <= slack_us {
+                (AdmissionVerdict::Exact, est_exact_us)
+            } else if wait_us.saturating_add(est_degraded_us) <= slack_us {
+                (AdmissionVerdict::Degraded, est_degraded_us)
+            } else {
+                (AdmissionVerdict::Shed, SHED_COST_US)
+            };
+            *queued.entry(key).or_insert(0) += charge_us;
+        }
+        match verdict {
+            AdmissionVerdict::Exact => &self.admitted_exact,
+            AdmissionVerdict::Degraded => &self.admitted_degraded,
+            AdmissionVerdict::Shed => &self.shed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.backlog_us.fetch_add(charge_us, Ordering::Relaxed);
+
+        SchedTicket {
+            verdict,
+            charged_us: charge_us,
+            wait_us,
+            key,
+        }
+    }
+
+    /// Release a ticket's charge; with `run_time` (success) the observed
+    /// service time also calibrates the verdict's EWMA. `run_time` must
+    /// cover the *run only*, not the queue wait — queueing is the
+    /// gauge's own doing and must not inflate its service estimates.
+    pub fn settle(&self, ticket: SchedTicket, run_time: Option<Duration>) {
+        self.settle_waited(ticket, run_time, None)
+    }
+
+    /// [`settle`](Self::settle), plus the queue wait the query actually
+    /// observed between admission and run start. Against the ticket's
+    /// *predicted* wait this is the gauge's own forecast error, and it
+    /// feeds the drain-rate multiplier. Shed tickets are excluded: a
+    /// rejection pops out of deadline order (immediately), so its wait
+    /// says nothing about how fast the queue drains.
+    pub fn settle_waited(
+        &self,
+        ticket: SchedTicket,
+        run_time: Option<Duration>,
+        observed_wait: Option<Duration>,
+    ) {
+        if let Some(waited) = observed_wait {
+            if ticket.verdict != AdmissionVerdict::Shed && ticket.wait_us >= 200 {
+                let waited_us = waited.as_micros().min(u64::MAX as u128) as u64;
+                let obs = (waited_us.saturating_mul(1000) / ticket.wait_us).clamp(250, 3000);
+                // Racy symmetric EWMA (a racing store drops one
+                // observation): new = old + (obs - old)/4.
+                let old = self.drain_mult_milli.load(Ordering::Relaxed);
+                let new = if obs >= old {
+                    old + (obs - old) / 4
+                } else {
+                    old - (old - obs) / 4
+                };
+                self.drain_mult_milli
+                    .store(new.clamp(250, 3000), Ordering::Relaxed);
+            }
+        }
+        if let Some(run) = run_time {
+            let observed_us = run.as_micros().min(u64::MAX as u128) as u64;
+            match ticket.verdict {
+                AdmissionVerdict::Exact => {
+                    self.calibrate(&self.ewma_exact_us, observed_us);
+                }
+                AdmissionVerdict::Degraded => {
+                    self.calibrate(&self.ewma_degraded_us, observed_us);
+                }
+                // Shed cost is nominal; nothing to learn.
+                AdmissionVerdict::Shed => {}
+            }
+        }
+        self.release(ticket.key, ticket.charged_us);
+    }
+
+    fn deadline_key(&self, deadline: Option<Instant>) -> u64 {
+        match deadline {
+            None => u64::MAX,
+            Some(d) => d
+                .saturating_duration_since(self.epoch)
+                .as_micros()
+                .min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// Expected wait implied by the current backlog: the serial drain
+    /// time of every outstanding charge (see [`Self::admit_ticket`] for
+    /// why queued queries drain serially under the deadline lane).
+    pub fn backlog(&self) -> Duration {
+        Duration::from_micros(self.backlog_us.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative counters and calibration state.
+    pub fn stats(&self) -> PressureStats {
+        PressureStats {
+            admitted_exact: self.admitted_exact.load(Ordering::Relaxed),
+            admitted_degraded: self.admitted_degraded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            ewma_exact: Duration::from_micros(self.ewma_exact_us.load(Ordering::Relaxed)),
+            ewma_degraded: Duration::from_micros(self.ewma_degraded_us.load(Ordering::Relaxed)),
+            drain_mult_milli: self.drain_mult_milli.load(Ordering::Relaxed),
+        }
+    }
+
+    fn release(&self, key: u64, charged_us: u64) {
+        {
+            let mut queued = self.queued.lock().unwrap();
+            if let Some(c) = queued.get_mut(&key) {
+                *c = c.saturating_sub(charged_us);
+                if *c == 0 {
+                    queued.remove(&key);
+                }
+            }
+        }
+        // Saturating: a racing mis-release must never wrap the backlog
+        // to "infinitely loaded".
+        let _ = self
+            .backlog_us
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(charged_us))
+            });
+    }
+
+    fn calibrate(&self, slot: &AtomicU64, observed_us: u64) {
+        // Lossy racy asymmetric EWMA: fast down (new = (old+obs)/2), slow
+        // up (new = old + (obs-old)/8). Under overload a query's observed
+        // wall time includes whatever more-urgent work the pool nested
+        // into its blocked frames, so high observations mostly measure
+        // *contention*, not this query class's service demand; chasing
+        // them would spiral the estimate up and shed queries the pool
+        // could still serve. Low observations are genuine — a query
+        // can't finish faster than its own work — so they pull hard.
+        // A racing store just drops one observation.
+        let old = slot.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            observed_us.max(1)
+        } else if observed_us < old {
+            (old + observed_us) / 2
+        } else {
+            old.saturating_add((observed_us - old) / 8).max(1)
+        };
+        slot.store(new.max(1), Ordering::Relaxed);
+    }
+}
+
+/// A detached admission decision: the verdict plus the charge it left on
+/// the gauge. Returned by [`PressureGauge::admit_ticket`] at arrival and
+/// carried (as plain data — no borrow of the gauge) to wherever the
+/// query eventually runs, which must settle it exactly once.
+#[derive(Debug)]
+pub struct SchedTicket {
+    verdict: AdmissionVerdict,
+    charged_us: u64,
+    wait_us: u64,
+    key: u64,
+}
+
+impl SchedTicket {
+    pub fn verdict(&self) -> AdmissionVerdict {
+        self.verdict
+    }
+
+    /// The service-time estimate charged to the backlog.
+    pub fn estimated_cost(&self) -> Duration {
+        Duration::from_micros(self.charged_us)
+    }
+
+    /// The expected wait (serial drain of charges at least as urgent as
+    /// this arrival) observed at admission.
+    pub fn backlog_at_admission(&self) -> Duration {
+        Duration::from_micros(self.wait_us)
+    }
+}
+
+/// RAII charge against a [`PressureGauge`]: holds the admitted query's
+/// estimated cost in the backlog until the query finishes. The
+/// closed-loop wrapper over [`SchedTicket`] for callers whose arrival
+/// and run start coincide.
+#[derive(Debug)]
+pub struct AdmissionPermit<'g> {
+    gauge: &'g PressureGauge,
+    ticket: Option<SchedTicket>,
+    started: Instant,
+}
+
+impl AdmissionPermit<'_> {
+    fn ticket(&self) -> &SchedTicket {
+        self.ticket.as_ref().expect("present until settled")
+    }
+
+    pub fn verdict(&self) -> AdmissionVerdict {
+        self.ticket().verdict
+    }
+
+    /// The service-time estimate charged to the backlog.
+    pub fn estimated_cost(&self) -> Duration {
+        self.ticket().estimated_cost()
+    }
+
+    /// The expected wait observed at admission.
+    pub fn backlog_at_admission(&self) -> Duration {
+        self.ticket().backlog_at_admission()
+    }
+
+    /// Release the charge and feed the observed service time back into
+    /// the verdict's EWMA. Call on successful completion; a dropped
+    /// (not completed) permit releases without calibrating, so panicked
+    /// queries don't poison the estimates.
+    pub fn complete(mut self) {
+        let run = self.started.elapsed();
+        if let Some(ticket) = self.ticket.take() {
+            self.gauge.settle(ticket, Some(run));
+        }
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(ticket) = self.ticket.take() {
+            self.gauge.settle(ticket, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calibrated(workers: usize, exact_us: u64, degraded_us: u64) -> PressureGauge {
+        let g = PressureGauge::new(workers);
+        g.ewma_exact_us.store(exact_us, Ordering::Relaxed);
+        g.ewma_degraded_us.store(degraded_us, Ordering::Relaxed);
+        g
+    }
+
+    #[test]
+    fn uncalibrated_gauge_admits_everything_exact() {
+        let g = PressureGauge::new(4);
+        let deadline = Instant::now() + Duration::from_micros(1);
+        let p = g.admit(1.0, Some(deadline));
+        assert_eq!(p.verdict(), AdmissionVerdict::Exact);
+        p.complete();
+    }
+
+    #[test]
+    fn no_deadline_is_always_exact_but_charged() {
+        let g = calibrated(1, 10_000, 2_000);
+        let p = g.admit(1.0, None);
+        assert_eq!(p.verdict(), AdmissionVerdict::Exact);
+        assert!(g.backlog() >= Duration::from_micros(10_000));
+        drop(p);
+        assert_eq!(g.backlog(), Duration::ZERO);
+    }
+
+    #[test]
+    fn ladder_exact_degraded_shed() {
+        let g = calibrated(1, 10_000, 2_000);
+        // plenty of slack: exact
+        let p = g.admit(1.0, Some(Instant::now() + Duration::from_millis(100)));
+        assert_eq!(p.verdict(), AdmissionVerdict::Exact);
+        drop(p);
+        // slack fits degraded but not exact
+        let p = g.admit(1.0, Some(Instant::now() + Duration::from_micros(5_000)));
+        assert_eq!(p.verdict(), AdmissionVerdict::Degraded);
+        drop(p);
+        // hopeless slack: shed
+        let p = g.admit(1.0, Some(Instant::now() + Duration::from_micros(100)));
+        assert_eq!(p.verdict(), AdmissionVerdict::Shed);
+        drop(p);
+        let s = g.stats();
+        assert_eq!((s.admitted_exact, s.admitted_degraded, s.shed), (1, 1, 1));
+    }
+
+    #[test]
+    fn backlog_pushes_later_arrivals_down_the_ladder() {
+        let g = calibrated(1, 10_000, 100);
+        let deadline = Instant::now() + Duration::from_millis(15);
+        let first = g.admit(1.0, Some(deadline));
+        assert_eq!(first.verdict(), AdmissionVerdict::Exact);
+        // the same deadline no longer fits exact behind 10ms of backlog
+        let second = g.admit(1.0, Some(deadline));
+        assert_eq!(second.verdict(), AdmissionVerdict::Degraded);
+        second.complete();
+        first.complete();
+    }
+
+    #[test]
+    fn cost_factor_scales_the_estimate() {
+        let g = calibrated(1, 1_000, 100);
+        // a 10× query does not fit where a 1× query would
+        let p = g.admit(10.0, Some(Instant::now() + Duration::from_micros(2_000)));
+        assert_ne!(p.verdict(), AdmissionVerdict::Exact);
+        drop(p);
+        let p = g.admit(1.0, Some(Instant::now() + Duration::from_micros(2_000)));
+        assert_eq!(p.verdict(), AdmissionVerdict::Exact);
+        drop(p);
+    }
+
+    #[test]
+    fn complete_calibrates_and_releases() {
+        let g = PressureGauge::new(2);
+        let p = g.admit(1.0, None);
+        std::thread::sleep(Duration::from_millis(2));
+        p.complete();
+        let s = g.stats();
+        assert!(s.ewma_exact >= Duration::from_millis(1));
+        assert_eq!(g.backlog(), Duration::ZERO);
+    }
+
+    #[test]
+    fn degenerate_cost_factors_are_clamped() {
+        let g = calibrated(1, 1_000, 100);
+        for f in [f64::NAN, f64::INFINITY, -3.0, 0.0, 1e300] {
+            let p = g.admit(f, Some(Instant::now() + Duration::from_secs(60)));
+            drop(p);
+        }
+        assert_eq!(g.backlog(), Duration::ZERO);
+    }
+}

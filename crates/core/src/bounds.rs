@@ -255,6 +255,15 @@ pub struct BoundReport {
     /// order — the skew profile of the factored decomposition. Empty on
     /// the flat paths.
     pub shard_sat_checks: Vec<u64>,
+    /// Why the budget tripped, when [`BoundReport::degraded`] is set and
+    /// the cause is known: the budget's sticky first-trip record, or
+    /// [`pc_budget::TripReason::Deadline`] for queries the admission
+    /// layer degraded or shed pre-emptively. `None` on exact answers.
+    pub trip: Option<pc_budget::TripReason>,
+    /// Per-query scheduling observability (queue wait, admission verdict,
+    /// backlog at admission) — stamped by the session's serve path;
+    /// `None` on direct engine calls.
+    pub sched: Option<pc_budget::pressure::SchedReport>,
 }
 
 /// Simplex state kept across the LP solves of a chain, keyed by
@@ -537,7 +546,18 @@ impl<'a> BoundEngine<'a> {
         } else {
             None
         };
-        self.bound_with_warm(query, warm, budget)
+        // Tag the call's pool tasks (decomposition forks, B&B fan-out)
+        // with the budget's deadline so they ride the EDF lane; stamp the
+        // trip reason on degraded reports.
+        let mut result = rayon::with_task_deadline(budget.deadline(), || {
+            self.bound_with_warm(query, warm, budget)
+        });
+        if let Ok(report) = &mut result {
+            if report.degraded && report.trip.is_none() {
+                report.trip = budget.trip_reason();
+            }
+        }
+        result
     }
 
     /// [`BoundEngine::bound_budgeted`] with an externally owned warm-start
@@ -745,6 +765,8 @@ impl<'a> BoundEngine<'a> {
                 solver: LpWork::default(),
                 degraded: base_degraded,
                 shard_sat_checks,
+                trip: None,
+                sched: None,
             });
         }
 
@@ -846,6 +868,8 @@ impl<'a> BoundEngine<'a> {
             solver: work,
             degraded,
             shard_sat_checks,
+            trip: None,
+            sched: None,
         })
     }
 
@@ -1660,6 +1684,8 @@ fn report(lo: f64, hi: f64, p: &CellProblem) -> BoundReport {
         solver: p.work.get(),
         degraded: p.degraded.get(),
         shard_sat_checks: Vec::new(),
+        trip: None,
+        sched: None,
     }
 }
 

@@ -86,6 +86,27 @@
 //!    unwind boundaries, and a degraded or interrupted epoch build is
 //!    never published to the session's cell cache. See [`budget`] for
 //!    the granularity guarantee and the degradation ladder.
+//! 9. **Deadline-aware scheduling, admission control, and load
+//!    shedding** ([`SessionOptions::deadline_sched`] /
+//!    [`SessionOptions::admission`]): armed deadlines drive task order —
+//!    a session fan-out tags its pool jobs with the query deadline and
+//!    the vendored pool serves tagged work earliest-deadline-first
+//!    (stealing respects priority: a worker blocked in a join only takes
+//!    external work at least as urgent as what it is waiting on). In
+//!    front of the pool, a **pressure gauge** ([`Session::pressure`],
+//!    [`pc_budget::pressure`]) tracks per-verdict cost EWMAs and the
+//!    aggregate deadline-keyed backlog, corrected by a learned
+//!    drain-rate multiplier; each arrival is admitted **exact**,
+//!    admitted **early-degraded** (LP-relaxation rung — closure checks
+//!    are never skipped), or **shed** when even the degraded estimate
+//!    cannot meet the deadline. A shed query still answers — it runs the
+//!    pre-tripped one-granule walk (memoized per epoch), so its wider
+//!    range stays sound and its latency stays flat. A pop-time
+//!    feasibility re-check demotes stale admissions, and every query
+//!    carries a [`SchedReport`] (verdict, queue wait, estimate) surfaced
+//!    by `pc batch --stats`. Scheduling never moves an answer: EDF and
+//!    FIFO orders are property-tested bit-identical, and shed/degraded
+//!    ranges always contain the exact range.
 //!
 //! Parallelism, fan-out depth, and the group-by fast paths are all knobs
 //! on [`BoundOptions`] (`threads`, `parallel_depth`, `shared_group_by`,
@@ -163,6 +184,7 @@ pub use error::BoundError;
 pub use estimate::{ConstraintEstimate, Estimates, SplitOrdering, SurvivalCounter};
 pub use groupby::GroupBound;
 pub use pc_budget as budget;
+pub use pc_budget::pressure::{AdmissionVerdict, PressureGauge, PressureStats, SchedReport};
 pub use pc_budget::{CancelToken, QueryBudget, TripReason};
 pub use pcset::{PcSet, Violation};
 pub use session::{ConstraintId, Session, SessionOptions, UnknownConstraint};

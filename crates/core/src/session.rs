@@ -124,12 +124,15 @@ use crate::specialize::CellSet;
 use crate::{
     BoundEngine, BoundError, BoundOptions, BoundReport, GroupBound, PcSet, PredicateConstraint,
 };
-use pc_budget::QueryBudget;
+use pc_budget::pressure::{AdmissionVerdict, PressureGauge, SchedReport, SchedTicket};
+use pc_budget::{QueryBudget, TripReason};
 use pc_storage::AggQuery;
+use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Stable handle of one catalog constraint, assigned by the session at
 /// admission and never reused. Renders as `c<N>` (`pc batch` retire
@@ -186,6 +189,22 @@ pub struct SessionOptions {
     /// `constraint_churn` bench ablates against. Never affects results,
     /// only [`crate::DecomposeStats`] work.
     pub incremental: bool,
+    /// Tag every budgeted query's pool tasks with its deadline so the
+    /// work-stealing pool serves them earliest-deadline-first (the
+    /// default). Purely a scheduling hint — answers are unchanged
+    /// (property-tested in `tests/prop_sched.rs`); queries with no
+    /// deadline are untagged and scheduling is plain FIFO/LIFO either
+    /// way. Off = the FIFO baseline the `deadline_stress/burst_*` bench
+    /// rows ablate against.
+    pub deadline_sched: bool,
+    /// Admission control + load shedding (the default; engages only for
+    /// queries with an armed deadline): the session's [`PressureGauge`]
+    /// judges each arrival against the queued backlog, re-routing
+    /// queries that cannot finish exactly down the degradation ladder at
+    /// admission, and answering hopeless ones from the cheapest sound
+    /// path immediately (see [`pc_budget::pressure`]). Every answer
+    /// remains a superset of the exact range.
+    pub admission: bool,
 }
 
 impl Default for SessionOptions {
@@ -194,6 +213,8 @@ impl Default for SessionOptions {
             bound: BoundOptions::default(),
             cache_cells: true,
             incremental: true,
+            deadline_sched: true,
+            admission: true,
         }
     }
 }
@@ -211,6 +232,13 @@ struct Epoch {
     /// with the previous epoch by `Arc`, so ordering history accumulates
     /// across the session instead of restarting per epoch.
     estimates: Arc<Estimates>,
+    /// Rejection cache: shed answers keyed by query shape. A shed answer
+    /// is deterministic per epoch (pre-tripped budget, fixed options),
+    /// and under overload rejections are the bulk of the traffic — the
+    /// first rejection of a shape pays the one-granule walk, every
+    /// repeat is a lookup. Dies with the epoch, so a catalog mutation
+    /// can never serve a stale range.
+    shed_cache: Mutex<HashMap<String, BoundReport>>,
 }
 
 /// A long-lived, mutable query-serving handle over a constraint catalog:
@@ -230,6 +258,9 @@ pub struct Session {
     mutations: Mutex<()>,
     next_id: AtomicU64,
     warm: WarmCaches,
+    /// Aggregate queued-deadline-pressure tracker driving admission
+    /// control ([`SessionOptions::admission`]).
+    pressure: PressureGauge,
 }
 
 impl Session {
@@ -252,11 +283,19 @@ impl Session {
                 ids,
                 cells: OnceLock::new(),
                 estimates,
+                shed_cache: Mutex::new(HashMap::new()),
             })),
             mutations: Mutex::new(()),
             next_id: AtomicU64::new(seeded),
             warm: WarmCaches::new(options.bound.warm_start),
+            pressure: PressureGauge::new(rayon::current_num_threads()),
         }
+    }
+
+    /// The session's admission-control gauge (diagnostics: backlog and
+    /// cumulative exact/degraded/shed counts).
+    pub fn pressure(&self) -> &PressureGauge {
+        &self.pressure
     }
 
     /// The session's configuration.
@@ -443,6 +482,7 @@ impl Session {
                 ids,
                 cells,
                 estimates,
+                shed_cache: Mutex::new(HashMap::new()),
             },
         );
         id
@@ -475,6 +515,7 @@ impl Session {
                 ids,
                 cells,
                 estimates,
+                shed_cache: Mutex::new(HashMap::new()),
             },
         );
         Ok(())
@@ -538,6 +579,7 @@ impl Session {
                 ids,
                 cells,
                 estimates,
+                shed_cache: Mutex::new(HashMap::new()),
             },
         );
         Ok(new_id)
@@ -674,6 +716,11 @@ impl Session {
         self.bound_on(&epoch, query, self.warm.for_current_worker(), budget)
     }
 
+    /// The per-query admission + scheduling wrapper around the serve
+    /// body: judge the arrival against the pressure gauge, pick the
+    /// ladder rung (exact / early-degraded / shed), tag the query's pool
+    /// tasks with its deadline, run, and stamp the scheduling outcome
+    /// ([`BoundReport::sched`], [`BoundReport::trip`]) on the report.
     fn bound_on(
         &self,
         epoch: &Epoch,
@@ -681,8 +728,237 @@ impl Session {
         warm: Option<WarmCache>,
         budget: &QueryBudget,
     ) -> Result<BoundReport, BoundError> {
+        let deadline = budget.deadline();
+        let sched_deadline = if self.options.deadline_sched {
+            deadline
+        } else {
+            None
+        };
+
+        // Admission only judges queries that declared urgency; everything
+        // else runs the full exact pipeline (their cost still registers
+        // on the gauge so timed arrivals see them in the backlog).
+        if !self.options.admission || deadline.is_none() {
+            let mut result = rayon::with_task_deadline(sched_deadline, || {
+                self.bound_serve(epoch, query, warm, budget, self.options.bound)
+            });
+            if let Ok(report) = &mut result {
+                report.sched = Some(SchedReport::bypass(budget));
+                if report.degraded && report.trip.is_none() {
+                    report.trip = budget.trip_reason();
+                }
+            }
+            return result;
+        }
+
+        let permit = self
+            .pressure
+            .admit(self.cost_factor(epoch, query), deadline);
+        let verdict = permit.verdict();
+        let sched = SchedReport {
+            queue_wait: budget.armed_for().unwrap_or_default(),
+            verdict,
+            backlog: permit.backlog_at_admission(),
+            estimated_cost: permit.estimated_cost(),
+        };
+        let result = self.run_rung(epoch, query, warm, budget, verdict, sched, sched_deadline);
+        match &result {
+            Ok(_) => permit.complete(),
+            // Errors (including panics mapped by the batch layer) drop
+            // the permit: the backlog un-charges without calibrating.
+            Err(_) => drop(permit),
+        }
+        result
+    }
+
+    /// Arrival-time admission for open-loop serving: judge the query
+    /// against the pressure gauge *now* — before it is enqueued — and
+    /// return the detached ticket to hand to [`Session::bound_ticketed`]
+    /// wherever the query eventually runs. Under sustained overload the
+    /// queue is where deadlines die; judging at run start would admit
+    /// every arrival into a queue none of them can survive. `None` when
+    /// the query bypasses admission (no deadline, or admission off) —
+    /// pass it through, [`Session::bound_ticketed`] handles both.
+    pub fn admit(&self, query: &AggQuery, budget: &QueryBudget) -> Option<SchedTicket> {
+        let deadline = budget.deadline();
+        if !self.options.admission || deadline.is_none() {
+            return None;
+        }
+        let epoch = self.pin();
+        Some(
+            self.pressure
+                .admit_ticket(self.cost_factor(&epoch, query), deadline),
+        )
+    }
+
+    /// Run a query already judged by [`Session::admit`]: execute the
+    /// ticket's rung, settle the ticket (run time calibrates the gauge's
+    /// service estimates; the queue wait it already spent does not), and
+    /// stamp the scheduling outcome on the report. With no ticket this
+    /// is [`Session::bound_budgeted`].
+    pub fn bound_ticketed(
+        &self,
+        query: &AggQuery,
+        budget: &QueryBudget,
+        ticket: Option<SchedTicket>,
+    ) -> Result<BoundReport, BoundError> {
+        let Some(ticket) = ticket else {
+            return self.bound_budgeted(query, budget);
+        };
+        let epoch = self.pin();
+        let warm = self.warm.for_current_worker();
+        let verdict = ticket.verdict();
+        let sched = SchedReport {
+            queue_wait: budget.armed_for().unwrap_or_default(),
+            verdict,
+            backlog: ticket.backlog_at_admission(),
+            estimated_cost: ticket.estimated_cost(),
+        };
+        let sched_deadline = if self.options.deadline_sched {
+            budget.deadline()
+        } else {
+            None
+        };
+        let run_started = Instant::now();
+        // Pop-time demotion: the verdict was judged at arrival against a
+        // *predicted* queue wait; by pop the wait is a fact. Re-check the
+        // admission inequality with it — a query whose remaining slack no
+        // longer covers its rung's estimated cost would burn pool work on
+        // an answer that will degrade mid-run anyway, so answer from the
+        // cheapest sound path (the rejection cache) instead. Expired
+        // deadlines are the zero-slack special case.
+        let demoted = verdict != AdmissionVerdict::Shed
+            && budget.deadline().is_some_and(|d| {
+                d.saturating_duration_since(run_started) < ticket.estimated_cost()
+            });
+        let verdict = if demoted {
+            AdmissionVerdict::Shed
+        } else {
+            verdict
+        };
+        let sched = SchedReport { verdict, ..sched };
+        let result = self.run_rung(&epoch, query, warm, budget, verdict, sched, sched_deadline);
+        // A demoted run took the shed path, not the rung the ticket was
+        // charged for — its (near-zero) elapsed time says nothing about
+        // that rung's service cost and must not calibrate the gauge. The
+        // observed queue wait, by contrast, is real either way and feeds
+        // the drain-rate feedback.
+        self.pressure.settle_waited(
+            ticket,
+            (result.is_ok() && !demoted).then(|| run_started.elapsed()),
+            Some(sched.queue_wait),
+        );
+        result
+    }
+
+    /// Execute one rung of the admission ladder: Degraded skips straight
+    /// to the cheap engine configuration (LP relaxation instead of
+    /// branch & bound) under the caller's own budget; Shed runs under a
+    /// budget born tripped, so every stage — the closure probe included —
+    /// degrades within its first granule, which is the cheapest sound
+    /// answer the engine has. Note `check_closure` stays as configured:
+    /// turning it off *assumes* closure (a tightening), while a tripped
+    /// budget skips the probe as "open" (a widening) — only the latter
+    /// is sound. Both rungs only ever *widen* the range (property-tested
+    /// in `prop_sched.rs`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_rung(
+        &self,
+        epoch: &Epoch,
+        query: &AggQuery,
+        warm: Option<WarmCache>,
+        budget: &QueryBudget,
+        verdict: AdmissionVerdict,
+        sched: SchedReport,
+        sched_deadline: Option<Instant>,
+    ) -> Result<BoundReport, BoundError> {
+        let mut opts = self.options.bound;
+        let shed_budget;
+        let mut shed_key = None;
+        let run_budget = match verdict {
+            AdmissionVerdict::Exact => budget,
+            AdmissionVerdict::Degraded => {
+                opts.lp_relax_cell_limit = 0;
+                budget
+            }
+            AdmissionVerdict::Shed => {
+                opts.lp_relax_cell_limit = 0;
+                // Serial on the caller's worker: a shed query is a
+                // *rejection* — spawning its (budget-tripped, trivial)
+                // per-cell tasks through the pool would still cost every
+                // queued job a trip through the contended deadline lane,
+                // delaying the admitted queries the shed exists to protect.
+                opts.threads = 1;
+                let key = format!("{query:?}");
+                if let Some(cached) = epoch.shed_cache.lock().unwrap().get(&key) {
+                    let mut report = cached.clone();
+                    report.sched = Some(sched);
+                    return Ok(report);
+                }
+                shed_key = Some(key);
+                shed_budget = QueryBudget::pre_tripped(TripReason::Deadline);
+                &shed_budget
+            }
+        };
+        let mut result = rayon::with_task_deadline(sched_deadline, || {
+            self.bound_serve(epoch, query, warm, run_budget, opts)
+        });
+        if let Ok(report) = &mut result {
+            report.degraded |= verdict != AdmissionVerdict::Exact;
+            report.sched = Some(sched);
+            if report.degraded && report.trip.is_none() {
+                report.trip = run_budget
+                    .trip_reason()
+                    .or(Some(TripReason::Deadline).filter(|_| verdict != AdmissionVerdict::Exact));
+            }
+            if let Some(key) = shed_key {
+                epoch.shed_cache.lock().unwrap().insert(key, report.clone());
+            }
+        }
+        result
+    }
+
+    /// Estimated relative cost of `query` against this epoch, from the
+    /// estimate layer: the split-ordering scores (normalized box volume ×
+    /// split-survival rate) of the constraints whose boxes the query
+    /// region touches, over the whole catalog's. A query touching about
+    /// half the catalog's mass scores ~1.0; the gauge multiplies this
+    /// into its learned per-query service-time EWMA.
+    fn cost_factor(&self, epoch: &Epoch, query: &AggQuery) -> f64 {
         let set = &*epoch.set;
-        let engine = BoundEngine::with_options(set, self.options.bound);
+        let mut target = query.predicate.to_region(set.schema());
+        target.intersect(set.domain());
+        let mut total = 0.0;
+        let mut touched = 0.0;
+        for (i, pc) in set.constraints().iter().enumerate() {
+            let score = epoch.estimates.score(i).max(0.0);
+            total += score;
+            let mut pc_box = pc.predicate.to_region(set.schema());
+            pc_box.intersect(set.domain());
+            if pc_box.overlaps(&target) {
+                touched += score;
+            }
+        }
+        if total <= 0.0 {
+            1.0
+        } else {
+            (1.0 + touched) / (1.0 + 0.5 * total)
+        }
+    }
+
+    /// The serve body: specialize the pinned epoch's cells to the query
+    /// and bound. `opts` is the admission layer's (possibly downgraded)
+    /// engine configuration.
+    fn bound_serve(
+        &self,
+        epoch: &Epoch,
+        query: &AggQuery,
+        warm: Option<WarmCache>,
+        budget: &QueryBudget,
+        opts: BoundOptions,
+    ) -> Result<BoundReport, BoundError> {
+        let set = &*epoch.set;
+        let engine = BoundEngine::with_options(set, opts);
         engine.set_estimates(Arc::clone(&epoch.estimates));
         if !self.options.cache_cells {
             // Cold cells, warm chains: the honest baseline for the cache
@@ -777,7 +1053,7 @@ impl Session {
         engine: &BoundEngine<'_>,
         budget: &QueryBudget,
     ) -> bool {
-        if !self.options.bound.check_closure || sharded.closed() {
+        if !engine.options().check_closure || sharded.closed() {
             // hoisted: a sub-region of a closed base is closed
             true
         } else if sharded.uncovered().is_some_and(|w| target.contains_row(w)) {
@@ -830,8 +1106,19 @@ impl Session {
         }
         let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
         let threads = engine.task_threads(queries.len());
-        pooled_map_catch(queries, threads, &|query| {
-            self.bound_on(&epoch, query, self.warm.for_current_worker(), budget)
+        // Tag the fan-out with the batch's deadline: every per-query task
+        // lands in the pool's EDF lane and is served by urgency against
+        // other batches' tasks (`bound_on` re-tags per query anyway, but
+        // the *spawns* themselves must carry the stamp to be prioritized).
+        let tag = if self.options.deadline_sched {
+            budget.deadline()
+        } else {
+            None
+        };
+        rayon::with_task_deadline(tag, || {
+            pooled_map_catch(queries, threads, &|query| {
+                self.bound_on(&epoch, query, self.warm.for_current_worker(), budget)
+            })
         })
         .into_iter()
         .map(|result| result.unwrap_or(Err(BoundError::Panicked)))
@@ -866,20 +1153,61 @@ impl Session {
         budget: &QueryBudget,
     ) -> Vec<GroupBound> {
         let epoch = self.pin();
-        let engine = BoundEngine::with_options(&epoch.set, self.options.bound);
+        let deadline = budget.deadline();
+        // Admission judges the whole call as one unit (the keys share the
+        // level-1 decomposition, so per-key admission would double-count
+        // the shared work); a Shed verdict answers every key from a
+        // pre-tripped budget, Degraded drops branch & bound for the call
+        // (closure stays budget-governed — see `bound_on` on why forcing
+        // `check_closure` off would be unsound). Per-key tasks inherit
+        // the deadline tag.
+        let keys: Vec<f64> = keys.into_iter().collect();
+        let mut opts = self.options.bound;
+        let shed_budget;
+        let mut run_budget = budget;
+        let permit = if self.options.admission && deadline.is_some() {
+            let factor = self.cost_factor(&epoch, base) * (keys.len().max(1) as f64);
+            let permit = self.pressure.admit(factor, deadline);
+            match permit.verdict() {
+                AdmissionVerdict::Exact => {}
+                AdmissionVerdict::Degraded => {
+                    opts.lp_relax_cell_limit = 0;
+                }
+                AdmissionVerdict::Shed => {
+                    opts.lp_relax_cell_limit = 0;
+                    shed_budget = QueryBudget::pre_tripped(TripReason::Deadline);
+                    run_budget = &shed_budget;
+                }
+            }
+            Some(permit)
+        } else {
+            None
+        };
+        let engine = BoundEngine::with_options(&epoch.set, opts);
         engine.set_estimates(Arc::clone(&epoch.estimates));
         // Serve level 1 from the epoch cache when it is (or can be) built
         // clean; a degraded build stays unpublished and this call falls
         // back to the engine's own level-1 decomposition.
         let cached = if self.options.cache_cells && self.options.bound.shared_group_by {
-            self.cells_of_budgeted(&epoch, budget)
+            self.cells_of_budgeted(&epoch, run_budget)
                 .ok()
-                .filter(|_| !budget.is_tripped())
+                .filter(|_| !run_budget.is_tripped())
                 .map(|sharded| sharded.flatten(&epoch.set))
         } else {
             None
         };
-        engine.bound_group_by_cached(base, group_attr, keys, cached.as_deref(), budget)
+        let tag = if self.options.deadline_sched {
+            deadline
+        } else {
+            None
+        };
+        let bounds = rayon::with_task_deadline(tag, || {
+            engine.bound_group_by_cached(base, group_attr, keys, cached.as_deref(), run_budget)
+        });
+        if let Some(permit) = permit {
+            permit.complete();
+        }
+        bounds
     }
 }
 

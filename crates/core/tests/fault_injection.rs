@@ -28,6 +28,7 @@ use pc_core::{
 use pc_predicate::{Atom, AttrType, Interval, Predicate, Region, Schema};
 use pc_storage::{AggKind, AggQuery};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -91,6 +92,7 @@ fn session(threads: usize, cache_cells: bool) -> Session {
             },
             cache_cells,
             incremental: true,
+            ..SessionOptions::default()
         },
     )
 }
@@ -225,4 +227,89 @@ fn stalled_sat_probe_is_cut_by_the_deadline_not_waited_out() {
         elapsed < Duration::from_secs(2),
         "stall must not be paid once per remaining probe (took {elapsed:?})"
     );
+}
+
+/// Hook installed on the pool's steal path (`rayon/fault`): counts the
+/// sweeps and routes through the process-global fault registry, so a
+/// test can stall a worker *mid-steal* — a straggler in the scheduler
+/// itself rather than in the solver.
+static STEAL_SWEEPS: AtomicU64 = AtomicU64::new(0);
+
+fn steal_hook() {
+    STEAL_SWEEPS.fetch_add(1, Ordering::Relaxed);
+    fault::point("pool::steal");
+}
+
+struct UnhookOnDrop;
+impl Drop for UnhookOnDrop {
+    fn drop(&mut self) {
+        rayon::fault::set_steal_hook(None);
+    }
+}
+
+#[test]
+fn stalled_worker_mid_steal_does_not_hang_a_deadline_batch() {
+    let (_guard, _disarm) = armed_section();
+    let s = session(4, false);
+    let queries = sixteen_queries();
+    let oracle = s.bound_many(&queries);
+    assert!(oracle.iter().all(|r| r.is_ok()), "fixture must be clean");
+
+    // A worker reaches the steal path and sleeps 250ms on the spot,
+    // against a 50ms batch deadline. EDF cannot preempt a sleeping
+    // worker; the recovery story is that the *other* workers keep
+    // draining the deadline lane: the batch still answers, every result
+    // is sound, and the call is bounded by roughly one stall — never a
+    // hang, never a per-task re-payment of the stall.
+    rayon::fault::set_steal_hook(Some(steal_hook));
+    let _unhook = UnhookOnDrop;
+    fault::arm(
+        "pool::steal",
+        Plan::StallAfter(0, Duration::from_millis(250)),
+    );
+
+    let budget = QueryBudget::armed().with_timeout(Duration::from_millis(50));
+    let t0 = Instant::now();
+    let results = s.bound_many_budgeted(&queries, &budget);
+    let elapsed = t0.elapsed();
+
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "a single stalled steal must not cascade (took {elapsed:?})"
+    );
+    for (i, (exact, got)) in oracle.iter().zip(&results).enumerate() {
+        let exact = exact.as_ref().unwrap();
+        let got = got
+            .as_ref()
+            .expect("a stalled worker degrades answers, never errors them");
+        assert!(
+            got.range.lo <= exact.range.lo && got.range.hi >= exact.range.hi,
+            "query {i}: [{}, {}] must contain exact [{}, {}]",
+            got.range.lo,
+            got.range.hi,
+            exact.range.lo,
+            exact.range.hi
+        );
+    }
+    if rayon::current_num_threads() > 1 {
+        assert!(
+            STEAL_SWEEPS.load(Ordering::Relaxed) > 0,
+            "a multi-worker pool must have swept the steal path"
+        );
+    }
+
+    // Recovery: hook off, registry clean — the same session answers the
+    // same batch exactly again, nothing lingers from the stall.
+    rayon::fault::set_steal_hook(None);
+    fault::disarm_all();
+    let after = s.bound_many(&queries);
+    for (exact, got) in oracle.iter().zip(&after) {
+        let (exact, got) = (exact.as_ref().unwrap(), got.as_ref().unwrap());
+        assert_eq!(
+            (exact.range.lo, exact.range.hi),
+            (got.range.lo, got.range.hi),
+            "after disarm the session must answer exactly again"
+        );
+        assert!(!got.degraded);
+    }
 }

@@ -160,6 +160,7 @@ proptest! {
                 bound: BoundOptions { threads: 1, ..BoundOptions::default() },
                 cache_cells: true,
                 incremental: true,
+                ..SessionOptions::default()
             },
         );
         let oracle = session.bound_many(&queries);

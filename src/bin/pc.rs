@@ -105,7 +105,7 @@
 
 use predicate_constraints::core::{
     dsl, BoundError, BoundOptions, BoundReport, ConstraintId, PcSet, QueryBudget, Session,
-    SessionOptions,
+    SessionOptions, TripReason,
 };
 use predicate_constraints::predicate::{AttrType, Schema};
 use predicate_constraints::storage::{
@@ -132,6 +132,8 @@ struct Args {
     no_session_cache: bool,
     no_warm_start: bool,
     no_tableau_carry: bool,
+    fifo: bool,
+    no_admission: bool,
     stats: bool,
     caps: BudgetCaps,
 }
@@ -228,6 +230,8 @@ fn parse_args() -> Result<Args, String> {
         no_session_cache: false,
         no_warm_start: false,
         no_tableau_carry: false,
+        fifo: false,
+        no_admission: false,
         stats: false,
         caps: BudgetCaps::default(),
     };
@@ -259,6 +263,8 @@ fn parse_args() -> Result<Args, String> {
             "--no-session-cache" => args.no_session_cache = true,
             "--no-warm-start" => args.no_warm_start = true,
             "--no-tableau-carry" => args.no_tableau_carry = true,
+            "--fifo" => args.fifo = true,
+            "--no-admission" => args.no_admission = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -288,6 +294,8 @@ fn session_options(args: &Args) -> SessionOptions {
         },
         cache_cells: !args.no_session_cache,
         incremental: true,
+        deadline_sched: !args.fifo,
+        admission: !args.no_admission,
     }
 }
 
@@ -296,12 +304,14 @@ fn query_budget(args: &Args) -> QueryBudget {
     args.caps.budget()
 }
 
-/// Suffix tags for a report line: degraded first (budget story), then
-/// closure (coverage story).
-fn report_tags(degraded: bool, closed: bool) -> String {
+/// Suffix tags for a report line: degraded first (budget story, naming
+/// *which* cap tripped), then closure (coverage story).
+fn report_tags(degraded: bool, trip: Option<TripReason>, closed: bool) -> String {
     let mut tag = String::new();
-    if degraded {
-        tag.push_str("  (degraded)");
+    match (degraded, trip) {
+        (true, Some(reason)) => tag.push_str(&format!("  (degraded: {reason})")),
+        (true, None) => tag.push_str("  (degraded)"),
+        _ => {}
     }
     if !closed {
         tag.push_str("  (not closed)");
@@ -438,7 +448,7 @@ fn main() -> ExitCode {
             let emit = |sql: &str, report: Result<BoundReport, BoundError>, failed: &mut bool| {
                 match report {
                     Ok(r) => {
-                        let tag = report_tags(r.degraded, r.closed);
+                        let tag = report_tags(r.degraded, r.trip, r.closed);
                         println!("{sql} -> [{}, {}]{tag}", r.range.lo, r.range.hi);
                         if args.stats {
                             println!(
@@ -450,6 +460,15 @@ fn main() -> ExitCode {
                                 r.stats.ordered_splits,
                                 r.solver.incumbent_first
                             );
+                            if let Some(sched) = &r.sched {
+                                println!(
+                                    "  sched: {} (queue wait {:?}, backlog {:?}, est cost {:?})",
+                                    sched.verdict,
+                                    sched.queue_wait,
+                                    sched.backlog,
+                                    sched.estimated_cost
+                                );
+                            }
                         }
                     }
                     Err(BoundError::EmptyAggregate) => {
@@ -639,7 +658,7 @@ fn main() -> ExitCode {
                         .unwrap_or_else(|| group.key.to_string());
                     match group.report {
                         Ok(r) => {
-                            let tag = report_tags(r.degraded, r.closed);
+                            let tag = report_tags(r.degraded, r.trip, r.closed);
                             println!("{label}: [{}, {}]{tag}", r.range.lo, r.range.hi);
                         }
                         Err(BoundError::EmptyAggregate) => {
@@ -663,9 +682,16 @@ fn main() -> ExitCode {
                 eprintln!("warning: constraint set does not cover the query region");
             }
             if report.degraded {
-                eprintln!(
-                    "warning: budget exhausted — the range is sound but may be looser than exact"
-                );
+                match report.trip {
+                    Some(reason) => eprintln!(
+                        "warning: budget exhausted ({reason}) — the range is sound but may \
+                         be looser than exact"
+                    ),
+                    None => eprintln!(
+                        "warning: budget exhausted — the range is sound but may be looser \
+                         than exact"
+                    ),
+                }
             }
             let range = if args.combine {
                 if !matches!(query.agg, AggKind::Sum | AggKind::Count) {

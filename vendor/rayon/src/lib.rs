@@ -23,15 +23,27 @@
 //! With one worker (`RAYON_NUM_THREADS=1` or a single-core machine) every
 //! entry point degrades to strictly sequential inline execution — no
 //! threads are ever started, and `join(a, b)` is exactly `(a(), b())`.
+//!
+//! # Deadlines
+//!
+//! [`with_task_deadline`] arms an ambient deadline for the duration of a
+//! closure; every task forked inside it (transitively, across `join`,
+//! `scope`, and [`spawn`]) inherits the stamp, and the pool serves
+//! stamped fan-out earliest-deadline-first (see [`pool`]'s "Deadline
+//! lane" docs). With no deadline armed the scheduler is byte-for-byte
+//! the plain FIFO/LIFO work-stealing discipline.
 
 mod pool;
 
+#[cfg(feature = "fault")]
+pub use pool::fault;
 use pool::{global_registry, HeapJob, StackJob, WorkerThread};
 use std::any::Any;
 use std::marker::PhantomData;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Run `a` and `b`, potentially in parallel, returning both results.
 ///
@@ -173,7 +185,7 @@ impl<'scope> Scope<'scope> {
             scope.pending.fetch_sub(1, Ordering::SeqCst);
         });
         match WorkerThread::current() {
-            Some(worker) => worker.push(job),
+            Some(worker) => worker.push_fanout(job),
             None => global_registry().inject(job),
         }
     }
@@ -212,6 +224,60 @@ impl SendPtr {
     fn get(&self) -> *const () {
         self.0
     }
+}
+
+/// Spawn a detached fire-and-forget task onto the pool.
+///
+/// Unlike [`Scope::spawn`] the closure is `'static`: nothing waits for
+/// it, so completion must be signalled through whatever it captured (a
+/// channel, a counter). If an ambient deadline is armed at the call site
+/// the task is stamped with it and queued earliest-deadline-first;
+/// otherwise it joins the FIFO injector. A panic inside the task is
+/// swallowed — there is no caller to resurface it on, and a pool worker
+/// must never die. With one worker the task runs inline at the call site
+/// (the shim's usual sequential degradation).
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let job = HeapJob::into_job_ref(move || {
+        let _ = panic::catch_unwind(AssertUnwindSafe(f));
+    });
+    if pool::pool_size() <= 1 {
+        job.execute();
+        return;
+    }
+    match WorkerThread::current() {
+        Some(worker) => worker.push_fanout(job),
+        None => global_registry().inject(job),
+    }
+}
+
+/// Arm `deadline` as the ambient task deadline for the duration of `f`.
+///
+/// Every task forked inside `f` — transitively, across [`join`],
+/// [`scope`], and [`spawn`] — is stamped with the deadline and scheduled
+/// earliest-deadline-first against other stamped work. `None` clears the
+/// stamp (useful to fence off untimed maintenance work from a timed
+/// caller). The previous ambient deadline is restored when `f` returns
+/// or unwinds. Purely a scheduling hint: it never changes what any task
+/// computes, only when it runs.
+pub fn with_task_deadline<R>(deadline: Option<Instant>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Instant>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            pool::set_task_deadline(self.0);
+        }
+    }
+    let _restore = Restore(pool::task_deadline());
+    pool::set_task_deadline(deadline);
+    f()
+}
+
+/// The ambient task deadline of the current thread (the innermost
+/// [`with_task_deadline`], or the stamp of the pool task being executed).
+pub fn current_task_deadline() -> Option<Instant> {
+    pool::task_deadline()
 }
 
 /// Number of worker threads the pool runs with: `RAYON_NUM_THREADS` if set
@@ -354,5 +420,84 @@ mod tests {
     #[test]
     fn external_thread_has_no_index() {
         assert_eq!(current_thread_index(), None);
+    }
+
+    #[test]
+    fn deadline_scopes_nest_and_restore() {
+        use std::time::{Duration, Instant};
+        assert_eq!(current_task_deadline(), None);
+        let outer = Instant::now() + Duration::from_secs(60);
+        let inner = Instant::now() + Duration::from_secs(1);
+        with_task_deadline(Some(outer), || {
+            assert_eq!(current_task_deadline(), Some(outer));
+            with_task_deadline(Some(inner), || {
+                assert_eq!(current_task_deadline(), Some(inner));
+            });
+            assert_eq!(current_task_deadline(), Some(outer));
+            with_task_deadline(None, || {
+                assert_eq!(current_task_deadline(), None);
+            });
+            assert_eq!(current_task_deadline(), Some(outer));
+        });
+        assert_eq!(current_task_deadline(), None);
+    }
+
+    #[test]
+    fn forked_tasks_inherit_deadline() {
+        use std::sync::atomic::AtomicBool;
+        use std::time::{Duration, Instant};
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let join_saw = AtomicBool::new(false);
+        let scope_saw = AtomicBool::new(false);
+        with_task_deadline(Some(deadline), || {
+            join(
+                || {},
+                || {
+                    join_saw.store(current_task_deadline() == Some(deadline), Ordering::SeqCst);
+                },
+            );
+            scope(|s| {
+                let scope_saw = &scope_saw;
+                s.spawn(move |_| {
+                    scope_saw.store(current_task_deadline() == Some(deadline), Ordering::SeqCst);
+                });
+            });
+        });
+        assert!(join_saw.load(Ordering::SeqCst));
+        assert!(scope_saw.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks() {
+        use std::sync::mpsc;
+        use std::time::{Duration, Instant};
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16u64 {
+            let tx = tx.clone();
+            let deadline = Instant::now() + Duration::from_millis(200 + i);
+            with_task_deadline(Some(deadline), || {
+                let tx = tx.clone();
+                spawn(move || {
+                    tx.send(i).unwrap();
+                });
+            });
+        }
+        drop(tx);
+        let mut total = 0u64;
+        for _ in 0..16 {
+            total += rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(total, (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn spawn_swallows_panics() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+        spawn(|| panic!("detached panic"));
+        // the pool (or inline path) must remain usable
+        let (tx, rx) = mpsc::channel();
+        spawn(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 7);
     }
 }

@@ -50,19 +50,57 @@
 //! waits for all spawned tasks and then resumes the first panic observed
 //! (the body's own panic taking precedence). Worker threads therefore
 //! never die from task panics; panics always resurface on the caller.
+//!
+//! # Deadline lane (EDF)
+//!
+//! Every thread carries an ambient *task deadline*
+//! ([`crate::with_task_deadline`]); each [`JobRef`] is stamped with it at
+//! creation and re-installs it while executing, so a deadline set once at
+//! a query's entry point flows through every transitive `join`/`spawn`
+//! fork with no per-call plumbing. Deadline-tagged fan-out jobs (scope
+//! spawns, detached spawns, injected entry jobs) bypass the FIFO queues
+//! and land in a global earliest-deadline-first lane; idle workers drain
+//! that lane before the injector, so under a backlog the query that must
+//! finish soonest runs first regardless of arrival order. `join`'s
+//! second closures stay on the owner's deque (the pop-back fast path is
+//! the whole point of `join`), but they carry their stamp, and the steal
+//! sweep peeks every victim's exposed front job and robs the one with the
+//! earliest deadline — steals respect priority too. With no deadline
+//! armed, every job is untagged, the lane stays empty, and scheduling is
+//! byte-for-byte the FIFO/LIFO discipline described above.
 
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long an idle worker parks between steal scans once the condvar
 /// generation says nothing new arrived. Small enough that a (theoretical)
 /// missed wakeup costs microseconds, large enough not to burn a core.
 const IDLE_PARK: Duration = Duration::from_micros(100);
+
+// ---------------------------------------------------------------------------
+// Ambient task deadline
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The deadline of the task the current thread is executing (or the
+    /// one a non-pool thread has armed via [`crate::with_task_deadline`]).
+    /// Jobs are stamped with this at creation and re-install it while
+    /// running, so nested forks inherit their query's deadline.
+    static TASK_DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+pub(crate) fn task_deadline() -> Option<Instant> {
+    TASK_DEADLINE.with(|c| c.get())
+}
+
+pub(crate) fn set_task_deadline(deadline: Option<Instant>) {
+    TASK_DEADLINE.with(|c| c.set(deadline));
+}
 
 // ---------------------------------------------------------------------------
 // Type-erased jobs
@@ -75,6 +113,10 @@ const IDLE_PARK: Duration = Duration::from_micros(100);
 pub(crate) struct JobRef {
     data: *const (),
     execute_fn: unsafe fn(*const ()),
+    /// Deadline of the query this job belongs to, captured from the
+    /// creating thread's ambient deadline. Drives EDF ordering and steal
+    /// priority; `None` means "no deadline armed" and sorts last.
+    deadline: Option<Instant>,
 }
 
 // Safety: a JobRef only crosses threads together with the closure it
@@ -88,8 +130,24 @@ impl JobRef {
         std::ptr::eq(self.data, data)
     }
 
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
     /// Run the job. Consumes the reference; each job executes once.
+    ///
+    /// The job's deadline stamp is installed as the executing thread's
+    /// ambient deadline for the duration (and restored after, even on
+    /// unwind), so any work the job forks inherits it.
     pub(crate) fn execute(self) {
+        struct Restore(Option<Instant>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                set_task_deadline(self.0);
+            }
+        }
+        let _restore = Restore(task_deadline());
+        set_task_deadline(self.deadline);
         unsafe { (self.execute_fn)(self.data) }
     }
 }
@@ -140,6 +198,7 @@ where
         JobRef {
             data: self as *const Self as *const (),
             execute_fn: execute::<F, R>,
+            deadline: task_deadline(),
         }
     }
 
@@ -187,6 +246,7 @@ where
         JobRef {
             data: Box::into_raw(boxed) as *const (),
             execute_fn: execute::<F>,
+            deadline: task_deadline(),
         }
     }
 }
@@ -311,8 +371,68 @@ impl Sleep {
 }
 
 // ---------------------------------------------------------------------------
+// Fault injection (test-only)
+// ---------------------------------------------------------------------------
+
+/// Steal-path fault hook (`--features fault`): lets tests make a worker
+/// stall *mid-steal* — the straggler scenario EDF must recover from. The
+/// hook runs on every steal sweep; a panic inside it is swallowed (a pool
+/// worker must never die), so stall plans are the intended payload.
+#[cfg(feature = "fault")]
+pub mod fault {
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    static STEAL_HOOK: Mutex<Option<fn()>> = Mutex::new(None);
+
+    /// Install (or clear, with `None`) the hook fired at the top of every
+    /// steal sweep. Typically wired to `pc_budget::fault::point`.
+    pub fn set_steal_hook(hook: Option<fn()>) {
+        *STEAL_HOOK.lock().unwrap() = hook;
+    }
+
+    pub(crate) fn fire_steal_hook() {
+        let hook = *STEAL_HOOK.lock().unwrap();
+        if let Some(hook) = hook {
+            let _ = panic::catch_unwind(AssertUnwindSafe(hook));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Registry and workers
 // ---------------------------------------------------------------------------
+
+/// An entry in the global EDF lane: a deadline-tagged fan-out job plus a
+/// push sequence number for FIFO tie-breaks. Ordered so the max-heap's
+/// top is the *earliest* deadline (comparisons are reversed).
+struct EdfEntry {
+    deadline: Instant,
+    seq: u64,
+    job: JobRef,
+}
+
+impl PartialEq for EdfEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for EdfEntry {}
+impl PartialOrd for EdfEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EdfEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed on both keys: BinaryHeap is a max-heap, we want the
+        // earliest deadline (then the oldest push) on top.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
 
 /// Shared state of the global pool.
 pub(crate) struct Registry {
@@ -321,6 +441,12 @@ pub(crate) struct Registry {
     deques: Vec<Mutex<VecDeque<JobRef>>>,
     /// Work injected by non-pool threads.
     injector: Mutex<VecDeque<JobRef>>,
+    /// Deadline-tagged fan-out jobs, popped earliest-deadline-first.
+    /// Drained before the injector: tagged work has declared urgency,
+    /// untagged work has not.
+    edf: Mutex<BinaryHeap<EdfEntry>>,
+    /// Tie-break stamp so equal deadlines pop FIFO.
+    edf_seq: AtomicU64,
     sleep: Sleep,
     /// Rotating steal offset so thieves fan out over victims.
     steal_seed: AtomicUsize,
@@ -353,6 +479,8 @@ pub(crate) fn global_registry() -> &'static Registry {
             .map(|_| Mutex::new(VecDeque::new()))
             .collect(),
         injector: Mutex::new(VecDeque::new()),
+        edf: Mutex::new(BinaryHeap::new()),
+        edf_seq: AtomicU64::new(0),
         sleep: Sleep::new(),
         steal_seed: AtomicUsize::new(0),
     })
@@ -425,6 +553,17 @@ impl WorkerThread {
         self.registry.sleep.notify();
     }
 
+    /// Push a fan-out job (scope spawn / detached spawn): deadline-tagged
+    /// jobs go to the global EDF lane so the pool serves them
+    /// earliest-deadline-first; untagged jobs keep the local LIFO path.
+    pub(crate) fn push_fanout(&self, job: JobRef) {
+        if job.deadline().is_some() {
+            self.registry.push_edf(job);
+        } else {
+            self.push(job);
+        }
+    }
+
     /// Pop the most recently pushed local job, if any.
     fn pop_local(&self) -> Option<JobRef> {
         self.registry.deques[self.index].lock().unwrap().pop_back()
@@ -442,9 +581,23 @@ impl WorkerThread {
     /// Run jobs until `cond` is true, stealing when the local deque runs
     /// dry. This is how "blocked" frames (join waiting on a stolen
     /// closure, scope waiting on spawned tasks) stay productive.
+    ///
+    /// Steal discipline: the wait happens *inside* the current task's
+    /// frame, so external work is filtered by the ambient task deadline —
+    /// a worker blocked in an urgent task will not start a less-urgent
+    /// (or untagged) task on top of it and delay its own completion
+    /// behind foreign work (EDF priority inversion). Local jobs stay
+    /// unrestricted: they are this worker's own (or an enclosing frame's)
+    /// children and must drain for the latch to flip. With no ambient
+    /// deadline the filter is wide open — plain rayon behavior.
     pub(crate) fn wait_until(&self, cond: impl Fn() -> bool) {
+        let limit = task_deadline();
         while !cond() {
-            if let Some(job) = self.find_work() {
+            let job = self.pop_local().or_else(|| {
+                self.registry
+                    .find_external_work_within(Some(self.index), limit)
+            });
+            if let Some(job) = job {
                 job.execute();
             } else {
                 thread::park_timeout(IDLE_PARK);
@@ -454,13 +607,15 @@ impl WorkerThread {
 
     /// `join`'s wait discipline: run local jobs (the second closure is
     /// usually still sitting on top of our own deque — recognize it by
-    /// address and stop once it has run), steal when local work runs dry,
+    /// address and stop once it has run), steal when local work runs dry
+    /// (filtered by the ambient deadline, exactly as [`Self::wait_until`]),
     /// and return when `latch` flips.
     pub(crate) fn wait_for_stack_job<F, R>(&self, job: &StackJob<F, R>)
     where
         F: FnOnce() -> R + Send,
         R: Send,
     {
+        let limit = task_deadline();
         while !job.latch().probe() {
             if let Some(local) = self.pop_local() {
                 let was_target = local.points_at(job.data_ptr());
@@ -468,7 +623,10 @@ impl WorkerThread {
                 if was_target {
                     return;
                 }
-            } else if let Some(stolen) = self.registry.find_external_work(Some(self.index)) {
+            } else if let Some(stolen) = self
+                .registry
+                .find_external_work_within(Some(self.index), limit)
+            {
                 stolen.execute();
             } else {
                 job.latch().park_waiting();
@@ -478,12 +636,111 @@ impl WorkerThread {
 }
 
 impl Registry {
-    /// Injected work, else a steal sweep over every worker but `skip`.
+    /// Queue a deadline-tagged job in the EDF lane and wake a worker.
+    pub(crate) fn push_edf(&self, job: JobRef) {
+        let deadline = job
+            .deadline()
+            .expect("EDF lane requires a deadline-tagged job");
+        let seq = self.edf_seq.fetch_add(1, Ordering::Relaxed);
+        self.edf
+            .lock()
+            .unwrap()
+            .push(EdfEntry { deadline, seq, job });
+        self.sleep.notify();
+    }
+
+    /// The earliest-deadline EDF-lane job, gated by `limit`: with a limit,
+    /// only a job at least as urgent (deadline `<=` limit) is taken.
+    fn pop_edf_within(&self, limit: Option<Instant>) -> Option<JobRef> {
+        let mut heap = self.edf.lock().unwrap();
+        match (limit, heap.peek()) {
+            (_, None) => None,
+            (None, Some(_)) => heap.pop().map(|e| e.job),
+            (Some(l), Some(e)) if e.deadline <= l => heap.pop().map(|e| e.job),
+            _ => None,
+        }
+    }
+
+    /// External work, earliest declared deadline first: the EDF lane, then
+    /// the FIFO injector, then a steal sweep over every worker but `skip`.
     fn find_external_work(&self, skip: Option<usize>) -> Option<JobRef> {
-        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+        self.find_external_work_within(skip, None)
+    }
+
+    /// [`Self::find_external_work`] restricted to work at least as urgent
+    /// as `limit`: untagged work (the injector, untagged deque fronts)
+    /// counts as infinitely lax and is skipped whenever a limit is set.
+    /// Blocked task frames pass their own deadline here so waiting never
+    /// buries an urgent task under a laxer one.
+    fn find_external_work_within(
+        &self,
+        skip: Option<usize>,
+        limit: Option<Instant>,
+    ) -> Option<JobRef> {
+        if let Some(job) = self.pop_edf_within(limit) {
             return Some(job);
         }
+        if limit.is_none() {
+            if let Some(job) = self.injector.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        #[cfg(feature = "fault")]
+        fault::fire_steal_hook();
+        self.steal_within(skip, limit)
+    }
+
+    /// Steal sweep: peek every victim's exposed front job and rob the one
+    /// with the earliest deadline; among untagged fronts (or when nothing
+    /// is tagged), take the first non-empty victim in rotation order —
+    /// exactly the pre-EDF behavior. With a `limit`, only fronts tagged at
+    /// least as urgent are considered at all.
+    fn steal_within(&self, skip: Option<usize>, limit: Option<Instant>) -> Option<JobRef> {
         let n = self.deques.len();
+        let start = self.steal_seed.fetch_add(1, Ordering::Relaxed) % n.max(1);
+        let mut best: Option<(usize, Option<Instant>)> = None;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == skip {
+                continue;
+            }
+            let front = match self.deques[victim].lock().unwrap().front() {
+                Some(job) => job.deadline(),
+                None => continue,
+            };
+            if let Some(l) = limit {
+                match front {
+                    Some(d) if d <= l => {}
+                    _ => continue,
+                }
+            }
+            let better = match (&best, front) {
+                (None, _) => true,
+                (Some((_, None)), Some(_)) => true,
+                (Some((_, Some(b))), Some(d)) => d < *b,
+                _ => false,
+            };
+            if better {
+                best = Some((victim, front));
+            }
+        }
+        let (victim, _) = best?;
+        // The peeked job may have been taken since. Limited: re-check the
+        // front's urgency under the lock and give up on a race (the next
+        // wait iteration re-sweeps). Unlimited: fall back to a plain
+        // first-non-empty sweep rather than re-ranking (races are rare and
+        // cost one extra pass at worst).
+        if let Some(l) = limit {
+            let mut dq = self.deques[victim].lock().unwrap();
+            let still_urgent = matches!(
+                dq.front().map(|j| j.deadline()),
+                Some(Some(d)) if d <= l
+            );
+            return if still_urgent { dq.pop_front() } else { None };
+        }
+        if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+            return Some(job);
+        }
         let start = self.steal_seed.fetch_add(1, Ordering::Relaxed) % n.max(1);
         for k in 0..n {
             let victim = (start + k) % n;
@@ -497,9 +754,14 @@ impl Registry {
         None
     }
 
-    /// Queue work from outside the pool and wake a worker.
+    /// Queue work from outside the pool and wake a worker. Deadline-tagged
+    /// jobs go to the EDF lane; untagged work keeps FIFO arrival order.
     pub(crate) fn inject(&'static self, job: JobRef) {
         ensure_workers(self);
+        if job.deadline().is_some() {
+            self.push_edf(job);
+            return;
+        }
         self.injector.lock().unwrap().push_back(job);
         self.sleep.notify();
     }
