@@ -835,6 +835,461 @@ criterion_group!(
     bench_query_throughput,
     bench_constraint_churn,
     bench_deadline_stress,
-    bench_deadline_burst
+    bench_deadline_burst,
+    bench_serve_net
 );
 criterion_main!(benches);
+
+// ----------------------------------------------------------------------
+// serve_net: open-loop traffic replay through the real `pc serve` socket
+// ----------------------------------------------------------------------
+
+/// One answered arrival of the socket replay ([`bench_serve_net`]):
+/// latency is anchored at the *planned* arrival instant, so socket
+/// buffering and per-connection queueing count against the query
+/// exactly as a remote client would experience them.
+struct NetRow {
+    lat: Duration,
+    epoch: u64,
+    qi: usize,
+    range: Option<(f64, f64)>,
+    degraded: bool,
+    shed: bool,
+}
+
+/// The wire-notation mutation stream every tenant receives during the
+/// overload replay (identical per tenant, so one epoch-keyed oracle
+/// serves them all). The base catalog seeds ids `c0..c14`
+/// (`serving_set(14)` plus its catch-all), so the adds land as
+/// `c15`/`c16`/`c17`.
+const NET_MUTATIONS: &[&str] = &[
+    "+ TRUE => value BETWEEN 0 AND 100, (0, 180)",
+    "+ TRUE => value BETWEEN 0 AND 100, (0, 160)",
+    "- c15",
+    "+ TRUE => value BETWEEN 0 AND 100, (5, 150)",
+];
+
+/// The replayed query mix, as SQL text (the wire carries text, and the
+/// oracle parses the same text, so the two sides cannot diverge).
+fn net_sqls() -> Vec<String> {
+    (0..8)
+        .map(|i| {
+            let lo = (i * 7 % 29) as f64;
+            let hi = lo + 6.0 + (i % 5) as f64;
+            match i % 4 {
+                0 => format!("SELECT SUM(value) WHERE region BETWEEN {lo} AND {hi}"),
+                1 => format!("SELECT COUNT(*) WHERE region BETWEEN {lo} AND {hi}"),
+                2 => format!("SELECT AVG(value) WHERE region BETWEEN {lo} AND {hi}"),
+                _ => format!("SELECT MAX(value) WHERE region BETWEEN {lo} AND {hi}"),
+            }
+        })
+        .collect()
+}
+
+/// Replay [`NET_MUTATIONS`] against a local shadow session and record
+/// the exact range of every query at every epoch — the containment
+/// oracle for the socket replay (`None` = provably empty aggregate).
+fn net_oracle(
+    set: &PcSet,
+    table: &pc_storage::Table,
+    sqls: &[String],
+) -> Vec<Vec<Option<(f64, f64)>>> {
+    use pc_core::dsl;
+    let session = Session::with_options(set.clone(), SessionOptions::default());
+    let queries: Vec<AggQuery> = sqls
+        .iter()
+        .map(|sql| pc_storage::parse_query(table, sql).expect("oracle parses the replayed SQL"))
+        .collect();
+    let budget = QueryBudget::unlimited();
+    let snapshot = |session: &Session| -> Vec<Option<(f64, f64)>> {
+        queries
+            .iter()
+            .map(|q| match session.bound(q) {
+                Ok(r) => Some((r.range.lo, r.range.hi)),
+                Err(pc_core::BoundError::EmptyAggregate) => None,
+                Err(e) => panic!("oracle query failed: {e}"),
+            })
+            .collect()
+    };
+    let mut oracle = vec![snapshot(&session)];
+    for line in NET_MUTATIONS {
+        if let Some(rest) = line.strip_prefix("+ ") {
+            let pc = dsl::parse_constraint(table, rest).expect("oracle mutation parses");
+            session.add_constraint_stamped(pc, &budget);
+        } else if let Some(rest) = line.strip_prefix("- ") {
+            session
+                .retire_constraint_stamped(rest.parse().expect("oracle id parses"))
+                .expect("oracle retire hits a live id");
+        } else {
+            panic!("unhandled mutation line {line}");
+        }
+        oracle.push(snapshot(&session));
+    }
+    oracle
+}
+
+/// Send one line and read its full response (header + declared rows),
+/// strictly paired — the calibration/admin path next to the pipelined
+/// replay.
+fn sync_request(
+    write: &mut std::net::TcpStream,
+    read: &mut std::io::BufReader<std::net::TcpStream>,
+    line: &str,
+) -> String {
+    use std::io::{BufRead, Write};
+    // one write per request: a split line + trailing newline would
+    // trigger Nagle vs delayed-ACK (~40ms) on a connection without
+    // TCP_NODELAY
+    write.write_all(format!("{line}\n").as_bytes()).unwrap();
+    write.flush().unwrap();
+    let mut header = String::new();
+    read.read_line(&mut header).unwrap();
+    let header = header.trim_end().to_string();
+    for _ in 0..pc_serve::proto::declared_rows(&header) {
+        let mut row = String::new();
+        read.read_line(&mut row).unwrap();
+    }
+    header
+}
+
+/// Sleep-only pacing (no spin): paced writer threads must not burn the
+/// core the server needs — on a single-CPU host a spinning pacer starves
+/// the very connection threads it is benchmarking. The ~50-100us
+/// oversleep this costs is honest open-loop jitter: latency stays
+/// anchored at the *planned* instant either way.
+fn sleep_until(t: Instant) {
+    let mut now = Instant::now();
+    while now < t {
+        std::thread::sleep(t - now);
+        now = Instant::now();
+    }
+}
+
+/// Open-loop replay against a running server: `arrivals` requests at a
+/// fixed global `interval`, round-robined over `conns_per_tenant`
+/// pipelined connections per tenant (writers never wait for responses —
+/// per-connection queueing is part of the measured latency). One in six
+/// arrivals carries a tight `@timeout-ms=1` deadline and one in six a
+/// `@sat-cap=2` work cap, so the degraded/shed machinery is exercised
+/// through the wire, not just the in-process API. When `mutate` is set,
+/// every tenant concurrently receives [`NET_MUTATIONS`] spread across
+/// the replay span — the mutation mix the MVCC stamps are for.
+fn replay_open_loop(
+    addr: std::net::SocketAddr,
+    tenants: &[&str],
+    conns_per_tenant: usize,
+    sqls: &[String],
+    arrivals: usize,
+    interval: Duration,
+    mutate: bool,
+) -> Vec<NetRow> {
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+    use std::sync::mpsc;
+    use std::sync::{Barrier, Mutex};
+
+    let total_conns = tenants.len() * conns_per_tenant;
+    let mutator_count = if mutate { tenants.len() } else { 0 };
+    let ready = Arc::new(Barrier::new(total_conns + mutator_count + 1));
+    let go = Arc::new(Barrier::new(total_conns + mutator_count + 1));
+    let start_cell = Arc::new(Mutex::new(None::<Instant>));
+    let (row_tx, row_rx) = mpsc::channel::<NetRow>();
+    let mut joins = Vec::new();
+    for c in 0..total_conns {
+        let tenant = tenants[c % tenants.len()].to_string();
+        let sqls = sqls.to_vec();
+        let ready = Arc::clone(&ready);
+        let go = Arc::clone(&go);
+        let start_cell = Arc::clone(&start_cell);
+        let row_tx = row_tx.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut write = TcpStream::connect(addr).unwrap();
+            write.set_nodelay(true).unwrap();
+            let mut read = BufReader::new(write.try_clone().unwrap());
+            let header = sync_request(&mut write, &mut read, &format!("use {tenant}"));
+            assert!(header.starts_with("OK"), "{header}");
+            // Warm this tenant's decomposition/cell caches outside the
+            // timed replay — otherwise the first query's cold decompose
+            // backs up every connection and the replay measures one
+            // cold start instead of the steady serving path.
+            for sql in &sqls {
+                let header = sync_request(&mut write, &mut read, &format!("bound {sql}"));
+                assert!(header.starts_with("OK"), "{header}");
+            }
+            ready.wait();
+            go.wait();
+            let start = start_cell
+                .lock()
+                .unwrap()
+                .expect("start published before go");
+            // Pipelined writer: paced by the global schedule, never
+            // blocked on responses. This thread reads in request order
+            // (the protocol's strict pairing makes that sound).
+            let (meta_tx, meta_rx) = mpsc::channel::<(Instant, usize)>();
+            let mut w2 = write.try_clone().unwrap();
+            let writer = std::thread::spawn(move || {
+                use std::io::Write;
+                let mut k = c;
+                while k < arrivals {
+                    let planned = start + interval * k as u32;
+                    sleep_until(planned);
+                    let qi = k % sqls.len();
+                    let line = match k % 6 {
+                        0 => format!("bound @timeout-ms=1 {}", sqls[qi]),
+                        3 => format!("bound @sat-cap=2 {}", sqls[qi]),
+                        _ => format!("bound {}", sqls[qi]),
+                    };
+                    w2.write_all(format!("{line}\n").as_bytes()).unwrap();
+                    w2.flush().unwrap();
+                    meta_tx.send((planned, qi)).unwrap();
+                    k += total_conns;
+                }
+            });
+            for (planned, qi) in meta_rx {
+                let mut header = String::new();
+                read.read_line(&mut header).unwrap();
+                let header = header.trim_end();
+                assert!(header.starts_with("OK bound"), "replay got {header}");
+                let epoch: u64 = pc_serve::proto::field(header, "epoch")
+                    .and_then(|e| e.parse().ok())
+                    .expect("bound responses stamp their epoch");
+                let empty = header.ends_with(" empty");
+                let range = if empty {
+                    None
+                } else {
+                    Some(
+                        pc_serve::proto::parse_range(header)
+                            .expect("bound response carries a range"),
+                    )
+                };
+                let (degraded, shed) = if empty {
+                    (false, false)
+                } else {
+                    (
+                        pc_serve::proto::field(header, "degraded") == Some("true"),
+                        pc_serve::proto::field(header, "verdict") == Some("shed"),
+                    )
+                };
+                row_tx
+                    .send(NetRow {
+                        lat: planned.elapsed(),
+                        epoch,
+                        qi,
+                        range,
+                        degraded,
+                        shed,
+                    })
+                    .unwrap();
+            }
+            writer.join().unwrap();
+        }));
+    }
+    drop(row_tx);
+
+    // One mutator per tenant. Connected (and `use`d) *before* the start
+    // barrier: under load the accept loop's poll tick would otherwise
+    // delay a late connect past the whole replay, pushing every
+    // mutation after the last query. Mutations are spread across twice
+    // the arrival span — under overload processing outlasts arrivals,
+    // and the stamps should interleave with the backlog drain too.
+    let mut mutators = Vec::new();
+    let span = interval * arrivals as u32 * 2;
+    for tenant in tenants.iter().take(mutator_count) {
+        let tenant = tenant.to_string();
+        let ready = Arc::clone(&ready);
+        let go = Arc::clone(&go);
+        let start_cell = Arc::clone(&start_cell);
+        mutators.push(std::thread::spawn(move || {
+            let mut write = TcpStream::connect(addr).unwrap();
+            write.set_nodelay(true).unwrap();
+            let mut read = BufReader::new(write.try_clone().unwrap());
+            let header = sync_request(&mut write, &mut read, &format!("use {tenant}"));
+            assert!(header.starts_with("OK"), "{header}");
+            ready.wait();
+            go.wait();
+            let start = start_cell
+                .lock()
+                .unwrap()
+                .expect("start published before go");
+            for (m, line) in NET_MUTATIONS.iter().enumerate() {
+                sleep_until(start + span * (m as u32 + 1) / (NET_MUTATIONS.len() as u32 + 1));
+                let header = sync_request(&mut write, &mut read, line);
+                assert!(header.starts_with("OK"), "`{line}` on {tenant}: {header}");
+                let epoch =
+                    pc_serve::proto::field(&header, "epoch").and_then(|e| e.parse::<u64>().ok());
+                // one mutator per tenant: epochs advance densely
+                assert_eq!(epoch, Some(m as u64 + 1), "`{line}` on {tenant}");
+            }
+        }));
+    }
+
+    ready.wait();
+    let start = Instant::now() + Duration::from_millis(20);
+    *start_cell.lock().unwrap() = Some(start);
+    go.wait();
+
+    // collect while the replay runs; the channel closes when the last
+    // connection finishes reading its final response
+    let mut wire_range: Vec<NetRow> = row_rx.iter().collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+    for m in mutators {
+        m.join().unwrap();
+    }
+    wire_range.sort_by_key(|r| r.lat);
+    wire_range
+}
+
+/// The serving front-end measured end-to-end: an open-loop traffic
+/// replay through real TCP connections against a running `pc serve`
+/// ([`Server`]), 3 tenants x 2 pipelined connections, mixed budget
+/// directives on the wire, and (in the overload row) concurrent
+/// mutations on every tenant. Rows record client-experienced latency
+/// percentiles and the degraded/shed rates; **every** response's range
+/// is asserted to contain the exact oracle range *for its stamped
+/// epoch* before anything is recorded — the MVCC containment guarantee,
+/// checked through the socket.
+fn bench_serve_net(_c: &mut Criterion) {
+    use pc_serve::{ServeConfig, Server};
+    use std::io::BufReader;
+    use std::net::TcpStream;
+
+    let set = serving_set(14);
+    let schema = Schema::new(vec![("region", AttrType::Int), ("value", AttrType::Float)]);
+    let table = pc_storage::table_from_csv(schema, "region,value\n1,5.0\n20,40.0\n").unwrap();
+    let sqls = net_sqls();
+    let oracle = net_oracle(&set, &table, &sqls);
+
+    // service-time probe, as in the burst bench: the replay rates are
+    // ratios of this machine's uncontended per-query cost
+    let probe = Session::with_options(set.clone(), SessionOptions::default());
+    let queries: Vec<AggQuery> = sqls
+        .iter()
+        .map(|sql| pc_storage::parse_query(&table, sql).unwrap())
+        .collect();
+    for q in &queries {
+        probe.bound(q).expect("probe warm-up");
+    }
+    let mut service = Duration::MAX;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for q in &queries {
+            probe.bound(q).expect("service probe");
+        }
+        service = service.min(t0.elapsed() / queries.len() as u32);
+    }
+    let service = service.max(Duration::from_micros(40));
+
+    let server = Server::bind("127.0.0.1:0", table, set, ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+
+    let tenants = ["default", "t1", "t2"];
+    {
+        let mut admin = TcpStream::connect(addr).unwrap();
+        admin.set_nodelay(true).unwrap();
+        let mut read = BufReader::new(admin.try_clone().unwrap());
+        for tenant in &tenants[1..] {
+            let header = sync_request(&mut admin, &mut read, &format!("tenant create {tenant}"));
+            assert!(header.starts_with("OK"), "{header}");
+        }
+    }
+
+    // steady: arrivals well under capacity (epoch 0 everywhere), then
+    // overload: ~1.7x the serial drain rate with mutations racing
+    let scenarios = [
+        ("steady", 240usize, service * 3, false),
+        ("overload", 480usize, service * 3 / 5, true),
+    ];
+    for (name, arrivals, interval, mutate) in scenarios {
+        let rows = replay_open_loop(addr, &tenants, 2, &sqls, arrivals, interval, mutate);
+        assert_eq!(rows.len(), arrivals, "every arrival must be answered");
+        let mut epochs = std::collections::BTreeMap::<u64, usize>::new();
+        for row in &rows {
+            *epochs.entry(row.epoch).or_insert(0) += 1;
+            let want = oracle
+                .get(row.epoch as usize)
+                .unwrap_or_else(|| panic!("response stamped unknown epoch {}", row.epoch))[row.qi];
+            match (want, row.range) {
+                (None, got) => assert!(got.is_none(), "oracle says empty, wire said {got:?}"),
+                (Some((lo, hi)), None) => panic!("wire said empty, oracle [{lo},{hi}]"),
+                // the MVCC guarantee, through the socket: the answer
+                // must contain the exact range *of its stamped epoch*
+                // (equal when exact; wider only when degraded/shed)
+                (Some((lo, hi)), Some((got_lo, got_hi))) => {
+                    let eps = 1e-6 * hi.abs().max(lo.abs()).max(1.0);
+                    assert!(
+                        got_lo <= lo + eps && got_hi >= hi - eps,
+                        "epoch {} q{}: wire [{got_lo},{got_hi}] !contains oracle [{lo},{hi}]",
+                        row.epoch,
+                        row.qi
+                    );
+                    if !row.degraded && !row.shed {
+                        assert!(
+                            (got_lo - lo).abs() <= eps && (got_hi - hi).abs() <= eps,
+                            "epoch {} q{}: exact answer [{got_lo},{got_hi}] != oracle [{lo},{hi}]",
+                            row.epoch,
+                            row.qi
+                        );
+                    }
+                }
+            }
+        }
+        let degraded = rows.iter().filter(|r| r.degraded).count();
+        let shed = rows.iter().filter(|r| r.shed).count();
+        let lat: Vec<Duration> = rows.iter().map(|r| r.lat).collect();
+        emit_bench_json_line(&format!(
+            "{{\"id\": \"serve_net/{name}\", \"arrivals\": {arrivals}, \"tenants\": {}, \
+             \"connections\": {}, \"mutations\": {}, \"service_us\": {}, \"interval_us\": {}, \
+             \"epochs_observed\": {}, \"by_epoch\": {{{}}}, \
+             \"degraded\": {degraded}, \"degraded_rate\": {:.4}, \
+             \"shed\": {shed}, \"shed_rate\": {:.4}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            tenants.len(),
+            tenants.len() * 2,
+            if mutate {
+                tenants.len() * NET_MUTATIONS.len()
+            } else {
+                0
+            },
+            service.as_micros(),
+            interval.as_micros(),
+            epochs.len(),
+            epochs
+                .iter()
+                .map(|(e, n)| format!("\"{e}\": {n}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            degraded as f64 / rows.len() as f64,
+            shed as f64 / rows.len() as f64,
+            percentile_us(&lat, 50),
+            percentile_us(&lat, 95),
+            percentile_us(&lat, 99),
+            lat.last().unwrap().as_micros()
+        ));
+    }
+
+    // satellite: the shed-cache counters surfaced by the `stats` verb,
+    // summed over tenants — the same counters `pc batch --stats` prints
+    let mut admin = TcpStream::connect(addr).unwrap();
+    admin.set_nodelay(true).unwrap();
+    let mut read = BufReader::new(admin.try_clone().unwrap());
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for tenant in &tenants {
+        let header = sync_request(&mut admin, &mut read, &format!("stats {tenant}"));
+        assert!(header.starts_with("OK"), "{header}");
+        hits += pc_serve::proto::field(&header, "shed-cache-hits")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap();
+        misses += pc_serve::proto::field(&header, "shed-cache-misses")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap();
+    }
+    emit_bench_json_line(&format!(
+        "{{\"id\": \"serve_net/shed_cache\", \"hits\": {hits}, \"misses\": {misses}}}"
+    ));
+    let header = sync_request(&mut admin, &mut read, "shutdown");
+    assert!(header.starts_with("OK"), "{header}");
+    server_thread.join().unwrap();
+}

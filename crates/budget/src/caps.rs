@@ -1,0 +1,254 @@
+//! The three budget caps as a value, plus the **one** parser for the
+//! `@timeout-ms=N / @sat-cap=N / @node-cap=N` budget directives shared by
+//! every front-end (`pc batch` query lines, `pc bound` CLI flags, and the
+//! `pc serve` wire protocol). One parser means one validation story:
+//! zero, negative, overflowing, duplicated, and malformed values are
+//! rejected identically everywhere, at parse time, instead of each
+//! front-end clamping (or forgetting to clamp) its own way.
+//!
+//! Validation rules ([`parse_cap_value`]):
+//!
+//! * values must be decimal digits — a leading `-` is called out as
+//!   "negative" rather than the generic parse failure;
+//! * `0` is rejected: a zero deadline/cap would trip every query before
+//!   its first granule, turning the whole stream into shed answers — if
+//!   that is really wanted, a pre-tripped budget says so explicitly
+//!   ([`crate::QueryBudget::pre_tripped`]), a directive does not;
+//! * values above `u64::MAX` are rejected as overflow (not wrapped, not
+//!   saturated). A *representable* but astronomically large timeout is
+//!   fine: [`crate::QueryBudget::with_timeout`] already treats an
+//!   unrepresentable deadline as "no deadline";
+//! * the same directive given twice on one line is rejected — silent
+//!   last-wins has burned enough people.
+
+use crate::QueryBudget;
+use std::time::Duration;
+
+/// The three budget caps, as a value: stream-wide CLI flags, a batch
+/// line's `@` directives, and a wire request's `@` directives all share
+/// this shape, so a per-request override is just a field-wise merge
+/// ([`BudgetCaps::overridden_by`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetCaps {
+    /// Wall-clock deadline, milliseconds from arming.
+    pub timeout_ms: Option<u64>,
+    /// SAT-probe cap.
+    pub sat_cap: Option<u64>,
+    /// Branch & bound node cap.
+    pub node_cap: Option<u64>,
+}
+
+impl BudgetCaps {
+    /// No cap set at all.
+    pub fn is_empty(&self) -> bool {
+        self.timeout_ms.is_none() && self.sat_cap.is_none() && self.node_cap.is_none()
+    }
+
+    /// A fresh budget from the caps, unarmed when no cap is set. Fresh
+    /// per engine call on purpose: `timeout_ms` is a *deadline*, measured
+    /// from arming, so one budget built at startup would silently charge
+    /// file loading and every earlier batch against later queries.
+    pub fn budget(&self) -> QueryBudget {
+        self.apply(QueryBudget::unlimited())
+    }
+
+    /// A fresh **armed** budget from the caps: even cap-less requests get
+    /// an armed handle, so a serving tier can register the
+    /// [`crate::CancelToken`] and cancel in-flight work on shutdown.
+    pub fn armed_budget(&self) -> QueryBudget {
+        self.apply(QueryBudget::armed())
+    }
+
+    fn apply(&self, mut budget: QueryBudget) -> QueryBudget {
+        if let Some(ms) = self.timeout_ms {
+            budget = budget.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(cap) = self.sat_cap {
+            budget = budget.with_sat_cap(cap);
+        }
+        if let Some(cap) = self.node_cap {
+            budget = budget.with_node_cap(cap);
+        }
+        budget
+    }
+
+    /// These caps with another set's explicit fields taking precedence.
+    pub fn overridden_by(&self, over: BudgetCaps) -> BudgetCaps {
+        BudgetCaps {
+            timeout_ms: over.timeout_ms.or(self.timeout_ms),
+            sat_cap: over.sat_cap.or(self.sat_cap),
+            node_cap: over.node_cap.or(self.node_cap),
+        }
+    }
+
+    /// The caps in directive notation (`@timeout-ms=N …`), the inverse of
+    /// [`parse_line_caps`]; empty string when no cap is set.
+    pub fn to_directives(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in [
+            ("timeout-ms", self.timeout_ms),
+            ("sat-cap", self.sat_cap),
+            ("node-cap", self.node_cap),
+        ] {
+            if let Some(v) = value {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&format!("@{key}={v}"));
+            }
+        }
+        out
+    }
+}
+
+/// Validate one budget-cap value uniformly (see the module docs for the
+/// rules). `flag` names the directive/flag in error messages.
+pub fn parse_cap_value(flag: &str, raw: &str) -> Result<u64, String> {
+    let raw = raw.trim();
+    if raw.starts_with('-') {
+        return Err(format!(
+            "{flag}: `{raw}` is negative (budget caps are positive integers)"
+        ));
+    }
+    if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("{flag}: `{raw}` is not a number"));
+    }
+    let value: u64 = raw.parse().map_err(|_| {
+        format!(
+            "{flag}: `{raw}` overflows the 64-bit cap range (max {})",
+            u64::MAX
+        )
+    })?;
+    if value == 0 {
+        return Err(format!(
+            "{flag}: 0 would trip every query before its first granule; \
+             the minimum cap is 1"
+        ));
+    }
+    Ok(value)
+}
+
+/// Strip leading `@timeout-ms=N` / `@sat-cap=N` / `@node-cap=N`
+/// directives off a query line, returning the overrides and the
+/// remainder (the SQL). Directives must prefix a non-empty remainder;
+/// each may appear at most once; values go through [`parse_cap_value`].
+pub fn parse_line_caps(line: &str) -> Result<(BudgetCaps, &str), String> {
+    let mut caps = BudgetCaps::default();
+    let mut rest = line.trim_start();
+    while let Some(tail) = rest.strip_prefix('@') {
+        let (token, after) = match tail.split_once(char::is_whitespace) {
+            Some((token, after)) => (token, after.trim_start()),
+            None => (tail, ""),
+        };
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("@{token}: expected @name=value"))?;
+        let slot = match key {
+            "timeout-ms" => &mut caps.timeout_ms,
+            "sat-cap" => &mut caps.sat_cap,
+            "node-cap" => &mut caps.node_cap,
+            other => {
+                return Err(format!(
+                    "unknown directive @{other} (timeout-ms/sat-cap/node-cap)"
+                ))
+            }
+        };
+        if slot.is_some() {
+            return Err(format!("@{key} given twice on one line"));
+        }
+        *slot = Some(parse_cap_value(&format!("@{key}"), value)?);
+        rest = after;
+    }
+    if rest.is_empty() {
+        return Err("budget directives must prefix a query on the same line".into());
+    }
+    Ok((caps, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_and_preserves_remainder() {
+        let (caps, rest) =
+            parse_line_caps("@timeout-ms=50 @sat-cap=200 @node-cap=9 SELECT COUNT(*)").unwrap();
+        assert_eq!(
+            caps,
+            BudgetCaps {
+                timeout_ms: Some(50),
+                sat_cap: Some(200),
+                node_cap: Some(9),
+            }
+        );
+        assert_eq!(rest, "SELECT COUNT(*)");
+    }
+
+    #[test]
+    fn rejects_zero_negative_overflow_uniformly() {
+        for bad in ["@timeout-ms=0 q", "@sat-cap=0 q", "@node-cap=0 q"] {
+            let err = parse_line_caps(bad).unwrap_err();
+            assert!(err.contains("minimum cap is 1"), "{bad}: {err}");
+        }
+        let err = parse_line_caps("@timeout-ms=-5 q").unwrap_err();
+        assert!(err.contains("negative"), "{err}");
+        let err = parse_line_caps("@node-cap=99999999999999999999999999 q").unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicates_unknowns_and_bare_directives() {
+        assert!(parse_line_caps("@timeout-ms=5 @timeout-ms=6 q")
+            .unwrap_err()
+            .contains("twice"));
+        assert!(parse_line_caps("@frob=5 q")
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(parse_line_caps("@timeout-ms=5").is_err());
+        assert!(parse_line_caps("@timeout-ms 5 q").is_err());
+    }
+
+    #[test]
+    fn directive_roundtrip() {
+        let caps = BudgetCaps {
+            timeout_ms: Some(7),
+            sat_cap: None,
+            node_cap: Some(u64::MAX),
+        };
+        let line = format!("{} SELECT 1", caps.to_directives());
+        let (parsed, rest) = parse_line_caps(&line).unwrap();
+        assert_eq!(parsed, caps);
+        assert_eq!(rest, "SELECT 1");
+    }
+
+    #[test]
+    fn armed_budget_is_armed_even_capless() {
+        assert!(BudgetCaps::default().budget().is_unlimited());
+        let armed = BudgetCaps::default().armed_budget();
+        assert!(!armed.is_unlimited());
+        assert!(armed.cancel_token().is_some());
+        assert_eq!(armed.deadline(), None);
+    }
+
+    #[test]
+    fn override_is_field_wise() {
+        let base = BudgetCaps {
+            timeout_ms: Some(100),
+            sat_cap: Some(10),
+            node_cap: None,
+        };
+        let over = BudgetCaps {
+            timeout_ms: Some(5),
+            sat_cap: None,
+            node_cap: Some(3),
+        };
+        assert_eq!(
+            base.overridden_by(over),
+            BudgetCaps {
+                timeout_ms: Some(5),
+                sat_cap: Some(10),
+                node_cap: Some(3),
+            }
+        );
+    }
+}

@@ -56,10 +56,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod caps;
 #[cfg(feature = "fault")]
 pub mod fault;
 
 pub mod pressure;
+
+pub use caps::{parse_cap_value, parse_line_caps, BudgetCaps};
 
 /// Why a budget tripped: the first limit crossed, sticky for the
 /// budget's lifetime.

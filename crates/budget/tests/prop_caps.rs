@@ -1,0 +1,120 @@
+//! Property tests for the shared budget-caps parser: `pc batch` lines,
+//! CLI flags, and the `pc serve` wire protocol all validate through the
+//! same `parse_cap_value`/`parse_line_caps`, so these properties are the
+//! uniform-validation contract of the serve satellite — every positive
+//! value round-trips, every zero/negative/overflowing value is rejected
+//! with the same rule regardless of which directive carries it, and no
+//! input can make the parser panic or accept a silently-clamped value.
+
+use pc_budget::caps::{parse_cap_value, parse_line_caps, BudgetCaps};
+use proptest::prelude::*;
+
+const FLAGS: [&str; 3] = ["@timeout-ms", "@sat-cap", "@node-cap"];
+
+prop_compose! {
+    /// An arbitrary caps value: each field independently absent or any
+    /// positive u64 (including u64::MAX — representable is acceptable).
+    fn arb_caps()(
+        t in prop::strategy::any::<u64>(), ts: bool,
+        s in prop::strategy::any::<u64>(), ss: bool,
+        n in prop::strategy::any::<u64>(), ns: bool,
+    ) -> BudgetCaps {
+        BudgetCaps {
+            timeout_ms: ts.then_some(t.max(1)),
+            sat_cap: ss.then_some(s.max(1)),
+            node_cap: ns.then_some(n.max(1)),
+        }
+    }
+}
+
+prop_compose! {
+    /// Noise strings over a directive-looking alphabet, to fuzz the line
+    /// parser with near-miss input.
+    fn arb_noise()(bytes in prop::collection::vec(0u8..16, 0..24)) -> String {
+        const ALPHABET: &[u8; 16] = b"@=- 012345678tsq";
+        bytes.iter().map(|&b| ALPHABET[b as usize] as char).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Every positive u64 parses back to itself, under every flag name:
+    /// no clamping, no flag-specific behavior.
+    #[test]
+    fn positive_values_roundtrip_under_every_flag(v in prop::strategy::any::<u64>(), f in 0usize..3) {
+        let v = v.max(1);
+        prop_assert_eq!(parse_cap_value(FLAGS[f], &v.to_string()), Ok(v));
+    }
+
+    /// Zero is rejected by every flag with the same rule.
+    #[test]
+    fn zero_rejected_uniformly(f in 0usize..3, pad in 0usize..4) {
+        let raw = "0".repeat(pad + 1);
+        let err = parse_cap_value(FLAGS[f], &raw).unwrap_err();
+        prop_assert!(err.contains("minimum cap is 1"), "{}", err);
+    }
+
+    /// Negative values are rejected (never wrapped) by every flag.
+    #[test]
+    fn negative_rejected_uniformly(v in prop::strategy::any::<i64>(), f in 0usize..3) {
+        prop_assume!(v < 0);
+        let err = parse_cap_value(FLAGS[f], &v.to_string()).unwrap_err();
+        prop_assert!(err.contains("negative"), "{}", err);
+    }
+
+    /// Values beyond u64::MAX are rejected (never saturated) by every
+    /// flag: u64::MAX + 1 + delta, rendered via u128.
+    #[test]
+    fn overflow_rejected_uniformly(delta in prop::strategy::any::<u64>(), f in 0usize..3) {
+        let big = u64::MAX as u128 + 1 + delta as u128;
+        let err = parse_cap_value(FLAGS[f], &big.to_string()).unwrap_err();
+        prop_assert!(err.contains("overflow"), "{}", err);
+    }
+
+    /// Line round-trip: any caps rendered as directives in front of any
+    /// non-directive query parse back bit-equal, remainder intact.
+    #[test]
+    fn line_roundtrip(caps in arb_caps(), qn in 0usize..3) {
+        let query = ["SELECT COUNT(*)", "q", "SELECT SUM(v) WHERE x <= 3"][qn];
+        let dirs = caps.to_directives();
+        let line = if dirs.is_empty() { query.to_string() } else { format!("{dirs} {query}") };
+        let (parsed, rest) = parse_line_caps(&line).unwrap();
+        prop_assert_eq!(parsed, caps);
+        prop_assert_eq!(rest, query);
+    }
+
+    /// The built budget reflects the parsed caps exactly: unarmed iff no
+    /// cap was given, deadline present iff timeout was.
+    #[test]
+    fn budget_arms_match_caps(caps in arb_caps()) {
+        let budget = caps.budget();
+        prop_assert_eq!(budget.is_unlimited(), caps.is_empty());
+        prop_assert_eq!(budget.deadline().is_some(), caps.timeout_ms.is_some());
+        let armed = caps.armed_budget();
+        prop_assert!(!armed.is_unlimited());
+        prop_assert!(armed.cancel_token().is_some());
+    }
+
+    /// Per-request override is field-wise: each field takes the override
+    /// when present, the base otherwise.
+    #[test]
+    fn override_field_wise(base in arb_caps(), over in arb_caps()) {
+        let merged = base.overridden_by(over);
+        prop_assert_eq!(merged.timeout_ms, over.timeout_ms.or(base.timeout_ms));
+        prop_assert_eq!(merged.sat_cap, over.sat_cap.or(base.sat_cap));
+        prop_assert_eq!(merged.node_cap, over.node_cap.or(base.node_cap));
+    }
+
+    /// The line parser never panics, and anything it does accept has a
+    /// non-empty remainder and strictly positive cap values.
+    #[test]
+    fn parser_total_and_never_accepts_zero(noise in arb_noise()) {
+        if let Ok((caps, rest)) = parse_line_caps(&noise) {
+            prop_assert!(!rest.is_empty());
+            for v in [caps.timeout_ms, caps.sat_cap, caps.node_cap].into_iter().flatten() {
+                prop_assert!(v >= 1);
+            }
+        }
+    }
+}

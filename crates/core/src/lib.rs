@@ -107,6 +107,19 @@
 //!    by `pc batch --stats`. Scheduling never moves an answer: EDF and
 //!    FIFO orders are property-tested bit-identical, and shed/degraded
 //!    ranges always contain the exact range.
+//! 10. A **multi-tenant serving front-end** (`pc serve`, the `pc-serve`
+//!     crate): a std-only TCP listener speaking a line-oriented text
+//!     protocol over a [`SessionRegistry`] — one versioned [`Session`]
+//!     catalog per tenant with stable `cN` constraint ids as the wire
+//!     API. Query verbs fan onto the pool through each tenant's own
+//!     admission gauge and serialize their [`SchedReport`]; mutation
+//!     verbs interleave with in-flight reads under the epoch MVCC, and
+//!     **every response stamps the epoch it answered from** (the
+//!     `_stamped` session variants). The registry also owns the drain
+//!     protocol behind graceful shutdown: draining rejects new work
+//!     ([`SessionRegistry::begin_query`]) and fires the [`CancelToken`]
+//!     of every in-flight query, which finish early with sound degraded
+//!     answers. See the `pc-serve` crate docs for the wire reference.
 //!
 //! Parallelism, fan-out depth, and the group-by fast paths are all knobs
 //! on [`BoundOptions`] (`threads`, `parallel_depth`, `shared_group_by`,
@@ -187,6 +200,9 @@ pub use pc_budget as budget;
 pub use pc_budget::pressure::{AdmissionVerdict, PressureGauge, PressureStats, SchedReport};
 pub use pc_budget::{CancelToken, QueryBudget, TripReason};
 pub use pcset::{PcSet, Violation};
-pub use session::{ConstraintId, Session, SessionOptions, UnknownConstraint};
+pub use session::{
+    ConstraintId, QueryGuard, Session, SessionOptions, SessionRegistry, ShedCacheStats,
+    TenantExists, UnknownConstraint,
+};
 pub use shard::{interaction_components, Shard, ShardedCellSet, SHARD_RESPLIT_THRESHOLD};
 pub use specialize::CellSet;

@@ -125,14 +125,14 @@ use crate::{
     BoundEngine, BoundError, BoundOptions, BoundReport, GroupBound, PcSet, PredicateConstraint,
 };
 use pc_budget::pressure::{AdmissionVerdict, PressureGauge, SchedReport, SchedTicket};
-use pc_budget::{QueryBudget, TripReason};
+use pc_budget::{CancelToken, QueryBudget, TripReason};
 use pc_storage::AggQuery;
 use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
 
 /// Stable handle of one catalog constraint, assigned by the session at
 /// admission and never reused. Renders as `c<N>` (`pc batch` retire
@@ -261,6 +261,23 @@ pub struct Session {
     /// Aggregate queued-deadline-pressure tracker driving admission
     /// control ([`SessionOptions::admission`]).
     pressure: PressureGauge,
+    /// Cumulative shed-rejection-cache outcomes across every epoch (the
+    /// caches themselves die with their epoch; the counters survive so
+    /// `--stats` and the serve `stats` verb can report hit rates).
+    shed_hits: AtomicU64,
+    shed_misses: AtomicU64,
+}
+
+/// Cumulative shed-rejection-cache outcomes for one session — how many
+/// shed answers were served from the per-epoch cache vs computed by the
+/// pre-tripped one-granule walk. See [`Session::shed_cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedCacheStats {
+    /// Shed answers served straight from the rejection cache.
+    pub hits: u64,
+    /// Shed answers that paid the one-granule walk (and populated the
+    /// cache for the next repeat of the same shape).
+    pub misses: u64,
 }
 
 impl Session {
@@ -289,6 +306,19 @@ impl Session {
             next_id: AtomicU64::new(seeded),
             warm: WarmCaches::new(options.bound.warm_start),
             pressure: PressureGauge::new(rayon::current_num_threads()),
+            shed_hits: AtomicU64::new(0),
+            shed_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cumulative shed-rejection-cache hit/miss counters (see
+    /// [`ShedCacheStats`]). Monotone across epochs; a high hit rate under
+    /// overload means rejections are answering from lookups instead of
+    /// one-granule walks.
+    pub fn shed_cache_stats(&self) -> ShedCacheStats {
+        ShedCacheStats {
+            hits: self.shed_hits.load(Ordering::Relaxed),
+            misses: self.shed_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -448,6 +478,18 @@ impl Session {
         pc: PredicateConstraint,
         budget: &QueryBudget,
     ) -> ConstraintId {
+        self.add_constraint_stamped(pc, budget).0
+    }
+
+    /// [`Session::add_constraint_budgeted`], additionally returning the
+    /// epoch number the mutation created — the number a serving tier
+    /// stamps on the mutation's wire response, captured inside the
+    /// mutation lock so concurrent mutations cannot misattribute it.
+    pub fn add_constraint_stamped(
+        &self,
+        pc: PredicateConstraint,
+        budget: &QueryBudget,
+    ) -> (ConstraintId, u64) {
         let _mutation = self.mutations.lock().unwrap();
         // `prev` cannot move under us: only mutations swap `current`, and
         // they all serialize on the lock above — so the expensive
@@ -474,10 +516,11 @@ impl Session {
                 }
             }
         }
+        let number = prev.number + 1;
         self.install(
             &prev,
             Epoch {
-                number: prev.number + 1,
+                number,
                 set,
                 ids,
                 cells,
@@ -485,11 +528,17 @@ impl Session {
                 shed_cache: Mutex::new(HashMap::new()),
             },
         );
-        id
+        (id, number)
     }
 
     /// Retire a constraint from the catalog, producing a new epoch.
     pub fn retire_constraint(&self, id: ConstraintId) -> Result<(), UnknownConstraint> {
+        self.retire_constraint_stamped(id).map(|_| ())
+    }
+
+    /// [`Session::retire_constraint`], returning the epoch number the
+    /// retirement created (see [`Session::add_constraint_stamped`]).
+    pub fn retire_constraint_stamped(&self, id: ConstraintId) -> Result<u64, UnknownConstraint> {
         let _mutation = self.mutations.lock().unwrap();
         let prev = self.pin();
         let Some(index) = prev.ids.iter().position(|&i| i == id) else {
@@ -507,10 +556,11 @@ impl Session {
             let derived = prev_cells.derive_retire(&set, index, &self.options.bound, uncovered);
             let _ = cells.set(Ok(Arc::new(derived)));
         }
+        let number = prev.number + 1;
         self.install(
             &prev,
             Epoch {
-                number: prev.number + 1,
+                number,
                 set,
                 ids,
                 cells,
@@ -518,7 +568,7 @@ impl Session {
                 shed_cache: Mutex::new(HashMap::new()),
             },
         );
-        Ok(())
+        Ok(number)
     }
 
     /// Swap one constraint for another in a **single** epoch (a retire
@@ -542,6 +592,19 @@ impl Session {
         pc: PredicateConstraint,
         budget: &QueryBudget,
     ) -> Result<ConstraintId, UnknownConstraint> {
+        self.replace_constraint_stamped(id, pc, budget)
+            .map(|(new_id, _)| new_id)
+    }
+
+    /// [`Session::replace_constraint_budgeted`], returning the
+    /// replacement id *and* the epoch number the swap created (see
+    /// [`Session::add_constraint_stamped`]).
+    pub fn replace_constraint_stamped(
+        &self,
+        id: ConstraintId,
+        pc: PredicateConstraint,
+        budget: &QueryBudget,
+    ) -> Result<(ConstraintId, u64), UnknownConstraint> {
         let _mutation = self.mutations.lock().unwrap();
         let prev = self.pin();
         let Some(index) = prev.ids.iter().position(|&i| i == id) else {
@@ -571,10 +634,11 @@ impl Session {
                 }
             }
         }
+        let number = prev.number + 1;
         self.install(
             &prev,
             Epoch {
-                number: prev.number + 1,
+                number,
                 set,
                 ids,
                 cells,
@@ -582,7 +646,7 @@ impl Session {
                 shed_cache: Mutex::new(HashMap::new()),
             },
         );
-        Ok(new_id)
+        Ok((new_id, number))
     }
 
     /// Swap the new epoch in — the only place `current` is written, held
@@ -802,10 +866,26 @@ impl Session {
         budget: &QueryBudget,
         ticket: Option<SchedTicket>,
     ) -> Result<BoundReport, BoundError> {
-        let Some(ticket) = ticket else {
-            return self.bound_budgeted(query, budget);
-        };
+        self.bound_ticketed_stamped(query, budget, ticket).1
+    }
+
+    /// [`Session::bound_ticketed`], additionally returning the number of
+    /// the epoch the answer was computed against — the **snapshot stamp**
+    /// a serving tier puts on every wire response. The stamp and the
+    /// answer come from the same single pin, so under concurrent catalog
+    /// churn the pair is consistent by construction.
+    pub fn bound_ticketed_stamped(
+        &self,
+        query: &AggQuery,
+        budget: &QueryBudget,
+        ticket: Option<SchedTicket>,
+    ) -> (u64, Result<BoundReport, BoundError>) {
         let epoch = self.pin();
+        let number = epoch.number;
+        let Some(ticket) = ticket else {
+            let result = self.bound_on(&epoch, query, self.warm.for_current_worker(), budget);
+            return (number, result);
+        };
         let warm = self.warm.for_current_worker();
         let verdict = ticket.verdict();
         let sched = SchedReport {
@@ -848,7 +928,7 @@ impl Session {
             (result.is_ok() && !demoted).then(|| run_started.elapsed()),
             Some(sched.queue_wait),
         );
-        result
+        (number, result)
     }
 
     /// Execute one rung of the admission ladder: Degraded skips straight
@@ -891,10 +971,12 @@ impl Session {
                 opts.threads = 1;
                 let key = format!("{query:?}");
                 if let Some(cached) = epoch.shed_cache.lock().unwrap().get(&key) {
+                    self.shed_hits.fetch_add(1, Ordering::Relaxed);
                     let mut report = cached.clone();
                     report.sched = Some(sched);
                     return Ok(report);
                 }
+                self.shed_misses.fetch_add(1, Ordering::Relaxed);
                 shed_key = Some(key);
                 shed_budget = QueryBudget::pre_tripped(TripReason::Deadline);
                 &shed_budget
@@ -1097,6 +1179,18 @@ impl Session {
         queries: &[AggQuery],
         budget: &QueryBudget,
     ) -> Vec<Result<BoundReport, BoundError>> {
+        self.bound_many_stamped(queries, budget).1
+    }
+
+    /// [`Session::bound_many_budgeted`], additionally returning the
+    /// number of the single epoch the whole batch was answered from (the
+    /// batch pins exactly once — snapshot isolation, property-tested in
+    /// `prop_epoch.rs`), for serving tiers that stamp responses.
+    pub fn bound_many_stamped(
+        &self,
+        queries: &[AggQuery],
+        budget: &QueryBudget,
+    ) -> (u64, Vec<Result<BoundReport, BoundError>>) {
         let epoch = self.pin();
         if self.options.cache_cells && !queries.is_empty() {
             // Prime the OnceLock up front; a per-query error replays
@@ -1115,14 +1209,15 @@ impl Session {
         } else {
             None
         };
-        rayon::with_task_deadline(tag, || {
+        let results = rayon::with_task_deadline(tag, || {
             pooled_map_catch(queries, threads, &|query| {
                 self.bound_on(&epoch, query, self.warm.for_current_worker(), budget)
             })
         })
         .into_iter()
         .map(|result| result.unwrap_or(Err(BoundError::Panicked)))
-        .collect()
+        .collect();
+        (epoch.number, results)
     }
 
     /// Bound a GROUP-BY against the epoch current at the call. The
@@ -1152,6 +1247,20 @@ impl Session {
         keys: impl IntoIterator<Item = f64>,
         budget: &QueryBudget,
     ) -> Vec<GroupBound> {
+        self.bound_group_by_stamped(base, group_attr, keys, budget)
+            .1
+    }
+
+    /// [`Session::bound_group_by_budgeted`], additionally returning the
+    /// number of the single epoch every group was answered from, for
+    /// serving tiers that stamp responses.
+    pub fn bound_group_by_stamped(
+        &self,
+        base: &AggQuery,
+        group_attr: usize,
+        keys: impl IntoIterator<Item = f64>,
+        budget: &QueryBudget,
+    ) -> (u64, Vec<GroupBound>) {
         let epoch = self.pin();
         let deadline = budget.deadline();
         // Admission judges the whole call as one unit (the keys share the
@@ -1207,7 +1316,190 @@ impl Session {
         if let Some(permit) = permit {
             permit.complete();
         }
-        bounds
+        (epoch.number, bounds)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Multi-tenant registry
+// ----------------------------------------------------------------------
+
+/// The tenant name already has a catalog ([`SessionRegistry::create`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantExists(pub String);
+
+impl std::fmt::Display for TenantExists {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant `{}` already exists", self.0)
+    }
+}
+
+impl std::error::Error for TenantExists {}
+
+/// In-flight bookkeeping behind [`SessionRegistry`]'s drain protocol:
+/// how many queries are running, and the cancel token of each (keyed by
+/// a registry-issued serial so drops are exact under concurrency).
+#[derive(Default)]
+struct Inflight {
+    count: usize,
+    tokens: HashMap<u64, CancelToken>,
+}
+
+/// A multi-tenant catalog directory plus the serving tier's **drain
+/// protocol** — the piece of graceful shutdown that must live next to
+/// the sessions rather than in the network layer.
+///
+/// * **Tenants**: one [`Session`] per name, created/dropped/listed under
+///   a `RwLock` (reads are the per-request lookup path; mutations are
+///   rare admin verbs). Each tenant owns its catalog, its epochs, its
+///   warm caches, and its own [`PressureGauge`] — one tenant's overload
+///   sheds *its* queries, not its neighbors'.
+/// * **Drain**: every query registers via [`SessionRegistry::begin_query`]
+///   before running and holds the returned [`QueryGuard`] for its
+///   duration. [`SessionRegistry::begin_drain`] flips the registry into
+///   draining (all later `begin_query` calls answer `None` — reject new
+///   work) and fires the [`CancelToken`] of every in-flight query, which
+///   trips their budgets at the next granule — they finish early with
+///   sound degraded answers. [`SessionRegistry::drained_within`] then
+///   waits (bounded) for the guards to drop.
+pub struct SessionRegistry {
+    tenants: RwLock<HashMap<String, Arc<Session>>>,
+    inflight: Mutex<Inflight>,
+    idle: Condvar,
+    draining: AtomicBool,
+    next_query: AtomicU64,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new()
+    }
+}
+
+impl SessionRegistry {
+    /// An empty registry, accepting work.
+    pub fn new() -> Self {
+        SessionRegistry {
+            tenants: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(Inflight::default()),
+            idle: Condvar::new(),
+            draining: AtomicBool::new(false),
+            next_query: AtomicU64::new(0),
+        }
+    }
+
+    /// Register `session` under `name`. Errors if the name is taken —
+    /// admin verbs should fail loudly, not silently swap a live catalog
+    /// out from under its connections.
+    pub fn create(&self, name: &str, session: Session) -> Result<Arc<Session>, TenantExists> {
+        let mut tenants = self.tenants.write().unwrap();
+        if tenants.contains_key(name) {
+            return Err(TenantExists(name.to_string()));
+        }
+        let session = Arc::new(session);
+        tenants.insert(name.to_string(), Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// Drop the tenant; `true` if it existed. Connections still holding
+    /// the `Arc` finish their in-flight queries against the final epoch;
+    /// new lookups fail.
+    pub fn drop_tenant(&self, name: &str) -> bool {
+        self.tenants.write().unwrap().remove(name).is_some()
+    }
+
+    /// The tenant's session, if registered.
+    pub fn get(&self, name: &str) -> Option<Arc<Session>> {
+        self.tenants.read().unwrap().get(name).cloned()
+    }
+
+    /// Registered tenant names, sorted (stable listing for the wire).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of queries currently in flight (guards alive).
+    pub fn inflight(&self) -> usize {
+        self.inflight.lock().unwrap().count
+    }
+
+    /// Whether [`SessionRegistry::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Admit one query into the in-flight set: `None` once draining
+    /// (callers answer "shutting down" and send no work), otherwise a
+    /// guard whose drop retires the query. The budget's [`CancelToken`]
+    /// — if armed — is held for the guard's lifetime so a later drain
+    /// can trip the query mid-run.
+    pub fn begin_query(&self, budget: &QueryBudget) -> Option<QueryGuard<'_>> {
+        let mut inflight = self.inflight.lock().unwrap();
+        // Checked under the lock: `begin_drain` fires tokens under the
+        // same lock, so a query admitted here is either cancelled by the
+        // drain or finishes before the drain observes the set — never
+        // missed.
+        if self.is_draining() {
+            return None;
+        }
+        let key = self.next_query.fetch_add(1, Ordering::Relaxed);
+        inflight.count += 1;
+        if let Some(token) = budget.cancel_token() {
+            inflight.tokens.insert(key, token);
+        }
+        Some(QueryGuard {
+            registry: self,
+            key,
+        })
+    }
+
+    /// Stop accepting queries and cancel every in-flight one. Idempotent.
+    pub fn begin_drain(&self) {
+        let inflight = self.inflight.lock().unwrap();
+        self.draining.store(true, Ordering::SeqCst);
+        for token in inflight.tokens.values() {
+            token.cancel();
+        }
+    }
+
+    /// Wait (bounded) for the in-flight set to empty. `true` when every
+    /// query retired inside `timeout`; `false` means something is still
+    /// running — the caller decides whether to detach or keep waiting.
+    pub fn drained_within(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inflight = self.inflight.lock().unwrap();
+        while inflight.count > 0 {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, wait) = self.idle.wait_timeout(inflight, left).unwrap();
+            inflight = guard;
+            if wait.timed_out() && inflight.count > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Liveness token for one in-flight query (see
+/// [`SessionRegistry::begin_query`]); drop it when the query's response
+/// is written.
+pub struct QueryGuard<'a> {
+    registry: &'a SessionRegistry,
+    key: u64,
+}
+
+impl Drop for QueryGuard<'_> {
+    fn drop(&mut self) {
+        let mut inflight = self.registry.inflight.lock().unwrap();
+        inflight.count -= 1;
+        inflight.tokens.remove(&self.key);
+        if inflight.count == 0 {
+            self.registry.idle.notify_all();
+        }
     }
 }
 

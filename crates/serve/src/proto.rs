@@ -1,0 +1,314 @@
+//! The wire grammar: request parsing and response field formatting. The
+//! server and the client both go through this module, so the two ends
+//! cannot drift — a response the server can emit is a response the
+//! client helpers can read back. See the crate docs for the full
+//! protocol reference.
+
+use pc_budget::caps::{parse_line_caps, BudgetCaps};
+use pc_core::{BoundReport, ConstraintId};
+
+/// One parsed request line. Query verbs carry their per-request budget
+/// directive overrides; SQL / DSL payloads stay as text here and are
+/// resolved against the server's table (schema + categorical
+/// dictionaries) at execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `ping` — liveness probe.
+    Ping,
+    /// `tenant create <name>` — register a tenant seeded from the base
+    /// catalog.
+    TenantCreate(String),
+    /// `tenant drop <name>` — unregister a tenant.
+    TenantDrop(String),
+    /// `tenant list` — sorted tenant listing with epochs.
+    TenantList,
+    /// `use <name>` — scope this connection's later verbs to the tenant.
+    Use(String),
+    /// `stats [<name>]` — admission + shed-cache counters (current
+    /// tenant when no name given).
+    Stats(Option<String>),
+    /// `bound [@dirs] <sql>` — one aggregate query.
+    Bound {
+        /// Per-request budget overrides.
+        caps: BudgetCaps,
+        /// The SQL text.
+        sql: String,
+    },
+    /// `batch [@dirs] <sql> ;; <sql> …` — a snapshot-isolated batch.
+    Batch {
+        /// Per-request budget overrides (one budget for the batch).
+        caps: BudgetCaps,
+        /// The SQL texts, in answer order.
+        sqls: Vec<String>,
+    },
+    /// `group-by [@dirs] <column> <sql>` — one bound per group key.
+    GroupBy {
+        /// Per-request budget overrides.
+        caps: BudgetCaps,
+        /// The grouping column name.
+        column: String,
+        /// The SQL text of the base query.
+        sql: String,
+    },
+    /// `+ <constraint>` — admit a constraint (DSL notation).
+    Add(String),
+    /// `- <cN>` — retire a constraint.
+    Retire(ConstraintId),
+    /// `replace <cN> <constraint>` — swap a constraint in one epoch.
+    Replace(ConstraintId, String),
+    /// `shutdown` — start the server's graceful drain.
+    Shutdown,
+    /// `quit` — close this connection.
+    Quit,
+}
+
+/// Tenant names are single tokens that cannot collide with response
+/// grammar: alphanumeric plus `-`/`_`/`.`.
+fn parse_tenant_name(raw: &str) -> Result<String, String> {
+    let name = raw.trim();
+    if name.is_empty() {
+        return Err("tenant name required".into());
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(format!(
+            "tenant name `{name}` may only contain letters, digits, `-`, `_`, `.`"
+        ));
+    }
+    Ok(name.to_string())
+}
+
+/// Parse one request line (already newline-stripped, non-empty after
+/// trimming). Errors are human-readable reasons for the `ERR line N:`
+/// response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((verb, rest)) => (verb, rest.trim()),
+        None => (line, ""),
+    };
+    let bare = |request: Request| {
+        if rest.is_empty() {
+            Ok(request)
+        } else {
+            Err(format!("`{verb}` takes no argument"))
+        }
+    };
+    match verb {
+        "ping" => bare(Request::Ping),
+        "quit" => bare(Request::Quit),
+        "shutdown" => bare(Request::Shutdown),
+        "tenant" => {
+            let (sub, name) = match rest.split_once(char::is_whitespace) {
+                Some((sub, name)) => (sub, name.trim()),
+                None => (rest, ""),
+            };
+            match sub {
+                "create" => Ok(Request::TenantCreate(parse_tenant_name(name)?)),
+                "drop" => Ok(Request::TenantDrop(parse_tenant_name(name)?)),
+                "list" if name.is_empty() => Ok(Request::TenantList),
+                "list" => Err("`tenant list` takes no argument".into()),
+                other => Err(format!("unknown tenant verb `{other}` (create/drop/list)")),
+            }
+        }
+        "use" => Ok(Request::Use(parse_tenant_name(rest)?)),
+        "stats" => {
+            if rest.is_empty() {
+                Ok(Request::Stats(None))
+            } else {
+                Ok(Request::Stats(Some(parse_tenant_name(rest)?)))
+            }
+        }
+        "bound" => {
+            let (caps, sql) = parse_line_caps(rest)?;
+            Ok(Request::Bound {
+                caps,
+                sql: sql.to_string(),
+            })
+        }
+        "batch" => {
+            let (caps, tail) = parse_line_caps(rest)?;
+            let sqls: Vec<String> = tail
+                .split(";;")
+                .map(|s| s.trim().to_string())
+                .collect();
+            if sqls.iter().any(String::is_empty) {
+                return Err("batch: empty query between `;;` separators".into());
+            }
+            Ok(Request::Batch { caps, sqls })
+        }
+        "group-by" => {
+            let (caps, tail) = parse_line_caps(rest)?;
+            let (column, sql) = tail
+                .split_once(char::is_whitespace)
+                .ok_or("group-by: expected `group-by [@dirs] <column> <sql>`")?;
+            let sql = sql.trim();
+            if sql.is_empty() {
+                return Err("group-by: missing the query after the column".into());
+            }
+            Ok(Request::GroupBy {
+                caps,
+                column: column.to_string(),
+                sql: sql.to_string(),
+            })
+        }
+        "+" => {
+            if rest.is_empty() {
+                Err("`+` needs a constraint in the dsl notation".into())
+            } else {
+                Ok(Request::Add(rest.to_string()))
+            }
+        }
+        "-" => rest
+            .parse::<ConstraintId>()
+            .map(Request::Retire)
+            .map_err(|e| e.to_string()),
+        "replace" => {
+            let (id, pc) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("replace: expected `replace <cN> <constraint>`")?;
+            let id = id.parse::<ConstraintId>().map_err(|e| e.to_string())?;
+            let pc = pc.trim();
+            if pc.is_empty() {
+                return Err("replace: missing the replacement constraint".into());
+            }
+            Ok(Request::Replace(id, pc.to_string()))
+        }
+        other => Err(format!(
+            "unknown verb `{other}` (ping/tenant/use/stats/bound/batch/group-by/+/-/replace/shutdown/quit)"
+        )),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Response formatting / parsing helpers
+// ----------------------------------------------------------------------
+
+/// The per-answer response fields shared by `bound`, `batch` rows, and
+/// `group-by` rows: the range, the soundness stamps, and the serialized
+/// scheduling report.
+pub fn report_fields(report: &BoundReport) -> String {
+    let trip = report
+        .trip
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "-".into());
+    let (verdict, queue_us, backlog_us, est_us) = match &report.sched {
+        Some(s) => (
+            s.verdict.to_string(),
+            s.queue_wait.as_micros(),
+            s.backlog.as_micros(),
+            s.estimated_cost.as_micros(),
+        ),
+        None => ("exact".to_string(), 0, 0, 0),
+    };
+    format!(
+        "range=[{},{}] closed={} degraded={} trip={} verdict={} queue-us={} backlog-us={} est-us={}",
+        report.range.lo,
+        report.range.hi,
+        report.closed,
+        report.degraded,
+        trip,
+        verdict,
+        queue_us,
+        backlog_us,
+        est_us,
+    )
+}
+
+/// Extract a `key=value` field from a response line (`None` when the
+/// key is absent). Fields are whitespace-separated tokens.
+pub fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key)?.strip_prefix('='))
+}
+
+/// Parse the `range=[lo,hi]` field of a response line. Infinities render
+/// as `inf`/`-inf` and parse back exactly.
+pub fn parse_range(line: &str) -> Option<(f64, f64)> {
+    let raw = field(line, "range")?;
+    let inner = raw.strip_prefix('[')?.strip_suffix(']')?;
+    let (lo, hi) = inner.split_once(',')?;
+    Some((lo.parse().ok()?, hi.parse().ok()?))
+}
+
+/// The number of follow-up rows a response header declares (`n=<k>`),
+/// 0 for single-line responses.
+pub fn declared_rows(header: &str) -> usize {
+    field(header, "n").and_then(|n| n.parse().ok()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_query_verbs_with_caps() {
+        let req = parse_request("bound @timeout-ms=50 SELECT COUNT(*)").unwrap();
+        match req {
+            Request::Bound { caps, sql } => {
+                assert_eq!(caps.timeout_ms, Some(50));
+                assert_eq!(sql, "SELECT COUNT(*)");
+            }
+            other => panic!("{other:?}"),
+        }
+        let req = parse_request("batch SELECT COUNT(*) ;; SELECT SUM(v)").unwrap();
+        match req {
+            Request::Batch { sqls, .. } => assert_eq!(sqls.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        let req = parse_request("group-by @sat-cap=9 region SELECT SUM(v)").unwrap();
+        match req {
+            Request::GroupBy { caps, column, sql } => {
+                assert_eq!(caps.sat_cap, Some(9));
+                assert_eq!(column, "region");
+                assert_eq!(sql, "SELECT SUM(v)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_admin_and_mutation_verbs() {
+        assert_eq!(parse_request("ping").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request("tenant create acme").unwrap(),
+            Request::TenantCreate("acme".into())
+        );
+        assert_eq!(parse_request("tenant list").unwrap(), Request::TenantList);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats(None));
+        assert!(matches!(parse_request("- c3").unwrap(), Request::Retire(_)));
+        assert!(matches!(
+            parse_request("replace c1 TRUE => x <= 5, (0, 10)").unwrap(),
+            Request::Replace(..)
+        ));
+        assert!(matches!(
+            parse_request("+ TRUE => x <= 5, (0, 10)").unwrap(),
+            Request::Add(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("frobnicate").is_err());
+        assert!(parse_request("ping extra").is_err());
+        assert!(parse_request("tenant create bad name").is_err());
+        assert!(parse_request("bound @timeout-ms=0 SELECT COUNT(*)").is_err());
+        assert!(parse_request("bound").is_err());
+        assert!(parse_request("batch SELECT COUNT(*) ;; ").is_err());
+        assert!(parse_request("- notanid").is_err());
+    }
+
+    #[test]
+    fn field_helpers_roundtrip() {
+        let line = "OK bound epoch=7 range=[1.5,inf] closed=true degraded=false trip=- verdict=exact queue-us=12 backlog-us=0 est-us=3";
+        assert_eq!(field(line, "epoch"), Some("7"));
+        assert_eq!(field(line, "verdict"), Some("exact"));
+        let (lo, hi) = parse_range(line).unwrap();
+        assert_eq!(lo, 1.5);
+        assert!(hi.is_infinite() && hi > 0.0);
+        assert_eq!(declared_rows("OK batch epoch=2 n=4"), 4);
+        assert_eq!(declared_rows(line), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! Socket-level integration tests for `pc serve`: the snapshot-isolation
+//! guarantee under concurrent mutation, the slow-loris damage bound, and
+//! the per-connection protocol bounds — all through real TCP connections
+//! against a running [`Server`].
+
+use pc_core::{dsl, PcSet, QueryBudget, Session, SessionOptions};
+use pc_predicate::{AttrType, Schema};
+use pc_serve::{Connection, ServeConfig, Server};
+use pc_storage::{parse_query, table_from_csv, Table};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn fixture_table() -> Table {
+    let schema = Schema::new(vec![
+        ("utc", AttrType::Int),
+        ("branch", AttrType::Cat),
+        ("price", AttrType::Float),
+    ]);
+    table_from_csv(
+        schema,
+        "utc,branch,price\n\
+         1,Chicago,3.02\n\
+         2,New York,6.71\n\
+         3,Chicago,18.99\n",
+    )
+    .unwrap()
+}
+
+fn base_set(table: &Table) -> PcSet {
+    dsl::parse_pcset(table, "TRUE => price BETWEEN 0 AND 149.99, (0, 100)\n").unwrap()
+}
+
+/// Exact-only options: admission stays off so every response is the
+/// engine's exact range and can be compared against the oracle verbatim.
+fn exact_options() -> SessionOptions {
+    SessionOptions {
+        admission: false,
+        ..SessionOptions::default()
+    }
+}
+
+fn start_server(
+    config: ServeConfig,
+) -> (SocketAddr, pc_serve::ServerHandle, thread::JoinHandle<()>) {
+    let table = fixture_table();
+    let base = base_set(&table);
+    let server = Server::bind("127.0.0.1:0", table, base, config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+/// The mutation stream the snapshot test plays against the `default`
+/// tenant, in wire notation. All predicates are `TRUE`, so the exact
+/// COUNT range is `[max kl, min ku]` over the live constraints — every
+/// step moves at least one side of the interval (a retire may fall back
+/// to an earlier interval; the oracle is keyed by epoch, not by value).
+const MUTATIONS: &[&str] = &[
+    "+ TRUE => price BETWEEN 0 AND 149.99, (10, 90)",
+    "+ TRUE => price BETWEEN 0 AND 149.99, (20, 80)",
+    "- c1",
+    "replace c2 TRUE => price BETWEEN 0 AND 149.99, (30, 70)",
+    "+ TRUE => price BETWEEN 0 AND 149.99, (40, 60)",
+    "- c0",
+];
+
+/// Replay [`MUTATIONS`] against a local shadow session and record the
+/// exact COUNT range at every epoch. The server's `default` tenant sees
+/// the same ops in the same order, so epoch `e` there has the same
+/// catalog — and the engine is deterministic, so the same range.
+fn oracle_by_epoch() -> HashMap<u64, (f64, f64)> {
+    let table = fixture_table();
+    let session = Session::with_options(base_set(&table), exact_options());
+    let query = parse_query(&table, "SELECT COUNT(*)").unwrap();
+    let budget = QueryBudget::unlimited();
+    let mut oracle = HashMap::new();
+    oracle.insert(session.epoch(), range_of(&session, &query));
+    for line in MUTATIONS {
+        if let Some(rest) = line.strip_prefix("+ ") {
+            let pc = dsl::parse_constraint(&table, rest).unwrap();
+            session.add_constraint_stamped(pc, &budget);
+        } else if let Some(rest) = line.strip_prefix("- ") {
+            session
+                .retire_constraint_stamped(rest.parse().unwrap())
+                .unwrap();
+        } else if let Some(rest) = line.strip_prefix("replace ") {
+            let (id, text) = rest.split_once(' ').unwrap();
+            let pc = dsl::parse_constraint(&table, text).unwrap();
+            session
+                .replace_constraint_stamped(id.parse().unwrap(), pc, &budget)
+                .unwrap();
+        } else {
+            panic!("unhandled mutation line {line}");
+        }
+        oracle.insert(session.epoch(), range_of(&session, &query));
+    }
+    oracle
+}
+
+fn range_of(session: &Session, query: &pc_storage::AggQuery) -> (f64, f64) {
+    let report = session.bound(query).unwrap();
+    (report.range.lo, report.range.hi)
+}
+
+fn close_to(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * b.abs().max(1.0)
+}
+
+/// Satellite 1 — snapshot isolation over the socket: reader threads
+/// stream `bound` queries while one connection mutates the catalog;
+/// every response's range must match the oracle *for its stamped epoch*,
+/// proving a racing query answers from exactly one consistent catalog.
+#[test]
+fn snapshot_isolation_under_concurrent_mutation() {
+    let config = ServeConfig {
+        options: exact_options(),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = start_server(config);
+    let oracle = oracle_by_epoch();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut conn = Connection::connect(addr).unwrap();
+                let mut seen: Vec<(u64, f64, f64)> = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let resp = conn.send("bound SELECT COUNT(*)").unwrap();
+                    assert!(resp.is_ok(), "reader got {}", resp.header);
+                    let (lo, hi) = resp.range().unwrap();
+                    seen.push((resp.epoch().unwrap(), lo, hi));
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut mutator = Connection::connect(addr).unwrap();
+    for (i, line) in MUTATIONS.iter().enumerate() {
+        thread::sleep(Duration::from_millis(40));
+        let resp = mutator.send(line).unwrap();
+        assert!(resp.is_ok(), "`{line}` got {}", resp.header);
+        // One mutator, no other writers: epochs advance densely.
+        assert_eq!(resp.epoch(), Some(i as u64 + 1), "`{line}`");
+    }
+    thread::sleep(Duration::from_millis(40));
+    stop.store(true, Ordering::SeqCst);
+
+    let mut distinct = std::collections::HashSet::new();
+    for reader in readers {
+        for (epoch, lo, hi) in reader.join().unwrap() {
+            let (want_lo, want_hi) = *oracle
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("response stamped unknown epoch {epoch}"));
+            assert!(
+                close_to(lo, want_lo) && close_to(hi, want_hi),
+                "epoch {epoch}: got [{lo},{hi}], oracle says [{want_lo},{want_hi}]"
+            );
+            distinct.insert(epoch);
+        }
+    }
+    // The race was real: the readers observed the catalog both before
+    // and after mutations landed, not one quiescent snapshot.
+    assert!(
+        distinct.len() >= 2,
+        "readers only ever saw epochs {distinct:?}; the interleaving test was vacuous"
+    );
+
+    // A multi-row response carries one stamp for all its rows: both
+    // batch answers come from the same pinned epoch.
+    let resp = mutator
+        .send("batch SELECT COUNT(*) ;; SELECT COUNT(*)")
+        .unwrap();
+    assert!(resp.is_ok());
+    assert_eq!(resp.epoch(), Some(MUTATIONS.len() as u64));
+    assert_eq!(resp.rows.len(), 2);
+    let (want_lo, want_hi) = oracle[&(MUTATIONS.len() as u64)];
+    for row in &resp.rows {
+        let (lo, hi) = pc_serve::proto::parse_range(row).unwrap();
+        assert!(close_to(lo, want_lo) && close_to(hi, want_hi), "{row}");
+    }
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Satellite 2 — the slow-loris bound: a connection that goes silent
+/// mid-line neither blocks other tenants' queries nor holds shutdown
+/// past the drain deadline.
+#[test]
+fn stalled_connection_cannot_stall_other_tenants_or_shutdown() {
+    let config = ServeConfig {
+        options: exact_options(),
+        read_timeout: Duration::from_millis(400),
+        poll_interval: Duration::from_millis(5),
+        drain: Duration::from_millis(500),
+        ..ServeConfig::default()
+    };
+    let (addr, _handle, join) = start_server(config);
+
+    // The slow loris: half a request, then silence with the socket open.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris.write_all(b"bound SELECT CO").unwrap();
+    loris.flush().unwrap();
+
+    // Another tenant's traffic proceeds while the loris holds its line.
+    let mut conn = Connection::connect(addr).unwrap();
+    conn.set_response_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let resp = conn.send("tenant create other").unwrap();
+    assert!(resp.is_ok(), "{}", resp.header);
+    assert!(conn.send("use other").unwrap().is_ok());
+    let started = Instant::now();
+    let resp = conn.send("bound SELECT COUNT(*)").unwrap();
+    assert!(resp.is_ok(), "{}", resp.header);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "a stalled peer delayed an unrelated query by {:?}",
+        started.elapsed()
+    );
+
+    // Graceful shutdown completes within the drain deadline (plus server
+    // poll slack) even with the stalled connection still open.
+    let started = Instant::now();
+    assert!(conn.send("shutdown").unwrap().is_ok());
+    join.join().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "shutdown took {:?} despite a 500ms drain deadline",
+        started.elapsed()
+    );
+
+    // The loris's connection thread notices the drain and closes its end.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut sink = [0u8; 64];
+    loop {
+        match loris.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(e) => panic!("expected server-side close, got {e}"),
+        }
+    }
+}
+
+/// Per-connection damage bounds: empty lines, malformed lines, bad
+/// budget directives, and over-long lines each answer one `ERR line N:`
+/// and the connection keeps serving. Response pairing never slips.
+#[test]
+fn malformed_lines_answer_err_without_killing_the_connection() {
+    let config = ServeConfig {
+        options: exact_options(),
+        max_line_bytes: 64,
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = start_server(config);
+    let mut conn = Connection::connect(addr).unwrap();
+
+    let resp = conn.send("").unwrap();
+    assert_eq!(resp.header, "ERR line 1: empty request");
+    let resp = conn.send("frobnicate the catalog").unwrap();
+    assert!(
+        resp.header.starts_with("ERR line 2: unknown verb"),
+        "{}",
+        resp.header
+    );
+    let resp = conn.send("bound @timeout-ms=0 SELECT COUNT(*)").unwrap();
+    assert!(
+        resp.header.contains("the minimum cap is 1"),
+        "{}",
+        resp.header
+    );
+    let resp = conn.send("bound SELECT FROB(*)").unwrap();
+    assert!(resp.header.starts_with("ERR line 4:"), "{}", resp.header);
+    let resp = conn.send("- c99").unwrap();
+    assert!(resp.header.starts_with("ERR line 5:"), "{}", resp.header);
+
+    // Over-long line, streamed without its newline so the buffer bound
+    // (not the line splitter) has to catch it: one ERR, rest discarded.
+    let resp = conn.send("use nosuchtenant").unwrap();
+    assert!(resp.header.starts_with("ERR line 6:"), "{}", resp.header);
+    {
+        // Reach under the helper: write 100 bytes, stall, then the rest.
+        let raw = conn.raw_stream();
+        raw.write_all(&[b'x'; 100]).unwrap();
+        raw.flush().unwrap();
+        thread::sleep(Duration::from_millis(100));
+        raw.write_all(b"tail\n").unwrap();
+        raw.flush().unwrap();
+    }
+    let resp = conn.read_response().unwrap();
+    assert_eq!(resp.header, "ERR line 7: request exceeds 64 bytes");
+
+    // The connection still works after every one of those.
+    let resp = conn.send("ping").unwrap();
+    assert_eq!(resp.header, "OK pong");
+    let resp = conn.send("bound SELECT COUNT(*)").unwrap();
+    assert!(resp.is_ok(), "{}", resp.header);
+    assert_eq!(resp.epoch(), Some(0));
+
+    assert!(conn.send("quit").unwrap().is_ok());
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// Draining servers refuse new queries with an `ERR`, not a hang or a
+/// dropped connection.
+#[test]
+fn draining_server_rejects_new_queries() {
+    let config = ServeConfig {
+        options: exact_options(),
+        drain: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let (addr, _handle, join) = start_server(config);
+    let mut conn = Connection::connect(addr).unwrap();
+    let mut other = Connection::connect(addr).unwrap();
+    assert!(conn.send("shutdown").unwrap().is_ok());
+    join.join().unwrap();
+    // `other` connected before the drain; its pending request either
+    // answers "draining" or the socket closes — both are bounded-damage.
+    other
+        .set_response_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match other.send("bound SELECT COUNT(*)") {
+        Ok(resp) => assert!(
+            resp.header.contains("draining"),
+            "expected a draining rejection, got {}",
+            resp.header
+        ),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+            ),
+            "unexpected error {e}"
+        ),
+    }
+}

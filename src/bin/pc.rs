@@ -8,6 +8,9 @@
 //!             --queries queries.sql                # one SQL query per line
 //! pc validate --data history.csv --schema ... --constraints assumptions.pc
 //! pc check    --data sales.csv --schema ... --constraints assumptions.pc   # closure
+//! pc serve    --data sales.csv --schema ... --constraints assumptions.pc \
+//!             --listen 127.0.0.1:7878             # multi-tenant TCP front-end
+//! pc client   --addr 127.0.0.1:7878 --script session.txt   # or --request "ping"
 //! ```
 //!
 //! * `--data` — CSV with a header row (used for the schema's dictionaries,
@@ -96,22 +99,41 @@
 //!   each run of consecutive queries (answered as one pinned-epoch
 //!   batch) or each update directive's incremental derivation. A
 //!   directive whose derivation trips still lands — its epoch's cells
-//!   are simply rebuilt lazily by the next query.
+//!   are simply rebuilt lazily by the next query. Cap values are
+//!   validated by the shared parser (`pc_budget::caps`): `0`, negative,
+//!   and overflowing values are rejected at parse time, identically on
+//!   the flags, the `@` directives, and the `pc serve` wire protocol.
+//! * `serve` — bind a TCP listener (`--listen ADDR`, default
+//!   `127.0.0.1:7878`; port `0` picks a free port, scraped from the
+//!   `listening on …` line) and serve the line protocol documented in
+//!   the `pc-serve` crate: per-tenant versioned sessions, admission
+//!   control, epoch-stamped responses. The `--data`/`--schema`/
+//!   `--constraints` trio seeds the `default` tenant; engine knobs and
+//!   budget caps above set every tenant's defaults. `--drain-ms N`
+//!   bounds the graceful-shutdown drain.
+//! * `client` — talk to a running server: `--addr ADDR` plus either
+//!   `--request LINE` (one request, response echoed, exit code from
+//!   `OK`/`ERR`) or `--script FILE` (`-` = stdin; one request per line,
+//!   `#` comments, `!`-prefixed lines *expect* an `ERR` — exit code 0
+//!   iff every expectation held).
 //!
 //! `batch` serves its stream **incrementally**: queries are answered
 //! batch-by-batch as directives cut the stream, and a malformed line
 //! aborts with `line N: …` *after* flushing every result already
 //! produced — partial output is never lost to a late typo.
 
+use predicate_constraints::core::budget::caps::{parse_cap_value, parse_line_caps, BudgetCaps};
 use predicate_constraints::core::{
     dsl, BoundError, BoundOptions, BoundReport, ConstraintId, PcSet, QueryBudget, Session,
     SessionOptions, TripReason,
 };
 use predicate_constraints::predicate::{AttrType, Schema};
+use predicate_constraints::serve::{run_script, Connection, ServeConfig, Server};
 use predicate_constraints::storage::{
     evaluate, parse_query, table_from_csv, AggKind, AggQuery, Table,
 };
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}");
@@ -136,86 +158,18 @@ struct Args {
     no_admission: bool,
     stats: bool,
     caps: BudgetCaps,
-}
-
-/// The three budget caps, as a value: the stream-wide flags and a batch
-/// line's `@` directives share this shape so a per-query override is just
-/// a field-wise merge.
-#[derive(Debug, Clone, Copy, Default)]
-struct BudgetCaps {
-    timeout_ms: Option<u64>,
-    sat_cap: Option<u64>,
-    node_cap: Option<u64>,
-}
-
-impl BudgetCaps {
-    /// A fresh budget from the caps. Fresh per engine call on purpose:
-    /// `--timeout-ms` is a *deadline*, measured from arming, so one
-    /// budget built at startup would silently charge file loading and
-    /// every earlier batch against later queries.
-    fn budget(&self) -> QueryBudget {
-        let mut budget = QueryBudget::unlimited();
-        if let Some(ms) = self.timeout_ms {
-            budget = budget.with_timeout(std::time::Duration::from_millis(ms));
-        }
-        if let Some(cap) = self.sat_cap {
-            budget = budget.with_sat_cap(cap);
-        }
-        if let Some(cap) = self.node_cap {
-            budget = budget.with_node_cap(cap);
-        }
-        budget
-    }
-
-    /// These caps with another set's explicit fields taking precedence.
-    fn overridden_by(&self, over: BudgetCaps) -> BudgetCaps {
-        BudgetCaps {
-            timeout_ms: over.timeout_ms.or(self.timeout_ms),
-            sat_cap: over.sat_cap.or(self.sat_cap),
-            node_cap: over.node_cap.or(self.node_cap),
-        }
-    }
-}
-
-/// Strip leading `@timeout-ms=N` / `@sat-cap=N` / `@node-cap=N` directives
-/// off a batch query line, returning the overrides and the SQL remainder.
-fn parse_line_caps(line: &str) -> Result<(BudgetCaps, &str), String> {
-    let mut caps = BudgetCaps::default();
-    let mut rest = line;
-    while let Some(tail) = rest.strip_prefix('@') {
-        let (token, after) = match tail.split_once(char::is_whitespace) {
-            Some((token, after)) => (token, after.trim_start()),
-            None => (tail, ""),
-        };
-        let (key, value) = token
-            .split_once('=')
-            .ok_or_else(|| format!("@{token}: expected @name=value"))?;
-        let value: u64 = value
-            .parse()
-            .map_err(|_| format!("@{key}: `{value}` is not a number"))?;
-        match key {
-            "timeout-ms" => caps.timeout_ms = Some(value),
-            "sat-cap" => caps.sat_cap = Some(value),
-            "node-cap" => caps.node_cap = Some(value),
-            other => {
-                return Err(format!(
-                    "unknown directive @{other} (timeout-ms/sat-cap/node-cap)"
-                ))
-            }
-        }
-        rest = after;
-    }
-    if rest.is_empty() {
-        return Err("budget directives must prefix a query on the same line".into());
-    }
-    Ok((caps, rest))
+    listen: Option<String>,
+    addr: Option<String>,
+    script: Option<String>,
+    request: Option<String>,
+    drain_ms: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv
         .next()
-        .ok_or("usage: pc <bound|batch|validate|check> …")?;
+        .ok_or("usage: pc <bound|batch|validate|check|serve|client> …")?;
     let mut args = Args {
         command,
         data: None,
@@ -234,11 +188,18 @@ fn parse_args() -> Result<Args, String> {
         no_admission: false,
         stats: false,
         caps: BudgetCaps::default(),
+        listen: None,
+        addr: None,
+        script: None,
+        request: None,
+        drain_ms: None,
     };
-    let parse_u64 = |flag: &str, v: Option<String>| -> Result<u64, String> {
+    // Budget caps go through the shared validating parser (same code the
+    // batch `@` directives and the wire protocol use), so `0`, negative,
+    // and overflowing values are rejected uniformly at parse time.
+    let parse_cap = |flag: &str, v: Option<String>| -> Result<u64, String> {
         let v = v.ok_or_else(|| format!("{flag} needs a value"))?;
-        v.parse()
-            .map_err(|_| format!("{flag}: `{v}` is not a number"))
+        parse_cap_value(flag, &v)
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -257,9 +218,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--per-key-groupby" => args.per_key_groupby = true,
             "--stats" => args.stats = true,
-            "--timeout-ms" => args.caps.timeout_ms = Some(parse_u64("--timeout-ms", argv.next())?),
-            "--sat-cap" => args.caps.sat_cap = Some(parse_u64("--sat-cap", argv.next())?),
-            "--node-cap" => args.caps.node_cap = Some(parse_u64("--node-cap", argv.next())?),
+            "--timeout-ms" => args.caps.timeout_ms = Some(parse_cap("--timeout-ms", argv.next())?),
+            "--sat-cap" => args.caps.sat_cap = Some(parse_cap("--sat-cap", argv.next())?),
+            "--node-cap" => args.caps.node_cap = Some(parse_cap("--node-cap", argv.next())?),
+            "--listen" => args.listen = argv.next(),
+            "--addr" => args.addr = argv.next(),
+            "--script" => args.script = argv.next(),
+            "--request" => args.request = argv.next(),
+            "--drain-ms" => {
+                let v = argv.next().ok_or("--drain-ms needs a value")?;
+                args.drain_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--drain-ms: `{v}` is not a number"))?,
+                );
+            }
             "--no-session-cache" => args.no_session_cache = true,
             "--no-warm-start" => args.no_warm_start = true,
             "--no-tableau-carry" => args.no_tableau_carry = true,
@@ -354,11 +326,71 @@ fn load_constraints(args: &Args, table: &Table) -> Result<PcSet, String> {
     dsl::parse_pcset(table, &text).map_err(|e| e.to_string())
 }
 
+/// `pc client` — a scripted (or single-request) session against a
+/// running `pc serve`. Needs no table, so it runs before the data
+/// loading the other commands share.
+fn run_client(args: &Args) -> ExitCode {
+    let addr = match args.addr.as_deref() {
+        Some(a) => a,
+        None => return fail("--addr is required for `client`"),
+    };
+    if args.request.is_some() && args.script.is_some() {
+        return fail("`client` takes --request or --script, not both");
+    }
+    if let Some(request) = &args.request {
+        let mut conn = match Connection::connect(addr) {
+            Ok(c) => c,
+            Err(e) => return fail(&format!("cannot connect to {addr}: {e}")),
+        };
+        let response = match conn.send(request) {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("request failed: {e}")),
+        };
+        println!("{}", response.header);
+        for row in &response.rows {
+            println!("{row}");
+        }
+        if response.is_ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else if let Some(path) = &args.script {
+        let script = if path == "-" {
+            use std::io::Read;
+            let mut buf = String::new();
+            if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                return fail(&format!("cannot read stdin: {e}"));
+            }
+            buf
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            }
+        };
+        let mut out = std::io::stdout();
+        match run_script(addr, &script, &mut out) {
+            Ok(outcome) if outcome.passed() => ExitCode::SUCCESS,
+            Ok(outcome) => fail(&format!(
+                "{} of {} script expectations mismatched",
+                outcome.mismatches, outcome.requests
+            )),
+            Err(e) => fail(&format!("client session failed: {e}")),
+        }
+    } else {
+        fail("`client` needs --script <file|-> or --request <line>")
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => return fail(&e),
     };
+    if args.command == "client" {
+        return run_client(&args);
+    }
     let table = match load_table(&args) {
         Ok(t) => t,
         Err(e) => return fail(&e),
@@ -576,6 +608,13 @@ fn main() -> ExitCode {
                 return fail("--queries: no queries found");
             }
             flush(&mut pending, &mut failed);
+            if args.stats {
+                // Session-lifetime counters (they survive epoch churn):
+                // how often a shed query's pre-tripped walk was answered
+                // from the per-epoch memo instead of re-run.
+                let shed = session.shed_cache_stats();
+                println!("shed cache: {} hits, {} misses", shed.hits, shed.misses);
+            }
             if failed {
                 ExitCode::FAILURE
             } else {
@@ -727,8 +766,41 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "serve" => {
+            let set = match load_constraints(&args, &table) {
+                Ok(s) => s,
+                Err(e) => return fail(&e),
+            };
+            let addr = args.listen.as_deref().unwrap_or("127.0.0.1:7878");
+            let mut config = ServeConfig {
+                options: session_options(&args),
+                caps: args.caps,
+                ..ServeConfig::default()
+            };
+            if let Some(ms) = args.drain_ms {
+                config.drain = Duration::from_millis(ms);
+            }
+            let server = match Server::bind(addr, table, set, config) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("cannot listen on {addr}: {e}")),
+            };
+            match server.local_addr() {
+                // Printed to stdout (and flushed) so scripts can scrape
+                // the bound port when --listen used port 0.
+                Ok(local) => {
+                    println!("listening on {local}");
+                    use std::io::Write;
+                    std::io::stdout().flush().ok();
+                }
+                Err(e) => return fail(&e.to_string()),
+            }
+            match server.run() {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => fail(&format!("serve failed: {e}")),
+            }
+        }
         other => fail(&format!(
-            "unknown command `{other}` (bound/batch/validate/check)"
+            "unknown command `{other}` (bound/batch/validate/check/serve/client)"
         )),
     }
 }

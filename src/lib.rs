@@ -12,6 +12,8 @@
 //! * [`storage`] — in-memory columnar tables, filters, aggregates, joins.
 //! * [`core`] — the PC framework itself: constraint sets, cell
 //!   decomposition, aggregate result ranges, and join bounds.
+//! * [`serve`] — the multi-tenant TCP serving front-end (`pc serve`):
+//!   line protocol, session registry, graceful drain.
 //! * [`baselines`] — statistical baselines evaluated against PCs in the
 //!   paper (sampling confidence intervals, histograms, GMM, elastic
 //!   sensitivity).
@@ -24,5 +26,6 @@ pub use pc_baselines as baselines;
 pub use pc_core as core;
 pub use pc_datagen as datagen;
 pub use pc_predicate as predicate;
+pub use pc_serve as serve;
 pub use pc_solver as solver;
 pub use pc_storage as storage;

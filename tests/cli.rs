@@ -524,3 +524,144 @@ fn unsupported_flag_combinations_are_rejected() {
         );
     }
 }
+
+#[test]
+fn serve_client_round_trip() {
+    use std::io::BufRead;
+    let dir = std::env::temp_dir().join("pc-cli-test-serve");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let script = dir.join("session.txt");
+    std::fs::write(
+        &script,
+        "ping\n\
+         bound SELECT COUNT(*)\n\
+         + utc >= 2 => price BETWEEN 0 AND 10, (0, 3)\n\
+         batch SELECT COUNT(*) ;; SELECT SUM(price)\n\
+         # malformed lines answer ERR without killing the connection\n\
+         ! bound @timeout-ms=0 SELECT COUNT(*)\n\
+         ! frobnicate\n\
+         stats\n\
+         shutdown\n",
+    )
+    .unwrap();
+
+    // port 0: the kernel picks; the server prints the bound address
+    let mut server = pc_bin()
+        .args([
+            "serve",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    std::io::BufReader::new(server.stdout.take().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let out = pc_bin()
+        .args([
+            "client",
+            "--addr",
+            &addr,
+            "--script",
+            script.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "client failed\nstdout: {stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("OK pong"), "{stdout}");
+    assert!(stdout.contains("OK bound epoch=0"), "{stdout}");
+    assert!(stdout.contains("OK added=c2 epoch=1"), "{stdout}");
+    assert!(stdout.contains("OK batch epoch=1 n=2"), "{stdout}");
+    assert!(stdout.contains("the minimum cap is 1"), "{stdout}");
+    assert!(stdout.contains("shed-cache-hits="), "{stdout}");
+    assert!(stdout.contains("OK draining"), "{stdout}");
+    assert!(!stdout.contains("MISMATCH"), "{stdout}");
+
+    // the scripted shutdown drains the server to a clean exit
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server exited {status:?}");
+}
+
+#[test]
+fn cap_flags_and_directives_reject_zero_negative_overflow() {
+    let dir = std::env::temp_dir().join("pc-cli-test-capzero");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (data, constraints) = write_fixtures(&dir);
+    let queries = dir.join("q.sql");
+    std::fs::write(&queries, "SELECT COUNT(*)\n").unwrap();
+    // one shared parser behind the flags: 0, negative, and overflowing
+    // values are rejected with the same diagnostics on every cap
+    for flag in ["--timeout-ms", "--sat-cap", "--node-cap"] {
+        for (value, needle) in [
+            ("0", "minimum cap is 1"),
+            ("-7", "is negative"),
+            ("18446744073709551616", "overflows"),
+        ] {
+            let out = pc_bin()
+                .args([
+                    "bound",
+                    "--data",
+                    &data,
+                    "--schema",
+                    SCHEMA,
+                    "--constraints",
+                    &constraints,
+                    "--query",
+                    "SELECT COUNT(*)",
+                    flag,
+                    value,
+                ])
+                .output()
+                .unwrap();
+            assert!(!out.status.success(), "must reject {flag} {value}");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains(needle) && stderr.contains(flag),
+                "{flag} {value}: {stderr}"
+            );
+        }
+    }
+    // and the same parser behind a batch line's @ directives
+    let bad_file = dir.join("zero-at.sql");
+    std::fs::write(&bad_file, "@sat-cap=0 SELECT COUNT(*)\n").unwrap();
+    let out = pc_bin()
+        .args([
+            "batch",
+            "--data",
+            &data,
+            "--schema",
+            SCHEMA,
+            "--constraints",
+            &constraints,
+            "--queries",
+            bad_file.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("line 1") && stderr.contains("minimum cap is 1"),
+        "{stderr}"
+    );
+}
